@@ -1,0 +1,27 @@
+//===- bench/BenchUtil.cpp - Shared experiment-harness helpers ------------===//
+
+#include "BenchUtil.h"
+
+namespace cgcbench {
+
+void printBanner(const char *ExperimentId, const char *Description,
+                 const char *PaperResult) {
+  std::printf("==============================================================="
+              "=\n");
+  std::printf("%s: %s\n", ExperimentId, Description);
+  std::printf("paper reports: %s\n", PaperResult);
+  std::printf("==============================================================="
+              "=\n");
+}
+
+std::string percentRange(double Lo, double Hi) {
+  char Buffer[64];
+  if (Lo == Hi)
+    std::snprintf(Buffer, sizeof(Buffer), "%.1f%%", Lo * 100.0);
+  else
+    std::snprintf(Buffer, sizeof(Buffer), "%.1f-%.1f%%", Lo * 100.0,
+                  Hi * 100.0);
+  return Buffer;
+}
+
+} // namespace cgcbench

@@ -1,0 +1,31 @@
+//===- bench/BenchUtil.h - Shared experiment-harness helpers ---*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-table/per-figure benchmark binaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_BENCH_BENCHUTIL_H
+#define CGC_BENCH_BENCHUTIL_H
+
+#include <cstdio>
+#include <string>
+
+namespace cgcbench {
+
+/// Prints the standard experiment banner: which paper artifact this
+/// binary regenerates and what the paper reported.
+void printBanner(const char *ExperimentId, const char *Description,
+                 const char *PaperResult);
+
+/// Formats "lo-hi%" range strings like the paper's Table 1 cells.
+std::string percentRange(double Lo, double Hi);
+
+} // namespace cgcbench
+
+#endif // CGC_BENCH_BENCHUTIL_H

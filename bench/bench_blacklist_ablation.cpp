@@ -1,0 +1,215 @@
+//===- bench/bench_blacklist_ablation.cpp - §3 design choices -------------===//
+//
+// Ablates the blacklist design decisions the paper describes:
+//
+//   * Representation: flat page bitmap ("a bit array, indexed by page
+//     numbers") versus the hashed variant for discontiguous heaps ("a
+//     hash table with one bit per entry ... all of them are effectively
+//     blacklisted.  Since collisions can easily be made rare, this does
+//     not result in much lost precision") — swept over table sizes to
+//     show where collisions start costing pages.
+//   * Aging: "Blacklisted values that are no longer found by a later
+//     collection may be removed from the list."  Without aging, stale
+//     entries accumulate and pages are lost forever.
+//   * Pointer-free exemption: "blacklisted pages can still be allocated
+//     [for] small objects known to be pointer-free, and thus the loss
+//     is usually zero."
+//
+// Workload: SPARC(static) pollution + Program T (reduced size), plus a
+// churn phase where the polluting values change so aging has something
+// to reclaim.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "core/Collector.h"
+#include "sim/PlatformProfile.h"
+#include "structures/ProgramT.h"
+#include "support/Statistics.h"
+
+using namespace cgc;
+using namespace cgc::sim;
+
+namespace {
+
+struct AblationResult {
+  double Retained = 0;
+  bool OutOfMemory = false;
+  uint64_t BlacklistEntries = 0;
+  uint64_t PagesLostToBlacklist = 0;
+  uint64_t CommittedBytes = 0;
+};
+
+AblationResult runConfig(BlacklistMode Mode, unsigned HashedBitsLog2,
+                         bool Aging, uint64_t Seed) {
+  PlatformSpec Spec = specFor(Platform::SparcStatic, false);
+  Spec.ProgramTLists = 100;
+  Spec.CellsPerList = 6250; // 50 KB lists: a faster sweep.
+  GcConfig Config = configFor(Spec, Mode);
+  Config.BlacklistAging = Aging;
+  Config.HashedBlacklistBitsLog2 = HashedBitsLog2;
+  Collector GC(Config);
+  SimEnvironment Env(GC, Spec, Seed);
+
+  ProgramTConfig TConfig;
+  TConfig.NumLists = Spec.ProgramTLists;
+  TConfig.CellsPerList = Spec.CellsPerList;
+  TConfig.AllocFrameSlots = Spec.AllocFrameSlots;
+  TConfig.FrameWrittenFraction = Spec.FrameWrittenFraction;
+  ProgramT T(GC, &Env.stack(), TConfig);
+  ProgramTResult R = T.run();
+
+  AblationResult Result;
+  Result.Retained = R.fractionRetained();
+  Result.OutOfMemory = R.OutOfMemory;
+  Result.BlacklistEntries = GC.blacklistedPageCount();
+  Result.PagesLostToBlacklist = GC.pageStats().BlacklistSkippedPages;
+  Result.CommittedBytes = R.CommittedHeapBytes;
+  return Result;
+}
+
+void representationSweep() {
+  cgcbench::printBanner(
+      "Blacklist ablation A",
+      "representation sweep: off / flat bitmap / hashed at several "
+      "table sizes (SPARC-static pollution, 100x50KB Program T)",
+      "flat and large-hash behave identically; small hash tables "
+      "over-blacklist through collisions");
+
+  TablePrinter Table({"representation", "aging", "retained",
+                      "blacklist entries", "pages skipped",
+                      "heap committed"});
+
+  struct Row {
+    const char *Name;
+    BlacklistMode Mode;
+    unsigned Bits;
+    bool Aging;
+  };
+  const Row Rows[] = {
+      {"off", BlacklistMode::Off, 16, true},
+      {"flat bitmap", BlacklistMode::FlatBitmap, 16, true},
+      {"hashed 2^18", BlacklistMode::Hashed, 18, true},
+      {"hashed 2^14", BlacklistMode::Hashed, 14, true},
+      {"hashed 2^10", BlacklistMode::Hashed, 10, true},
+      {"hashed 2^6", BlacklistMode::Hashed, 6, true},
+      {"flat, no aging", BlacklistMode::FlatBitmap, 16, false},
+  };
+  for (const Row &Config : Rows) {
+    AblationResult R =
+        runConfig(Config.Mode, Config.Bits, Config.Aging, 1);
+    Table.addRow({Config.Name, Config.Aging ? "yes" : "no",
+                  R.OutOfMemory ? "OOM (saturated)"
+                                : TablePrinter::percent(R.Retained),
+                  std::to_string(R.BlacklistEntries),
+                  std::to_string(R.PagesLostToBlacklist),
+                  TablePrinter::bytes(R.CommittedBytes)});
+  }
+  Table.print(stdout);
+  std::printf("\n");
+}
+
+void agingRecovery() {
+  cgcbench::printBanner(
+      "Blacklist ablation B",
+      "aging recovery: pollution appears, is blacklisted, then is "
+      "overwritten; entry counts across collections",
+      "with aging, entries not re-seen are dropped; without, they "
+      "accumulate");
+
+  TablePrinter Table({"phase", "entries (aging)", "entries (no aging)"});
+  uint64_t Entries[2][3];
+  for (bool Aging : {true, false}) {
+    GcConfig Config;
+    Config.Placement = HeapPlacement::LowSbrk;
+    Config.MaxHeapBytes = uint64_t(32) << 20;
+    Config.BlacklistAging = Aging;
+    Config.GcAtStartup = false;
+    Config.MinHeapBytesBeforeGc = ~uint64_t(0);
+    Collector GC(Config);
+
+    // Phase 1: 2000 polluting words, pointing all over the arena.
+    std::vector<uint64_t> Pollution(2000);
+    Rng R(11);
+    for (uint64_t &Word : Pollution)
+      Word = GC.arena().base() + (1 << 20) + R.nextBelow(30 << 20);
+    GC.addRootRange(Pollution.data(),
+                    Pollution.data() + Pollution.size(),
+                    RootEncoding::Native64, RootSource::StaticData,
+                    "pollution");
+    GC.collect("phase1");
+    Entries[Aging][0] = GC.blacklistedPageCount();
+
+    // Phase 2: half the pollution is overwritten with harmless values.
+    for (size_t I = 0; I != Pollution.size() / 2; ++I)
+      Pollution[I] = I;
+    GC.collect("phase2");
+    Entries[Aging][1] = GC.blacklistedPageCount();
+
+    // Phase 3: all of it gone.
+    for (uint64_t &Word : Pollution)
+      Word = 7;
+    GC.collect("phase3");
+    Entries[Aging][2] = GC.blacklistedPageCount();
+  }
+  const char *Phases[] = {"all pollution live", "half overwritten",
+                          "all overwritten"};
+  for (int Phase = 0; Phase != 3; ++Phase)
+    Table.addRow({Phases[Phase], std::to_string(Entries[1][Phase]),
+                  std::to_string(Entries[0][Phase])});
+  Table.print(stdout);
+  std::printf("\n");
+}
+
+void pointerFreeExemption() {
+  cgcbench::printBanner(
+      "Blacklist ablation C",
+      "pointer-free objects may occupy blacklisted pages",
+      "\"blacklisted pages can still be allocated, and thus the loss "
+      "is usually zero\" (PCedar)");
+
+  GcConfig Config;
+  Config.Placement = HeapPlacement::LowSbrk;
+  Config.MaxHeapBytes = uint64_t(32) << 20;
+  Config.GcAtStartup = true;
+  Config.MinHeapBytesBeforeGc = ~uint64_t(0);
+  Collector GC(Config);
+  // Blacklist a stretch of the young heap via pollution.
+  std::vector<uint64_t> Pollution;
+  Rng R(13);
+  for (int I = 0; I != 200; ++I)
+    Pollution.push_back(GC.arena().base() + (1 << 20) +
+                        R.nextBelow(2 << 20));
+  GC.addRootRange(Pollution.data(), Pollution.data() + Pollution.size(),
+                  RootEncoding::Native64, RootSource::StaticData,
+                  "pollution");
+
+  // Fill 4 MiB with pointer-free objects; count how many landed on
+  // blacklisted pages (reclaiming them), then the same with normal
+  // objects (which must avoid them).
+  uint64_t OnBlacklisted[2] = {0, 0};
+  for (ObjectKind Kind : {ObjectKind::PointerFree, ObjectKind::Normal}) {
+    for (int I = 0; I != 4096; ++I) {
+      void *P = GC.allocate(512, Kind);
+      CGC_CHECK(P, "allocation failed");
+      PageIndex Page = pageOfOffset(GC.windowOffsetOf(P));
+      if (GC.blacklist().isBlacklisted(Page))
+        ++OnBlacklisted[Kind == ObjectKind::Normal];
+    }
+  }
+  std::printf("pointer-free objects on blacklisted pages: %llu\n",
+              (unsigned long long)OnBlacklisted[0]);
+  std::printf("pointer-bearing objects on blacklisted pages: %llu\n",
+              (unsigned long long)OnBlacklisted[1]);
+  std::printf("blacklisted pages in arena: %llu\n",
+              (unsigned long long)GC.blacklistedPageCount());
+}
+
+} // namespace
+
+int main() {
+  representationSweep();
+  agingRecovery();
+  pointerFreeExemption();
+  return 0;
+}

@@ -1,0 +1,99 @@
+//===- bench/bench_cords.cpp - Cord (rope) operation scaling --------------===//
+//
+// The cord library was the collector's original demonstration client:
+// persistent tree-structured strings are only practical when dropping
+// an old version costs nothing, which is exactly what a garbage
+// collector buys.  This bench shows the asymptotics — O(1)-ish
+// concatenation and O(log n) substring against std::string's O(n) —
+// and that leaves being pointer-free keeps collection time independent
+// of text volume.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "cords/Cord.h"
+#include <benchmark/benchmark.h>
+
+using namespace cgc;
+
+namespace {
+
+GcConfig cordBenchConfig() {
+  GcConfig Config;
+  Config.MaxHeapBytes = uint64_t(512) << 20;
+  Config.MinHeapBytesBeforeGc = 16 << 20;
+  return Config;
+}
+
+std::string chunkText() { return std::string(64, 'x'); }
+
+void BM_CordAppend(benchmark::State &State) {
+  Collector GC(cordBenchConfig());
+  std::string Chunk = chunkText();
+  // The current cord lives in a registered root slot.
+  static Cord *Live;
+  alignas(8) static unsigned char Slot[sizeof(Cord)];
+  Live = new (Slot) Cord(GC);
+  GC.addRootRange(Slot, Slot + sizeof(Cord), RootEncoding::Native64,
+                  RootSource::Client, "bench-cord");
+  size_t Limit = static_cast<size_t>(State.range(0));
+  for (auto _ : State) {
+    if (Live->length() >= Limit)
+      *Live = Cord(GC); // Start over; the old tree becomes garbage.
+    *Live = *Live + Chunk;
+    benchmark::DoNotOptimize(Live->length());
+  }
+  State.counters["final_depth"] = Live->depth();
+  Live->~Cord();
+}
+
+void BM_StringAppend(benchmark::State &State) {
+  std::string Chunk = chunkText();
+  std::string Live;
+  size_t Limit = static_cast<size_t>(State.range(0));
+  for (auto _ : State) {
+    if (Live.size() >= Limit)
+      Live.clear();
+    // Value-semantics append, as persistent versions would need.
+    std::string Next = Live + Chunk;
+    benchmark::DoNotOptimize(Next.size());
+    Live = std::move(Next);
+  }
+}
+
+void BM_CordSubstring(benchmark::State &State) {
+  Collector GC(cordBenchConfig());
+  size_t Len = static_cast<size_t>(State.range(0));
+  static Cord *Base;
+  alignas(8) static unsigned char Slot[sizeof(Cord)];
+  Base = new (Slot) Cord(Cord::fromString(GC, std::string(Len, 'y')));
+  GC.addRootRange(Slot, Slot + sizeof(Cord), RootEncoding::Native64,
+                  RootSource::Client, "bench-cord");
+  size_t At = 0;
+  for (auto _ : State) {
+    Cord Sub = Base->substr(At % (Len / 2), Len / 2);
+    benchmark::DoNotOptimize(Sub.length());
+    At += 4097;
+  }
+  Base->~Cord();
+}
+
+void BM_StringSubstring(benchmark::State &State) {
+  size_t Len = static_cast<size_t>(State.range(0));
+  std::string Base(Len, 'y');
+  size_t At = 0;
+  for (auto _ : State) {
+    std::string Sub = Base.substr(At % (Len / 2), Len / 2);
+    benchmark::DoNotOptimize(Sub.size());
+    At += 4097;
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_CordAppend)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK(BM_StringAppend)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK(BM_CordSubstring)->Arg(1 << 16)->Arg(1 << 22);
+BENCHMARK(BM_StringSubstring)->Arg(1 << 16)->Arg(1 << 22);
+
+BENCHMARK_MAIN();

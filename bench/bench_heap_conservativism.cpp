@@ -1,0 +1,165 @@
+//===- bench/bench_heap_conservativism.cpp - §2: degrees of precision -----===//
+//
+// Regenerates two §2/intro claims about how much the collector knows:
+//
+//   * "certain kinds of objects (most notably large amounts of
+//     compressed data, such as compressed bitmaps) introduce false
+//     pointers with excessively high probability" unless the client
+//     can declare them pointer-free;
+//   * implementations "vary greatly in their degree of conservativism
+//     ... Some maintain complete information on the location of
+//     pointers in the heap, and only scan the stack conservatively" —
+//     registered object layouts implement that regime.
+//
+// Workload: a linked list of records, each holding one next pointer and
+// a payload of "compressed data" whose words are distributed the way
+// random 32-bit data is relative to the heap (uniform over the window).
+// Half the records are dropped; what stays live measures heap-sourced
+// misidentification under three declarations of the same structure:
+//
+//   conservative — payload scanned as potential pointers (paper's [18,
+//                  2, 17] class);
+//   typed        — layout registered; only the link word scanned
+//                  (paper's [4, 19, 21] class);
+//   atomic split — payload in separate pointer-free objects.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "core/Collector.h"
+#include "support/Random.h"
+#include "support/Statistics.h"
+
+using namespace cgc;
+
+namespace {
+
+constexpr unsigned NumRecords = 4000;
+constexpr unsigned PayloadWords = 30; // 240 B payload + 8 B link.
+
+GcConfig heapConfig() {
+  GcConfig Config;
+  Config.WindowBytes = uint64_t(4) << 30;
+  Config.Placement = HeapPlacement::LowSbrk;
+  Config.MaxHeapBytes = uint64_t(64) << 20;
+  Config.GcAtStartup = true;
+  Config.MinHeapBytesBeforeGc = ~uint64_t(0);
+  return Config;
+}
+
+/// Fills a payload with 1993-style random data: every word is some
+/// address in the 32-bit space (window), hitting the heap with
+/// probability heap-size/4 GiB.
+void fillCompressedData(Collector &GC, uint64_t *Payload, size_t Words,
+                        Rng &R) {
+  for (size_t I = 0; I != Words; ++I)
+    Payload[I] = GC.arena().base() + R.nextBelow(GC.arena().size());
+}
+
+struct Outcome {
+  uint64_t GarbageBytesRetained = 0;
+  uint64_t NearMisses = 0;
+  uint64_t HeapWordsScanned = 0;
+};
+
+enum class Style { Conservative, Typed, AtomicSplit };
+
+Outcome run(Style S, uint64_t Seed) {
+  Collector GC(heapConfig());
+  Rng R(Seed);
+  constexpr size_t RecordBytes = (1 + PayloadWords) * sizeof(uint64_t);
+
+  LayoutId Layout = 0;
+  if (S == Style::Typed) {
+    std::vector<bool> PointerWords(1 + PayloadWords, false);
+    PointerWords[0] = true; // Only the link.
+    Layout = GC.registerObjectLayout(PointerWords, RecordBytes);
+  }
+
+  // Keep the records in two rooted chains so we can drop exactly half.
+  uint64_t Chains[2] = {0, 0};
+  GC.addRootRange(Chains, Chains + 2, RootEncoding::Native64,
+                  RootSource::Client, "chains");
+
+  for (unsigned I = 0; I != NumRecords; ++I) {
+    uint64_t *Record = nullptr;
+    switch (S) {
+    case Style::Conservative:
+      Record = static_cast<uint64_t *>(GC.allocate(RecordBytes));
+      fillCompressedData(GC, Record + 1, PayloadWords, R);
+      break;
+    case Style::Typed:
+      Record = static_cast<uint64_t *>(GC.allocateTyped(Layout));
+      fillCompressedData(GC, Record + 1, PayloadWords, R);
+      break;
+    case Style::AtomicSplit: {
+      // Header: link + payload pointer; payload pointer-free.
+      Record = static_cast<uint64_t *>(
+          GC.allocate(2 * sizeof(uint64_t)));
+      auto *Payload = static_cast<uint64_t *>(GC.allocate(
+          PayloadWords * sizeof(uint64_t), ObjectKind::PointerFree));
+      fillCompressedData(GC, Payload, PayloadWords, R);
+      Record[1] = reinterpret_cast<uint64_t>(Payload);
+      break;
+    }
+    }
+    CGC_CHECK(Record, "record allocation failed");
+    uint64_t &Chain = Chains[I % 2];
+    Record[0] = Chain;
+    Chain = reinterpret_cast<uint64_t>(Record);
+  }
+
+  // Measure live bytes with both chains, then drop chain 1.
+  CollectionStats Before = GC.collect("before-drop");
+  Chains[1] = 0;
+  CollectionStats After = GC.collect("after-drop");
+
+  Outcome Result;
+  uint64_t ExpectedLive = Before.BytesLive / 2;
+  Result.GarbageBytesRetained =
+      After.BytesLive > ExpectedLive ? After.BytesLive - ExpectedLive : 0;
+  Result.NearMisses = After.NearMisses;
+  Result.HeapWordsScanned = After.HeapWordsScanned;
+  return Result;
+}
+
+const char *styleName(Style S) {
+  switch (S) {
+  case Style::Conservative:
+    return "fully conservative";
+  case Style::Typed:
+    return "typed layout (precise heap)";
+  case Style::AtomicSplit:
+    return "pointer-free payload split";
+  }
+  return "?";
+}
+
+} // namespace
+
+int main() {
+  cgcbench::printBanner(
+      "§2 (heap conservativism)",
+      "garbage retained through 'compressed data' payloads, by how "
+      "much the collector is told",
+      "random payload data scanned conservatively introduces false "
+      "pointers with high probability; pointer-free/typed declarations "
+      "remove them");
+
+  TablePrinter Table({"declaration", "garbage retained", "near misses",
+                      "heap words scanned"});
+  for (Style S :
+       {Style::Conservative, Style::Typed, Style::AtomicSplit}) {
+    Outcome Result = run(S, 17);
+    Table.addRow({styleName(S),
+                  TablePrinter::bytes(Result.GarbageBytesRetained),
+                  std::to_string(Result.NearMisses),
+                  std::to_string(Result.HeapWordsScanned)});
+  }
+  Table.print(stdout);
+  std::printf("\nthe same structure, the same random payload bits: only "
+              "the declaration\nchanges.  Conservative payload scanning "
+              "also floods the blacklist (near\nmisses), poisoning "
+              "future page placement.\n");
+  return 0;
+}

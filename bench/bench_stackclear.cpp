@@ -1,0 +1,111 @@
+//===- bench/bench_stackclear.cpp - §3.1: stack clearing ------------------===//
+//
+// Regenerates the §3.1 experiment:
+//
+//   "A simple program (compiled unoptimized on a SPARC) that
+//    recursively and nondestructively reverses a 1000 element list 1000
+//    times resulted in a maximum of between 40,000 and 100,000
+//    apparently accessible cons-cells at one point.  With a very cheap
+//    stack-clearing algorithm added, we never saw the maximum exceed
+//    18,000 ... The optimized version of the program never resulted in
+//    many more than 2000 cons-cells reported as accessible."
+//
+// The three rows below are those three configurations.  The true live
+// set is ~2000 cells (the original list plus the accumulating
+// reversal), so the first row's inflation is entirely stale-stack
+// retention.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "core/Collector.h"
+#include "sim/SimStack.h"
+#include "structures/ListReversal.h"
+#include "support/Statistics.h"
+
+using namespace cgc;
+using namespace cgc::sim;
+
+namespace {
+
+ReversalResult runVariant(bool Recursive, bool Clearing, uint64_t Seed) {
+  GcConfig Config;
+  Config.Placement = HeapPlacement::HighBitsMixed;
+  Config.MaxHeapBytes = uint64_t(64) << 20;
+  Config.GcAtStartup = false;
+  Config.MinHeapBytesBeforeGc = ~uint64_t(0); // Reversal collects itself.
+  Config.StackClearing =
+      Clearing ? StackClearMode::Cheap : StackClearMode::Off;
+  Config.StackClearEveryNAllocs = 64;
+  Collector GC(Config);
+
+  SimStack Stack(1 << 17);
+  Stack.attachTo(GC);
+  // "A very cheap stack-clearing algorithm": a bounded chunk per hook.
+  GC.addStackClearHook([&Stack] { Stack.clearBeyondTop(1024); });
+
+  ReversalConfig RConfig;
+  RConfig.ListLength = 1000;
+  RConfig.Iterations = 1000;
+  RConfig.Recursive = Recursive;
+  // Unoptimized SPARC frames are "unnecessarily large": a 16-word
+  // register-window save area plus locals, spills, and padding —
+  // several hundred bytes.  Lazily flushed windows leak one earlier
+  // iteration's pointer per save slot.
+  RConfig.FrameSlots = 48;
+  RConfig.ConsPerGc = 2000;
+  (void)Seed;
+  return runListReversal(GC, Stack, RConfig);
+}
+
+} // namespace
+
+int main() {
+  cgcbench::printBanner(
+      "§3.1 (stack clearing)",
+      "max apparently-live cons cells: reverse a 1000-element list "
+      "1000 times (true live set ~2000 cells)",
+      "unoptimized 40,000-100,000; with cheap stack clearing <= "
+      "18,000; optimized (loop) ~2,000");
+
+  TablePrinter Table({"variant", "max apparent live cells",
+                      "mean apparent live", "collections",
+                      "cells allocated"});
+
+  struct Variant {
+    const char *Name;
+    bool Recursive;
+    bool Clearing;
+  };
+  const Variant Variants[] = {
+      {"recursive, no clearing", true, false},
+      {"recursive, cheap stack clearing", true, true},
+      {"loop (optimized build)", false, false},
+  };
+  double MeanApparent[3];
+  unsigned Index = 0;
+  for (const Variant &V : Variants) {
+    ReversalResult R = runVariant(V.Recursive, V.Clearing, 1);
+    MeanApparent[Index++] = R.meanApparentLiveCells();
+    char Mean[32];
+    std::snprintf(Mean, sizeof(Mean), "%.0f", R.meanApparentLiveCells());
+    Table.addRow({V.Name, std::to_string(R.MaxApparentLiveCells), Mean,
+                  std::to_string(R.CollectionsRun),
+                  std::to_string(R.CellsAllocated)});
+  }
+  Table.print(stdout);
+
+  // The paper's generational remark: "stray stack pointers can
+  // significantly lengthen the lifetime of some objects, thus placing
+  // a ceiling on the effectiveness of generational collection."  The
+  // excess of the recursive variant's mean apparent liveness over the
+  // loop baseline is garbage a generational collector would tenure.
+  std::printf("\ngenerational ceiling: a generational collector would "
+              "see ~%.0f dead cells as\nlive per collection "
+              "(no-clearing) vs ~%.0f with stack clearing — stray "
+              "stack\npointers lengthen object lifetimes and cap "
+              "generational effectiveness.\n",
+              MeanApparent[0] - MeanApparent[2],
+              MeanApparent[1] - MeanApparent[2]);
+  return 0;
+}

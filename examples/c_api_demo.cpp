@@ -1,0 +1,114 @@
+//===- examples/c_api_demo.cpp - Using the C API --------------------------===//
+//
+// The paper's collector was a C library serving C programs; this
+// example uses cgc exclusively through its C API (capi/cgc.h), in the
+// style of a 1993 client: an intrusive symbol table for a toy
+// assembler, built with cgc_malloc, never freed, reclaimed by the
+// collector when whole scopes are dropped.
+//
+// (Compiled as C++ only because the build is; every line below is
+// plain C except the cast-free comforts.)
+//
+//===----------------------------------------------------------------------===//
+
+#include "capi/cgc.h"
+#include <stdio.h>
+#include <string.h>
+
+/* A classic C hash table with intrusive chaining — the embedded-link
+ * style §4 warns about, which is fine here because buckets are the
+ * only access path and scopes die wholesale. */
+
+#define BUCKETS 64
+
+typedef struct Symbol {
+  struct Symbol *Next;
+  char Name[24];
+  long Value;
+} Symbol;
+
+typedef struct Scope {
+  struct Scope *Parent;
+  Symbol *Buckets[BUCKETS];
+} Scope;
+
+static unsigned hashName(const char *Name) {
+  unsigned Hash = 5381;
+  for (; *Name; ++Name)
+    Hash = Hash * 33 + (unsigned char)*Name;
+  return Hash % BUCKETS;
+}
+
+static Scope *pushScope(cgc_collector *GC, Scope *Parent) {
+  Scope *S = (Scope *)cgc_malloc(GC, sizeof(Scope));
+  S->Parent = Parent;
+  return S;
+}
+
+static void define(cgc_collector *GC, Scope *S, const char *Name,
+                   long Value) {
+  Symbol *Sym = (Symbol *)cgc_malloc(GC, sizeof(Symbol));
+  snprintf(Sym->Name, sizeof(Sym->Name), "%s", Name);
+  Sym->Value = Value;
+  unsigned H = hashName(Sym->Name);
+  Sym->Next = S->Buckets[H];
+  S->Buckets[H] = Sym;
+}
+
+static const Symbol *lookup(const Scope *S, const char *Name) {
+  for (; S; S = S->Parent)
+    for (const Symbol *Sym = S->Buckets[hashName(Name)]; Sym;
+         Sym = Sym->Next)
+      if (strcmp(Sym->Name, Name) == 0)
+        return Sym;
+  return NULL;
+}
+
+/* The "current scope" is program data: registered as a root. */
+static Scope *Current;
+
+int main(void) {
+  cgc_config Config;
+  cgc_config_init(&Config);
+  cgc_collector *GC = cgc_create(&Config);
+  cgc_enable_stack_scanning(GC);
+  cgc_add_roots(GC, &Current, &Current + 1);
+
+  printf("== cgc C API demo: scoped symbol tables ==\n");
+
+  /* Global scope with some fixed symbols. */
+  Current = pushScope(GC, NULL);
+  define(GC, Current, "start", 0x1000);
+  define(GC, Current, "limit", 0x8000);
+
+  /* Simulate assembling 200 functions: each gets a local scope with
+   * 500 labels, queried, then popped — no frees anywhere. */
+  long Checksum = 0;
+  for (int Fn = 0; Fn != 200; ++Fn) {
+    Current = pushScope(GC, Current);
+    char Name[24];
+    for (int L = 0; L != 500; ++L) {
+      snprintf(Name, sizeof(Name), "L%d_%d", Fn, L);
+      define(GC, Current, Name, Fn * 1000 + L);
+    }
+    snprintf(Name, sizeof(Name), "L%d_%d", Fn, Fn % 500);
+    const Symbol *Sym = lookup(Current, Name);
+    Checksum += Sym ? Sym->Value : -1;
+    Current = Current->Parent; /* Scope dies; collector reclaims it. */
+  }
+
+  /* sum of Fn*1000 + Fn over Fn in [0,200) = 1001 * 19900 */
+  printf("checksum: %ld (expect 19919900)\n", Checksum);
+  printf("globals still visible: start=0x%lx limit=0x%lx\n",
+         lookup(Current, "start")->Value, lookup(Current, "limit")->Value);
+
+  cgc_gcollect(GC);
+  printf("after final collection: %llu bytes live, %llu collections, "
+         "%llu KiB heap\n",
+         cgc_live_bytes(GC), cgc_collection_count(GC),
+         cgc_heap_committed_bytes(GC) / 1024);
+  printf("100,000 symbols allocated, zero calls to free.\n");
+
+  cgc_destroy(GC);
+  return 0;
+}

@@ -1,0 +1,115 @@
+//===- examples/leak_detector.cpp - GC as a debugging tool ----------------===//
+//
+// The paper notes that conservative collectors "have also been used as
+// a debugging tool for programs that explicitly deallocate storage":
+// run the program with its explicit malloc/free calls mapped onto the
+// collector, and let a collection report every allocation that is
+// unreachable but was never freed — a leak — with no false positives
+// from the program's own bookkeeping.
+//
+// This example runs a small "document store" that manages its memory
+// explicitly and contains two classic bugs:
+//   1. a forgotten free when a document is replaced, and
+//   2. a component that frees the container but not its payload.
+// The collector's leak callback pinpoints both.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Collector.h"
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+using namespace cgc;
+
+namespace {
+
+/// The application under test: an explicitly-managed document store.
+class DocumentStore {
+public:
+  explicit DocumentStore(Collector &GC) : GC(GC) {
+    // The index is rooted so reachable documents are never reported.
+    IndexRoot = GC.addRootRange(Index, Index + MaxDocs,
+                                RootEncoding::Native64,
+                                RootSource::Client, "document-index");
+  }
+  ~DocumentStore() { GC.removeRootRange(IndexRoot); }
+
+  struct Document {
+    char Title[32];
+    char *Body;
+    size_t BodyLength;
+  };
+
+  void put(unsigned Slot, const char *Title, const char *Body) {
+    auto *Doc = static_cast<Document *>(GC.allocate(sizeof(Document)));
+    std::snprintf(Doc->Title, sizeof(Doc->Title), "%s", Title);
+    Doc->BodyLength = std::strlen(Body);
+    Doc->Body = static_cast<char *>(
+        GC.allocate(Doc->BodyLength + 1, ObjectKind::PointerFree));
+    std::memcpy(Doc->Body, Body, Doc->BodyLength + 1);
+    // BUG 1: the document previously in this slot is never freed; the
+    // reference is simply overwritten.
+    Index[Slot] = reinterpret_cast<uint64_t>(Doc);
+  }
+
+  void drop(unsigned Slot) {
+    auto *Doc = reinterpret_cast<Document *>(Index[Slot]);
+    if (!Doc)
+      return;
+    // BUG 2: the container is freed but its body is not.
+    GC.deallocate(Doc);
+    Index[Slot] = 0;
+  }
+
+private:
+  static constexpr unsigned MaxDocs = 16;
+  Collector &GC;
+  uint64_t Index[MaxDocs] = {};
+  RootId IndexRoot;
+};
+
+} // namespace
+
+int main() {
+  GcConfig Config;
+  Config.MinHeapBytesBeforeGc = ~uint64_t(0); // We collect explicitly.
+  Collector GC(Config);
+
+  std::printf("== cgc leak detector ==\n");
+  std::printf("running the document store with explicit deallocation...\n");
+
+  DocumentStore Store(GC);
+  Store.put(0, "readme", "A short body.");
+  Store.put(1, "design", "Another body, somewhat longer than the first.");
+  Store.put(0, "readme-v2", "Replaces slot 0; v1 leaks (bug 1).");
+  Store.drop(1); // Frees the Document but leaks its body (bug 2).
+
+  // Audit: one collection, with every unreachable-but-unfreed object
+  // reported.  Reachable documents (slot 0's v2) are *not* reported —
+  // the collector proves them reachable, so there are no false alarms.
+  std::printf("\nleak report:\n");
+  size_t LeakCount = 0, LeakBytes = 0;
+  GC.setLeakCallback([&](void *Ptr, size_t Bytes, ObjectKind Kind) {
+    ++LeakCount;
+    LeakBytes += Bytes;
+    std::printf("  LEAK: %zu bytes at window offset 0x%llx (%s)\n",
+                Bytes,
+                (unsigned long long)GC.windowOffsetOf(Ptr),
+                objectKindName(Kind));
+  });
+  GC.collect("leak-audit");
+
+  std::printf("\n%zu leaked allocations, %zu bytes total\n", LeakCount,
+              LeakBytes);
+  std::printf("expected: 3 leaks — the replaced document (container + "
+              "body) and the dropped\ndocument's body.  The live "
+              "documents in the index were not reported.\n");
+  std::printf("\nNote the paper's related advice: clearing links is "
+              "\"much safer than explicit\ndeallocation, since an error "
+              "cannot result in random overwrites of unrelated\n"
+              "modules' data\" — a double drop() here is caught by the "
+              "collector, not silent\ncorruption.\n");
+  return LeakCount == 3 ? 0 : 1;
+}

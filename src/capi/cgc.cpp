@@ -1,0 +1,177 @@
+//===- capi/cgc.cpp - C API for the cgc collector -------------------------===//
+
+#include "capi/cgc.h"
+#include "core/Collector.h"
+
+using namespace cgc;
+
+/// The opaque handle is a thin wrapper so the C side never sees C++
+/// types and the C++ side keeps full type safety.
+struct cgc_collector {
+  explicit cgc_collector(const GcConfig &Config) : GC(Config) {}
+  Collector GC;
+};
+
+static GcConfig convertConfig(const cgc_config *C) {
+  GcConfig Config;
+  if (!C)
+    return Config;
+  if (C->window_bytes)
+    Config.WindowBytes = C->window_bytes;
+  if (C->max_heap_bytes)
+    Config.MaxHeapBytes = C->max_heap_bytes;
+  if (C->heap_base_offset) {
+    Config.Placement = HeapPlacement::Custom;
+    Config.CustomHeapBaseOffset = C->heap_base_offset;
+  }
+  switch (C->interior_policy) {
+  case CGC_INTERIOR_BASE_ONLY:
+    Config.Interior = InteriorPolicy::BaseOnly;
+    break;
+  case CGC_INTERIOR_FIRST_PAGE:
+    Config.Interior = InteriorPolicy::FirstPage;
+    break;
+  default:
+    Config.Interior = InteriorPolicy::All;
+    break;
+  }
+  switch (C->blacklist_mode) {
+  case CGC_BLACKLIST_OFF:
+    Config.Blacklist = BlacklistMode::Off;
+    break;
+  case CGC_BLACKLIST_HASHED:
+    Config.Blacklist = BlacklistMode::Hashed;
+    break;
+  default:
+    Config.Blacklist = BlacklistMode::FlatBitmap;
+    break;
+  }
+  Config.BlacklistAging = C->blacklist_aging != 0;
+  Config.GcAtStartup = C->gc_at_startup != 0;
+  Config.LazySweep = C->lazy_sweep != 0;
+  if (C->root_scan_alignment == 1 || C->root_scan_alignment == 2 ||
+      C->root_scan_alignment == 4 || C->root_scan_alignment == 8)
+    Config.RootScanAlignment = C->root_scan_alignment;
+  return Config;
+}
+
+extern "C" {
+
+void cgc_config_init(cgc_config *Config) {
+  if (!Config)
+    return;
+  GcConfig Defaults;
+  Config->window_bytes = Defaults.WindowBytes;
+  Config->max_heap_bytes = Defaults.MaxHeapBytes;
+  Config->heap_base_offset = 0;
+  Config->interior_policy = CGC_INTERIOR_ALL;
+  Config->blacklist_mode = CGC_BLACKLIST_FLAT;
+  Config->blacklist_aging = Defaults.BlacklistAging ? 1 : 0;
+  Config->gc_at_startup = Defaults.GcAtStartup ? 1 : 0;
+  Config->lazy_sweep = 0;
+  Config->root_scan_alignment = Defaults.RootScanAlignment;
+  Config->all_interior_pointers_avoid_spans = 0;
+}
+
+cgc_collector *cgc_create(const cgc_config *Config) {
+  return new cgc_collector(convertConfig(Config));
+}
+
+void cgc_destroy(cgc_collector *GC) { delete GC; }
+
+void *cgc_malloc(cgc_collector *GC, size_t Bytes) {
+  return GC->GC.allocate(Bytes, ObjectKind::Normal);
+}
+
+void *cgc_malloc_atomic(cgc_collector *GC, size_t Bytes) {
+  return GC->GC.allocate(Bytes, ObjectKind::PointerFree);
+}
+
+void *cgc_malloc_uncollectable(cgc_collector *GC, size_t Bytes) {
+  return GC->GC.allocate(Bytes, ObjectKind::Uncollectable);
+}
+
+void *cgc_malloc_ignore_off_page(cgc_collector *GC, size_t Bytes) {
+  return GC->GC.allocateIgnoreOffPage(Bytes, ObjectKind::Normal);
+}
+
+void cgc_free(cgc_collector *GC, void *Ptr) {
+  if (Ptr)
+    GC->GC.deallocate(Ptr);
+}
+
+unsigned long long cgc_gcollect(cgc_collector *GC) {
+  return GC->GC.collect("cgc_gcollect").BytesSweptFree;
+}
+
+unsigned cgc_add_roots(cgc_collector *GC, const void *Lo,
+                       const void *Hi) {
+  return GC->GC.addRootRange(Lo, Hi, RootEncoding::Native64,
+                             RootSource::StaticData, "c-api-roots");
+}
+
+int cgc_remove_roots(cgc_collector *GC, unsigned Handle) {
+  return GC->GC.removeRootRange(Handle) ? 1 : 0;
+}
+
+void cgc_exclude_roots(cgc_collector *GC, const void *Lo,
+                       const void *Hi) {
+  GC->GC.addRootExclusion(Lo, Hi);
+}
+
+void cgc_enable_stack_scanning(cgc_collector *GC) {
+  GC->GC.enableMachineStackScanning();
+}
+
+void cgc_register_displacement(cgc_collector *GC, unsigned Displacement) {
+  GC->GC.registerDisplacement(Displacement);
+}
+
+int cgc_register_finalizer(cgc_collector *GC, void *Obj,
+                           cgc_finalizer_fn Fn, void *ClientData) {
+  if (!Obj || !Fn || !GC->GC.isAllocated(Obj))
+    return 0;
+  GC->GC.registerFinalizer(
+      Obj, [Fn, ClientData](void *P) { Fn(P, ClientData); });
+  return 1;
+}
+
+int cgc_unregister_finalizer(cgc_collector *GC, void *Obj) {
+  return GC->GC.unregisterFinalizer(Obj) ? 1 : 0;
+}
+
+size_t cgc_run_finalizers(cgc_collector *GC) {
+  return GC->GC.runFinalizers();
+}
+
+int cgc_is_heap_ptr(cgc_collector *GC, const void *Ptr) {
+  return GC->GC.isHeapPointer(Ptr) ? 1 : 0;
+}
+
+void *cgc_base(cgc_collector *GC, const void *Ptr) {
+  return GC->GC.objectBase(Ptr);
+}
+
+size_t cgc_size(cgc_collector *GC, const void *Ptr) {
+  return GC->GC.objectSizeOf(Ptr);
+}
+
+unsigned long long cgc_heap_committed_bytes(cgc_collector *GC) {
+  return GC->GC.committedHeapBytes();
+}
+
+unsigned long long cgc_live_bytes(cgc_collector *GC) {
+  return GC->GC.allocatedBytes();
+}
+
+unsigned long long cgc_collection_count(cgc_collector *GC) {
+  return GC->GC.lifetimeStats().Collections;
+}
+
+unsigned long long cgc_blacklisted_pages(cgc_collector *GC) {
+  return GC->GC.blacklistedPageCount();
+}
+
+void cgc_dump(cgc_collector *GC) { GC->GC.printReport(stderr); }
+
+} // extern "C"

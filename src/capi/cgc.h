@@ -1,0 +1,135 @@
+/*===- capi/cgc.h - C API for the cgc collector ----------------*- C -*-===*
+ *
+ * Part of the cgc project: a reproduction of Boehm, "Space Efficient
+ * Conservative Garbage Collection", PLDI 1993.
+ *
+ *===--------------------------------------------------------------------===*
+ *
+ * A C interface in the shape of the era's collectors (the paper's
+ * collector was a C library; this API mirrors its descendants'
+ * GC_malloc family).  Every function takes an explicit collector
+ * handle — unlike the originals there is no hidden global, so several
+ * independently configured collectors can coexist in one process.
+ *
+ * Minimal use:
+ *
+ *   cgc_config Config;
+ *   cgc_config_init(&Config);
+ *   cgc_collector *GC = cgc_create(&Config);
+ *   cgc_enable_stack_scanning(GC);
+ *   int **P = cgc_malloc(GC, sizeof(int *));
+ *   cgc_gcollect(GC);
+ *   cgc_destroy(GC);
+ *
+ *===--------------------------------------------------------------------===*/
+
+#ifndef CGC_CAPI_CGC_H
+#define CGC_CAPI_CGC_H
+
+#include <stddef.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct cgc_collector cgc_collector;
+
+/* Interior-pointer policies (see core/GcConfig.h). */
+enum {
+  CGC_INTERIOR_BASE_ONLY = 0,
+  CGC_INTERIOR_FIRST_PAGE = 1,
+  CGC_INTERIOR_ALL = 2,
+};
+
+/* Blacklist representations. */
+enum {
+  CGC_BLACKLIST_OFF = 0,
+  CGC_BLACKLIST_FLAT = 1,
+  CGC_BLACKLIST_HASHED = 2,
+};
+
+/* Plain-C mirror of the collector configuration.  Zero/default
+ * initialize with cgc_config_init; unset fields keep library defaults.
+ */
+typedef struct cgc_config {
+  unsigned long long window_bytes;       /* 0 = default (4 GiB)        */
+  unsigned long long max_heap_bytes;     /* 0 = default (256 MiB)      */
+  unsigned long long heap_base_offset;   /* 0 = recommended placement  */
+  int interior_policy;                   /* CGC_INTERIOR_*             */
+  int blacklist_mode;                    /* CGC_BLACKLIST_*            */
+  int blacklist_aging;                   /* boolean                    */
+  int gc_at_startup;                     /* boolean                    */
+  int lazy_sweep;                        /* boolean                    */
+  unsigned root_scan_alignment;          /* 1, 2, 4, or 8              */
+  int all_interior_pointers_avoid_spans; /* reserved; must be 0        */
+} cgc_config;
+
+/* Fills *config with the library defaults. */
+void cgc_config_init(cgc_config *config);
+
+/* Creates/destroys a collector.  NULL config = defaults. */
+cgc_collector *cgc_create(const cgc_config *config);
+void cgc_destroy(cgc_collector *gc);
+
+/* --- allocation (all memory is zero-initialized) -------------------- */
+
+/* Pointer-bearing, collectable. */
+void *cgc_malloc(cgc_collector *gc, size_t bytes);
+/* Guaranteed pointer-free: never scanned, may use blacklisted pages. */
+void *cgc_malloc_atomic(cgc_collector *gc, size_t bytes);
+/* Scanned but never collected; free with cgc_free. */
+void *cgc_malloc_uncollectable(cgc_collector *gc, size_t bytes);
+/* Large object retained only through first-page pointers (paper,
+ * observation 7). */
+void *cgc_malloc_ignore_off_page(cgc_collector *gc, size_t bytes);
+/* Explicit deallocation (required for uncollectable objects). */
+void cgc_free(cgc_collector *gc, void *ptr);
+
+/* --- collection ------------------------------------------------------ */
+
+/* Runs a full collection; returns the number of bytes reclaimed. */
+unsigned long long cgc_gcollect(cgc_collector *gc);
+
+/* --- roots ----------------------------------------------------------- */
+
+/* Registers [lo, hi) as a static-data root scanned for native
+ * pointers; returns a handle for cgc_remove_roots. */
+unsigned cgc_add_roots(cgc_collector *gc, const void *lo, const void *hi);
+int cgc_remove_roots(cgc_collector *gc, unsigned handle);
+/* Excludes [lo, hi) from all root scanning (IO buffers etc.). */
+void cgc_exclude_roots(cgc_collector *gc, const void *lo, const void *hi);
+/* Scans the calling thread's stack and registers during collections. */
+void cgc_enable_stack_scanning(cgc_collector *gc);
+/* Registers a valid interior displacement for BASE_ONLY policy. */
+void cgc_register_displacement(cgc_collector *gc, unsigned displacement);
+
+/* --- finalization ---------------------------------------------------- */
+
+typedef void (*cgc_finalizer_fn)(void *obj, void *client_data);
+/* Registers fn to run (via cgc_run_finalizers) once obj is found
+ * unreachable.  Returns nonzero on success. */
+int cgc_register_finalizer(cgc_collector *gc, void *obj,
+                           cgc_finalizer_fn fn, void *client_data);
+int cgc_unregister_finalizer(cgc_collector *gc, void *obj);
+/* Runs queued finalizers; returns how many ran. */
+size_t cgc_run_finalizers(cgc_collector *gc);
+
+/* --- introspection --------------------------------------------------- */
+
+int cgc_is_heap_ptr(cgc_collector *gc, const void *ptr);
+/* Object base for an interior pointer, or NULL. */
+void *cgc_base(cgc_collector *gc, const void *ptr);
+/* Allocation size of the object at base ptr, or 0. */
+size_t cgc_size(cgc_collector *gc, const void *ptr);
+unsigned long long cgc_heap_committed_bytes(cgc_collector *gc);
+unsigned long long cgc_live_bytes(cgc_collector *gc);
+unsigned long long cgc_collection_count(cgc_collector *gc);
+unsigned long long cgc_blacklisted_pages(cgc_collector *gc);
+/* Prints the statistics report to stderr. */
+void cgc_dump(cgc_collector *gc);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* CGC_CAPI_CGC_H */

@@ -1,0 +1,360 @@
+//===- cords/Cord.cpp - Immutable rope strings on the collector -----------===//
+
+#include "cords/Cord.h"
+#include "support/Assert.h"
+#include "support/MathExtras.h"
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+using namespace cgc;
+
+//===----------------------------------------------------------------------===//
+// Representation
+//===----------------------------------------------------------------------===//
+
+namespace cgc::detail {
+
+enum class CordKind : uint8_t { Leaf, Concat, Sub };
+
+/// Common 8-byte header.  Packed into one word whose value is always
+/// far below any heap address, so conservative scans of cords never
+/// misread it.
+struct CordRep {
+  uint32_t Length;
+  CordKind Kind;
+  uint8_t Depth;
+  uint16_t Pad;
+};
+
+/// Flat text; allocated POINTER-FREE with the characters inline.
+struct CordLeaf : CordRep {
+  char Data[1]; // Actually Length bytes.
+};
+
+/// Concatenation node; allocated with a layout marking only the two
+/// child words as pointers.
+struct CordConcat : CordRep {
+  CordRep *Left;
+  CordRep *Right;
+};
+
+/// Substring view into a larger tree.
+struct CordSub : CordRep {
+  CordRep *Base;
+  uint64_t Offset;
+};
+
+} // namespace cgc::detail
+
+using namespace cgc::detail;
+
+namespace {
+
+/// Leaves hold at most this many characters; longer text becomes a
+/// balanced tree of leaves.
+constexpr size_t MaxLeafBytes = 256;
+/// concat() flattens results at or below this size instead of building
+/// a node.
+constexpr size_t FlattenThreshold = 32;
+/// Trees deeper than this are rebalanced on concatenation.
+constexpr unsigned MaxDepth = 48;
+
+/// Registered layout ids for one collector.
+struct CordLayouts {
+  LayoutId Concat = 0;
+  LayoutId Sub = 0;
+};
+
+/// Layout registry keyed by Collector::uniqueId(), so ids are never
+/// confused across collector instances.
+CordLayouts layoutsFor(Collector &GC) {
+  static std::mutex Lock;
+  static std::unordered_map<uint64_t, CordLayouts> Registry;
+  std::lock_guard<std::mutex> Guard(Lock);
+  auto [It, Inserted] = Registry.try_emplace(GC.uniqueId());
+  if (Inserted) {
+    // Word 0: header.  Words 1..2: Left/Right or Base/Offset.
+    It->second.Concat =
+        GC.registerObjectLayout({false, true, true}, sizeof(CordConcat));
+    It->second.Sub =
+        GC.registerObjectLayout({false, true, false}, sizeof(CordSub));
+  }
+  return It->second;
+}
+
+size_t lengthOf(const CordRep *Rep) { return Rep ? Rep->Length : 0; }
+unsigned depthOf(const CordRep *Rep) { return Rep ? Rep->Depth : 0; }
+
+CordLeaf *makeLeaf(Collector &GC, const char *Text, size_t Len) {
+  CGC_ASSERT(Len > 0 && Len <= MaxLeafBytes, "bad leaf length");
+  auto *Leaf = static_cast<CordLeaf *>(
+      GC.allocate(sizeof(CordRep) + Len, ObjectKind::PointerFree));
+  CGC_CHECK(Leaf, "cord leaf allocation failed");
+  Leaf->Length = static_cast<uint32_t>(Len);
+  Leaf->Kind = CordKind::Leaf;
+  Leaf->Depth = 0;
+  std::memcpy(Leaf->Data, Text, Len);
+  return Leaf;
+}
+
+CordRep *makeConcat(Collector &GC, CordRep *Left, CordRep *Right) {
+  auto *Node =
+      static_cast<CordConcat *>(GC.allocateTyped(layoutsFor(GC).Concat));
+  CGC_CHECK(Node, "cord concat allocation failed");
+  Node->Length =
+      static_cast<uint32_t>(lengthOf(Left) + lengthOf(Right));
+  Node->Kind = CordKind::Concat;
+  Node->Depth = static_cast<uint8_t>(
+      1 + std::max(depthOf(Left), depthOf(Right)));
+  Node->Left = Left;
+  Node->Right = Right;
+  return Node;
+}
+
+CordRep *makeSub(Collector &GC, CordRep *Base, size_t Offset,
+                 size_t Len) {
+  auto *Node =
+      static_cast<CordSub *>(GC.allocateTyped(layoutsFor(GC).Sub));
+  CGC_CHECK(Node, "cord substring allocation failed");
+  Node->Length = static_cast<uint32_t>(Len);
+  Node->Kind = CordKind::Sub;
+  Node->Depth = static_cast<uint8_t>(1 + depthOf(Base));
+  Node->Base = Base;
+  Node->Offset = Offset;
+  return Node;
+}
+
+/// Builds a balanced tree over Text.
+CordRep *buildBalanced(Collector &GC, const char *Text, size_t Len) {
+  if (Len == 0)
+    return nullptr;
+  if (Len <= MaxLeafBytes)
+    return makeLeaf(GC, Text, Len);
+  size_t Half = Len / 2;
+  CordRep *Left = buildBalanced(GC, Text, Half);
+  CordRep *Right = buildBalanced(GC, Text + Half, Len - Half);
+  return makeConcat(GC, Left, Right);
+}
+
+/// Visits the chunks of [From, From+Len) within Rep, left to right.
+void forEachChunkRange(
+    const CordRep *Rep, size_t From, size_t Len,
+    const std::function<void(const char *, size_t)> &Fn) {
+  while (Rep && Len != 0) {
+    CGC_ASSERT(From + Len <= Rep->Length, "chunk range out of bounds");
+    switch (Rep->Kind) {
+    case CordKind::Leaf:
+      Fn(static_cast<const CordLeaf *>(Rep)->Data + From, Len);
+      return;
+    case CordKind::Sub: {
+      const auto *Sub = static_cast<const CordSub *>(Rep);
+      From += Sub->Offset;
+      Rep = Sub->Base;
+      continue;
+    }
+    case CordKind::Concat: {
+      const auto *Concat = static_cast<const CordConcat *>(Rep);
+      size_t LeftLen = lengthOf(Concat->Left);
+      if (From + Len <= LeftLen) {
+        Rep = Concat->Left;
+        continue;
+      }
+      if (From >= LeftLen) {
+        From -= LeftLen;
+        Rep = Concat->Right;
+        continue;
+      }
+      size_t InLeft = LeftLen - From;
+      forEachChunkRange(Concat->Left, From, InLeft, Fn);
+      Rep = Concat->Right;
+      From = 0;
+      Len -= InLeft;
+      continue;
+    }
+    }
+  }
+}
+
+char charAtRep(const CordRep *Rep, size_t Index) {
+  while (true) {
+    CGC_CHECK(Rep && Index < Rep->Length, "cord index out of range");
+    switch (Rep->Kind) {
+    case CordKind::Leaf:
+      return static_cast<const CordLeaf *>(Rep)->Data[Index];
+    case CordKind::Sub: {
+      const auto *Sub = static_cast<const CordSub *>(Rep);
+      Index += Sub->Offset;
+      Rep = Sub->Base;
+      continue;
+    }
+    case CordKind::Concat: {
+      const auto *Concat = static_cast<const CordConcat *>(Rep);
+      size_t LeftLen = lengthOf(Concat->Left);
+      if (Index < LeftLen) {
+        Rep = Concat->Left;
+      } else {
+        Index -= LeftLen;
+        Rep = Concat->Right;
+      }
+      continue;
+    }
+    }
+  }
+}
+
+size_t countNodes(const CordRep *Rep) {
+  if (!Rep)
+    return 0;
+  switch (Rep->Kind) {
+  case CordKind::Leaf:
+    return 1;
+  case CordKind::Sub:
+    return 1 + countNodes(static_cast<const CordSub *>(Rep)->Base);
+  case CordKind::Concat: {
+    const auto *Concat = static_cast<const CordConcat *>(Rep);
+    return 1 + countNodes(Concat->Left) + countNodes(Concat->Right);
+  }
+  }
+  return 0;
+}
+
+/// Rebuilds Rep as a strictly balanced tree of fresh leaves.
+CordRep *rebuildBalanced(Collector &GC, const CordRep *Rep) {
+  if (!Rep)
+    return nullptr;
+  // Materialize, then rebuild.  (The classic cord library rebalances
+  // in place with a Fibonacci forest; a rebuild keeps the same O(n)
+  // bound with far less machinery.)
+  std::string Flat;
+  Flat.reserve(Rep->Length);
+  forEachChunkRange(Rep, 0, Rep->Length,
+                    [&](const char *Chunk, size_t Len) {
+                      Flat.append(Chunk, Len);
+                    });
+  return buildBalanced(GC, Flat.data(), Flat.size());
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Public API
+//===----------------------------------------------------------------------===//
+
+Cord Cord::fromString(Collector &GC, std::string_view Text) {
+  return Cord(&GC, buildBalanced(GC, Text.data(), Text.size()));
+}
+
+size_t Cord::length() const { return lengthOf(Rep); }
+
+unsigned Cord::depth() const { return depthOf(Rep); }
+
+size_t Cord::nodeCount() const { return countNodes(Rep); }
+
+Cord Cord::concat(const Cord &Left, const Cord &Right) {
+  CGC_CHECK(Left.GC == Right.GC, "cords from different collectors");
+  Collector &GC = *Left.GC;
+  if (!Left.Rep)
+    return Right;
+  if (!Right.Rep)
+    return Left;
+  size_t Total = Left.length() + Right.length();
+  if (Total <= FlattenThreshold) {
+    char Buffer[FlattenThreshold];
+    size_t At = 0;
+    auto Append = [&](const char *Chunk, size_t Len) {
+      std::memcpy(Buffer + At, Chunk, Len);
+      At += Len;
+    };
+    Left.forEachChunk(Append);
+    Right.forEachChunk(Append);
+    return Cord(&GC, makeLeaf(GC, Buffer, Total));
+  }
+  CordRep *Node = makeConcat(GC, Left.Rep, Right.Rep);
+  if (Node->Depth > MaxDepth)
+    Node = rebuildBalanced(GC, Node);
+  return Cord(&GC, Node);
+}
+
+char Cord::charAt(size_t Index) const { return charAtRep(Rep, Index); }
+
+Cord Cord::substr(size_t Pos, size_t Len) const {
+  size_t Total = length();
+  CGC_CHECK(Pos <= Total, "substr start out of range");
+  Len = std::min(Len, Total - Pos);
+  if (Len == 0)
+    return Cord(*GC);
+  if (Pos == 0 && Len == Total)
+    return *this;
+  // Small results are copied flat; large ones share structure.
+  if (Len <= MaxLeafBytes) {
+    char Buffer[MaxLeafBytes];
+    size_t At = 0;
+    forEachChunkRange(Rep, Pos, Len, [&](const char *Chunk, size_t N) {
+      std::memcpy(Buffer + At, Chunk, N);
+      At += N;
+    });
+    return Cord(GC, makeLeaf(*GC, Buffer, Len));
+  }
+  return Cord(GC, makeSub(*GC, Rep, Pos, Len));
+}
+
+void Cord::forEachChunk(
+    const std::function<void(const char *, size_t)> &Fn) const {
+  if (Rep)
+    forEachChunkRange(Rep, 0, Rep->Length, Fn);
+}
+
+std::string Cord::str() const {
+  std::string Result;
+  Result.reserve(length());
+  forEachChunk([&](const char *Chunk, size_t Len) {
+    Result.append(Chunk, Len);
+  });
+  return Result;
+}
+
+int Cord::compare(const Cord &Other) const {
+  // Chunk-cursor comparison: O(min length) with no materialization.
+  struct Cursor {
+    const Cord &C;
+    size_t Pos = 0;
+    char Buffer[64];
+    size_t BufLen = 0, BufAt = 0;
+
+    explicit Cursor(const Cord &C) : C(C) {}
+
+    /// \returns the next character, or -1 at the end.
+    int next() {
+      if (BufAt == BufLen) {
+        size_t Remaining = C.length() - Pos;
+        if (Remaining == 0)
+          return -1;
+        BufLen = std::min(Remaining, sizeof(Buffer));
+        size_t At = 0;
+        forEachChunkRange(C.Rep, Pos, BufLen,
+                          [&](const char *Chunk, size_t Len) {
+                            std::memcpy(Buffer + At, Chunk, Len);
+                            At += Len;
+                          });
+        Pos += BufLen;
+        BufAt = 0;
+      }
+      return static_cast<unsigned char>(Buffer[BufAt++]);
+    }
+  };
+  Cursor Mine(*this), Theirs(Other);
+  while (true) {
+    int A = Mine.next();
+    int B = Theirs.next();
+    if (A != B)
+      return A < B ? -1 : 1;
+    if (A == -1)
+      return 0;
+  }
+}
+
+Cord Cord::rebalanced() const {
+  return Cord(GC, rebuildBalanced(*GC, Rep));
+}

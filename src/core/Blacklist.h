@@ -1,0 +1,143 @@
+//===- core/Blacklist.h - Page blacklisting --------------------*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's central contribution: during marking, every value that
+/// looks like it *could* become a heap address but is not a valid object
+/// address is recorded, and the allocator then refuses to place
+/// pointer-sensitive objects on those pages.  "This scheme is likely to
+/// blacklist addresses that correspond to long-lived data values before
+/// these values become false references."
+///
+/// Two representations, both page-granular as in the paper:
+///   * FlatBitmapBlacklist — a bit array indexed by page number.
+///   * HashedBlacklist — a hash table with one bit per entry; a false
+///     reference to any page in a hash class blacklists the whole
+///     class.  "Since collisions can easily be made rare, this does not
+///     result in much lost precision."
+///
+/// Aging implements "blacklisted values that are no longer found by a
+/// later collection may be removed from the list": each collection
+/// records the candidates it saw, and at cycle end the live set becomes
+/// the just-seen set.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_CORE_BLACKLIST_H
+#define CGC_CORE_BLACKLIST_H
+
+#include "heap/HeapUnits.h"
+#include "support/BitVector.h"
+#include <cstdint>
+#include <memory>
+
+namespace cgc {
+
+struct BlacklistStats {
+  /// Candidates reported by the marker over the collector's lifetime.
+  uint64_t CandidatesNoted = 0;
+  /// Collection cycles observed.
+  uint64_t Cycles = 0;
+};
+
+class Blacklist {
+public:
+  virtual ~Blacklist() = default;
+
+  /// Records that marking saw a near-miss candidate on \p Page.
+  virtual void noteCandidate(PageIndex Page) = 0;
+
+  /// \returns true if allocation on \p Page should be avoided.
+  virtual bool isBlacklisted(PageIndex Page) const = 0;
+
+  /// Called at the start of a collection cycle.
+  virtual void beginCycle() = 0;
+
+  /// Called at the end of a collection cycle; applies aging.
+  virtual void endCycle() = 0;
+
+  /// Number of pages currently blacklisted (hash mode: an upper-bound
+  /// estimate of pages per set bit is not attempted; reports set bits).
+  virtual uint64_t entryCount() const = 0;
+
+  const BlacklistStats &stats() const { return Stats; }
+
+protected:
+  BlacklistStats Stats;
+};
+
+/// No-op blacklist used when blacklisting is disabled.
+class NullBlacklist final : public Blacklist {
+public:
+  void noteCandidate(PageIndex) override { ++Stats.CandidatesNoted; }
+  bool isBlacklisted(PageIndex) const override { return false; }
+  void beginCycle() override {}
+  void endCycle() override { ++Stats.Cycles; }
+  uint64_t entryCount() const override { return 0; }
+};
+
+/// Bit-array blacklist indexed by window page number.
+class FlatBitmapBlacklist final : public Blacklist {
+public:
+  /// \param NumPages window page count.
+  /// \param Aging    drop entries a later collection no longer sees.
+  FlatBitmapBlacklist(PageIndex NumPages, bool Aging);
+
+  void noteCandidate(PageIndex Page) override;
+  bool isBlacklisted(PageIndex Page) const override {
+    return Page < Current.size() && Current.test(Page);
+  }
+  void beginCycle() override;
+  void endCycle() override;
+  uint64_t entryCount() const override { return Current.count(); }
+
+private:
+  BitVector Current;
+  BitVector SeenThisCycle;
+  bool Aging;
+  bool InCycle = false;
+};
+
+/// Hash-table blacklist: page -> bit index; collisions blacklist the
+/// whole hash class.
+class HashedBlacklist final : public Blacklist {
+public:
+  HashedBlacklist(unsigned BitsLog2, bool Aging);
+
+  void noteCandidate(PageIndex Page) override;
+  bool isBlacklisted(PageIndex Page) const override {
+    return Current.test(hashPage(Page));
+  }
+  void beginCycle() override;
+  void endCycle() override;
+  uint64_t entryCount() const override { return Current.count(); }
+
+private:
+  size_t hashPage(PageIndex Page) const {
+    // Multiplicative hashing; high bits select the bucket.
+    return static_cast<size_t>((uint64_t(Page) * 0x9e3779b97f4a7c15ULL) >>
+                               (64 - BitsLog2));
+  }
+
+  unsigned BitsLog2;
+  BitVector Current;
+  BitVector SeenThisCycle;
+  bool Aging;
+  bool InCycle = false;
+};
+
+enum class BlacklistMode : unsigned char;
+
+/// Factory used by the collector.
+std::unique_ptr<Blacklist> createBlacklist(BlacklistMode Mode,
+                                           PageIndex NumPages,
+                                           unsigned HashedBitsLog2,
+                                           bool Aging);
+
+} // namespace cgc
+
+#endif // CGC_CORE_BLACKLIST_H

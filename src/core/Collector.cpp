@@ -1,0 +1,538 @@
+//===- core/Collector.cpp - Public collector facade -----------------------===//
+
+#include "core/Collector.h"
+#include "support/MathExtras.h"
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <map>
+
+using namespace cgc;
+
+namespace {
+
+uint64_t nowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace
+
+Collector::Collector(const GcConfig &Cfg) : Config(Cfg) {
+  static std::atomic<uint64_t> NextUniqueId{1};
+  UniqueId = NextUniqueId.fetch_add(1);
+  Arena = std::make_unique<VirtualArena>(Config.WindowBytes);
+
+  uint64_t BaseOffset = alignTo(Config.heapBaseOffset(), PageSize);
+  CGC_CHECK(BaseOffset + Config.MaxHeapBytes <= Arena->size(),
+            "heap arena does not fit the window at this placement");
+  PageIndex BasePage = pageOfOffset(BaseOffset);
+  PageIndex MaxPages =
+      static_cast<PageIndex>(Config.MaxHeapBytes >> PageSizeLog2);
+
+  Pages = std::make_unique<PageAllocator>(*Arena, BasePage, MaxPages,
+                                          Config.HeapGrowthPages,
+                                          Config.DecommitFreedPages);
+  Map = std::make_unique<PageMap>(Arena->numPages());
+  Blocks = std::make_unique<BlockTable>();
+
+  ObjectHeapConfig HeapConfig;
+  HeapConfig.AvoidTrailingZeroAddresses = Config.AvoidTrailingZeroAddresses;
+  HeapConfig.ClearFreedObjects = Config.ClearFreedObjects;
+  HeapConfig.AddressOrderedAllocation = Config.AddressOrderedAllocation;
+  HeapConfig.LazySweep = Config.LazySweep;
+  HeapConfig.PointerPageConstraint = Config.Interior == InteriorPolicy::All
+                                         ? PageConstraint::AllPagesClean
+                                         : PageConstraint::FirstPageClean;
+  Heap = std::make_unique<ObjectHeap>(*Arena, *Pages, *Map, *Blocks,
+                                      HeapConfig);
+
+  BlacklistImpl =
+      createBlacklist(Config.Blacklist, Arena->numPages(),
+                      Config.HashedBlacklistBitsLog2, Config.BlacklistAging);
+  Pages->setBlacklistQuery([this](PageIndex Page) {
+    return BlacklistImpl->isBlacklisted(Page);
+  });
+
+  MarkerImpl = std::make_unique<Marker>(*Arena, *Pages, *Map, *Blocks,
+                                        *Heap, *BlacklistImpl, Config);
+}
+
+Collector::~Collector() = default;
+
+void *Collector::allocate(size_t Bytes, ObjectKind Kind) {
+  // The paper's startup guarantee: one (fast) collection before any
+  // allocation, so static false references are blacklisted before the
+  // allocator can place pages under them.
+  if (!StartupGcDone) {
+    StartupGcDone = true;
+    if (Config.GcAtStartup)
+      collect("startup");
+  }
+
+  maybeRunStackClearHooks();
+
+  void *Result = nullptr;
+  if (SizeClassTable::isSmall(Bytes)) {
+    Result = Heap->allocateFromExisting(Bytes, Kind);
+    if (!Result) {
+      // Out of cached slots: decide whether to collect before taking
+      // more pages.
+      if (shouldCollectBeforeGrowth()) {
+        collect("allocation-threshold");
+        Result = Heap->allocateFromExisting(Bytes, Kind);
+      }
+      if (!Result) {
+        if (!Heap->addBlockForClass(Bytes, Kind)) {
+          collect("heap-exhausted");
+          if (!Heap->addBlockForClass(Bytes, Kind))
+            return nullptr;
+        }
+        Result = Heap->allocateFromExisting(Bytes, Kind);
+      }
+    }
+  } else {
+    if (shouldCollectBeforeGrowth())
+      collect("allocation-threshold");
+    Result = Heap->allocateLarge(Bytes, Kind);
+    if (!Result) {
+      collect("heap-exhausted");
+      Result = Heap->allocateLarge(Bytes, Kind);
+    }
+  }
+
+  if (Result) {
+    BytesSinceGc += Bytes;
+    // Fresh pages are zero-filled by the OS; reused slots were cleared
+    // at free time when ClearFreedObjects is on.  Clear here otherwise
+    // so clients always see zeroed memory.
+    if (!Config.ClearFreedObjects)
+      std::memset(Result, 0, Bytes);
+  }
+  return Result;
+}
+
+void Collector::deallocate(void *Ptr) {
+  Finalizers.unregister(windowOffsetOf(Ptr));
+  Heap->deallocateExplicit(Ptr);
+}
+
+LayoutId
+Collector::registerObjectLayout(const std::vector<bool> &PointerWords,
+                                size_t SizeBytes) {
+  return Heap->registerLayout(PointerWords, SizeBytes);
+}
+
+void *Collector::allocateTyped(LayoutId Layout) {
+  if (!StartupGcDone) {
+    StartupGcDone = true;
+    if (Config.GcAtStartup)
+      collect("startup");
+  }
+  maybeRunStackClearHooks();
+  void *Result = Heap->allocateTypedFromExisting(Layout);
+  if (!Result) {
+    if (shouldCollectBeforeGrowth()) {
+      collect("allocation-threshold");
+      Result = Heap->allocateTypedFromExisting(Layout);
+    }
+    if (!Result) {
+      if (!Heap->addBlockForLayout(Layout)) {
+        collect("heap-exhausted");
+        if (!Heap->addBlockForLayout(Layout))
+          return nullptr;
+      }
+      Result = Heap->allocateTypedFromExisting(Layout);
+    }
+  }
+  if (Result) {
+    BytesSinceGc += Heap->layout(Layout).SizeBytes;
+    if (!Config.ClearFreedObjects)
+      std::memset(Result, 0, Heap->layout(Layout).SizeBytes);
+  }
+  return Result;
+}
+
+void *Collector::allocateIgnoreOffPage(size_t Bytes, ObjectKind Kind) {
+  if (!StartupGcDone) {
+    StartupGcDone = true;
+    if (Config.GcAtStartup)
+      collect("startup");
+  }
+  if (SizeClassTable::isSmall(Bytes))
+    return allocate(Bytes, Kind); // Small objects fit one page anyway.
+  maybeRunStackClearHooks();
+  if (shouldCollectBeforeGrowth())
+    collect("allocation-threshold");
+  void *Result = Heap->allocateLarge(Bytes, Kind, /*IgnoreOffPage=*/true);
+  if (!Result) {
+    collect("heap-exhausted");
+    Result = Heap->allocateLarge(Bytes, Kind, /*IgnoreOffPage=*/true);
+  }
+  if (Result) {
+    BytesSinceGc += Bytes;
+    if (!Config.ClearFreedObjects)
+      std::memset(Result, 0, Bytes);
+  }
+  return Result;
+}
+
+void Collector::registerDisplacement(uint32_t Displacement) {
+  MarkerImpl->registerDisplacement(Displacement);
+}
+
+void Collector::addRootExclusion(const void *Begin, const void *End) {
+  Roots.addExclusion(Begin, End);
+}
+
+bool Collector::shouldCollectBeforeGrowth() const {
+  uint64_t Committed = committedHeapBytes();
+  if (Committed < Config.MinHeapBytesBeforeGc)
+    return false;
+  double Threshold =
+      static_cast<double>(Committed) * Config.CollectBeforeGrowthRatio;
+  return static_cast<double>(BytesSinceGc) >= Threshold;
+}
+
+CollectionStats Collector::collect(const char *Reason) {
+  (void)Reason;
+  CGC_CHECK(!InCollection, "re-entrant collection");
+  InCollection = true;
+
+  for (const auto &Hook : PreCollectionHooks)
+    Hook();
+
+  CollectionStats Cycle;
+
+  // If real-stack scanning is on, snapshot the stack and registers and
+  // expose them as temporary root ranges.
+  std::jmp_buf RegisterBuffer;
+  RootId StackRoot = 0, RegisterRoot = 0;
+  if (MachineStackScanner) {
+    MachineStack::Snapshot Snap =
+        MachineStackScanner->capture(RegisterBuffer);
+    StackRoot = Roots.addRange(Snap.HotEnd, Snap.Base,
+                               RootEncoding::Native64, RootSource::Stack,
+                               "machine-stack");
+    RegisterRoot = Roots.addRange(Snap.RegistersBegin, Snap.RegistersEnd,
+                                  RootEncoding::Native64,
+                                  RootSource::Registers,
+                                  "machine-registers");
+  }
+
+  BlacklistImpl->beginCycle();
+
+  uint64_t MarkStart = nowNanos();
+  MarkerImpl->runMark(Roots, Cycle);
+  Finalizers.processUnreachable(*MarkerImpl, *Heap, *Blocks, Cycle);
+  BlacklistImpl->endCycle();
+  Cycle.MarkNanos = nowNanos() - MarkStart;
+
+  if (OnLeak)
+    reportLeaks();
+
+  uint64_t SweepStart = nowNanos();
+  SweepResult Swept = Heap->sweep();
+  Cycle.SweepNanos = nowNanos() - SweepStart;
+
+  Cycle.ObjectsSweptFree = Swept.ObjectsSweptFree;
+  Cycle.BytesSweptFree = Swept.BytesSweptFree;
+  Cycle.ObjectsLive = Swept.ObjectsLive;
+  Cycle.BytesLive = Swept.BytesLive;
+  if (Config.LazySweep) {
+    // Small blocks are swept later; report liveness from the marks.
+    Cycle.ObjectsLive = Cycle.ObjectsMarked;
+    Cycle.BytesLive = Cycle.BytesMarked;
+  }
+  Cycle.SlotsPinned = Swept.SlotsPinned;
+  Cycle.PagesReleased = Swept.PagesReleased;
+  Cycle.BlacklistedPages = BlacklistImpl->entryCount();
+
+  if (StackRoot != 0)
+    Roots.removeRange(StackRoot);
+  if (RegisterRoot != 0)
+    Roots.removeRange(RegisterRoot);
+
+  LastCycle = Cycle;
+  Lifetime.accumulate(Cycle);
+  BytesSinceGc = 0;
+  InCollection = false;
+  return Cycle;
+}
+
+CollectionStats Collector::measureLiveness() {
+  CGC_CHECK(!InCollection, "re-entrant collection");
+  InCollection = true;
+  for (const auto &Hook : PreCollectionHooks)
+    Hook();
+  CollectionStats Cycle;
+  std::jmp_buf RegisterBuffer;
+  RootId StackRoot = 0, RegisterRoot = 0;
+  if (MachineStackScanner) {
+    MachineStack::Snapshot Snap =
+        MachineStackScanner->capture(RegisterBuffer);
+    StackRoot = Roots.addRange(Snap.HotEnd, Snap.Base,
+                               RootEncoding::Native64, RootSource::Stack,
+                               "machine-stack");
+    RegisterRoot = Roots.addRange(Snap.RegistersBegin, Snap.RegistersEnd,
+                                  RootEncoding::Native64,
+                                  RootSource::Registers,
+                                  "machine-registers");
+  }
+  MarkerImpl->runMark(Roots, Cycle);
+  if (StackRoot != 0)
+    Roots.removeRange(StackRoot);
+  if (RegisterRoot != 0)
+    Roots.removeRange(RegisterRoot);
+  InCollection = false;
+  return Cycle;
+}
+
+void Collector::reportLeaks() {
+  Blocks->forEach([&](BlockId, BlockDescriptor &Block) {
+    for (uint32_t Slot = 0; Slot != Block.ObjectCount; ++Slot) {
+      if (!Block.AllocBits.test(Slot) || Block.MarkBits.test(Slot))
+        continue;
+      OnLeak(Arena->pointerTo(Block.slotOffset(Slot)), Block.ObjectSize,
+             Block.Kind);
+    }
+  });
+}
+
+RootId Collector::addRootRange(const void *Begin, const void *End,
+                               RootEncoding Encoding, RootSource Source,
+                               std::string Label) {
+  return Roots.addRange(Begin, End, Encoding, Source, std::move(Label));
+}
+
+bool Collector::removeRootRange(RootId Id) { return Roots.removeRange(Id); }
+
+bool Collector::updateRootRange(RootId Id, const void *Begin,
+                                const void *End) {
+  return Roots.updateRange(Id, Begin, End);
+}
+
+void Collector::enableMachineStackScanning() {
+  if (!MachineStackScanner)
+    MachineStackScanner.emplace();
+}
+
+bool Collector::isHeapPointer(const void *Ptr) const {
+  return Arena->contains(reinterpret_cast<Address>(Ptr));
+}
+
+void *Collector::objectBase(const void *Ptr) const {
+  if (!isHeapPointer(Ptr))
+    return nullptr;
+  ObjectRef Ref = MarkerImpl->resolveCandidate(
+      Arena->offsetOf(reinterpret_cast<Address>(Ptr)));
+  if (!Ref.valid())
+    return nullptr;
+  return Arena->pointerTo(Heap->baseOffset(Ref));
+}
+
+size_t Collector::objectSizeOf(const void *Ptr) const {
+  if (!isHeapPointer(Ptr))
+    return 0;
+  ObjectRef Ref =
+      Heap->refForBase(Arena->offsetOf(reinterpret_cast<Address>(Ptr)));
+  return Ref.valid() ? Heap->objectSize(Ref) : 0;
+}
+
+bool Collector::isAllocated(const void *Ptr) const {
+  if (!isHeapPointer(Ptr))
+    return false;
+  ObjectRef Ref =
+      Heap->refForBase(Arena->offsetOf(reinterpret_cast<Address>(Ptr)));
+  return Ref.valid() && Heap->isAllocated(Ref);
+}
+
+bool Collector::wasMarkedLive(const void *Ptr) const {
+  if (!isHeapPointer(Ptr))
+    return false;
+  ObjectRef Ref =
+      Heap->refForBase(Arena->offsetOf(reinterpret_cast<Address>(Ptr)));
+  if (!Ref.valid())
+    return false;
+  return Blocks->get(Ref.Block).MarkBits.test(Ref.Slot);
+}
+
+WindowOffset Collector::windowOffsetOf(const void *Ptr) const {
+  return Arena->offsetOf(reinterpret_cast<Address>(Ptr));
+}
+
+void *Collector::pointerAtOffset(WindowOffset Offset) const {
+  return Arena->pointerTo(Offset);
+}
+
+void Collector::registerFinalizer(void *Ptr,
+                                  std::function<void(void *)> Fn) {
+  CGC_CHECK(isAllocated(Ptr), "finalizer on a non-object");
+  Finalizers.registerFinalizer(windowOffsetOf(Ptr), std::move(Fn));
+}
+
+bool Collector::unregisterFinalizer(void *Ptr) {
+  return Finalizers.unregister(windowOffsetOf(Ptr));
+}
+
+size_t Collector::runFinalizers() { return Finalizers.runReady(*Arena); }
+
+void Collector::addStackClearHook(std::function<void()> Hook) {
+  StackClearHooks.push_back(std::move(Hook));
+}
+
+void Collector::addPreCollectionHook(std::function<void()> Hook) {
+  PreCollectionHooks.push_back(std::move(Hook));
+}
+
+void Collector::printReport(std::FILE *Out) const {
+  std::fprintf(Out, "=== cgc collector report ===\n");
+  std::fprintf(Out, "window          : %llu MiB reserved, heap arena at "
+                    "offset 0x%llx (max %llu MiB)\n",
+               (unsigned long long)(Arena->size() >> 20),
+               (unsigned long long)Config.heapBaseOffset(),
+               (unsigned long long)(Config.MaxHeapBytes >> 20));
+  std::fprintf(Out, "heap            : %llu KiB committed, %llu KiB "
+                    "allocated, %llu free pages\n",
+               (unsigned long long)(committedHeapBytes() >> 10),
+               (unsigned long long)(Heap->allocatedBytes() >> 10),
+               (unsigned long long)Pages->freePageCount());
+  std::fprintf(Out, "objects         : %llu allocated over lifetime, "
+                    "%llu explicit frees\n",
+               (unsigned long long)Heap->stats().ObjectsAllocated,
+               (unsigned long long)Heap->stats().ExplicitFrees);
+  std::fprintf(Out, "collections     : %llu (mark %.2f ms, sweep %.2f "
+                    "ms total)\n",
+               (unsigned long long)Lifetime.Collections,
+               Lifetime.TotalMarkNanos / 1e6,
+               Lifetime.TotalSweepNanos / 1e6);
+  std::fprintf(Out, "last cycle      : %llu live objects (%llu KiB), "
+                    "%llu freed, %llu pinned slots\n",
+               (unsigned long long)LastCycle.ObjectsLive,
+               (unsigned long long)(LastCycle.BytesLive >> 10),
+               (unsigned long long)LastCycle.ObjectsSweptFree,
+               (unsigned long long)LastCycle.SlotsPinned);
+  std::fprintf(Out, "blacklist       : %llu pages, %llu candidates "
+                    "noted, %.3f%% of GC time\n",
+               (unsigned long long)BlacklistImpl->entryCount(),
+               (unsigned long long)BlacklistImpl->stats().CandidatesNoted,
+               (Lifetime.TotalMarkNanos + Lifetime.TotalSweepNanos) == 0
+                   ? 0.0
+                   : 100.0 * Lifetime.TotalBlacklistNanos /
+                         (Lifetime.TotalMarkNanos +
+                          Lifetime.TotalSweepNanos));
+  std::fprintf(Out, "pages skipped   : %llu during blacklist-aware "
+                    "placement, %llu grow events\n",
+               (unsigned long long)Pages->stats().BlacklistSkippedPages,
+               (unsigned long long)Pages->stats().GrowEvents);
+  std::fprintf(Out, "roots           : %zu ranges (%zu bytes), %zu "
+                    "exclusions\n",
+               Roots.rangeCount(), Roots.totalBytes(),
+               Roots.exclusionCount());
+}
+
+void Collector::dumpHeap(std::FILE *Out) const {
+  std::fprintf(Out, "=== cgc heap dump ===\n");
+  // Census per (kind, object size): blocks, slots, live, pinned.
+  struct Census {
+    uint64_t Blocks = 0;
+    uint64_t Slots = 0;
+    uint64_t Live = 0;
+    uint64_t Pinned = 0;
+  };
+  std::map<std::pair<unsigned, uint32_t>, Census> Counts;
+  uint64_t LargeBlocks = 0, LargeBytes = 0;
+  Blocks->forEach([&](BlockId, BlockDescriptor &Block) {
+    if (Block.IsLarge) {
+      ++LargeBlocks;
+      LargeBytes += Block.ObjectSize;
+      return;
+    }
+    Census &C = Counts[{static_cast<unsigned>(Block.Kind),
+                        Block.ObjectSize}];
+    ++C.Blocks;
+    C.Slots += Block.ObjectCount;
+    C.Live += Block.AllocatedCount;
+    C.Pinned += Block.PinnedCount;
+  });
+  std::fprintf(Out, "%-14s %8s %8s %9s %9s %8s\n", "kind", "size",
+               "blocks", "slots", "live", "pinned");
+  for (const auto &[Key, C] : Counts)
+    std::fprintf(Out, "%-14s %8u %8llu %9llu %9llu %8llu\n",
+                 objectKindName(static_cast<ObjectKind>(Key.first)),
+                 Key.second, (unsigned long long)C.Blocks,
+                 (unsigned long long)C.Slots, (unsigned long long)C.Live,
+                 (unsigned long long)C.Pinned);
+  std::fprintf(Out, "large blocks: %llu (%llu KiB)\n",
+               (unsigned long long)LargeBlocks,
+               (unsigned long long)(LargeBytes >> 10));
+
+  // Blacklist geography: contiguous blacklisted stretches within the
+  // committed heap (what observation 7's "quick examination" saw).
+  std::fprintf(Out, "blacklisted stretches in committed heap:\n");
+  PageIndex RunStart = 0;
+  uint32_t RunLength = 0;
+  unsigned Printed = 0;
+  for (PageIndex P = Pages->arenaBasePage();
+       P <= Pages->committedLimitPage() && Printed < 16; ++P) {
+    bool Bad = P < Pages->committedLimitPage() &&
+               BlacklistImpl->isBlacklisted(P);
+    if (Bad) {
+      if (RunLength == 0)
+        RunStart = P;
+      ++RunLength;
+    } else if (RunLength != 0) {
+      std::fprintf(Out, "  pages [%u, %u): %u page(s) at offset 0x%llx\n",
+                   RunStart, RunStart + RunLength, RunLength,
+                   (unsigned long long)offsetOfPage(RunStart));
+      RunLength = 0;
+      ++Printed;
+    }
+  }
+  if (Printed == 16)
+    std::fprintf(Out, "  ... (more)\n");
+  std::fprintf(Out, "free page runs:\n");
+  Printed = 0;
+  Pages->forEachFreeRun([&](PageIndex Start, uint32_t Length) {
+    if (Printed++ < 16)
+      std::fprintf(Out, "  pages [%u, %u): %u page(s)\n", Start,
+                   Start + Length, Length);
+  });
+}
+
+void Collector::forEachObject(
+    const std::function<void(void *, size_t, ObjectKind)> &Fn) const {
+  // Gather blocks in address order first: BlockTable iterates in id
+  // order, which is allocation order, not address order.
+  std::vector<const BlockDescriptor *> Sorted;
+  Blocks->forEach([&](BlockId, BlockDescriptor &Block) {
+    Sorted.push_back(&Block);
+  });
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const BlockDescriptor *A, const BlockDescriptor *B) {
+              return A->StartPage < B->StartPage;
+            });
+  for (const BlockDescriptor *Block : Sorted) {
+    for (uint32_t Slot = 0; Slot != Block->ObjectCount; ++Slot) {
+      if (!Block->AllocBits.test(Slot))
+        continue;
+      Fn(Arena->pointerTo(Block->slotOffset(Slot)), Block->ObjectSize,
+         Block->Kind);
+    }
+  }
+}
+
+void Collector::maybeRunStackClearHooks() {
+  if (Config.StackClearing != StackClearMode::Cheap)
+    return;
+  if (++AllocsSinceClear < Config.StackClearEveryNAllocs)
+    return;
+  AllocsSinceClear = 0;
+  for (const auto &Hook : StackClearHooks)
+    Hook();
+  if (MachineStackScanner)
+    MachineStackScanner->clearDeadStack(Config.StackClearChunkBytes);
+}

@@ -1,0 +1,261 @@
+//===- core/Collector.h - Public collector facade --------------*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The public entry point: a conservative mark-sweep collector with
+/// page blacklisting, configurable interior-pointer recognition, heap
+/// placement control, and §3.1 stack clearing.
+///
+/// Typical use:
+/// \code
+///   cgc::Collector GC;                       // default config
+///   auto *Cell = static_cast<Node *>(GC.allocate(sizeof(Node)));
+///   GC.addRootRange(&Globals, &Globals + 1,
+///                   cgc::RootEncoding::Native64,
+///                   cgc::RootSource::StaticData, "globals");
+///   GC.collect("checkpoint");
+/// \endcode
+///
+/// Each Collector instance owns an independent heap window, so tests
+/// and experiments can run many differently configured collectors in
+/// one process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_CORE_COLLECTOR_H
+#define CGC_CORE_COLLECTOR_H
+
+#include "core/Blacklist.h"
+#include "core/Finalization.h"
+#include "core/GcConfig.h"
+#include "core/GcStats.h"
+#include "core/Marker.h"
+#include "heap/ObjectHeap.h"
+#include "roots/MachineStack.h"
+#include "roots/RootSet.h"
+#include <functional>
+#include <memory>
+#include <optional>
+
+namespace cgc {
+
+class Collector {
+public:
+  explicit Collector(const GcConfig &Config = GcConfig());
+  ~Collector();
+
+  Collector(const Collector &) = delete;
+  Collector &operator=(const Collector &) = delete;
+
+  //===--------------------------------------------------------------===//
+  // Allocation
+  //===--------------------------------------------------------------===//
+
+  /// Allocates \p Bytes of \p Kind storage, collecting and/or growing
+  /// the heap per policy.  \returns nullptr only when the heap arena is
+  /// exhausted.  Memory is zero-initialized.
+  void *allocate(size_t Bytes, ObjectKind Kind = ObjectKind::Normal);
+
+  /// Explicitly frees an object (required for Uncollectable objects;
+  /// optional for others).  \p Ptr must be an object base address.
+  void deallocate(void *Ptr);
+
+  /// Registers an object layout (which words may hold pointers) and
+  /// returns its id for allocateTyped.  Typed objects are scanned
+  /// precisely: the "exact heap information, conservative stacks"
+  /// regime of systems like Bartlett's and Chailloux's collectors.
+  LayoutId registerObjectLayout(const std::vector<bool> &PointerWords,
+                                size_t SizeBytes);
+
+  /// Allocates an object with a registered layout (Normal kind).
+  void *allocateTyped(LayoutId Layout);
+
+  /// Allocates a large object that only first-page pointers retain
+  /// (observation 7's remedy for >100 KB objects under blacklisting).
+  void *allocateIgnoreOffPage(size_t Bytes,
+                              ObjectKind Kind = ObjectKind::Normal);
+
+  /// Under InteriorPolicy::BaseOnly, also accept base + Displacement
+  /// as a valid reference (tagged-pointer language implementations).
+  void registerDisplacement(uint32_t Displacement);
+
+  /// Excludes [Begin, End) from all root scanning — the paper's advice
+  /// for "large static data areas that contain seemingly random,
+  /// nonpointer areas (e.g. IO buffers)".
+  void addRootExclusion(const void *Begin, const void *End);
+
+  //===--------------------------------------------------------------===//
+  // Collection
+  //===--------------------------------------------------------------===//
+
+  /// Runs a full collection; \p Reason is recorded in statistics.
+  /// \returns the cycle's statistics.
+  CollectionStats collect(const char *Reason = "explicit");
+
+  /// Runs the mark phase only — no sweep, no finalization — so the heap
+  /// is unchanged.  Experiments use this to ask "what would appear
+  /// live?" repeatedly against the same structure.  ObjectsMarked /
+  /// BytesMarked carry the answer.
+  CollectionStats measureLiveness();
+
+  //===--------------------------------------------------------------===//
+  // Roots
+  //===--------------------------------------------------------------===//
+
+  RootId addRootRange(const void *Begin, const void *End,
+                      RootEncoding Encoding, RootSource Source,
+                      std::string Label);
+  bool removeRootRange(RootId Id);
+  bool updateRootRange(RootId Id, const void *Begin, const void *End);
+
+  /// Enables conservative scanning of the calling thread's real stack
+  /// and registers during collections.  Call from near main().
+  void enableMachineStackScanning();
+
+  //===--------------------------------------------------------------===//
+  // Queries
+  //===--------------------------------------------------------------===//
+
+  /// \returns true if \p Ptr points into the collector's window.
+  bool isHeapPointer(const void *Ptr) const;
+
+  /// \returns the object base for \p Ptr under the configured
+  /// interior-pointer policy, or nullptr if \p Ptr resolves to nothing.
+  void *objectBase(const void *Ptr) const;
+
+  /// \returns the allocation size of the object at base \p Ptr, or 0.
+  size_t objectSizeOf(const void *Ptr) const;
+
+  /// \returns true if the object at base \p Ptr is currently allocated.
+  bool isAllocated(const void *Ptr) const;
+
+  /// \returns true if the last collection marked the object at \p Ptr
+  /// (base address) live.  Only meaningful right after collect().
+  bool wasMarkedLive(const void *Ptr) const;
+
+  /// Window offset of \p Ptr; experiments report window addresses.
+  WindowOffset windowOffsetOf(const void *Ptr) const;
+  /// Inverse of windowOffsetOf.
+  void *pointerAtOffset(WindowOffset Offset) const;
+
+  //===--------------------------------------------------------------===//
+  // Finalization (PCR-style; see Finalization.h)
+  //===--------------------------------------------------------------===//
+
+  void registerFinalizer(void *Ptr, std::function<void(void *)> Fn);
+  bool unregisterFinalizer(void *Ptr);
+  /// Runs finalizers queued by earlier collections; \returns count run.
+  size_t runFinalizers();
+  size_t pendingFinalizers() const { return Finalizers.readyCount(); }
+
+  //===--------------------------------------------------------------===//
+  // Leak detection (the paper's "debugging tool" use case)
+  //===--------------------------------------------------------------===//
+
+  /// After marking and before sweeping, reports every allocated object
+  /// the collection found unreachable.  Useful with Uncollectable
+  /// allocations to audit explicit-deallocation programs.
+  using LeakCallback = std::function<void(void *Ptr, size_t Bytes,
+                                          ObjectKind Kind)>;
+  void setLeakCallback(LeakCallback Fn) { OnLeak = std::move(Fn); }
+
+  //===--------------------------------------------------------------===//
+  // Stack clearing (§3.1)
+  //===--------------------------------------------------------------===//
+
+  /// Registers a hook the allocator runs every StackClearEveryNAllocs
+  /// allocations when StackClearing == Cheap (e.g. SimStack clearing).
+  void addStackClearHook(std::function<void()> Hook);
+
+  /// Registers a hook run at the start of every collection, before any
+  /// scanning.  Simulated mutators use this to sync their stack-top
+  /// root bounds and refresh register residue.
+  void addPreCollectionHook(std::function<void()> Hook);
+
+  //===--------------------------------------------------------------===//
+  // Introspection
+  //===--------------------------------------------------------------===//
+
+  /// Process-unique identity for this collector instance (stable even
+  /// if a later collector reuses this one's address).  Client libraries
+  /// key per-collector caches (e.g. registered layout ids) on it.
+  uint64_t uniqueId() const { return UniqueId; }
+
+  const GcConfig &config() const { return Config; }
+  const CollectionStats &lastCollection() const { return LastCycle; }
+  const GcLifetimeStats &lifetimeStats() const { return Lifetime; }
+  uint64_t allocatedBytes() const { return Heap->allocatedBytes(); }
+  uint64_t committedHeapBytes() const {
+    return Pages->stats().CommittedPages * PageSize;
+  }
+  uint64_t blacklistedPageCount() const {
+    return BlacklistImpl->entryCount();
+  }
+  const PageAllocatorStats &pageStats() const { return Pages->stats(); }
+  const ObjectHeapStats &heapStats() const { return Heap->stats(); }
+  const BlacklistStats &blacklistStats() const {
+    return BlacklistImpl->stats();
+  }
+
+  /// Prints a human-readable statistics report (the paper's programs
+  /// "reference sprintf and use it to print collector statistics").
+  void printReport(std::FILE *Out) const;
+
+  /// Prints a per-size-class heap census and the blacklist geography:
+  /// the debugging view the paper's appendix analyses were read from
+  /// ("A quick examination of the blacklist ... suggests").
+  void dumpHeap(std::FILE *Out) const;
+
+  /// Calls \p Fn(base pointer, size, kind) for every currently
+  /// allocated object, in address order.
+  void forEachObject(
+      const std::function<void(void *, size_t, ObjectKind)> &Fn) const;
+
+  /// Cross-checks every heap invariant; aborts on violation.  O(heap).
+  void verifyHeap() { Heap->verifyHeap(); }
+
+  VirtualArena &arena() { return *Arena; }
+  /// Low-level access for tests and experiment harnesses.
+  ObjectHeap &objectHeap() { return *Heap; }
+  PageAllocator &pageAllocator() { return *Pages; }
+  Marker &marker() { return *MarkerImpl; }
+  Blacklist &blacklist() { return *BlacklistImpl; }
+  RootSet &roots() { return Roots; }
+
+private:
+  bool shouldCollectBeforeGrowth() const;
+  void maybeRunStackClearHooks();
+  void reportLeaks();
+
+  GcConfig Config;
+  std::unique_ptr<VirtualArena> Arena;
+  std::unique_ptr<PageAllocator> Pages;
+  std::unique_ptr<PageMap> Map;
+  std::unique_ptr<BlockTable> Blocks;
+  std::unique_ptr<ObjectHeap> Heap;
+  std::unique_ptr<Blacklist> BlacklistImpl;
+  std::unique_ptr<Marker> MarkerImpl;
+  RootSet Roots;
+  FinalizationQueue Finalizers;
+  std::optional<MachineStack> MachineStackScanner;
+
+  LeakCallback OnLeak;
+  std::vector<std::function<void()>> StackClearHooks;
+  std::vector<std::function<void()>> PreCollectionHooks;
+
+  uint64_t UniqueId;
+  CollectionStats LastCycle;
+  GcLifetimeStats Lifetime;
+  uint64_t BytesSinceGc = 0;
+  uint64_t AllocsSinceClear = 0;
+  bool StartupGcDone = false;
+  bool InCollection = false;
+};
+
+} // namespace cgc
+
+#endif // CGC_CORE_COLLECTOR_H

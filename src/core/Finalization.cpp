@@ -1,0 +1,43 @@
+//===- core/Finalization.cpp - Finalization queue -------------------------===//
+
+#include "core/Finalization.h"
+
+using namespace cgc;
+
+size_t FinalizationQueue::processUnreachable(Marker &MarkerImpl,
+                                             ObjectHeap &Heap,
+                                             BlockTable &Blocks,
+                                             CollectionStats &Stats) {
+  // Collect the unreachable set first: resurrecting one object may make
+  // another registered object reachable again, and PCR semantics queue
+  // everything that was unreachable at mark completion.
+  std::vector<WindowOffset> Unreachable;
+  for (const auto &[Offset, Fn] : Registered) {
+    ObjectRef Ref = Heap.refForBase(Offset);
+    if (!Ref.valid())
+      continue; // Object was explicitly freed; registration is stale.
+    const BlockDescriptor &Block = Blocks.get(Ref.Block);
+    if (!Block.MarkBits.test(Ref.Slot))
+      Unreachable.push_back(Offset);
+  }
+  for (WindowOffset Offset : Unreachable) {
+    auto It = Registered.find(Offset);
+    Ready.emplace_back(Offset, std::move(It->second));
+    Registered.erase(It);
+    // Resurrect: the finalizer may read the object, so it and its
+    // reachable subgraph must survive the upcoming sweep.
+    MarkerImpl.markFromCandidate(Offset, Stats);
+  }
+  Stats.FinalizersQueued += Unreachable.size();
+  return Unreachable.size();
+}
+
+size_t FinalizationQueue::runReady(VirtualArena &Arena) {
+  // Finalizers may register new finalizers or trigger allocation, so
+  // drain from a moved-out copy.
+  std::vector<std::pair<WindowOffset, Finalizer>> Batch = std::move(Ready);
+  Ready.clear();
+  for (auto &[Offset, Fn] : Batch)
+    Fn(Arena.pointerTo(Offset));
+  return Batch.size();
+}

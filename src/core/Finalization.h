@@ -1,0 +1,68 @@
+//===- core/Finalization.h - Finalization queue ----------------*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PCR-style finalization: "selected otherwise unreachable heap cells
+/// [are] enqueued for further action" (paper, Appendix B).  The paper's
+/// PCR experiment counts reclaimed lists exactly this way, and our
+/// Program T harness offers the same methodology.
+///
+/// Objects found unreachable at the end of marking move to a ready
+/// queue and are *resurrected* (marked, with their reachable subgraph)
+/// so their contents stay valid until the client runs the finalizer;
+/// the next collection then reclaims them.  Finalization order between
+/// mutually reachable finalizable objects is unspecified, as in PCR.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_CORE_FINALIZATION_H
+#define CGC_CORE_FINALIZATION_H
+
+#include "core/GcStats.h"
+#include "core/Marker.h"
+#include "heap/ObjectHeap.h"
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+namespace cgc {
+
+class FinalizationQueue {
+public:
+  using Finalizer = std::function<void(void *)>;
+
+  /// Registers \p Fn to run when the object at \p Offset becomes
+  /// unreachable.  Re-registering replaces the previous finalizer.
+  void registerFinalizer(WindowOffset Offset, Finalizer Fn) {
+    Registered[Offset] = std::move(Fn);
+  }
+
+  /// Removes a registration; \returns true if one existed.
+  bool unregister(WindowOffset Offset) {
+    return Registered.erase(Offset) != 0;
+  }
+
+  size_t registeredCount() const { return Registered.size(); }
+  size_t readyCount() const { return Ready.size(); }
+
+  /// Called after marking: moves unreachable registered objects to the
+  /// ready queue and resurrects them through \p MarkerImpl.
+  /// \returns the number of objects queued.
+  size_t processUnreachable(Marker &MarkerImpl, ObjectHeap &Heap,
+                            BlockTable &Blocks, CollectionStats &Stats);
+
+  /// Runs (and removes) every ready finalizer; \returns how many ran.
+  size_t runReady(VirtualArena &Arena);
+
+private:
+  std::unordered_map<WindowOffset, Finalizer> Registered;
+  std::vector<std::pair<WindowOffset, Finalizer>> Ready;
+};
+
+} // namespace cgc
+
+#endif // CGC_CORE_FINALIZATION_H

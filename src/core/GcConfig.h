@@ -1,0 +1,155 @@
+//===- core/GcConfig.h - Collector configuration ---------------*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every knob the paper discusses is a configuration field here, so each
+/// experiment can switch exactly one technique on or off:
+/// blacklisting (and its representation), interior-pointer recognition,
+/// scan alignment, heap placement, trailing-zero avoidance, stack
+/// clearing, and the startup collection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_CORE_GCCONFIG_H
+#define CGC_CORE_GCCONFIG_H
+
+#include "heap/HeapUnits.h"
+#include <cstdint>
+
+namespace cgc {
+
+/// Which pointers into an object force its retention.
+enum class InteriorPolicy : unsigned char {
+  /// Only exact object-base addresses are valid (precise heap layouts;
+  /// the paper notes old C programs "normally also maintain a pointer
+  /// to the base of the object").
+  BaseOnly,
+  /// Pointers into the first page of an object are valid (the paper's
+  /// observation 7: this makes >100 KB objects allocatable again).
+  FirstPage,
+  /// Arbitrary interior pointers are valid — required for full ANSI C,
+  /// and the configuration under which Table 1 was measured.
+  All,
+};
+
+/// Blacklist representation (§3: bit array vs hash table).
+enum class BlacklistMode : unsigned char {
+  Off,
+  /// Bit array indexed by page number; the paper's choice for a
+  /// contiguous heap.
+  FlatBitmap,
+  /// Hash table with one bit per entry; "if a false reference is seen
+  /// to any of the pages with a given hash address, all of them are
+  /// effectively blacklisted".  The paper's choice for discontiguous
+  /// heaps.
+  Hashed,
+};
+
+/// Where the heap arena sits inside the window (§2's "properly
+/// positioning the heap in the address space").
+enum class HeapPlacement : unsigned char {
+  /// Just above a small program+static area, like a classic sbrk heap
+  /// (SPARC/SunOS).  Collides heavily with small-integer data.
+  LowSbrk,
+  /// High-order bits neither all zeros nor all ones, above the ASCII
+  /// four-byte-string range.  The recommended placement.
+  HighBitsMixed,
+  /// Deliberately inside the range spanned by four ASCII bytes, to
+  /// demonstrate character-data collisions.
+  AsciiRange,
+  /// Use CustomHeapBaseOffset.
+  Custom,
+};
+
+/// §3.1's cheap stack-clearing technique.
+enum class StackClearMode : unsigned char {
+  Off,
+  /// The allocator occasionally clears a bounded region of the stack
+  /// beyond the most recently activated frame.
+  Cheap,
+};
+
+struct GcConfig {
+  /// Reserved window size; models the platform address-space size.
+  uint64_t WindowBytes = uint64_t(4) << 30;
+
+  HeapPlacement Placement = HeapPlacement::HighBitsMixed;
+  /// Heap arena base offset when Placement == Custom.
+  uint64_t CustomHeapBaseOffset = 0;
+  /// Arena capacity: the heap never grows beyond this.
+  uint64_t MaxHeapBytes = uint64_t(256) << 20;
+  /// Pages committed per growth step ("heap expansion increment").
+  uint32_t HeapGrowthPages = 256;
+  /// Return freed page runs to the OS (reads as zeros afterwards).
+  bool DecommitFreedPages = true;
+
+  InteriorPolicy Interior = InteriorPolicy::All;
+
+  /// Byte stride between candidate loads when scanning roots.  4 models
+  /// word-aligned 32-bit platforms; 2 or 1 model platforms that must
+  /// honor unaligned pointers (the Figure-1 hazard).
+  unsigned RootScanAlignment = 4;
+  /// Byte stride when scanning heap objects for pointers (native
+  /// 8-byte words; normally 8).
+  unsigned HeapScanAlignment = 8;
+
+  BlacklistMode Blacklist = BlacklistMode::FlatBitmap;
+  /// Drop blacklist entries that a later collection no longer sees.
+  bool BlacklistAging = true;
+  /// log2 of the hashed blacklist's bit count (Hashed mode only).
+  unsigned HashedBlacklistBitsLog2 = 16;
+
+  /// Perform a collection before the first allocation so static false
+  /// references are blacklisted before pages can land on them.
+  bool GcAtStartup = true;
+
+  /// Collect before growing the heap once allocation since the last
+  /// collection exceeds this fraction of the committed heap.
+  double CollectBeforeGrowthRatio = 0.5;
+  /// Never collect-before-grow below this committed size.
+  uint64_t MinHeapBytesBeforeGc = uint64_t(1) << 20;
+
+  /// When the collector cannot tell a free slot from an allocated one
+  /// (the paper's collectors could not), a false reference to a free
+  /// slot pins it.  Setting this to true lets the collector reject such
+  /// candidates instead (modern ablation).
+  bool PreciseFreeSlotDetection = false;
+
+  StackClearMode StackClearing = StackClearMode::Off;
+  /// Bytes cleared per stack-clearing step.
+  uint32_t StackClearChunkBytes = 4096;
+  /// Run the stack-clearing hooks every N allocations.
+  uint32_t StackClearEveryNAllocs = 64;
+
+  // Object-heap policies (see ObjectHeapConfig).
+  bool AvoidTrailingZeroAddresses = true;
+  bool ClearFreedObjects = true;
+  bool AddressOrderedAllocation = true;
+  /// Defer small-block sweeping to allocation time (shorter collection
+  /// pauses, same total work).  CollectionStats' live counts then come
+  /// from the mark phase.
+  bool LazySweep = false;
+
+  /// \returns the heap arena base offset implied by Placement.
+  uint64_t heapBaseOffset() const {
+    switch (Placement) {
+    case HeapPlacement::LowSbrk:
+      return uint64_t(1) << 20; // 1 MiB: right above program + static.
+    case HeapPlacement::HighBitsMixed:
+      return uint64_t(0x90000000); // above ASCII range, bits mixed.
+    case HeapPlacement::AsciiRange:
+      return uint64_t(0x61000000); // 'a'-leading byte territory.
+    case HeapPlacement::Custom:
+      return CustomHeapBaseOffset;
+    }
+    return 0;
+  }
+};
+
+} // namespace cgc
+
+#endif // CGC_CORE_GCCONFIG_H

@@ -1,0 +1,26 @@
+//===- core/GcNew.cpp - Typed allocation helpers --------------------------===//
+
+#include "core/GcNew.h"
+
+using namespace cgc;
+
+namespace {
+thread_local Collector *AmbientGC = nullptr;
+} // namespace
+
+Collector *cgc::ambientCollector() { return AmbientGC; }
+
+GcScope::GcScope(Collector &GC) : Previous(AmbientGC) { AmbientGC = &GC; }
+
+GcScope::~GcScope() { AmbientGC = Previous; }
+
+void *GcAllocated::operator new(size_t Bytes) {
+  CGC_CHECK(AmbientGC, "GcAllocated::new without an active GcScope");
+  void *Memory = AmbientGC->allocate(Bytes, ObjectKind::Normal);
+  CGC_CHECK(Memory, "GcAllocated::new: heap arena exhausted");
+  return Memory;
+}
+
+void *GcAllocated::operator new[](size_t Bytes) {
+  return GcAllocated::operator new(Bytes);
+}

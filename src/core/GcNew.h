@@ -1,0 +1,142 @@
+//===- core/GcNew.h - Typed allocation helpers -----------------*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Typed sugar over Collector::allocate:
+///
+///   * gcNew<T> / gcNewArray<T> — placement-construct on GC storage.
+///   * GcAllocated — CRTP-free base class whose operator new allocates
+///     from the ambient collector (set with GcScope), so existing C++
+///     class hierarchies adopt the collector by inheritance.
+///   * GcAllocator<T> — std-compatible allocator for containers whose
+///     backing store should be collected (and scanned).
+///
+/// Destructors: the collector never runs destructors on reclamation.
+/// Types allocated here should be trivially destructible, or register a
+/// finalizer explicitly.  gcNew enforces the former with a
+/// static_assert; use gcNewFinalized for the latter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_CORE_GCNEW_H
+#define CGC_CORE_GCNEW_H
+
+#include "core/Collector.h"
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace cgc {
+
+/// Allocates and constructs a T on \p GC's heap.
+template <typename T, typename... ArgTs>
+T *gcNew(Collector &GC, ArgTs &&...Args) {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "gcNew requires trivially destructible types; use "
+                "gcNewFinalized to run a destructor at reclamation");
+  void *Memory = GC.allocate(sizeof(T), ObjectKind::Normal);
+  if (!Memory)
+    return nullptr;
+  return ::new (Memory) T(std::forward<ArgTs>(Args)...);
+}
+
+/// gcNew for pointer-free payloads (never scanned; may be placed on
+/// blacklisted pages).
+template <typename T, typename... ArgTs>
+T *gcNewAtomic(Collector &GC, ArgTs &&...Args) {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "gcNewAtomic requires trivially destructible types");
+  void *Memory = GC.allocate(sizeof(T), ObjectKind::PointerFree);
+  if (!Memory)
+    return nullptr;
+  return ::new (Memory) T(std::forward<ArgTs>(Args)...);
+}
+
+/// Allocates and constructs a T whose destructor runs as a finalizer
+/// when the object becomes unreachable (after the client next calls
+/// Collector::runFinalizers()).
+template <typename T, typename... ArgTs>
+T *gcNewFinalized(Collector &GC, ArgTs &&...Args) {
+  void *Memory = GC.allocate(sizeof(T), ObjectKind::Normal);
+  if (!Memory)
+    return nullptr;
+  T *Object = ::new (Memory) T(std::forward<ArgTs>(Args)...);
+  GC.registerFinalizer(Object,
+                       [](void *P) { static_cast<T *>(P)->~T(); });
+  return Object;
+}
+
+/// Allocates a default-initialized array of \p Count Ts.
+template <typename T> T *gcNewArray(Collector &GC, size_t Count) {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "gcNewArray requires trivially destructible types");
+  void *Memory = GC.allocate(sizeof(T) * Count, ObjectKind::Normal);
+  if (!Memory)
+    return nullptr;
+  return ::new (Memory) T[Count]();
+}
+
+/// \returns the ambient collector used by GcAllocated; set via GcScope.
+Collector *ambientCollector();
+
+/// Installs \p GC as the ambient collector for the current scope.
+class GcScope {
+public:
+  explicit GcScope(Collector &GC);
+  ~GcScope();
+  GcScope(const GcScope &) = delete;
+  GcScope &operator=(const GcScope &) = delete;
+
+private:
+  Collector *Previous;
+};
+
+/// Base class routing operator new/delete to the ambient collector.
+/// operator delete is a no-op: reclamation is the collector's job.
+class GcAllocated {
+public:
+  static void *operator new(size_t Bytes);
+  static void *operator new[](size_t Bytes);
+  static void operator delete(void *, size_t) noexcept {}
+  static void operator delete[](void *, size_t) noexcept {}
+};
+
+/// std-compatible allocator drawing from a Collector.  Container nodes
+/// become heap objects, scanned conservatively like everything else.
+template <typename T> class GcAllocator {
+public:
+  using value_type = T;
+
+  explicit GcAllocator(Collector &GC) : GC(&GC) {}
+  template <typename U>
+  GcAllocator(const GcAllocator<U> &Other) : GC(Other.collector()) {}
+
+  T *allocate(size_t Count) {
+    void *Memory = GC->allocate(sizeof(T) * Count, ObjectKind::Normal);
+    if (!Memory)
+      throw std::bad_alloc();
+    return static_cast<T *>(Memory);
+  }
+
+  void deallocate(T *Ptr, size_t) noexcept {
+    // Optional eager reuse; safe because the container owns the memory.
+    GC->deallocate(Ptr);
+  }
+
+  Collector *collector() const { return GC; }
+
+  friend bool operator==(const GcAllocator &A, const GcAllocator &B) {
+    return A.GC == B.GC;
+  }
+
+private:
+  Collector *GC;
+};
+
+} // namespace cgc
+
+#endif // CGC_CORE_GCNEW_H

@@ -1,0 +1,24 @@
+//===- heap/BlockTable.cpp - Block descriptors ----------------------------===//
+
+#include "heap/BlockTable.h"
+
+using namespace cgc;
+
+BlockId BlockTable::create() {
+  ++NumLive;
+  if (!FreeIds.empty()) {
+    BlockId Id = FreeIds.back();
+    FreeIds.pop_back();
+    Blocks[Id - 1] = std::make_unique<BlockDescriptor>();
+    return Id;
+  }
+  Blocks.push_back(std::make_unique<BlockDescriptor>());
+  return static_cast<BlockId>(Blocks.size());
+}
+
+void BlockTable::destroy(BlockId Id) {
+  CGC_CHECK(isLive(Id), "destroying a dead block id");
+  Blocks[Id - 1].reset();
+  FreeIds.push_back(Id);
+  --NumLive;
+}

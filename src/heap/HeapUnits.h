@@ -1,0 +1,63 @@
+//===- heap/HeapUnits.h - Fundamental heap units and types -----*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Units shared by every heap component.
+///
+/// The collector manages memory inside a single reserved *window* of
+/// virtual address space (default 4 GiB).  The window models the 32-bit
+/// address space the paper's experiments ran in: misidentification
+/// probabilities depend on the heap's size and placement *relative to
+/// the space of likely data values*, so experiments reason in window
+/// offsets ("window addresses") while real machine pointers are
+/// window-base + offset.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_HEAP_HEAPUNITS_H
+#define CGC_HEAP_HEAPUNITS_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cgc {
+
+/// A real machine address.
+using Address = uintptr_t;
+
+/// A byte offset within the collector's reserved window; the unit in
+/// which experiments and the blacklist reason about "addresses".
+using WindowOffset = uint64_t;
+
+/// Index of a page within the window.
+using PageIndex = uint32_t;
+
+/// Identifier of a block descriptor; 0 means "no block".
+using BlockId = uint32_t;
+
+constexpr BlockId InvalidBlockId = 0;
+
+constexpr unsigned PageSizeLog2 = 12;
+constexpr size_t PageSize = size_t(1) << PageSizeLog2; // 4 KiB
+
+/// Minimum object size and alignment, matching the paper's 8-byte cells.
+constexpr size_t GranuleBytes = 8;
+
+/// Size of a scanned word (native pointer width).
+constexpr size_t WordBytes = sizeof(void *);
+
+constexpr PageIndex pageOfOffset(WindowOffset Offset) {
+  return static_cast<PageIndex>(Offset >> PageSizeLog2);
+}
+
+constexpr WindowOffset offsetOfPage(PageIndex Page) {
+  return static_cast<WindowOffset>(Page) << PageSizeLog2;
+}
+
+} // namespace cgc
+
+#endif // CGC_HEAP_HEAPUNITS_H

@@ -1,0 +1,510 @@
+//===- heap/ObjectHeap.cpp - Object-level allocator -----------------------===//
+
+#include "heap/ObjectHeap.h"
+#include "support/MathExtras.h"
+#include <cstring>
+
+using namespace cgc;
+
+ObjectHeap::ObjectHeap(VirtualArena &Arena, PageAllocator &Pages,
+                       PageMap &Map, BlockTable &Blocks,
+                       const ObjectHeapConfig &Config)
+    : Arena(Arena), Pages(Pages), Map(Map), Blocks(Blocks), Config(Config) {
+  ClassLists.resize(size_t(NumObjectKinds) * SizeClasses.numClasses());
+}
+
+ObjectHeap::ClassList &
+ObjectHeap::classListFor(const BlockDescriptor &Block) {
+  if (Block.LayoutId != 0)
+    return TypedClassLists[Block.LayoutId];
+  unsigned Class = SizeClasses.classForSize(Block.ObjectSize);
+  return ClassLists[size_t(Block.Kind) * SizeClasses.numClasses() + Class];
+}
+
+PageConstraint ObjectHeap::constraintFor(ObjectKind Kind, bool Large) const {
+  switch (Kind) {
+  case ObjectKind::Uncollectable:
+    // Never reclaimed, so a false reference costs nothing extra.
+    return PageConstraint::None;
+  case ObjectKind::PointerFree:
+    // Small pointer-free objects are the paper's designated tenants of
+    // blacklisted pages: pinning one retains only its own few bytes.
+    // Large pointer-free objects still retain their full size when
+    // pinned, so they honor the pointer constraint.
+    return Large ? Config.PointerPageConstraint : PageConstraint::None;
+  case ObjectKind::Normal:
+    return Config.PointerPageConstraint;
+  }
+  CGC_UNREACHABLE("bad object kind");
+}
+
+void *ObjectHeap::allocateFromExisting(size_t Bytes, ObjectKind Kind) {
+  CGC_ASSERT(SizeClassTable::isSmall(Bytes), "small-object path only");
+  if (Bytes == 0)
+    Bytes = 1;
+  unsigned Class = SizeClasses.classForSize(Bytes);
+  ClassList &List =
+      ClassLists[size_t(Kind) * SizeClasses.numClasses() + Class];
+  size_t SlotSize = SizeClasses.classSize(Class);
+
+  BlockId Id = InvalidBlockId;
+  if (Config.AddressOrderedAllocation) {
+    if (!List.Partial.empty())
+      Id = List.Partial.begin()->second;
+  } else {
+    // Prune stale stack entries (released blocks, reused ids, filled
+    // blocks) until a usable one surfaces.
+    while (!List.Stack.empty()) {
+      BlockId Top = List.Stack.back();
+      if (Blocks.isLive(Top)) {
+        BlockDescriptor &Candidate = Blocks.get(Top);
+        if (!Candidate.IsLarge && Candidate.Kind == Kind &&
+            Candidate.ObjectSize == SlotSize &&
+            Candidate.usableFreeCount() > 0) {
+          Id = Top;
+          break;
+        }
+      }
+      List.Stack.pop_back();
+    }
+  }
+  if (Id == InvalidBlockId)
+    Id = sweepUnsweptForAllocation(List);
+  if (Id == InvalidBlockId)
+    return nullptr;
+
+  BlockDescriptor &Block = Blocks.get(Id);
+  void *Result = takeSlot(Id, Block);
+  Stats.BytesRequested += Bytes;
+  return Result;
+}
+
+void *ObjectHeap::takeSlot(BlockId Id, BlockDescriptor &Block) {
+  // Lowest-index usable slot: address order within the block.
+  size_t Slot = 0;
+  while (true) {
+    Slot = Block.AllocBits.findFirstUnset(Slot);
+    CGC_CHECK(Slot != BitVector::Npos, "takeSlot on a full block");
+    if (!Block.PinnedBits.test(Slot))
+      break;
+    ++Slot;
+  }
+  Block.AllocBits.set(Slot);
+  ++Block.AllocatedCount;
+  AllocatedBytes += Block.ObjectSize;
+  ++Stats.ObjectsAllocated;
+  if (Block.usableFreeCount() == 0)
+    removeFromClassList(Block, Id);
+  WindowOffset Offset = Block.slotOffset(static_cast<uint32_t>(Slot));
+  return Arena.pointerTo(Offset);
+}
+
+BlockId ObjectHeap::createSmallBlock(size_t SlotSize, ObjectKind Kind,
+                                     LayoutId Layout) {
+  auto Run = Pages.allocateRun(1, constraintFor(Kind, /*Large=*/false));
+  if (!Run)
+    return InvalidBlockId;
+
+  uint32_t FirstOffset = 0;
+  if (Config.AvoidTrailingZeroAddresses && SlotSize <= PageSize / 4)
+    FirstOffset = 2 * GranuleBytes;
+  uint32_t Count = static_cast<uint32_t>((PageSize - FirstOffset) / SlotSize);
+  CGC_CHECK(Count > 0, "size class slot does not fit a page");
+
+  BlockId Id = Blocks.create();
+  BlockDescriptor &Block = Blocks.get(Id);
+  Block.StartPage = *Run;
+  Block.NumPages = 1;
+  Block.ObjectSize = static_cast<uint32_t>(SlotSize);
+  Block.ObjectCount = Count;
+  Block.FirstObjectOffset = FirstOffset;
+  Block.Kind = Kind;
+  Block.IsLarge = false;
+  Block.LayoutId = Layout;
+  Block.MarkBits.resize(Count);
+  Block.AllocBits.resize(Count);
+  Block.PinnedBits.resize(Count);
+  Map.assignRun(*Run, 1, Id);
+  addToClassList(Block, Id);
+  ++Stats.SmallBlocksCreated;
+  return Id;
+}
+
+bool ObjectHeap::addBlockForClass(size_t Bytes, ObjectKind Kind) {
+  CGC_ASSERT(SizeClassTable::isSmall(Bytes), "small-object path only");
+  if (Bytes == 0)
+    Bytes = 1;
+  size_t SlotSize = SizeClasses.classSize(SizeClasses.classForSize(Bytes));
+  return createSmallBlock(SlotSize, Kind, /*Layout=*/0) != InvalidBlockId;
+}
+
+LayoutId ObjectHeap::registerLayout(const std::vector<bool> &PointerWords,
+                                    size_t SizeBytes) {
+  CGC_CHECK(SizeBytes > 0 && SizeClassTable::isSmall(SizeBytes),
+            "layouts describe small objects");
+  CGC_CHECK(PointerWords.size() * WordBytes >= SizeBytes ||
+                PointerWords.size() ==
+                    (SizeBytes + WordBytes - 1) / WordBytes,
+            "layout word count must cover the object");
+  ObjectLayout Layout;
+  Layout.SizeBytes = static_cast<uint32_t>(
+      alignTo(SizeBytes, GranuleBytes));
+  Layout.PointerWords.resize(PointerWords.size());
+  for (size_t I = 0; I != PointerWords.size(); ++I)
+    if (PointerWords[I])
+      Layout.PointerWords.set(I);
+  Layouts.push_back(std::move(Layout));
+  return static_cast<LayoutId>(Layouts.size());
+}
+
+void *ObjectHeap::allocateTypedFromExisting(LayoutId Id) {
+  const ObjectLayout &L = layout(Id);
+  ClassList &List = TypedClassLists[Id];
+  BlockId Block = InvalidBlockId;
+  if (Config.AddressOrderedAllocation) {
+    if (!List.Partial.empty())
+      Block = List.Partial.begin()->second;
+  } else {
+    while (!List.Stack.empty()) {
+      BlockId Top = List.Stack.back();
+      if (Blocks.isLive(Top)) {
+        BlockDescriptor &Candidate = Blocks.get(Top);
+        if (Candidate.LayoutId == Id &&
+            Candidate.usableFreeCount() > 0) {
+          Block = Top;
+          break;
+        }
+      }
+      List.Stack.pop_back();
+    }
+  }
+  if (Block == InvalidBlockId)
+    Block = sweepUnsweptForAllocation(List);
+  if (Block == InvalidBlockId)
+    return nullptr;
+  Stats.BytesRequested += L.SizeBytes;
+  return takeSlot(Block, Blocks.get(Block));
+}
+
+bool ObjectHeap::addBlockForLayout(LayoutId Id) {
+  const ObjectLayout &L = layout(Id);
+  size_t SlotSize =
+      SizeClasses.classSize(SizeClasses.classForSize(L.SizeBytes));
+  return createSmallBlock(SlotSize, ObjectKind::Normal, Id) !=
+         InvalidBlockId;
+}
+
+void *ObjectHeap::allocateLarge(size_t Bytes, ObjectKind Kind,
+                                bool IgnoreOffPage) {
+  CGC_CHECK(Bytes > MaxSmallObjectBytes, "large-object path only");
+  uint32_t FirstOffset =
+      Config.AvoidTrailingZeroAddresses ? 2 * GranuleBytes : 0;
+  uint64_t TotalBytes = uint64_t(Bytes) + FirstOffset;
+  uint32_t NumPages = static_cast<uint32_t>(divideCeil(TotalBytes, PageSize));
+
+  // Ignore-off-page objects only retain through first-page pointers, so
+  // only the first page needs to dodge the blacklist (observation 7).
+  PageConstraint Constraint = constraintFor(Kind, /*Large=*/true);
+  if (IgnoreOffPage && Constraint == PageConstraint::AllPagesClean)
+    Constraint = PageConstraint::FirstPageClean;
+  auto Run = Pages.allocateRun(NumPages, Constraint);
+  if (!Run)
+    return nullptr;
+
+  BlockId Id = Blocks.create();
+  BlockDescriptor &Block = Blocks.get(Id);
+  Block.StartPage = *Run;
+  Block.NumPages = NumPages;
+  Block.ObjectSize = static_cast<uint32_t>(Bytes);
+  Block.ObjectCount = 1;
+  Block.FirstObjectOffset = FirstOffset;
+  Block.Kind = Kind;
+  Block.IsLarge = true;
+  Block.IgnoreOffPage = IgnoreOffPage;
+  Block.MarkBits.resize(1);
+  Block.AllocBits.resize(1);
+  Block.PinnedBits.resize(1);
+  Block.AllocBits.set(0);
+  Block.AllocatedCount = 1;
+  Map.assignRun(*Run, NumPages, Id);
+  AllocatedBytes += Bytes;
+  ++Stats.ObjectsAllocated;
+  Stats.BytesRequested += Bytes;
+  ++Stats.LargeBlocksCreated;
+  return Arena.pointerTo(Block.slotOffset(0));
+}
+
+void ObjectHeap::deallocateExplicit(void *Ptr) {
+  Address Addr = reinterpret_cast<Address>(Ptr);
+  CGC_CHECK(Arena.contains(Addr), "explicit free of a non-heap pointer");
+  WindowOffset Offset = Arena.offsetOf(Addr);
+  ObjectRef Ref = refForBase(Offset);
+  CGC_CHECK(Ref.valid(), "explicit free of a non-object pointer");
+  BlockDescriptor &Block = Blocks.get(Ref.Block);
+  CGC_CHECK(Block.AllocBits.test(Ref.Slot), "double free");
+
+  ++Stats.ExplicitFrees;
+  AllocatedBytes -= Block.ObjectSize;
+  if (Block.IsLarge) {
+    releaseBlock(Ref.Block);
+    return;
+  }
+  bool WasFull = Block.usableFreeCount() == 0;
+  Block.AllocBits.reset(Ref.Slot);
+  --Block.AllocatedCount;
+  if (Config.ClearFreedObjects)
+    std::memset(Arena.pointerTo(Block.slotOffset(Ref.Slot)), 0,
+                Block.ObjectSize);
+  if (WasFull)
+    addToClassList(Block, Ref.Block);
+}
+
+ObjectRef ObjectHeap::refForBase(WindowOffset Offset) const {
+  BlockId Id = Map.blockAt(pageOfOffset(Offset));
+  if (Id == InvalidBlockId)
+    return {};
+  const BlockDescriptor &Block = Blocks.get(Id);
+  int32_t Slot = Block.slotContaining(Offset);
+  if (Slot < 0 || Block.slotOffset(static_cast<uint32_t>(Slot)) != Offset)
+    return {};
+  return {Id, static_cast<uint32_t>(Slot)};
+}
+
+WindowOffset ObjectHeap::baseOffset(ObjectRef Ref) const {
+  return Blocks.get(Ref.Block).slotOffset(Ref.Slot);
+}
+
+size_t ObjectHeap::objectSize(ObjectRef Ref) const {
+  return Blocks.get(Ref.Block).ObjectSize;
+}
+
+void ObjectHeap::clearMarks() {
+  // Pending lazily-swept blocks still encode reclaimable garbage in
+  // their mark bits; finish them before invalidating the bits.
+  finishPendingSweeps();
+  Blocks.forEach([](BlockId, BlockDescriptor &Block) {
+    Block.MarkBits.clearAll();
+  });
+}
+
+bool ObjectHeap::sweepSmallBlock(BlockId Id, SweepResult &Result) {
+  BlockDescriptor &Block = Blocks.get(Id);
+  CGC_ASSERT(!Block.IsLarge && Block.Kind != ObjectKind::Uncollectable,
+             "sweepSmallBlock on wrong block kind");
+  // Free unmarked allocated slots, pin marked free slots.
+  Block.PinnedBits.clearAll();
+  Block.PinnedCount = 0;
+  for (uint32_t Slot = 0; Slot != Block.ObjectCount; ++Slot) {
+    bool Marked = Block.MarkBits.test(Slot);
+    bool Allocated = Block.AllocBits.test(Slot);
+    if (Allocated && !Marked) {
+      Block.AllocBits.reset(Slot);
+      --Block.AllocatedCount;
+      AllocatedBytes -= Block.ObjectSize;
+      Result.BytesSweptFree += Block.ObjectSize;
+      ++Result.ObjectsSweptFree;
+      if (Config.ClearFreedObjects)
+        std::memset(Arena.pointerTo(Block.slotOffset(Slot)), 0,
+                    Block.ObjectSize);
+    } else if (!Allocated && Marked) {
+      Block.PinnedBits.set(Slot);
+      ++Block.PinnedCount;
+    }
+  }
+  Result.ObjectsLive += Block.AllocatedCount;
+  Result.BytesLive += uint64_t(Block.AllocatedCount) * Block.ObjectSize;
+  Result.SlotsPinned += Block.PinnedCount;
+  if (Block.AllocatedCount == 0 && Block.PinnedCount == 0) {
+    Result.PagesReleased += Block.NumPages;
+    releaseBlock(Id);
+    return false;
+  }
+  if (Block.usableFreeCount() > 0)
+    addToClassList(Block, Id);
+  return true;
+}
+
+SweepResult ObjectHeap::sweep() {
+  SweepResult Result;
+  std::vector<BlockId> ToRelease;
+
+  // Empty the per-class lists: every small block is either re-listed by
+  // its (eager or lazy) sweep or released.
+  for (ClassList &List : ClassLists) {
+    List.Partial.clear();
+    List.Stack.clear();
+    List.Unswept.clear();
+  }
+  for (auto &[Id, List] : TypedClassLists) {
+    List.Partial.clear();
+    List.Stack.clear();
+    List.Unswept.clear();
+  }
+  PendingSweeps = 0;
+
+  Blocks.forEach([&](BlockId Id, BlockDescriptor &Block) {
+    if (Block.Kind == ObjectKind::Uncollectable) {
+      // Never reclaimed; free slots may still be pinned by marks.
+      Block.PinnedBits.clearAll();
+      Block.PinnedCount = 0;
+      for (uint32_t Slot = 0; Slot != Block.ObjectCount; ++Slot) {
+        if (Block.MarkBits.test(Slot) && !Block.AllocBits.test(Slot)) {
+          Block.PinnedBits.set(Slot);
+          ++Block.PinnedCount;
+        }
+      }
+      Result.ObjectsLive += Block.AllocatedCount;
+      Result.BytesLive += uint64_t(Block.AllocatedCount) * Block.ObjectSize;
+      Result.SlotsPinned += Block.PinnedCount;
+      if (Block.usableFreeCount() > 0)
+        addToClassList(Block, Id);
+      return;
+    }
+
+    if (Block.IsLarge) {
+      CGC_ASSERT(Block.AllocatedCount == 1,
+                 "live large block must hold its object");
+      if (!Block.MarkBits.test(0)) {
+        Result.BytesSweptFree += Block.ObjectSize;
+        ++Result.ObjectsSweptFree;
+        Result.PagesReleased += Block.NumPages;
+        AllocatedBytes -= Block.ObjectSize;
+        ToRelease.push_back(Id);
+      } else {
+        ++Result.ObjectsLive;
+        Result.BytesLive += Block.ObjectSize;
+      }
+      return;
+    }
+
+    if (Config.LazySweep) {
+      classListFor(Block).Unswept.push_back(Id);
+      ++PendingSweeps;
+      return;
+    }
+    sweepSmallBlock(Id, Result);
+  });
+
+  for (BlockId Id : ToRelease)
+    releaseBlock(Id);
+
+  Stats.PinnedSlots = Result.SlotsPinned;
+  return Result;
+}
+
+BlockId ObjectHeap::sweepUnsweptForAllocation(ClassList &List) {
+  while (!List.Unswept.empty()) {
+    BlockId Id = List.Unswept.back();
+    List.Unswept.pop_back();
+    CGC_ASSERT(PendingSweeps > 0, "pending-sweep underflow");
+    --PendingSweeps;
+    if (!Blocks.isLive(Id))
+      continue;
+    SweepResult Scratch;
+    if (sweepSmallBlock(Id, Scratch) &&
+        Blocks.get(Id).usableFreeCount() > 0)
+      return Id;
+  }
+  return InvalidBlockId;
+}
+
+void ObjectHeap::finishPendingSweeps() {
+  if (PendingSweeps == 0)
+    return;
+  auto Drain = [&](ClassList &List) {
+    while (!List.Unswept.empty()) {
+      BlockId Id = List.Unswept.back();
+      List.Unswept.pop_back();
+      --PendingSweeps;
+      if (!Blocks.isLive(Id))
+        continue;
+      SweepResult Scratch;
+      sweepSmallBlock(Id, Scratch);
+    }
+  };
+  for (ClassList &List : ClassLists)
+    Drain(List);
+  for (auto &[Id, List] : TypedClassLists)
+    Drain(List);
+  CGC_ASSERT(PendingSweeps == 0, "pending sweeps unaccounted for");
+}
+
+void ObjectHeap::verifyHeap() {
+  uint64_t BytesSeen = 0;
+  Blocks.forEach([&](BlockId Id, BlockDescriptor &Block) {
+    // Geometry.
+    CGC_CHECK(Block.NumPages > 0 && Block.ObjectCount > 0,
+              "degenerate block");
+    CGC_CHECK(Pages.inPotentialHeap(Block.StartPage) &&
+                  Pages.inPotentialHeap(Block.StartPage +
+                                        Block.NumPages - 1),
+              "block outside the heap arena");
+    CGC_CHECK(Block.FirstObjectOffset +
+                      uint64_t(Block.ObjectCount) * Block.ObjectSize <=
+                  uint64_t(Block.NumPages) * PageSize,
+              "slots overflow the block");
+    // Page map points every page at this block.
+    for (uint32_t P = 0; P != Block.NumPages; ++P)
+      CGC_CHECK(Map.blockAt(Block.StartPage + P) == Id,
+                "page map out of sync with block");
+    // Bitmap/count agreement.
+    CGC_CHECK(Block.AllocBits.count() == Block.AllocatedCount,
+              "allocated count out of sync");
+    CGC_CHECK(Block.PinnedBits.count() == Block.PinnedCount,
+              "pinned count out of sync");
+    BitVector Overlap = Block.AllocBits;
+    Overlap.andWith(Block.PinnedBits);
+    CGC_CHECK(Overlap.count() == 0, "slot both allocated and pinned");
+    BytesSeen += uint64_t(Block.AllocatedCount) * Block.ObjectSize;
+    if (Block.IsLarge)
+      CGC_CHECK(Block.ObjectCount == 1 && Block.AllocatedCount == 1,
+                "large block must hold exactly one object");
+    // Every small block with usable space must be reachable by the
+    // allocator: listed, queued for lazy sweep, or LIFO-pruned later.
+    if (!Block.IsLarge && Block.usableFreeCount() > 0 &&
+        Config.AddressOrderedAllocation) {
+      ClassList &List = classListFor(Block);
+      bool Listed = List.Partial.count(Block.StartPage) != 0;
+      bool Queued = false;
+      for (BlockId Q : List.Unswept)
+        Queued |= Q == Id;
+      CGC_CHECK(Listed || Queued,
+                "block with free space invisible to the allocator");
+    }
+  });
+  CGC_CHECK(BytesSeen == AllocatedBytes, "allocated-bytes accounting");
+  // Free page runs must not overlap any block.
+  Pages.forEachFreeRun([&](PageIndex Start, uint32_t Length) {
+    for (uint32_t P = 0; P != Length; ++P)
+      CGC_CHECK(Map.blockAt(Start + P) == InvalidBlockId,
+                "free page run overlaps a block");
+  });
+}
+
+void ObjectHeap::releaseBlock(BlockId Id) {
+  BlockDescriptor &Block = Blocks.get(Id);
+  if (!Block.IsLarge)
+    removeFromClassList(Block, Id);
+  Map.clearRun(Block.StartPage, Block.NumPages);
+  Pages.freeRun(Block.StartPage, Block.NumPages);
+  ++Stats.BlocksReleased;
+  Blocks.destroy(Id);
+}
+
+void ObjectHeap::addToClassList(BlockDescriptor &Block, BlockId Id) {
+  ClassList &List = classListFor(Block);
+  if (Config.AddressOrderedAllocation)
+    List.Partial.emplace(Block.StartPage, Id);
+  else
+    List.Stack.push_back(Id);
+}
+
+void ObjectHeap::removeFromClassList(BlockDescriptor &Block, BlockId Id) {
+  ClassList &List = classListFor(Block);
+  if (Config.AddressOrderedAllocation) {
+    List.Partial.erase(Block.StartPage);
+  } else {
+    // Stack entries are pruned lazily at allocation time.
+    (void)Id;
+  }
+}

@@ -1,0 +1,243 @@
+//===- heap/ObjectHeap.h - Object-level allocator --------------*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The object-level heap: small objects carved from single-page blocks
+/// of equal-size slots, large objects on dedicated page runs.  Design
+/// points that come straight from the paper:
+///
+///   * No object headers, no in-object free-list links.  All metadata —
+///     mark bits, allocation bits, pin bits — lives off-heap in the
+///     block descriptors, so the allocator never plants heap addresses
+///     in reusable memory (§3.1: the allocator and collector should
+///     "carefully clean up after themselves").
+///   * Slots that a collection finds marked-but-free (a false reference
+///     points at them) are *pinned*: unusable until a later collection
+///     no longer sees the reference.  This models the paper's implicit
+///     after-the-fact blacklisting of already-allocated memory.
+///   * Blocks optionally place their first slot at a small nonzero
+///     offset so object addresses avoid long runs of trailing zeros
+///     (the Figure-1 integer-concatenation hazard).
+///   * Per-class block selection is address-ordered (lowest block
+///     first), the fragmentation-reducing discipline the paper's
+///     conclusions recommend; a LIFO mode exists for the ablation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_HEAP_OBJECTHEAP_H
+#define CGC_HEAP_OBJECTHEAP_H
+
+#include "heap/BlockTable.h"
+#include "heap/HeapUnits.h"
+#include "heap/ObjectKind.h"
+#include "heap/PageAllocator.h"
+#include "heap/PageMap.h"
+#include "heap/SizeClassTable.h"
+#include "heap/VirtualArena.h"
+#include <map>
+#include <vector>
+
+namespace cgc {
+
+struct ObjectHeapConfig {
+  /// Offset the first slot of each small block by two granules so that
+  /// no object lands on an address with ~12 trailing zero bits.
+  bool AvoidTrailingZeroAddresses = true;
+  /// Zero an object's memory when it is freed (sweep or explicit free).
+  bool ClearFreedObjects = true;
+  /// Pick the lowest-address block with space when allocating (true)
+  /// versus the most recently freed-into block (false, LIFO ablation).
+  bool AddressOrderedAllocation = true;
+  /// Page-run constraint for pointer-containing allocations; set from
+  /// the collector's interior-pointer policy.
+  PageConstraint PointerPageConstraint = PageConstraint::AllPagesClean;
+  /// Defer small-block sweeping to allocation time: collections queue
+  /// blocks and allocations sweep them on demand, trading a long
+  /// collection pause for amortized per-allocation work.  Large and
+  /// uncollectable blocks are always swept eagerly.
+  bool LazySweep = false;
+};
+
+struct ObjectHeapStats {
+  uint64_t ObjectsAllocated = 0;
+  uint64_t BytesRequested = 0;
+  uint64_t SmallBlocksCreated = 0;
+  uint64_t LargeBlocksCreated = 0;
+  uint64_t BlocksReleased = 0;
+  uint64_t ExplicitFrees = 0;
+  /// Slots found pinned by the most recent sweep.
+  uint64_t PinnedSlots = 0;
+};
+
+struct SweepResult {
+  uint64_t BytesSweptFree = 0;
+  uint64_t ObjectsSweptFree = 0;
+  uint64_t BytesLive = 0;
+  uint64_t ObjectsLive = 0;
+  uint64_t PagesReleased = 0;
+  uint64_t SlotsPinned = 0;
+};
+
+/// Identifies an object (or candidate) resolved by the heap.
+struct ObjectRef {
+  BlockId Block = InvalidBlockId;
+  uint32_t Slot = 0;
+  bool valid() const { return Block != InvalidBlockId; }
+};
+
+/// Identifier of a registered object layout; 0 = fully conservative.
+using LayoutId = uint32_t;
+
+/// A registered object layout: which words of an object may hold
+/// pointers.  Objects allocated with a layout are scanned precisely —
+/// the paper's survey notes that many systems "maintain complete
+/// information on the location of pointers in the heap, and only scan
+/// the stack conservatively"; layouts are how a client opts into that
+/// regime per type.
+struct ObjectLayout {
+  /// Bit I set: word I may hold a pointer.
+  BitVector PointerWords;
+  /// Object size in bytes this layout describes.
+  uint32_t SizeBytes = 0;
+};
+
+class ObjectHeap {
+public:
+  ObjectHeap(VirtualArena &Arena, PageAllocator &Pages, PageMap &Map,
+             BlockTable &Blocks, const ObjectHeapConfig &Config);
+
+  /// Allocates from existing blocks/free slots only; nullptr when a new
+  /// block (and possibly a collection) is needed.  Small sizes only.
+  void *allocateFromExisting(size_t Bytes, ObjectKind Kind);
+
+  /// Acquires a fresh page for \p Bytes's size class; false on OOM.
+  bool addBlockForClass(size_t Bytes, ObjectKind Kind);
+
+  /// Allocates a large object on its own page run; nullptr on OOM.
+  /// With \p IgnoreOffPage, only first-page pointers retain the object
+  /// (and only the first page needs to be blacklist-clean).
+  void *allocateLarge(size_t Bytes, ObjectKind Kind,
+                      bool IgnoreOffPage = false);
+
+  /// Registers an object layout; \returns its id.  \p PointerWords[I]
+  /// true means word I may hold a pointer.
+  LayoutId registerLayout(const std::vector<bool> &PointerWords,
+                          size_t SizeBytes);
+
+  /// \returns the registered layout (Id must be valid and nonzero).
+  const ObjectLayout &layout(LayoutId Id) const {
+    CGC_ASSERT(Id != 0 && Id <= Layouts.size(), "bad layout id");
+    return Layouts[Id - 1];
+  }
+
+  /// Allocates an object with a registered layout (Normal kind,
+  /// precisely scanned).  Small sizes only; nullptr when a new block is
+  /// needed (drive with addBlockForLayout, as with the untyped path).
+  void *allocateTypedFromExisting(LayoutId Id);
+  bool addBlockForLayout(LayoutId Id);
+
+  /// Explicitly frees \p Ptr (any kind).  Required for Uncollectable
+  /// objects; legal for others (leak-detector workloads free manually).
+  void deallocateExplicit(void *Ptr);
+
+  /// Resolves an exact object base address; invalid ref otherwise.
+  ObjectRef refForBase(WindowOffset Offset) const;
+
+  /// \returns the object's base window offset.
+  WindowOffset baseOffset(ObjectRef Ref) const;
+
+  /// \returns the client-visible size of the object.
+  size_t objectSize(ObjectRef Ref) const;
+
+  bool isAllocated(ObjectRef Ref) const {
+    return Blocks.get(Ref.Block).AllocBits.test(Ref.Slot);
+  }
+
+  /// Clears every mark bit; called at the start of a collection.
+  /// With lazy sweeping, any still-pending blocks are swept first —
+  /// their mark bits are about to be invalidated.
+  void clearMarks();
+
+  /// Reclaims unmarked objects, pins marked-free slots, releases empty
+  /// blocks.  Uncollectable blocks are exempt from reclamation.  With
+  /// LazySweep, small blocks are only *queued*: allocations (or the
+  /// next collection) sweep them on demand, and the returned counts
+  /// cover the eagerly-swept blocks only.
+  SweepResult sweep();
+
+  /// Sweeps every block still pending from the last collection.
+  void finishPendingSweeps();
+
+  /// Number of blocks queued and not yet swept.
+  size_t pendingSweepCount() const { return PendingSweeps; }
+
+  /// Walks every block and cross-checks the heap's invariants: page
+  /// map consistency, bitmap/count agreement, byte accounting, and
+  /// class-list completeness.  Aborts with a message on violation.
+  /// O(heap); intended for tests and debugging sessions.
+  void verifyHeap();
+
+  const ObjectHeapStats &stats() const { return Stats; }
+
+  /// Total bytes in allocated slots (client-usable view of heap usage).
+  uint64_t allocatedBytes() const { return AllocatedBytes; }
+
+  /// Calls \p Fn(BlockId, BlockDescriptor&) for every live block.
+  template <typename FnT> void forEachBlock(FnT Fn) { Blocks.forEach(Fn); }
+
+  VirtualArena &arena() { return Arena; }
+  BlockTable &blockTable() { return Blocks; }
+
+private:
+  struct ClassList {
+    /// Blocks of this (kind, class) with at least one usable slot,
+    /// keyed by start page: begin() is the lowest-address block.
+    std::map<PageIndex, BlockId> Partial;
+    /// LIFO stack used instead of Partial when address-ordered
+    /// allocation is disabled.
+    std::vector<BlockId> Stack;
+    /// Lazy sweeping: blocks of this class queued by the last
+    /// collection, swept on demand when Partial/Stack run dry.
+    std::vector<BlockId> Unswept;
+  };
+
+  void *takeSlot(BlockId Id, BlockDescriptor &Block);
+  BlockId createSmallBlock(size_t SlotSize, ObjectKind Kind,
+                           LayoutId Layout);
+  /// Sweeps one small block against its current mark bits;
+  /// releases it if empty, else re-lists it when usable.
+  /// \returns false if the block was released.
+  bool sweepSmallBlock(BlockId Id, SweepResult &Result);
+  /// Sweeps queued blocks of \p List until one offers a usable slot.
+  /// \returns that block id, or InvalidBlockId.
+  BlockId sweepUnsweptForAllocation(ClassList &List);
+  void releaseBlock(BlockId Id);
+  void removeFromClassList(BlockDescriptor &Block, BlockId Id);
+  void addToClassList(BlockDescriptor &Block, BlockId Id);
+  ClassList &classListFor(const BlockDescriptor &Block);
+  PageConstraint constraintFor(ObjectKind Kind, bool Large) const;
+
+  VirtualArena &Arena;
+  PageAllocator &Pages;
+  PageMap &Map;
+  BlockTable &Blocks;
+  ObjectHeapConfig Config;
+  SizeClassTable SizeClasses;
+  /// One class list per (kind, size class).
+  std::vector<ClassList> ClassLists;
+  /// Class lists for typed blocks, keyed by layout id (each layout has
+  /// one slot size, hence one list).
+  std::map<LayoutId, ClassList> TypedClassLists;
+  std::vector<ObjectLayout> Layouts;
+  ObjectHeapStats Stats;
+  uint64_t AllocatedBytes = 0;
+  size_t PendingSweeps = 0;
+};
+
+} // namespace cgc
+
+#endif // CGC_HEAP_OBJECTHEAP_H

@@ -1,0 +1,50 @@
+//===- heap/ObjectKind.h - Allocation kinds --------------------*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Allocation kinds.  The paper stresses that a conservative collector
+/// must let clients declare that "an entire large object contains no
+/// pointers" (compressed bitmaps, IO buffers); such POINTER_FREE objects
+/// are never scanned and may be placed on blacklisted pages, since very
+/// little memory can ever be retained through them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_HEAP_OBJECTKIND_H
+#define CGC_HEAP_OBJECTKIND_H
+
+namespace cgc {
+
+enum class ObjectKind : unsigned char {
+  /// May contain pointers anywhere; scanned conservatively.
+  Normal,
+  /// Guaranteed pointer-free ("atomic" in bdwgc terms); never scanned,
+  /// eligible for placement on blacklisted pages.
+  PointerFree,
+  /// Scanned for pointers but never reclaimed by the collector; freed
+  /// only by explicit deallocation.  Used to model client data that the
+  /// mutator manages manually (and by the leak-detector use case).
+  Uncollectable,
+};
+
+constexpr unsigned NumObjectKinds = 3;
+
+constexpr const char *objectKindName(ObjectKind Kind) {
+  switch (Kind) {
+  case ObjectKind::Normal:
+    return "normal";
+  case ObjectKind::PointerFree:
+    return "pointer-free";
+  case ObjectKind::Uncollectable:
+    return "uncollectable";
+  }
+  return "unknown";
+}
+
+} // namespace cgc
+
+#endif // CGC_HEAP_OBJECTKIND_H

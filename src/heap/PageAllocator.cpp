@@ -1,0 +1,153 @@
+//===- heap/PageAllocator.cpp - Page-run allocator ------------------------===//
+
+#include "heap/PageAllocator.h"
+#include "support/Assert.h"
+#include "support/MathExtras.h"
+
+using namespace cgc;
+
+PageAllocator::PageAllocator(VirtualArena &Arena, PageIndex BasePage,
+                             PageIndex MaxPages, uint32_t GrowthPages,
+                             bool DecommitFreed)
+    : Arena(Arena), BasePage(BasePage), MaxPages(MaxPages),
+      GrowthPages(GrowthPages), DecommitFreed(DecommitFreed),
+      CommitLimit(BasePage) {
+  CGC_CHECK(GrowthPages > 0, "growth increment must be positive");
+  CGC_CHECK(uint64_t(BasePage) + MaxPages <= Arena.numPages(),
+            "heap arena exceeds the window");
+}
+
+std::optional<PageIndex>
+PageAllocator::allocateRun(uint32_t NumPages, PageConstraint Constraint) {
+  CGC_CHECK(NumPages > 0, "allocating an empty page run");
+  while (true) {
+    if (auto Start = findInFreeRuns(NumPages, Constraint)) {
+      carveFromFreeRun(*Start, NumPages);
+      Stats.AllocatedPages += NumPages;
+      return Start;
+    }
+    ++Stats.GrowEvents;
+    if (!grow(NumPages)) {
+      ++Stats.FailedRequests;
+      return std::nullopt;
+    }
+  }
+}
+
+std::optional<PageIndex>
+PageAllocator::findInFreeRuns(uint32_t NumPages, PageConstraint Constraint) {
+  // Address-ordered first fit: std::map iterates runs lowest first.
+  for (const auto &[RunStart, RunLen] : FreeRuns) {
+    if (RunLen < NumPages)
+      continue;
+    if (auto Start = findInRun(RunStart, RunLen, NumPages, Constraint))
+      return Start;
+  }
+  return std::nullopt;
+}
+
+std::optional<PageIndex>
+PageAllocator::findInRun(PageIndex RunStart, uint32_t RunLen,
+                         uint32_t NumPages, PageConstraint Constraint) {
+  if (Constraint == PageConstraint::None || !IsBlacklisted)
+    return RunStart;
+
+  PageIndex LastStart = RunStart + RunLen - NumPages;
+  if (Constraint == PageConstraint::FirstPageClean) {
+    for (PageIndex Start = RunStart; Start <= LastStart; ++Start) {
+      if (!pageBlacklisted(Start))
+        return Start;
+      ++Stats.BlacklistSkippedPages;
+    }
+    return std::nullopt;
+  }
+
+  // AllPagesClean: scan forward, restarting just past each blacklisted
+  // page, so the search is linear in the run length.
+  PageIndex Start = RunStart;
+  while (Start <= LastStart) {
+    bool Clean = true;
+    for (PageIndex P = Start; P != Start + NumPages; ++P) {
+      if (pageBlacklisted(P)) {
+        Stats.BlacklistSkippedPages += (P + 1) - Start;
+        Start = P + 1;
+        Clean = false;
+        break;
+      }
+    }
+    if (Clean)
+      return Start;
+  }
+  return std::nullopt;
+}
+
+bool PageAllocator::grow(uint32_t AtLeastPages) {
+  PageIndex Limit = arenaLimitPage();
+  if (CommitLimit >= Limit)
+    return false;
+  uint64_t Want = std::max<uint64_t>(GrowthPages, AtLeastPages);
+  uint64_t Available = Limit - CommitLimit;
+  uint32_t Extend = static_cast<uint32_t>(std::min(Want, Available));
+  // The new pages start exactly at CommitLimit, so freeRun skips the
+  // decommit (they are untouched and already zero-filled).
+  freeRun(CommitLimit, Extend);
+  CommitLimit += Extend;
+  Stats.CommittedPages = CommitLimit - BasePage;
+  return true;
+}
+
+void PageAllocator::freeRun(PageIndex Start, uint32_t NumPages) {
+  CGC_CHECK(NumPages > 0, "freeing an empty page run");
+  CGC_CHECK(Start >= BasePage &&
+                uint64_t(Start) + NumPages <= arenaLimitPage(),
+            "freeing pages outside the heap arena");
+
+  if (DecommitFreed && Start < CommitLimit)
+    Arena.decommit(offsetOfPage(Start), uint64_t(NumPages) * PageSize);
+
+  PageIndex End = Start + NumPages;
+
+  // Coalesce with the following run.
+  auto After = FreeRuns.lower_bound(Start);
+  if (After != FreeRuns.end()) {
+    CGC_CHECK(After->first >= End, "double free of a page run");
+    if (After->first == End) {
+      NumPages += After->second;
+      FreeRuns.erase(After);
+    }
+  }
+  // Coalesce with the preceding run.
+  auto Before = FreeRuns.lower_bound(Start);
+  if (Before != FreeRuns.begin()) {
+    --Before;
+    CGC_CHECK(Before->first + Before->second <= Start,
+              "double free of a page run");
+    if (Before->first + Before->second == Start) {
+      Before->second += NumPages;
+      return;
+    }
+  }
+  FreeRuns.emplace(Start, NumPages);
+}
+
+void PageAllocator::carveFromFreeRun(PageIndex Start, uint32_t NumPages) {
+  auto It = FreeRuns.upper_bound(Start);
+  CGC_CHECK(It != FreeRuns.begin(), "carving from a nonexistent run");
+  --It;
+  PageIndex RunStart = It->first;
+  uint32_t RunLen = It->second;
+  CGC_CHECK(Start >= RunStart && Start + NumPages <= RunStart + RunLen,
+            "carve range not inside a free run");
+  FreeRuns.erase(It);
+  if (Start > RunStart)
+    FreeRuns.emplace(RunStart, Start - RunStart);
+  if (Start + NumPages < RunStart + RunLen)
+    FreeRuns.emplace(Start + NumPages, RunStart + RunLen - Start - NumPages);
+}
+
+uint64_t PageAllocator::freePageCount() const {
+  uint64_t Total = 0;
+  for (const auto &[Start, Length] : FreeRuns)
+    Total += Length;
+  return Total;
+}

@@ -1,0 +1,147 @@
+//===- heap/PageAllocator.h - Page-run allocator ---------------*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Allocates runs of pages inside the heap arena (a sub-range of the
+/// window chosen by the placement policy).  Three of the paper's
+/// techniques live here:
+///
+///   * *Placement*: the arena's base offset is configurable, so the heap
+///     can sit where random data words are unlikely to point (high bits
+///     neither all zeros nor all ones, outside the ASCII byte range).
+///   * *Blacklist-aware allocation*: before handing out a run, the
+///     allocator consults a per-page predicate.  Pointer-containing
+///     allocations refuse blacklisted first pages, and when interior
+///     pointers force whole-object retention, refuse runs that *span*
+///     blacklisted pages.  Pointer-free allocations ignore the
+///     blacklist, reclaiming those pages at near-zero risk.
+///   * *Address-ordered free runs*: free runs are kept and allocated in
+///     address order, which the paper notes is cheap for a collector and
+///     reduces fragmentation versus LIFO reuse.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_HEAP_PAGEALLOCATOR_H
+#define CGC_HEAP_PAGEALLOCATOR_H
+
+#include "heap/HeapUnits.h"
+#include "heap/VirtualArena.h"
+#include <functional>
+#include <map>
+#include <optional>
+
+namespace cgc {
+
+/// Blacklist requirement for a page-run allocation.
+enum class PageConstraint {
+  /// Any pages will do (pointer-free objects).
+  None,
+  /// The first page must not be blacklisted (pointer-containing objects
+  /// when only object-base pointers are honored).
+  FirstPageClean,
+  /// No page of the run may be blacklisted (pointer-containing objects
+  /// when arbitrary interior pointers are honored).
+  AllPagesClean,
+};
+
+struct PageAllocatorStats {
+  uint64_t CommittedPages = 0;
+  uint64_t FreePages = 0;
+  uint64_t AllocatedPages = 0;
+  /// Pages passed over during searches because of the blacklist.
+  uint64_t BlacklistSkippedPages = 0;
+  /// Allocation requests that had to grow the heap.
+  uint64_t GrowEvents = 0;
+  /// Requests that failed even after growing to the arena limit.
+  uint64_t FailedRequests = 0;
+};
+
+class PageAllocator {
+public:
+  /// \param Arena        the reserved window.
+  /// \param BasePage     first page of the heap arena within the window.
+  /// \param MaxPages     arena capacity; the heap never extends past it.
+  /// \param GrowthPages  commit increment when the heap grows.
+  /// \param DecommitFreed return freed pages to the OS (zero-filled on
+  ///                      reuse).
+  PageAllocator(VirtualArena &Arena, PageIndex BasePage, PageIndex MaxPages,
+                uint32_t GrowthPages, bool DecommitFreed);
+
+  /// Installs the per-page blacklist predicate (may be empty).
+  void setBlacklistQuery(std::function<bool(PageIndex)> Query) {
+    IsBlacklisted = std::move(Query);
+  }
+
+  /// Allocates \p NumPages contiguous pages honoring \p Constraint.
+  /// Grows the committed heap if needed.  \returns the starting page, or
+  /// std::nullopt if the arena limit is reached.
+  std::optional<PageIndex> allocateRun(uint32_t NumPages,
+                                       PageConstraint Constraint);
+
+  /// Returns a run to the free pool, coalescing with neighbors.
+  void freeRun(PageIndex Start, uint32_t NumPages);
+
+  /// First page of the heap arena (potential heap start).
+  PageIndex arenaBasePage() const { return BasePage; }
+  /// One past the last page the arena may ever use.
+  PageIndex arenaLimitPage() const { return BasePage + MaxPages; }
+  /// One past the last committed heap page.
+  PageIndex committedLimitPage() const { return CommitLimit; }
+
+  /// \returns true if \p Page lies in the *potential* heap: committed or
+  /// not, it could become an object address through later allocation.
+  /// This is the "vicinity of the heap" test of the paper's Figure 2.
+  bool inPotentialHeap(PageIndex Page) const {
+    return Page >= BasePage && Page < arenaLimitPage();
+  }
+
+  const PageAllocatorStats &stats() const { return Stats; }
+
+  /// Number of free pages currently committed but unused.
+  uint64_t freePageCount() const;
+
+  /// Calls \p Fn(Start, Length) for each free run in address order.
+  template <typename FnT> void forEachFreeRun(FnT Fn) const {
+    for (const auto &[Start, Length] : FreeRuns)
+      Fn(Start, Length);
+  }
+
+private:
+  /// Searches existing free runs for a feasible start.
+  std::optional<PageIndex> findInFreeRuns(uint32_t NumPages,
+                                          PageConstraint Constraint);
+
+  /// Finds a feasible start inside [RunStart, RunStart+RunLen), or
+  /// nullopt.  Updates BlacklistSkippedPages.
+  std::optional<PageIndex> findInRun(PageIndex RunStart, uint32_t RunLen,
+                                     uint32_t NumPages,
+                                     PageConstraint Constraint);
+
+  /// Commits more of the arena; \returns false at the arena limit.
+  bool grow(uint32_t AtLeastPages);
+
+  /// Removes [Start, Start+NumPages) from the free run that contains it.
+  void carveFromFreeRun(PageIndex Start, uint32_t NumPages);
+
+  bool pageBlacklisted(PageIndex Page) const {
+    return IsBlacklisted && IsBlacklisted(Page);
+  }
+
+  VirtualArena &Arena;
+  PageIndex BasePage;
+  PageIndex MaxPages;
+  uint32_t GrowthPages;
+  bool DecommitFreed;
+  PageIndex CommitLimit; ///< One past the last committed page.
+  std::map<PageIndex, uint32_t> FreeRuns;
+  std::function<bool(PageIndex)> IsBlacklisted;
+  PageAllocatorStats Stats;
+};
+
+} // namespace cgc
+
+#endif // CGC_HEAP_PAGEALLOCATOR_H

@@ -1,0 +1,58 @@
+//===- heap/PageMap.h - Page index to block mapping ------------*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maps every window page to the block occupying it (or none).  This is
+/// the first step of the conservative pointer validity test, so lookup
+/// must be a constant-time array index.  A flat array over a 4 GiB
+/// window is 1 M entries of 4 bytes — an acceptable fixed cost for the
+/// O(1) hot path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_HEAP_PAGEMAP_H
+#define CGC_HEAP_PAGEMAP_H
+
+#include "heap/HeapUnits.h"
+#include "support/Assert.h"
+#include <vector>
+
+namespace cgc {
+
+class PageMap {
+public:
+  explicit PageMap(PageIndex NumPages)
+      : Entries(NumPages, InvalidBlockId) {}
+
+  BlockId blockAt(PageIndex Page) const {
+    return Page < Entries.size() ? Entries[Page] : InvalidBlockId;
+  }
+
+  void assignRun(PageIndex Start, uint32_t NumPages, BlockId Id) {
+    CGC_ASSERT(uint64_t(Start) + NumPages <= Entries.size(),
+               "page run outside the window");
+    for (uint32_t I = 0; I != NumPages; ++I) {
+      CGC_ASSERT(Entries[Start + I] == InvalidBlockId,
+                 "assigning an occupied page");
+      Entries[Start + I] = Id;
+    }
+  }
+
+  void clearRun(PageIndex Start, uint32_t NumPages) {
+    CGC_ASSERT(uint64_t(Start) + NumPages <= Entries.size(),
+               "page run outside the window");
+    for (uint32_t I = 0; I != NumPages; ++I)
+      Entries[Start + I] = InvalidBlockId;
+  }
+
+private:
+  std::vector<BlockId> Entries;
+};
+
+} // namespace cgc
+
+#endif // CGC_HEAP_PAGEMAP_H

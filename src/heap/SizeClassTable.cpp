@@ -1,0 +1,26 @@
+//===- heap/SizeClassTable.cpp - Small-object size classes ----------------===//
+
+#include "heap/SizeClassTable.h"
+
+using namespace cgc;
+
+SizeClassTable::SizeClassTable() {
+  // Fine-grained classes: 8, 16, ..., FineGrainedLimit.
+  for (size_t Size = GranuleBytes; Size <= FineGrainedLimit;
+       Size += GranuleBytes)
+    ClassSizes[NumClasses++] = Size;
+  // Coarse classes: FineGrainedLimit + 128, ..., MaxSmallObjectBytes.
+  for (size_t Size = FineGrainedLimit + CoarseStepBytes;
+       Size <= MaxSmallObjectBytes; Size += CoarseStepBytes)
+    ClassSizes[NumClasses++] = Size;
+
+  // Invert: granule count -> smallest class whose slot size fits it.
+  unsigned Class = 0;
+  for (size_t Granules = 1; Granules <= MaxGranules; ++Granules) {
+    size_t Bytes = Granules * GranuleBytes;
+    while (ClassSizes[Class] < Bytes)
+      ++Class;
+    GranulesToClass[Granules] = Class;
+  }
+  GranulesToClass[0] = 0;
+}

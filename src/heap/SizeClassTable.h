@@ -1,0 +1,73 @@
+//===- heap/SizeClassTable.h - Small-object size classes -------*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Size classes for small objects.  Objects up to MaxSmallObjectBytes are
+/// carved out of single-page blocks of identical-size slots; larger
+/// requests get dedicated page runs.  Sizes up to FineGrainedLimit round
+/// to the 8-byte granule (the paper's experiments revolve around 8-byte
+/// cons cells, so fine granularity at the bottom matters); above that,
+/// classes widen to limit per-kind free-list count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_HEAP_SIZECLASSTABLE_H
+#define CGC_HEAP_SIZECLASSTABLE_H
+
+#include "heap/HeapUnits.h"
+#include "support/Assert.h"
+#include <array>
+
+namespace cgc {
+
+/// Largest request served from shared small-object pages.
+constexpr size_t MaxSmallObjectBytes = 2048;
+
+/// Below this size, classes step by one granule (8 bytes).
+constexpr size_t FineGrainedLimit = 512;
+
+/// Above FineGrainedLimit, classes step by this many bytes.
+constexpr size_t CoarseStepBytes = 128;
+
+class SizeClassTable {
+public:
+  SizeClassTable();
+
+  /// Number of distinct size classes.
+  unsigned numClasses() const { return NumClasses; }
+
+  /// \returns the class index serving a request of \p Bytes
+  /// (1 <= Bytes <= MaxSmallObjectBytes).
+  unsigned classForSize(size_t Bytes) const {
+    CGC_ASSERT(Bytes > 0 && Bytes <= MaxSmallObjectBytes,
+               "size out of small-object range");
+    return GranulesToClass[(Bytes + GranuleBytes - 1) / GranuleBytes];
+  }
+
+  /// \returns the slot size (bytes) of class \p Class.
+  size_t classSize(unsigned Class) const {
+    CGC_ASSERT(Class < NumClasses, "size class out of range");
+    return ClassSizes[Class];
+  }
+
+  /// \returns true if a request of \p Bytes is a small object.
+  static bool isSmall(size_t Bytes) { return Bytes <= MaxSmallObjectBytes; }
+
+private:
+  static constexpr size_t MaxGranules = MaxSmallObjectBytes / GranuleBytes;
+
+  unsigned NumClasses = 0;
+  std::array<size_t, 1 + (FineGrainedLimit / GranuleBytes) +
+                         (MaxSmallObjectBytes - FineGrainedLimit) /
+                             CoarseStepBytes>
+      ClassSizes{};
+  std::array<unsigned, MaxGranules + 1> GranulesToClass{};
+};
+
+} // namespace cgc
+
+#endif // CGC_HEAP_SIZECLASSTABLE_H

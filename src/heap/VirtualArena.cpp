@@ -1,0 +1,34 @@
+//===- heap/VirtualArena.cpp - Reserved address-space window --------------===//
+
+#include "heap/VirtualArena.h"
+#include "support/MathExtras.h"
+#include <sys/mman.h>
+
+using namespace cgc;
+
+VirtualArena::VirtualArena(uint64_t SizeBytes) {
+  Size = alignTo(SizeBytes, PageSize);
+  // MAP_NORESERVE: reserve address space only; pages are committed on
+  // first touch.  The window is writable so the heap can use any page
+  // without further syscalls.
+  void *Mapped = ::mmap(nullptr, Size, PROT_READ | PROT_WRITE,
+                        MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  CGC_CHECK(Mapped != MAP_FAILED, "failed to reserve the heap window");
+  Base = reinterpret_cast<Address>(Mapped);
+}
+
+VirtualArena::~VirtualArena() {
+  if (Base != 0)
+    ::munmap(reinterpret_cast<void *>(Base), Size);
+}
+
+void VirtualArena::decommit(WindowOffset Offset, uint64_t Bytes) {
+  CGC_ASSERT(isAligned(Offset, PageSize) && isAligned(Bytes, PageSize),
+             "decommit range must be page aligned");
+  CGC_ASSERT(Offset + Bytes <= Size, "decommit range outside the arena");
+  if (Bytes == 0)
+    return;
+  // MADV_DONTNEED discards the pages; subsequent reads see zero-filled
+  // memory, which is exactly the "freshly allocated" state we want.
+  ::madvise(reinterpret_cast<void *>(Base + Offset), Bytes, MADV_DONTNEED);
+}

@@ -1,0 +1,84 @@
+//===- heap/VirtualArena.h - Reserved address-space window -----*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reserves one contiguous window of virtual address space and performs
+/// machine-address <-> window-offset conversions.  Pages are committed
+/// lazily by the OS, so reserving a 4 GiB window costs nothing until the
+/// heap actually touches pages.
+///
+/// The window serves two purposes:
+///   1. It gives the collector full control over heap *placement*, which
+///      the paper identifies as an inexpensive way to reduce pointer
+///      misidentification ("properly positioning the heap in the address
+///      space").
+///   2. It models the 32-bit address space of the paper's platforms:
+///      the simulated 1993 root segments hold 32-bit window offsets, and
+///      a random data word hits the heap with probability
+///      heap-size / window-size, exactly as on the paper's machines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_HEAP_VIRTUALARENA_H
+#define CGC_HEAP_VIRTUALARENA_H
+
+#include "heap/HeapUnits.h"
+#include "support/Assert.h"
+
+namespace cgc {
+
+class VirtualArena {
+public:
+  /// Reserves \p SizeBytes of address space (rounded up to a page).
+  /// Aborts on reservation failure: without a window there is no heap.
+  explicit VirtualArena(uint64_t SizeBytes);
+  ~VirtualArena();
+
+  VirtualArena(const VirtualArena &) = delete;
+  VirtualArena &operator=(const VirtualArena &) = delete;
+
+  Address base() const { return Base; }
+  uint64_t size() const { return Size; }
+  PageIndex numPages() const {
+    return static_cast<PageIndex>(Size >> PageSizeLog2);
+  }
+
+  bool contains(Address Addr) const {
+    return Addr >= Base && Addr < Base + Size;
+  }
+
+  bool containsOffset(WindowOffset Offset) const { return Offset < Size; }
+
+  WindowOffset offsetOf(Address Addr) const {
+    CGC_ASSERT(contains(Addr), "address outside the arena");
+    return Addr - Base;
+  }
+
+  Address addressOf(WindowOffset Offset) const {
+    CGC_ASSERT(containsOffset(Offset), "offset outside the arena");
+    return Base + Offset;
+  }
+
+  void *pointerTo(WindowOffset Offset) const {
+    return reinterpret_cast<void *>(addressOf(Offset));
+  }
+
+  /// Releases the physical pages backing [Offset, Offset+Bytes) back to
+  /// the OS while keeping the reservation.  The next touch reads zeros.
+  /// The page allocator calls this when whole blocks are freed, both to
+  /// bound RSS and because returning zeroed pages removes stale pointer
+  /// data (the paper's "clean up after yourself" discipline).
+  void decommit(WindowOffset Offset, uint64_t Bytes);
+
+private:
+  Address Base = 0;
+  uint64_t Size = 0;
+};
+
+} // namespace cgc
+
+#endif // CGC_HEAP_VIRTUALARENA_H

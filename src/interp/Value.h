@@ -1,0 +1,110 @@
+//===- interp/Value.h - Lisp values on the collector -----------*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Values for the small Lisp that ships with the collector.  The paper
+/// lists "portable implementations of Scheme, ML, Common Lisp, Mesa,
+/// and CLU" as the flagship clients of conservative collection: a
+/// language runtime that compiles to C and lets the collector find its
+/// roots on the C stack.  This module is that client, in miniature.
+///
+/// A Value is a 16-byte tagged record.  Heap cells (pairs, closures)
+/// are cgc objects holding Values; the collector scans them
+/// conservatively and finds the Object pointers at word offsets, with
+/// no cooperation from the interpreter — no shadow stack, no root
+/// registration per temporary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_INTERP_VALUE_H
+#define CGC_INTERP_VALUE_H
+
+#include <cstdint>
+
+namespace cgc::interp {
+
+class Interpreter;
+struct Obj;
+
+enum class Tag : uint64_t {
+  Nil,
+  Fixnum,
+  Boolean,
+  Symbol, ///< Payload: index into the interpreter's symbol table.
+  Pair,
+  Closure,
+  Builtin,
+};
+
+/// Builtins receive the interpreter and their evaluated argument list.
+using BuiltinFn = struct Value (*)(Interpreter &, struct Value Args);
+
+struct Value {
+  Tag Kind = Tag::Nil;
+  union {
+    int64_t Fixnum;
+    bool Boolean;
+    uint64_t Symbol;
+    Obj *Object;
+    BuiltinFn Builtin;
+  };
+
+  Value() : Fixnum(0) {}
+
+  static Value nil() { return Value(); }
+  static Value fixnum(int64_t N) {
+    Value V;
+    V.Kind = Tag::Fixnum;
+    V.Fixnum = N;
+    return V;
+  }
+  static Value boolean(bool B) {
+    Value V;
+    V.Kind = Tag::Boolean;
+    V.Boolean = B;
+    return V;
+  }
+  static Value symbol(uint64_t Index) {
+    Value V;
+    V.Kind = Tag::Symbol;
+    V.Symbol = Index;
+    return V;
+  }
+  static Value object(Tag Kind, Obj *O) {
+    Value V;
+    V.Kind = Kind;
+    V.Object = O;
+    return V;
+  }
+  static Value builtin(BuiltinFn Fn) {
+    Value V;
+    V.Kind = Tag::Builtin;
+    V.Builtin = Fn;
+    return V;
+  }
+
+  bool isNil() const { return Kind == Tag::Nil; }
+  bool isPair() const { return Kind == Tag::Pair; }
+  bool isFixnum() const { return Kind == Tag::Fixnum; }
+  bool isSymbol() const { return Kind == Tag::Symbol; }
+  bool isCallable() const {
+    return Kind == Tag::Closure || Kind == Tag::Builtin;
+  }
+  /// Scheme truthiness: everything but #f.
+  bool truthy() const { return !(Kind == Tag::Boolean && !Boolean); }
+};
+
+/// Heap cell: pair (Slots[0]=car, Slots[1]=cdr) or closure
+/// (Slots[0]=params, Slots[1]=body, Slots[2]=captured env), selected by
+/// the referencing Value's tag.
+struct Obj {
+  Value Slots[3];
+};
+
+} // namespace cgc::interp
+
+#endif // CGC_INTERP_VALUE_H

@@ -1,0 +1,63 @@
+//===- roots/MachineStack.h - Real machine-stack scanning ------*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Support for treating the *real* calling thread's stack and registers
+/// as conservative roots, so the examples run as genuine
+/// garbage-collected C++ programs.  The experiments use the simulated
+/// stack instead (deterministic); this module exists to show the
+/// collector is a real collector.
+///
+/// Register contents are flushed to the stack with setjmp before
+/// scanning, the classic uncooperative-environment technique.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_ROOTS_MACHINESTACK_H
+#define CGC_ROOTS_MACHINESTACK_H
+
+#include "heap/HeapUnits.h"
+#include <csetjmp>
+
+namespace cgc {
+
+class MachineStack {
+public:
+  /// Captures the calling thread's stack bounds.  Call once from (or
+  /// near) main before allocating.
+  MachineStack();
+
+  /// \returns the hot end of the live stack at the caller's frame and
+  /// flushes callee-saved registers into \p RegisterBuffer so they are
+  /// scanned too.  Must not be inlined into the collector's caller.
+  struct Snapshot {
+    /// Current stack pointer (low end on a downward-growing stack).
+    const void *HotEnd = nullptr;
+    /// Base captured at construction (high end).
+    const void *Base = nullptr;
+    /// Register contents flushed via setjmp.
+    const void *RegistersBegin = nullptr;
+    const void *RegistersEnd = nullptr;
+  };
+
+  Snapshot capture(std::jmp_buf &RegisterBuffer) const;
+
+  /// §3.1 stack clearing on the real stack: zeroes up to \p ChunkBytes
+  /// of the dead region just beyond the current frame, bounded by the
+  /// deepest stack extent seen so far.  Mirrors bdwgc's GC_clear_stack.
+  void clearDeadStack(uint32_t ChunkBytes);
+
+  const void *base() const { return Base; }
+
+private:
+  const void *Base = nullptr;        ///< High end of the stack.
+  mutable const void *DeepestSeen = nullptr; ///< Low-water mark.
+};
+
+} // namespace cgc
+
+#endif // CGC_ROOTS_MACHINESTACK_H

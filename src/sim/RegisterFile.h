@@ -1,0 +1,59 @@
+//===- sim/RegisterFile.h - Simulated register residue ---------*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simulated register file scanned as a conservative root.  Models the
+/// paper's platform notes: "Contents of unused registers appear to be
+/// nondeterministic, since newly allocated register windows are not
+/// cleared" (SPARC) and "presumably also due to varying register
+/// contents after system call or trap returns" (SGI).
+///
+/// Residue installed at construction time (before any allocation) is
+/// the *startup* kind: constant, so the startup collection blacklists
+/// whatever it points near.  Values redrawn between collections model
+/// post-allocation kernel/trap residue, the source of the small
+/// retention that survives blacklisting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_SIM_REGISTERFILE_H
+#define CGC_SIM_REGISTERFILE_H
+
+#include "core/Collector.h"
+#include "support/Random.h"
+#include <vector>
+
+namespace cgc::sim {
+
+class RegisterFile {
+public:
+  explicit RegisterFile(size_t Count) : Registers(Count, 0) {}
+
+  size_t size() const { return Registers.size(); }
+  uint64_t get(size_t Index) const { return Registers[Index]; }
+  void set(size_t Index, uint64_t Value) { Registers[Index] = Value; }
+  void clearAll() {
+    for (uint64_t &Register : Registers)
+      Register = 0;
+  }
+
+  /// Registers the file as a Native64 root.
+  void attachTo(Collector &GC, std::string Label = "sim-registers") {
+    GC.addRootRange(Registers.data(), Registers.data() + Registers.size(),
+                    RootEncoding::Native64, RootSource::Registers,
+                    std::move(Label));
+  }
+
+  const uint64_t *data() const { return Registers.data(); }
+
+private:
+  std::vector<uint64_t> Registers;
+};
+
+} // namespace cgc::sim
+
+#endif // CGC_SIM_REGISTERFILE_H

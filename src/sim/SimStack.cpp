@@ -1,0 +1,52 @@
+//===- sim/SimStack.cpp - Simulated mutator stack -------------------------===//
+
+#include "sim/SimStack.h"
+#include <cstring>
+
+using namespace cgc;
+using namespace cgc::sim;
+
+size_t SimStack::pushFrame(size_t NumSlots, double WrittenFraction) {
+  CGC_CHECK(Top + NumSlots <= Slots.size(), "simulated stack overflow");
+  size_t Base = Top;
+  Frames.push_back(Base);
+  Top += NumSlots;
+  if (Top > HighWater)
+    HighWater = Top;
+  // The "calling convention" initializes only part of the frame; the
+  // remainder keeps whatever deeper, popped frames left behind.
+  size_t Written = static_cast<size_t>(
+      static_cast<double>(NumSlots) * WrittenFraction + 0.5);
+  Written = std::min(Written, NumSlots);
+  for (size_t I = 0; I != Written; ++I)
+    Slots[Base + I] = 0;
+  return Base;
+}
+
+void SimStack::popFrame() {
+  CGC_CHECK(!Frames.empty(), "popping an empty simulated stack");
+  Top = Frames.back();
+  Frames.pop_back();
+}
+
+size_t SimStack::clearBeyondTop(size_t ChunkSlots) {
+  if (HighWater <= Top)
+    return 0;
+  size_t End = std::min(Top + ChunkSlots, HighWater);
+  size_t Cleared = End - Top;
+  std::memset(Slots.data() + Top, 0, Cleared * sizeof(uint64_t));
+  // The region above End is still dirty; keep the high-water mark so a
+  // later pass can continue.  If we cleared up to it, it collapses.
+  if (End == HighWater)
+    HighWater = Top;
+  return Cleared;
+}
+
+void SimStack::attachTo(Collector &GC, std::string Label) {
+  RootId Id = GC.addRootRange(liveBegin(), liveEnd(),
+                              RootEncoding::Native64, RootSource::Stack,
+                              std::move(Label));
+  GC.addPreCollectionHook([this, &GC, Id] {
+    GC.updateRootRange(Id, liveBegin(), scanEnd());
+  });
+}

@@ -1,0 +1,118 @@
+//===- sim/SimStack.h - Simulated mutator stack ----------------*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic model of a 1990s RISC call stack, built to reproduce
+/// the paper's §3.1 phenomenon:
+///
+///   "these architectures tend to encourage unnecessarily large stack
+///    frames, parts of which are never written.  As a consequence, a
+///    pointer a may be written to a stack location, the stack may be
+///    popped to well below that pointer's location, the stack may grow
+///    again, and the garbage collector may be invoked, with a again
+///    appearing live, since it failed to be overwritten during the
+///    second stack expansion."
+///
+/// Frames are pushed with a *written fraction*: only that prefix of the
+/// frame's slots is initialized; the rest keeps whatever bytes earlier,
+/// deeper calls left there.  Pops never clear.  The collector scans the
+/// live region [bottom, top), so stale pointers survive exactly when a
+/// later frame covers their slot without writing it.
+///
+/// The §3.1 countermeasure is clearBeyondTop(): the allocator
+/// occasionally zeroes a bounded chunk of the dead region between the
+/// current top and the high-water mark.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_SIM_SIMSTACK_H
+#define CGC_SIM_SIMSTACK_H
+
+#include "core/Collector.h"
+#include "support/Assert.h"
+#include <cstdint>
+#include <vector>
+
+namespace cgc::sim {
+
+class SimStack {
+public:
+  /// \param CapacitySlots total stack capacity in 64-bit slots.
+  explicit SimStack(size_t CapacitySlots)
+      : Slots(CapacitySlots, 0), Top(0), HighWater(0) {}
+
+  /// Pushes a frame of \p NumSlots slots.  Only the first
+  /// \p NumSlots * WrittenFraction slots are zero-initialized; the rest
+  /// keep stale contents (the RISC large-frame behavior).
+  /// \returns the frame's base slot index.
+  size_t pushFrame(size_t NumSlots, double WrittenFraction = 1.0);
+
+  /// Pops the most recent frame.  Never clears (that is the point).
+  void popFrame();
+
+  /// Writes a raw value into slot \p Index of the current frame
+  /// (absolute index as returned by pushFrame + offset).
+  void write(size_t AbsoluteSlot, uint64_t Value) {
+    CGC_ASSERT(AbsoluteSlot < Top, "write above the stack top");
+    Slots[AbsoluteSlot] = Value;
+  }
+
+  void writePointer(size_t AbsoluteSlot, const void *Ptr) {
+    write(AbsoluteSlot, reinterpret_cast<uint64_t>(Ptr));
+  }
+
+  uint64_t read(size_t AbsoluteSlot) const {
+    CGC_ASSERT(AbsoluteSlot < Top, "read above the stack top");
+    return Slots[AbsoluteSlot];
+  }
+
+  size_t depth() const { return Top; }
+  size_t highWater() const { return HighWater; }
+  size_t frameCount() const { return Frames.size(); }
+  size_t capacity() const { return Slots.size(); }
+
+  /// §3.1 stack clearing: zeroes up to \p ChunkSlots of the dead region
+  /// just above the current top, bounded by the high-water mark, and
+  /// then lowers the high-water mark to the cleared extent.
+  /// \returns the number of slots cleared.
+  size_t clearBeyondTop(size_t ChunkSlots);
+
+  /// Registers the live region as a Native64 root of \p GC and installs
+  /// a pre-collection hook keeping the bounds in sync with the top.
+  void attachTo(Collector &GC, std::string Label = "sim-stack");
+
+  /// Sets how many *dead* slots beyond the top each collection scans.
+  /// On the paper's machines the collector's own activation records sit
+  /// below the mutator's frame, so scanning [SP, base] sweeps across
+  /// whatever dead mutator data the collector's frames did not happen
+  /// to overwrite.  Zero models a collector that "carefully cleans up
+  /// after itself".
+  void setGcOverscanSlots(size_t Slots) { GcOverscanSlots = Slots; }
+
+  /// The live region's bounds (for manual root registration).
+  const uint64_t *liveBegin() const { return Slots.data(); }
+  const uint64_t *liveEnd() const { return Slots.data() + Top; }
+
+  /// End of the region a collection actually scans: the live region
+  /// plus the overscan into once-live dead stack.
+  const uint64_t *scanEnd() const {
+    size_t End = std::min(HighWater, Top + GcOverscanSlots);
+    End = std::max(End, Top);
+    return Slots.data() + End;
+  }
+
+private:
+  std::vector<uint64_t> Slots;
+  std::vector<size_t> Frames; ///< Base slot of each pushed frame.
+  size_t Top;
+  size_t HighWater;
+  size_t GcOverscanSlots = 48;
+};
+
+} // namespace cgc::sim
+
+#endif // CGC_SIM_SIMSTACK_H

@@ -1,0 +1,96 @@
+//===- sim/SyntheticSegments.cpp - 1993-style static data -----------------===//
+
+#include "sim/SyntheticSegments.h"
+#include "support/Assert.h"
+#include <cstring>
+
+using namespace cgc;
+using namespace cgc::sim;
+
+namespace {
+
+void appendWord32(Segment &Out, uint32_t Value, bool BigEndian) {
+  if (BigEndian)
+    Value = __builtin_bswap32(Value);
+  unsigned char Bytes[4];
+  std::memcpy(Bytes, &Value, 4);
+  Out.insert(Out.end(), Bytes, Bytes + 4);
+}
+
+/// Printable, non-space ASCII: the byte range string constants live in.
+unsigned char randomAsciiChar(Rng &R) {
+  return static_cast<unsigned char>(R.nextInRange('!', '~'));
+}
+
+void appendOneString(Segment &Out, size_t Length, Rng &R) {
+  for (size_t I = 0; I != Length; ++I)
+    Out.push_back(randomAsciiChar(R));
+  Out.push_back(0); // Trailing NUL: the Figure-1-adjacent hazard byte.
+}
+
+} // namespace
+
+void cgc::sim::appendIntTable(Segment &Out, const IntTableSpec &Spec, Rng &R,
+                              bool BigEndian) {
+  for (size_t I = 0; I != Spec.Words; ++I) {
+    uint32_t Value;
+    double Roll = R.nextDouble();
+    if (Roll < Spec.SmallFraction)
+      Value = static_cast<uint32_t>(R.nextBelow(4096));
+    else if (Roll < Spec.SmallFraction + Spec.WildFraction)
+      Value = R.next32();
+    else
+      Value = static_cast<uint32_t>(R.nextBelow(Spec.MaxMagnitude));
+    appendWord32(Out, Value, BigEndian);
+  }
+}
+
+void cgc::sim::appendStringPool(Segment &Out, const StringPoolSpec &Spec,
+                                Rng &R) {
+  for (size_t I = 0; I != Spec.Count; ++I) {
+    if (Spec.WordAligned)
+      while (Out.size() % 4 != 0)
+        Out.push_back(0);
+    size_t Length = R.nextInRange(Spec.MinLen, Spec.MaxLen);
+    appendOneString(Out, Length, R);
+  }
+}
+
+void cgc::sim::appendEnvironmentBlock(Segment &Out, size_t Vars, Rng &R) {
+  static const char *const Names[] = {
+      "PATH", "HOME", "SHELL", "TERM", "USER", "DISPLAY", "LANG",
+      "EDITOR", "MANPATH", "HOSTNAME", "LOGNAME", "TMPDIR",
+  };
+  for (size_t I = 0; I != Vars; ++I) {
+    const char *Name = Names[R.pickIndex(sizeof(Names) / sizeof(Names[0]))];
+    Out.insert(Out.end(), Name, Name + std::strlen(Name));
+    Out.push_back('=');
+    // Path-shaped values: segments of letters separated by '/'.
+    size_t Components = R.nextInRange(1, 4);
+    for (size_t C = 0; C != Components; ++C) {
+      Out.push_back('/');
+      size_t Length = R.nextInRange(2, 8);
+      for (size_t J = 0; J != Length; ++J)
+        Out.push_back(static_cast<unsigned char>(R.nextInRange('a', 'z')));
+    }
+    Out.push_back(0);
+  }
+}
+
+size_t cgc::sim::countWordsInRange(const Segment &Seg, unsigned Stride,
+                                   bool BigEndian, uint64_t Lo,
+                                   uint64_t Hi) {
+  CGC_CHECK(Stride >= 1 && Stride <= 8, "bad stride");
+  size_t Count = 0;
+  if (Seg.size() < 4)
+    return 0;
+  for (size_t I = 0; I + 4 <= Seg.size(); I += Stride) {
+    uint32_t Value;
+    std::memcpy(&Value, Seg.data() + I, 4);
+    if (BigEndian)
+      Value = __builtin_bswap32(Value);
+    if (Value >= Lo && Value < Hi)
+      ++Count;
+  }
+  return Count;
+}

@@ -1,0 +1,83 @@
+//===- sim/SyntheticSegments.h - 1993-style static data --------*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generators for the static-data segments the paper's collectors
+/// scanned as roots:
+///
+///   * Integer tables — "several large arrays (totalling more than 35K)
+///     of seemingly random integer values, apparently used for base
+///     conversion in the IO library" (SunOS static libc).
+///   * String pools — C string constants.  Packed (unaligned) strings
+///     reproduce the paper's big-endian hazard: "A trailing NUL
+///     character of one string, followed by the first three characters
+///     of the next may appear to be a pointer"; on little-endian
+///     machines the mirrored end-of-string hazard appears instead.
+///   * Environment blocks — "the scanned part of the address space is
+///     polluted with UNIX environment variables".
+///
+/// All content is deterministic given the Rng, which is how this
+/// reproduction replaces the paper's irreproducible ambient pollution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_SIM_SYNTHETICSEGMENTS_H
+#define CGC_SIM_SYNTHETICSEGMENTS_H
+
+#include "support/Random.h"
+#include <cstdint>
+#include <vector>
+
+namespace cgc::sim {
+
+using Segment = std::vector<unsigned char>;
+
+/// Shape of an integer table's value distribution.
+struct IntTableSpec {
+  /// Number of 32-bit words.
+  size_t Words = 0;
+  /// Values are uniform in [0, MaxMagnitude).  1993 table data rarely
+  /// used the full 32-bit range; magnitude controls how often a value
+  /// lands inside a low-placed heap.
+  uint32_t MaxMagnitude = 0x40000000;
+  /// Fraction of words drawn uniform over the full 32 bits instead.
+  double WildFraction = 0.05;
+  /// Fraction of words that are small (< 4096): digit counts, flags...
+  double SmallFraction = 0.30;
+};
+
+/// Appends \p Spec.Words values to \p Out.  \p BigEndian selects the
+/// byte order the words are stored with (the scanner's Window32BE/LE
+/// encoding must match).
+void appendIntTable(Segment &Out, const IntTableSpec &Spec, Rng &R,
+                    bool BigEndian);
+
+struct StringPoolSpec {
+  size_t Count = 0;
+  size_t MinLen = 3;
+  size_t MaxLen = 24;
+  /// Pad each string start to a 4-byte boundary (and the hole with
+  /// zeros).  The paper notes this is how the hazard "is easily
+  /// avoidable on big-endian machines".
+  bool WordAligned = false;
+};
+
+/// Appends NUL-terminated ASCII strings to \p Out.
+void appendStringPool(Segment &Out, const StringPoolSpec &Spec, Rng &R);
+
+/// Appends \p Vars "NAME=value"-shaped environment strings.
+void appendEnvironmentBlock(Segment &Out, size_t Vars, Rng &R);
+
+/// Counts 32-bit loads in \p Seg (at \p Stride, decoded with
+/// \p BigEndian) whose value falls in [Lo, Hi).  Used by tests and the
+/// misidentification-rate experiments.
+size_t countWordsInRange(const Segment &Seg, unsigned Stride, bool BigEndian,
+                         uint64_t Lo, uint64_t Hi);
+
+} // namespace cgc::sim
+
+#endif // CGC_SIM_SYNTHETICSEGMENTS_H

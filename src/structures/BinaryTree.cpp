@@ -1,0 +1,35 @@
+//===- structures/BinaryTree.cpp - Balanced tree (§4) ---------------------===//
+
+#include "structures/BinaryTree.h"
+#include "support/Assert.h"
+
+using namespace cgc;
+
+BalancedTree::BalancedTree(Collector &GC, unsigned TreeHeight)
+    : GC(GC), Height(TreeHeight) {
+  AnchorRoot = GC.addRootRange(&Anchor, &Anchor + 1, RootEncoding::Native64,
+                               RootSource::Client, "balanced-tree-root");
+  Anchor = reinterpret_cast<uint64_t>(build(Height));
+}
+
+BalancedTree::~BalancedTree() { GC.removeRootRange(AnchorRoot); }
+
+TreeNode *BalancedTree::build(unsigned Depth) {
+  auto *Node = static_cast<TreeNode *>(GC.allocate(sizeof(TreeNode)));
+  CGC_CHECK(Node, "tree allocation failed");
+  Node->Key = NodeOffsets.size();
+  NodeOffsets.push_back(GC.windowOffsetOf(Node));
+  if (Depth == 0) {
+    Node->Left = Node->Right = nullptr;
+    return Node;
+  }
+  Node->Left = build(Depth - 1);
+  Node->Right = build(Depth - 1);
+  return Node;
+}
+
+size_t BalancedTree::countReachable(const TreeNode *Node) {
+  if (!Node)
+    return 0;
+  return 1 + countReachable(Node->Left) + countReachable(Node->Right);
+}

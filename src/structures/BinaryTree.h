@@ -1,0 +1,65 @@
+//===- structures/BinaryTree.h - Balanced tree (§4) ------------*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// §4's benign case: "The expected number of vertices retained as a
+/// result of a false reference to a balanced binary tree with child
+/// links is approximately equal to the height of the tree.  Thus a
+/// large number of false references to such structures can usually be
+/// tolerated."  (A false reference to a uniformly random vertex retains
+/// that vertex's subtree, and the average subtree size over all
+/// vertices equals the average vertex depth + 1 ≈ the height.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_STRUCTURES_BINARYTREE_H
+#define CGC_STRUCTURES_BINARYTREE_H
+
+#include "core/Collector.h"
+#include <vector>
+
+namespace cgc {
+
+struct TreeNode {
+  TreeNode *Left;
+  TreeNode *Right;
+  uint64_t Key;
+};
+
+/// A perfectly balanced tree with every node's window offset recorded,
+/// so experiments can aim false references at uniformly random nodes.
+class BalancedTree {
+public:
+  BalancedTree(Collector &GC, unsigned Height);
+  ~BalancedTree();
+
+  TreeNode *root() const { return reinterpret_cast<TreeNode *>(Anchor); }
+  unsigned height() const { return Height; }
+  size_t nodeCount() const { return NodeOffsets.size(); }
+
+  /// Window offset of node \p Index (preorder).
+  WindowOffset nodeOffset(size_t Index) const { return NodeOffsets[Index]; }
+
+  /// Drops the intentional root reference.
+  void dropRoot() { Anchor = 0; }
+
+  /// Counts nodes reachable from \p Node by child links.
+  static size_t countReachable(const TreeNode *Node);
+
+private:
+  TreeNode *build(unsigned Depth);
+
+  Collector &GC;
+  unsigned Height;
+  uint64_t Anchor = 0;
+  RootId AnchorRoot;
+  std::vector<WindowOffset> NodeOffsets;
+};
+
+} // namespace cgc
+
+#endif // CGC_STRUCTURES_BINARYTREE_H

@@ -1,0 +1,52 @@
+//===- structures/FalseRef.h - Planted false references --------*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately planted "false" reference: one root slot whose value
+/// the experiment controls.  §4's experiments ask what a single
+/// misidentified pointer retains in each data-structure style; this is
+/// the knob that injects it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_STRUCTURES_FALSEREF_H
+#define CGC_STRUCTURES_FALSEREF_H
+
+#include "core/Collector.h"
+
+namespace cgc {
+
+class PlantedRef {
+public:
+  explicit PlantedRef(Collector &GC) : GC(GC) {
+    Slot = 0;
+    Root = GC.addRootRange(&Slot, &Slot + 1, RootEncoding::Native64,
+                           RootSource::Client, "planted-false-ref");
+  }
+
+  ~PlantedRef() { GC.removeRootRange(Root); }
+
+  /// Points the false reference at window offset \p Offset.
+  void setOffset(WindowOffset Offset) {
+    Slot = reinterpret_cast<uint64_t>(GC.pointerAtOffset(Offset));
+  }
+
+  void setPointer(const void *Ptr) {
+    Slot = reinterpret_cast<uint64_t>(Ptr);
+  }
+
+  void clear() { Slot = 0; }
+
+private:
+  Collector &GC;
+  uint64_t Slot;
+  RootId Root;
+};
+
+} // namespace cgc
+
+#endif // CGC_STRUCTURES_FALSEREF_H

@@ -1,0 +1,135 @@
+//===- structures/Grid.cpp - Figures 3/4 grid styles ----------------------===//
+
+#include "structures/Grid.h"
+#include "support/Assert.h"
+
+using namespace cgc;
+
+EmbeddedGrid::EmbeddedGrid(Collector &GC, unsigned Rows, unsigned Cols)
+    : GC(GC), Rows(Rows), Cols(Cols) {
+  RowHeaders.assign(Rows, 0);
+  ColHeaders.assign(Cols, 0);
+  VertexOffsets.resize(size_t(Rows) * Cols);
+
+  // Allocate all vertices, then wire links.
+  std::vector<EmbeddedVertex *> Vertices(size_t(Rows) * Cols);
+  for (unsigned R = 0; R != Rows; ++R) {
+    for (unsigned C = 0; C != Cols; ++C) {
+      auto *V = static_cast<EmbeddedVertex *>(
+          GC.allocate(sizeof(EmbeddedVertex)));
+      CGC_CHECK(V, "grid allocation failed");
+      V->Payload = uint64_t(R) << 32 | C;
+      Vertices[size_t(R) * Cols + C] = V;
+      VertexOffsets[size_t(R) * Cols + C] = GC.windowOffsetOf(V);
+    }
+  }
+  for (unsigned R = 0; R != Rows; ++R) {
+    for (unsigned C = 0; C != Cols; ++C) {
+      EmbeddedVertex *V = Vertices[size_t(R) * Cols + C];
+      V->Right = C + 1 < Cols ? Vertices[size_t(R) * Cols + C + 1] : nullptr;
+      V->Down = R + 1 < Rows ? Vertices[size_t(R + 1) * Cols + C] : nullptr;
+    }
+  }
+  for (unsigned R = 0; R != Rows; ++R)
+    RowHeaders[R] = reinterpret_cast<uint64_t>(Vertices[size_t(R) * Cols]);
+  for (unsigned C = 0; C != Cols; ++C)
+    ColHeaders[C] = reinterpret_cast<uint64_t>(Vertices[C]);
+
+  RowRoot = GC.addRootRange(RowHeaders.data(),
+                            RowHeaders.data() + RowHeaders.size(),
+                            RootEncoding::Native64, RootSource::Client,
+                            "embedded-grid-rows");
+  ColRoot = GC.addRootRange(ColHeaders.data(),
+                            ColHeaders.data() + ColHeaders.size(),
+                            RootEncoding::Native64, RootSource::Client,
+                            "embedded-grid-cols");
+}
+
+EmbeddedGrid::~EmbeddedGrid() {
+  if (RowRoot)
+    GC.removeRootRange(RowRoot);
+  if (ColRoot)
+    GC.removeRootRange(ColRoot);
+}
+
+void EmbeddedGrid::dropRoots() {
+  for (uint64_t &H : RowHeaders)
+    H = 0;
+  for (uint64_t &H : ColHeaders)
+    H = 0;
+}
+
+SeparateGrid::SeparateGrid(Collector &GC, unsigned Rows, unsigned Cols)
+    : GC(GC), Rows(Rows), Cols(Cols) {
+  RowHeaders.assign(Rows, 0);
+  ColHeaders.assign(Cols, 0);
+  VertexOffsets.resize(size_t(Rows) * Cols);
+  RowCellOffsets.resize(size_t(Rows) * Cols);
+  ColCellOffsets.resize(size_t(Rows) * Cols);
+
+  // Payload vertices: pointer-free, so the collector never scans them
+  // — this is the representation telling the collector more.
+  std::vector<SeparateVertex *> Vertices(size_t(Rows) * Cols);
+  for (unsigned R = 0; R != Rows; ++R) {
+    for (unsigned C = 0; C != Cols; ++C) {
+      auto *V = static_cast<SeparateVertex *>(
+          GC.allocate(sizeof(SeparateVertex), ObjectKind::PointerFree));
+      CGC_CHECK(V, "grid allocation failed");
+      V->Payload[0] = uint64_t(R) << 32 | C;
+      Vertices[size_t(R) * Cols + C] = V;
+      VertexOffsets[size_t(R) * Cols + C] = GC.windowOffsetOf(V);
+    }
+  }
+
+  // Row spines: cons chains over each row, right to left.
+  for (unsigned R = 0; R != Rows; ++R) {
+    GridConsCell *Next = nullptr;
+    for (unsigned C = Cols; C-- > 0;) {
+      auto *Cell = static_cast<GridConsCell *>(
+          GC.allocate(sizeof(GridConsCell)));
+      CGC_CHECK(Cell, "grid allocation failed");
+      Cell->Car = Vertices[size_t(R) * Cols + C];
+      Cell->Cdr = Next;
+      Next = Cell;
+      RowCellOffsets[size_t(R) * Cols + C] = GC.windowOffsetOf(Cell);
+    }
+    RowHeaders[R] = reinterpret_cast<uint64_t>(Next);
+  }
+  // Column spines, bottom to top.
+  for (unsigned C = 0; C != Cols; ++C) {
+    GridConsCell *Next = nullptr;
+    for (unsigned R = Rows; R-- > 0;) {
+      auto *Cell = static_cast<GridConsCell *>(
+          GC.allocate(sizeof(GridConsCell)));
+      CGC_CHECK(Cell, "grid allocation failed");
+      Cell->Car = Vertices[size_t(R) * Cols + C];
+      Cell->Cdr = Next;
+      Next = Cell;
+      ColCellOffsets[size_t(R) * Cols + C] = GC.windowOffsetOf(Cell);
+    }
+    ColHeaders[C] = reinterpret_cast<uint64_t>(Next);
+  }
+
+  RowRoot = GC.addRootRange(RowHeaders.data(),
+                            RowHeaders.data() + RowHeaders.size(),
+                            RootEncoding::Native64, RootSource::Client,
+                            "separate-grid-rows");
+  ColRoot = GC.addRootRange(ColHeaders.data(),
+                            ColHeaders.data() + ColHeaders.size(),
+                            RootEncoding::Native64, RootSource::Client,
+                            "separate-grid-cols");
+}
+
+SeparateGrid::~SeparateGrid() {
+  if (RowRoot)
+    GC.removeRootRange(RowRoot);
+  if (ColRoot)
+    GC.removeRootRange(ColRoot);
+}
+
+void SeparateGrid::dropRoots() {
+  for (uint64_t &H : RowHeaders)
+    H = 0;
+  for (uint64_t &H : ColHeaders)
+    H = 0;
+}

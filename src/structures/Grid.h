@@ -1,0 +1,121 @@
+//===- structures/Grid.h - Figures 3/4 grid styles -------------*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's §4 programming-style study: a rectangular array of
+/// vertices linked both horizontally and vertically, accessed by
+/// traversing a row or a column from its header.
+///
+///   * EmbeddedGrid (Figure 3): link fields live in the vertices
+///     themselves.  "A false reference can be expected to result in the
+///     retention of a large fraction of the structure" — from vertex
+///     (i,j) the child links reach every vertex at (>=i, >=j).
+///   * SeparateGrid (Figure 4): vertices carry no links; row and column
+///     spines are separate lisp-style cons cells.  "At most a single
+///     row or column is affected."
+///
+/// Both expose per-vertex/per-cell window offsets so the experiment can
+/// aim a PlantedRef at a uniformly random internal address.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_STRUCTURES_GRID_H
+#define CGC_STRUCTURES_GRID_H
+
+#include "core/Collector.h"
+#include <vector>
+
+namespace cgc {
+
+/// Figure 3: vertex with embedded right/down links.
+struct EmbeddedVertex {
+  EmbeddedVertex *Right;
+  EmbeddedVertex *Down;
+  uint64_t Payload;
+};
+
+class EmbeddedGrid {
+public:
+  EmbeddedGrid(Collector &GC, unsigned Rows, unsigned Cols);
+  ~EmbeddedGrid();
+
+  unsigned rows() const { return Rows; }
+  unsigned cols() const { return Cols; }
+  size_t vertexBytes() const { return sizeof(EmbeddedVertex); }
+
+  WindowOffset vertexOffset(unsigned Row, unsigned Col) const {
+    return VertexOffsets[size_t(Row) * Cols + Col];
+  }
+
+  /// Total bytes of the structure (vertices only; headers are roots).
+  uint64_t totalBytes() const {
+    return uint64_t(Rows) * Cols * sizeof(EmbeddedVertex);
+  }
+
+  /// Clears the row/column header roots.
+  void dropRoots();
+
+private:
+  Collector &GC;
+  unsigned Rows, Cols;
+  std::vector<uint64_t> RowHeaders; ///< Root: first vertex of each row.
+  std::vector<uint64_t> ColHeaders; ///< Root: first vertex of each col.
+  RootId RowRoot = 0, ColRoot = 0;
+  std::vector<WindowOffset> VertexOffsets;
+};
+
+/// Figure 4: lisp-style cons cell of the separate-spine representation.
+struct GridConsCell {
+  void *Car;         ///< The payload vertex.
+  GridConsCell *Cdr; ///< Next cell of this row/column spine.
+};
+
+/// Payload vertex with no link fields; allocated pointer-free.
+struct SeparateVertex {
+  uint64_t Payload[2];
+};
+
+class SeparateGrid {
+public:
+  SeparateGrid(Collector &GC, unsigned Rows, unsigned Cols);
+  ~SeparateGrid();
+
+  unsigned rows() const { return Rows; }
+  unsigned cols() const { return Cols; }
+
+  WindowOffset vertexOffset(unsigned Row, unsigned Col) const {
+    return VertexOffsets[size_t(Row) * Cols + Col];
+  }
+  /// Offset of the row-spine cell at (Row, Col).
+  WindowOffset rowCellOffset(unsigned Row, unsigned Col) const {
+    return RowCellOffsets[size_t(Row) * Cols + Col];
+  }
+  WindowOffset colCellOffset(unsigned Row, unsigned Col) const {
+    return ColCellOffsets[size_t(Row) * Cols + Col];
+  }
+
+  uint64_t totalBytes() const {
+    return uint64_t(Rows) * Cols *
+           (sizeof(SeparateVertex) + 2 * sizeof(GridConsCell));
+  }
+
+  void dropRoots();
+
+private:
+  Collector &GC;
+  unsigned Rows, Cols;
+  std::vector<uint64_t> RowHeaders;
+  std::vector<uint64_t> ColHeaders;
+  RootId RowRoot = 0, ColRoot = 0;
+  std::vector<WindowOffset> VertexOffsets;
+  std::vector<WindowOffset> RowCellOffsets;
+  std::vector<WindowOffset> ColCellOffsets;
+};
+
+} // namespace cgc
+
+#endif // CGC_STRUCTURES_GRID_H

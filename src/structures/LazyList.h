@@ -1,0 +1,86 @@
+//===- structures/LazyList.h - Memoized stream (§4) ------------*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lazy list (memoized stream): cells are produced on demand as the
+/// consumer advances, and the program intends to hold only the current
+/// suffix.  Like the §4 queue, the structure as a whole grows without
+/// bound while only a bounded window is accessible — a false reference
+/// to an old cell retains the entire chain from that cell to the
+/// current position.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_STRUCTURES_LAZYLIST_H
+#define CGC_STRUCTURES_LAZYLIST_H
+
+#include "core/Collector.h"
+#include "support/Assert.h"
+#include <functional>
+
+namespace cgc {
+
+struct LazyCell {
+  LazyCell *Next; ///< nullptr until forced.
+  uint64_t Value;
+};
+
+/// A stream of Generator(0), Generator(1), ... with a cursor that the
+/// consumer advances.  Only the cursor cell is rooted.
+class LazyList {
+public:
+  LazyList(Collector &GC, std::function<uint64_t(uint64_t)> Generator)
+      : GC(GC), Generator(std::move(Generator)) {
+    Cursor = 0;
+    CursorRoot =
+        GC.addRootRange(&Cursor, &Cursor + 1, RootEncoding::Native64,
+                        RootSource::Client, "lazy-list-cursor");
+    setCursor(makeCell(NextIndex++));
+  }
+
+  ~LazyList() { GC.removeRootRange(CursorRoot); }
+
+  uint64_t currentValue() const { return cursor()->Value; }
+
+  /// Forces the next cell and moves the cursor to it; the previous cell
+  /// becomes garbage (unless something else still points at it).
+  void advance() {
+    LazyCell *Current = cursor();
+    if (!Current->Next)
+      Current->Next = makeCell(NextIndex++);
+    setCursor(Current->Next);
+  }
+
+  LazyCell *cursor() const {
+    return reinterpret_cast<LazyCell *>(Cursor);
+  }
+
+  uint64_t cellsProduced() const { return NextIndex; }
+
+private:
+  LazyCell *makeCell(uint64_t Index) {
+    auto *Cell = static_cast<LazyCell *>(GC.allocate(sizeof(LazyCell)));
+    CGC_CHECK(Cell, "lazy list allocation failed");
+    Cell->Next = nullptr;
+    Cell->Value = Generator(Index);
+    return Cell;
+  }
+
+  void setCursor(LazyCell *Cell) {
+    Cursor = reinterpret_cast<uint64_t>(Cell);
+  }
+
+  Collector &GC;
+  std::function<uint64_t(uint64_t)> Generator;
+  uint64_t Cursor;
+  RootId CursorRoot;
+  uint64_t NextIndex = 0;
+};
+
+} // namespace cgc
+
+#endif // CGC_STRUCTURES_LAZYLIST_H

@@ -1,0 +1,144 @@
+//===- structures/ProgramT.cpp - The paper's Appendix-A workload ----------===//
+
+#include "structures/ProgramT.h"
+
+using namespace cgc;
+
+ProgramT::ProgramT(Collector &GC, sim::SimStack *Stack,
+                   const ProgramTConfig &Config)
+    : GC(GC), Stack(Stack), Config(Config) {
+  Heads.assign(Config.NumLists, 0);
+  // `char *a[N]` is program data: scanned as a static root.
+  HeadsRoot = GC.addRootRange(Heads.data(), Heads.data() + Heads.size(),
+                              RootEncoding::Native64,
+                              RootSource::StaticData, "program-t-heads");
+}
+
+ProgramT::~ProgramT() { GC.removeRootRange(HeadsRoot); }
+
+TCell *ProgramT::allocCycle(unsigned Cells) {
+  // Mirror of the paper's alloc_cycle(): builds a circular list while
+  // spilling intermediate cell pointers into a lazily-written stack
+  // frame, the way compiled C would.
+  size_t FrameBase = 0;
+  if (Stack)
+    FrameBase = Stack->pushFrame(Config.AllocFrameSlots,
+                                 Config.FrameWrittenFraction);
+
+  TCell *First = static_cast<TCell *>(GC.allocate(sizeof(TCell)));
+  if (!First) {
+    OutOfMemory = true;
+    if (Stack)
+      Stack->popFrame();
+    return nullptr;
+  }
+  TCell *Current = First;
+  if (Stack) {
+    Stack->writePointer(FrameBase + 0, First);
+    Stack->writePointer(FrameBase + 1, Current);
+  }
+  // Spill the running pointer into rotating "register save" slots so
+  // deep frame slots end up holding real cell addresses, the way an
+  // unoptimized compiler spills a loop induction pointer.
+  unsigned SpillPeriod = std::max(
+      1u, Cells / std::max<unsigned>(
+              1, static_cast<unsigned>(Config.AllocFrameSlots)));
+  for (unsigned I = 1; I != Cells; ++I) {
+    TCell *Next = static_cast<TCell *>(GC.allocate(sizeof(TCell)));
+    if (!Next) {
+      OutOfMemory = true;
+      break;
+    }
+    Current->Next = Next;
+    Current = Next;
+    if (Stack && I % SpillPeriod == 0 && Config.AllocFrameSlots > 4) {
+      size_t Slot = 4 + (I / SpillPeriod) % (Config.AllocFrameSlots - 4);
+      Stack->writePointer(FrameBase + Slot, Current);
+    }
+  }
+  Current->Next = First; // Close the cycle.
+
+  if (Stack)
+    Stack->popFrame();
+  return First;
+}
+
+void ProgramT::buildLists() {
+  CGC_CHECK(!Built, "program T already built");
+  Built = true;
+  Representatives.clear();
+  Representatives.reserve(Config.NumLists);
+
+  size_t TestFrame = 0;
+  if (Stack)
+    TestFrame = Stack->pushFrame(12, 1.0); // test()'s own frame.
+
+  for (unsigned I = 0; I != Config.NumLists; ++I) {
+    TCell *Head = allocCycle(Config.CellsPerList);
+    if (!Head)
+      break;
+    Heads[I] = reinterpret_cast<uint64_t>(Head);
+    // Representative: a cell a few links in, so the low-address slots a
+    // post-drop allocation might reuse never collide with one.
+    TCell *Rep = Head;
+    for (int Step = 0; Step != 8 && Rep->Next != Head; ++Step)
+      Rep = Rep->Next;
+    Representatives.push_back(GC.windowOffsetOf(Rep));
+    if (Stack)
+      Stack->writePointer(TestFrame + (I % 12), Head);
+    if (Config.UseFinalizers)
+      GC.registerFinalizer(Head, [this](void *) { ++FinalizedCount; });
+  }
+
+  if (Stack)
+    Stack->popFrame();
+}
+
+void ProgramT::dropReferences() {
+  // The paper's second loop in test(): for (i = 0; i < N; i++) a[i] = 0;
+  for (uint64_t &Head : Heads)
+    Head = 0;
+}
+
+ProgramTResult ProgramT::measure() {
+  ProgramTResult Result;
+  Result.ListsBuilt = static_cast<unsigned>(Representatives.size());
+
+  // "Force recognition of interior pointers ... GC_gcollect()" and then
+  // "Simulate further program execution to clear stack garbage.  This
+  // is not terribly effective." — the paper's test(2) call.
+  GC.collect("program-t-initial");
+  ++Result.CollectionsRun;
+  if (Stack) {
+    size_t Frame = Stack->pushFrame(Config.FurtherExecSlots, 1.0);
+    TCell *Tiny = allocCycle(2);
+    if (Tiny)
+      Stack->writePointer(Frame + 0, Tiny);
+    Stack->popFrame();
+  }
+
+  for (unsigned I = 0; I != Config.MeasureCollections; ++I) {
+    GC.collect("program-t-measure");
+    ++Result.CollectionsRun;
+    if (Config.UseFinalizers)
+      GC.runFinalizers();
+  }
+
+  unsigned Retained = 0;
+  for (WindowOffset Rep : Representatives)
+    if (GC.wasMarkedLive(GC.pointerAtOffset(Rep)))
+      ++Retained;
+  Result.ListsRetained = Retained;
+  Result.ListsFinalized = FinalizedCount;
+  Result.OutOfMemory = OutOfMemory;
+  Result.BlacklistedPages = GC.blacklistedPageCount();
+  Result.CommittedHeapBytes = GC.committedHeapBytes();
+  Result.LiveBytesAtEnd = GC.lastCollection().BytesLive;
+  return Result;
+}
+
+ProgramTResult ProgramT::run() {
+  buildLists();
+  dropReferences();
+  return measure();
+}

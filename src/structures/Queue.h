@@ -1,0 +1,104 @@
+//===- structures/Queue.h - Embedded-link queue (§4) -----------*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The §4 queue hazard: "Queues and lazy lists in particular have the
+/// problem that they grow without bound, but typically only a section
+/// of bounded length is accessible at any point.  A false reference can
+/// result in retention of all the inaccessible elements, and thus
+/// unbounded heap growth."
+///
+/// The fix the paper recommends: "Queues no longer grow without bound
+/// if the queue link field is cleared when an item is removed.  Note
+/// that clearing links is much safer than explicit deallocation."
+/// GcQueue exposes both behaviors via ClearLinkOnDequeue.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_STRUCTURES_QUEUE_H
+#define CGC_STRUCTURES_QUEUE_H
+
+#include "core/Collector.h"
+#include "support/Assert.h"
+
+namespace cgc {
+
+struct QueueNode {
+  QueueNode *Next;
+  uint64_t Value;
+};
+
+class GcQueue {
+public:
+  /// \param ClearLinkOnDequeue apply the paper's mildly defensive
+  ///        style: null the link field when an item leaves the queue.
+  GcQueue(Collector &GC, bool ClearLinkOnDequeue)
+      : GC(GC), ClearLinks(ClearLinkOnDequeue) {
+    // Head and tail live in a registered root pair so the queue itself
+    // is always reachable.
+    Anchors[0] = Anchors[1] = 0;
+    AnchorsRoot =
+        GC.addRootRange(Anchors, Anchors + 2, RootEncoding::Native64,
+                        RootSource::Client, "gc-queue-anchors");
+  }
+
+  ~GcQueue() { GC.removeRootRange(AnchorsRoot); }
+
+  void enqueue(uint64_t Value) {
+    auto *Node = static_cast<QueueNode *>(GC.allocate(sizeof(QueueNode)));
+    CGC_CHECK(Node, "queue allocation failed");
+    Node->Next = nullptr;
+    Node->Value = Value;
+    if (tail())
+      tail()->Next = Node;
+    else
+      setHead(Node);
+    setTail(Node);
+    ++Size;
+  }
+
+  /// \returns the front value; the queue must be nonempty.
+  uint64_t dequeue() {
+    QueueNode *Front = head();
+    CGC_CHECK(Front, "dequeue from an empty queue");
+    setHead(Front->Next);
+    if (!head())
+      setTail(nullptr);
+    uint64_t Value = Front->Value;
+    if (ClearLinks)
+      Front->Next = nullptr; // The paper's defensive clearing.
+    --Size;
+    return Value;
+  }
+
+  size_t size() const { return Size; }
+  bool empty() const { return Size == 0; }
+  QueueNode *head() const {
+    return reinterpret_cast<QueueNode *>(Anchors[0]);
+  }
+  QueueNode *tail() const {
+    return reinterpret_cast<QueueNode *>(Anchors[1]);
+  }
+
+private:
+  void setHead(QueueNode *Node) {
+    Anchors[0] = reinterpret_cast<uint64_t>(Node);
+  }
+  void setTail(QueueNode *Node) {
+    Anchors[1] = reinterpret_cast<uint64_t>(Node);
+  }
+
+  Collector &GC;
+  bool ClearLinks;
+  uint64_t Anchors[2];
+  RootId AnchorsRoot;
+  size_t Size = 0;
+};
+
+} // namespace cgc
+
+#endif // CGC_STRUCTURES_QUEUE_H

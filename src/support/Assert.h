@@ -1,0 +1,53 @@
+//===- support/Assert.h - Assertions and fatal-error helpers ---*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assertion macros used throughout the collector.  The collector is a
+/// runtime system: an invariant violation means heap corruption is
+/// imminent, so we always abort with a message rather than limp on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_SUPPORT_ASSERT_H
+#define CGC_SUPPORT_ASSERT_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cgc {
+
+/// Prints \p Msg with source location and aborts.  Used for invariant
+/// violations that must be fatal even in release builds.
+[[noreturn]] inline void fatalError(const char *Msg, const char *File,
+                                    int Line) {
+  std::fprintf(stderr, "cgc fatal error: %s (%s:%d)\n", Msg, File, Line);
+  std::abort();
+}
+
+} // namespace cgc
+
+/// Always-on invariant check.  The collector's metadata invariants guard
+/// against heap corruption, so they stay enabled in release builds.
+#define CGC_CHECK(Cond, Msg)                                                   \
+  do {                                                                         \
+    if (!(Cond))                                                               \
+      ::cgc::fatalError(Msg, __FILE__, __LINE__);                              \
+  } while (false)
+
+/// Debug-only assertion for hot paths (mark loop, allocation fast path).
+#ifndef NDEBUG
+#define CGC_ASSERT(Cond, Msg) CGC_CHECK(Cond, Msg)
+#else
+#define CGC_ASSERT(Cond, Msg)                                                  \
+  do {                                                                         \
+  } while (false)
+#endif
+
+/// Marks a point in control flow that must be unreachable.
+#define CGC_UNREACHABLE(Msg) ::cgc::fatalError(Msg, __FILE__, __LINE__)
+
+#endif // CGC_SUPPORT_ASSERT_H

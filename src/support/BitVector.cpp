@@ -1,0 +1,140 @@
+//===- support/BitVector.cpp - Dynamic bit vector -------------------------===//
+
+#include "support/BitVector.h"
+#include "support/MathExtras.h"
+#include <bit>
+
+using namespace cgc;
+
+void BitVector::resize(size_t NewSize, bool Value) {
+  size_t OldSize = NumBits;
+  size_t NewWords = divideCeil(NewSize, BitsPerWord);
+  if (Value && NewSize > OldSize && OldSize % BitsPerWord != 0) {
+    // Fill the tail of the current last word before growing.
+    size_t WordIdx = OldSize / BitsPerWord;
+    uint64_t Mask = ~uint64_t(0) << (OldSize % BitsPerWord);
+    Words[WordIdx] |= Mask;
+  }
+  Words.resize(NewWords, Value ? ~uint64_t(0) : 0);
+  NumBits = NewSize;
+  clearUnusedBits();
+}
+
+void BitVector::clearUnusedBits() {
+  if (NumBits % BitsPerWord == 0 || Words.empty())
+    return;
+  uint64_t Mask = (uint64_t(1) << (NumBits % BitsPerWord)) - 1;
+  Words.back() &= Mask;
+}
+
+void BitVector::clearAll() {
+  for (uint64_t &Word : Words)
+    Word = 0;
+}
+
+void BitVector::setAll() {
+  for (uint64_t &Word : Words)
+    Word = ~uint64_t(0);
+  clearUnusedBits();
+}
+
+size_t BitVector::count() const {
+  size_t Total = 0;
+  for (uint64_t Word : Words)
+    Total += static_cast<size_t>(std::popcount(Word));
+  return Total;
+}
+
+size_t BitVector::countInRange(size_t Begin, size_t End) const {
+  CGC_ASSERT(Begin <= End && End <= NumBits, "countInRange out of range");
+  size_t Total = 0;
+  for (size_t I = Begin; I < End;) {
+    size_t WordIdx = I / BitsPerWord;
+    size_t BitIdx = I % BitsPerWord;
+    size_t Span = std::min(End - I, BitsPerWord - BitIdx);
+    uint64_t Word = Words[WordIdx] >> BitIdx;
+    if (Span < BitsPerWord)
+      Word &= (uint64_t(1) << Span) - 1;
+    Total += static_cast<size_t>(std::popcount(Word));
+    I += Span;
+  }
+  return Total;
+}
+
+size_t BitVector::findFirstSet(size_t From) const {
+  if (From >= NumBits)
+    return Npos;
+  size_t WordIdx = From / BitsPerWord;
+  uint64_t Word = Words[WordIdx] & (~uint64_t(0) << (From % BitsPerWord));
+  while (true) {
+    if (Word != 0) {
+      size_t Bit = WordIdx * BitsPerWord +
+                   static_cast<size_t>(std::countr_zero(Word));
+      return Bit < NumBits ? Bit : Npos;
+    }
+    if (++WordIdx >= Words.size())
+      return Npos;
+    Word = Words[WordIdx];
+  }
+}
+
+size_t BitVector::findFirstUnset(size_t From) const {
+  if (From >= NumBits)
+    return Npos;
+  size_t WordIdx = From / BitsPerWord;
+  // Invert and mask off bits below From, then search for a set bit.
+  uint64_t Word = ~Words[WordIdx] & (~uint64_t(0) << (From % BitsPerWord));
+  while (true) {
+    if (Word != 0) {
+      size_t Bit = WordIdx * BitsPerWord +
+                   static_cast<size_t>(std::countr_zero(Word));
+      return Bit < NumBits ? Bit : Npos;
+    }
+    if (++WordIdx >= Words.size())
+      return Npos;
+    Word = ~Words[WordIdx];
+  }
+}
+
+bool BitVector::anyInRange(size_t Begin, size_t End) const {
+  size_t First = findFirstSet(Begin);
+  return First != Npos && First < End;
+}
+
+void BitVector::setRange(size_t Begin, size_t End) {
+  CGC_ASSERT(Begin <= End && End <= NumBits, "setRange out of range");
+  for (size_t I = Begin; I < End;) {
+    size_t WordIdx = I / BitsPerWord;
+    size_t BitIdx = I % BitsPerWord;
+    size_t Span = std::min(End - I, BitsPerWord - BitIdx);
+    uint64_t Mask = Span == BitsPerWord ? ~uint64_t(0)
+                                        : ((uint64_t(1) << Span) - 1);
+    Words[WordIdx] |= Mask << BitIdx;
+    I += Span;
+  }
+}
+
+void BitVector::resetRange(size_t Begin, size_t End) {
+  CGC_ASSERT(Begin <= End && End <= NumBits, "resetRange out of range");
+  for (size_t I = Begin; I < End;) {
+    size_t WordIdx = I / BitsPerWord;
+    size_t BitIdx = I % BitsPerWord;
+    size_t Span = std::min(End - I, BitsPerWord - BitIdx);
+    uint64_t Mask = Span == BitsPerWord ? ~uint64_t(0)
+                                        : ((uint64_t(1) << Span) - 1);
+    Words[WordIdx] &= ~(Mask << BitIdx);
+    I += Span;
+  }
+}
+
+void BitVector::andWith(const BitVector &Other) {
+  CGC_CHECK(NumBits == Other.NumBits, "BitVector size mismatch in andWith");
+  for (size_t I = 0, E = Words.size(); I != E; ++I)
+    Words[I] &= Other.Words[I];
+}
+
+void BitVector::orWith(const BitVector &Other) {
+  CGC_CHECK(NumBits == Other.NumBits, "BitVector size mismatch in orWith");
+  for (size_t I = 0, E = Words.size(); I != E; ++I)
+    Words[I] |= Other.Words[I];
+}

@@ -1,0 +1,121 @@
+//===- support/BitVector.h - Dynamic bit vector ----------------*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense bit vector.  Mark bitmaps, page blacklists, and page-occupancy
+/// maps are all bit vectors indexed by object or page number, so this
+/// class provides the scan primitives those clients need: population
+/// count, find-first-set/unset in a range, and whole-range clear.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_SUPPORT_BITVECTOR_H
+#define CGC_SUPPORT_BITVECTOR_H
+
+#include "support/Assert.h"
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cgc {
+
+class BitVector {
+public:
+  static constexpr size_t Npos = static_cast<size_t>(-1);
+
+  BitVector() = default;
+  explicit BitVector(size_t NumBits, bool Initial = false) {
+    resize(NumBits, Initial);
+  }
+
+  size_t size() const { return NumBits; }
+  bool empty() const { return NumBits == 0; }
+
+  /// Grows or shrinks to \p NewSize bits; new bits take value \p Value.
+  void resize(size_t NewSize, bool Value = false);
+
+  bool test(size_t Index) const {
+    CGC_ASSERT(Index < NumBits, "BitVector::test out of range");
+    return (Words[Index / BitsPerWord] >> (Index % BitsPerWord)) & 1;
+  }
+
+  void set(size_t Index) {
+    CGC_ASSERT(Index < NumBits, "BitVector::set out of range");
+    Words[Index / BitsPerWord] |= uint64_t(1) << (Index % BitsPerWord);
+  }
+
+  void reset(size_t Index) {
+    CGC_ASSERT(Index < NumBits, "BitVector::reset out of range");
+    Words[Index / BitsPerWord] &= ~(uint64_t(1) << (Index % BitsPerWord));
+  }
+
+  /// Sets bit \p Index and returns its previous value.  The mark loop
+  /// uses this to combine the "already marked?" test with marking.
+  bool testAndSet(size_t Index) {
+    CGC_ASSERT(Index < NumBits, "BitVector::testAndSet out of range");
+    uint64_t &Word = Words[Index / BitsPerWord];
+    uint64_t Mask = uint64_t(1) << (Index % BitsPerWord);
+    bool Old = (Word & Mask) != 0;
+    Word |= Mask;
+    return Old;
+  }
+
+  /// Clears every bit (size unchanged).
+  void clearAll();
+
+  /// Sets every bit (size unchanged).
+  void setAll();
+
+  /// \returns the number of set bits.
+  size_t count() const;
+
+  /// \returns the number of set bits in [Begin, End).
+  size_t countInRange(size_t Begin, size_t End) const;
+
+  /// \returns the index of the first set bit at or after \p From,
+  /// or Npos if none.
+  size_t findFirstSet(size_t From = 0) const;
+
+  /// \returns the index of the first clear bit at or after \p From,
+  /// or Npos if none.
+  size_t findFirstUnset(size_t From = 0) const;
+
+  /// \returns true if any bit in [Begin, End) is set.  Page allocation
+  /// uses this to reject runs that overlap blacklisted pages.
+  bool anyInRange(size_t Begin, size_t End) const;
+
+  /// Sets all bits in [Begin, End).
+  void setRange(size_t Begin, size_t End);
+
+  /// Clears all bits in [Begin, End).
+  void resetRange(size_t Begin, size_t End);
+
+  /// Bitwise AND with \p Other (sizes must match).  Blacklist aging
+  /// intersects "blacklisted" with "seen this collection".
+  void andWith(const BitVector &Other);
+
+  /// Bitwise OR with \p Other (sizes must match).
+  void orWith(const BitVector &Other);
+
+  bool operator==(const BitVector &Other) const {
+    return NumBits == Other.NumBits && Words == Other.Words;
+  }
+
+private:
+  static constexpr size_t BitsPerWord = 64;
+
+  /// Zeroes the unused high bits of the last word so count() and the
+  /// find operations never see stale bits.
+  void clearUnusedBits();
+
+  std::vector<uint64_t> Words;
+  size_t NumBits = 0;
+};
+
+} // namespace cgc
+
+#endif // CGC_SUPPORT_BITVECTOR_H

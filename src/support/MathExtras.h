@@ -1,0 +1,72 @@
+//===- support/MathExtras.h - Small integer/address helpers ----*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Alignment and power-of-two arithmetic used by the page-level heap and
+/// by the conservative scanner's address filters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_SUPPORT_MATHEXTRAS_H
+#define CGC_SUPPORT_MATHEXTRAS_H
+
+#include "support/Assert.h"
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace cgc {
+
+/// \returns true if \p Value is a power of two (zero is not).
+constexpr bool isPowerOf2(uint64_t Value) {
+  return Value != 0 && (Value & (Value - 1)) == 0;
+}
+
+/// \returns \p Value rounded up to the next multiple of \p Align.
+/// \p Align must be a power of two.
+constexpr uint64_t alignTo(uint64_t Value, uint64_t Align) {
+  return (Value + Align - 1) & ~(Align - 1);
+}
+
+/// \returns \p Value rounded down to a multiple of \p Align (power of two).
+constexpr uint64_t alignDown(uint64_t Value, uint64_t Align) {
+  return Value & ~(Align - 1);
+}
+
+/// \returns true if \p Value is a multiple of power-of-two \p Align.
+constexpr bool isAligned(uint64_t Value, uint64_t Align) {
+  return (Value & (Align - 1)) == 0;
+}
+
+/// \returns the number of trailing zero bits of \p Value; 64 for zero.
+constexpr unsigned countTrailingZeros(uint64_t Value) {
+  return Value == 0 ? 64 : static_cast<unsigned>(std::countr_zero(Value));
+}
+
+/// \returns floor(log2(Value)); \p Value must be nonzero.
+constexpr unsigned log2Floor(uint64_t Value) {
+  return 63 - static_cast<unsigned>(std::countl_zero(Value));
+}
+
+/// \returns ceil(log2(Value)); \p Value must be nonzero.
+constexpr unsigned log2Ceil(uint64_t Value) {
+  return Value <= 1 ? 0 : log2Floor(Value - 1) + 1;
+}
+
+/// \returns ceil(Num / Den) for nonzero \p Den.
+constexpr uint64_t divideCeil(uint64_t Num, uint64_t Den) {
+  return (Num + Den - 1) / Den;
+}
+
+/// Saturating subtraction: max(A - B, 0) for unsigned operands.
+constexpr uint64_t saturatingSub(uint64_t A, uint64_t B) {
+  return A > B ? A - B : 0;
+}
+
+} // namespace cgc
+
+#endif // CGC_SUPPORT_MATHEXTRAS_H

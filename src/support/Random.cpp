@@ -1,0 +1,31 @@
+//===- support/Random.cpp - Deterministic random numbers ------------------===//
+
+#include "support/Random.h"
+
+using namespace cgc;
+
+uint64_t Rng::nextBelow(uint64_t Bound) {
+  CGC_ASSERT(Bound != 0, "nextBelow: zero bound");
+  // Lemire's method: multiply into a 128-bit product and reject the
+  // small biased region at the bottom.
+  uint64_t X = next64();
+  __uint128_t Product = static_cast<__uint128_t>(X) * Bound;
+  uint64_t Low = static_cast<uint64_t>(Product);
+  if (Low < Bound) {
+    uint64_t Threshold = (0 - Bound) % Bound;
+    while (Low < Threshold) {
+      X = next64();
+      Product = static_cast<__uint128_t>(X) * Bound;
+      Low = static_cast<uint64_t>(Product);
+    }
+  }
+  return static_cast<uint64_t>(Product >> 64);
+}
+
+bool Rng::nextBool(double Probability) {
+  if (Probability <= 0.0)
+    return false;
+  if (Probability >= 1.0)
+    return true;
+  return nextDouble() < Probability;
+}

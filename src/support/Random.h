@@ -1,0 +1,117 @@
+//===- support/Random.h - Deterministic random numbers ---------*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic pseudo-random generation.  Every experiment in the
+/// reproduction is seeded, so that Table 1-style retention percentages
+/// are reproducible run to run; the paper's own numbers were *not*
+/// reproducible ("polluted with UNIX environment variables ... register
+/// values left over from kernel calls"), which we model explicitly by
+/// drawing that pollution from seeded generators instead.
+///
+/// The core generator is xoshiro256**, seeded via SplitMix64 so that
+/// small consecutive seeds give unrelated streams.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_SUPPORT_RANDOM_H
+#define CGC_SUPPORT_RANDOM_H
+
+#include "support/Assert.h"
+#include <cstdint>
+#include <vector>
+
+namespace cgc {
+
+/// SplitMix64: used to expand a 64-bit seed into generator state.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  uint64_t State;
+};
+
+/// xoshiro256**: fast, high-quality, and deterministic across platforms.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x5eed5eed5eed5eedULL) { reseed(Seed); }
+
+  /// Re-initializes the stream from \p Seed.
+  void reseed(uint64_t Seed) {
+    SplitMix64 Init(Seed);
+    for (uint64_t &Word : State)
+      Word = Init.next();
+  }
+
+  /// \returns the next 64 uniformly random bits.
+  uint64_t next64() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// \returns the next 32 uniformly random bits.
+  uint32_t next32() { return static_cast<uint32_t>(next64() >> 32); }
+
+  /// \returns a uniform value in [0, Bound); \p Bound must be nonzero.
+  /// Uses Lemire's multiply-shift rejection method.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// \returns a uniform value in [Lo, Hi] inclusive.
+  uint64_t nextInRange(uint64_t Lo, uint64_t Hi) {
+    CGC_ASSERT(Lo <= Hi, "nextInRange: empty range");
+    return Lo + nextBelow(Hi - Lo + 1);
+  }
+
+  /// \returns true with probability \p Probability (clamped to [0,1]).
+  bool nextBool(double Probability);
+
+  /// \returns a uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Fisher-Yates shuffles \p Values in place.
+  template <typename T> void shuffle(std::vector<T> &Values) {
+    for (size_t I = Values.size(); I > 1; --I) {
+      size_t J = static_cast<size_t>(nextBelow(I));
+      std::swap(Values[I - 1], Values[J]);
+    }
+  }
+
+  /// Picks a uniformly random element index of a nonempty container.
+  size_t pickIndex(size_t Size) {
+    CGC_ASSERT(Size > 0, "pickIndex on empty container");
+    return static_cast<size_t>(nextBelow(Size));
+  }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace cgc
+
+#endif // CGC_SUPPORT_RANDOM_H

@@ -1,0 +1,123 @@
+//===- support/Statistics.cpp - Running stats and table output ------------===//
+
+#include "support/Statistics.h"
+#include "support/Assert.h"
+#include "support/MathExtras.h"
+#include <cmath>
+
+using namespace cgc;
+
+void RunningStat::addSample(double Value) {
+  if (Count == 0) {
+    Min = Max = Value;
+  } else {
+    Min = std::min(Min, Value);
+    Max = std::max(Max, Value);
+  }
+  ++Count;
+  double Delta = Value - Mean;
+  Mean += Delta / static_cast<double>(Count);
+  M2 += Delta * (Value - Mean);
+}
+
+double RunningStat::stddev() const {
+  if (Count < 2)
+    return 0.0;
+  return std::sqrt(M2 / static_cast<double>(Count - 1));
+}
+
+void RunningStat::merge(const RunningStat &Other) {
+  if (Other.Count == 0)
+    return;
+  if (Count == 0) {
+    *this = Other;
+    return;
+  }
+  double Delta = Other.Mean - Mean;
+  size_t Total = Count + Other.Count;
+  Mean += Delta * static_cast<double>(Other.Count) /
+          static_cast<double>(Total);
+  M2 += Other.M2 + Delta * Delta * static_cast<double>(Count) *
+                       static_cast<double>(Other.Count) /
+                       static_cast<double>(Total);
+  Min = std::min(Min, Other.Min);
+  Max = std::max(Max, Other.Max);
+  Count = Total;
+}
+
+void Log2Histogram::addSample(uint64_t Value) {
+  size_t Bucket = Value == 0 ? 0 : log2Floor(Value);
+  if (Bucket >= Buckets.size())
+    Buckets.resize(Bucket + 1, 0);
+  ++Buckets[Bucket];
+  ++Total;
+}
+
+void Log2Histogram::print(std::FILE *Out, const char *Label) const {
+  std::fprintf(Out, "%s (%llu samples)\n", Label,
+               static_cast<unsigned long long>(Total));
+  for (size_t B = 0, E = Buckets.size(); B != E; ++B) {
+    if (Buckets[B] == 0)
+      continue;
+    unsigned long long Lo = B == 0 ? 0 : (1ULL << B);
+    unsigned long long Hi = (1ULL << (B + 1)) - 1;
+    std::fprintf(Out, "  [%10llu, %10llu]: %llu\n", Lo, Hi,
+                 static_cast<unsigned long long>(Buckets[B]));
+  }
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> TableHeaders)
+    : Headers(std::move(TableHeaders)) {}
+
+void TablePrinter::addRow(std::vector<std::string> Cells) {
+  CGC_CHECK(Cells.size() == Headers.size(),
+            "TablePrinter row width mismatch");
+  Rows.push_back(std::move(Cells));
+}
+
+void TablePrinter::print(std::FILE *Out) const {
+  std::vector<size_t> Widths(Headers.size(), 0);
+  for (size_t C = 0; C != Headers.size(); ++C)
+    Widths[C] = Headers[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C != Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto printRow = [&](const std::vector<std::string> &Cells) {
+    for (size_t C = 0; C != Cells.size(); ++C)
+      std::fprintf(Out, "%s%-*s", C == 0 ? "| " : " | ",
+                   static_cast<int>(Widths[C]), Cells[C].c_str());
+    std::fprintf(Out, " |\n");
+  };
+
+  printRow(Headers);
+  for (size_t C = 0; C != Headers.size(); ++C) {
+    std::fprintf(Out, C == 0 ? "|-" : "-|-");
+    for (size_t I = 0; I != Widths[C]; ++I)
+      std::fputc('-', Out);
+  }
+  std::fprintf(Out, "-|\n");
+  for (const auto &Row : Rows)
+    printRow(Row);
+}
+
+std::string TablePrinter::percent(double Fraction, int Decimals) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f%%", Decimals,
+                Fraction * 100.0);
+  return Buffer;
+}
+
+std::string TablePrinter::bytes(uint64_t NumBytes) {
+  char Buffer[64];
+  if (NumBytes >= (1ULL << 20))
+    std::snprintf(Buffer, sizeof(Buffer), "%.1f MiB",
+                  static_cast<double>(NumBytes) / (1 << 20));
+  else if (NumBytes >= (1ULL << 10))
+    std::snprintf(Buffer, sizeof(Buffer), "%.1f KiB",
+                  static_cast<double>(NumBytes) / (1 << 10));
+  else
+    std::snprintf(Buffer, sizeof(Buffer), "%llu B",
+                  static_cast<unsigned long long>(NumBytes));
+  return Buffer;
+}

@@ -1,0 +1,100 @@
+//===- support/Statistics.h - Running stats and table output ---*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small statistics helpers used by the experiment harnesses: a running
+/// mean/min/max/stddev accumulator, a power-of-two histogram, and a
+/// fixed-width text table printer that formats benchmark output in the
+/// shape of the paper's tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_SUPPORT_STATISTICS_H
+#define CGC_SUPPORT_STATISTICS_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace cgc {
+
+/// Accumulates samples and reports mean/min/max/stddev without storing
+/// the sample list (Welford's algorithm).
+class RunningStat {
+public:
+  void addSample(double Value);
+
+  size_t sampleCount() const { return Count; }
+  double mean() const { return Count == 0 ? 0.0 : Mean; }
+  double minimum() const { return Count == 0 ? 0.0 : Min; }
+  double maximum() const { return Count == 0 ? 0.0 : Max; }
+
+  /// Sample standard deviation; zero with fewer than two samples.
+  double stddev() const;
+
+  /// Merges another accumulator into this one.
+  void merge(const RunningStat &Other);
+
+private:
+  size_t Count = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+};
+
+/// Histogram over power-of-two buckets: bucket B counts values in
+/// [2^B, 2^(B+1)), with bucket 0 also covering zero.
+class Log2Histogram {
+public:
+  void addSample(uint64_t Value);
+  size_t bucketCount() const { return Buckets.size(); }
+  uint64_t bucketValue(size_t Bucket) const {
+    return Bucket < Buckets.size() ? Buckets[Bucket] : 0;
+  }
+  uint64_t totalSamples() const { return Total; }
+
+  /// Renders one line per nonempty bucket into \p Out.
+  void print(std::FILE *Out, const char *Label) const;
+
+private:
+  std::vector<uint64_t> Buckets;
+  uint64_t Total = 0;
+};
+
+/// Fixed-width text tables in the style of the paper's Table 1.
+///
+/// Usage:
+/// \code
+///   TablePrinter T({"Machine", "Optimized?", "No Blacklisting", ...});
+///   T.addRow({"SPARC(static)", "no", "79-79.5%", "0-.5%"});
+///   T.print(stdout);
+/// \endcode
+class TablePrinter {
+public:
+  explicit TablePrinter(std::vector<std::string> Headers);
+
+  void addRow(std::vector<std::string> Cells);
+
+  /// Writes the table with a header rule to \p Out.
+  void print(std::FILE *Out) const;
+
+  /// Formats a double as a percentage string like "12.5%".
+  static std::string percent(double Fraction, int Decimals = 1);
+
+  /// Formats a byte count with a KiB/MiB suffix.
+  static std::string bytes(uint64_t NumBytes);
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace cgc
+
+#endif // CGC_SUPPORT_STATISTICS_H

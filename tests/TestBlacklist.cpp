@@ -1,0 +1,222 @@
+//===- tests/TestBlacklist.cpp - Blacklist unit tests ---------------------===//
+
+#include "core/Blacklist.h"
+#include "core/Collector.h"
+#include "core/GcConfig.h"
+#include <gtest/gtest.h>
+
+using namespace cgc;
+
+//===----------------------------------------------------------------------===//
+// FlatBitmapBlacklist
+//===----------------------------------------------------------------------===//
+
+TEST(FlatBitmapBlacklist, BasicNoteAndQuery) {
+  FlatBitmapBlacklist BL(1024, /*Aging=*/false);
+  EXPECT_FALSE(BL.isBlacklisted(5));
+  BL.noteCandidate(5);
+  EXPECT_TRUE(BL.isBlacklisted(5));
+  EXPECT_FALSE(BL.isBlacklisted(6));
+  EXPECT_EQ(BL.entryCount(), 1u);
+  EXPECT_EQ(BL.stats().CandidatesNoted, 1u);
+  // Out-of-range pages are ignored, not fatal.
+  BL.noteCandidate(5000);
+  EXPECT_EQ(BL.entryCount(), 1u);
+}
+
+TEST(FlatBitmapBlacklist, WithoutAgingMonotonic) {
+  FlatBitmapBlacklist BL(1024, /*Aging=*/false);
+  BL.beginCycle();
+  BL.noteCandidate(1);
+  BL.endCycle();
+  BL.beginCycle();
+  BL.noteCandidate(2);
+  BL.endCycle();
+  EXPECT_TRUE(BL.isBlacklisted(1));
+  EXPECT_TRUE(BL.isBlacklisted(2));
+  EXPECT_EQ(BL.entryCount(), 2u);
+}
+
+TEST(FlatBitmapBlacklist, AgingDropsUnseenEntries) {
+  FlatBitmapBlacklist BL(1024, /*Aging=*/true);
+  BL.beginCycle();
+  BL.noteCandidate(1);
+  BL.noteCandidate(2);
+  BL.endCycle();
+  EXPECT_EQ(BL.entryCount(), 2u);
+  // Next cycle re-observes only page 2.
+  BL.beginCycle();
+  BL.noteCandidate(2);
+  BL.endCycle();
+  EXPECT_FALSE(BL.isBlacklisted(1)) << "unseen entry must age out";
+  EXPECT_TRUE(BL.isBlacklisted(2));
+}
+
+TEST(FlatBitmapBlacklist, MidCycleNotesVisibleImmediately) {
+  FlatBitmapBlacklist BL(1024, true);
+  BL.beginCycle();
+  BL.noteCandidate(7);
+  // Allocation decisions during the same collection already see it.
+  EXPECT_TRUE(BL.isBlacklisted(7));
+  BL.endCycle();
+  EXPECT_TRUE(BL.isBlacklisted(7));
+}
+
+//===----------------------------------------------------------------------===//
+// HashedBlacklist
+//===----------------------------------------------------------------------===//
+
+TEST(HashedBlacklist, NoteAndQuery) {
+  HashedBlacklist BL(/*BitsLog2=*/12, /*Aging=*/false);
+  BL.noteCandidate(123);
+  EXPECT_TRUE(BL.isBlacklisted(123));
+  EXPECT_EQ(BL.entryCount(), 1u);
+}
+
+TEST(HashedBlacklist, CollisionsBlacklistHashClass) {
+  // With a tiny table, distinct pages collide: "If a false reference is
+  // seen to any of the pages with a given hash address, all of them are
+  // effectively blacklisted."
+  HashedBlacklist BL(/*BitsLog2=*/4, /*Aging=*/false);
+  for (PageIndex P = 0; P != 64; ++P)
+    BL.noteCandidate(P);
+  // All 16 buckets are set, so every page everywhere reads blacklisted.
+  EXPECT_EQ(BL.entryCount(), 16u);
+  EXPECT_TRUE(BL.isBlacklisted(9999));
+}
+
+TEST(HashedBlacklist, LargeTableRarelyCollides) {
+  HashedBlacklist BL(/*BitsLog2=*/20, /*Aging=*/false);
+  for (PageIndex P = 0; P != 1000; ++P)
+    BL.noteCandidate(P * 7);
+  // ~1000 distinct buckets out of a million: collisions are rare.
+  EXPECT_GE(BL.entryCount(), 990u);
+  // A page that was never noted is almost surely clean.
+  size_t FalsePositives = 0;
+  for (PageIndex P = 0; P != 1000; ++P)
+    FalsePositives += BL.isBlacklisted(P * 7 + 3);
+  EXPECT_LT(FalsePositives, 10u);
+}
+
+TEST(HashedBlacklist, AgingWorks) {
+  HashedBlacklist BL(12, /*Aging=*/true);
+  BL.beginCycle();
+  BL.noteCandidate(50);
+  BL.endCycle();
+  BL.beginCycle();
+  BL.endCycle();
+  EXPECT_FALSE(BL.isBlacklisted(50));
+}
+
+//===----------------------------------------------------------------------===//
+// NullBlacklist and factory
+//===----------------------------------------------------------------------===//
+
+TEST(Blacklist, NullNeverBlacklists) {
+  NullBlacklist BL;
+  BL.noteCandidate(1);
+  EXPECT_FALSE(BL.isBlacklisted(1));
+  EXPECT_EQ(BL.entryCount(), 0u);
+  EXPECT_EQ(BL.stats().CandidatesNoted, 1u) << "still counts for stats";
+}
+
+TEST(Blacklist, FactoryDispatch) {
+  auto Off = createBlacklist(BlacklistMode::Off, 100, 10, true);
+  auto Flat = createBlacklist(BlacklistMode::FlatBitmap, 100, 10, true);
+  auto Hashed = createBlacklist(BlacklistMode::Hashed, 100, 10, true);
+  Off->noteCandidate(3);
+  Flat->noteCandidate(3);
+  Hashed->noteCandidate(3);
+  EXPECT_FALSE(Off->isBlacklisted(3));
+  EXPECT_TRUE(Flat->isBlacklisted(3));
+  EXPECT_TRUE(Hashed->isBlacklisted(3));
+}
+
+//===----------------------------------------------------------------------===//
+// Collector integration
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+GcConfig blConfig(BlacklistMode Mode) {
+  GcConfig Config;
+  Config.WindowBytes = uint64_t(256) << 20;
+  Config.Placement = HeapPlacement::Custom;
+  Config.CustomHeapBaseOffset = 16 << 20;
+  Config.MaxHeapBytes = 32 << 20;
+  Config.Blacklist = Mode;
+  Config.GcAtStartup = true;
+  Config.MinHeapBytesBeforeGc = ~uint64_t(0);
+  return Config;
+}
+
+} // namespace
+
+TEST(BlacklistIntegration, PersistentFalseRefNeverPinsNewObjects) {
+  // The headline mechanism: a static near-miss that exists before any
+  // allocation can never pin anything, because the page it points at
+  // is never used for pointer-bearing objects.
+  Collector GC(blConfig(BlacklistMode::FlatBitmap));
+  uint64_t FalseWord = GC.arena().base() + (16 << 20) + 3 * PageSize + 40;
+  GC.addRootRange(&FalseWord, &FalseWord + 1, RootEncoding::Native64,
+                  RootSource::StaticData, "static-false-ref");
+  // Allocate a lot, drop everything, collect: nothing may survive.
+  for (int Round = 0; Round != 3; ++Round) {
+    for (int I = 0; I != 20000; ++I)
+      GC.allocate(24);
+    CollectionStats Cycle = GC.collect();
+    EXPECT_EQ(Cycle.ObjectsLive, 0u)
+        << "blacklisted page must never hold a pinnable object";
+  }
+}
+
+TEST(BlacklistIntegration, WithoutBlacklistTheSameRefPins) {
+  Collector GC(blConfig(BlacklistMode::Off));
+  uint64_t FalseWord = GC.arena().base() + (16 << 20) + 3 * PageSize + 40;
+  GC.addRootRange(&FalseWord, &FalseWord + 1, RootEncoding::Native64,
+                  RootSource::StaticData, "static-false-ref");
+  for (int I = 0; I != 20000; ++I)
+    GC.allocate(24);
+  CollectionStats Cycle = GC.collect();
+  EXPECT_GE(Cycle.ObjectsLive, 1u)
+      << "without blacklisting the false ref pins the object under it";
+}
+
+TEST(BlacklistIntegration, HeapGrowsToCompensate) {
+  // Blacklist many pages; the heap must expand past them and still
+  // serve all allocations (the paper's observation 6).
+  Collector GC(blConfig(BlacklistMode::FlatBitmap));
+  std::vector<uint64_t> Pollution;
+  for (int I = 0; I != 512; ++I) // Every other page of the first 4 MiB.
+    Pollution.push_back(GC.arena().base() + (16 << 20) +
+                        uint64_t(2 * I) * PageSize + 8);
+  GC.addRootRange(Pollution.data(), Pollution.data() + Pollution.size(),
+                  RootEncoding::Native64, RootSource::StaticData,
+                  "pollution");
+  std::vector<void *> Kept;
+  uint64_t Root[1] = {0};
+  GC.addRootRange(Root, Root + 1, RootEncoding::Native64,
+                  RootSource::Client, "keep");
+  for (int I = 0; I != 100000; ++I) {
+    void *P = GC.allocate(16);
+    ASSERT_NE(P, nullptr);
+    EXPECT_FALSE(GC.blacklist().isBlacklisted(
+        pageOfOffset(GC.windowOffsetOf(P))));
+  }
+  EXPECT_GE(GC.blacklistedPageCount(), 500u);
+}
+
+TEST(BlacklistIntegration, PointerFreeStillUsesBlacklistedPages) {
+  Collector GC(blConfig(BlacklistMode::FlatBitmap));
+  uint64_t FalseWord = GC.arena().base() + (16 << 20) + 8;
+  GC.addRootRange(&FalseWord, &FalseWord + 1, RootEncoding::Native64,
+                  RootSource::StaticData, "false-ref");
+  // The very first pointer-free block may land on the blacklisted
+  // first page; the first normal block must not.
+  void *Atomic = GC.allocate(64, ObjectKind::PointerFree);
+  void *Normal = GC.allocate(64, ObjectKind::Normal);
+  EXPECT_EQ(pageOfOffset(GC.windowOffsetOf(Atomic)),
+            pageOfOffset(WindowOffset(16 << 20)));
+  EXPECT_NE(pageOfOffset(GC.windowOffsetOf(Normal)),
+            pageOfOffset(WindowOffset(16 << 20)));
+}

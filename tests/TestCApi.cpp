@@ -1,0 +1,165 @@
+//===- tests/TestCApi.cpp - C API tests -----------------------------------===//
+
+#include "capi/cgc.h"
+#include <cstring>
+#include <gtest/gtest.h>
+
+namespace {
+
+cgc_config testConfig() {
+  cgc_config Config;
+  cgc_config_init(&Config);
+  Config.window_bytes = 256ULL << 20;
+  Config.heap_base_offset = 16ULL << 20;
+  Config.max_heap_bytes = 32ULL << 20;
+  Config.gc_at_startup = 0;
+  return Config;
+}
+
+struct CNode {
+  CNode *Next;
+  long Value;
+};
+
+} // namespace
+
+TEST(CApi, ConfigDefaults) {
+  cgc_config Config;
+  cgc_config_init(&Config);
+  EXPECT_EQ(Config.window_bytes, 4ULL << 30);
+  EXPECT_EQ(Config.interior_policy, CGC_INTERIOR_ALL);
+  EXPECT_EQ(Config.blacklist_mode, CGC_BLACKLIST_FLAT);
+  EXPECT_EQ(Config.gc_at_startup, 1);
+  cgc_config_init(nullptr); // Must not crash.
+}
+
+TEST(CApi, CreateAllocateCollectDestroy) {
+  cgc_config Config = testConfig();
+  cgc_collector *GC = cgc_create(&Config);
+  ASSERT_NE(GC, nullptr);
+
+  void *P = cgc_malloc(GC, 64);
+  ASSERT_NE(P, nullptr);
+  // Zero-initialized.
+  for (int I = 0; I != 64; ++I)
+    EXPECT_EQ(static_cast<unsigned char *>(P)[I], 0);
+  EXPECT_TRUE(cgc_is_heap_ptr(GC, P));
+  EXPECT_FALSE(cgc_is_heap_ptr(GC, &Config));
+  EXPECT_EQ(cgc_size(GC, P), 64u);
+  EXPECT_EQ(cgc_base(GC, static_cast<char *>(P) + 30), P);
+
+  unsigned long long Freed = cgc_gcollect(GC);
+  EXPECT_GE(Freed, 64u) << "unrooted object must be reclaimed";
+  EXPECT_EQ(cgc_live_bytes(GC), 0u);
+  EXPECT_EQ(cgc_collection_count(GC), 1u);
+  cgc_destroy(GC);
+}
+
+TEST(CApi, RootsKeepObjectsAlive) {
+  cgc_config Config = testConfig();
+  cgc_collector *GC = cgc_create(&Config);
+  static CNode *Head; // Static so the compiler cannot hide it.
+  Head = nullptr;
+  for (int I = 0; I != 100; ++I) {
+    auto *N = static_cast<CNode *>(cgc_malloc(GC, sizeof(CNode)));
+    N->Next = Head;
+    N->Value = I;
+    Head = N;
+  }
+  unsigned Handle = cgc_add_roots(GC, &Head, &Head + 1);
+  cgc_gcollect(GC);
+  EXPECT_EQ(cgc_live_bytes(GC), 100 * sizeof(CNode));
+  long Sum = 0;
+  for (CNode *N = Head; N; N = N->Next)
+    Sum += N->Value;
+  EXPECT_EQ(Sum, 4950);
+
+  EXPECT_EQ(cgc_remove_roots(GC, Handle), 1);
+  EXPECT_EQ(cgc_remove_roots(GC, Handle), 0);
+  Head = nullptr;
+  cgc_gcollect(GC);
+  EXPECT_EQ(cgc_live_bytes(GC), 0u);
+  cgc_destroy(GC);
+}
+
+TEST(CApi, AtomicAndUncollectable) {
+  cgc_config Config = testConfig();
+  cgc_collector *GC = cgc_create(&Config);
+  // An uncollectable object holding the only pointer to a chain: both
+  // survive without any registered roots.
+  auto *Anchor = static_cast<CNode *>(
+      cgc_malloc_uncollectable(GC, sizeof(CNode)));
+  Anchor->Next = static_cast<CNode *>(cgc_malloc(GC, sizeof(CNode)));
+  // A pointer inside atomic memory retains nothing.
+  auto **Atomic = static_cast<void **>(cgc_malloc_atomic(GC, 64));
+  Atomic[0] = cgc_malloc(GC, 32);
+  cgc_gcollect(GC);
+  EXPECT_EQ(cgc_live_bytes(GC), 2 * sizeof(CNode))
+      << "anchor + its chain; atomic object and its secret are gone";
+  cgc_free(GC, Anchor);
+  cgc_gcollect(GC);
+  EXPECT_EQ(cgc_live_bytes(GC), 0u);
+  cgc_destroy(GC);
+}
+
+TEST(CApi, FinalizersWithClientData) {
+  cgc_config Config = testConfig();
+  cgc_collector *GC = cgc_create(&Config);
+  int Ran = 0;
+  void *Obj = cgc_malloc(GC, 32);
+  ASSERT_EQ(cgc_register_finalizer(
+                GC, Obj,
+                [](void *, void *Client) { ++*static_cast<int *>(Client); },
+                &Ran),
+            1);
+  // Registration on garbage pointers fails cleanly.
+  EXPECT_EQ(cgc_register_finalizer(GC, nullptr, nullptr, nullptr), 0);
+  cgc_gcollect(GC);
+  EXPECT_EQ(cgc_run_finalizers(GC), 1u);
+  EXPECT_EQ(Ran, 1);
+  cgc_destroy(GC);
+}
+
+TEST(CApi, IgnoreOffPageAndExclusions) {
+  cgc_config Config = testConfig();
+  cgc_collector *GC = cgc_create(&Config);
+  void *Big = cgc_malloc_ignore_off_page(GC, 32 * 4096);
+  ASSERT_NE(Big, nullptr);
+  EXPECT_EQ(cgc_size(GC, Big), 32u * 4096u);
+
+  // Root buffer with the reference hidden behind an exclusion.
+  static void *Slot;
+  Slot = Big;
+  cgc_add_roots(GC, &Slot, &Slot + 1);
+  cgc_exclude_roots(GC, &Slot, &Slot + 1);
+  cgc_gcollect(GC);
+  EXPECT_EQ(cgc_live_bytes(GC), 0u) << "excluded root must not retain";
+  cgc_destroy(GC);
+}
+
+TEST(CApi, StackScanningEndToEnd) {
+  cgc_config Config = testConfig();
+  cgc_collector *GC = cgc_create(&Config);
+  cgc_enable_stack_scanning(GC);
+  auto *N = static_cast<CNode *>(cgc_malloc(GC, sizeof(CNode)));
+  N->Value = 42;
+  __asm__ volatile("" ::"r"(N) : "memory");
+  cgc_gcollect(GC);
+  EXPECT_EQ(N->Value, 42) << "stack-referenced object survives";
+  EXPECT_GE(cgc_live_bytes(GC), sizeof(CNode));
+  cgc_destroy(GC);
+}
+
+TEST(CApi, DisplacementsUnderBaseOnly) {
+  cgc_config Config = testConfig();
+  Config.interior_policy = CGC_INTERIOR_BASE_ONLY;
+  cgc_collector *GC = cgc_create(&Config);
+  cgc_register_displacement(GC, 8);
+  static char *TaggedRef;
+  void *Obj = cgc_malloc(GC, 64);
+  TaggedRef = static_cast<char *>(Obj) + 8; // Tagged pointer.
+  cgc_add_roots(GC, &TaggedRef, &TaggedRef + 1);
+  cgc_gcollect(GC);
+  EXPECT_GE(cgc_live_bytes(GC), 64u);
+  cgc_destroy(GC);
+}

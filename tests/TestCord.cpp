@@ -1,0 +1,238 @@
+//===- tests/TestCord.cpp - Cord (rope) library tests ---------------------===//
+
+#include "cords/Cord.h"
+#include "support/Random.h"
+#include <cstring>
+#include <gtest/gtest.h>
+
+using namespace cgc;
+
+namespace {
+
+GcConfig cordConfig() {
+  GcConfig Config;
+  Config.MaxHeapBytes = 64 << 20;
+  Config.GcAtStartup = false;
+  Config.MinHeapBytesBeforeGc = ~uint64_t(0);
+  return Config;
+}
+
+std::string patternText(size_t Len) {
+  std::string Text;
+  Text.reserve(Len);
+  for (size_t I = 0; I != Len; ++I)
+    Text.push_back(static_cast<char>('a' + (I * 7 + I / 26) % 26));
+  return Text;
+}
+
+} // namespace
+
+TEST(Cord, EmptyAndBasics) {
+  Collector GC(cordConfig());
+  Cord Empty(GC);
+  EXPECT_TRUE(Empty.empty());
+  EXPECT_EQ(Empty.length(), 0u);
+  EXPECT_EQ(Empty.str(), "");
+  EXPECT_EQ(Empty.depth(), 0u);
+
+  Cord Hello = Cord::fromString(GC, "hello");
+  EXPECT_EQ(Hello.length(), 5u);
+  EXPECT_EQ(Hello.str(), "hello");
+  EXPECT_EQ(Hello.charAt(0), 'h');
+  EXPECT_EQ(Hello.charAt(4), 'o');
+}
+
+TEST(Cord, LongTextRoundTrip) {
+  Collector GC(cordConfig());
+  std::string Text = patternText(100000);
+  Cord C = Cord::fromString(GC, Text);
+  EXPECT_EQ(C.length(), Text.size());
+  EXPECT_EQ(C.str(), Text);
+  // Balanced build: depth is logarithmic, leaves are bounded.
+  EXPECT_LE(C.depth(), 12u);
+  for (size_t I : {size_t(0), size_t(255), size_t(256), size_t(99999)})
+    EXPECT_EQ(C.charAt(I), Text[I]);
+}
+
+TEST(Cord, ConcatSemantics) {
+  Collector GC(cordConfig());
+  Cord A = Cord::fromString(GC, patternText(1000));
+  Cord B = Cord::fromString(GC, "-middle-");
+  Cord C = Cord::fromString(GC, patternText(2000));
+  Cord All = A + B + C;
+  EXPECT_EQ(All.length(), 3008u);
+  EXPECT_EQ(All.str(), A.str() + B.str() + C.str());
+  // Concat with empty returns the other side unchanged.
+  Cord Empty(GC);
+  EXPECT_EQ((A + Empty).str(), A.str());
+  EXPECT_EQ(Cord::concat(Empty, A).str(), A.str());
+  // Tiny concatenations flatten into a single leaf.
+  Cord Tiny = Cord::fromString(GC, "ab") + Cord::fromString(GC, "cd");
+  EXPECT_EQ(Tiny.nodeCount(), 1u);
+  EXPECT_EQ(Tiny.str(), "abcd");
+}
+
+TEST(Cord, RepeatedAppendStaysShallow) {
+  Collector GC(cordConfig());
+  Cord C(GC);
+  std::string Expected;
+  for (int I = 0; I != 2000; ++I) {
+    C = C + "chunk!";
+    Expected += "chunk!";
+  }
+  EXPECT_EQ(C.length(), Expected.size());
+  EXPECT_LE(C.depth(), 48u) << "automatic rebalancing must bound depth";
+  EXPECT_EQ(C.str(), Expected);
+}
+
+TEST(Cord, SubstringSharingAndCopy) {
+  Collector GC(cordConfig());
+  std::string Text = patternText(50000);
+  Cord C = Cord::fromString(GC, Text);
+  // Large substring: shares structure (no 25k copy).
+  Cord Big = C.substr(1000, 25000);
+  EXPECT_EQ(Big.length(), 25000u);
+  EXPECT_EQ(Big.str(), Text.substr(1000, 25000));
+  // Small substring: flat copy.
+  Cord Small = C.substr(49990, 100); // Clamped to the end.
+  EXPECT_EQ(Small.length(), 10u);
+  EXPECT_EQ(Small.str(), Text.substr(49990));
+  EXPECT_EQ(Small.nodeCount(), 1u);
+  // Full-range substring returns the same cord.
+  EXPECT_EQ(C.substr(0, C.length()).nodeCount(), C.nodeCount());
+  // Nested substrings compose.
+  Cord Nested = Big.substr(500, 10000).substr(100, 400);
+  EXPECT_EQ(Nested.str(), Text.substr(1600, 400));
+}
+
+TEST(Cord, CompareLexicographic) {
+  Collector GC(cordConfig());
+  Cord A = Cord::fromString(GC, "abcdef");
+  Cord B = Cord::fromString(GC, "abcdeg");
+  Cord A2 = Cord::fromString(GC, "abc") + Cord::fromString(GC, "def");
+  EXPECT_LT(A.compare(B), 0);
+  EXPECT_GT(B.compare(A), 0);
+  EXPECT_EQ(A.compare(A2), 0);
+  EXPECT_TRUE(A == A2);
+  // Prefix ordering.
+  Cord Short = Cord::fromString(GC, "abc");
+  EXPECT_LT(Short.compare(A), 0);
+  EXPECT_GT(A.compare(Short), 0);
+  // Long cords differing deep inside.
+  std::string Long = patternText(20000);
+  Cord L1 = Cord::fromString(GC, Long);
+  Long[19990] = '!';
+  Cord L2 = Cord::fromString(GC, Long);
+  EXPECT_NE(L1.compare(L2), 0);
+}
+
+TEST(Cord, ChunksCoverTextInOrder) {
+  Collector GC(cordConfig());
+  std::string Text = patternText(5000);
+  Cord C = Cord::fromString(GC, Text.substr(0, 2000)) +
+           Cord::fromString(GC, Text.substr(2000));
+  std::string Rebuilt;
+  size_t Chunks = 0;
+  C.forEachChunk([&](const char *Chunk, size_t Len) {
+    Rebuilt.append(Chunk, Len);
+    ++Chunks;
+  });
+  EXPECT_EQ(Rebuilt, Text);
+  EXPECT_GT(Chunks, 1u);
+}
+
+TEST(Cord, SurvivesCollectionViaRoot) {
+  Collector GC(cordConfig());
+  // A cord stored in a rooted slot survives; its internals (typed
+  // concat nodes + pointer-free leaves) are traced correctly.
+  static Cord *Live;
+  alignas(8) static unsigned char Slot[sizeof(Cord)];
+  Live = new (Slot) Cord(Cord::fromString(GC, patternText(30000)) +
+                         Cord::fromString(GC, patternText(10000)));
+  GC.addRootRange(Slot, Slot + sizeof(Cord), RootEncoding::Native64,
+                  RootSource::Client, "cord-slot");
+  std::string Before = Live->str();
+  GC.collect();
+  EXPECT_GT(GC.lastCollection().BytesLive, 39000u);
+  EXPECT_EQ(Live->str(), Before) << "cord intact after collection";
+  // Destroy the root: the whole tree is reclaimed.
+  Live->~Cord();
+  std::memset(Slot, 0, sizeof(Slot));
+  GC.collect();
+  EXPECT_EQ(GC.lastCollection().BytesLive, 0u);
+}
+
+TEST(Cord, LeavesAreNotScanned) {
+  Collector GC(cordConfig());
+  // Leaf bytes that happen to spell a heap address must not retain:
+  // leaves are pointer-free.
+  void *Hidden = GC.allocate(64);
+  char Bytes[sizeof(void *)];
+  std::memcpy(Bytes, &Hidden, sizeof(Hidden));
+  static Cord *Live;
+  alignas(8) static unsigned char Slot[sizeof(Cord)];
+  Live = new (Slot) Cord(
+      Cord::fromString(GC, std::string_view(Bytes, sizeof(Bytes))));
+  GC.addRootRange(Slot, Slot + sizeof(Cord), RootEncoding::Native64,
+                  RootSource::Client, "cord-slot");
+  GC.collect();
+  EXPECT_FALSE(GC.wasMarkedLive(Hidden))
+      << "text bytes must not act as pointers";
+  Live->~Cord();
+  std::memset(Slot, 0, sizeof(Slot));
+}
+
+TEST(Cord, RandomOperationsAgainstStdString) {
+  Collector GC(cordConfig());
+  Rng R(67);
+  // Shadow-model fuzz: a rooted pool of cords mirrored by strings.
+  constexpr size_t PoolSize = 8;
+  static Cord *Pool[PoolSize];
+  alignas(8) static unsigned char
+      Slots[PoolSize][sizeof(Cord)];
+  std::string Mirror[PoolSize];
+  for (size_t I = 0; I != PoolSize; ++I)
+    Pool[I] = new (Slots[I]) Cord(GC);
+  GC.addRootRange(Slots, Slots + PoolSize, RootEncoding::Native64,
+                  RootSource::Client, "cord-pool");
+
+  for (int Step = 0; Step != 800; ++Step) {
+    size_t I = R.pickIndex(PoolSize);
+    switch (R.pickIndex(4)) {
+    case 0: { // Fresh text.
+      std::string Text = patternText(R.nextInRange(0, 3000));
+      *Pool[I] = Cord::fromString(GC, Text);
+      Mirror[I] = Text;
+      break;
+    }
+    case 1: { // Concat two pool entries.
+      size_t J = R.pickIndex(PoolSize);
+      if (Mirror[I].size() + Mirror[J].size() > 200000)
+        break;
+      *Pool[I] = *Pool[I] + *Pool[J];
+      Mirror[I] += Mirror[J];
+      break;
+    }
+    case 2: { // Substring.
+      if (Mirror[I].empty())
+        break;
+      size_t Pos = R.pickIndex(Mirror[I].size());
+      size_t Len = R.nextInRange(0, Mirror[I].size() - Pos);
+      *Pool[I] = Pool[I]->substr(Pos, Len);
+      Mirror[I] = Mirror[I].substr(Pos, Len);
+      break;
+    }
+    case 3: // Collect mid-stream.
+      if (R.nextBool(0.1))
+        GC.collect("cord-fuzz");
+      break;
+    }
+    if (Step % 100 == 99) {
+      for (size_t K = 0; K != PoolSize; ++K) {
+        ASSERT_EQ(Pool[K]->str(), Mirror[K]) << "pool entry " << K;
+      }
+    }
+  }
+  for (size_t I = 0; I != PoolSize; ++I)
+    Pool[I]->~Cord();
+}

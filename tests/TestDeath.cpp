@@ -1,0 +1,80 @@
+//===- tests/TestDeath.cpp - Fatal-error contract tests -------------------===//
+//
+// The collector treats invariant violations as fatal (heap corruption
+// would follow); these tests pin down the contracts that abort with a
+// diagnostic rather than corrupting silently.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/ExplicitHeap.h"
+#include "core/Collector.h"
+#include <gtest/gtest.h>
+
+using namespace cgc;
+
+namespace {
+
+GcConfig deathConfig() {
+  GcConfig Config;
+  Config.WindowBytes = uint64_t(128) << 20;
+  Config.Placement = HeapPlacement::Custom;
+  Config.CustomHeapBaseOffset = 16 << 20;
+  Config.MaxHeapBytes = 16 << 20;
+  Config.GcAtStartup = false;
+  Config.MinHeapBytesBeforeGc = ~uint64_t(0);
+  return Config;
+}
+
+} // namespace
+
+using DeathTest = ::testing::Test;
+
+TEST(DeathTest, DoubleFreeAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Collector GC(deathConfig());
+  void *P = GC.allocate(32);
+  GC.deallocate(P);
+  EXPECT_DEATH(GC.deallocate(P), "double free");
+}
+
+TEST(DeathTest, FreeingNonHeapPointerAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Collector GC(deathConfig());
+  int Local = 0;
+  EXPECT_DEATH(GC.deallocate(&Local), "non-heap pointer");
+}
+
+TEST(DeathTest, FreeingInteriorPointerAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Collector GC(deathConfig());
+  auto *P = static_cast<char *>(GC.allocate(64));
+  EXPECT_DEATH(GC.deallocate(P + 8), "non-object pointer");
+}
+
+TEST(DeathTest, HeapArenaMustFitWindow) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  GcConfig Config = deathConfig();
+  Config.WindowBytes = 32 << 20;
+  Config.CustomHeapBaseOffset = 30 << 20;
+  Config.MaxHeapBytes = 16 << 20; // 30 + 16 > 32 MiB.
+  EXPECT_DEATH({ Collector GC(Config); }, "does not fit the window");
+}
+
+TEST(DeathTest, FinalizerOnNonObjectAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Collector GC(deathConfig());
+  void *P = GC.allocate(16);
+  GC.deallocate(P);
+  EXPECT_DEATH(GC.registerFinalizer(P, [](void *) {}),
+               "finalizer on a non-object");
+}
+
+TEST(DeathTest, BaselineDoubleFreeAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  baseline::ExplicitHeap Heap(8 << 20);
+  void *P = Heap.malloc(32);
+  void *Hold = Heap.malloc(32); // Keep P out of the wilderness.
+  (void)Hold;
+  Heap.free(P);
+  EXPECT_DEATH(Heap.free(P), "double free");
+}

@@ -1,0 +1,289 @@
+//===- tests/TestExtensions.cpp - Typed layouts, displacements, etc. ------===//
+//
+// Tests for the paper-adjacent features: registered object layouts
+// (precise heap scanning), interior displacements, ignore-off-page
+// large objects, and root exclusions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Collector.h"
+#include "structures/FalseRef.h"
+#include <cstring>
+#include <gtest/gtest.h>
+
+using namespace cgc;
+
+namespace {
+
+GcConfig extConfig() {
+  GcConfig Config;
+  Config.WindowBytes = uint64_t(256) << 20;
+  Config.Placement = HeapPlacement::Custom;
+  Config.CustomHeapBaseOffset = 16 << 20;
+  Config.MaxHeapBytes = 32 << 20;
+  Config.GcAtStartup = false;
+  Config.MinHeapBytesBeforeGc = ~uint64_t(0);
+  return Config;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Typed layouts
+//===----------------------------------------------------------------------===//
+
+TEST(TypedLayout, PointerWordsTraced) {
+  Collector GC(extConfig());
+  // Layout: word 0 = pointer, words 1..3 = data.
+  LayoutId Layout = GC.registerObjectLayout(
+      {true, false, false, false}, 4 * sizeof(uint64_t));
+  auto *Holder = static_cast<uint64_t *>(GC.allocateTyped(Layout));
+  ASSERT_NE(Holder, nullptr);
+  void *Child = GC.allocate(16);
+  Holder[0] = reinterpret_cast<uint64_t>(Child);
+  uint64_t Root = reinterpret_cast<uint64_t>(Holder);
+  GC.addRootRange(&Root, &Root + 1, RootEncoding::Native64,
+                  RootSource::Client, "root");
+  CollectionStats Cycle = GC.collect();
+  EXPECT_EQ(Cycle.ObjectsLive, 2u) << "typed pointer word must trace";
+}
+
+TEST(TypedLayout, NonPointerWordsIgnored) {
+  Collector GC(extConfig());
+  LayoutId Layout = GC.registerObjectLayout(
+      {true, false, false, false}, 4 * sizeof(uint64_t));
+  auto *Holder = static_cast<uint64_t *>(GC.allocateTyped(Layout));
+  void *Hidden = GC.allocate(16);
+  // A heap address stored in a *data* word: precise scanning must not
+  // see it.  This is exactly the §2 hazard ("compressed data") that
+  // fully conservative heap scanning cannot avoid.
+  Holder[2] = reinterpret_cast<uint64_t>(Hidden);
+  uint64_t Root = reinterpret_cast<uint64_t>(Holder);
+  GC.addRootRange(&Root, &Root + 1, RootEncoding::Native64,
+                  RootSource::Client, "root");
+  CollectionStats Cycle = GC.collect();
+  EXPECT_EQ(Cycle.ObjectsLive, 1u)
+      << "data word must not retain, even holding a heap address";
+}
+
+TEST(TypedLayout, ConservativeCounterpartRetains) {
+  // Same structure, fully conservative scanning: the data word DOES
+  // retain — the contrast the typed API exists to remove.
+  Collector GC(extConfig());
+  auto *Holder =
+      static_cast<uint64_t *>(GC.allocate(4 * sizeof(uint64_t)));
+  void *Hidden = GC.allocate(16);
+  Holder[2] = reinterpret_cast<uint64_t>(Hidden);
+  uint64_t Root = reinterpret_cast<uint64_t>(Holder);
+  GC.addRootRange(&Root, &Root + 1, RootEncoding::Native64,
+                  RootSource::Client, "root");
+  EXPECT_EQ(GC.collect().ObjectsLive, 2u);
+}
+
+TEST(TypedLayout, TypedObjectsShareBlocksPerLayout) {
+  Collector GC(extConfig());
+  LayoutId LayoutA =
+      GC.registerObjectLayout({true, false}, 2 * sizeof(uint64_t));
+  LayoutId LayoutB =
+      GC.registerObjectLayout({false, true}, 2 * sizeof(uint64_t));
+  void *A1 = GC.allocateTyped(LayoutA);
+  void *A2 = GC.allocateTyped(LayoutA);
+  void *B1 = GC.allocateTyped(LayoutB);
+  // Same layout: adjacent slots on the same page.  Different layout:
+  // different block.
+  EXPECT_EQ(reinterpret_cast<Address>(A2),
+            reinterpret_cast<Address>(A1) + 16);
+  EXPECT_NE(pageOfOffset(GC.windowOffsetOf(B1)),
+            pageOfOffset(GC.windowOffsetOf(A1)));
+}
+
+TEST(TypedLayout, SweepAndReuse) {
+  Collector GC(extConfig());
+  LayoutId Layout =
+      GC.registerObjectLayout({true, false}, 2 * sizeof(uint64_t));
+  void *A = GC.allocateTyped(Layout);
+  GC.collect(); // A is garbage: reclaimed.
+  EXPECT_EQ(GC.allocatedBytes(), 0u);
+  void *B = GC.allocateTyped(Layout);
+  EXPECT_EQ(B, A) << "typed slot reused after sweep";
+  GC.deallocate(B);
+  void *C = GC.allocateTyped(Layout);
+  EXPECT_EQ(C, A) << "typed slot reused after explicit free";
+}
+
+TEST(TypedLayout, ChainOfTypedObjectsFullyTraced) {
+  Collector GC(extConfig());
+  LayoutId Layout = GC.registerObjectLayout(
+      {true, false, false}, 3 * sizeof(uint64_t));
+  uint64_t *Head = nullptr;
+  for (int I = 0; I != 500; ++I) {
+    auto *Node = static_cast<uint64_t *>(GC.allocateTyped(Layout));
+    Node[0] = reinterpret_cast<uint64_t>(Head);
+    Node[1] = 0xDEAD0000 + I; // Data noise.
+    Head = Node;
+  }
+  uint64_t Root = reinterpret_cast<uint64_t>(Head);
+  GC.addRootRange(&Root, &Root + 1, RootEncoding::Native64,
+                  RootSource::Client, "root");
+  EXPECT_EQ(GC.collect().ObjectsLive, 500u);
+  Root = 0;
+  EXPECT_EQ(GC.collect().ObjectsLive, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Ignore-off-page large objects
+//===----------------------------------------------------------------------===//
+
+TEST(IgnoreOffPage, OnlyFirstPagePointersRetain) {
+  Collector GC(extConfig());
+  auto *Big = static_cast<char *>(GC.allocateIgnoreOffPage(8 * PageSize));
+  ASSERT_NE(Big, nullptr);
+  PlantedRef Ref(GC);
+
+  // First-page interior pointer retains...
+  Ref.setPointer(Big + 100);
+  EXPECT_EQ(GC.measureLiveness().ObjectsMarked, 1u);
+  // ...off-page pointer does not, even under InteriorPolicy::All.
+  Ref.setPointer(Big + 3 * PageSize);
+  EXPECT_EQ(GC.measureLiveness().ObjectsMarked, 0u);
+  // An off-page false reference feeds the blacklist (it is a near
+  // miss, not a valid reference).
+  EXPECT_GE(GC.lastCollection().NearMisses, 0u);
+}
+
+TEST(IgnoreOffPage, RegularLargeObjectRetainsFromAnyPage) {
+  Collector GC(extConfig());
+  auto *Big = static_cast<char *>(GC.allocate(8 * PageSize));
+  PlantedRef Ref(GC);
+  Ref.setPointer(Big + 3 * PageSize);
+  EXPECT_EQ(GC.measureLiveness().ObjectsMarked, 1u);
+}
+
+TEST(IgnoreOffPage, PlacementOnlyNeedsCleanFirstPage) {
+  // With a blacklist entry in the middle of the young heap, a regular
+  // large object must avoid the span; an ignore-off-page object may
+  // straddle it.
+  GcConfig Config = extConfig();
+  Config.GcAtStartup = true;
+  Collector GC(Config);
+  uint64_t FalseWord = GC.arena().base() + (16 << 20) + 4 * PageSize;
+  GC.addRootRange(&FalseWord, &FalseWord + 1, RootEncoding::Native64,
+                  RootSource::StaticData, "pollution");
+  void *Loose = GC.allocateIgnoreOffPage(8 * PageSize);
+  void *Strict = GC.allocate(8 * PageSize);
+  WindowOffset LooseOff = GC.windowOffsetOf(Loose);
+  WindowOffset StrictOff = GC.windowOffsetOf(Strict);
+  WindowOffset Bad = (16 << 20) + 4 * PageSize;
+  // The loose object's span may include the blacklisted page...
+  EXPECT_LE(LooseOff, Bad);
+  // ...the strict object's span may not.
+  bool StrictAvoids = StrictOff > Bad || StrictOff + 8 * PageSize <= Bad;
+  EXPECT_TRUE(StrictAvoids);
+}
+
+//===----------------------------------------------------------------------===//
+// Displacements
+//===----------------------------------------------------------------------===//
+
+TEST(Displacements, BaseOnlyAcceptsRegisteredOffsets) {
+  GcConfig Config = extConfig();
+  Config.Interior = InteriorPolicy::BaseOnly;
+  Collector GC(Config);
+  GC.registerDisplacement(8); // A one-word tag, as a Lisp might use.
+
+  auto *Obj = static_cast<char *>(GC.allocate(64));
+  PlantedRef Ref(GC);
+  Ref.setPointer(Obj);
+  EXPECT_EQ(GC.measureLiveness().ObjectsMarked, 1u) << "base valid";
+  Ref.setPointer(Obj + 8);
+  EXPECT_EQ(GC.measureLiveness().ObjectsMarked, 1u)
+      << "registered displacement valid";
+  Ref.setPointer(Obj + 16);
+  EXPECT_EQ(GC.measureLiveness().ObjectsMarked, 0u)
+      << "unregistered displacement invalid";
+}
+
+TEST(Displacements, DuplicateRegistrationIdempotent) {
+  GcConfig Config = extConfig();
+  Config.Interior = InteriorPolicy::BaseOnly;
+  Collector GC(Config);
+  GC.registerDisplacement(4);
+  GC.registerDisplacement(4);
+  GC.registerDisplacement(12);
+  auto *Obj = static_cast<char *>(GC.allocate(64));
+  PlantedRef Ref(GC);
+  Ref.setPointer(Obj + 4);
+  EXPECT_EQ(GC.measureLiveness().ObjectsMarked, 1u);
+  Ref.setPointer(Obj + 12);
+  EXPECT_EQ(GC.measureLiveness().ObjectsMarked, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Root exclusions
+//===----------------------------------------------------------------------===//
+
+TEST(RootExclusions, ExcludedSubrangeNotScanned) {
+  Collector GC(extConfig());
+  void *A = GC.allocate(16);
+  void *B = GC.allocate(16);
+  alignas(8) uint64_t Buffer[8] = {};
+  Buffer[1] = reinterpret_cast<uint64_t>(A);
+  Buffer[5] = reinterpret_cast<uint64_t>(B);
+  GC.addRootRange(Buffer, Buffer + 8, RootEncoding::Native64,
+                  RootSource::StaticData, "buffer");
+  // Exclude the middle (covers word 5, not word 1) — "IO buffer" area.
+  GC.addRootExclusion(Buffer + 4, Buffer + 8);
+  CollectionStats Cycle = GC.collect();
+  EXPECT_TRUE(GC.wasMarkedLive(A));
+  EXPECT_FALSE(GC.wasMarkedLive(B)) << "excluded area must not retain";
+  EXPECT_EQ(Cycle.ObjectsLive, 1u);
+}
+
+TEST(RootExclusions, MultipleHolesAndFullCoverage) {
+  Collector GC(extConfig());
+  void *Objs[4];
+  for (auto &O : Objs)
+    O = GC.allocate(16);
+  alignas(8) uint64_t Buffer[16] = {};
+  Buffer[0] = reinterpret_cast<uint64_t>(Objs[0]);
+  Buffer[4] = reinterpret_cast<uint64_t>(Objs[1]);
+  Buffer[8] = reinterpret_cast<uint64_t>(Objs[2]);
+  Buffer[12] = reinterpret_cast<uint64_t>(Objs[3]);
+  GC.addRootRange(Buffer, Buffer + 16, RootEncoding::Native64,
+                  RootSource::StaticData, "buffer");
+  GC.addRootExclusion(Buffer + 3, Buffer + 5);   // Hides word 4.
+  GC.addRootExclusion(Buffer + 11, Buffer + 13); // Hides word 12.
+  CollectionStats Cycle = GC.collect();
+  EXPECT_TRUE(GC.wasMarkedLive(Objs[0]));
+  EXPECT_FALSE(GC.wasMarkedLive(Objs[1]));
+  EXPECT_TRUE(GC.wasMarkedLive(Objs[2]));
+  EXPECT_FALSE(GC.wasMarkedLive(Objs[3]));
+  EXPECT_EQ(Cycle.ObjectsLive, 2u);
+
+  // Excluding the whole buffer kills the rest.
+  GC.addRootExclusion(Buffer, Buffer + 16);
+  EXPECT_EQ(GC.collect().ObjectsLive, 0u);
+}
+
+TEST(RootExclusions, ExclusionReducesNearMisses) {
+  // The practical §2 use: a large random buffer inside static data
+  // would otherwise flood the blacklist.
+  GcConfig Config = extConfig();
+  Config.Placement = HeapPlacement::Custom;
+  Config.CustomHeapBaseOffset = 16 << 20;
+  Collector GC(Config);
+  (void)GC.allocate(8);
+  std::vector<uint64_t> IoBuffer(4096);
+  for (size_t I = 0; I != IoBuffer.size(); ++I)
+    IoBuffer[I] = GC.arena().base() + (16 << 20) +
+                  (I * 2654435761u) % (16 << 20); // Arena-aliasing noise.
+  GC.addRootRange(IoBuffer.data(), IoBuffer.data() + IoBuffer.size(),
+                  RootEncoding::Native64, RootSource::StaticData,
+                  "io-buffer");
+  uint64_t Before = GC.collect().NearMisses;
+  EXPECT_GT(Before, 1000u);
+  GC.addRootExclusion(IoBuffer.data(),
+                      IoBuffer.data() + IoBuffer.size());
+  uint64_t After = GC.collect().NearMisses;
+  EXPECT_EQ(After, 0u);
+}

@@ -1,0 +1,166 @@
+//===- tests/TestFinalization.cpp - Finalization edge cases ---------------===//
+
+#include "core/Collector.h"
+#include <gtest/gtest.h>
+
+using namespace cgc;
+
+namespace {
+
+GcConfig finConfig() {
+  GcConfig Config;
+  Config.MaxHeapBytes = 32 << 20;
+  Config.GcAtStartup = false;
+  Config.MinHeapBytesBeforeGc = ~uint64_t(0);
+  return Config;
+}
+
+struct Node {
+  Node *Next;
+};
+
+} // namespace
+
+TEST(Finalization, ChainFinalizedTogether) {
+  // A chain of finalizable objects, all unreachable at once: PCR
+  // semantics queue everything unreachable at mark completion,
+  // regardless of mutual reachability.
+  Collector GC(finConfig());
+  int Finalized = 0;
+  Node *Head = nullptr;
+  for (int I = 0; I != 5; ++I) {
+    auto *N = static_cast<Node *>(GC.allocate(sizeof(Node)));
+    N->Next = Head;
+    Head = N;
+    GC.registerFinalizer(N, [&](void *) { ++Finalized; });
+  }
+  GC.collect();
+  EXPECT_EQ(GC.runFinalizers(), 5u);
+  EXPECT_EQ(Finalized, 5);
+  GC.collect();
+  EXPECT_EQ(GC.allocatedBytes(), 0u);
+}
+
+TEST(Finalization, FinalizerMayAllocate) {
+  Collector GC(finConfig());
+  uint64_t Root = 0;
+  GC.addRootRange(&Root, &Root + 1, RootEncoding::Native64,
+                  RootSource::Client, "root");
+  auto *Obj = static_cast<Node *>(GC.allocate(sizeof(Node)));
+  GC.registerFinalizer(Obj, [&](void *) {
+    // Allocation from inside a finalizer is legal (runs outside the
+    // collection).
+    Root = reinterpret_cast<uint64_t>(GC.allocate(64));
+  });
+  GC.collect();
+  EXPECT_EQ(GC.runFinalizers(), 1u);
+  EXPECT_NE(Root, 0u);
+  GC.collect();
+  EXPECT_TRUE(GC.wasMarkedLive(reinterpret_cast<void *>(Root)));
+}
+
+TEST(Finalization, FinalizerMayRegisterAnother) {
+  Collector GC(finConfig());
+  int Generations = 0;
+  auto *A = static_cast<Node *>(GC.allocate(sizeof(Node)));
+  auto *B = static_cast<Node *>(GC.allocate(sizeof(Node)));
+  GC.registerFinalizer(A, [&, B](void *) {
+    ++Generations;
+    GC.registerFinalizer(B, [&](void *) { ++Generations; });
+  });
+  // B must stay valid until A's finalizer runs: root it from A.
+  A->Next = B;
+  GC.collect();
+  EXPECT_EQ(GC.runFinalizers(), 1u); // A only; B was resurrected via A.
+  EXPECT_EQ(Generations, 1);
+  GC.collect();
+  EXPECT_EQ(GC.runFinalizers(), 1u); // Now B.
+  EXPECT_EQ(Generations, 2);
+}
+
+TEST(Finalization, ResurrectionChainsDeep) {
+  // A finalizable head with a long tail: the whole tail must survive
+  // until the finalizer has run.
+  Collector GC(finConfig());
+  Node *Head = nullptr;
+  for (int I = 0; I != 1000; ++I) {
+    auto *N = static_cast<Node *>(GC.allocate(sizeof(Node)));
+    N->Next = Head;
+    Head = N;
+  }
+  size_t TailSeen = 0;
+  GC.registerFinalizer(Head, [&](void *P) {
+    for (Node *N = static_cast<Node *>(P)->Next; N; N = N->Next)
+      ++TailSeen;
+  });
+  CollectionStats Cycle = GC.collect();
+  EXPECT_EQ(Cycle.ObjectsLive, 1000u) << "whole chain resurrected";
+  EXPECT_EQ(GC.runFinalizers(), 1u);
+  EXPECT_EQ(TailSeen, 999u);
+  GC.collect();
+  EXPECT_EQ(GC.allocatedBytes(), 0u);
+}
+
+TEST(Finalization, ReRegistrationReplaces) {
+  Collector GC(finConfig());
+  int First = 0, Second = 0;
+  auto *Obj = static_cast<Node *>(GC.allocate(sizeof(Node)));
+  GC.registerFinalizer(Obj, [&](void *) { ++First; });
+  GC.registerFinalizer(Obj, [&](void *) { ++Second; });
+  GC.collect();
+  GC.runFinalizers();
+  EXPECT_EQ(First, 0);
+  EXPECT_EQ(Second, 1);
+}
+
+TEST(Finalization, SurvivesManyIdleCollections) {
+  Collector GC(finConfig());
+  uint64_t Root = 0;
+  GC.addRootRange(&Root, &Root + 1, RootEncoding::Native64,
+                  RootSource::Client, "root");
+  auto *Obj = static_cast<Node *>(GC.allocate(sizeof(Node)));
+  Root = reinterpret_cast<uint64_t>(Obj);
+  int Finalized = 0;
+  GC.registerFinalizer(Obj, [&](void *) { ++Finalized; });
+  for (int I = 0; I != 10; ++I) {
+    GC.collect();
+    EXPECT_EQ(GC.runFinalizers(), 0u);
+  }
+  EXPECT_EQ(Finalized, 0);
+  Root = 0;
+  GC.collect();
+  GC.runFinalizers();
+  EXPECT_EQ(Finalized, 1);
+}
+
+TEST(Finalization, GcNewFinalizedArrayOfSessions) {
+  // Bulk check: N finalized objects, dropped in two waves.
+  Collector GC(finConfig());
+  static int Destroyed;
+  Destroyed = 0;
+  struct Session {
+    ~Session() { ++Destroyed; }
+    uint64_t Id;
+  };
+  std::vector<uint64_t> Roots(100, 0);
+  GC.addRootRange(Roots.data(), Roots.data() + Roots.size(),
+                  RootEncoding::Native64, RootSource::Client, "roots");
+  for (int I = 0; I != 100; ++I) {
+    auto *S = static_cast<Session *>(GC.allocate(sizeof(Session)));
+    S->Id = static_cast<uint64_t>(I);
+    GC.registerFinalizer(S, [](void *P) {
+      static_cast<Session *>(P)->~Session();
+    });
+    Roots[static_cast<size_t>(I)] = reinterpret_cast<uint64_t>(S);
+  }
+  for (size_t I = 0; I != 50; ++I)
+    Roots[I] = 0;
+  GC.collect();
+  EXPECT_EQ(GC.runFinalizers(), 50u);
+  EXPECT_EQ(Destroyed, 50);
+  for (size_t I = 50; I != 100; ++I)
+    Roots[I] = 0;
+  GC.collect();
+  EXPECT_EQ(GC.runFinalizers(), 50u);
+  EXPECT_EQ(Destroyed, 100);
+}

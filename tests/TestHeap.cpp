@@ -1,0 +1,447 @@
+//===- tests/TestHeap.cpp - Heap layer unit tests -------------------------===//
+
+#include "heap/BlockTable.h"
+#include "heap/ObjectHeap.h"
+#include "heap/PageAllocator.h"
+#include "heap/PageMap.h"
+#include "heap/SizeClassTable.h"
+#include "heap/VirtualArena.h"
+#include "support/BitVector.h"
+#include <cstring>
+#include <gtest/gtest.h>
+
+using namespace cgc;
+
+//===----------------------------------------------------------------------===//
+// VirtualArena
+//===----------------------------------------------------------------------===//
+
+TEST(VirtualArena, ReserveAndConvert) {
+  VirtualArena Arena(64 << 20);
+  EXPECT_EQ(Arena.size(), uint64_t(64) << 20);
+  EXPECT_EQ(Arena.numPages(), (64u << 20) / PageSize);
+  Address Base = Arena.base();
+  EXPECT_NE(Base, 0u);
+  EXPECT_TRUE(Arena.contains(Base));
+  EXPECT_TRUE(Arena.contains(Base + Arena.size() - 1));
+  EXPECT_FALSE(Arena.contains(Base + Arena.size()));
+  EXPECT_EQ(Arena.offsetOf(Base + 12345), 12345u);
+  EXPECT_EQ(Arena.addressOf(777), Base + 777);
+}
+
+TEST(VirtualArena, MemoryIsZeroAndWritable) {
+  VirtualArena Arena(4 << 20);
+  auto *P = static_cast<unsigned char *>(Arena.pointerTo(PageSize * 3));
+  EXPECT_EQ(P[0], 0);
+  P[0] = 42;
+  P[PageSize - 1] = 43;
+  EXPECT_EQ(P[0], 42);
+}
+
+TEST(VirtualArena, DecommitZeroes) {
+  VirtualArena Arena(4 << 20);
+  auto *P = static_cast<unsigned char *>(Arena.pointerTo(PageSize));
+  std::memset(P, 0xAA, PageSize);
+  Arena.decommit(PageSize, PageSize);
+  EXPECT_EQ(P[0], 0);
+  EXPECT_EQ(P[PageSize - 1], 0);
+}
+
+//===----------------------------------------------------------------------===//
+// SizeClassTable
+//===----------------------------------------------------------------------===//
+
+TEST(SizeClassTable, RoundTripInvariant) {
+  SizeClassTable Table;
+  // Every size maps to a class whose slot size fits it, and no smaller
+  // class would.
+  for (size_t Bytes = 1; Bytes <= MaxSmallObjectBytes; ++Bytes) {
+    unsigned Class = Table.classForSize(Bytes);
+    size_t Slot = Table.classSize(Class);
+    EXPECT_GE(Slot, Bytes) << "class too small for " << Bytes;
+    if (Class > 0) {
+      EXPECT_LT(Table.classSize(Class - 1), Bytes)
+          << "not the tightest class for " << Bytes;
+    }
+  }
+}
+
+TEST(SizeClassTable, FineGranularityAtBottom) {
+  SizeClassTable Table;
+  // The paper's 8-byte cells must get an exact class.
+  EXPECT_EQ(Table.classSize(Table.classForSize(8)), 8u);
+  EXPECT_EQ(Table.classSize(Table.classForSize(16)), 16u);
+  EXPECT_EQ(Table.classSize(Table.classForSize(9)), 16u);
+  EXPECT_EQ(Table.classSize(Table.classForSize(512)), 512u);
+}
+
+TEST(SizeClassTable, ClassSizesStrictlyIncrease) {
+  SizeClassTable Table;
+  for (unsigned C = 1; C != Table.numClasses(); ++C)
+    EXPECT_LT(Table.classSize(C - 1), Table.classSize(C));
+  EXPECT_EQ(Table.classSize(Table.numClasses() - 1), MaxSmallObjectBytes);
+}
+
+//===----------------------------------------------------------------------===//
+// BlockTable
+//===----------------------------------------------------------------------===//
+
+TEST(BlockTable, CreateDestroyReuse) {
+  BlockTable Table;
+  BlockId A = Table.create();
+  BlockId B = Table.create();
+  EXPECT_NE(A, InvalidBlockId);
+  EXPECT_NE(A, B);
+  EXPECT_TRUE(Table.isLive(A));
+  EXPECT_EQ(Table.liveCount(), 2u);
+  Table.destroy(A);
+  EXPECT_FALSE(Table.isLive(A));
+  EXPECT_EQ(Table.liveCount(), 1u);
+  BlockId C = Table.create();
+  EXPECT_EQ(C, A); // Id recycled.
+  EXPECT_TRUE(Table.isLive(C));
+}
+
+TEST(BlockTable, SlotGeometry) {
+  BlockDescriptor Block;
+  Block.StartPage = 10;
+  Block.NumPages = 1;
+  Block.ObjectSize = 8;
+  Block.FirstObjectOffset = 16;
+  Block.ObjectCount = 510;
+  WindowOffset Start = offsetOfPage(10);
+  EXPECT_EQ(Block.firstSlotOffset(), Start + 16);
+  EXPECT_EQ(Block.slotOffset(0), Start + 16);
+  EXPECT_EQ(Block.slotOffset(2), Start + 32);
+  EXPECT_EQ(Block.slotContaining(Start + 16), 0);
+  EXPECT_EQ(Block.slotContaining(Start + 23), 0);
+  EXPECT_EQ(Block.slotContaining(Start + 24), 1);
+  EXPECT_EQ(Block.slotContaining(Start + 15), -1); // Header gap.
+  EXPECT_EQ(Block.slotContaining(Start + 16 + 510 * 8), -1); // Tail.
+}
+
+//===----------------------------------------------------------------------===//
+// PageMap
+//===----------------------------------------------------------------------===//
+
+TEST(PageMap, AssignAndClear) {
+  PageMap Map(1024);
+  EXPECT_EQ(Map.blockAt(5), InvalidBlockId);
+  Map.assignRun(5, 3, 7);
+  EXPECT_EQ(Map.blockAt(4), InvalidBlockId);
+  EXPECT_EQ(Map.blockAt(5), 7u);
+  EXPECT_EQ(Map.blockAt(7), 7u);
+  EXPECT_EQ(Map.blockAt(8), InvalidBlockId);
+  Map.clearRun(5, 3);
+  EXPECT_EQ(Map.blockAt(6), InvalidBlockId);
+  // Out of range reads are safe and empty.
+  EXPECT_EQ(Map.blockAt(5000), InvalidBlockId);
+}
+
+//===----------------------------------------------------------------------===//
+// PageAllocator
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct PageAllocFixture : public ::testing::Test {
+  PageAllocFixture()
+      : Arena(64 << 20),
+        Pages(Arena, /*BasePage=*/256, /*MaxPages=*/2048,
+              /*GrowthPages=*/64, /*DecommitFreed=*/true) {}
+  VirtualArena Arena;
+  PageAllocator Pages;
+};
+
+} // namespace
+
+TEST_F(PageAllocFixture, GrowOnDemandAndAddressOrder) {
+  auto A = Pages.allocateRun(4, PageConstraint::None);
+  ASSERT_TRUE(A.has_value());
+  EXPECT_EQ(*A, 256u); // Lowest address first.
+  auto B = Pages.allocateRun(4, PageConstraint::None);
+  ASSERT_TRUE(B.has_value());
+  EXPECT_EQ(*B, 260u);
+  EXPECT_EQ(Pages.stats().CommittedPages, 64u);
+}
+
+TEST_F(PageAllocFixture, FreeCoalescesAndReusesLowest) {
+  auto A = Pages.allocateRun(4, PageConstraint::None);
+  auto B = Pages.allocateRun(4, PageConstraint::None);
+  auto C = Pages.allocateRun(4, PageConstraint::None);
+  ASSERT_TRUE(A && B && C);
+  Pages.freeRun(*A, 4);
+  Pages.freeRun(*C, 4);
+  // A and C are separated by live B: two runs plus the growth tail.
+  size_t Runs = 0;
+  Pages.forEachFreeRun([&](PageIndex, uint32_t) { ++Runs; });
+  EXPECT_EQ(Runs, 2u); // [A..A+4) and [C.. end of committed).
+  Pages.freeRun(*B, 4);
+  Runs = 0;
+  uint32_t TotalFree = 0;
+  Pages.forEachFreeRun([&](PageIndex, uint32_t Len) {
+    ++Runs;
+    TotalFree += Len;
+  });
+  EXPECT_EQ(Runs, 1u) << "adjacent runs must coalesce";
+  EXPECT_EQ(TotalFree, 64u);
+  // Next allocation comes from the lowest address again.
+  auto D = Pages.allocateRun(2, PageConstraint::None);
+  ASSERT_TRUE(D.has_value());
+  EXPECT_EQ(*D, 256u);
+}
+
+TEST_F(PageAllocFixture, ArenaLimitRespected) {
+  auto Big = Pages.allocateRun(2048, PageConstraint::None);
+  ASSERT_TRUE(Big.has_value());
+  auto TooMuch = Pages.allocateRun(1, PageConstraint::None);
+  EXPECT_FALSE(TooMuch.has_value());
+  EXPECT_GE(Pages.stats().FailedRequests, 1u);
+  Pages.freeRun(*Big, 2048);
+  auto Retry = Pages.allocateRun(1, PageConstraint::None);
+  EXPECT_TRUE(Retry.has_value());
+}
+
+TEST_F(PageAllocFixture, BlacklistFirstPageClean) {
+  BitVector Bad(Arena.numPages());
+  Bad.set(256);
+  Bad.set(257);
+  Pages.setBlacklistQuery([&](PageIndex P) { return Bad.test(P); });
+  auto Run = Pages.allocateRun(2, PageConstraint::FirstPageClean);
+  ASSERT_TRUE(Run.has_value());
+  EXPECT_EQ(*Run, 258u) << "must skip blacklisted first pages";
+  // FirstPageClean allows later pages of the run to be blacklisted.
+  Bad.set(261);
+  auto Run2 = Pages.allocateRun(2, PageConstraint::FirstPageClean);
+  ASSERT_TRUE(Run2.has_value());
+  EXPECT_EQ(*Run2, 260u);
+}
+
+TEST_F(PageAllocFixture, BlacklistAllPagesClean) {
+  BitVector Bad(Arena.numPages());
+  Bad.set(258); // A hole two pages in.
+  Pages.setBlacklistQuery([&](PageIndex P) { return Bad.test(P); });
+  auto Run = Pages.allocateRun(4, PageConstraint::AllPagesClean);
+  ASSERT_TRUE(Run.has_value());
+  EXPECT_EQ(*Run, 259u) << "run must not span a blacklisted page";
+  EXPECT_GT(Pages.stats().BlacklistSkippedPages, 0u);
+  // Pointer-free placement ignores the blacklist entirely.
+  auto Free = Pages.allocateRun(1, PageConstraint::None);
+  ASSERT_TRUE(Free.has_value());
+  EXPECT_EQ(*Free, 256u);
+}
+
+TEST_F(PageAllocFixture, FullyBlacklistedForcesGrowth) {
+  // Blacklist the entire first growth increment.
+  Pages.setBlacklistQuery([](PageIndex P) { return P < 256 + 64; });
+  auto Run = Pages.allocateRun(1, PageConstraint::AllPagesClean);
+  ASSERT_TRUE(Run.has_value());
+  EXPECT_GE(*Run, 256u + 64u) << "heap must grow past blacklisted pages";
+  EXPECT_GE(Pages.stats().GrowEvents, 2u);
+}
+
+TEST_F(PageAllocFixture, PotentialHeapBounds) {
+  EXPECT_FALSE(Pages.inPotentialHeap(255));
+  EXPECT_TRUE(Pages.inPotentialHeap(256));
+  EXPECT_TRUE(Pages.inPotentialHeap(256 + 2047));
+  EXPECT_FALSE(Pages.inPotentialHeap(256 + 2048));
+}
+
+//===----------------------------------------------------------------------===//
+// ObjectHeap
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct ObjectHeapFixture : public ::testing::Test {
+  ObjectHeapFixture()
+      : Arena(64 << 20),
+        Pages(Arena, 256, 2048, 64, true),
+        Map(Arena.numPages()) {
+    ObjectHeapConfig Config;
+    Heap = std::make_unique<ObjectHeap>(Arena, Pages, Map, Blocks, Config);
+  }
+
+  void *allocSmall(size_t Bytes, ObjectKind Kind = ObjectKind::Normal) {
+    void *P = Heap->allocateFromExisting(Bytes, Kind);
+    if (!P) {
+      EXPECT_TRUE(Heap->addBlockForClass(Bytes, Kind));
+      P = Heap->allocateFromExisting(Bytes, Kind);
+    }
+    return P;
+  }
+
+  BlockDescriptor &blockOf(void *P) {
+    WindowOffset Off = Arena.offsetOf(reinterpret_cast<Address>(P));
+    return Blocks.get(Map.blockAt(pageOfOffset(Off)));
+  }
+
+  VirtualArena Arena;
+  PageAllocator Pages;
+  PageMap Map;
+  BlockTable Blocks;
+  std::unique_ptr<ObjectHeap> Heap;
+};
+
+} // namespace
+
+TEST_F(ObjectHeapFixture, SmallAllocationBasics) {
+  void *A = allocSmall(8);
+  void *B = allocSmall(8);
+  ASSERT_NE(A, nullptr);
+  ASSERT_NE(B, nullptr);
+  EXPECT_NE(A, B);
+  // Same page, adjacent slots, address-ordered.
+  EXPECT_EQ(reinterpret_cast<Address>(B), reinterpret_cast<Address>(A) + 8);
+  EXPECT_EQ(Heap->allocatedBytes(), 16u);
+  ObjectRef RefA = Heap->refForBase(Arena.offsetOf(
+      reinterpret_cast<Address>(A)));
+  ASSERT_TRUE(RefA.valid());
+  EXPECT_EQ(Heap->objectSize(RefA), 8u);
+  EXPECT_TRUE(Heap->isAllocated(RefA));
+}
+
+TEST_F(ObjectHeapFixture, TrailingZeroAvoidance) {
+  void *A = allocSmall(8);
+  // With AvoidTrailingZeroAddresses the first slot sits 16 bytes into
+  // the page: the address cannot have 12+ trailing zero bits.
+  EXPECT_EQ(reinterpret_cast<Address>(A) % PageSize, 16u);
+}
+
+TEST_F(ObjectHeapFixture, RefForBaseRejectsNonBase) {
+  void *A = allocSmall(32);
+  WindowOffset Base = Arena.offsetOf(reinterpret_cast<Address>(A));
+  EXPECT_TRUE(Heap->refForBase(Base).valid());
+  EXPECT_FALSE(Heap->refForBase(Base + 8).valid());
+  EXPECT_FALSE(Heap->refForBase(Base - 16).valid()); // Header gap.
+}
+
+TEST_F(ObjectHeapFixture, ExplicitFreeAndReuse) {
+  void *A = allocSmall(8);
+  void *B = allocSmall(8);
+  (void)B;
+  Heap->deallocateExplicit(A);
+  EXPECT_EQ(Heap->stats().ExplicitFrees, 1u);
+  void *C = allocSmall(8);
+  EXPECT_EQ(C, A) << "address-ordered reuse takes the lowest free slot";
+}
+
+TEST_F(ObjectHeapFixture, FreedMemoryIsCleared) {
+  auto *A = static_cast<uint64_t *>(allocSmall(8));
+  *A = 0xDEADBEEFDEADBEEFULL;
+  Heap->deallocateExplicit(A);
+  EXPECT_EQ(*A, 0u) << "ClearFreedObjects must zero freed slots";
+}
+
+TEST_F(ObjectHeapFixture, LargeObjectLifecycle) {
+  void *Big = Heap->allocateLarge(3 * PageSize, ObjectKind::Normal);
+  ASSERT_NE(Big, nullptr);
+  WindowOffset Off = Arena.offsetOf(reinterpret_cast<Address>(Big));
+  ObjectRef Ref = Heap->refForBase(Off);
+  ASSERT_TRUE(Ref.valid());
+  EXPECT_EQ(Heap->objectSize(Ref), 3 * PageSize);
+  BlockDescriptor &Block = blockOf(Big);
+  EXPECT_TRUE(Block.IsLarge);
+  EXPECT_EQ(Block.NumPages, 4u) << "3 pages + offset spills to a 4th";
+  uint64_t Before = Pages.freePageCount();
+  Heap->deallocateExplicit(Big);
+  EXPECT_EQ(Pages.freePageCount(), Before + 4);
+  EXPECT_FALSE(Heap->refForBase(Off).valid());
+}
+
+TEST_F(ObjectHeapFixture, SweepFreesUnmarked) {
+  void *A = allocSmall(8);
+  void *B = allocSmall(8);
+  // Mark only B.
+  BlockDescriptor &Block = blockOf(B);
+  Heap->clearMarks();
+  Block.MarkBits.set(
+      static_cast<uint32_t>(Block.slotContaining(Arena.offsetOf(
+          reinterpret_cast<Address>(B)))));
+  SweepResult Swept = Heap->sweep();
+  EXPECT_EQ(Swept.ObjectsSweptFree, 1u);
+  EXPECT_EQ(Swept.ObjectsLive, 1u);
+  EXPECT_FALSE(Heap->isAllocated(Heap->refForBase(
+      Arena.offsetOf(reinterpret_cast<Address>(A)))));
+  EXPECT_TRUE(Heap->isAllocated(Heap->refForBase(
+      Arena.offsetOf(reinterpret_cast<Address>(B)))));
+}
+
+TEST_F(ObjectHeapFixture, SweepReleasesEmptyBlocksAndPages) {
+  std::vector<void *> Ptrs;
+  for (int I = 0; I != 600; ++I) // More than one page of 8-byte slots.
+    Ptrs.push_back(allocSmall(8));
+  EXPECT_GE(Blocks.liveCount(), 2u);
+  Heap->clearMarks();
+  SweepResult Swept = Heap->sweep();
+  EXPECT_EQ(Swept.ObjectsSweptFree, 600u);
+  EXPECT_GT(Swept.PagesReleased, 0u);
+  EXPECT_EQ(Blocks.liveCount(), 0u);
+  EXPECT_EQ(Heap->allocatedBytes(), 0u);
+}
+
+TEST_F(ObjectHeapFixture, PinnedSlotNotReused) {
+  void *A = allocSmall(8);
+  void *B = allocSmall(8);
+  Heap->deallocateExplicit(A);
+  // A false reference marks the now-free slot A.
+  Heap->clearMarks();
+  BlockDescriptor &Block = blockOf(B);
+  uint32_t SlotA = static_cast<uint32_t>(
+      Block.slotContaining(Arena.offsetOf(reinterpret_cast<Address>(A))));
+  uint32_t SlotB = static_cast<uint32_t>(
+      Block.slotContaining(Arena.offsetOf(reinterpret_cast<Address>(B))));
+  Block.MarkBits.set(SlotA);
+  Block.MarkBits.set(SlotB);
+  SweepResult Swept = Heap->sweep();
+  EXPECT_EQ(Swept.SlotsPinned, 1u);
+  // The pinned slot must be skipped: the next allocation goes above it.
+  void *C = allocSmall(8);
+  EXPECT_NE(C, A) << "pinned slot must not be reused";
+  // A later collection no longer sees the false reference: slot A is
+  // usable again ("some blacklisting occurs implicitly, after the
+  // fact" — and recovers).
+  Heap->clearMarks();
+  Block.MarkBits.set(SlotB);
+  Block.MarkBits.set(static_cast<uint32_t>(Block.slotContaining(
+      Arena.offsetOf(reinterpret_cast<Address>(C)))));
+  Heap->sweep();
+  void *D = allocSmall(8);
+  EXPECT_EQ(D, A) << "unpinned slot becomes usable again";
+}
+
+TEST_F(ObjectHeapFixture, UncollectableSurvivesSweep) {
+  void *U = allocSmall(16, ObjectKind::Uncollectable);
+  Heap->clearMarks();
+  SweepResult Swept = Heap->sweep();
+  EXPECT_EQ(Swept.ObjectsSweptFree, 0u);
+  EXPECT_TRUE(Heap->isAllocated(Heap->refForBase(
+      Arena.offsetOf(reinterpret_cast<Address>(U)))));
+  // Explicit free is the only way out.
+  Heap->deallocateExplicit(U);
+}
+
+TEST_F(ObjectHeapFixture, KindsUseSeparateBlocks) {
+  void *N = allocSmall(8, ObjectKind::Normal);
+  void *P = allocSmall(8, ObjectKind::PointerFree);
+  EXPECT_NE(pageOfOffset(Arena.offsetOf(reinterpret_cast<Address>(N))),
+            pageOfOffset(Arena.offsetOf(reinterpret_cast<Address>(P))))
+      << "different kinds never share a block";
+  EXPECT_EQ(blockOf(N).Kind, ObjectKind::Normal);
+  EXPECT_EQ(blockOf(P).Kind, ObjectKind::PointerFree);
+}
+
+TEST_F(ObjectHeapFixture, LifoAblationUsesRecentBlock) {
+  ObjectHeapConfig Config;
+  Config.AddressOrderedAllocation = false;
+  BlockTable Blocks2;
+  PageMap Map2(Arena.numPages());
+  PageAllocator Pages2(Arena, 4096, 2048, 64, true);
+  ObjectHeap Lifo(Arena, Pages2, Map2, Blocks2, Config);
+  ASSERT_TRUE(Lifo.addBlockForClass(8, ObjectKind::Normal));
+  void *A = Lifo.allocateFromExisting(8, ObjectKind::Normal);
+  ASSERT_NE(A, nullptr);
+  Lifo.deallocateExplicit(A);
+  void *B = Lifo.allocateFromExisting(8, ObjectKind::Normal);
+  EXPECT_EQ(B, A) << "LIFO reuses the most recently freed-into block";
+}

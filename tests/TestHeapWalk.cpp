@@ -1,0 +1,99 @@
+//===- tests/TestHeapWalk.cpp - Heap iteration and dump tests -------------===//
+
+#include "core/Collector.h"
+#include <gtest/gtest.h>
+#include <set>
+
+using namespace cgc;
+
+namespace {
+
+GcConfig walkConfig() {
+  GcConfig Config;
+  Config.MaxHeapBytes = 32 << 20;
+  Config.GcAtStartup = false;
+  Config.MinHeapBytesBeforeGc = ~uint64_t(0);
+  return Config;
+}
+
+} // namespace
+
+TEST(HeapWalk, VisitsExactlyAllocatedObjects) {
+  Collector GC(walkConfig());
+  std::set<void *> Expected;
+  Expected.insert(GC.allocate(8));
+  Expected.insert(GC.allocate(100));
+  Expected.insert(GC.allocate(8, ObjectKind::PointerFree));
+  Expected.insert(GC.allocate(64, ObjectKind::Uncollectable));
+  Expected.insert(GC.allocate(3 * PageSize)); // Large.
+  void *Freed = GC.allocate(8);
+  GC.deallocate(Freed);
+
+  std::set<void *> Seen;
+  size_t TotalBytes = 0;
+  GC.forEachObject([&](void *P, size_t Bytes, ObjectKind) {
+    EXPECT_TRUE(Seen.insert(P).second) << "object visited twice";
+    TotalBytes += Bytes;
+  });
+  EXPECT_EQ(Seen, Expected);
+  EXPECT_EQ(TotalBytes, GC.allocatedBytes());
+}
+
+TEST(HeapWalk, AddressOrdered) {
+  Collector GC(walkConfig());
+  for (int I = 0; I != 2000; ++I)
+    GC.allocate(I % 2 ? 16 : 48);
+  void *Prev = nullptr;
+  GC.forEachObject([&](void *P, size_t, ObjectKind) {
+    if (Prev) {
+      EXPECT_LT(Prev, P) << "walk must be in address order";
+    }
+    Prev = P;
+  });
+}
+
+TEST(HeapWalk, KindsReportedCorrectly) {
+  Collector GC(walkConfig());
+  void *N = GC.allocate(8, ObjectKind::Normal);
+  void *A = GC.allocate(8, ObjectKind::PointerFree);
+  void *U = GC.allocate(8, ObjectKind::Uncollectable);
+  GC.forEachObject([&](void *P, size_t, ObjectKind Kind) {
+    if (P == N) {
+      EXPECT_EQ(Kind, ObjectKind::Normal);
+    } else if (P == A) {
+      EXPECT_EQ(Kind, ObjectKind::PointerFree);
+    } else if (P == U) {
+      EXPECT_EQ(Kind, ObjectKind::Uncollectable);
+    }
+  });
+  GC.deallocate(U);
+}
+
+TEST(HeapDump, RendersCensusAndBlacklist) {
+  GcConfig Config = walkConfig();
+  Config.GcAtStartup = true;
+  Collector GC(Config);
+  // Some pollution so the blacklist section has content.
+  uint64_t FalseWord =
+      GC.arena().base() + Config.heapBaseOffset() + 7 * PageSize;
+  GC.addRootRange(&FalseWord, &FalseWord + 1, RootEncoding::Native64,
+                  RootSource::StaticData, "pollution");
+  for (int I = 0; I != 100; ++I)
+    GC.allocate(24);
+  GC.allocate(2 * PageSize + 100);
+
+  char *Buffer = nullptr;
+  size_t Size = 0;
+  std::FILE *Stream = open_memstream(&Buffer, &Size);
+  ASSERT_NE(Stream, nullptr);
+  GC.dumpHeap(Stream);
+  std::fclose(Stream);
+  std::string Text(Buffer, Size);
+  free(Buffer);
+
+  EXPECT_NE(Text.find("cgc heap dump"), std::string::npos);
+  EXPECT_NE(Text.find("normal"), std::string::npos);
+  EXPECT_NE(Text.find("large blocks: 1"), std::string::npos);
+  EXPECT_NE(Text.find("blacklisted stretches"), std::string::npos);
+  EXPECT_NE(Text.find("pages ["), std::string::npos);
+}

@@ -1,0 +1,151 @@
+//===- tests/TestInvariants.cpp - Heap verifier and fuzzing ---------------===//
+//
+// Randomized workloads with the full heap verifier run at checkpoints:
+// allocation of every kind and size, explicit frees, collections, lazy
+// sweeps, typed layouts, and planted false references all interleaved.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Collector.h"
+#include "structures/FalseRef.h"
+#include "support/Random.h"
+#include <gtest/gtest.h>
+
+using namespace cgc;
+
+namespace {
+
+GcConfig fuzzConfig(bool Lazy, bool AddressOrdered) {
+  GcConfig Config;
+  Config.MaxHeapBytes = 64 << 20;
+  Config.GcAtStartup = true;
+  Config.MinHeapBytesBeforeGc = 1 << 20;
+  Config.CollectBeforeGrowthRatio = 0.5;
+  Config.LazySweep = Lazy;
+  Config.AddressOrderedAllocation = AddressOrdered;
+  return Config;
+}
+
+void fuzzOnce(bool Lazy, bool AddressOrdered, uint64_t Seed) {
+  Collector GC(fuzzConfig(Lazy, AddressOrdered));
+  Rng R(Seed);
+  LayoutId Layout = GC.registerObjectLayout(
+      {true, false, true, false}, 4 * sizeof(uint64_t));
+
+  // A rooted window of live objects plus an explicit-management pool.
+  std::vector<uint64_t> Window(512, 0);
+  GC.addRootRange(Window.data(), Window.data() + Window.size(),
+                  RootEncoding::Native64, RootSource::Client, "window");
+  std::vector<void *> Explicit;
+  PlantedRef Stray(GC);
+
+  for (int Step = 0; Step != 6000; ++Step) {
+    switch (R.pickIndex(10)) {
+    case 0:
+    case 1:
+    case 2: { // Rooted allocation.
+      size_t Slot = R.pickIndex(Window.size());
+      Window[Slot] = reinterpret_cast<uint64_t>(
+          GC.allocate(R.nextInRange(8, 512)));
+      break;
+    }
+    case 3: // Garbage allocation.
+      GC.allocate(R.nextInRange(8, 3000));
+      break;
+    case 4: // Pointer-free allocation.
+      GC.allocate(R.nextInRange(8, 256), ObjectKind::PointerFree);
+      break;
+    case 5: { // Typed allocation, linked into the window.
+      auto *T = static_cast<uint64_t *>(GC.allocateTyped(Layout));
+      T[0] = Window[R.pickIndex(Window.size())];
+      Window[R.pickIndex(Window.size())] =
+          reinterpret_cast<uint64_t>(T);
+      break;
+    }
+    case 6: { // Explicit-management pool.
+      if (Explicit.size() < 64 && R.nextBool(0.6)) {
+        Explicit.push_back(GC.allocate(R.nextInRange(8, 128),
+                                       ObjectKind::Uncollectable));
+      } else if (!Explicit.empty()) {
+        size_t Pick = R.pickIndex(Explicit.size());
+        GC.deallocate(Explicit[Pick]);
+        Explicit.erase(Explicit.begin() +
+                       static_cast<ptrdiff_t>(Pick));
+      }
+      break;
+    }
+    case 7: // Drop some roots.
+      Window[R.pickIndex(Window.size())] = 0;
+      break;
+    case 8: // Occasionally plant/clear a stray interior reference.
+      if (R.nextBool(0.5)) {
+        uint64_t Anchor = Window[R.pickIndex(Window.size())];
+        if (Anchor)
+          Stray.setPointer(reinterpret_cast<char *>(Anchor) +
+                           R.nextBelow(64));
+      } else {
+        Stray.clear();
+      }
+      break;
+    case 9: // Explicit collection.
+      if (R.nextBool(0.2))
+        GC.collect("fuzz");
+      break;
+    }
+    if (Step % 1000 == 999)
+      GC.verifyHeap();
+  }
+  GC.collect("final");
+  GC.objectHeap().finishPendingSweeps();
+  GC.verifyHeap();
+  for (void *P : Explicit)
+    GC.deallocate(P);
+  Stray.clear();
+  for (uint64_t &Slot : Window)
+    Slot = 0;
+  GC.collect("drain");
+  GC.objectHeap().finishPendingSweeps();
+  GC.verifyHeap();
+  EXPECT_EQ(GC.allocatedBytes(), 0u)
+      << "everything must drain once all roots are gone";
+}
+
+} // namespace
+
+TEST(HeapInvariants, FuzzEagerAddressOrdered) { fuzzOnce(false, true, 101); }
+TEST(HeapInvariants, FuzzEagerLifo) { fuzzOnce(false, false, 202); }
+TEST(HeapInvariants, FuzzLazyAddressOrdered) { fuzzOnce(true, true, 303); }
+TEST(HeapInvariants, FuzzLazyLifo) { fuzzOnce(true, false, 404); }
+
+TEST(HeapInvariants, VerifierPassesAfterEveryPhase) {
+  Collector GC(fuzzConfig(false, true));
+  GC.verifyHeap(); // Empty heap.
+  void *A = GC.allocate(100);
+  GC.verifyHeap(); // After allocation.
+  GC.collect();
+  GC.verifyHeap(); // After collection (A was garbage).
+  (void)A;
+  void *B = GC.allocate(5 * PageSize);
+  GC.verifyHeap(); // Large object live.
+  GC.deallocate(B);
+  GC.verifyHeap(); // After explicit large free.
+}
+
+TEST(CollectorReport, PrintsWithoutCrashing) {
+  Collector GC(fuzzConfig(false, true));
+  for (int I = 0; I != 1000; ++I)
+    GC.allocate(32);
+  GC.collect();
+  // Render the report into a memory stream and sanity-check content.
+  char *Buffer = nullptr;
+  size_t Size = 0;
+  std::FILE *Stream = open_memstream(&Buffer, &Size);
+  ASSERT_NE(Stream, nullptr);
+  GC.printReport(Stream);
+  std::fclose(Stream);
+  std::string Text(Buffer, Size);
+  free(Buffer);
+  EXPECT_NE(Text.find("cgc collector report"), std::string::npos);
+  EXPECT_NE(Text.find("collections"), std::string::npos);
+  EXPECT_NE(Text.find("blacklist"), std::string::npos);
+}

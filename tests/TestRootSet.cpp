@@ -1,0 +1,171 @@
+//===- tests/TestRootSet.cpp - Root set unit tests ------------------------===//
+
+#include "core/Collector.h"
+#include "roots/RootSet.h"
+#include <gtest/gtest.h>
+
+using namespace cgc;
+
+TEST(RootSet, AddRemoveUpdate) {
+  RootSet Roots;
+  unsigned char BufferA[16] = {}, BufferB[32] = {};
+  RootId A = Roots.addRange(BufferA, BufferA + 16, RootEncoding::Native64,
+                            RootSource::StaticData, "a");
+  RootId B = Roots.addRange(BufferB, BufferB + 32,
+                            RootEncoding::Window32LE, RootSource::Stack,
+                            "b");
+  EXPECT_NE(A, B);
+  EXPECT_EQ(Roots.rangeCount(), 2u);
+  EXPECT_EQ(Roots.totalBytes(), 48u);
+
+  EXPECT_TRUE(Roots.updateRange(B, BufferB, BufferB + 8));
+  EXPECT_EQ(Roots.totalBytes(), 24u);
+  EXPECT_FALSE(Roots.updateRange(9999, BufferB, BufferB + 8));
+
+  EXPECT_TRUE(Roots.removeRange(A));
+  EXPECT_FALSE(Roots.removeRange(A)) << "second removal fails";
+  EXPECT_EQ(Roots.rangeCount(), 1u);
+
+  size_t Seen = 0;
+  Roots.forEach([&](const RootRange &Range) {
+    ++Seen;
+    EXPECT_EQ(Range.Label, "b");
+    EXPECT_EQ(Range.Encoding, RootEncoding::Window32LE);
+    EXPECT_EQ(Range.Source, RootSource::Stack);
+    EXPECT_EQ(Range.sizeBytes(), 8u);
+  });
+  EXPECT_EQ(Seen, 1u);
+}
+
+TEST(RootSet, EmptyRangeAllowed) {
+  RootSet Roots;
+  unsigned char Buffer[1] = {0};
+  RootId Id = Roots.addRange(Buffer, Buffer, RootEncoding::Native64,
+                             RootSource::Client, "empty");
+  EXPECT_NE(Id, 0u);
+  EXPECT_EQ(Roots.totalBytes(), 0u);
+}
+
+namespace {
+
+std::vector<std::pair<size_t, size_t>>
+subrangesOf(const RootSet &Roots, const unsigned char *Base,
+            size_t Begin, size_t End) {
+  std::vector<std::pair<size_t, size_t>> Result;
+  Roots.forEachScannableSubrange(
+      Base + Begin, Base + End,
+      [&](const unsigned char *B, const unsigned char *E) {
+        Result.emplace_back(static_cast<size_t>(B - Base),
+                            static_cast<size_t>(E - Base));
+      });
+  return Result;
+}
+
+} // namespace
+
+TEST(RootSet, SubrangesWithoutExclusions) {
+  RootSet Roots;
+  unsigned char Buffer[100];
+  auto Ranges = subrangesOf(Roots, Buffer, 0, 100);
+  ASSERT_EQ(Ranges.size(), 1u);
+  EXPECT_EQ(Ranges[0], std::make_pair(size_t(0), size_t(100)));
+}
+
+TEST(RootSet, SubrangesSplitAroundHoles) {
+  RootSet Roots;
+  unsigned char Buffer[100];
+  Roots.addExclusion(Buffer + 20, Buffer + 30);
+  Roots.addExclusion(Buffer + 50, Buffer + 60);
+  auto Ranges = subrangesOf(Roots, Buffer, 0, 100);
+  ASSERT_EQ(Ranges.size(), 3u);
+  EXPECT_EQ(Ranges[0], std::make_pair(size_t(0), size_t(20)));
+  EXPECT_EQ(Ranges[1], std::make_pair(size_t(30), size_t(50)));
+  EXPECT_EQ(Ranges[2], std::make_pair(size_t(60), size_t(100)));
+}
+
+TEST(RootSet, SubrangesEdgeCases) {
+  RootSet Roots;
+  unsigned char Buffer[100];
+  // Hole covering the start.
+  Roots.addExclusion(Buffer, Buffer + 10);
+  // Hole covering the end.
+  Roots.addExclusion(Buffer + 90, Buffer + 100);
+  auto Ranges = subrangesOf(Roots, Buffer, 0, 100);
+  ASSERT_EQ(Ranges.size(), 1u);
+  EXPECT_EQ(Ranges[0], std::make_pair(size_t(10), size_t(90)));
+
+  // Hole entirely covering the queried range: nothing scannable.
+  auto Inner = subrangesOf(Roots, Buffer, 2, 8);
+  EXPECT_TRUE(Inner.empty());
+
+  // Hole outside the queried range: untouched.
+  auto Middle = subrangesOf(Roots, Buffer, 20, 80);
+  ASSERT_EQ(Middle.size(), 1u);
+  EXPECT_EQ(Middle[0], std::make_pair(size_t(20), size_t(80)));
+}
+
+TEST(RootSet, OverlappingExclusions) {
+  RootSet Roots;
+  unsigned char Buffer[100];
+  Roots.addExclusion(Buffer + 10, Buffer + 40);
+  Roots.addExclusion(Buffer + 30, Buffer + 60); // Overlaps the first.
+  auto Ranges = subrangesOf(Roots, Buffer, 0, 100);
+  ASSERT_EQ(Ranges.size(), 2u);
+  EXPECT_EQ(Ranges[0], std::make_pair(size_t(0), size_t(10)));
+  EXPECT_EQ(Ranges[1], std::make_pair(size_t(60), size_t(100)));
+}
+
+//===----------------------------------------------------------------------===//
+// Per-origin statistics
+//===----------------------------------------------------------------------===//
+
+TEST(ScanOriginStats, BreakdownMatchesSources) {
+  GcConfig Config;
+  Config.MaxHeapBytes = 16 << 20;
+  Config.GcAtStartup = false;
+  Config.MinHeapBytesBeforeGc = ~uint64_t(0);
+  Collector GC(Config);
+
+  struct Node {
+    Node *Next;
+  };
+  auto *FromStatic = static_cast<Node *>(GC.allocate(sizeof(Node)));
+  auto *FromStack = static_cast<Node *>(GC.allocate(sizeof(Node)));
+  auto *ViaHeap = static_cast<Node *>(GC.allocate(sizeof(Node)));
+  FromStack->Next = ViaHeap; // Reached through heap scanning.
+
+  uint64_t StaticWord = reinterpret_cast<uint64_t>(FromStatic);
+  uint64_t StackWord = reinterpret_cast<uint64_t>(FromStack);
+  // And one near miss from the register file.
+  uint64_t RegisterWord =
+      GC.arena().base() + GC.config().heapBaseOffset() + 500 * PageSize;
+
+  GC.addRootRange(&StaticWord, &StaticWord + 1, RootEncoding::Native64,
+                  RootSource::StaticData, "static");
+  GC.addRootRange(&StackWord, &StackWord + 1, RootEncoding::Native64,
+                  RootSource::Stack, "stack");
+  GC.addRootRange(&RegisterWord, &RegisterWord + 1,
+                  RootEncoding::Native64, RootSource::Registers,
+                  "registers");
+
+  CollectionStats Cycle = GC.collect();
+  auto Marks = [&](ScanOrigin O) {
+    return Cycle.MarksByOrigin[static_cast<unsigned>(O)];
+  };
+  auto Misses = [&](ScanOrigin O) {
+    return Cycle.NearMissesByOrigin[static_cast<unsigned>(O)];
+  };
+  EXPECT_EQ(Marks(ScanOrigin::StaticData), 1u);
+  EXPECT_EQ(Marks(ScanOrigin::Stack), 1u);
+  EXPECT_EQ(Marks(ScanOrigin::Heap), 1u);
+  EXPECT_EQ(Marks(ScanOrigin::Registers), 0u);
+  EXPECT_EQ(Misses(ScanOrigin::Registers), 1u);
+  // Totals agree with the aggregate counters.
+  uint64_t MarkSum = 0, MissSum = 0;
+  for (unsigned I = 0; I != NumScanOrigins; ++I) {
+    MarkSum += Cycle.MarksByOrigin[I];
+    MissSum += Cycle.NearMissesByOrigin[I];
+  }
+  EXPECT_EQ(MarkSum, Cycle.ObjectsMarked);
+  EXPECT_EQ(MissSum, Cycle.NearMisses);
+}

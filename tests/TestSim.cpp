@@ -1,0 +1,259 @@
+//===- tests/TestSim.cpp - Simulation substrate tests ---------------------===//
+
+#include "core/Collector.h"
+#include "sim/PlatformProfile.h"
+#include "sim/SimStack.h"
+#include "sim/SyntheticSegments.h"
+#include <gtest/gtest.h>
+
+using namespace cgc;
+using namespace cgc::sim;
+
+//===----------------------------------------------------------------------===//
+// SimStack
+//===----------------------------------------------------------------------===//
+
+TEST(SimStack, PushPopAndHighWater) {
+  SimStack Stack(1024);
+  EXPECT_EQ(Stack.depth(), 0u);
+  size_t A = Stack.pushFrame(10);
+  EXPECT_EQ(A, 0u);
+  size_t B = Stack.pushFrame(20);
+  EXPECT_EQ(B, 10u);
+  EXPECT_EQ(Stack.depth(), 30u);
+  EXPECT_EQ(Stack.highWater(), 30u);
+  Stack.popFrame();
+  EXPECT_EQ(Stack.depth(), 10u);
+  EXPECT_EQ(Stack.highWater(), 30u) << "high water survives pops";
+  Stack.popFrame();
+  EXPECT_EQ(Stack.depth(), 0u);
+}
+
+TEST(SimStack, LazyFramesKeepStaleContent) {
+  SimStack Stack(1024);
+  size_t A = Stack.pushFrame(16, 1.0);
+  Stack.write(A + 12, 0xABCD);
+  Stack.popFrame();
+  // A fully-written successor clears everything...
+  size_t B = Stack.pushFrame(16, 1.0);
+  EXPECT_EQ(Stack.read(B + 12), 0u);
+  Stack.write(B + 12, 0x1234);
+  Stack.popFrame();
+  // ...a lazy one initializes only the written prefix.
+  size_t C = Stack.pushFrame(16, 0.5);
+  EXPECT_EQ(Stack.read(C + 3), 0u) << "written prefix is cleared";
+  EXPECT_EQ(Stack.read(C + 12), 0x1234u) << "unwritten slot keeps residue";
+  Stack.popFrame();
+}
+
+TEST(SimStack, ClearBeyondTop) {
+  SimStack Stack(1024);
+  size_t A = Stack.pushFrame(100, 1.0);
+  Stack.write(A + 50, 0xFFFF);
+  Stack.write(A + 90, 0xEEEE);
+  Stack.popFrame();
+  EXPECT_EQ(Stack.highWater(), 100u);
+  // Clear a 60-slot chunk of the dead region.
+  EXPECT_EQ(Stack.clearBeyondTop(60), 60u);
+  size_t B = Stack.pushFrame(100, 0.0); // Fully lazy.
+  EXPECT_EQ(Stack.read(B + 50), 0u) << "cleared chunk";
+  EXPECT_EQ(Stack.read(B + 90), 0xEEEEu) << "beyond the chunk: still dirty";
+  Stack.popFrame();
+  // Clearing everything collapses the high-water mark.
+  Stack.clearBeyondTop(1000);
+  EXPECT_EQ(Stack.highWater(), 0u);
+  EXPECT_EQ(Stack.clearBeyondTop(10), 0u);
+}
+
+TEST(SimStack, ScanEndIncludesOverscan) {
+  SimStack Stack(1024);
+  Stack.setGcOverscanSlots(8);
+  Stack.pushFrame(100, 1.0);
+  Stack.popFrame();
+  Stack.pushFrame(10, 1.0);
+  // Live region is 10 slots; overscan adds 8 dead ones.
+  EXPECT_EQ(Stack.scanEnd() - Stack.liveBegin(), 18);
+  Stack.setGcOverscanSlots(500);
+  EXPECT_EQ(Stack.scanEnd() - Stack.liveBegin(), 100)
+      << "overscan is bounded by the high-water mark";
+}
+
+TEST(SimStack, StaleStackPointerRetainsThenClearingFrees) {
+  GcConfig Config;
+  Config.WindowBytes = uint64_t(256) << 20;
+  Config.Placement = HeapPlacement::Custom;
+  Config.CustomHeapBaseOffset = 16 << 20;
+  Config.MaxHeapBytes = 32 << 20;
+  Config.GcAtStartup = false;
+  Config.MinHeapBytesBeforeGc = ~uint64_t(0);
+  Collector GC(Config);
+  SimStack Stack(1024);
+  Stack.setGcOverscanSlots(64);
+  Stack.attachTo(GC);
+
+  // Deep frame writes a heap pointer, then pops: the §3.1 scenario.
+  void *Obj = GC.allocate(64);
+  size_t Deep = Stack.pushFrame(32, 1.0);
+  Stack.writePointer(Deep + 20, Obj);
+  Stack.popFrame();
+
+  // The object is garbage, but the stale slot is within overscan.
+  CollectionStats Cycle = GC.collect();
+  EXPECT_EQ(Cycle.ObjectsLive, 1u) << "stale stack slot pins the object";
+
+  // Cheap clearing removes the stale slot; the object dies.
+  Stack.clearBeyondTop(64);
+  Cycle = GC.collect();
+  EXPECT_EQ(Cycle.ObjectsLive, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Synthetic segments
+//===----------------------------------------------------------------------===//
+
+TEST(SyntheticSegments, IntTableDeterministicAndSized) {
+  IntTableSpec Spec{1000, 0x30000000, 0.05, 0.30};
+  Rng R1(5), R2(5);
+  Segment A, B;
+  appendIntTable(A, Spec, R1, true);
+  appendIntTable(B, Spec, R2, true);
+  EXPECT_EQ(A.size(), 4000u);
+  EXPECT_EQ(A, B) << "same seed, same bytes";
+  Rng R3(6);
+  Segment C;
+  appendIntTable(C, Spec, R3, true);
+  EXPECT_NE(A, C);
+}
+
+TEST(SyntheticSegments, IntTableMagnitudeDistribution) {
+  IntTableSpec Spec{10000, 0x01000000, 0.0, 0.0}; // All below 16 MiB.
+  Rng R(7);
+  Segment Seg;
+  appendIntTable(Seg, Spec, R, false);
+  EXPECT_EQ(countWordsInRange(Seg, 4, false, 0, 0x01000000), 10000u);
+  // Small fraction lands below 4096.
+  IntTableSpec SmallSpec{10000, 0x01000000, 0.0, 0.5};
+  Segment Seg2;
+  Rng R2(7);
+  appendIntTable(Seg2, SmallSpec, R2, false);
+  size_t Small = countWordsInRange(Seg2, 4, false, 0, 4096);
+  EXPECT_NEAR(static_cast<double>(Small), 5000.0, 300.0);
+}
+
+TEST(SyntheticSegments, PackedStringsCreateTrailingNulHazard) {
+  // The paper's Figure-1-adjacent hazard: "A trailing NUL character of
+  // one string, followed by the first three characters of the next may
+  // appear to be a pointer" — a big-endian word in [0x00212121,
+  // 0x007E7E7E].
+  StringPoolSpec Packed{2000, 3, 24, /*WordAligned=*/false};
+  Rng R(9);
+  Segment Seg;
+  appendStringPool(Seg, Packed, R);
+  size_t HazardWords =
+      countWordsInRange(Seg, 4, /*BigEndian=*/true, 0x00210000, 0x007F0000);
+  EXPECT_GT(HazardWords, 200u) << "packed strings must produce hazards";
+
+  // Word-aligning the strings removes the hazard ("easily avoidable on
+  // big-endian machines").
+  StringPoolSpec Aligned{2000, 3, 24, /*WordAligned=*/true};
+  Rng R2(9);
+  Segment Seg2;
+  appendStringPool(Seg2, Aligned, R2);
+  size_t AlignedHazards =
+      countWordsInRange(Seg2, 4, true, 0x00210000, 0x007F0000);
+  EXPECT_EQ(AlignedHazards, 0u)
+      << "aligned strings start on word boundaries; the NUL lands at "
+         "the end of a word, never at its start";
+}
+
+TEST(SyntheticSegments, LittleEndianEndOfStringHazard) {
+  // "A corresponding problem with the end of a string is harder to
+  // avoid on little-endian machines": chars..NUL read LE gives
+  // 0x00c3c2c1 — even when strings are word-aligned.
+  StringPoolSpec Aligned{2000, 3, 24, /*WordAligned=*/true};
+  Rng R(9);
+  Segment Seg;
+  appendStringPool(Seg, Aligned, R);
+  size_t Hazards =
+      countWordsInRange(Seg, 4, /*BigEndian=*/false, 0x00210000,
+                        0x007F0000);
+  EXPECT_GT(Hazards, 200u);
+}
+
+TEST(SyntheticSegments, EnvironmentBlockShape) {
+  Rng R(3);
+  Segment Seg;
+  appendEnvironmentBlock(Seg, 10, R);
+  // Ten NUL-terminated strings each containing '='.
+  size_t Nuls = 0, Equals = 0;
+  for (unsigned char C : Seg) {
+    Nuls += C == 0;
+    Equals += C == '=';
+  }
+  EXPECT_EQ(Nuls, 10u);
+  EXPECT_GE(Equals, 10u);
+}
+
+//===----------------------------------------------------------------------===//
+// Platform profiles
+//===----------------------------------------------------------------------===//
+
+TEST(PlatformProfile, AllSpecsConstruct) {
+  for (Platform P : AllPlatforms) {
+    for (bool Optimized : {false, true}) {
+      PlatformSpec Spec = specFor(P, Optimized);
+      EXPECT_GT(Spec.ProgramTLists, 0u);
+      EXPECT_STREQ(Spec.Name, platformName(P));
+      GcConfig Config = configFor(Spec, BlacklistMode::FlatBitmap);
+      EXPECT_EQ(Config.Placement, HeapPlacement::LowSbrk);
+      Collector GC(Config);
+      SimEnvironment Env(GC, Spec, 42);
+      EXPECT_GT(Env.staticRootBytes(), 0u);
+    }
+  }
+}
+
+TEST(PlatformProfile, SparcScansTensOfKilobytes) {
+  // Paper: "more than 60 Kbytes are scanned by the collector as
+  // potential roots" for the static SPARC executable.
+  PlatformSpec Spec = specFor(Platform::SparcStatic, false);
+  GcConfig Config = configFor(Spec, BlacklistMode::FlatBitmap);
+  Collector GC(Config);
+  SimEnvironment Env(GC, Spec, 1);
+  EXPECT_GT(Env.staticRootBytes(), 60u << 10);
+  EXPECT_LT(Env.staticRootBytes(), 120u << 10);
+}
+
+TEST(PlatformProfile, StartupCollectionBlacklistsStaticData) {
+  PlatformSpec Spec = specFor(Platform::SparcStatic, false);
+  Collector GC(configFor(Spec, BlacklistMode::FlatBitmap));
+  SimEnvironment Env(GC, Spec, 1);
+  void *First = GC.allocate(8); // Triggers the startup collection.
+  ASSERT_NE(First, nullptr);
+  EXPECT_GT(GC.blacklistedPageCount(), 100u)
+      << "SPARC static data must blacklist many pages before any "
+         "allocation";
+}
+
+TEST(PlatformProfile, DeterministicGivenSeed) {
+  auto RunOnce = [](uint64_t Seed) {
+    PlatformSpec Spec = specFor(Platform::SparcDynamic, false);
+    Collector GC(configFor(Spec, BlacklistMode::Off));
+    SimEnvironment Env(GC, Spec, Seed);
+    for (int I = 0; I != 2000; ++I)
+      GC.allocate(8);
+    GC.collect();
+    return GC.lastCollection().ObjectsLive;
+  };
+  EXPECT_EQ(RunOnce(123), RunOnce(123));
+}
+
+TEST(PlatformProfile, PcrPopulatesOtherLiveData) {
+  PlatformSpec Spec = specFor(Platform::Pcr, false);
+  Collector GC(configFor(Spec, BlacklistMode::FlatBitmap));
+  SimEnvironment Env(GC, Spec, 5);
+  Env.populateOtherLiveData();
+  GC.collect();
+  EXPECT_GE(GC.lastCollection().BytesLive, Spec.OtherLiveDataBytes * 9 / 10)
+      << "the Cedar-world live data must survive collection";
+}

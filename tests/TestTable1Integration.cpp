@@ -1,0 +1,102 @@
+//===- tests/TestTable1Integration.cpp - Reduced-scale Table 1 ------------===//
+//
+// End-to-end assertions of the paper's Table-1 *shape* at reduced
+// scale (100 lists x 20 KB instead of 200 x 100 KB), fast enough for
+// the test suite.  The full-scale experiment is bench_table1.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/PlatformProfile.h"
+#include "structures/ProgramT.h"
+#include <gtest/gtest.h>
+
+using namespace cgc;
+using namespace cgc::sim;
+
+namespace {
+
+ProgramTResult runScaled(Platform P, BlacklistMode Mode, uint64_t Seed) {
+  PlatformSpec Spec = specFor(P, /*Optimized=*/false);
+  Spec.ProgramTLists = 100;
+  Spec.CellsPerList = 2500; // 20 KB lists.
+  Collector GC(configFor(Spec, Mode));
+  SimEnvironment Env(GC, Spec, Seed);
+  Env.populateOtherLiveData();
+  ProgramTConfig Config;
+  Config.NumLists = Spec.ProgramTLists;
+  Config.CellsPerList = Spec.CellsPerList;
+  Config.AllocFrameSlots = Spec.AllocFrameSlots;
+  Config.FrameWrittenFraction = Spec.FrameWrittenFraction;
+  Config.FurtherExecSlots = Spec.FurtherExecSlots;
+  ProgramT T(GC, &Env.stack(), Config);
+  return T.run();
+}
+
+} // namespace
+
+TEST(Table1Integration, SparcStaticBlacklistingCollapsesRetention) {
+  ProgramTResult NoBl = runScaled(Platform::SparcStatic,
+                                  BlacklistMode::Off, 7);
+  ProgramTResult Bl = runScaled(Platform::SparcStatic,
+                                BlacklistMode::FlatBitmap, 7);
+  EXPECT_GE(NoBl.ListsRetained, 5u)
+      << "static-libc pollution must pin many lists without "
+         "blacklisting";
+  EXPECT_LE(Bl.ListsRetained, 2u)
+      << "blacklisting must eliminate the static component";
+  EXPECT_LT(Bl.ListsRetained, NoBl.ListsRetained);
+  EXPECT_GT(Bl.BlacklistedPages, 50u);
+}
+
+TEST(Table1Integration, StaticOrderingAcrossPlatforms) {
+  // The paper's qualitative ordering: SPARC static >> SPARC dynamic,
+  // and SGI (aligned strings, small tables) is small.
+  unsigned Static =
+      runScaled(Platform::SparcStatic, BlacklistMode::Off, 11)
+          .ListsRetained;
+  unsigned Dynamic =
+      runScaled(Platform::SparcDynamic, BlacklistMode::Off, 11)
+          .ListsRetained;
+  EXPECT_GT(Static, Dynamic)
+      << "static libc pollution must dominate dynamic";
+}
+
+TEST(Table1Integration, BlacklistingHelpsOnEveryPlatform) {
+  for (Platform P : AllPlatforms) {
+    ProgramTResult NoBl = runScaled(P, BlacklistMode::Off, 13);
+    ProgramTResult Bl = runScaled(P, BlacklistMode::FlatBitmap, 13);
+    EXPECT_LE(Bl.ListsRetained, NoBl.ListsRetained)
+        << platformName(P);
+    EXPECT_LE(Bl.ListsRetained, 4u)
+        << platformName(P)
+        << ": residual retention with blacklisting must be near zero";
+  }
+}
+
+TEST(Table1Integration, HashedBlacklistMatchesFlat) {
+  ProgramTResult Flat = runScaled(Platform::SparcStatic,
+                                  BlacklistMode::FlatBitmap, 17);
+  ProgramTResult Hashed = runScaled(Platform::SparcStatic,
+                                    BlacklistMode::Hashed, 17);
+  // "Since collisions can easily be made rare, this does not result in
+  // much lost precision": same retention within a list or two.
+  EXPECT_NEAR(static_cast<double>(Hashed.ListsRetained),
+              static_cast<double>(Flat.ListsRetained), 2.0);
+}
+
+TEST(Table1Integration, FinalizationMethodologyAgrees) {
+  // The PCR counting methodology (finalizers) and direct mark
+  // inspection must report consistent totals.
+  PlatformSpec Spec = specFor(Platform::SparcDynamic, false);
+  Spec.ProgramTLists = 50;
+  Spec.CellsPerList = 1000;
+  Collector GC(configFor(Spec, BlacklistMode::FlatBitmap));
+  SimEnvironment Env(GC, Spec, 23);
+  ProgramTConfig Config;
+  Config.NumLists = Spec.ProgramTLists;
+  Config.CellsPerList = Spec.CellsPerList;
+  Config.UseFinalizers = true;
+  ProgramT T(GC, &Env.stack(), Config);
+  ProgramTResult R = T.run();
+  EXPECT_EQ(R.ListsFinalized + R.ListsRetained, R.ListsBuilt);
+}
