@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alloc_overhead.dir/BenchUtil.cpp.o"
+  "CMakeFiles/bench_alloc_overhead.dir/BenchUtil.cpp.o.d"
+  "CMakeFiles/bench_alloc_overhead.dir/bench_alloc_overhead.cpp.o"
+  "CMakeFiles/bench_alloc_overhead.dir/bench_alloc_overhead.cpp.o.d"
+  "bench_alloc_overhead"
+  "bench_alloc_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alloc_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

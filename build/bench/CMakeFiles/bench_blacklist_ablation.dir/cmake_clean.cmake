@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_blacklist_ablation.dir/BenchUtil.cpp.o"
+  "CMakeFiles/bench_blacklist_ablation.dir/BenchUtil.cpp.o.d"
+  "CMakeFiles/bench_blacklist_ablation.dir/bench_blacklist_ablation.cpp.o"
+  "CMakeFiles/bench_blacklist_ablation.dir/bench_blacklist_ablation.cpp.o.d"
+  "bench_blacklist_ablation"
+  "bench_blacklist_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_blacklist_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cords.dir/BenchUtil.cpp.o"
+  "CMakeFiles/bench_cords.dir/BenchUtil.cpp.o.d"
+  "CMakeFiles/bench_cords.dir/bench_cords.cpp.o"
+  "CMakeFiles/bench_cords.dir/bench_cords.cpp.o.d"
+  "bench_cords"
+  "bench_cords.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cords.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_alignment.dir/BenchUtil.cpp.o"
+  "CMakeFiles/bench_fig1_alignment.dir/BenchUtil.cpp.o.d"
+  "CMakeFiles/bench_fig1_alignment.dir/bench_fig1_alignment.cpp.o"
+  "CMakeFiles/bench_fig1_alignment.dir/bench_fig1_alignment.cpp.o.d"
+  "bench_fig1_alignment"
+  "bench_fig1_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_grid.dir/BenchUtil.cpp.o"
+  "CMakeFiles/bench_fig3_grid.dir/BenchUtil.cpp.o.d"
+  "CMakeFiles/bench_fig3_grid.dir/bench_fig3_grid.cpp.o"
+  "CMakeFiles/bench_fig3_grid.dir/bench_fig3_grid.cpp.o.d"
+  "bench_fig3_grid"
+  "bench_fig3_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_heap_conservativism.dir/BenchUtil.cpp.o"
+  "CMakeFiles/bench_heap_conservativism.dir/BenchUtil.cpp.o.d"
+  "CMakeFiles/bench_heap_conservativism.dir/bench_heap_conservativism.cpp.o"
+  "CMakeFiles/bench_heap_conservativism.dir/bench_heap_conservativism.cpp.o.d"
+  "bench_heap_conservativism"
+  "bench_heap_conservativism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_heap_conservativism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

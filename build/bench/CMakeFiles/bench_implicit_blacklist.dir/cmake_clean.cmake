@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_implicit_blacklist.dir/BenchUtil.cpp.o"
+  "CMakeFiles/bench_implicit_blacklist.dir/BenchUtil.cpp.o.d"
+  "CMakeFiles/bench_implicit_blacklist.dir/bench_implicit_blacklist.cpp.o"
+  "CMakeFiles/bench_implicit_blacklist.dir/bench_implicit_blacklist.cpp.o.d"
+  "bench_implicit_blacklist"
+  "bench_implicit_blacklist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_implicit_blacklist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_large_alloc.dir/BenchUtil.cpp.o"
+  "CMakeFiles/bench_large_alloc.dir/BenchUtil.cpp.o.d"
+  "CMakeFiles/bench_large_alloc.dir/bench_large_alloc.cpp.o"
+  "CMakeFiles/bench_large_alloc.dir/bench_large_alloc.cpp.o.d"
+  "bench_large_alloc"
+  "bench_large_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_large_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

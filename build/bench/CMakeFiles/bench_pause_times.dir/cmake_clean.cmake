@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pause_times.dir/BenchUtil.cpp.o"
+  "CMakeFiles/bench_pause_times.dir/BenchUtil.cpp.o.d"
+  "CMakeFiles/bench_pause_times.dir/bench_pause_times.cpp.o"
+  "CMakeFiles/bench_pause_times.dir/bench_pause_times.cpp.o.d"
+  "bench_pause_times"
+  "bench_pause_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pause_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_queue_tree.dir/BenchUtil.cpp.o"
+  "CMakeFiles/bench_queue_tree.dir/BenchUtil.cpp.o.d"
+  "CMakeFiles/bench_queue_tree.dir/bench_queue_tree.cpp.o"
+  "CMakeFiles/bench_queue_tree.dir/bench_queue_tree.cpp.o.d"
+  "bench_queue_tree"
+  "bench_queue_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_queue_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

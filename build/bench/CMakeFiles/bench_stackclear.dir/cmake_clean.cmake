@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stackclear.dir/BenchUtil.cpp.o"
+  "CMakeFiles/bench_stackclear.dir/BenchUtil.cpp.o.d"
+  "CMakeFiles/bench_stackclear.dir/bench_stackclear.cpp.o"
+  "CMakeFiles/bench_stackclear.dir/bench_stackclear.cpp.o.d"
+  "bench_stackclear"
+  "bench_stackclear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stackclear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_stackclear.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_zorn_cost.dir/BenchUtil.cpp.o"
+  "CMakeFiles/bench_zorn_cost.dir/BenchUtil.cpp.o.d"
+  "CMakeFiles/bench_zorn_cost.dir/bench_zorn_cost.cpp.o"
+  "CMakeFiles/bench_zorn_cost.dir/bench_zorn_cost.cpp.o.d"
+  "bench_zorn_cost"
+  "bench_zorn_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_zorn_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_c_api_demo.dir/c_api_demo.cpp.o"
+  "CMakeFiles/example_c_api_demo.dir/c_api_demo.cpp.o.d"
+  "example_c_api_demo"
+  "example_c_api_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_c_api_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cord_editor.dir/cord_editor.cpp.o"
+  "CMakeFiles/example_cord_editor.dir/cord_editor.cpp.o.d"
+  "example_cord_editor"
+  "example_cord_editor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cord_editor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

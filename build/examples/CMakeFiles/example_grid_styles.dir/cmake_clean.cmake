@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_grid_styles.dir/grid_styles.cpp.o"
+  "CMakeFiles/example_grid_styles.dir/grid_styles.cpp.o.d"
+  "example_grid_styles"
+  "example_grid_styles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_grid_styles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_leak_detector.dir/leak_detector.cpp.o"
+  "CMakeFiles/example_leak_detector.dir/leak_detector.cpp.o.d"
+  "example_leak_detector"
+  "example_leak_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_leak_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

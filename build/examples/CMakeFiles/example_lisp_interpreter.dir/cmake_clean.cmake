@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_lisp_interpreter.dir/lisp_interpreter.cpp.o"
+  "CMakeFiles/example_lisp_interpreter.dir/lisp_interpreter.cpp.o.d"
+  "example_lisp_interpreter"
+  "example_lisp_interpreter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_lisp_interpreter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/ExplicitHeap.cpp" "src/CMakeFiles/cgc.dir/baseline/ExplicitHeap.cpp.o" "gcc" "src/CMakeFiles/cgc.dir/baseline/ExplicitHeap.cpp.o.d"
+  "/root/repo/src/capi/cgc.cpp" "src/CMakeFiles/cgc.dir/capi/cgc.cpp.o" "gcc" "src/CMakeFiles/cgc.dir/capi/cgc.cpp.o.d"
+  "/root/repo/src/cords/Cord.cpp" "src/CMakeFiles/cgc.dir/cords/Cord.cpp.o" "gcc" "src/CMakeFiles/cgc.dir/cords/Cord.cpp.o.d"
+  "/root/repo/src/core/Blacklist.cpp" "src/CMakeFiles/cgc.dir/core/Blacklist.cpp.o" "gcc" "src/CMakeFiles/cgc.dir/core/Blacklist.cpp.o.d"
+  "/root/repo/src/core/Collector.cpp" "src/CMakeFiles/cgc.dir/core/Collector.cpp.o" "gcc" "src/CMakeFiles/cgc.dir/core/Collector.cpp.o.d"
+  "/root/repo/src/core/Finalization.cpp" "src/CMakeFiles/cgc.dir/core/Finalization.cpp.o" "gcc" "src/CMakeFiles/cgc.dir/core/Finalization.cpp.o.d"
+  "/root/repo/src/core/GcNew.cpp" "src/CMakeFiles/cgc.dir/core/GcNew.cpp.o" "gcc" "src/CMakeFiles/cgc.dir/core/GcNew.cpp.o.d"
+  "/root/repo/src/core/Marker.cpp" "src/CMakeFiles/cgc.dir/core/Marker.cpp.o" "gcc" "src/CMakeFiles/cgc.dir/core/Marker.cpp.o.d"
+  "/root/repo/src/core/RetentionTracer.cpp" "src/CMakeFiles/cgc.dir/core/RetentionTracer.cpp.o" "gcc" "src/CMakeFiles/cgc.dir/core/RetentionTracer.cpp.o.d"
+  "/root/repo/src/heap/BlockTable.cpp" "src/CMakeFiles/cgc.dir/heap/BlockTable.cpp.o" "gcc" "src/CMakeFiles/cgc.dir/heap/BlockTable.cpp.o.d"
+  "/root/repo/src/heap/ObjectHeap.cpp" "src/CMakeFiles/cgc.dir/heap/ObjectHeap.cpp.o" "gcc" "src/CMakeFiles/cgc.dir/heap/ObjectHeap.cpp.o.d"
+  "/root/repo/src/heap/PageAllocator.cpp" "src/CMakeFiles/cgc.dir/heap/PageAllocator.cpp.o" "gcc" "src/CMakeFiles/cgc.dir/heap/PageAllocator.cpp.o.d"
+  "/root/repo/src/heap/SizeClassTable.cpp" "src/CMakeFiles/cgc.dir/heap/SizeClassTable.cpp.o" "gcc" "src/CMakeFiles/cgc.dir/heap/SizeClassTable.cpp.o.d"
+  "/root/repo/src/heap/VirtualArena.cpp" "src/CMakeFiles/cgc.dir/heap/VirtualArena.cpp.o" "gcc" "src/CMakeFiles/cgc.dir/heap/VirtualArena.cpp.o.d"
+  "/root/repo/src/interp/Builtins.cpp" "src/CMakeFiles/cgc.dir/interp/Builtins.cpp.o" "gcc" "src/CMakeFiles/cgc.dir/interp/Builtins.cpp.o.d"
+  "/root/repo/src/interp/Interpreter.cpp" "src/CMakeFiles/cgc.dir/interp/Interpreter.cpp.o" "gcc" "src/CMakeFiles/cgc.dir/interp/Interpreter.cpp.o.d"
+  "/root/repo/src/roots/MachineStack.cpp" "src/CMakeFiles/cgc.dir/roots/MachineStack.cpp.o" "gcc" "src/CMakeFiles/cgc.dir/roots/MachineStack.cpp.o.d"
+  "/root/repo/src/sim/PlatformProfile.cpp" "src/CMakeFiles/cgc.dir/sim/PlatformProfile.cpp.o" "gcc" "src/CMakeFiles/cgc.dir/sim/PlatformProfile.cpp.o.d"
+  "/root/repo/src/sim/SimStack.cpp" "src/CMakeFiles/cgc.dir/sim/SimStack.cpp.o" "gcc" "src/CMakeFiles/cgc.dir/sim/SimStack.cpp.o.d"
+  "/root/repo/src/sim/SyntheticSegments.cpp" "src/CMakeFiles/cgc.dir/sim/SyntheticSegments.cpp.o" "gcc" "src/CMakeFiles/cgc.dir/sim/SyntheticSegments.cpp.o.d"
+  "/root/repo/src/structures/BinaryTree.cpp" "src/CMakeFiles/cgc.dir/structures/BinaryTree.cpp.o" "gcc" "src/CMakeFiles/cgc.dir/structures/BinaryTree.cpp.o.d"
+  "/root/repo/src/structures/Grid.cpp" "src/CMakeFiles/cgc.dir/structures/Grid.cpp.o" "gcc" "src/CMakeFiles/cgc.dir/structures/Grid.cpp.o.d"
+  "/root/repo/src/structures/ListReversal.cpp" "src/CMakeFiles/cgc.dir/structures/ListReversal.cpp.o" "gcc" "src/CMakeFiles/cgc.dir/structures/ListReversal.cpp.o.d"
+  "/root/repo/src/structures/ProgramT.cpp" "src/CMakeFiles/cgc.dir/structures/ProgramT.cpp.o" "gcc" "src/CMakeFiles/cgc.dir/structures/ProgramT.cpp.o.d"
+  "/root/repo/src/support/BitVector.cpp" "src/CMakeFiles/cgc.dir/support/BitVector.cpp.o" "gcc" "src/CMakeFiles/cgc.dir/support/BitVector.cpp.o.d"
+  "/root/repo/src/support/Random.cpp" "src/CMakeFiles/cgc.dir/support/Random.cpp.o" "gcc" "src/CMakeFiles/cgc.dir/support/Random.cpp.o.d"
+  "/root/repo/src/support/Statistics.cpp" "src/CMakeFiles/cgc.dir/support/Statistics.cpp.o" "gcc" "src/CMakeFiles/cgc.dir/support/Statistics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

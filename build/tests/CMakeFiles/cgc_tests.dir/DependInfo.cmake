@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/TestAppendixB.cpp" "tests/CMakeFiles/cgc_tests.dir/TestAppendixB.cpp.o" "gcc" "tests/CMakeFiles/cgc_tests.dir/TestAppendixB.cpp.o.d"
+  "/root/repo/tests/TestBaseline.cpp" "tests/CMakeFiles/cgc_tests.dir/TestBaseline.cpp.o" "gcc" "tests/CMakeFiles/cgc_tests.dir/TestBaseline.cpp.o.d"
+  "/root/repo/tests/TestBlacklist.cpp" "tests/CMakeFiles/cgc_tests.dir/TestBlacklist.cpp.o" "gcc" "tests/CMakeFiles/cgc_tests.dir/TestBlacklist.cpp.o.d"
+  "/root/repo/tests/TestCApi.cpp" "tests/CMakeFiles/cgc_tests.dir/TestCApi.cpp.o" "gcc" "tests/CMakeFiles/cgc_tests.dir/TestCApi.cpp.o.d"
+  "/root/repo/tests/TestCollector.cpp" "tests/CMakeFiles/cgc_tests.dir/TestCollector.cpp.o" "gcc" "tests/CMakeFiles/cgc_tests.dir/TestCollector.cpp.o.d"
+  "/root/repo/tests/TestCord.cpp" "tests/CMakeFiles/cgc_tests.dir/TestCord.cpp.o" "gcc" "tests/CMakeFiles/cgc_tests.dir/TestCord.cpp.o.d"
+  "/root/repo/tests/TestDeath.cpp" "tests/CMakeFiles/cgc_tests.dir/TestDeath.cpp.o" "gcc" "tests/CMakeFiles/cgc_tests.dir/TestDeath.cpp.o.d"
+  "/root/repo/tests/TestExtensions.cpp" "tests/CMakeFiles/cgc_tests.dir/TestExtensions.cpp.o" "gcc" "tests/CMakeFiles/cgc_tests.dir/TestExtensions.cpp.o.d"
+  "/root/repo/tests/TestFinalization.cpp" "tests/CMakeFiles/cgc_tests.dir/TestFinalization.cpp.o" "gcc" "tests/CMakeFiles/cgc_tests.dir/TestFinalization.cpp.o.d"
+  "/root/repo/tests/TestHeap.cpp" "tests/CMakeFiles/cgc_tests.dir/TestHeap.cpp.o" "gcc" "tests/CMakeFiles/cgc_tests.dir/TestHeap.cpp.o.d"
+  "/root/repo/tests/TestHeapWalk.cpp" "tests/CMakeFiles/cgc_tests.dir/TestHeapWalk.cpp.o" "gcc" "tests/CMakeFiles/cgc_tests.dir/TestHeapWalk.cpp.o.d"
+  "/root/repo/tests/TestInterp.cpp" "tests/CMakeFiles/cgc_tests.dir/TestInterp.cpp.o" "gcc" "tests/CMakeFiles/cgc_tests.dir/TestInterp.cpp.o.d"
+  "/root/repo/tests/TestInvariants.cpp" "tests/CMakeFiles/cgc_tests.dir/TestInvariants.cpp.o" "gcc" "tests/CMakeFiles/cgc_tests.dir/TestInvariants.cpp.o.d"
+  "/root/repo/tests/TestLazySweep.cpp" "tests/CMakeFiles/cgc_tests.dir/TestLazySweep.cpp.o" "gcc" "tests/CMakeFiles/cgc_tests.dir/TestLazySweep.cpp.o.d"
+  "/root/repo/tests/TestMarker.cpp" "tests/CMakeFiles/cgc_tests.dir/TestMarker.cpp.o" "gcc" "tests/CMakeFiles/cgc_tests.dir/TestMarker.cpp.o.d"
+  "/root/repo/tests/TestPageAllocatorFuzz.cpp" "tests/CMakeFiles/cgc_tests.dir/TestPageAllocatorFuzz.cpp.o" "gcc" "tests/CMakeFiles/cgc_tests.dir/TestPageAllocatorFuzz.cpp.o.d"
+  "/root/repo/tests/TestProperty.cpp" "tests/CMakeFiles/cgc_tests.dir/TestProperty.cpp.o" "gcc" "tests/CMakeFiles/cgc_tests.dir/TestProperty.cpp.o.d"
+  "/root/repo/tests/TestRetentionTracer.cpp" "tests/CMakeFiles/cgc_tests.dir/TestRetentionTracer.cpp.o" "gcc" "tests/CMakeFiles/cgc_tests.dir/TestRetentionTracer.cpp.o.d"
+  "/root/repo/tests/TestRootSet.cpp" "tests/CMakeFiles/cgc_tests.dir/TestRootSet.cpp.o" "gcc" "tests/CMakeFiles/cgc_tests.dir/TestRootSet.cpp.o.d"
+  "/root/repo/tests/TestSim.cpp" "tests/CMakeFiles/cgc_tests.dir/TestSim.cpp.o" "gcc" "tests/CMakeFiles/cgc_tests.dir/TestSim.cpp.o.d"
+  "/root/repo/tests/TestStructures.cpp" "tests/CMakeFiles/cgc_tests.dir/TestStructures.cpp.o" "gcc" "tests/CMakeFiles/cgc_tests.dir/TestStructures.cpp.o.d"
+  "/root/repo/tests/TestSupport.cpp" "tests/CMakeFiles/cgc_tests.dir/TestSupport.cpp.o" "gcc" "tests/CMakeFiles/cgc_tests.dir/TestSupport.cpp.o.d"
+  "/root/repo/tests/TestTable1Integration.cpp" "tests/CMakeFiles/cgc_tests.dir/TestTable1Integration.cpp.o" "gcc" "tests/CMakeFiles/cgc_tests.dir/TestTable1Integration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cgc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
