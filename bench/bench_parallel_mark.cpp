@@ -1,0 +1,143 @@
+//===- bench/bench_parallel_mark.cpp - Parallel mark-phase speedup --------===//
+//
+// Measures the Mark phase of the collection pipeline under 1, 2, and 4
+// work-stealing mark workers, on a Table-1-scale heap (~20 MB of
+// pointer-dense objects).  The retained set and every liveness counter
+// are identical for any worker count — the knob only moves wall-clock
+// time — so the run cross-checks determinism while it measures.
+//
+// Phase timings come from the GC observer layer (the same events the
+// collector's own statistics consume), not from timers around
+// collect(): the report isolates Mark from root scanning and sweeping.
+//
+// Usage: bench_parallel_mark [nodes] [reps]   (default 150000 8)
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "core/Collector.h"
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+using namespace cgc;
+
+namespace {
+
+/// A pointer-dense node: 14 child links plus payload = 128 bytes, so
+/// marking has real per-object scan work to distribute.
+constexpr unsigned ChildrenPerNode = 14;
+struct FanoutNode {
+  FanoutNode *Children[ChildrenPerNode];
+  uint64_t Payload[2];
+};
+
+/// Deterministic xorshift so every run (and every thread count) traces
+/// the same graph.
+uint64_t nextRand(uint64_t &State) {
+  State ^= State << 13;
+  State ^= State >> 7;
+  State ^= State << 17;
+  return State;
+}
+
+/// Builds a connected random graph over \p Count nodes: node I's first
+/// child is node I+1 (guaranteeing full reachability from node 0), the
+/// rest are uniform random — heavy mark-sharing, wide fan-out.
+FanoutNode *buildGraph(Collector &GC, size_t Count) {
+  std::vector<FanoutNode *> Nodes(Count);
+  for (size_t I = 0; I != Count; ++I)
+    Nodes[I] = static_cast<FanoutNode *>(GC.allocate(sizeof(FanoutNode)));
+  uint64_t Rng = 0x9e3779b97f4a7c15ull;
+  for (size_t I = 0; I != Count; ++I) {
+    Nodes[I]->Children[0] = Nodes[(I + 1) % Count];
+    for (unsigned C = 1; C != ChildrenPerNode; ++C)
+      Nodes[I]->Children[C] = Nodes[nextRand(Rng) % Count];
+  }
+  return Nodes[0];
+}
+
+/// Observer capturing each collection's Mark-phase duration.
+class MarkTimer : public GcObserver {
+public:
+  void onPhaseEnd(GcPhase Phase, uint64_t Nanos,
+                  const CollectionStats &) override {
+    if (Phase == GcPhase::Mark)
+      LastMarkNanos = Nanos;
+  }
+  uint64_t LastMarkNanos = 0;
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  size_t Nodes = Argc > 1 ? std::strtoull(Argv[1], nullptr, 10) : 150000;
+  unsigned Reps = Argc > 2 ? std::atoi(Argv[2]) : 8;
+  if (Nodes == 0)
+    Nodes = 150000;
+  if (Reps == 0)
+    Reps = 8;
+
+  cgcbench::printBanner(
+      "parallel mark",
+      "mark-phase wall clock vs work-stealing worker count",
+      "n/a (post-paper extension; results must match the sequential "
+      "marker bit for bit)");
+
+  GcConfig Config;
+  Config.WindowBytes = uint64_t(512) << 20;
+  Config.Placement = HeapPlacement::Custom;
+  Config.CustomHeapBaseOffset = 16 << 20;
+  Config.MaxHeapBytes = uint64_t(128) << 20;
+  Config.GcAtStartup = false;
+  Config.MinHeapBytesBeforeGc = ~uint64_t(0);
+  Collector GC(Config);
+
+  uint64_t Root = reinterpret_cast<uint64_t>(buildGraph(GC, Nodes));
+  GC.addRootRange(&Root, &Root + 1, RootEncoding::Native64,
+                  RootSource::Client, "graph-root");
+
+  MarkTimer Timer;
+  GC.addObserver(&Timer);
+
+  std::printf("heap: %zu nodes x %zu B = %.1f MB pointer-dense graph\n",
+              Nodes, sizeof(FanoutNode),
+              double(Nodes) * sizeof(FanoutNode) / (1 << 20));
+  unsigned Cores = std::thread::hardware_concurrency();
+  std::printf("hardware threads: %u%s\n", Cores,
+              Cores < 4 ? "  (speedup needs >= as many cores as workers)"
+                        : "");
+  std::printf("%-8s %14s %14s %10s %12s\n", "workers", "mark best",
+              "mark mean", "speedup", "marked");
+
+  uint64_t Baseline = 0;
+  uint64_t BaselineMarked = 0;
+  for (unsigned Workers : {1u, 2u, 4u}) {
+    GC.setMarkThreads(Workers);
+    uint64_t Best = ~uint64_t(0), Sum = 0;
+    uint64_t Marked = 0;
+    for (unsigned Rep = 0; Rep != Reps; ++Rep) {
+      CollectionStats Cycle = GC.collect("bench");
+      Best = std::min(Best, Timer.LastMarkNanos);
+      Sum += Timer.LastMarkNanos;
+      Marked = Cycle.ObjectsMarked;
+    }
+    if (Workers == 1) {
+      Baseline = Best;
+      BaselineMarked = Marked;
+    } else if (Marked != BaselineMarked) {
+      std::printf("DETERMINISM VIOLATION: %llu marked at %u workers, "
+                  "%llu at 1\n",
+                  static_cast<unsigned long long>(Marked), Workers,
+                  static_cast<unsigned long long>(BaselineMarked));
+      return 1;
+    }
+    std::printf("%-8u %11.2f ms %11.2f ms %9.2fx %12llu\n", Workers,
+                Best / 1e6, Sum / double(Reps) / 1e6,
+                Baseline ? double(Baseline) / Best : 0.0,
+                static_cast<unsigned long long>(Marked));
+  }
+  return 0;
+}

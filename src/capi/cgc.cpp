@@ -2,14 +2,51 @@
 
 #include "capi/cgc.h"
 #include "core/Collector.h"
+#include <memory>
 
 using namespace cgc;
+
+namespace {
+
+/// Bridges a C event callback onto the C++ observer interface.  The
+/// collector dispatches by index with tombstoned removal, so a removed
+/// adapter is never invoked again — but an observer may remove *itself*
+/// from inside its own callback, so adapters stay alive until
+/// cgc_destroy rather than being freed on removal.
+class CEventObserver final : public GcObserver {
+public:
+  CEventObserver(cgc_gc_event_fn Fn, void *ClientData)
+      : Fn(Fn), ClientData(ClientData) {}
+
+  void onCollectionBegin(uint64_t Index, const char *) override {
+    Fn(CGC_EVENT_COLLECTION_BEGIN, -1, Index, ClientData);
+  }
+  void onCollectionEnd(uint64_t Index, const CollectionStats &) override {
+    Fn(CGC_EVENT_COLLECTION_END, -1, Index, ClientData);
+  }
+  void onPhaseBegin(GcPhase Phase) override {
+    Fn(CGC_EVENT_PHASE_BEGIN, static_cast<int>(Phase), 0, ClientData);
+  }
+  void onPhaseEnd(GcPhase Phase, uint64_t Nanos,
+                  const CollectionStats &) override {
+    Fn(CGC_EVENT_PHASE_END, static_cast<int>(Phase), Nanos, ClientData);
+  }
+
+  GcObserverId RegistrationId = 0;
+
+private:
+  cgc_gc_event_fn Fn;
+  void *ClientData;
+};
+
+} // namespace
 
 /// The opaque handle is a thin wrapper so the C side never sees C++
 /// types and the C++ side keeps full type safety.
 struct cgc_collector {
   explicit cgc_collector(const GcConfig &Config) : GC(Config) {}
   Collector GC;
+  std::vector<std::unique_ptr<CEventObserver>> Observers;
 };
 
 static GcConfig convertConfig(const cgc_config *C) {
@@ -52,6 +89,8 @@ static GcConfig convertConfig(const cgc_config *C) {
   if (C->root_scan_alignment == 1 || C->root_scan_alignment == 2 ||
       C->root_scan_alignment == 4 || C->root_scan_alignment == 8)
     Config.RootScanAlignment = C->root_scan_alignment;
+  if (C->mark_threads)
+    Config.MarkThreads = C->mark_threads;
   return Config;
 }
 
@@ -70,6 +109,7 @@ void cgc_config_init(cgc_config *Config) {
   Config->gc_at_startup = Defaults.GcAtStartup ? 1 : 0;
   Config->lazy_sweep = 0;
   Config->root_scan_alignment = Defaults.RootScanAlignment;
+  Config->mark_threads = Defaults.MarkThreads;
   Config->all_interior_pointers_avoid_spans = 0;
 }
 
@@ -102,6 +142,36 @@ void cgc_free(cgc_collector *GC, void *Ptr) {
 
 unsigned long long cgc_gcollect(cgc_collector *GC) {
   return GC->GC.collect("cgc_gcollect").BytesSweptFree;
+}
+
+void cgc_set_mark_threads(cgc_collector *GC, unsigned Threads) {
+  GC->GC.setMarkThreads(Threads);
+}
+
+unsigned cgc_mark_threads(cgc_collector *GC) {
+  return GC->GC.markThreads();
+}
+
+unsigned cgc_add_gc_observer(cgc_collector *GC, cgc_gc_event_fn Fn,
+                             void *ClientData) {
+  if (!Fn)
+    return 0;
+  auto Adapter = std::make_unique<CEventObserver>(Fn, ClientData);
+  Adapter->RegistrationId = GC->GC.addObserver(Adapter.get());
+  unsigned Handle = Adapter->RegistrationId;
+  GC->Observers.push_back(std::move(Adapter));
+  return Handle;
+}
+
+int cgc_remove_gc_observer(cgc_collector *GC, unsigned Handle) {
+  for (auto &Adapter : GC->Observers)
+    if (Adapter && Adapter->RegistrationId == Handle) {
+      bool Removed = GC->GC.removeObserver(Handle);
+      // The adapter object itself is retained until cgc_destroy; see
+      // CEventObserver.
+      return Removed ? 1 : 0;
+    }
+  return 0;
 }
 
 unsigned cgc_add_roots(cgc_collector *GC, const void *Lo,

@@ -48,6 +48,18 @@ enum {
   CGC_BLACKLIST_HASHED = 2,
 };
 
+/* Collection pipeline phases, in the order every collection runs them:
+ * root-scan -> mark -> blacklist-promote -> sweep -> finalize.  Event
+ * observers (cgc_add_observer) receive begin/end callbacks per phase.
+ */
+enum {
+  CGC_PHASE_ROOT_SCAN = 0,
+  CGC_PHASE_MARK = 1,
+  CGC_PHASE_BLACKLIST_PROMOTE = 2,
+  CGC_PHASE_SWEEP = 3,
+  CGC_PHASE_FINALIZE = 4,
+};
+
 /* Plain-C mirror of the collector configuration.  Zero/default
  * initialize with cgc_config_init; unset fields keep library defaults.
  */
@@ -61,6 +73,13 @@ typedef struct cgc_config {
   int gc_at_startup;                     /* boolean                    */
   int lazy_sweep;                        /* boolean                    */
   unsigned root_scan_alignment;          /* 1, 2, 4, or 8              */
+  /* Mark-phase worker threads.  0 or 1 = the paper's sequential
+   * marker (the default, and bit-for-bit the paper's experiment
+   * behavior); N > 1 traces the heap on N work-stealing workers.  The
+   * retained-object set and every statistics counter are identical
+   * for any value; only mark wall-clock time changes.  Clamped to 64.
+   */
+  unsigned mark_threads;
   int all_interior_pointers_avoid_spans; /* reserved; must be 0        */
 } cgc_config;
 
@@ -89,6 +108,43 @@ void cgc_free(cgc_collector *gc, void *ptr);
 
 /* Runs a full collection; returns the number of bytes reclaimed. */
 unsigned long long cgc_gcollect(cgc_collector *gc);
+
+/* Sets the mark-phase worker count for future collections (see
+ * cgc_config.mark_threads; 0 is treated as 1). */
+void cgc_set_mark_threads(cgc_collector *gc, unsigned threads);
+unsigned cgc_mark_threads(cgc_collector *gc);
+
+/* --- observability --------------------------------------------------- */
+
+/* Events delivered to cgc_gc_event_fn observers.  Every collection —
+ * including ones triggered from inside allocation — emits:
+ *   COLLECTION_BEGIN,
+ *   { PHASE_BEGIN, PHASE_END } per phase in CGC_PHASE_* order,
+ *   COLLECTION_END.
+ */
+enum {
+  CGC_EVENT_COLLECTION_BEGIN = 0,
+  CGC_EVENT_COLLECTION_END = 1,
+  CGC_EVENT_PHASE_BEGIN = 2,
+  CGC_EVENT_PHASE_END = 3,
+};
+
+/* Observer callback.  event is CGC_EVENT_*.  phase is CGC_PHASE_* for
+ * phase events and -1 for collection events.  nanos is the phase
+ * duration for CGC_EVENT_PHASE_END, the 0-based collection index for
+ * CGC_EVENT_COLLECTION_BEGIN/END, and 0 otherwise.  The callback runs
+ * mid-collection: it must not allocate from or collect gc. */
+typedef void (*cgc_gc_event_fn)(int event, int phase,
+                                unsigned long long nanos,
+                                void *client_data);
+
+/* Registers an observer; returns a handle (never 0) for
+ * cgc_remove_gc_observer.  Registration and removal are legal from
+ * inside a callback, including an observer removing itself. */
+unsigned cgc_add_gc_observer(cgc_collector *gc, cgc_gc_event_fn fn,
+                             void *client_data);
+/* Unregisters; returns nonzero if the handle was registered. */
+int cgc_remove_gc_observer(cgc_collector *gc, unsigned handle);
 
 /* --- roots ----------------------------------------------------------- */
 

@@ -59,6 +59,11 @@ Collector::Collector(const GcConfig &Cfg) : Config(Cfg) {
 
   MarkerImpl = std::make_unique<Marker>(*Arena, *Pages, *Map, *Blocks,
                                         *Heap, *BlacklistImpl, Config);
+
+  // GcStats consumes the observer layer like any other client: the
+  // timing sink is the first registered observer, so later observers
+  // see phase timings already folded into the cycle record.
+  Observers.add(&TimingSink);
 }
 
 Collector::~Collector() = default;
@@ -197,8 +202,35 @@ bool Collector::shouldCollectBeforeGrowth() const {
   return static_cast<double>(BytesSinceGc) >= Threshold;
 }
 
+void Collector::runPhase(GcPhase Phase, CollectionStats &Cycle,
+                         const std::function<void()> &Body) {
+  Observers.dispatch([&](GcObserver &O) { O.onPhaseBegin(Phase); });
+  uint64_t Start = nowNanos();
+  Body();
+  uint64_t Nanos = nowNanos() - Start;
+  // The timing sink (always registered first) records Nanos into
+  // Cycle.PhaseNanos before any client observer sees the event.
+  Observers.dispatch(
+      [&](GcObserver &O) { O.onPhaseEnd(Phase, Nanos, Cycle); });
+}
+
+void Collector::emitRetainedObjects() {
+  if (!Observers.anyWantsRetainedObjects())
+    return;
+  Blocks->forEach([&](BlockId, BlockDescriptor &Block) {
+    for (uint32_t Slot = 0; Slot != Block.ObjectCount; ++Slot) {
+      if (!Block.AllocBits.test(Slot) || !Block.MarkBits.test(Slot))
+        continue;
+      void *Ptr = Arena->pointerTo(Block.slotOffset(Slot));
+      Observers.dispatch([&](GcObserver &O) {
+        if (O.wantsRetainedObjects())
+          O.onObjectRetained(Ptr, Block.ObjectSize, Block.Kind);
+      });
+    }
+  });
+}
+
 CollectionStats Collector::collect(const char *Reason) {
-  (void)Reason;
   CGC_CHECK(!InCollection, "re-entrant collection");
   InCollection = true;
 
@@ -206,6 +238,10 @@ CollectionStats Collector::collect(const char *Reason) {
     Hook();
 
   CollectionStats Cycle;
+  TimingSink.attach(&Cycle);
+  uint64_t CollectionIndex = Lifetime.Collections;
+  Observers.dispatch(
+      [&](GcObserver &O) { O.onCollectionBegin(CollectionIndex, Reason); });
 
   // If real-stack scanning is on, snapshot the stack and registers and
   // expose them as temporary root ranges.
@@ -225,31 +261,49 @@ CollectionStats Collector::collect(const char *Reason) {
 
   BlacklistImpl->beginCycle();
 
-  uint64_t MarkStart = nowNanos();
-  MarkerImpl->runMark(Roots, Cycle);
-  Finalizers.processUnreachable(*MarkerImpl, *Heap, *Blocks, Cycle);
-  BlacklistImpl->endCycle();
-  Cycle.MarkNanos = nowNanos() - MarkStart;
+  runPhase(GcPhase::RootScan, Cycle,
+           [&] { MarkerImpl->runRootScan(Roots, Cycle); });
+
+  runPhase(GcPhase::Mark, Cycle, [&] {
+    MarkerImpl->runMarkPhase(Cycle);
+    // Finalizer detection resurrects unreachable objects (marking
+    // work), staging them for the Finalize phase.
+    Finalizers.processUnreachable(*MarkerImpl, *Heap, *Blocks, Cycle);
+  });
+
+  runPhase(GcPhase::BlacklistPromote, Cycle,
+           [&] { BlacklistImpl->endCycle(); });
 
   if (OnLeak)
     reportLeaks();
 
-  uint64_t SweepStart = nowNanos();
-  SweepResult Swept = Heap->sweep();
-  Cycle.SweepNanos = nowNanos() - SweepStart;
+  runPhase(GcPhase::Sweep, Cycle, [&] {
+    SweepResult Swept = Heap->sweep();
+    Cycle.ObjectsSweptFree = Swept.ObjectsSweptFree;
+    Cycle.BytesSweptFree = Swept.BytesSweptFree;
+    Cycle.ObjectsLive = Swept.ObjectsLive;
+    Cycle.BytesLive = Swept.BytesLive;
+    if (Config.LazySweep) {
+      // Small blocks are swept later; report liveness from the marks.
+      Cycle.ObjectsLive = Cycle.ObjectsMarked;
+      Cycle.BytesLive = Cycle.BytesMarked;
+    }
+    Cycle.SlotsPinned = Swept.SlotsPinned;
+    Cycle.PagesReleased = Swept.PagesReleased;
+  });
 
-  Cycle.ObjectsSweptFree = Swept.ObjectsSweptFree;
-  Cycle.BytesSweptFree = Swept.BytesSweptFree;
-  Cycle.ObjectsLive = Swept.ObjectsLive;
-  Cycle.BytesLive = Swept.BytesLive;
-  if (Config.LazySweep) {
-    // Small blocks are swept later; report liveness from the marks.
-    Cycle.ObjectsLive = Cycle.ObjectsMarked;
-    Cycle.BytesLive = Cycle.BytesMarked;
-  }
-  Cycle.SlotsPinned = Swept.SlotsPinned;
-  Cycle.PagesReleased = Swept.PagesReleased;
+  runPhase(GcPhase::Finalize, Cycle, [&] {
+    Finalizers.publishStaged();
+    emitRetainedObjects();
+  });
+
   Cycle.BlacklistedPages = BlacklistImpl->entryCount();
+  // Aggregate views of the pipeline timings (see GcStats.h).
+  Cycle.MarkNanos =
+      Cycle.PhaseNanos[static_cast<unsigned>(GcPhase::RootScan)] +
+      Cycle.PhaseNanos[static_cast<unsigned>(GcPhase::Mark)] +
+      Cycle.PhaseNanos[static_cast<unsigned>(GcPhase::BlacklistPromote)];
+  Cycle.SweepNanos = Cycle.PhaseNanos[static_cast<unsigned>(GcPhase::Sweep)];
 
   if (StackRoot != 0)
     Roots.removeRange(StackRoot);
@@ -259,6 +313,9 @@ CollectionStats Collector::collect(const char *Reason) {
   LastCycle = Cycle;
   Lifetime.accumulate(Cycle);
   BytesSinceGc = 0;
+  Observers.dispatch(
+      [&](GcObserver &O) { O.onCollectionEnd(CollectionIndex, Cycle); });
+  TimingSink.attach(nullptr);
   InCollection = false;
   return Cycle;
 }
@@ -409,6 +466,14 @@ void Collector::printReport(std::FILE *Out) const {
                (unsigned long long)Lifetime.Collections,
                Lifetime.TotalMarkNanos / 1e6,
                Lifetime.TotalSweepNanos / 1e6);
+  std::fprintf(Out, "pipeline        :");
+  for (unsigned I = 0; I != NumGcPhases; ++I)
+    std::fprintf(Out, " %s %.2f ms%s",
+                 gcPhaseName(static_cast<GcPhase>(I)),
+                 Lifetime.TotalPhaseNanos[I] / 1e6,
+                 I + 1 == NumGcPhases ? "\n" : ",");
+  std::fprintf(Out, "mark workers    : %u configured\n",
+               Config.MarkThreads);
   std::fprintf(Out, "last cycle      : %llu live objects (%llu KiB), "
                     "%llu freed, %llu pinned slots\n",
                (unsigned long long)LastCycle.ObjectsLive,

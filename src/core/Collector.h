@@ -32,6 +32,8 @@
 #include "core/Blacklist.h"
 #include "core/Finalization.h"
 #include "core/GcConfig.h"
+#include "core/GcObserver.h"
+#include "core/GcPhase.h"
 #include "core/GcStats.h"
 #include "core/Marker.h"
 #include "heap/ObjectHeap.h"
@@ -92,9 +94,20 @@ public:
   // Collection
   //===--------------------------------------------------------------===//
 
-  /// Runs a full collection; \p Reason is recorded in statistics.
+  /// Runs a full collection as the phase pipeline
+  /// RootScan -> Mark -> BlacklistPromote -> Sweep -> Finalize (see
+  /// core/GcPhase.h), emitting observer events around every phase.
+  /// \p Reason is recorded in statistics and reported to observers.
   /// \returns the cycle's statistics.
   CollectionStats collect(const char *Reason = "explicit");
+
+  /// Sets the Mark-phase worker count for future collections (clamped
+  /// to [1, MarkContext::MaxWorkers]).  1 = the paper's sequential
+  /// marker; any value yields the identical marked set and counters.
+  void setMarkThreads(unsigned Threads) {
+    Config.MarkThreads = Threads == 0 ? 1 : Threads;
+  }
+  unsigned markThreads() const { return Config.MarkThreads; }
 
   /// Runs the mark phase only — no sweep, no finalization — so the heap
   /// is unchanged.  Experiments use this to ask "what would appear
@@ -164,6 +177,22 @@ public:
   void setLeakCallback(LeakCallback Fn) { OnLeak = std::move(Fn); }
 
   //===--------------------------------------------------------------===//
+  // Observability (see core/GcObserver.h)
+  //===--------------------------------------------------------------===//
+
+  /// Registers \p Observer (not owned; must outlive its registration)
+  /// for collection/phase/object-retained events.  \returns an id for
+  /// removeObserver.  Legal from inside an observer callback.
+  GcObserverId addObserver(GcObserver *Observer) {
+    return Observers.add(Observer);
+  }
+
+  /// Unregisters an observer; \returns true if it was registered.
+  /// Legal from inside an observer callback, including the observer
+  /// unregistering itself.
+  bool removeObserver(GcObserverId Id) { return Observers.remove(Id); }
+
+  //===--------------------------------------------------------------===//
   // Stack clearing (§3.1)
   //===--------------------------------------------------------------===//
 
@@ -227,9 +256,30 @@ public:
   RootSet &roots() { return Roots; }
 
 private:
+  /// Feeds the observer layer's phase-end events back into the current
+  /// cycle's CollectionStats: GcStats is itself an observer consumer,
+  /// so per-phase timing has exactly one source of truth.
+  class PhaseTimingSink final : public GcObserver {
+  public:
+    void attach(CollectionStats *Cycle) { Current = Cycle; }
+    void onPhaseEnd(GcPhase Phase, uint64_t Nanos,
+                    const CollectionStats &) override {
+      if (Current)
+        Current->PhaseNanos[static_cast<unsigned>(Phase)] += Nanos;
+    }
+
+  private:
+    CollectionStats *Current = nullptr;
+  };
+
   bool shouldCollectBeforeGrowth() const;
   void maybeRunStackClearHooks();
   void reportLeaks();
+  /// Runs one pipeline phase: phase-begin event, \p Body, timing,
+  /// phase-end event (which the timing sink folds into \p Cycle).
+  void runPhase(GcPhase Phase, CollectionStats &Cycle,
+                const std::function<void()> &Body);
+  void emitRetainedObjects();
 
   GcConfig Config;
   std::unique_ptr<VirtualArena> Arena;
@@ -246,6 +296,8 @@ private:
   LeakCallback OnLeak;
   std::vector<std::function<void()>> StackClearHooks;
   std::vector<std::function<void()>> PreCollectionHooks;
+  GcObserverRegistry Observers;
+  PhaseTimingSink TimingSink;
 
   uint64_t UniqueId;
   CollectionStats LastCycle;

@@ -22,7 +22,7 @@ size_t FinalizationQueue::processUnreachable(Marker &MarkerImpl,
   }
   for (WindowOffset Offset : Unreachable) {
     auto It = Registered.find(Offset);
-    Ready.emplace_back(Offset, std::move(It->second));
+    Staged.emplace_back(Offset, std::move(It->second));
     Registered.erase(It);
     // Resurrect: the finalizer may read the object, so it and its
     // reachable subgraph must survive the upcoming sweep.
@@ -30,6 +30,14 @@ size_t FinalizationQueue::processUnreachable(Marker &MarkerImpl,
   }
   Stats.FinalizersQueued += Unreachable.size();
   return Unreachable.size();
+}
+
+size_t FinalizationQueue::publishStaged() {
+  size_t Count = Staged.size();
+  Ready.insert(Ready.end(), std::make_move_iterator(Staged.begin()),
+               std::make_move_iterator(Staged.end()));
+  Staged.clear();
+  return Count;
 }
 
 size_t FinalizationQueue::runReady(VirtualArena &Arena) {

@@ -11,11 +11,17 @@
 /// PCR experiment counts reclaimed lists exactly this way, and our
 /// Program T harness offers the same methodology.
 ///
-/// Objects found unreachable at the end of marking move to a ready
-/// queue and are *resurrected* (marked, with their reachable subgraph)
-/// so their contents stay valid until the client runs the finalizer;
-/// the next collection then reclaims them.  Finalization order between
-/// mutually reachable finalizable objects is unspecified, as in PCR.
+/// Objects found unreachable at the end of marking are *resurrected*
+/// (marked, with their reachable subgraph) so their contents stay valid
+/// until the client runs the finalizer; the next collection then
+/// reclaims them.  Finalization order between mutually reachable
+/// finalizable objects is unspecified, as in PCR.
+///
+/// Pipeline split: detection and resurrection are marking work (they
+/// mutate mark state, and must precede the sweep), so they run in the
+/// Mark phase and *stage* the queued objects.  The Finalize phase then
+/// publishes the staged set to the ready queue, which is what
+/// pendingFinalizers()/runFinalizers() observe.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -49,17 +55,23 @@ public:
   size_t registeredCount() const { return Registered.size(); }
   size_t readyCount() const { return Ready.size(); }
 
-  /// Called after marking: moves unreachable registered objects to the
-  /// ready queue and resurrects them through \p MarkerImpl.
-  /// \returns the number of objects queued.
+  /// Mark phase: stages unreachable registered objects and resurrects
+  /// them through \p MarkerImpl so the sweep spares them.
+  /// \returns the number of objects staged.
   size_t processUnreachable(Marker &MarkerImpl, ObjectHeap &Heap,
                             BlockTable &Blocks, CollectionStats &Stats);
+
+  /// Finalize phase: publishes the staged set to the ready queue.
+  /// \returns how many finalizers became ready.
+  size_t publishStaged();
 
   /// Runs (and removes) every ready finalizer; \returns how many ran.
   size_t runReady(VirtualArena &Arena);
 
 private:
   std::unordered_map<WindowOffset, Finalizer> Registered;
+  /// Queued this cycle, not yet published (Mark .. Finalize window).
+  std::vector<std::pair<WindowOffset, Finalizer>> Staged;
   std::vector<std::pair<WindowOffset, Finalizer>> Ready;
 };
 

@@ -1,0 +1,166 @@
+//===- core/GcObserver.h - GC event/observability hooks --------*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The collector's observability layer.  Every collection emits a fixed
+/// event sequence:
+///
+///   onCollectionBegin
+///     onPhaseBegin/onPhaseEnd for each pipeline phase, in GcPhase
+///     order (see core/GcPhase.h)
+///     onObjectRetained for each surviving object (Finalize phase;
+///     opt-in via wantsRetainedObjects)
+///   onCollectionEnd
+///
+/// Collections triggered from inside allocation (allocation-threshold,
+/// heap-exhausted, the startup collection) emit exactly the same
+/// sequence, so consecutive collections never interleave events.
+///
+/// GcStats' per-phase timing, the collector report, and the parallel-
+/// mark benchmark all consume this layer; clients register their own
+/// observers through Collector::addObserver or the C API.
+///
+/// Re-entrancy rules: callbacks may register and unregister observers
+/// (including the running observer unregistering itself); an observer
+/// removed mid-dispatch receives no further events, and one added
+/// mid-dispatch starts receiving events at the next event.  Callbacks
+/// must not allocate from or collect the observed collector — the
+/// collector is mid-cycle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_CORE_GCOBSERVER_H
+#define CGC_CORE_GCOBSERVER_H
+
+#include "core/GcPhase.h"
+#include "heap/ObjectKind.h"
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cgc {
+
+struct CollectionStats;
+
+using GcObserverId = uint32_t;
+
+/// Interface for collection-cycle event consumers.  All callbacks have
+/// empty default implementations so observers override only what they
+/// consume.
+class GcObserver {
+public:
+  virtual ~GcObserver() = default;
+
+  /// A collection cycle is starting.  \p CollectionIndex counts
+  /// collections over the collector's lifetime (0-based); \p Reason is
+  /// the string passed to Collector::collect.
+  virtual void onCollectionBegin(uint64_t CollectionIndex,
+                                 const char *Reason) {
+    (void)CollectionIndex;
+    (void)Reason;
+  }
+
+  /// The cycle finished; \p Stats is the completed cycle record.
+  virtual void onCollectionEnd(uint64_t CollectionIndex,
+                               const CollectionStats &Stats) {
+    (void)CollectionIndex;
+    (void)Stats;
+  }
+
+  /// Pipeline phase \p Phase is starting.
+  virtual void onPhaseBegin(GcPhase Phase) { (void)Phase; }
+
+  /// Pipeline phase \p Phase finished after \p Nanos.  \p SoFar is the
+  /// cycle's statistics accumulated up to and including this phase.
+  virtual void onPhaseEnd(GcPhase Phase, uint64_t Nanos,
+                          const CollectionStats &SoFar) {
+    (void)Phase;
+    (void)Nanos;
+    (void)SoFar;
+  }
+
+  /// Return true to receive onObjectRetained events.  Off by default:
+  /// enumerating survivors costs a full heap walk per collection.
+  virtual bool wantsRetainedObjects() const { return false; }
+
+  /// The collection retained (marked) the allocated object at \p Ptr.
+  /// Emitted during the Finalize phase, in block order.
+  virtual void onObjectRetained(void *Ptr, size_t Bytes, ObjectKind Kind) {
+    (void)Ptr;
+    (void)Bytes;
+    (void)Kind;
+  }
+};
+
+/// Holds registered observers and dispatches events to them.  Observers
+/// are not owned.  Registration and unregistration are legal at any
+/// time, including from inside a callback being dispatched.
+class GcObserverRegistry {
+public:
+  GcObserverId add(GcObserver *Observer) {
+    Entries.push_back({NextId, Observer});
+    return NextId++;
+  }
+
+  /// \returns true if \p Id was registered.  Safe during dispatch: the
+  /// slot is tombstoned and compacted once no dispatch is running.
+  bool remove(GcObserverId Id) {
+    for (Entry &E : Entries) {
+      if (E.Id != Id || !E.Observer)
+        continue;
+      E.Observer = nullptr;
+      if (DispatchDepth == 0)
+        compact();
+      return true;
+    }
+    return false;
+  }
+
+  bool empty() const { return Entries.empty(); }
+
+  bool anyWantsRetainedObjects() const {
+    for (const Entry &E : Entries)
+      if (E.Observer && E.Observer->wantsRetainedObjects())
+        return true;
+    return false;
+  }
+
+  /// Calls \p Fn(observer) on every live observer.  Indexes rather than
+  /// iterates so callbacks may add or remove observers underneath us;
+  /// tombstones keep already-visited slots stable.
+  template <typename FnT> void dispatch(FnT Fn) {
+    ++DispatchDepth;
+    for (size_t I = 0; I < Entries.size(); ++I) {
+      if (GcObserver *Observer = Entries[I].Observer)
+        Fn(*Observer);
+    }
+    if (--DispatchDepth == 0)
+      compact();
+  }
+
+private:
+  struct Entry {
+    GcObserverId Id;
+    GcObserver *Observer;
+  };
+
+  void compact() {
+    size_t Out = 0;
+    for (size_t I = 0; I != Entries.size(); ++I)
+      if (Entries[I].Observer)
+        Entries[Out++] = Entries[I];
+    Entries.resize(Out);
+  }
+
+  std::vector<Entry> Entries;
+  GcObserverId NextId = 1;
+  unsigned DispatchDepth = 0;
+};
+
+} // namespace cgc
+
+#endif // CGC_CORE_GCOBSERVER_H

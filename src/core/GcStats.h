@@ -15,6 +15,7 @@
 #ifndef CGC_CORE_GCSTATS_H
 #define CGC_CORE_GCSTATS_H
 
+#include "core/GcPhase.h"
 #include <cstdint>
 
 namespace cgc {
@@ -70,7 +71,14 @@ struct CollectionStats {
   uint64_t PagesReleased = 0;
   uint64_t BlacklistedPages = 0;
   uint64_t FinalizersQueued = 0;
-  /// Nanoseconds spent in each phase.
+  /// Mark workers used by this cycle's Mark phase (GcConfig::MarkThreads
+  /// at the time of collection; 1 = the paper's sequential marker).
+  uint32_t MarkWorkers = 1;
+  /// Nanoseconds spent in each pipeline phase (indexed by GcPhase).
+  uint64_t PhaseNanos[NumGcPhases] = {};
+  /// Aggregate nanoseconds: MarkNanos covers RootScan + Mark +
+  /// BlacklistPromote (the historical "mark phase"), SweepNanos the
+  /// Sweep phase.  Kept so pre-pipeline consumers read the same totals.
   uint64_t MarkNanos = 0;
   uint64_t SweepNanos = 0;
   /// Nanoseconds of MarkNanos spent on blacklist bookkeeping (the
@@ -80,6 +88,25 @@ struct CollectionStats {
   /// candidate word was found (indexed by ScanOrigin).
   uint64_t MarksByOrigin[NumScanOrigins] = {};
   uint64_t NearMissesByOrigin[NumScanOrigins] = {};
+
+  /// Folds another stats record's scanning counters into this one.
+  /// Parallel marking accumulates per-worker records and merges them
+  /// here; every counter is a sum, so the merged result is identical
+  /// to a sequential mark regardless of worker interleaving.
+  void addScanCounters(const CollectionStats &Other) {
+    RootBytesScanned += Other.RootBytesScanned;
+    RootCandidatesExamined += Other.RootCandidatesExamined;
+    RootHits += Other.RootHits;
+    NearMisses += Other.NearMisses;
+    HeapWordsScanned += Other.HeapWordsScanned;
+    ObjectsMarked += Other.ObjectsMarked;
+    BytesMarked += Other.BytesMarked;
+    BlacklistNanos += Other.BlacklistNanos;
+    for (unsigned I = 0; I != NumScanOrigins; ++I) {
+      MarksByOrigin[I] += Other.MarksByOrigin[I];
+      NearMissesByOrigin[I] += Other.NearMissesByOrigin[I];
+    }
+  }
 };
 
 /// Lifetime totals across collections.
@@ -90,6 +117,8 @@ struct GcLifetimeStats {
   uint64_t TotalBlacklistNanos = 0;
   uint64_t TotalBytesSweptFree = 0;
   uint64_t TotalNearMisses = 0;
+  /// Per-pipeline-phase lifetime totals (indexed by GcPhase).
+  uint64_t TotalPhaseNanos[NumGcPhases] = {};
 
   void accumulate(const CollectionStats &Cycle) {
     ++Collections;
@@ -98,6 +127,8 @@ struct GcLifetimeStats {
     TotalBlacklistNanos += Cycle.BlacklistNanos;
     TotalBytesSweptFree += Cycle.BytesSweptFree;
     TotalNearMisses += Cycle.NearMisses;
+    for (unsigned I = 0; I != NumGcPhases; ++I)
+      TotalPhaseNanos[I] += Cycle.PhaseNanos[I];
   }
 };
 

@@ -1,0 +1,182 @@
+//===- core/MarkContext.h - Shared state for (parallel) marking -*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The marking engine, split per the phase pipeline into:
+///
+///   * MarkContext — state shared by every mark worker: the heap views
+///     (page map, block table, object heap), the candidate-resolution
+///     policies (interior-pointer rules, displacements), the blacklist
+///     feed, and the work-stealing queues.  During the Mark phase all
+///     of this is read-only except the atomic mark bitmap and the
+///     per-worker queues.
+///
+///   * MarkWorker — one tracer.  Each worker owns a private LIFO stack
+///     (the paper's mark stack) plus a mutex-guarded steal slot; when
+///     the private stack grows past a threshold the worker exposes its
+///     oldest half for stealing, and when it runs dry it reclaims its
+///     own slot or steals a batch from a victim's.  Oldest-first
+///     stealing hands thieves the widest subtrees, the classic
+///     breadth-steal/depth-run discipline.  Near-miss blacklist
+///     candidates are buffered per worker and flushed sequentially
+///     after the workers join (the Blacklist is single-threaded).
+///
+/// Sequential marking (MarkThreads == 1) bypasses all of the above: the
+/// single worker drains one external LIFO vector exactly as the seed
+/// collector's drainMarkStack did, so paper experiments are untouched.
+/// Either way the marked set is the reachability closure and every
+/// CollectionStats counter is a sum over scanned words, so results are
+/// identical for any worker count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_CORE_MARKCONTEXT_H
+#define CGC_CORE_MARKCONTEXT_H
+
+#include "core/Blacklist.h"
+#include "core/GcConfig.h"
+#include "core/GcStats.h"
+#include "heap/ObjectHeap.h"
+#include "roots/RootSet.h"
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace cgc {
+
+/// One unit of tracing work: an object whose contents must be scanned.
+struct MarkWorkItem {
+  WindowOffset Begin;
+  uint32_t Bytes;
+  /// Layout of the pushed object; 0 = conservative scan.
+  uint32_t LayoutId;
+};
+
+class MarkWorker;
+
+class MarkContext {
+public:
+  /// Hard cap on mark workers (queue slots are preallocated lazily up
+  /// to this).
+  static constexpr unsigned MaxWorkers = 64;
+
+  MarkContext(VirtualArena &Arena, PageAllocator &Pages, PageMap &Map,
+              BlockTable &Blocks, ObjectHeap &Heap,
+              Blacklist &BlacklistImpl, const GcConfig &Config);
+  ~MarkContext();
+
+  /// Resolves \p Candidate under the configured policies without
+  /// marking.  Exposed for the misidentification-rate experiments.
+  /// Read-only; safe from any mark worker.
+  ObjectRef resolveCandidate(WindowOffset Candidate) const;
+
+  /// Registers an additional valid interior displacement for the
+  /// BaseOnly policy.  Displacement 0 is always valid.  Not legal
+  /// during a mark.
+  void registerDisplacement(uint32_t Displacement);
+
+  /// Transitively marks the heap from \p Seeds, which is consumed.
+  /// \p Workers == 1 drains \p Seeds in place, LIFO — the paper's exact
+  /// sequential marker; \p Workers > 1 (clamped to MaxWorkers) seeds
+  /// that many MarkWorkers round-robin and runs them to quiescence,
+  /// with the caller's thread as worker 0.  Scan counters accumulate
+  /// into \p Stats.
+  void mark(std::vector<MarkWorkItem> &Seeds, unsigned Workers,
+            CollectionStats &Stats);
+
+private:
+  friend class MarkWorker;
+
+  /// A worker's stealable overflow: oldest exposed items first.
+  struct StealSlot {
+    std::mutex Lock;
+    std::vector<MarkWorkItem> Items;
+  };
+
+  VirtualArena &Arena;
+  PageAllocator &Pages;
+  PageMap &Map;
+  BlockTable &Blocks;
+  ObjectHeap &Heap;
+  Blacklist &BlacklistImpl;
+  const GcConfig &Config;
+  /// Sorted extra displacements valid under BaseOnly (0 is implicit).
+  std::vector<uint32_t> Displacements;
+
+  /// One steal slot per worker; sized on demand by mark().
+  std::vector<std::unique_ptr<StealSlot>> Slots;
+  /// Items pushed but not yet fully scanned, across all workers.
+  /// Reaches zero exactly when the closure is complete; workers use it
+  /// for termination detection.
+  std::atomic<uint64_t> InFlight{0};
+};
+
+/// One mark tracer.  Constructed per phase (root scan, mark drain,
+/// finalization resurrection); holds no state that outlives a phase.
+class MarkWorker {
+public:
+  /// Sequential worker: pushes go to \p ExternalStack, blacklist notes
+  /// go straight to the blacklist (with the paper's footnote-3 timing).
+  MarkWorker(MarkContext &Ctx, CollectionStats &Stats,
+             std::vector<MarkWorkItem> *ExternalStack);
+
+  /// Parallel worker \p Id of \p NumWorkers; pushes go to the private
+  /// stack with periodic exposure, near misses are buffered.
+  MarkWorker(MarkContext &Ctx, CollectionStats &Stats, unsigned Id,
+             unsigned NumWorkers);
+
+  /// Figure 2's mark(p): validity test, blacklist note, mark, push.
+  void considerCandidate(WindowOffset Candidate, ScanOrigin Origin);
+
+  /// Scans one root span for candidate words, honoring the range's
+  /// encoding and the configured scan alignment.
+  void scanRootSpan(const RootRange &Range, const unsigned char *Begin,
+                    const unsigned char *End);
+
+  /// Sequential: drains \p Stack (must be this worker's ExternalStack)
+  /// to empty, scanning each popped object.
+  void drainSequential(std::vector<MarkWorkItem> &Stack);
+
+  /// Parallel: preloads one item onto the private stack before the
+  /// workers start (seeding only; no InFlight bookkeeping).
+  void seed(const MarkWorkItem &Item);
+
+  /// Parallel: drains the private stack, reclaiming/stealing shared
+  /// work, until the context-wide closure completes.
+  void runParallel();
+
+  /// Parallel: replays buffered near misses into the blacklist.  Call
+  /// after every worker has joined; single-threaded.
+  void flushBlacklist();
+
+private:
+  void scanObject(const MarkWorkItem &Item);
+  void scanHeapRange(WindowOffset Begin, uint32_t Bytes);
+  void scanTypedObject(WindowOffset Begin, uint32_t Bytes,
+                       uint32_t LayoutId);
+  void push(const MarkWorkItem &Item);
+  void exposeForStealing();
+  /// Refills the private stack from this worker's slot or a victim's.
+  bool takeSharedWork();
+
+  MarkContext &Ctx;
+  CollectionStats &Stats;
+  /// Sequential mode: the shared LIFO (seed list or drain stack).
+  std::vector<MarkWorkItem> *ExternalStack = nullptr;
+  /// Parallel mode: the private mark stack.
+  std::vector<MarkWorkItem> Local;
+  /// Parallel mode: near-miss pages awaiting the sequential flush.
+  std::vector<PageIndex> BlacklistBuffer;
+  unsigned Id = 0;
+  unsigned NumWorkers = 1;
+  bool Parallel = false;
+};
+
+} // namespace cgc
+
+#endif // CGC_CORE_MARKCONTEXT_H

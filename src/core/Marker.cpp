@@ -1,211 +1,15 @@
 //===- core/Marker.cpp - Conservative marking with blacklisting ----------===//
 
 #include "core/Marker.h"
-#include "support/MathExtras.h"
 #include <algorithm>
-#include <chrono>
-#include <cstring>
 
 using namespace cgc;
-
-namespace {
-
-uint64_t nowNanos() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-
-uint32_t load32(const unsigned char *P, bool BigEndian) {
-  uint32_t Value;
-  std::memcpy(&Value, P, sizeof(Value));
-  if (BigEndian)
-    Value = __builtin_bswap32(Value);
-  return Value;
-}
-
-uint64_t load64(const unsigned char *P) {
-  uint64_t Value;
-  std::memcpy(&Value, P, sizeof(Value));
-  return Value;
-}
-
-} // namespace
 
 Marker::Marker(VirtualArena &Arena, PageAllocator &Pages, PageMap &Map,
                BlockTable &Blocks, ObjectHeap &Heap,
                Blacklist &BlacklistImpl, const GcConfig &Config)
-    : Arena(Arena), Pages(Pages), Map(Map), Blocks(Blocks), Heap(Heap),
-      BlacklistImpl(BlacklistImpl), Config(Config) {}
-
-ObjectRef Marker::resolveCandidate(WindowOffset Candidate) const {
-  BlockId Id = Map.blockAt(pageOfOffset(Candidate));
-  if (Id == InvalidBlockId)
-    return {};
-  const BlockDescriptor &Block = Blocks.get(Id);
-  int32_t Slot = Block.slotContaining(Candidate);
-  if (Slot < 0)
-    return {};
-  uint32_t SlotIdx = static_cast<uint32_t>(Slot);
-  WindowOffset Base = Block.slotOffset(SlotIdx);
-  // Per-object override first (observation 7's remedy): pointers past
-  // the first page never retain an ignore-off-page object.
-  if (Block.IgnoreOffPage && Candidate - Base >= PageSize)
-    return {};
-  switch (Config.Interior) {
-  case InteriorPolicy::All:
-    break;
-  case InteriorPolicy::BaseOnly: {
-    if (Candidate != Base &&
-        !std::binary_search(Displacements.begin(), Displacements.end(),
-                            static_cast<uint32_t>(Candidate - Base)))
-      return {};
-    break;
-  }
-  case InteriorPolicy::FirstPage:
-    if (Candidate - Base >= PageSize)
-      return {};
-    break;
-  }
-  if (Config.PreciseFreeSlotDetection && !Block.AllocBits.test(SlotIdx))
-    return {};
-  return {Id, SlotIdx};
-}
-
-ScanOrigin Marker::originOf(RootSource Source) {
-  switch (Source) {
-  case RootSource::StaticData:
-    return ScanOrigin::StaticData;
-  case RootSource::Stack:
-    return ScanOrigin::Stack;
-  case RootSource::Registers:
-    return ScanOrigin::Registers;
-  case RootSource::Client:
-    return ScanOrigin::Client;
-  }
-  return ScanOrigin::Client;
-}
-
-void Marker::considerCandidate(WindowOffset Candidate, ScanOrigin Origin,
-                               CollectionStats &Stats) {
-  // Figure 2, line by line.  "if p is not a valid object address":
-  ObjectRef Ref = resolveCandidate(Candidate);
-  if (!Ref.valid()) {
-    // "if p is in the vicinity of the heap, add p to blacklist".  The
-    // proximity test shares its page probe with the validity check.
-    PageIndex Page = pageOfOffset(Candidate);
-    if (Pages.inPotentialHeap(Page)) {
-      uint64_t Start = nowNanos();
-      BlacklistImpl.noteCandidate(Page);
-      Stats.BlacklistNanos += nowNanos() - Start;
-      ++Stats.NearMisses;
-      ++Stats.NearMissesByOrigin[static_cast<unsigned>(Origin)];
-    }
-    return;
-  }
-  // "if p is marked return; set mark bit for p":
-  BlockDescriptor &Block = Blocks.get(Ref.Block);
-  if (Block.MarkBits.testAndSet(Ref.Slot))
-    return;
-  ++Stats.ObjectsMarked;
-  Stats.BytesMarked += Block.ObjectSize;
-  ++Stats.MarksByOrigin[static_cast<unsigned>(Origin)];
-  // "for each field q ... mark(q)" — deferred to the mark stack, and
-  // skipped entirely for objects declared pointer-free.
-  if (Block.Kind != ObjectKind::PointerFree)
-    MarkStack.push_back({Block.slotOffset(Ref.Slot), Block.ObjectSize,
-                         Block.LayoutId});
-}
-
-void Marker::registerDisplacement(uint32_t Displacement) {
-  auto It = std::lower_bound(Displacements.begin(), Displacements.end(),
-                             Displacement);
-  if (It == Displacements.end() || *It != Displacement)
-    Displacements.insert(It, Displacement);
-}
-
-void Marker::scanTypedObject(WindowOffset Begin, uint32_t Bytes,
-                             uint32_t LayoutId, CollectionStats &Stats) {
-  const ObjectLayout &Layout = Heap.layout(LayoutId);
-  const unsigned char *Base =
-      static_cast<const unsigned char *>(Arena.pointerTo(Begin));
-  size_t Words = std::min<size_t>(Layout.PointerWords.size(),
-                                  Bytes / sizeof(uint64_t));
-  for (size_t Word = Layout.PointerWords.findFirstSet(); Word < Words;
-       Word = Layout.PointerWords.findFirstSet(Word + 1)) {
-    ++Stats.HeapWordsScanned;
-    uint64_t Value = load64(Base + Word * sizeof(uint64_t));
-    Address Addr = static_cast<Address>(Value);
-    if (!Arena.contains(Addr))
-      continue;
-    considerCandidate(Arena.offsetOf(Addr), ScanOrigin::Heap, Stats);
-  }
-}
-
-void Marker::scanRootRange(const RootRange &Range,
-                           const unsigned char *Begin,
-                           const unsigned char *End,
-                           CollectionStats &Stats) {
-  Stats.RootBytesScanned += static_cast<uint64_t>(End - Begin);
-  unsigned Stride = Config.RootScanAlignment;
-  CGC_CHECK(Stride >= 1 && Stride <= 8, "bad root scan alignment");
-
-  if (Range.Encoding == RootEncoding::Native64) {
-    if (static_cast<size_t>(End - Begin) < sizeof(uint64_t))
-      return;
-    for (const unsigned char *P = Begin; P + sizeof(uint64_t) <= End;
-         P += Stride) {
-      ++Stats.RootCandidatesExamined;
-      uint64_t Word = load64(P);
-      Address Addr = static_cast<Address>(Word);
-      if (!Arena.contains(Addr))
-        continue;
-      WindowOffset Offset = Arena.offsetOf(Addr);
-      uint64_t Before = Stats.ObjectsMarked;
-      considerCandidate(Offset, originOf(Range.Source), Stats);
-      if (Stats.ObjectsMarked != Before)
-        ++Stats.RootHits;
-    }
-    return;
-  }
-
-  // Window32: every 32-bit value is an offset into the window, exactly
-  // as every 32-bit integer was an address on the paper's machines.
-  bool BigEndian = Range.Encoding == RootEncoding::Window32BE;
-  if (static_cast<size_t>(End - Begin) < sizeof(uint32_t))
-    return;
-  for (const unsigned char *P = Begin; P + sizeof(uint32_t) <= End;
-       P += Stride) {
-    ++Stats.RootCandidatesExamined;
-    WindowOffset Offset = load32(P, BigEndian);
-    if (!Arena.containsOffset(Offset))
-      continue;
-    uint64_t Before = Stats.ObjectsMarked;
-    considerCandidate(Offset, originOf(Range.Source), Stats);
-    if (Stats.ObjectsMarked != Before)
-      ++Stats.RootHits;
-  }
-}
-
-void Marker::scanHeapRange(WindowOffset Begin, uint32_t Bytes,
-                           CollectionStats &Stats) {
-  if (Bytes < sizeof(uint64_t))
-    return;
-  const unsigned char *P =
-      static_cast<const unsigned char *>(Arena.pointerTo(Begin));
-  const unsigned char *End = P + Bytes;
-  unsigned Stride = Config.HeapScanAlignment;
-  CGC_CHECK(Stride >= 1 && Stride <= 8, "bad heap scan alignment");
-  for (; P + sizeof(uint64_t) <= End; P += Stride) {
-    ++Stats.HeapWordsScanned;
-    uint64_t Word = load64(P);
-    Address Addr = static_cast<Address>(Word);
-    if (!Arena.contains(Addr))
-      continue;
-    considerCandidate(Arena.offsetOf(Addr), ScanOrigin::Heap, Stats);
-  }
-}
+    : Blocks(Blocks), Heap(Heap), Config(Config),
+      Context(Arena, Pages, Map, Blocks, Heap, BlacklistImpl, Config) {}
 
 void Marker::markUncollectableObjects(CollectionStats &Stats) {
   Blocks.forEach([&](BlockId, BlockDescriptor &Block) {
@@ -218,41 +22,41 @@ void Marker::markUncollectableObjects(CollectionStats &Stats) {
         continue;
       ++Stats.ObjectsMarked;
       Stats.BytesMarked += Block.ObjectSize;
-      MarkStack.push_back({Block.slotOffset(Slot), Block.ObjectSize,
-                           Block.LayoutId});
+      Seeds.push_back({Block.slotOffset(Slot), Block.ObjectSize,
+                       Block.LayoutId});
     }
   });
 }
 
-void Marker::drainMarkStack(CollectionStats &Stats) {
-  while (!MarkStack.empty()) {
-    WorkItem Item = MarkStack.back();
-    MarkStack.pop_back();
-    if (Item.LayoutId != 0)
-      scanTypedObject(Item.Begin, Item.Bytes, Item.LayoutId, Stats);
-    else
-      scanHeapRange(Item.Begin, Item.Bytes, Stats);
-  }
-}
-
-void Marker::runMark(const RootSet &Roots, CollectionStats &Stats) {
+void Marker::runRootScan(const RootSet &Roots, CollectionStats &Stats) {
   Heap.clearMarks();
-  MarkStack.clear();
+  Seeds.clear();
   // Uncollectable objects are roots: live by definition, and their
   // contents may hold the only pointer to collectable data.
   markUncollectableObjects(Stats);
-  Roots.forEach([&](const RootRange &Range) {
-    Roots.forEachScannableSubrange(
-        Range.Begin, Range.End,
-        [&](const unsigned char *Begin, const unsigned char *End) {
-          scanRootRange(Range, Begin, End, Stats);
-        });
-  });
-  drainMarkStack(Stats);
+  MarkWorker Scanner(Context, Stats, &Seeds);
+  for (const RootScanSpan &Span : Roots.scannableSpans())
+    Scanner.scanRootSpan(*Span.Range, Span.Begin, Span.End);
+}
+
+void Marker::runMarkPhase(CollectionStats &Stats) {
+  unsigned Workers =
+      std::clamp(Config.MarkThreads, 1u, MarkContext::MaxWorkers);
+  Stats.MarkWorkers = Workers;
+  Context.mark(Seeds, Workers, Stats);
+}
+
+void Marker::runMark(const RootSet &Roots, CollectionStats &Stats) {
+  runRootScan(Roots, Stats);
+  runMarkPhase(Stats);
 }
 
 void Marker::markFromCandidate(WindowOffset Candidate,
                                CollectionStats &Stats) {
-  considerCandidate(Candidate, ScanOrigin::Client, Stats);
-  drainMarkStack(Stats);
+  // Resurrection-sized graphs; always sequential, independent of the
+  // Mark phase's worker count.
+  std::vector<MarkWorkItem> Stack;
+  MarkWorker Worker(Context, Stats, &Stack);
+  Worker.considerCandidate(Candidate, ScanOrigin::Client);
+  Worker.drainSequential(Stack);
 }

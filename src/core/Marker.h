@@ -21,12 +21,22 @@
 ///   }
 /// \endcode
 ///
-/// Recursion is replaced by an explicit mark stack.  Validity checking
-/// honors the configured interior-pointer policy and scan alignments;
-/// the "vicinity of the heap" test is membership in the potential heap
-/// arena, and as the paper notes it "overlaps substantially with the
-/// immediately preceding pointer validity check" — both start from the
-/// same page-map probe.
+/// Recursion is replaced by explicit mark stacks.  The Marker is the
+/// facade the collector's phase pipeline drives:
+///
+///   * runRootScan — the RootScan phase: clear marks, mark
+///     uncollectable objects, scan every root span.  Objects reached
+///     here are marked and their scan work is *seeded*, not drained.
+///   * runMarkPhase — the Mark phase: drain the seeds to the full
+///     reachability closure, on GcConfig::MarkThreads workers (see
+///     core/MarkContext.h for the work-stealing machinery; 1 worker is
+///     the paper's exact sequential marker).
+///
+/// Validity checking honors the configured interior-pointer policy and
+/// scan alignments; the "vicinity of the heap" test is membership in
+/// the potential heap arena, and as the paper notes it "overlaps
+/// substantially with the immediately preceding pointer validity
+/// check" — both start from the same page-map probe.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -36,6 +46,7 @@
 #include "core/Blacklist.h"
 #include "core/GcConfig.h"
 #include "core/GcStats.h"
+#include "core/MarkContext.h"
 #include "heap/ObjectHeap.h"
 #include "roots/RootSet.h"
 #include <vector>
@@ -48,56 +59,48 @@ public:
          BlockTable &Blocks, ObjectHeap &Heap, Blacklist &BlacklistImpl,
          const GcConfig &Config);
 
-  /// Runs a full mark phase: clears marks, scans \p Roots and all
-  /// uncollectable objects, and transitively marks the reachable heap.
+  /// RootScan phase: clears marks, marks uncollectable objects, scans
+  /// \p Roots, and seeds the mark queue with everything reached.
   /// Phase statistics accumulate into \p Stats.
+  void runRootScan(const RootSet &Roots, CollectionStats &Stats);
+
+  /// Mark phase: drains the seeds left by runRootScan to the full
+  /// transitive closure on GcConfig::MarkThreads workers.  Records the
+  /// worker count in \p Stats.
+  void runMarkPhase(CollectionStats &Stats);
+
+  /// Runs a full mark (runRootScan + runMarkPhase).  Kept for callers
+  /// outside the phase pipeline (tests, measureLiveness).
   void runMark(const RootSet &Roots, CollectionStats &Stats);
 
-  /// Marks a single candidate and drains the resulting work (used by
-  /// finalization to resurrect objects, and by tests).
+  /// Marks a single candidate and drains the resulting work
+  /// sequentially (used by finalization to resurrect objects, and by
+  /// tests).
   void markFromCandidate(WindowOffset Candidate, CollectionStats &Stats);
 
   /// Resolves \p Candidate under the configured policies without
   /// marking.  Exposed for the misidentification-rate experiments.
-  ObjectRef resolveCandidate(WindowOffset Candidate) const;
+  ObjectRef resolveCandidate(WindowOffset Candidate) const {
+    return Context.resolveCandidate(Candidate);
+  }
 
   /// Registers an additional valid interior displacement for the
   /// BaseOnly policy (tagged-pointer language implementations store
   /// base + tag).  Displacement 0 is always valid.
-  void registerDisplacement(uint32_t Displacement);
+  void registerDisplacement(uint32_t Displacement) {
+    Context.registerDisplacement(Displacement);
+  }
 
 private:
-  struct WorkItem {
-    WindowOffset Begin;
-    uint32_t Bytes;
-    /// Layout of the pushed object; 0 = conservative scan.
-    uint32_t LayoutId;
-  };
-
-  /// Figure 2's mark(p): validity test, blacklist note, mark, push.
-  void considerCandidate(WindowOffset Candidate, ScanOrigin Origin,
-                         CollectionStats &Stats);
-
-  void scanRootRange(const RootRange &Range, const unsigned char *Begin,
-                     const unsigned char *End, CollectionStats &Stats);
-  void scanHeapRange(WindowOffset Begin, uint32_t Bytes,
-                     CollectionStats &Stats);
-  static ScanOrigin originOf(RootSource Source);
-  void scanTypedObject(WindowOffset Begin, uint32_t Bytes,
-                       uint32_t LayoutId, CollectionStats &Stats);
   void markUncollectableObjects(CollectionStats &Stats);
-  void drainMarkStack(CollectionStats &Stats);
 
-  VirtualArena &Arena;
-  PageAllocator &Pages;
-  PageMap &Map;
   BlockTable &Blocks;
   ObjectHeap &Heap;
-  Blacklist &BlacklistImpl;
   const GcConfig &Config;
-  std::vector<WorkItem> MarkStack;
-  /// Sorted extra displacements valid under BaseOnly (0 is implicit).
-  std::vector<uint32_t> Displacements;
+  MarkContext Context;
+  /// Mark work seeded by the RootScan phase, consumed by the Mark
+  /// phase.  Doubles as the sequential drain stack.
+  std::vector<MarkWorkItem> Seeds;
 };
 
 } // namespace cgc

@@ -49,7 +49,9 @@ struct BlockDescriptor {
   /// interior-pointer policy.  Lets huge objects coexist with a
   /// blacklist-rich address space.
   bool IgnoreOffPage = false;
-  /// One mark bit per slot; rebuilt by every collection.
+  /// One mark bit per slot; rebuilt by every collection.  During the
+  /// Mark phase these are the only descriptor bits written, and only
+  /// through testAndSetMark, so N mark workers can share the table.
   BitVector MarkBits;
   /// One bit per slot: the slot holds a client-allocated object.  Kept
   /// off-heap so the allocator never writes link words into client
@@ -69,6 +71,12 @@ struct BlockDescriptor {
 
   uint32_t usableFreeCount() const {
     return ObjectCount - AllocatedCount - PinnedCount;
+  }
+
+  /// Atomically marks \p Slot; \returns true if it was already marked.
+  /// The one mark-bitmap mutation mark workers may perform in parallel.
+  bool testAndSetMark(uint32_t Slot) {
+    return MarkBits.testAndSetAtomic(Slot);
   }
 
   WindowOffset startOffset() const { return offsetOfPage(StartPage); }
