@@ -10,7 +10,9 @@
 // collector's own statistics consume), not from timers around
 // collect(): the report isolates Mark from root scanning and sweeping.
 //
-// Usage: bench_parallel_mark [nodes] [reps]   (default 150000 8)
+// Usage: bench_parallel_mark [--json] [nodes] [reps]  (default 150000 8)
+// --json additionally writes BENCH_parallel_mark.json for CI and sweep
+// scripts.
 //
 //===----------------------------------------------------------------------===//
 
@@ -73,6 +75,7 @@ public:
 } // namespace
 
 int main(int Argc, char **Argv) {
+  bool Json = cgcbench::consumeJsonFlag(Argc, Argv);
   size_t Nodes = Argc > 1 ? std::strtoull(Argv[1], nullptr, 10) : 150000;
   unsigned Reps = Argc > 2 ? std::atoi(Argv[2]) : 8;
   if (Nodes == 0)
@@ -112,6 +115,11 @@ int main(int Argc, char **Argv) {
   std::printf("%-8s %14s %14s %10s %12s\n", "workers", "mark best",
               "mark mean", "speedup", "marked");
 
+  cgcbench::JsonReport Report("parallel mark");
+  Report.set("nodes", uint64_t(Nodes));
+  Report.set("reps", uint64_t(Reps));
+  Report.set("hardware_threads", uint64_t(Cores));
+
   uint64_t Baseline = 0;
   uint64_t BaselineMarked = 0;
   for (unsigned Workers : {1u, 2u, 4u}) {
@@ -134,10 +142,20 @@ int main(int Argc, char **Argv) {
                   static_cast<unsigned long long>(BaselineMarked));
       return 1;
     }
+    double Speedup = Baseline ? double(Baseline) / Best : 0.0;
     std::printf("%-8u %11.2f ms %11.2f ms %9.2fx %12llu\n", Workers,
-                Best / 1e6, Sum / double(Reps) / 1e6,
-                Baseline ? double(Baseline) / Best : 0.0,
+                Best / 1e6, Sum / double(Reps) / 1e6, Speedup,
                 static_cast<unsigned long long>(Marked));
+    Report.beginRow();
+    Report.rowSet("workers", uint64_t(Workers));
+    Report.rowSet("mark_best_ns", Best);
+    Report.rowSet("mark_mean_ns", uint64_t(Sum / Reps));
+    Report.rowSet("speedup", Speedup);
+    Report.rowSet("objects_marked", Marked);
+  }
+  if (Json) {
+    std::string Path = Report.write();
+    std::printf("json: %s\n", Path.empty() ? "(write failed)" : Path.c_str());
   }
   return 0;
 }

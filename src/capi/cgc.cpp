@@ -57,10 +57,29 @@ static GcConfig convertConfig(const cgc_config *C) {
     Config.WindowBytes = C->window_bytes;
   if (C->max_heap_bytes)
     Config.MaxHeapBytes = C->max_heap_bytes;
-  if (C->heap_base_offset) {
+  switch (C->heap_placement) {
+  case CGC_PLACEMENT_LOW_SBRK:
+    Config.Placement = HeapPlacement::LowSbrk;
+    break;
+  case CGC_PLACEMENT_ASCII_RANGE:
+    Config.Placement = HeapPlacement::AsciiRange;
+    break;
+  case CGC_PLACEMENT_CUSTOM:
+    Config.Placement = HeapPlacement::Custom;
+    Config.CustomHeapBaseOffset = C->heap_base_offset;
+    break;
+  default:
+    Config.Placement = HeapPlacement::HighBitsMixed;
+    break;
+  }
+  // Pre-placement-enum clients set only heap_base_offset; honor it.
+  if (C->heap_base_offset && Config.Placement != HeapPlacement::Custom) {
     Config.Placement = HeapPlacement::Custom;
     Config.CustomHeapBaseOffset = C->heap_base_offset;
   }
+  if (C->heap_growth_pages)
+    Config.HeapGrowthPages = C->heap_growth_pages;
+  Config.DecommitFreedPages = C->decommit_freed_pages != 0;
   switch (C->interior_policy) {
   case CGC_INTERIOR_BASE_ONLY:
     Config.Interior = InteriorPolicy::BaseOnly;
@@ -84,33 +103,115 @@ static GcConfig convertConfig(const cgc_config *C) {
     break;
   }
   Config.BlacklistAging = C->blacklist_aging != 0;
+  if (C->hashed_blacklist_bits_log2)
+    Config.HashedBlacklistBitsLog2 = C->hashed_blacklist_bits_log2;
   Config.GcAtStartup = C->gc_at_startup != 0;
   Config.LazySweep = C->lazy_sweep != 0;
   if (C->root_scan_alignment == 1 || C->root_scan_alignment == 2 ||
       C->root_scan_alignment == 4 || C->root_scan_alignment == 8)
     Config.RootScanAlignment = C->root_scan_alignment;
+  if (C->heap_scan_alignment == 1 || C->heap_scan_alignment == 2 ||
+      C->heap_scan_alignment == 4 || C->heap_scan_alignment == 8)
+    Config.HeapScanAlignment = C->heap_scan_alignment;
   if (C->mark_threads)
     Config.MarkThreads = C->mark_threads;
+  if (C->sweep_threads)
+    Config.SweepThreads = C->sweep_threads;
+  Config.PreciseFreeSlotDetection = C->precise_free_slot_detection != 0;
+  if (C->collect_before_growth_ratio > 0)
+    Config.CollectBeforeGrowthRatio = C->collect_before_growth_ratio;
+  if (C->min_heap_bytes_before_gc)
+    Config.MinHeapBytesBeforeGc = C->min_heap_bytes_before_gc;
+  Config.StackClearing = C->stack_clearing == CGC_STACK_CLEAR_CHEAP
+                             ? StackClearMode::Cheap
+                             : StackClearMode::Off;
+  if (C->stack_clear_chunk_bytes)
+    Config.StackClearChunkBytes = C->stack_clear_chunk_bytes;
+  if (C->stack_clear_every_n_allocs)
+    Config.StackClearEveryNAllocs = C->stack_clear_every_n_allocs;
+  Config.AvoidTrailingZeroAddresses = C->avoid_trailing_zero_addresses != 0;
+  Config.ClearFreedObjects = C->clear_freed_objects != 0;
+  Config.AddressOrderedAllocation = C->address_ordered_allocation != 0;
   return Config;
 }
 
 extern "C" {
 
+/// Fills a cgc_config from a GcConfig — the single source of truth for
+/// both cgc_config_init (from a default GcConfig) and
+/// cgc_current_config (from a live collector's GcConfig), so the C
+/// mirror cannot drift from the C++ struct in one place but not the
+/// other.
+static void fillCConfig(cgc_config *Out, const GcConfig &In) {
+  Out->window_bytes = In.WindowBytes;
+  Out->max_heap_bytes = In.MaxHeapBytes;
+  Out->heap_base_offset =
+      In.Placement == HeapPlacement::Custom ? In.CustomHeapBaseOffset : 0;
+  switch (In.Placement) {
+  case HeapPlacement::LowSbrk:
+    Out->heap_placement = CGC_PLACEMENT_LOW_SBRK;
+    break;
+  case HeapPlacement::HighBitsMixed:
+    Out->heap_placement = CGC_PLACEMENT_HIGH_BITS_MIXED;
+    break;
+  case HeapPlacement::AsciiRange:
+    Out->heap_placement = CGC_PLACEMENT_ASCII_RANGE;
+    break;
+  case HeapPlacement::Custom:
+    Out->heap_placement = CGC_PLACEMENT_CUSTOM;
+    break;
+  }
+  Out->heap_growth_pages = In.HeapGrowthPages;
+  Out->decommit_freed_pages = In.DecommitFreedPages ? 1 : 0;
+  switch (In.Interior) {
+  case InteriorPolicy::BaseOnly:
+    Out->interior_policy = CGC_INTERIOR_BASE_ONLY;
+    break;
+  case InteriorPolicy::FirstPage:
+    Out->interior_policy = CGC_INTERIOR_FIRST_PAGE;
+    break;
+  case InteriorPolicy::All:
+    Out->interior_policy = CGC_INTERIOR_ALL;
+    break;
+  }
+  switch (In.Blacklist) {
+  case BlacklistMode::Off:
+    Out->blacklist_mode = CGC_BLACKLIST_OFF;
+    break;
+  case BlacklistMode::FlatBitmap:
+    Out->blacklist_mode = CGC_BLACKLIST_FLAT;
+    break;
+  case BlacklistMode::Hashed:
+    Out->blacklist_mode = CGC_BLACKLIST_HASHED;
+    break;
+  }
+  Out->blacklist_aging = In.BlacklistAging ? 1 : 0;
+  Out->hashed_blacklist_bits_log2 = In.HashedBlacklistBitsLog2;
+  Out->gc_at_startup = In.GcAtStartup ? 1 : 0;
+  Out->lazy_sweep = In.LazySweep ? 1 : 0;
+  Out->root_scan_alignment = In.RootScanAlignment;
+  Out->heap_scan_alignment = In.HeapScanAlignment;
+  Out->mark_threads = In.MarkThreads;
+  Out->sweep_threads = In.SweepThreads;
+  Out->all_interior_pointers_avoid_spans = 0;
+  Out->precise_free_slot_detection = In.PreciseFreeSlotDetection ? 1 : 0;
+  Out->collect_before_growth_ratio = In.CollectBeforeGrowthRatio;
+  Out->min_heap_bytes_before_gc = In.MinHeapBytesBeforeGc;
+  Out->stack_clearing = In.StackClearing == StackClearMode::Cheap
+                            ? CGC_STACK_CLEAR_CHEAP
+                            : CGC_STACK_CLEAR_OFF;
+  Out->stack_clear_chunk_bytes = In.StackClearChunkBytes;
+  Out->stack_clear_every_n_allocs = In.StackClearEveryNAllocs;
+  Out->avoid_trailing_zero_addresses =
+      In.AvoidTrailingZeroAddresses ? 1 : 0;
+  Out->clear_freed_objects = In.ClearFreedObjects ? 1 : 0;
+  Out->address_ordered_allocation = In.AddressOrderedAllocation ? 1 : 0;
+}
+
 void cgc_config_init(cgc_config *Config) {
   if (!Config)
     return;
-  GcConfig Defaults;
-  Config->window_bytes = Defaults.WindowBytes;
-  Config->max_heap_bytes = Defaults.MaxHeapBytes;
-  Config->heap_base_offset = 0;
-  Config->interior_policy = CGC_INTERIOR_ALL;
-  Config->blacklist_mode = CGC_BLACKLIST_FLAT;
-  Config->blacklist_aging = Defaults.BlacklistAging ? 1 : 0;
-  Config->gc_at_startup = Defaults.GcAtStartup ? 1 : 0;
-  Config->lazy_sweep = 0;
-  Config->root_scan_alignment = Defaults.RootScanAlignment;
-  Config->mark_threads = Defaults.MarkThreads;
-  Config->all_interior_pointers_avoid_spans = 0;
+  fillCConfig(Config, GcConfig());
 }
 
 cgc_collector *cgc_create(const cgc_config *Config) {
@@ -150,6 +251,20 @@ void cgc_set_mark_threads(cgc_collector *GC, unsigned Threads) {
 
 unsigned cgc_mark_threads(cgc_collector *GC) {
   return GC->GC.markThreads();
+}
+
+void cgc_set_sweep_threads(cgc_collector *GC, unsigned Threads) {
+  GC->GC.setSweepThreads(Threads);
+}
+
+unsigned cgc_sweep_threads(cgc_collector *GC) {
+  return GC->GC.sweepThreads();
+}
+
+void cgc_current_config(cgc_collector *GC, cgc_config *Out) {
+  if (!Out)
+    return;
+  fillCConfig(Out, GC->GC.config());
 }
 
 unsigned cgc_add_gc_observer(cgc_collector *GC, cgc_gc_event_fn Fn,

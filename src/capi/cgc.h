@@ -48,6 +48,21 @@ enum {
   CGC_BLACKLIST_HASHED = 2,
 };
 
+/* Heap placements (see core/GcConfig.h; the paper's "properly
+ * positioning the heap in the address space"). */
+enum {
+  CGC_PLACEMENT_HIGH_BITS_MIXED = 0, /* the recommended default */
+  CGC_PLACEMENT_LOW_SBRK = 1,
+  CGC_PLACEMENT_ASCII_RANGE = 2,
+  CGC_PLACEMENT_CUSTOM = 3,          /* use heap_base_offset    */
+};
+
+/* Stack-clearing modes (the paper's section-3.1 technique). */
+enum {
+  CGC_STACK_CLEAR_OFF = 0,
+  CGC_STACK_CLEAR_CHEAP = 1,
+};
+
 /* Collection pipeline phases, in the order every collection runs them:
  * root-scan -> mark -> blacklist-promote -> sweep -> finalize.  Event
  * observers (cgc_add_observer) receive begin/end callbacks per phase.
@@ -81,9 +96,32 @@ typedef struct cgc_config {
    */
   unsigned mark_threads;
   int all_interior_pointers_avoid_spans; /* reserved; must be 0        */
+  /* Sweep-phase worker threads.  0 or 1 = the paper's sequential
+   * sweep (the default); N > 1 shards the block list across the same
+   * persistent worker pool the mark phase uses.  The retained set,
+   * free-list order, and every statistics counter are identical for
+   * any value; only sweep wall-clock time changes.  Clamped to 64.
+   */
+  unsigned sweep_threads;
+  int heap_placement;                    /* CGC_PLACEMENT_*            */
+  unsigned heap_growth_pages;            /* 0 = default (256)          */
+  int decommit_freed_pages;              /* boolean                    */
+  unsigned heap_scan_alignment;          /* 1, 2, 4, or 8; 0 = default */
+  unsigned hashed_blacklist_bits_log2;   /* 0 = default (16)           */
+  int precise_free_slot_detection;       /* boolean                    */
+  double collect_before_growth_ratio;    /* <= 0 = default (0.5)       */
+  unsigned long long min_heap_bytes_before_gc; /* 0 = default (1 MiB)  */
+  int stack_clearing;                    /* CGC_STACK_CLEAR_*          */
+  unsigned stack_clear_chunk_bytes;      /* 0 = default (4096)         */
+  unsigned stack_clear_every_n_allocs;   /* 0 = default (64)           */
+  int avoid_trailing_zero_addresses;     /* boolean                    */
+  int clear_freed_objects;               /* boolean                    */
+  int address_ordered_allocation;        /* boolean                    */
 } cgc_config;
 
-/* Fills *config with the library defaults. */
+/* Fills *config with the library defaults.  Every field of the C++
+ * GcConfig has a counterpart here, initialized to the same default;
+ * cgc_current_config reads the resolved configuration back. */
 void cgc_config_init(cgc_config *config);
 
 /* Creates/destroys a collector.  NULL config = defaults. */
@@ -113,6 +151,17 @@ unsigned long long cgc_gcollect(cgc_collector *gc);
  * cgc_config.mark_threads; 0 is treated as 1). */
 void cgc_set_mark_threads(cgc_collector *gc, unsigned threads);
 unsigned cgc_mark_threads(cgc_collector *gc);
+
+/* Sets the sweep-phase worker count for future collections (see
+ * cgc_config.sweep_threads; 0 is treated as 1). */
+void cgc_set_sweep_threads(cgc_collector *gc, unsigned threads);
+unsigned cgc_sweep_threads(cgc_collector *gc);
+
+/* Fills *out with gc's resolved configuration — the exact settings the
+ * collector is running with, after defaulting and clamping.  A config
+ * passed to cgc_create round-trips: every field set to a definite
+ * value comes back unchanged. */
+void cgc_current_config(cgc_collector *gc, cgc_config *out);
 
 /* --- observability --------------------------------------------------- */
 

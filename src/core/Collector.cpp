@@ -57,8 +57,14 @@ Collector::Collector(const GcConfig &Cfg) : Config(Cfg) {
     return BlacklistImpl->isBlacklisted(Page);
   });
 
+  // One persistent pool serves both parallel phases: threads are
+  // spawned lazily at the first collection that wants them and parked
+  // between phases, never constructed per collection.
+  Pool = std::make_unique<GcWorkerPool>();
   MarkerImpl = std::make_unique<Marker>(*Arena, *Pages, *Map, *Blocks,
-                                        *Heap, *BlacklistImpl, Config);
+                                        *Heap, *BlacklistImpl, *Pool,
+                                        Config);
+  SweepCtx = std::make_unique<SweepContext>(*Heap, *Pool, Config);
 
   // GcStats consumes the observer layer like any other client: the
   // timing sink is the first registered observer, so later observers
@@ -278,7 +284,7 @@ CollectionStats Collector::collect(const char *Reason) {
     reportLeaks();
 
   runPhase(GcPhase::Sweep, Cycle, [&] {
-    SweepResult Swept = Heap->sweep();
+    SweepResult Swept = SweepCtx->run(Cycle);
     Cycle.ObjectsSweptFree = Swept.ObjectsSweptFree;
     Cycle.BytesSweptFree = Swept.BytesSweptFree;
     Cycle.ObjectsLive = Swept.ObjectsLive;
@@ -472,8 +478,10 @@ void Collector::printReport(std::FILE *Out) const {
                  gcPhaseName(static_cast<GcPhase>(I)),
                  Lifetime.TotalPhaseNanos[I] / 1e6,
                  I + 1 == NumGcPhases ? "\n" : ",");
-  std::fprintf(Out, "mark workers    : %u configured\n",
-               Config.MarkThreads);
+  std::fprintf(Out, "workers         : %u mark, %u sweep configured; "
+                    "%u pool thread(s) spawned\n",
+               Config.MarkThreads, Config.SweepThreads,
+               Pool->threadsSpawned());
   std::fprintf(Out, "last cycle      : %llu live objects (%llu KiB), "
                     "%llu freed, %llu pinned slots\n",
                (unsigned long long)LastCycle.ObjectsLive,

@@ -36,6 +36,7 @@
 #include "core/GcPhase.h"
 #include "core/GcStats.h"
 #include "core/Marker.h"
+#include "core/SweepContext.h"
 #include "heap/ObjectHeap.h"
 #include "roots/MachineStack.h"
 #include "roots/RootSet.h"
@@ -108,6 +109,15 @@ public:
     Config.MarkThreads = Threads == 0 ? 1 : Threads;
   }
   unsigned markThreads() const { return Config.MarkThreads; }
+
+  /// Sets the Sweep-phase worker count for future collections (clamped
+  /// to [1, SweepContext::MaxWorkers]).  1 = the paper's sequential
+  /// sweep; any value yields the identical retained set, free-list
+  /// order, and counters.
+  void setSweepThreads(unsigned Threads) {
+    Config.SweepThreads = Threads == 0 ? 1 : Threads;
+  }
+  unsigned sweepThreads() const { return Config.SweepThreads; }
 
   /// Runs the mark phase only — no sweep, no finalization — so the heap
   /// is unchanged.  Experiments use this to ask "what would appear
@@ -254,6 +264,10 @@ public:
   Marker &marker() { return *MarkerImpl; }
   Blacklist &blacklist() { return *BlacklistImpl; }
   RootSet &roots() { return Roots; }
+  /// The persistent worker pool shared by the Mark and Sweep phases.
+  /// Threads are spawned lazily at the first parallel phase and parked
+  /// between collections; tests assert on threadsSpawned().
+  GcWorkerPool &workerPool() { return *Pool; }
 
 private:
   /// Feeds the observer layer's phase-end events back into the current
@@ -288,7 +302,11 @@ private:
   std::unique_ptr<BlockTable> Blocks;
   std::unique_ptr<ObjectHeap> Heap;
   std::unique_ptr<Blacklist> BlacklistImpl;
+  /// Declared before the phase drivers that borrow it so it outlives
+  /// them on destruction.
+  std::unique_ptr<GcWorkerPool> Pool;
   std::unique_ptr<Marker> MarkerImpl;
+  std::unique_ptr<SweepContext> SweepCtx;
   RootSet Roots;
   FinalizationQueue Finalizers;
   std::optional<MachineStack> MachineStackScanner;

@@ -115,6 +115,16 @@ struct GcConfig {
   /// phase's wall-clock time changes.  Clamped to [1, 64].
   unsigned MarkThreads = 1;
 
+  /// Workers sweeping small blocks in the Sweep phase.  1 (the default)
+  /// runs the paper's exact sequential sweep.  N > 1 shards the live
+  /// block list across persistent pool workers; block dispositions are
+  /// applied in sequential visit order afterwards, so the retained set,
+  /// free-list order, and all CollectionStats counters are identical
+  /// for any value.  Under LazySweep the collection-time Sweep phase
+  /// only queues blocks, so this knob has no effect there.  Clamped to
+  /// [1, 64].
+  unsigned SweepThreads = 1;
+
   /// Collect before growing the heap once allocation since the last
   /// collection exceeds this fraction of the committed heap.
   double CollectBeforeGrowthRatio = 0.5;

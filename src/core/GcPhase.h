@@ -10,8 +10,9 @@
 /// presents one monolithic mark-sweep cycle; structuring it as named
 /// phases with per-phase timing gives every phase a checkable boundary
 /// (in the spirit of verified-GC work, where phase invariants are the
-/// proof obligations) and lets the Mark phase run on multiple workers
-/// without touching the phases around it.
+/// proof obligations) and lets the Mark and Sweep phases run on the
+/// collector's persistent worker pool (core/GcWorkerPool.h) without
+/// touching the phases around them.
 ///
 /// Pipeline order, fixed for every collection:
 ///
@@ -29,7 +30,8 @@
 ///                        this cycle's near-miss candidates into the
 ///                        active blacklist (aging happens here too).
 ///   * Sweep            — reclaim unmarked objects, pin marked-free
-///                        slots, release empty blocks.
+///                        slots, release empty blocks (1..N pool
+///                        workers; see core/SweepContext.h).
 ///   * Finalize         — publish staged finalizers to the ready queue
 ///                        and emit object-retained observer events.
 ///

@@ -74,6 +74,10 @@ struct CollectionStats {
   /// Mark workers used by this cycle's Mark phase (GcConfig::MarkThreads
   /// at the time of collection; 1 = the paper's sequential marker).
   uint32_t MarkWorkers = 1;
+  /// Sweep workers used by this cycle's Sweep phase
+  /// (GcConfig::SweepThreads at the time of collection; 1 = the paper's
+  /// sequential sweep).
+  uint32_t SweepWorkers = 1;
   /// Nanoseconds spent in each pipeline phase (indexed by GcPhase).
   uint64_t PhaseNanos[NumGcPhases] = {};
   /// Aggregate nanoseconds: MarkNanos covers RootScan + Mark +

@@ -1,0 +1,87 @@
+//===- core/GcWorkerPool.cpp - Persistent GC worker threads ---------------===//
+
+#include "core/GcWorkerPool.h"
+#include "support/Assert.h"
+#include <algorithm>
+
+using namespace cgc;
+
+GcWorkerPool::~GcWorkerPool() {
+  {
+    std::lock_guard<std::mutex> Guard(Lock);
+    ShuttingDown = true;
+  }
+  WorkReady.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+unsigned GcWorkerPool::threadsSpawned() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return static_cast<unsigned>(Threads.size());
+}
+
+uint64_t GcWorkerPool::jobsDispatched() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return Generation;
+}
+
+void GcWorkerPool::ensureThreads(unsigned Count) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  while (Threads.size() < Count) {
+    unsigned Index = static_cast<unsigned>(Threads.size());
+    // A thread spawned mid-life must not run a job dispatched before it
+    // existed: it starts already caught up with the current generation.
+    Threads.emplace_back(
+        [this, Index, Gen = Generation] { threadMain(Index, Gen); });
+  }
+}
+
+void GcWorkerPool::runOn(unsigned Workers,
+                         const std::function<void(unsigned)> &Fn) {
+  Workers = std::clamp(Workers, 1u, MaxWorkers);
+  if (Workers == 1) {
+    // Sequential phases bypass the pool entirely: no threads, no
+    // locks, nothing the paper's configurations could observe.
+    Fn(0);
+    return;
+  }
+  ensureThreads(Workers - 1);
+  {
+    std::lock_guard<std::mutex> Guard(Lock);
+    CGC_ASSERT(Job == nullptr, "nested GcWorkerPool::runOn");
+    Job = &Fn;
+    JobWorkers = Workers;
+    Remaining = Workers - 1;
+    ++Generation;
+  }
+  WorkReady.notify_all();
+  // The caller is always worker 0, so a phase keeps making progress
+  // even if the OS is slow to schedule the pool threads.
+  Fn(0);
+  std::unique_lock<std::mutex> Guard(Lock);
+  JobDone.wait(Guard, [this] { return Remaining == 0; });
+  Job = nullptr;
+}
+
+void GcWorkerPool::threadMain(unsigned Index, uint64_t StartGeneration) {
+  uint64_t Seen = StartGeneration;
+  std::unique_lock<std::mutex> Guard(Lock);
+  for (;;) {
+    WorkReady.wait(Guard,
+                   [&] { return ShuttingDown || Generation != Seen; });
+    if (ShuttingDown)
+      return;
+    Seen = Generation;
+    // A job may ask for fewer workers than the pool has spawned; the
+    // extras stay parked but still acknowledge the generation.
+    if (Index + 1 >= JobWorkers)
+      continue;
+    const std::function<void(unsigned)> *MyJob = Job;
+    Guard.unlock();
+    (*MyJob)(Index + 1);
+    Guard.lock();
+    if (--Remaining == 0)
+      JobDone.notify_one();
+  }
+}

@@ -60,9 +60,10 @@ constexpr size_t ExposeBatch = ExposeThreshold / 2;
 
 MarkContext::MarkContext(VirtualArena &Arena, PageAllocator &Pages,
                          PageMap &Map, BlockTable &Blocks, ObjectHeap &Heap,
-                         Blacklist &BlacklistImpl, const GcConfig &Config)
+                         Blacklist &BlacklistImpl, GcWorkerPool &Pool,
+                         const GcConfig &Config)
     : Arena(Arena), Pages(Pages), Map(Map), Blocks(Blocks), Heap(Heap),
-      BlacklistImpl(BlacklistImpl), Config(Config) {}
+      BlacklistImpl(BlacklistImpl), Pool(Pool), Config(Config) {}
 
 MarkContext::~MarkContext() = default;
 
@@ -138,13 +139,10 @@ void MarkContext::mark(std::vector<MarkWorkItem> &Seeds, unsigned Workers,
   InFlight.store(Seeds.size(), std::memory_order_relaxed);
   Seeds.clear();
 
-  std::vector<std::thread> Threads;
-  Threads.reserve(Workers - 1);
-  for (unsigned I = 1; I != Workers; ++I)
-    Threads.emplace_back([&WorkersVec, I] { WorkersVec[I]->runParallel(); });
-  WorkersVec[0]->runParallel();
-  for (std::thread &T : Threads)
-    T.join();
+  // Hand the drain to the persistent pool: worker 0 is this thread,
+  // the rest are parked pool threads (spawned once, ever).
+  Pool.runOn(Workers,
+             [&WorkersVec](unsigned Id) { WorkersVec[Id]->runParallel(); });
 
   // Sequential epilogue: replay buffered blacklist candidates in worker
   // order, then fold the per-worker counters into the cycle record.

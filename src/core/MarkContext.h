@@ -25,6 +25,11 @@
 ///     candidates are buffered per worker and flushed sequentially
 ///     after the workers join (the Blacklist is single-threaded).
 ///
+/// MarkContext is a pure marking algorithm: it owns no threads.  The
+/// parallel path borrows the collector's persistent GcWorkerPool
+/// (spawn-once, parked between phases), so short collection cycles pay
+/// no thread-spawn cost.
+///
 /// Sequential marking (MarkThreads == 1) bypasses all of the above: the
 /// single worker drains one external LIFO vector exactly as the seed
 /// collector's drainMarkStack did, so paper experiments are untouched.
@@ -40,6 +45,7 @@
 #include "core/Blacklist.h"
 #include "core/GcConfig.h"
 #include "core/GcStats.h"
+#include "core/GcWorkerPool.h"
 #include "heap/ObjectHeap.h"
 #include "roots/RootSet.h"
 #include <atomic>
@@ -63,11 +69,12 @@ class MarkContext {
 public:
   /// Hard cap on mark workers (queue slots are preallocated lazily up
   /// to this).
-  static constexpr unsigned MaxWorkers = 64;
+  static constexpr unsigned MaxWorkers = GcWorkerPool::MaxWorkers;
 
   MarkContext(VirtualArena &Arena, PageAllocator &Pages, PageMap &Map,
               BlockTable &Blocks, ObjectHeap &Heap,
-              Blacklist &BlacklistImpl, const GcConfig &Config);
+              Blacklist &BlacklistImpl, GcWorkerPool &Pool,
+              const GcConfig &Config);
   ~MarkContext();
 
   /// Resolves \p Candidate under the configured policies without
@@ -83,9 +90,9 @@ public:
   /// Transitively marks the heap from \p Seeds, which is consumed.
   /// \p Workers == 1 drains \p Seeds in place, LIFO — the paper's exact
   /// sequential marker; \p Workers > 1 (clamped to MaxWorkers) seeds
-  /// that many MarkWorkers round-robin and runs them to quiescence,
-  /// with the caller's thread as worker 0.  Scan counters accumulate
-  /// into \p Stats.
+  /// that many MarkWorkers round-robin and runs them to quiescence on
+  /// the persistent worker pool, with the caller's thread as worker 0.
+  /// Scan counters accumulate into \p Stats.
   void mark(std::vector<MarkWorkItem> &Seeds, unsigned Workers,
             CollectionStats &Stats);
 
@@ -104,6 +111,8 @@ private:
   BlockTable &Blocks;
   ObjectHeap &Heap;
   Blacklist &BlacklistImpl;
+  /// The collector-wide persistent worker pool; borrowed, never owned.
+  GcWorkerPool &Pool;
   const GcConfig &Config;
   /// Sorted extra displacements valid under BaseOnly (0 is implicit).
   std::vector<uint32_t> Displacements;

@@ -7,9 +7,11 @@ using namespace cgc;
 
 Marker::Marker(VirtualArena &Arena, PageAllocator &Pages, PageMap &Map,
                BlockTable &Blocks, ObjectHeap &Heap,
-               Blacklist &BlacklistImpl, const GcConfig &Config)
+               Blacklist &BlacklistImpl, GcWorkerPool &Pool,
+               const GcConfig &Config)
     : Blocks(Blocks), Heap(Heap), Config(Config),
-      Context(Arena, Pages, Map, Blocks, Heap, BlacklistImpl, Config) {}
+      Context(Arena, Pages, Map, Blocks, Heap, BlacklistImpl, Pool,
+              Config) {}
 
 void Marker::markUncollectableObjects(CollectionStats &Stats) {
   Blocks.forEach([&](BlockId, BlockDescriptor &Block) {

@@ -57,7 +57,7 @@ class Marker {
 public:
   Marker(VirtualArena &Arena, PageAllocator &Pages, PageMap &Map,
          BlockTable &Blocks, ObjectHeap &Heap, Blacklist &BlacklistImpl,
-         const GcConfig &Config);
+         GcWorkerPool &Pool, const GcConfig &Config);
 
   /// RootScan phase: clears marks, marks uncollectable objects, scans
   /// \p Roots, and seeds the mark queue with everything reached.

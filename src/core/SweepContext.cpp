@@ -1,0 +1,59 @@
+//===- core/SweepContext.cpp - Parallel sweep phase ----------------------===//
+
+#include "core/SweepContext.h"
+#include <algorithm>
+
+using namespace cgc;
+
+namespace {
+/// One planned block's body output, filled in by whichever worker swept
+/// it and consumed by the sequential merge.
+struct SweepOutcome {
+  uint64_t BytesFreed = 0;
+  SweepDisposition Disposition = SweepDisposition::Keep;
+};
+} // namespace
+
+SweepResult SweepContext::run(CollectionStats &Stats) {
+  unsigned Workers = std::clamp(Config.SweepThreads, 1u, MaxWorkers);
+  Stats.SweepWorkers = Workers;
+
+  SweepResult Result;
+  ObjectHeap::SweepPlan Plan = Heap.beginSweep(Result);
+
+  // Too little work to shard (or sequential configured): sweep inline.
+  // This is byte-for-byte ObjectHeap::sweep().
+  if (Workers == 1 || Plan.SmallBlocks.size() < 2) {
+    for (BlockId Id : Plan.SmallBlocks)
+      Heap.sweepSmallBlock(Id, Result);
+    Heap.finishSweep(Plan, Result);
+    return Result;
+  }
+
+  // Shard the plan stride-wise across the pool.  Worker W sweeps plan
+  // entries W, W+N, W+2N, ...: bodies touch only their own block plus
+  // the worker's private Result and the block's preassigned outcome
+  // slot, so no two workers ever write the same location.
+  std::vector<SweepResult> WorkerResults(Workers);
+  std::vector<SweepOutcome> Outcomes(Plan.SmallBlocks.size());
+  BlockTable &Blocks = Heap.blockTable();
+  Pool.runOn(Workers, [&](unsigned WorkerId) {
+    SweepResult &Mine = WorkerResults[WorkerId];
+    for (size_t I = WorkerId; I < Plan.SmallBlocks.size(); I += Workers) {
+      SweepOutcome &Out = Outcomes[I];
+      Out.BytesFreed = Heap.sweepSmallBlockBody(
+          Blocks.get(Plan.SmallBlocks[I]), Mine, Out.Disposition);
+    }
+  });
+
+  // Merge sequentially in plan order — the order the sequential sweep
+  // releases and re-lists blocks — then fold the per-worker counters.
+  for (size_t I = 0; I != Plan.SmallBlocks.size(); ++I)
+    Heap.applySweepDisposition(Plan.SmallBlocks[I], Outcomes[I].Disposition,
+                               Outcomes[I].BytesFreed);
+  for (const SweepResult &WorkerResult : WorkerResults)
+    Result.add(WorkerResult);
+
+  Heap.finishSweep(Plan, Result);
+  return Result;
+}

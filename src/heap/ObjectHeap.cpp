@@ -287,20 +287,25 @@ void ObjectHeap::clearMarks() {
   });
 }
 
-bool ObjectHeap::sweepSmallBlock(BlockId Id, SweepResult &Result) {
-  BlockDescriptor &Block = Blocks.get(Id);
+uint64_t ObjectHeap::sweepSmallBlockBody(BlockDescriptor &Block,
+                                         SweepResult &Result,
+                                         SweepDisposition &Disposition) {
   CGC_ASSERT(!Block.IsLarge && Block.Kind != ObjectKind::Uncollectable,
-             "sweepSmallBlock on wrong block kind");
-  // Free unmarked allocated slots, pin marked free slots.
+             "sweepSmallBlockBody on wrong block kind");
+  // Free unmarked allocated slots, pin marked free slots.  Everything
+  // written here is local to the block (its bitmaps, counts, and page
+  // contents) or to the caller's Result, so sweep workers can run this
+  // concurrently on disjoint blocks.
   Block.PinnedBits.clearAll();
   Block.PinnedCount = 0;
+  uint64_t BytesFreed = 0;
   for (uint32_t Slot = 0; Slot != Block.ObjectCount; ++Slot) {
     bool Marked = Block.MarkBits.test(Slot);
     bool Allocated = Block.AllocBits.test(Slot);
     if (Allocated && !Marked) {
       Block.AllocBits.reset(Slot);
       --Block.AllocatedCount;
-      AllocatedBytes -= Block.ObjectSize;
+      BytesFreed += Block.ObjectSize;
       Result.BytesSweptFree += Block.ObjectSize;
       ++Result.ObjectsSweptFree;
       if (Config.ClearFreedObjects)
@@ -316,17 +321,41 @@ bool ObjectHeap::sweepSmallBlock(BlockId Id, SweepResult &Result) {
   Result.SlotsPinned += Block.PinnedCount;
   if (Block.AllocatedCount == 0 && Block.PinnedCount == 0) {
     Result.PagesReleased += Block.NumPages;
-    releaseBlock(Id);
-    return false;
+    Disposition = SweepDisposition::Release;
+  } else if (Block.usableFreeCount() > 0) {
+    Disposition = SweepDisposition::Relist;
+  } else {
+    Disposition = SweepDisposition::Keep;
   }
-  if (Block.usableFreeCount() > 0)
-    addToClassList(Block, Id);
-  return true;
+  return BytesFreed;
 }
 
-SweepResult ObjectHeap::sweep() {
-  SweepResult Result;
-  std::vector<BlockId> ToRelease;
+bool ObjectHeap::applySweepDisposition(BlockId Id,
+                                       SweepDisposition Disposition,
+                                       uint64_t BytesFreed) {
+  AllocatedBytes -= BytesFreed;
+  switch (Disposition) {
+  case SweepDisposition::Release:
+    releaseBlock(Id);
+    return false;
+  case SweepDisposition::Relist:
+    addToClassList(Blocks.get(Id), Id);
+    return true;
+  case SweepDisposition::Keep:
+    return true;
+  }
+  CGC_UNREACHABLE("bad sweep disposition");
+}
+
+bool ObjectHeap::sweepSmallBlock(BlockId Id, SweepResult &Result) {
+  SweepDisposition Disposition;
+  uint64_t BytesFreed =
+      sweepSmallBlockBody(Blocks.get(Id), Result, Disposition);
+  return applySweepDisposition(Id, Disposition, BytesFreed);
+}
+
+ObjectHeap::SweepPlan ObjectHeap::beginSweep(SweepResult &Result) {
+  SweepPlan Plan;
 
   // Empty the per-class lists: every small block is either re-listed by
   // its (eager or lazy) sweep or released.
@@ -369,7 +398,7 @@ SweepResult ObjectHeap::sweep() {
         ++Result.ObjectsSweptFree;
         Result.PagesReleased += Block.NumPages;
         AllocatedBytes -= Block.ObjectSize;
-        ToRelease.push_back(Id);
+        Plan.LargeToRelease.push_back(Id);
       } else {
         ++Result.ObjectsLive;
         Result.BytesLive += Block.ObjectSize;
@@ -382,13 +411,25 @@ SweepResult ObjectHeap::sweep() {
       ++PendingSweeps;
       return;
     }
-    sweepSmallBlock(Id, Result);
+    Plan.SmallBlocks.push_back(Id);
   });
 
-  for (BlockId Id : ToRelease)
-    releaseBlock(Id);
+  return Plan;
+}
 
+void ObjectHeap::finishSweep(const SweepPlan &Plan,
+                             const SweepResult &Result) {
+  for (BlockId Id : Plan.LargeToRelease)
+    releaseBlock(Id);
   Stats.PinnedSlots = Result.SlotsPinned;
+}
+
+SweepResult ObjectHeap::sweep() {
+  SweepResult Result;
+  SweepPlan Plan = beginSweep(Result);
+  for (BlockId Id : Plan.SmallBlocks)
+    sweepSmallBlock(Id, Result);
+  finishSweep(Plan, Result);
   return Result;
 }
 

@@ -1,6 +1,7 @@
 //===- tests/TestCApi.cpp - C API tests -----------------------------------===//
 
 #include "capi/cgc.h"
+#include "core/GcConfig.h"
 #include <cstring>
 #include <gtest/gtest.h>
 
@@ -31,6 +32,132 @@ TEST(CApi, ConfigDefaults) {
   EXPECT_EQ(Config.blacklist_mode, CGC_BLACKLIST_FLAT);
   EXPECT_EQ(Config.gc_at_startup, 1);
   cgc_config_init(nullptr); // Must not crash.
+}
+
+// Field-by-field audit: cgc_config_init must agree with the C++
+// GcConfig defaults for EVERY field, so the C mirror cannot silently
+// drift as knobs are added.
+TEST(CApi, ConfigDefaultsMatchGcConfig) {
+  cgc_config C;
+  cgc_config_init(&C);
+  cgc::GcConfig D;
+  EXPECT_EQ(C.window_bytes, D.WindowBytes);
+  EXPECT_EQ(C.max_heap_bytes, D.MaxHeapBytes);
+  EXPECT_EQ(C.heap_base_offset, 0u) << "default placement is not Custom";
+  EXPECT_EQ(C.heap_placement, CGC_PLACEMENT_HIGH_BITS_MIXED);
+  EXPECT_EQ(C.heap_growth_pages, D.HeapGrowthPages);
+  EXPECT_EQ(C.decommit_freed_pages, D.DecommitFreedPages ? 1 : 0);
+  EXPECT_EQ(C.interior_policy, CGC_INTERIOR_ALL);
+  EXPECT_EQ(C.blacklist_mode, CGC_BLACKLIST_FLAT);
+  EXPECT_EQ(C.blacklist_aging, D.BlacklistAging ? 1 : 0);
+  EXPECT_EQ(C.hashed_blacklist_bits_log2, D.HashedBlacklistBitsLog2);
+  EXPECT_EQ(C.gc_at_startup, D.GcAtStartup ? 1 : 0);
+  EXPECT_EQ(C.lazy_sweep, D.LazySweep ? 1 : 0);
+  EXPECT_EQ(C.root_scan_alignment, D.RootScanAlignment);
+  EXPECT_EQ(C.heap_scan_alignment, D.HeapScanAlignment);
+  EXPECT_EQ(C.mark_threads, D.MarkThreads);
+  EXPECT_EQ(C.sweep_threads, D.SweepThreads);
+  EXPECT_EQ(C.all_interior_pointers_avoid_spans, 0);
+  EXPECT_EQ(C.precise_free_slot_detection,
+            D.PreciseFreeSlotDetection ? 1 : 0);
+  EXPECT_DOUBLE_EQ(C.collect_before_growth_ratio,
+                   D.CollectBeforeGrowthRatio);
+  EXPECT_EQ(C.min_heap_bytes_before_gc, D.MinHeapBytesBeforeGc);
+  EXPECT_EQ(C.stack_clearing, CGC_STACK_CLEAR_OFF);
+  EXPECT_EQ(C.stack_clear_chunk_bytes, D.StackClearChunkBytes);
+  EXPECT_EQ(C.stack_clear_every_n_allocs, D.StackClearEveryNAllocs);
+  EXPECT_EQ(C.avoid_trailing_zero_addresses,
+            D.AvoidTrailingZeroAddresses ? 1 : 0);
+  EXPECT_EQ(C.clear_freed_objects, D.ClearFreedObjects ? 1 : 0);
+  EXPECT_EQ(C.address_ordered_allocation,
+            D.AddressOrderedAllocation ? 1 : 0);
+}
+
+// Every field set to a non-default value must round-trip through
+// cgc_create -> cgc_current_config unchanged.
+TEST(CApi, ConfigRoundTripsThroughCollector) {
+  cgc_config In;
+  cgc_config_init(&In);
+  In.window_bytes = 512ULL << 20;
+  In.max_heap_bytes = 64ULL << 20;
+  In.heap_placement = CGC_PLACEMENT_CUSTOM;
+  In.heap_base_offset = 32ULL << 20;
+  In.heap_growth_pages = 128;
+  In.decommit_freed_pages = 0;
+  In.interior_policy = CGC_INTERIOR_FIRST_PAGE;
+  In.blacklist_mode = CGC_BLACKLIST_HASHED;
+  In.blacklist_aging = 0;
+  In.hashed_blacklist_bits_log2 = 12;
+  In.gc_at_startup = 0;
+  In.lazy_sweep = 1;
+  In.root_scan_alignment = 8;
+  In.heap_scan_alignment = 4;
+  In.mark_threads = 3;
+  In.sweep_threads = 5;
+  In.precise_free_slot_detection = 1;
+  In.collect_before_growth_ratio = 0.75;
+  In.min_heap_bytes_before_gc = 2ULL << 20;
+  In.stack_clearing = CGC_STACK_CLEAR_CHEAP;
+  In.stack_clear_chunk_bytes = 8192;
+  In.stack_clear_every_n_allocs = 32;
+  In.avoid_trailing_zero_addresses = 0;
+  In.clear_freed_objects = 0;
+  In.address_ordered_allocation = 0;
+
+  cgc_collector *GC = cgc_create(&In);
+  ASSERT_NE(GC, nullptr);
+  cgc_config Out;
+  std::memset(&Out, 0xff, sizeof(Out)); // Poison: every field must be set.
+  cgc_current_config(GC, &Out);
+  EXPECT_EQ(Out.window_bytes, In.window_bytes);
+  EXPECT_EQ(Out.max_heap_bytes, In.max_heap_bytes);
+  EXPECT_EQ(Out.heap_placement, CGC_PLACEMENT_CUSTOM);
+  EXPECT_EQ(Out.heap_base_offset, In.heap_base_offset);
+  EXPECT_EQ(Out.heap_growth_pages, In.heap_growth_pages);
+  EXPECT_EQ(Out.decommit_freed_pages, In.decommit_freed_pages);
+  EXPECT_EQ(Out.interior_policy, In.interior_policy);
+  EXPECT_EQ(Out.blacklist_mode, In.blacklist_mode);
+  EXPECT_EQ(Out.blacklist_aging, In.blacklist_aging);
+  EXPECT_EQ(Out.hashed_blacklist_bits_log2, In.hashed_blacklist_bits_log2);
+  EXPECT_EQ(Out.gc_at_startup, In.gc_at_startup);
+  EXPECT_EQ(Out.lazy_sweep, In.lazy_sweep);
+  EXPECT_EQ(Out.root_scan_alignment, In.root_scan_alignment);
+  EXPECT_EQ(Out.heap_scan_alignment, In.heap_scan_alignment);
+  EXPECT_EQ(Out.mark_threads, In.mark_threads);
+  EXPECT_EQ(Out.sweep_threads, In.sweep_threads);
+  EXPECT_EQ(Out.all_interior_pointers_avoid_spans, 0);
+  EXPECT_EQ(Out.precise_free_slot_detection, In.precise_free_slot_detection);
+  EXPECT_DOUBLE_EQ(Out.collect_before_growth_ratio,
+                   In.collect_before_growth_ratio);
+  EXPECT_EQ(Out.min_heap_bytes_before_gc, In.min_heap_bytes_before_gc);
+  EXPECT_EQ(Out.stack_clearing, In.stack_clearing);
+  EXPECT_EQ(Out.stack_clear_chunk_bytes, In.stack_clear_chunk_bytes);
+  EXPECT_EQ(Out.stack_clear_every_n_allocs, In.stack_clear_every_n_allocs);
+  EXPECT_EQ(Out.avoid_trailing_zero_addresses,
+            In.avoid_trailing_zero_addresses);
+  EXPECT_EQ(Out.clear_freed_objects, In.clear_freed_objects);
+  EXPECT_EQ(Out.address_ordered_allocation, In.address_ordered_allocation);
+  cgc_destroy(GC);
+}
+
+TEST(CApi, SweepThreadsAccessors) {
+  cgc_config Config = testConfig();
+  cgc_collector *GC = cgc_create(&Config);
+  EXPECT_EQ(cgc_sweep_threads(GC), 1u);
+  cgc_set_sweep_threads(GC, 4);
+  EXPECT_EQ(cgc_sweep_threads(GC), 4u);
+  cgc_set_sweep_threads(GC, 0); // 0 means sequential.
+  EXPECT_EQ(cgc_sweep_threads(GC), 1u);
+
+  // A parallel-sweep collection through the C API behaves like the
+  // sequential one: the unrooted object is reclaimed.
+  cgc_set_sweep_threads(GC, 4);
+  void *P = cgc_malloc(GC, 64);
+  ASSERT_NE(P, nullptr);
+  unsigned long long Freed = cgc_gcollect(GC);
+  EXPECT_GE(Freed, 64u);
+  EXPECT_EQ(cgc_live_bytes(GC), 0u);
+  cgc_destroy(GC);
 }
 
 TEST(CApi, CreateAllocateCollectDestroy) {
