@@ -161,20 +161,44 @@ void ExplicitHeap::free(void *Ptr) {
   pushFree(Offset);
 }
 
-void ExplicitHeap::verifyHeap() const {
+HeapVerifyReport ExplicitHeap::verify() const {
+  HeapVerifyReport R;
   uint64_t Offset = 16;
   uint64_t PrevSize = 0;
   bool PrevFree = false;
   while (Offset < Top) {
     const Header *H = headerAt(Offset);
-    CGC_CHECK(H->size() >= MinBlockBytes && H->size() % 16 == 0,
-              "bad block size");
-    CGC_CHECK(H->PrevSize == PrevSize, "boundary tag mismatch");
-    CGC_CHECK(!(PrevFree && !H->inUse()),
-              "adjacent free blocks not coalesced");
+    if (H->size() < MinBlockBytes || H->size() % 16 != 0) {
+      R.notef("block at offset %llu: bad size %llu",
+              (unsigned long long)Offset, (unsigned long long)H->size());
+      // The walk cannot step past a corrupt size reliably; stop here
+      // rather than cascade one corruption into a flood of noise.
+      return R;
+    }
+    if (H->PrevSize != PrevSize)
+      R.notef("block at offset %llu: boundary tag says previous size "
+              "%llu, walk says %llu",
+              (unsigned long long)Offset, (unsigned long long)H->PrevSize,
+              (unsigned long long)PrevSize);
+    if (PrevFree && !H->inUse())
+      R.notef("block at offset %llu: adjacent free blocks not coalesced",
+              (unsigned long long)Offset);
     PrevFree = !H->inUse();
     PrevSize = H->size();
     Offset += H->size();
   }
-  CGC_CHECK(Offset == Top, "heap walk overshot the top");
+  if (Offset != Top)
+    R.notef("heap walk overshot the top: offset %llu, top %llu",
+            (unsigned long long)Offset, (unsigned long long)Top);
+  return R;
+}
+
+void ExplicitHeap::verifyHeap() const {
+  HeapVerifyReport Report = verify();
+  if (Report.clean())
+    return;
+  std::fprintf(stderr,
+               "explicit heap verification failed (%zu issues):\n%s",
+               Report.Issues.size(), Report.str().c_str());
+  fatalError("explicit heap verification failed", __FILE__, __LINE__);
 }

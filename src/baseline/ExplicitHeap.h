@@ -31,6 +31,7 @@
 #ifndef CGC_BASELINE_EXPLICITHEAP_H
 #define CGC_BASELINE_EXPLICITHEAP_H
 
+#include "heap/HeapVerifier.h"
 #include "heap/VirtualArena.h"
 #include <cstddef>
 #include <cstdint>
@@ -79,8 +80,13 @@ public:
                      static_cast<double>(Stats.FootprintBytes);
   }
 
-  /// Walks the heap checking boundary-tag invariants; aborts on
-  /// corruption.  For tests.
+  /// Walks the heap checking boundary-tag invariants, accumulating a
+  /// diagnostic report in the same format as the GC heap's deep
+  /// verifier (heap/HeapVerifier.h).  For tests.
+  HeapVerifyReport verify() const;
+
+  /// verify(), with the historical abort semantics: prints the full
+  /// report and fatals on any inconsistency.
   void verifyHeap() const;
 
 private:

@@ -2,6 +2,9 @@
 
 #include "capi/cgc.h"
 #include "core/Collector.h"
+#include "support/FaultInjection.h"
+#include <algorithm>
+#include <cstring>
 #include <memory>
 
 using namespace cgc;
@@ -47,6 +50,13 @@ struct cgc_collector {
   explicit cgc_collector(const GcConfig &Config) : GC(Config) {}
   Collector GC;
   std::vector<std::unique_ptr<CEventObserver>> Observers;
+  /// C-side OOM handler and warn proc; bridged through static
+  /// trampolines (GcOomHandler's uint64_t signature need not match the
+  /// C typedefs exactly, so the pointers are never cast across).
+  cgc_oom_fn COomFn = nullptr;
+  void *COomData = nullptr;
+  cgc_warn_fn CWarnFn = nullptr;
+  void *CWarnData = nullptr;
 };
 
 static GcConfig convertConfig(const cgc_config *C) {
@@ -132,6 +142,7 @@ static GcConfig convertConfig(const cgc_config *C) {
   Config.AvoidTrailingZeroAddresses = C->avoid_trailing_zero_addresses != 0;
   Config.ClearFreedObjects = C->clear_freed_objects != 0;
   Config.AddressOrderedAllocation = C->address_ordered_allocation != 0;
+  Config.VerifyEveryCollection = C->verify_every_collection != 0;
   return Config;
 }
 
@@ -206,6 +217,7 @@ static void fillCConfig(cgc_config *Out, const GcConfig &In) {
       In.AvoidTrailingZeroAddresses ? 1 : 0;
   Out->clear_freed_objects = In.ClearFreedObjects ? 1 : 0;
   Out->address_ordered_allocation = In.AddressOrderedAllocation ? 1 : 0;
+  Out->verify_every_collection = In.VerifyEveryCollection ? 1 : 0;
 }
 
 void cgc_config_init(cgc_config *Config) {
@@ -265,6 +277,82 @@ void cgc_current_config(cgc_collector *GC, cgc_config *Out) {
   if (!Out)
     return;
   fillCConfig(Out, GC->GC.config());
+}
+
+/// Trampolines bridging the C++ handler signatures (uint64_t) onto the
+/// C typedefs (size_t / unsigned long long) without casting function
+/// pointers across signatures.
+static void *oomTrampoline(uint64_t Bytes, void *UserData) {
+  auto *Handle = static_cast<cgc_collector *>(UserData);
+  return Handle->COomFn(static_cast<size_t>(Bytes), Handle->COomData);
+}
+
+static void warnTrampoline(const char *Message, uint64_t Value,
+                           void *UserData) {
+  auto *Handle = static_cast<cgc_collector *>(UserData);
+  Handle->CWarnFn(Message, Value, Handle->CWarnData);
+}
+
+void cgc_set_oom_handler(cgc_collector *GC, cgc_oom_fn Fn,
+                         void *ClientData) {
+  GC->COomFn = Fn;
+  GC->COomData = ClientData;
+  GC->GC.setOomHandler(Fn ? oomTrampoline : nullptr, GC);
+}
+
+void cgc_set_warn_proc(cgc_collector *GC, cgc_warn_fn Fn,
+                       void *ClientData) {
+  GC->CWarnFn = Fn;
+  GC->CWarnData = ClientData;
+  GC->GC.setWarnProc(Fn ? warnTrampoline : nullptr, GC);
+}
+
+size_t cgc_verify_heap(cgc_collector *GC, char *Report,
+                       size_t ReportBytes) {
+  HeapVerifyReport Result = GC->GC.verifyHeapReport();
+  if (Report && ReportBytes > 0) {
+    std::string Text = Result.str();
+    size_t Len = std::min(Text.size(), ReportBytes - 1);
+    std::memcpy(Report, Text.data(), Len);
+    Report[Len] = '\0';
+  }
+  return Result.Issues.size();
+}
+
+int cgc_fault_injection_available(void) {
+  return FaultInjectionCompiled ? 1 : 0;
+}
+
+/// Maps a CGC_FAULT_* constant onto the C++ enum; returns false for
+/// out-of-range sites so bad input is a no-op rather than UB.
+static bool convertFaultSite(int Site, FaultSite &Out) {
+  if (Site < 0 || static_cast<unsigned>(Site) >= NumFaultSites)
+    return false;
+  Out = static_cast<FaultSite>(Site);
+  return true;
+}
+
+void cgc_fault_arm(int Site, unsigned long long SkipHits,
+                   unsigned long long FailCount) {
+  FaultSite S;
+  if (convertFaultSite(Site, S))
+    FaultInjector::instance().arm(S, SkipHits, FailCount);
+}
+
+void cgc_fault_arm_random(int Site, double Probability,
+                          unsigned long long Seed) {
+  FaultSite S;
+  if (convertFaultSite(Site, S))
+    FaultInjector::instance().armRandom(S, Probability, Seed);
+}
+
+void cgc_fault_disarm_all(void) { FaultInjector::instance().disarmAll(); }
+
+unsigned long long cgc_fault_fired(int Site) {
+  FaultSite S;
+  if (!convertFaultSite(Site, S))
+    return 0;
+  return FaultInjector::instance().stats(S).Fired;
 }
 
 unsigned cgc_add_gc_observer(cgc_collector *GC, cgc_gc_event_fn Fn,

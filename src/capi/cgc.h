@@ -117,6 +117,12 @@ typedef struct cgc_config {
   int avoid_trailing_zero_addresses;     /* boolean                    */
   int clear_freed_objects;               /* boolean                    */
   int address_ordered_allocation;        /* boolean                    */
+  /* Run the deep heap verifier after every collection phase and abort
+   * with a full diagnostic report on any inconsistency.  Expensive
+   * (O(heap) per phase); meant for fuzzing and debugging.  Also
+   * forced on by the CGC_VERIFY_EVERY_COLLECTION environment
+   * variable. */
+  int verify_every_collection;           /* boolean                    */
 } cgc_config;
 
 /* Fills *config with the library defaults.  Every field of the C++
@@ -162,6 +168,75 @@ unsigned cgc_sweep_threads(cgc_collector *gc);
  * passed to cgc_create round-trips: every field set to a definite
  * value comes back unchanged. */
 void cgc_current_config(cgc_collector *gc, cgc_config *out);
+
+/* --- memory-pressure resilience -------------------------------------- */
+
+/* Out-of-memory handler, invoked exactly once per exhausted request
+ * after the allocation ladder (collect, flush lazy sweeps, grow,
+ * emergency collect with relaxed interior-pointer recognition) has
+ * failed.  bytes is the requested size.  Whatever it returns is
+ * returned from the failed allocation verbatim — return NULL to
+ * propagate the failure, or longjmp/throw to unwind. */
+typedef void *(*cgc_oom_fn)(size_t bytes, void *client_data);
+
+/* Installs (or clears, with NULL) the out-of-memory handler. */
+void cgc_set_oom_handler(cgc_collector *gc, cgc_oom_fn fn,
+                         void *client_data);
+
+/* Warn procedure for rate-limited resilience warnings (repeated
+ * collections reclaiming nothing under allocation pressure, large
+ * allocations on a blacklist-saturated heap).  Each warning kind is
+ * delivered on its 1st, 2nd, 4th, 8th, ... occurrence; value carries
+ * the occurrence count or a size, depending on the message. */
+typedef void (*cgc_warn_fn)(const char *message, unsigned long long value,
+                            void *client_data);
+
+/* Installs (or clears, with NULL) the warn procedure. */
+void cgc_set_warn_proc(cgc_collector *gc, cgc_warn_fn fn,
+                       void *client_data);
+
+/* Runs the deep heap verifier (block table <-> page map <-> free
+ * lists <-> mark bits <-> blacklist cross-checks) and returns the
+ * number of inconsistencies found, 0 for a clean heap.  Never aborts.
+ * When report/report_bytes name a buffer, the human-readable issue
+ * report (one line per issue, NUL-terminated, truncated to fit) is
+ * written into it. */
+size_t cgc_verify_heap(cgc_collector *gc, char *report,
+                       size_t report_bytes);
+
+/* --- fault injection (testing) --------------------------------------- */
+
+/* Injectable failure sites; process-global, shared by every collector
+ * in the process. */
+enum {
+  CGC_FAULT_ARENA_GROW = 0,         /* page commit/grow fails          */
+  CGC_FAULT_PAGE_RUN_SEARCH = 1,    /* free-run search reports no fit  */
+  CGC_FAULT_WORKER_SPAWN = 2,       /* GC worker thread spawn fails    */
+  CGC_FAULT_MARK_STACK_OVERFLOW = 3,/* mark-stack push drops its item  */
+};
+
+/* Returns nonzero when the library was built with the injection hooks
+ * compiled in (CMake option CGC_FAULT_INJECTION).  When it returns 0
+ * the arming calls below are accepted but never fire. */
+int cgc_fault_injection_available(void);
+
+/* Arms a site deterministically: the next skip_hits reaches succeed,
+ * the fail_count after that fail, then the site disarms itself.
+ * fail_count of (unsigned long long)-1 means fail forever. */
+void cgc_fault_arm(int site, unsigned long long skip_hits,
+                   unsigned long long fail_count);
+
+/* Arms a site probabilistically: each reach fails with the given
+ * probability, drawn from a stream seeded with seed (deterministic
+ * replay). */
+void cgc_fault_arm_random(int site, double probability,
+                          unsigned long long seed);
+
+/* Disarms every site (counters survive). */
+void cgc_fault_disarm_all(void);
+
+/* Times the site was forced to fail since process start. */
+unsigned long long cgc_fault_fired(int site);
 
 /* --- observability --------------------------------------------------- */
 

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 
@@ -24,6 +25,10 @@ uint64_t nowNanos() {
 Collector::Collector(const GcConfig &Cfg) : Config(Cfg) {
   static std::atomic<uint64_t> NextUniqueId{1};
   UniqueId = NextUniqueId.fetch_add(1);
+  // CI's verifier lane flips this on for unmodified test binaries.
+  if (const char *Env = std::getenv("CGC_VERIFY_EVERY_COLLECTION"))
+    if (*Env != '\0' && !(Env[0] == '0' && Env[1] == '\0'))
+      Config.VerifyEveryCollection = true;
   Arena = std::make_unique<VirtualArena>(Config.WindowBytes);
 
   uint64_t BaseOffset = alignTo(Config.heapBaseOffset(), PageSize);
@@ -68,62 +73,175 @@ Collector::Collector(const GcConfig &Cfg) : Config(Cfg) {
 
   // GcStats consumes the observer layer like any other client: the
   // timing sink is the first registered observer, so later observers
-  // see phase timings already folded into the cycle record.
+  // see phase timings already folded into the cycle record.  The
+  // verifier sink comes second: by the time it aborts on a corrupted
+  // phase, the phase's timing is already recorded.
   Observers.add(&TimingSink);
+  Observers.add(&VerifierSink);
 }
 
 Collector::~Collector() = default;
 
-void *Collector::allocate(size_t Bytes, ObjectKind Kind) {
+void Collector::maybeStartupCollect() {
   // The paper's startup guarantee: one (fast) collection before any
   // allocation, so static false references are blacklisted before the
   // allocator can place pages under them.
-  if (!StartupGcDone) {
-    StartupGcDone = true;
-    if (Config.GcAtStartup)
-      collect("startup");
-  }
+  if (StartupGcDone)
+    return;
+  StartupGcDone = true;
+  if (Config.GcAtStartup)
+    collect("startup");
+}
 
+void *Collector::allocate(size_t Bytes, ObjectKind Kind) {
+  maybeStartupCollect();
   maybeRunStackClearHooks();
 
-  void *Result = nullptr;
+  void *Result;
   if (SizeClassTable::isSmall(Bytes)) {
     Result = Heap->allocateFromExisting(Bytes, Kind);
-    if (!Result) {
-      // Out of cached slots: decide whether to collect before taking
-      // more pages.
-      if (shouldCollectBeforeGrowth()) {
-        collect("allocation-threshold");
-        Result = Heap->allocateFromExisting(Bytes, Kind);
-      }
-      if (!Result) {
-        if (!Heap->addBlockForClass(Bytes, Kind)) {
-          collect("heap-exhausted");
-          if (!Heap->addBlockForClass(Bytes, Kind))
-            return nullptr;
-        }
-        Result = Heap->allocateFromExisting(Bytes, Kind);
-      }
-    }
+    if (!Result)
+      Result = allocateSmallSlow(Bytes, Kind);
   } else {
-    if (shouldCollectBeforeGrowth())
-      collect("allocation-threshold");
-    Result = Heap->allocateLarge(Bytes, Kind);
-    if (!Result) {
-      collect("heap-exhausted");
-      Result = Heap->allocateLarge(Bytes, Kind);
-    }
+    Result = allocateLargeSlow(Bytes, Kind, /*IgnoreOffPage=*/false);
   }
+  if (!Result)
+    return reportOutOfMemory(Bytes);
 
-  if (Result) {
-    BytesSinceGc += Bytes;
-    // Fresh pages are zero-filled by the OS; reused slots were cleared
-    // at free time when ClearFreedObjects is on.  Clear here otherwise
-    // so clients always see zeroed memory.
-    if (!Config.ClearFreedObjects)
-      std::memset(Result, 0, Bytes);
-  }
+  BytesSinceGc += Bytes;
+  // Fresh pages are zero-filled by the OS; reused slots were cleared
+  // at free time when ClearFreedObjects is on.  Clear here otherwise
+  // so clients always see zeroed memory.
+  if (!Config.ClearFreedObjects)
+    std::memset(Result, 0, Bytes);
   return Result;
+}
+
+void *Collector::allocateSmallSlow(size_t Bytes, ObjectKind Kind) {
+  // Out of cached slots: decide whether to collect before taking more
+  // pages.
+  if (shouldCollectBeforeGrowth()) {
+    collect("allocation-threshold");
+    if (void *Result = Heap->allocateFromExisting(Bytes, Kind))
+      return Result;
+  }
+  // Grow: a fresh block for this class (commits pages as needed).
+  if (Heap->addBlockForClass(Bytes, Kind))
+    return Heap->allocateFromExisting(Bytes, Kind);
+  return runExhaustionLadder(Bytes, [&]() -> void * {
+    if (void *Result = Heap->allocateFromExisting(Bytes, Kind))
+      return Result;
+    if (Heap->addBlockForClass(Bytes, Kind))
+      return Heap->allocateFromExisting(Bytes, Kind);
+    return nullptr;
+  });
+}
+
+void *Collector::allocateLargeSlow(size_t Bytes, ObjectKind Kind,
+                                   bool IgnoreOffPage) {
+  if (shouldCollectBeforeGrowth())
+    collect("allocation-threshold");
+  if (void *Result = Heap->allocateLarge(Bytes, Kind, IgnoreOffPage))
+    return Result;
+  // A blacklist that has eaten a sizable share of the committed heap is
+  // the paper's worst case for large objects: every candidate run must
+  // dodge it.  Tell the client (rate-limited) before fighting on.
+  uint64_t Blacklisted = BlacklistImpl->entryCount();
+  if (Blacklisted * 4 >= Pages->stats().CommittedPages &&
+      Pages->stats().CommittedPages > 0)
+    warn(WarnEvent::LargeAllocOnBlacklistedHeap,
+         "cgc: large allocation on a blacklist-saturated heap", Bytes);
+  return runExhaustionLadder(Bytes, [&]() -> void * {
+    return Heap->allocateLarge(Bytes, Kind, IgnoreOffPage);
+  });
+}
+
+void *Collector::allocateTypedSlow(LayoutId Layout) {
+  uint64_t Bytes = Heap->layout(Layout).SizeBytes;
+  if (shouldCollectBeforeGrowth()) {
+    collect("allocation-threshold");
+    if (void *Result = Heap->allocateTypedFromExisting(Layout))
+      return Result;
+  }
+  if (Heap->addBlockForLayout(Layout))
+    return Heap->allocateTypedFromExisting(Layout);
+  return runExhaustionLadder(Bytes, [&]() -> void * {
+    if (void *Result = Heap->allocateTypedFromExisting(Layout))
+      return Result;
+    if (Heap->addBlockForLayout(Layout))
+      return Heap->allocateTypedFromExisting(Layout);
+    return nullptr;
+  });
+}
+
+void *Collector::runExhaustionLadder(uint64_t Bytes,
+                                     const std::function<void *()> &Retry) {
+  // Rung 1: finish pending lazy sweeps.  Queued blocks of *other*
+  // classes may sweep empty and release whole page runs.
+  if (Heap->pendingSweepCount() > 0) {
+    ++Resilience.LazySweepFlushes;
+    Heap->finishPendingSweeps();
+    if (void *Result = Retry())
+      return Result;
+  }
+  // Rung 2: a full collection.
+  ++Resilience.HeapExhaustedCollections;
+  noteLadderCollection(collect("heap-exhausted"));
+  if (void *Result = Retry())
+    return Result;
+  // Rung 3: emergency collection.  Interior-pointer recognition drops
+  // from All to FirstPage (objects kept alive only by deep interior
+  // pointers are reclaimed) and page runs accept blacklisted interior
+  // pages — survival over blacklist hygiene, right before reporting
+  // out of memory.
+  ++Resilience.EmergencyCollections;
+  Observers.dispatch(
+      [&](GcObserver &O) { O.onEmergencyCollection(Bytes); });
+  InteriorPolicy SavedInterior = Config.Interior;
+  if (SavedInterior == InteriorPolicy::All)
+    Config.Interior = InteriorPolicy::FirstPage;
+  Heap->setEmergencyPageRelaxation(true);
+  noteLadderCollection(collect("emergency"));
+  void *Result = Retry();
+  Heap->setEmergencyPageRelaxation(false);
+  Config.Interior = SavedInterior;
+  return Result;
+}
+
+void *Collector::reportOutOfMemory(uint64_t Bytes) {
+  ++Resilience.OomEvents;
+  bool HasHandler = Config.OomHandler != nullptr;
+  Observers.dispatch(
+      [&](GcObserver &O) { O.onOutOfMemory(Bytes, HasHandler); });
+  if (!HasHandler)
+    return nullptr;
+  ++Resilience.OomHandlerInvocations;
+  return Config.OomHandler(Bytes, Config.OomHandlerData);
+}
+
+void Collector::noteLadderCollection(const CollectionStats &Cycle) {
+  // With lazy sweeping the cycle itself frees nothing — the queued
+  // blocks are the progress; only count cycles that left nothing to
+  // sweep either.
+  if (Cycle.BytesSweptFree != 0 || Heap->pendingSweepCount() != 0)
+    return;
+  ++Resilience.NoProgressCollections;
+  warn(WarnEvent::CollectionNoProgress,
+       "cgc: collection reclaimed nothing under allocation pressure",
+       Resilience.NoProgressCollections);
+}
+
+void Collector::warn(WarnEvent Event, const char *Message, uint64_t Value) {
+  uint64_t Count = ++WarnOccurrences[static_cast<unsigned>(Event)];
+  // Exponential backoff: deliver occurrences 1, 2, 4, 8, ...
+  if ((Count & (Count - 1)) != 0) {
+    ++Resilience.WarningsSuppressed;
+    return;
+  }
+  ++Resilience.WarningsIssued;
+  if (Config.WarnProc)
+    Config.WarnProc(Message, Value, Config.WarnProcData);
+  Observers.dispatch([&](GcObserver &O) { O.onWarning(Message, Value); });
 }
 
 void Collector::deallocate(void *Ptr) {
@@ -138,56 +256,30 @@ Collector::registerObjectLayout(const std::vector<bool> &PointerWords,
 }
 
 void *Collector::allocateTyped(LayoutId Layout) {
-  if (!StartupGcDone) {
-    StartupGcDone = true;
-    if (Config.GcAtStartup)
-      collect("startup");
-  }
+  maybeStartupCollect();
   maybeRunStackClearHooks();
   void *Result = Heap->allocateTypedFromExisting(Layout);
-  if (!Result) {
-    if (shouldCollectBeforeGrowth()) {
-      collect("allocation-threshold");
-      Result = Heap->allocateTypedFromExisting(Layout);
-    }
-    if (!Result) {
-      if (!Heap->addBlockForLayout(Layout)) {
-        collect("heap-exhausted");
-        if (!Heap->addBlockForLayout(Layout))
-          return nullptr;
-      }
-      Result = Heap->allocateTypedFromExisting(Layout);
-    }
-  }
-  if (Result) {
-    BytesSinceGc += Heap->layout(Layout).SizeBytes;
-    if (!Config.ClearFreedObjects)
-      std::memset(Result, 0, Heap->layout(Layout).SizeBytes);
-  }
+  if (!Result)
+    Result = allocateTypedSlow(Layout);
+  if (!Result)
+    return reportOutOfMemory(Heap->layout(Layout).SizeBytes);
+  BytesSinceGc += Heap->layout(Layout).SizeBytes;
+  if (!Config.ClearFreedObjects)
+    std::memset(Result, 0, Heap->layout(Layout).SizeBytes);
   return Result;
 }
 
 void *Collector::allocateIgnoreOffPage(size_t Bytes, ObjectKind Kind) {
-  if (!StartupGcDone) {
-    StartupGcDone = true;
-    if (Config.GcAtStartup)
-      collect("startup");
-  }
+  maybeStartupCollect();
   if (SizeClassTable::isSmall(Bytes))
     return allocate(Bytes, Kind); // Small objects fit one page anyway.
   maybeRunStackClearHooks();
-  if (shouldCollectBeforeGrowth())
-    collect("allocation-threshold");
-  void *Result = Heap->allocateLarge(Bytes, Kind, /*IgnoreOffPage=*/true);
-  if (!Result) {
-    collect("heap-exhausted");
-    Result = Heap->allocateLarge(Bytes, Kind, /*IgnoreOffPage=*/true);
-  }
-  if (Result) {
-    BytesSinceGc += Bytes;
-    if (!Config.ClearFreedObjects)
-      std::memset(Result, 0, Bytes);
-  }
+  void *Result = allocateLargeSlow(Bytes, Kind, /*IgnoreOffPage=*/true);
+  if (!Result)
+    return reportOutOfMemory(Bytes);
+  BytesSinceGc += Bytes;
+  if (!Config.ClearFreedObjects)
+    std::memset(Result, 0, Bytes);
   return Result;
 }
 
@@ -352,6 +444,56 @@ CollectionStats Collector::measureLiveness() {
     Roots.removeRange(RegisterRoot);
   InCollection = false;
   return Cycle;
+}
+
+HeapVerifyReport Collector::verifyHeapReport() {
+  HeapVerifyReport Report = Heap->verify();
+  // Collector-level cross-check: every flat-bitmap blacklist entry must
+  // lie inside the potential heap — Figure 2 only notes candidates in
+  // the heap's vicinity, so an out-of-range bit means the marker (or
+  // the bitmap) corrupted itself.  The hashed form aliases many pages
+  // per bit, so only the flat form supports the count comparison.
+  if (Config.Blacklist == BlacklistMode::FlatBitmap) {
+    uint64_t Seen = 0;
+    for (PageIndex P = Pages->arenaBasePage(); P != Pages->arenaLimitPage();
+         ++P)
+      if (BlacklistImpl->isBlacklisted(P))
+        ++Seen;
+    if (Seen != BlacklistImpl->entryCount())
+      Report.notef("blacklist: %llu pages flagged inside the arena, entry "
+                   "count says %llu (bits set outside the potential heap)",
+                   (unsigned long long)Seen,
+                   (unsigned long long)BlacklistImpl->entryCount());
+  }
+  return Report;
+}
+
+void Collector::verifyHeap() {
+  HeapVerifyReport Report = verifyHeapReport();
+  if (Report.clean())
+    return;
+  std::fprintf(stderr, "cgc heap verification failed (%zu issues):\n%s",
+               Report.Issues.size(), Report.str().c_str());
+  fatalError("heap verification failed", __FILE__, __LINE__);
+}
+
+void Collector::VerifySink::onPhaseEnd(GcPhase Phase, uint64_t,
+                                       const CollectionStats &) {
+  if (!GC.Config.VerifyEveryCollection)
+    return;
+  HeapVerifyReport Report = GC.verifyHeapReport();
+  GC.Observers.dispatch([&](GcObserver &O) {
+    O.onHeapVerified(Report.clean(), Report.Issues.size());
+  });
+  if (Report.clean())
+    return;
+  std::fprintf(stderr,
+               "cgc heap verification failed after phase %s "
+               "(%zu issues):\n%s",
+               gcPhaseName(Phase), Report.Issues.size(),
+               Report.str().c_str());
+  fatalError("heap verification failed during collection", __FILE__,
+             __LINE__);
 }
 
 void Collector::reportLeaks() {

@@ -59,8 +59,15 @@ public:
   //===--------------------------------------------------------------===//
 
   /// Allocates \p Bytes of \p Kind storage, collecting and/or growing
-  /// the heap per policy.  \returns nullptr only when the heap arena is
-  /// exhausted.  Memory is zero-initialized.
+  /// the heap per policy.  Memory is zero-initialized.
+  ///
+  /// On exhaustion the slow path climbs a policy ladder before giving
+  /// up: collect, flush pending lazy sweeps, grow the arena, run an
+  /// emergency collection with interior-pointer recognition and
+  /// blacklist page constraints relaxed, and finally invoke the
+  /// installed GcOomHandler (whose result is returned verbatim).
+  /// \returns nullptr only when the ladder is exhausted and no handler
+  /// is installed (or the handler returned nullptr).
   void *allocate(size_t Bytes, ObjectKind Kind = ObjectKind::Normal);
 
   /// Explicitly frees an object (required for Uncollectable objects;
@@ -118,6 +125,20 @@ public:
     Config.SweepThreads = Threads == 0 ? 1 : Threads;
   }
   unsigned sweepThreads() const { return Config.SweepThreads; }
+
+  /// Installs (or clears, with nullptr) the out-of-memory handler the
+  /// allocation ladder invokes once per exhausted request.
+  void setOomHandler(GcOomHandler Fn, void *UserData = nullptr) {
+    Config.OomHandler = Fn;
+    Config.OomHandlerData = UserData;
+  }
+
+  /// Installs (or clears, with nullptr) the warn procedure receiving
+  /// rate-limited resilience warnings.
+  void setWarnProc(GcWarnProc Fn, void *UserData = nullptr) {
+    Config.WarnProc = Fn;
+    Config.WarnProcData = UserData;
+  }
 
   /// Runs the mark phase only — no sweep, no finalization — so the heap
   /// is unchanged.  Experiments use this to ask "what would appear
@@ -227,6 +248,13 @@ public:
   const GcConfig &config() const { return Config; }
   const CollectionStats &lastCollection() const { return LastCycle; }
   const GcLifetimeStats &lifetimeStats() const { return Lifetime; }
+  /// Snapshot of the resilience counters (OOM ladder rungs, warnings,
+  /// worker spawn failures).
+  GcResilienceStats resilienceStats() const {
+    GcResilienceStats Snapshot = Resilience;
+    Snapshot.WorkerSpawnFailures = Pool->spawnFailures();
+    return Snapshot;
+  }
   uint64_t allocatedBytes() const { return Heap->allocatedBytes(); }
   uint64_t committedHeapBytes() const {
     return Pages->stats().CommittedPages * PageSize;
@@ -254,8 +282,14 @@ public:
   void forEachObject(
       const std::function<void(void *, size_t, ObjectKind)> &Fn) const;
 
-  /// Cross-checks every heap invariant; aborts on violation.  O(heap).
-  void verifyHeap() { Heap->verifyHeap(); }
+  /// Runs the deep heap verifier (heap/HeapVerifier.h) plus
+  /// collector-level cross-checks (blacklist consistency) and \returns
+  /// the accumulated diagnostic report instead of aborting.  O(heap).
+  HeapVerifyReport verifyHeapReport();
+
+  /// verifyHeapReport(), with the historical abort semantics: prints
+  /// the full report and fatals on any inconsistency.
+  void verifyHeap();
 
   VirtualArena &arena() { return *Arena; }
   /// Low-level access for tests and experiment harnesses.
@@ -286,8 +320,54 @@ private:
     CollectionStats *Current = nullptr;
   };
 
+  /// Runs the deep verifier after every pipeline phase when
+  /// GcConfig::VerifyEveryCollection is on; aborts with the report on
+  /// any inconsistency so fuzz runs fail at the phase that corrupted
+  /// the heap, not collections later.
+  class VerifySink final : public GcObserver {
+  public:
+    explicit VerifySink(Collector &GC) : GC(GC) {}
+    void onPhaseEnd(GcPhase Phase, uint64_t Nanos,
+                    const CollectionStats &SoFar) override;
+
+  private:
+    Collector &GC;
+  };
+
+  /// Rate-limited warning kinds (one backoff counter each).
+  enum class WarnEvent : unsigned {
+    CollectionNoProgress = 0,
+    LargeAllocOnBlacklistedHeap = 1,
+  };
+  static constexpr unsigned NumWarnEvents = 2;
+
   bool shouldCollectBeforeGrowth() const;
   void maybeRunStackClearHooks();
+  /// Runs the startup collection once, before the first allocation.
+  void maybeStartupCollect();
+  /// Small-object slow path: threshold collect, grow, then the ladder.
+  void *allocateSmallSlow(size_t Bytes, ObjectKind Kind);
+  /// Large-object slow path: threshold collect, direct attempt (grows
+  /// internally), then the ladder.
+  void *allocateLargeSlow(size_t Bytes, ObjectKind Kind,
+                          bool IgnoreOffPage);
+  /// Typed-object slow path, mirroring allocateSmallSlow.
+  void *allocateTypedSlow(LayoutId Layout);
+  /// The shared exhaustion tail: flush lazy sweeps, collect, emergency
+  /// collect — retrying \p Retry between rungs.  \returns the
+  /// allocation or nullptr with the ladder exhausted (the OOM handler
+  /// is the caller's last step, via reportOutOfMemory).
+  void *runExhaustionLadder(uint64_t Bytes,
+                            const std::function<void *()> &Retry);
+  /// Emits the out-of-memory observer event and invokes the installed
+  /// handler (once); \returns the handler's result verbatim.
+  void *reportOutOfMemory(uint64_t Bytes);
+  /// Tracks whether a ladder-forced collection reclaimed anything and
+  /// warns on repeated no-progress cycles.
+  void noteLadderCollection(const CollectionStats &Cycle);
+  /// Issues \p Message through the warn proc and observers, suppressed
+  /// to occurrences 1, 2, 4, 8, ... per event kind.
+  void warn(WarnEvent Event, const char *Message, uint64_t Value);
   void reportLeaks();
   /// Runs one pipeline phase: phase-begin event, \p Body, timing,
   /// phase-end event (which the timing sink folds into \p Cycle).
@@ -316,10 +396,13 @@ private:
   std::vector<std::function<void()>> PreCollectionHooks;
   GcObserverRegistry Observers;
   PhaseTimingSink TimingSink;
+  VerifySink VerifierSink{*this};
 
   uint64_t UniqueId;
   CollectionStats LastCycle;
   GcLifetimeStats Lifetime;
+  GcResilienceStats Resilience;
+  uint64_t WarnOccurrences[NumWarnEvents] = {};
   uint64_t BytesSinceGc = 0;
   uint64_t AllocsSinceClear = 0;
   bool StartupGcDone = false;

@@ -73,6 +73,21 @@ enum class StackClearMode : unsigned char {
   Cheap,
 };
 
+/// Called when the allocation slow-path ladder is exhausted (collect,
+/// lazy-sweep flush, grow, emergency collect all failed).  \p Bytes is
+/// the requested size.  Whatever the handler returns is returned to the
+/// allocating caller verbatim — a handler may free reserves and return
+/// nullptr to make the caller retry, longjmp away, or abort.  With no
+/// handler installed the allocation returns nullptr.
+using GcOomHandler = void *(*)(uint64_t Bytes, void *UserData);
+
+/// Receives rate-limited resilience warnings ("repeated collections
+/// without progress", "large allocation on blacklist-saturated heap").
+/// \p Message is a static string; \p Value is event-specific (a
+/// repetition count or a request size).
+using GcWarnProc = void (*)(const char *Message, uint64_t Value,
+                            void *UserData);
+
 struct GcConfig {
   /// Reserved window size; models the platform address-space size.
   uint64_t WindowBytes = uint64_t(4) << 30;
@@ -151,6 +166,25 @@ struct GcConfig {
   /// pauses, same total work).  CollectionStats' live counts then come
   /// from the mark phase.
   bool LazySweep = false;
+
+  /// Out-of-memory handler invoked once per exhausted allocation, after
+  /// every ladder rung failed.  See GcOomHandler.  Also settable at
+  /// runtime via Collector::setOomHandler.
+  GcOomHandler OomHandler = nullptr;
+  void *OomHandlerData = nullptr;
+
+  /// Warn procedure for resilience events; rate-limited per event kind
+  /// with exponential backoff (occurrence 1, 2, 4, 8, ...).  Also
+  /// settable at runtime via Collector::setWarnProc.
+  GcWarnProc WarnProc = nullptr;
+  void *WarnProcData = nullptr;
+
+  /// Run the deep heap verifier (heap/HeapVerifier.h) after every
+  /// pipeline phase of every collection and abort with the full
+  /// diagnostic report on any inconsistency.  Expensive; meant for
+  /// tests and fuzzing.  The CGC_VERIFY_EVERY_COLLECTION environment
+  /// variable (any value but "0") forces this on at construction.
+  bool VerifyEveryCollection = false;
 
   /// \returns the heap arena base offset implied by Placement.
   uint64_t heapBaseOffset() const {

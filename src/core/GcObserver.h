@@ -94,6 +94,37 @@ public:
     (void)Bytes;
     (void)Kind;
   }
+
+  /// The allocation ladder is about to run a last-resort emergency
+  /// collection (interior-pointer recognition and page-placement
+  /// constraints relaxed) for a request of \p RequestBytes.
+  virtual void onEmergencyCollection(uint64_t RequestBytes) {
+    (void)RequestBytes;
+  }
+
+  /// Every ladder rung failed for a request of \p RequestBytes.
+  /// \p HandlerInstalled tells whether a GcOomHandler will be invoked
+  /// after this event.
+  virtual void onOutOfMemory(uint64_t RequestBytes, bool HandlerInstalled) {
+    (void)RequestBytes;
+    (void)HandlerInstalled;
+  }
+
+  /// A rate-limited resilience warning was issued (same payload the
+  /// warn proc receives; suppressed repetitions are not dispatched).
+  virtual void onWarning(const char *Message, uint64_t Value) {
+    (void)Message;
+    (void)Value;
+  }
+
+  /// The per-phase verifier sink (GcConfig::VerifyEveryCollection) ran
+  /// the deep heap verifier.  \p Clean is true when no inconsistencies
+  /// were found; \p IssueCount is the report size.  Explicit
+  /// Collector::verifyHeapReport calls do not dispatch this event.
+  virtual void onHeapVerified(bool Clean, size_t IssueCount) {
+    (void)Clean;
+    (void)IssueCount;
+  }
 };
 
 /// Holds registered observers and dispatches events to them.  Observers

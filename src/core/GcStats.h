@@ -71,6 +71,10 @@ struct CollectionStats {
   uint64_t PagesReleased = 0;
   uint64_t BlacklistedPages = 0;
   uint64_t FinalizersQueued = 0;
+  /// Mark-stack overflows this cycle (real or fault-injected).  Each
+  /// one dropped a work item; the marker recovered by rescanning marked
+  /// objects to a fixpoint, so the marked set is unaffected.
+  uint64_t MarkStackOverflows = 0;
   /// Mark workers used by this cycle's Mark phase (GcConfig::MarkThreads
   /// at the time of collection; 1 = the paper's sequential marker).
   uint32_t MarkWorkers = 1;
@@ -106,11 +110,38 @@ struct CollectionStats {
     ObjectsMarked += Other.ObjectsMarked;
     BytesMarked += Other.BytesMarked;
     BlacklistNanos += Other.BlacklistNanos;
+    MarkStackOverflows += Other.MarkStackOverflows;
     for (unsigned I = 0; I != NumScanOrigins; ++I) {
       MarksByOrigin[I] += Other.MarksByOrigin[I];
       NearMissesByOrigin[I] += Other.NearMissesByOrigin[I];
     }
   }
+};
+
+/// Lifetime counters for the memory-pressure resilience layer: how
+/// often the allocation slow-path ladder escalated, what the warn proc
+/// saw, and how the collector degraded under injected faults.
+struct GcResilienceStats {
+  /// "heap-exhausted" collections forced by the allocation ladder.
+  uint64_t HeapExhaustedCollections = 0;
+  /// Times the ladder flushed pending lazy sweeps to reclaim pages.
+  uint64_t LazySweepFlushes = 0;
+  /// Last-resort collections run with interior-pointer recognition and
+  /// page-placement constraints relaxed.
+  uint64_t EmergencyCollections = 0;
+  /// Allocations that exhausted the entire ladder.
+  uint64_t OomEvents = 0;
+  /// OomEvents that invoked an installed OOM handler.
+  uint64_t OomHandlerInvocations = 0;
+  /// Ladder collections that reclaimed nothing.
+  uint64_t NoProgressCollections = 0;
+  /// Warnings delivered to the warn proc / observers.
+  uint64_t WarningsIssued = 0;
+  /// Warnings swallowed by the exponential-backoff rate limiter.
+  uint64_t WarningsSuppressed = 0;
+  /// Pool worker threads that failed to spawn (collection degraded to
+  /// fewer workers; results are unchanged).
+  uint64_t WorkerSpawnFailures = 0;
 };
 
 /// Lifetime totals across collections.

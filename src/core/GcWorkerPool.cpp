@@ -2,7 +2,9 @@
 
 #include "core/GcWorkerPool.h"
 #include "support/Assert.h"
+#include "support/FaultInjection.h"
 #include <algorithm>
+#include <system_error>
 
 using namespace cgc;
 
@@ -26,15 +28,41 @@ uint64_t GcWorkerPool::jobsDispatched() const {
   return Generation;
 }
 
+uint64_t GcWorkerPool::spawnFailures() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return SpawnFailures;
+}
+
 void GcWorkerPool::ensureThreads(unsigned Count) {
   std::lock_guard<std::mutex> Guard(Lock);
   while (Threads.size() < Count) {
+    if (CGC_INJECT_FAULT(WorkerSpawn)) {
+      ++SpawnFailures;
+      return;
+    }
     unsigned Index = static_cast<unsigned>(Threads.size());
     // A thread spawned mid-life must not run a job dispatched before it
     // existed: it starts already caught up with the current generation.
-    Threads.emplace_back(
-        [this, Index, Gen = Generation] { threadMain(Index, Gen); });
+    try {
+      Threads.emplace_back(
+          [this, Index, Gen = Generation] { threadMain(Index, Gen); });
+    } catch (const std::system_error &) {
+      // Resource exhaustion (EAGAIN and friends).  Not fatal: phases
+      // degrade to however many workers exist.
+      ++SpawnFailures;
+      return;
+    }
   }
+}
+
+unsigned GcWorkerPool::ensureWorkers(unsigned Desired) {
+  Desired = std::clamp(Desired, 1u, MaxWorkers);
+  if (Desired == 1)
+    return 1;
+  ensureThreads(Desired - 1);
+  std::lock_guard<std::mutex> Guard(Lock);
+  return std::min<unsigned>(Desired,
+                            static_cast<unsigned>(Threads.size()) + 1);
 }
 
 void GcWorkerPool::runOn(unsigned Workers,
@@ -48,7 +76,16 @@ void GcWorkerPool::runOn(unsigned Workers,
   }
   ensureThreads(Workers - 1);
   {
-    std::lock_guard<std::mutex> Guard(Lock);
+    std::unique_lock<std::mutex> Guard(Lock);
+    // Spawning can fail (or be fault-injected to fail); run on the
+    // threads that actually exist.
+    Workers = std::min<unsigned>(
+        Workers, static_cast<unsigned>(Threads.size()) + 1);
+    if (Workers == 1) {
+      Guard.unlock();
+      Fn(0);
+      return;
+    }
     CGC_ASSERT(Job == nullptr, "nested GcWorkerPool::runOn");
     Job = &Fn;
     JobWorkers = Workers;

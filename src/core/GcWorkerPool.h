@@ -62,8 +62,21 @@ public:
   /// a full barrier.  The calling thread is worker 0; pool threads
   /// (spawned on first need, reused ever after) are workers
   /// 1..Workers-1.  Workers == 1 calls Fn(0) inline without touching
-  /// any pool state.  Not reentrant: phases never nest.
+  /// any pool state.  If thread spawning failed, the job runs on the
+  /// threads that exist (worst case: inline on the caller).  Not
+  /// reentrant: phases never nest.
   void runOn(unsigned Workers, const std::function<void(unsigned)> &Fn);
+
+  /// Negotiates a worker count before a phase shards its work: tries
+  /// to ensure \p Desired - 1 pool threads exist and \returns the
+  /// count actually available, min(Desired, spawned + 1).  Thread
+  /// construction failure (std::system_error, or an injected
+  /// WorkerSpawn fault) is not fatal: the phase degrades to fewer
+  /// workers — ultimately sequential — with bit-identical results.
+  unsigned ensureWorkers(unsigned Desired);
+
+  /// Pool thread spawns that failed over this pool's lifetime.
+  uint64_t spawnFailures() const;
 
   /// Number of pool threads ever spawned (== currently parked or
   /// working; pool threads live until destruction).  A collector that
@@ -98,6 +111,8 @@ private:
   unsigned JobWorkers = 0;
   /// Pool threads still inside the current job.
   unsigned Remaining = 0;
+  /// Spawn attempts that threw (or were fault-injected to fail).
+  uint64_t SpawnFailures = 0;
   bool ShuttingDown = false;
 };
 

@@ -1,6 +1,7 @@
 //===- core/MarkContext.cpp - Shared state for (parallel) marking ---------===//
 
 #include "core/MarkContext.h"
+#include "support/FaultInjection.h"
 #include "support/MathExtras.h"
 #include <algorithm>
 #include <chrono>
@@ -111,10 +112,17 @@ void MarkContext::registerDisplacement(uint32_t Displacement) {
 void MarkContext::mark(std::vector<MarkWorkItem> &Seeds, unsigned Workers,
                        CollectionStats &Stats) {
   Workers = std::clamp(Workers, 1u, MaxWorkers);
+  // Negotiate the worker count only when the parallel path would
+  // actually run: a failed spawn degrades the phase, never aborts it,
+  // and the sequential configurations still never touch the pool.
+  if (Workers > 1 && Seeds.size() >= 2)
+    Workers = Pool.ensureWorkers(Workers);
+  Stats.MarkWorkers = Workers;
   if (Workers == 1 || Seeds.size() < 2) {
     // The paper's marker: one LIFO stack, drained in place.
     MarkWorker Worker(*this, Stats, &Seeds);
     Worker.drainSequential(Seeds);
+    recoverFromOverflow(Stats);
     return;
   }
 
@@ -150,6 +158,34 @@ void MarkContext::mark(std::vector<MarkWorkItem> &Seeds, unsigned Workers,
     WorkersVec[I]->flushBlacklist();
   for (unsigned I = 0; I != Workers; ++I)
     Stats.addScanCounters(WorkerStats[I]);
+  recoverFromOverflow(Stats);
+}
+
+void MarkContext::recoverFromOverflow(CollectionStats &Stats) {
+  if (!Overflowed.load(std::memory_order_acquire))
+    return;
+  // A dropped push always targets an object whose mark bit was just
+  // set, so the lost work is recoverable from the mark bitmap: rescan
+  // every marked pointer-bearing object and repeat until no pass marks
+  // anything new.  This is the classic overflow recovery; it converges
+  // even while the fault stays armed, because a pass that marks
+  // nothing new also pushes (and therefore drops) nothing.
+  uint64_t Before;
+  do {
+    Overflowed.store(false, std::memory_order_relaxed);
+    Before = Stats.ObjectsMarked;
+    std::vector<MarkWorkItem> Stack;
+    Blocks.forEach([&](BlockId, BlockDescriptor &Block) {
+      if (Block.Kind == ObjectKind::PointerFree)
+        return;
+      for (uint32_t Slot = 0; Slot != Block.ObjectCount; ++Slot)
+        if (Block.MarkBits.test(Slot))
+          Stack.push_back({Block.slotOffset(Slot), Block.ObjectSize,
+                           Block.LayoutId});
+    });
+    MarkWorker Worker(*this, Stats, &Stack);
+    Worker.drainSequential(Stack);
+  } while (Stats.ObjectsMarked != Before);
 }
 
 //===----------------------------------------------------------------------===//
@@ -166,6 +202,15 @@ MarkWorker::MarkWorker(MarkContext &Ctx, CollectionStats &Stats, unsigned Id,
       Parallel(true) {}
 
 void MarkWorker::push(const MarkWorkItem &Item) {
+  if (CGC_INJECT_FAULT(MarkStackOverflow)) {
+    // Simulated mark-stack overflow: drop the item (its object is
+    // already marked) and flag the context so mark() rebuilds the
+    // closure from the mark bitmap afterwards.  Sits before the
+    // InFlight bump so parallel termination detection stays balanced.
+    ++Stats.MarkStackOverflows;
+    Ctx.Overflowed.store(true, std::memory_order_release);
+    return;
+  }
   if (!Parallel) {
     ExternalStack->push_back(Item);
     return;

@@ -92,9 +92,21 @@ public:
   /// sequential marker; \p Workers > 1 (clamped to MaxWorkers) seeds
   /// that many MarkWorkers round-robin and runs them to quiescence on
   /// the persistent worker pool, with the caller's thread as worker 0.
-  /// Scan counters accumulate into \p Stats.
+  /// The count is negotiated down through GcWorkerPool::ensureWorkers
+  /// when thread spawning fails, so marking always completes (worst
+  /// case sequentially) with a bit-identical marked set.  Records the
+  /// worker count actually used in Stats.MarkWorkers and accumulates
+  /// scan counters into \p Stats.  Ends with recoverFromOverflow.
   void mark(std::vector<MarkWorkItem> &Seeds, unsigned Workers,
             CollectionStats &Stats);
+
+  /// Rebuilds the reachability closure after mark-stack pushes were
+  /// dropped (MarkStackOverflow fault injection): rescans every marked
+  /// object in pointer-bearing blocks, sequentially, until no new
+  /// objects get marked.  Dropped items always reference objects whose
+  /// mark bit is already set, so the fixpoint converges even while the
+  /// fault stays armed.  No-op when nothing was dropped.
+  void recoverFromOverflow(CollectionStats &Stats);
 
 private:
   friend class MarkWorker;
@@ -123,6 +135,9 @@ private:
   /// Reaches zero exactly when the closure is complete; workers use it
   /// for termination detection.
   std::atomic<uint64_t> InFlight{0};
+  /// Set by any worker that dropped a push (injected mark-stack
+  /// overflow); read by recoverFromOverflow after the workers join.
+  std::atomic<bool> Overflowed{false};
 };
 
 /// One mark tracer.  Constructed per phase (root scan, mark drain,

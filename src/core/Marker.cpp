@@ -42,9 +42,10 @@ void Marker::runRootScan(const RootSet &Roots, CollectionStats &Stats) {
 }
 
 void Marker::runMarkPhase(CollectionStats &Stats) {
+  // mark() records the worker count actually used (it can be
+  // negotiated down when thread spawning fails) in Stats.MarkWorkers.
   unsigned Workers =
       std::clamp(Config.MarkThreads, 1u, MarkContext::MaxWorkers);
-  Stats.MarkWorkers = Workers;
   Context.mark(Seeds, Workers, Stats);
 }
 
@@ -61,4 +62,5 @@ void Marker::markFromCandidate(WindowOffset Candidate,
   MarkWorker Worker(Context, Stats, &Stack);
   Worker.considerCandidate(Candidate, ScanOrigin::Client);
   Worker.drainSequential(Stack);
+  Context.recoverFromOverflow(Stats);
 }

@@ -16,10 +16,16 @@ struct SweepOutcome {
 
 SweepResult SweepContext::run(CollectionStats &Stats) {
   unsigned Workers = std::clamp(Config.SweepThreads, 1u, MaxWorkers);
-  Stats.SweepWorkers = Workers;
 
   SweepResult Result;
   ObjectHeap::SweepPlan Plan = Heap.beginSweep(Result);
+
+  // Negotiate the worker count only when the parallel path would run:
+  // a failed thread spawn degrades the sweep (worst case to the
+  // sequential path below), never aborts it.
+  if (Workers > 1 && Plan.SmallBlocks.size() >= 2)
+    Workers = Pool.ensureWorkers(Workers);
+  Stats.SweepWorkers = Workers;
 
   // Too little work to shard (or sequential configured): sweep inline.
   // This is byte-for-byte ObjectHeap::sweep().

@@ -1,0 +1,198 @@
+//===- heap/HeapVerifier.cpp - Deep heap consistency checker --------------===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/HeapVerifier.h"
+#include "heap/ObjectHeap.h"
+#include <cstdio>
+
+namespace cgc {
+
+void HeapVerifyReport::notef(const char *Fmt, ...) {
+  char Buffer[512];
+  va_list Args;
+  va_start(Args, Fmt);
+  std::vsnprintf(Buffer, sizeof(Buffer), Fmt, Args);
+  va_end(Args);
+  Issues.emplace_back(Buffer);
+}
+
+std::string HeapVerifyReport::str() const {
+  std::string Out;
+  for (const std::string &Issue : Issues) {
+    Out += Issue;
+    Out += '\n';
+  }
+  return Out;
+}
+
+HeapVerifyReport HeapVerifier::run() {
+  HeapVerifyReport R;
+  PageAllocator &Pages = Heap.Pages;
+  PageMap &Map = Heap.Map;
+
+  // --- Block table ↔ page map ↔ bitmaps ↔ byte accounting. ---
+  uint64_t BytesSeen = 0;
+  uint64_t BlockOwnedPages = 0;
+  Heap.Blocks.forEach([&](BlockId Id, BlockDescriptor &Block) {
+    if (Block.NumPages == 0 || Block.ObjectCount == 0) {
+      R.notef("block %u: degenerate (%u pages, %u slots)", Id,
+              Block.NumPages, Block.ObjectCount);
+      return; // Geometry is garbage; further checks would divide by it.
+    }
+    if (!Pages.inPotentialHeap(Block.StartPage) ||
+        !Pages.inPotentialHeap(Block.StartPage + Block.NumPages - 1))
+      R.notef("block %u: pages [%llu, %llu) outside the heap arena", Id,
+              (unsigned long long)Block.StartPage,
+              (unsigned long long)(Block.StartPage + Block.NumPages));
+    if (Block.StartPage + Block.NumPages > Pages.committedLimitPage())
+      R.notef("block %u: extends past the committed limit %llu", Id,
+              (unsigned long long)Pages.committedLimitPage());
+    if (Block.FirstObjectOffset +
+            uint64_t(Block.ObjectCount) * Block.ObjectSize >
+        uint64_t(Block.NumPages) * PageSize)
+      R.notef("block %u: %u slots of %u bytes overflow %u pages", Id,
+              Block.ObjectCount, Block.ObjectSize, Block.NumPages);
+    for (uint32_t P = 0; P != Block.NumPages; ++P) {
+      if (Map.blockAt(Block.StartPage + P) != Id) {
+        R.notef("block %u: page map entry for page %llu points elsewhere",
+                Id, (unsigned long long)(Block.StartPage + P));
+        break; // One line per block is enough to localize it.
+      }
+    }
+    if (Block.AllocBits.count() != Block.AllocatedCount)
+      R.notef("block %u: alloc bitmap has %llu bits set, counter says %u",
+              Id, (unsigned long long)Block.AllocBits.count(),
+              Block.AllocatedCount);
+    if (Block.PinnedBits.count() != Block.PinnedCount)
+      R.notef("block %u: pinned bitmap has %llu bits set, counter says %u",
+              Id, (unsigned long long)Block.PinnedBits.count(),
+              Block.PinnedCount);
+    if (Block.AllocatedCount + Block.PinnedCount > Block.ObjectCount)
+      R.notef("block %u: %u allocated + %u pinned exceed %u slots", Id,
+              Block.AllocatedCount, Block.PinnedCount, Block.ObjectCount);
+    BitVector Overlap = Block.AllocBits;
+    Overlap.andWith(Block.PinnedBits);
+    if (Overlap.count() != 0)
+      R.notef("block %u: %llu slots both allocated and pinned", Id,
+              (unsigned long long)Overlap.count());
+    if (Block.MarkBits.count() > Block.ObjectCount)
+      R.notef("block %u: mark bitmap has %llu bits set for %u slots", Id,
+              (unsigned long long)Block.MarkBits.count(), Block.ObjectCount);
+    if (Block.IsLarge &&
+        (Block.ObjectCount != 1 || Block.AllocatedCount != 1))
+      R.notef("block %u: large block must hold exactly one object "
+              "(%u slots, %u allocated)",
+              Id, Block.ObjectCount, Block.AllocatedCount);
+    // Every small block with usable space must be reachable by the
+    // allocator: listed on its class list or queued for lazy sweep.
+    // (The LIFO ablation prunes its stacks lazily, so only the
+    // address-ordered discipline supports this check.)
+    if (!Block.IsLarge && Block.usableFreeCount() > 0 &&
+        Heap.Config.AddressOrderedAllocation) {
+      ObjectHeap::ClassList &List = Heap.classListFor(Block);
+      bool Listed = List.Partial.count(Block.StartPage) != 0;
+      bool Queued = false;
+      for (BlockId Q : List.Unswept)
+        Queued |= Q == Id;
+      if (!Listed && !Queued)
+        R.notef("block %u: has %u usable free slots but is invisible to "
+                "the allocator",
+                Id, Block.usableFreeCount());
+    }
+    BytesSeen += uint64_t(Block.AllocatedCount) * Block.ObjectSize;
+    BlockOwnedPages += Block.NumPages;
+  });
+  if (BytesSeen != Heap.AllocatedBytes)
+    R.notef("allocated-bytes accounting: blocks hold %llu bytes, counter "
+            "says %llu",
+            (unsigned long long)BytesSeen,
+            (unsigned long long)Heap.AllocatedBytes);
+
+  // --- Class lists point at live, matching blocks. ---
+  size_t QueuedBlocks = 0;
+  auto CheckList = [&](const ObjectHeap::ClassList &List, const char *What) {
+    for (const auto &[StartPage, Id] : List.Partial) {
+      if (!Heap.Blocks.isLive(Id)) {
+        R.notef("%s class list: entry for page %llu names dead block %u",
+                What, (unsigned long long)StartPage, Id);
+        continue;
+      }
+      const BlockDescriptor &Block = Heap.Blocks.get(Id);
+      if (Block.StartPage != StartPage)
+        R.notef("%s class list: key page %llu but block %u starts at %llu",
+                What, (unsigned long long)StartPage, Id,
+                (unsigned long long)Block.StartPage);
+      if (Block.IsLarge)
+        R.notef("%s class list: large block %u listed", What, Id);
+      if (Block.usableFreeCount() == 0)
+        R.notef("%s class list: block %u listed with no usable slot", What,
+                Id);
+    }
+    // Unswept entries may name blocks released meanwhile (the queue is
+    // pruned lazily); only count them against the pending total.
+    QueuedBlocks += List.Unswept.size();
+  };
+  for (const ObjectHeap::ClassList &List : Heap.ClassLists)
+    CheckList(List, "untyped");
+  for (const auto &[LayoutId, List] : Heap.TypedClassLists) {
+    (void)LayoutId;
+    CheckList(List, "typed");
+  }
+  if (QueuedBlocks != Heap.PendingSweeps)
+    R.notef("lazy-sweep queue holds %llu entries, counter says %llu",
+            (unsigned long long)QueuedBlocks,
+            (unsigned long long)Heap.PendingSweeps);
+
+  // --- Free runs ↔ page map ↔ committed-page partition. ---
+  uint64_t FreePages = 0;
+  PageIndex PrevEnd = 0;
+  bool FirstRun = true;
+  Pages.forEachFreeRun([&](PageIndex Start, uint32_t Length) {
+    if (Length == 0)
+      R.notef("free run at page %llu: zero length",
+              (unsigned long long)Start);
+    if (Start < Pages.arenaBasePage() ||
+        Start + Length > Pages.committedLimitPage())
+      R.notef("free run [%llu, %llu) outside the committed arena "
+              "[%llu, %llu)",
+              (unsigned long long)Start,
+              (unsigned long long)(Start + Length),
+              (unsigned long long)Pages.arenaBasePage(),
+              (unsigned long long)Pages.committedLimitPage());
+    if (!FirstRun && Start <= PrevEnd)
+      R.notef("free run at page %llu %s the previous run ending at %llu",
+              (unsigned long long)Start,
+              Start < PrevEnd ? "overlaps" : "abuts (uncoalesced)",
+              (unsigned long long)PrevEnd);
+    FirstRun = false;
+    PrevEnd = Start + Length;
+    FreePages += Length;
+    for (uint32_t P = 0; P != Length; ++P) {
+      if (Map.blockAt(Start + P) != InvalidBlockId) {
+        R.notef("free run [%llu, %llu): page %llu owned by block %u",
+                (unsigned long long)Start,
+                (unsigned long long)(Start + Length),
+                (unsigned long long)(Start + P), Map.blockAt(Start + P));
+        break;
+      }
+    }
+  });
+  uint64_t Committed = Pages.committedLimitPage() - Pages.arenaBasePage();
+  if (BlockOwnedPages + FreePages != Committed)
+    R.notef("committed-page partition: %llu block-owned + %llu free != "
+            "%llu committed",
+            (unsigned long long)BlockOwnedPages,
+            (unsigned long long)FreePages, (unsigned long long)Committed);
+  if (Pages.stats().CommittedPages != Committed)
+    R.notef("page stats: CommittedPages says %llu, commit limit implies "
+            "%llu",
+            (unsigned long long)Pages.stats().CommittedPages,
+            (unsigned long long)Committed);
+  return R;
+}
+
+} // namespace cgc

@@ -22,6 +22,11 @@ ObjectHeap::classListFor(const BlockDescriptor &Block) {
 }
 
 PageConstraint ObjectHeap::constraintFor(ObjectKind Kind, bool Large) const {
+  // The emergency allocation mode would rather risk false retention on
+  // a blacklisted interior page than report out of memory.
+  PageConstraint Pointer = Config.PointerPageConstraint;
+  if (EmergencyRelaxation && Pointer == PageConstraint::AllPagesClean)
+    Pointer = PageConstraint::FirstPageClean;
   switch (Kind) {
   case ObjectKind::Uncollectable:
     // Never reclaimed, so a false reference costs nothing extra.
@@ -31,9 +36,9 @@ PageConstraint ObjectHeap::constraintFor(ObjectKind Kind, bool Large) const {
     // blacklisted pages: pinning one retains only its own few bytes.
     // Large pointer-free objects still retain their full size when
     // pinned, so they honor the pointer constraint.
-    return Large ? Config.PointerPageConstraint : PageConstraint::None;
+    return Large ? Pointer : PageConstraint::None;
   case ObjectKind::Normal:
-    return Config.PointerPageConstraint;
+    return Pointer;
   }
   CGC_UNREACHABLE("bad object kind");
 }
@@ -470,56 +475,15 @@ void ObjectHeap::finishPendingSweeps() {
   CGC_ASSERT(PendingSweeps == 0, "pending sweeps unaccounted for");
 }
 
+HeapVerifyReport ObjectHeap::verify() { return HeapVerifier(*this).run(); }
+
 void ObjectHeap::verifyHeap() {
-  uint64_t BytesSeen = 0;
-  Blocks.forEach([&](BlockId Id, BlockDescriptor &Block) {
-    // Geometry.
-    CGC_CHECK(Block.NumPages > 0 && Block.ObjectCount > 0,
-              "degenerate block");
-    CGC_CHECK(Pages.inPotentialHeap(Block.StartPage) &&
-                  Pages.inPotentialHeap(Block.StartPage +
-                                        Block.NumPages - 1),
-              "block outside the heap arena");
-    CGC_CHECK(Block.FirstObjectOffset +
-                      uint64_t(Block.ObjectCount) * Block.ObjectSize <=
-                  uint64_t(Block.NumPages) * PageSize,
-              "slots overflow the block");
-    // Page map points every page at this block.
-    for (uint32_t P = 0; P != Block.NumPages; ++P)
-      CGC_CHECK(Map.blockAt(Block.StartPage + P) == Id,
-                "page map out of sync with block");
-    // Bitmap/count agreement.
-    CGC_CHECK(Block.AllocBits.count() == Block.AllocatedCount,
-              "allocated count out of sync");
-    CGC_CHECK(Block.PinnedBits.count() == Block.PinnedCount,
-              "pinned count out of sync");
-    BitVector Overlap = Block.AllocBits;
-    Overlap.andWith(Block.PinnedBits);
-    CGC_CHECK(Overlap.count() == 0, "slot both allocated and pinned");
-    BytesSeen += uint64_t(Block.AllocatedCount) * Block.ObjectSize;
-    if (Block.IsLarge)
-      CGC_CHECK(Block.ObjectCount == 1 && Block.AllocatedCount == 1,
-                "large block must hold exactly one object");
-    // Every small block with usable space must be reachable by the
-    // allocator: listed, queued for lazy sweep, or LIFO-pruned later.
-    if (!Block.IsLarge && Block.usableFreeCount() > 0 &&
-        Config.AddressOrderedAllocation) {
-      ClassList &List = classListFor(Block);
-      bool Listed = List.Partial.count(Block.StartPage) != 0;
-      bool Queued = false;
-      for (BlockId Q : List.Unswept)
-        Queued |= Q == Id;
-      CGC_CHECK(Listed || Queued,
-                "block with free space invisible to the allocator");
-    }
-  });
-  CGC_CHECK(BytesSeen == AllocatedBytes, "allocated-bytes accounting");
-  // Free page runs must not overlap any block.
-  Pages.forEachFreeRun([&](PageIndex Start, uint32_t Length) {
-    for (uint32_t P = 0; P != Length; ++P)
-      CGC_CHECK(Map.blockAt(Start + P) == InvalidBlockId,
-                "free page run overlaps a block");
-  });
+  HeapVerifyReport Report = verify();
+  if (Report.clean())
+    return;
+  std::fprintf(stderr, "cgc heap verification failed (%zu issues):\n%s",
+               Report.Issues.size(), Report.str().c_str());
+  fatalError("heap verification failed", __FILE__, __LINE__);
 }
 
 void ObjectHeap::releaseBlock(BlockId Id) {

@@ -33,6 +33,7 @@
 
 #include "heap/BlockTable.h"
 #include "heap/HeapUnits.h"
+#include "heap/HeapVerifier.h"
 #include "heap/ObjectKind.h"
 #include "heap/PageAllocator.h"
 #include "heap/PageMap.h"
@@ -267,10 +268,14 @@ public:
   /// Number of blocks queued and not yet swept.
   size_t pendingSweepCount() const { return PendingSweeps; }
 
-  /// Walks every block and cross-checks the heap's invariants: page
-  /// map consistency, bitmap/count agreement, byte accounting, and
-  /// class-list completeness.  Aborts with a message on violation.
-  /// O(heap); intended for tests and debugging sessions.
+  /// Runs the deep heap verifier (heap/HeapVerifier.h): block table ↔
+  /// page map ↔ free runs ↔ class lists ↔ bitmaps/byte accounting.
+  /// Accumulates a diagnostic report instead of aborting.  O(heap);
+  /// intended for tests and debugging sessions.
+  HeapVerifyReport verify();
+
+  /// verify(), with the historical abort semantics: prints the full
+  /// report and fatals on any inconsistency.
   void verifyHeap();
 
   const ObjectHeapStats &stats() const { return Stats; }
@@ -284,7 +289,14 @@ public:
   VirtualArena &arena() { return Arena; }
   BlockTable &blockTable() { return Blocks; }
 
+  /// When set, pointer-containing page runs accept AllPagesClean →
+  /// FirstPageClean relaxation: the allocation ladder's emergency mode
+  /// trades blacklist avoidance for survival right before reporting
+  /// out-of-memory.
+  void setEmergencyPageRelaxation(bool On) { EmergencyRelaxation = On; }
+
 private:
+  friend class HeapVerifier;
   struct ClassList {
     /// Blocks of this (kind, class) with at least one usable slot,
     /// keyed by start page: begin() is the lowest-address block.
@@ -324,6 +336,7 @@ private:
   ObjectHeapStats Stats;
   uint64_t AllocatedBytes = 0;
   size_t PendingSweeps = 0;
+  bool EmergencyRelaxation = false;
 };
 
 } // namespace cgc

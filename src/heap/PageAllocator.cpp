@@ -2,6 +2,7 @@
 
 #include "heap/PageAllocator.h"
 #include "support/Assert.h"
+#include "support/FaultInjection.h"
 #include "support/MathExtras.h"
 
 using namespace cgc;
@@ -36,6 +37,10 @@ PageAllocator::allocateRun(uint32_t NumPages, PageConstraint Constraint) {
 
 std::optional<PageIndex>
 PageAllocator::findInFreeRuns(uint32_t NumPages, PageConstraint Constraint) {
+  // Injected run-search failure: report "no fit" so callers exercise
+  // their grow/collect fallbacks.
+  if (CGC_INJECT_FAULT(PageRunSearch))
+    return std::nullopt;
   // Address-ordered first fit: std::map iterates runs lowest first.
   for (const auto &[RunStart, RunLen] : FreeRuns) {
     if (RunLen < NumPages)
@@ -82,6 +87,10 @@ PageAllocator::findInRun(PageIndex RunStart, uint32_t RunLen,
 }
 
 bool PageAllocator::grow(uint32_t AtLeastPages) {
+  // Injected commit failure: behave exactly like an exhausted arena so
+  // the allocation ladder's collect-and-retry rungs get exercised.
+  if (CGC_INJECT_FAULT(ArenaGrow))
+    return false;
   PageIndex Limit = arenaLimitPage();
   if (CommitLimit >= Limit)
     return false;

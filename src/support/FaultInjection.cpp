@@ -1,0 +1,109 @@
+//===- support/FaultInjection.cpp - Deterministic fault injection ---------===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+#include "support/Assert.h"
+
+namespace cgc {
+
+const char *faultSiteName(FaultSite Site) {
+  switch (Site) {
+  case FaultSite::ArenaGrow:
+    return "arena-grow";
+  case FaultSite::PageRunSearch:
+    return "page-run-search";
+  case FaultSite::WorkerSpawn:
+    return "worker-spawn";
+  case FaultSite::MarkStackOverflow:
+    return "mark-stack-overflow";
+  }
+  CGC_UNREACHABLE("unknown fault site");
+}
+
+FaultInjector &FaultInjector::instance() {
+  static FaultInjector Injector;
+  return Injector;
+}
+
+void FaultInjector::arm(FaultSite Site, uint64_t SkipHits,
+                        uint64_t FailCount) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  SiteState &S = Sites[static_cast<unsigned>(Site)];
+  if (S.Arming == Mode::Disarmed)
+    ArmedCount.fetch_add(1, std::memory_order_relaxed);
+  S.Arming = Mode::Deterministic;
+  S.SkipHits = SkipHits;
+  S.FailCount = FailCount;
+}
+
+void FaultInjector::armRandom(FaultSite Site, double Probability,
+                              uint64_t Seed) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  SiteState &S = Sites[static_cast<unsigned>(Site)];
+  if (S.Arming == Mode::Disarmed)
+    ArmedCount.fetch_add(1, std::memory_order_relaxed);
+  S.Arming = Mode::Probabilistic;
+  S.Probability = Probability;
+  S.Stream.reseed(Seed);
+}
+
+void FaultInjector::disarm(FaultSite Site) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  SiteState &S = Sites[static_cast<unsigned>(Site)];
+  if (S.Arming != Mode::Disarmed)
+    ArmedCount.fetch_sub(1, std::memory_order_relaxed);
+  S.Arming = Mode::Disarmed;
+}
+
+void FaultInjector::disarmAll() {
+  std::lock_guard<std::mutex> Guard(Lock);
+  for (SiteState &S : Sites)
+    S.Arming = Mode::Disarmed;
+  ArmedCount.store(0, std::memory_order_relaxed);
+}
+
+FaultSiteStats FaultInjector::stats(FaultSite Site) const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return Sites[static_cast<unsigned>(Site)].Stats;
+}
+
+void FaultInjector::resetStats() {
+  std::lock_guard<std::mutex> Guard(Lock);
+  for (SiteState &S : Sites)
+    S.Stats = FaultSiteStats();
+}
+
+bool FaultInjector::shouldFailSlow(FaultSite Site) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  SiteState &S = Sites[static_cast<unsigned>(Site)];
+  ++S.Stats.Hits;
+  switch (S.Arming) {
+  case Mode::Disarmed:
+    return false;
+  case Mode::Deterministic:
+    if (S.SkipHits > 0) {
+      --S.SkipHits;
+      return false;
+    }
+    if (S.FailCount == 0)
+      return false;
+    if (S.FailCount != UINT64_MAX && --S.FailCount == 0) {
+      S.Arming = Mode::Disarmed;
+      ArmedCount.fetch_sub(1, std::memory_order_relaxed);
+    }
+    ++S.Stats.Fired;
+    return true;
+  case Mode::Probabilistic:
+    if (!S.Stream.nextBool(S.Probability))
+      return false;
+    ++S.Stats.Fired;
+    return true;
+  }
+  CGC_UNREACHABLE("unknown fault arming mode");
+}
+
+} // namespace cgc

@@ -4,6 +4,7 @@
 #include "core/GcConfig.h"
 #include <cstring>
 #include <gtest/gtest.h>
+#include <vector>
 
 namespace {
 
@@ -71,6 +72,7 @@ TEST(CApi, ConfigDefaultsMatchGcConfig) {
   EXPECT_EQ(C.clear_freed_objects, D.ClearFreedObjects ? 1 : 0);
   EXPECT_EQ(C.address_ordered_allocation,
             D.AddressOrderedAllocation ? 1 : 0);
+  EXPECT_EQ(C.verify_every_collection, D.VerifyEveryCollection ? 1 : 0);
 }
 
 // Every field set to a non-default value must round-trip through
@@ -103,6 +105,7 @@ TEST(CApi, ConfigRoundTripsThroughCollector) {
   In.avoid_trailing_zero_addresses = 0;
   In.clear_freed_objects = 0;
   In.address_ordered_allocation = 0;
+  In.verify_every_collection = 1;
 
   cgc_collector *GC = cgc_create(&In);
   ASSERT_NE(GC, nullptr);
@@ -137,6 +140,7 @@ TEST(CApi, ConfigRoundTripsThroughCollector) {
             In.avoid_trailing_zero_addresses);
   EXPECT_EQ(Out.clear_freed_objects, In.clear_freed_objects);
   EXPECT_EQ(Out.address_ordered_allocation, In.address_ordered_allocation);
+  EXPECT_EQ(Out.verify_every_collection, In.verify_every_collection);
   cgc_destroy(GC);
 }
 
@@ -274,6 +278,102 @@ TEST(CApi, StackScanningEndToEnd) {
   cgc_gcollect(GC);
   EXPECT_EQ(N->Value, 42) << "stack-referenced object survives";
   EXPECT_GE(cgc_live_bytes(GC), sizeof(CNode));
+  cgc_destroy(GC);
+}
+
+namespace {
+// C function pointers cannot capture, so the OOM/warn tests talk
+// through file-scope state.
+size_t OomHandlerCalls;
+size_t OomRequestedBytes;
+size_t WarnCalls;
+} // namespace
+
+// Drives the allocation ladder to exhaustion through the C API: every
+// rung (collect, lazy-sweep flush, grow, emergency collect) fails on a
+// heap pinned full of uncollectable objects, so the installed handler
+// must be invoked — exactly once per failed request, with the
+// requested size — and the allocation must return its result instead
+// of aborting.
+TEST(CApi, OomHandlerRunsWhenLadderExhausted) {
+  cgc_config Config = testConfig();
+  Config.max_heap_bytes = 2ULL << 20;
+  cgc_collector *GC = cgc_create(&Config);
+  cgc_set_oom_handler(
+      GC,
+      [](size_t Bytes, void *) -> void * {
+        ++OomHandlerCalls;
+        OomRequestedBytes = Bytes;
+        return nullptr;
+      },
+      nullptr);
+  cgc_set_warn_proc(
+      GC, [](const char *, unsigned long long, void *) { ++WarnCalls; },
+      nullptr);
+  OomHandlerCalls = 0;
+  OomRequestedBytes = 0;
+  WarnCalls = 0;
+
+  // Pin the whole heap: uncollectable objects survive every rung's
+  // collection.
+  std::vector<void *> Pinned;
+  while (void *P = cgc_malloc_uncollectable(GC, 4096))
+    Pinned.push_back(P);
+
+  EXPECT_EQ(OomHandlerCalls, 1u) << "handler runs once per failed request";
+  EXPECT_EQ(OomRequestedBytes, 4096u);
+  EXPECT_FALSE(Pinned.empty());
+  EXPECT_GE(WarnCalls, 1u)
+      << "no-progress collections under pressure must warn";
+
+  // The heap is saturated but intact.
+  EXPECT_EQ(cgc_verify_heap(GC, nullptr, 0), 0u);
+
+  // Free everything; allocation works again without handler calls.
+  OomHandlerCalls = 0;
+  for (void *P : Pinned)
+    cgc_free(GC, P);
+  void *After = cgc_malloc(GC, 4096);
+  EXPECT_NE(After, nullptr);
+  EXPECT_EQ(OomHandlerCalls, 0u);
+  cgc_destroy(GC);
+}
+
+TEST(CApi, VerifyHeapReportsCleanAndFillsBuffer) {
+  cgc_config Config = testConfig();
+  cgc_collector *GC = cgc_create(&Config);
+  for (int I = 0; I != 64; ++I)
+    cgc_malloc(GC, 48);
+  cgc_gcollect(GC);
+  char Report[256];
+  std::memset(Report, 'x', sizeof(Report));
+  EXPECT_EQ(cgc_verify_heap(GC, Report, sizeof(Report)), 0u);
+  EXPECT_EQ(Report[0], '\0') << "clean heap yields an empty report";
+  cgc_destroy(GC);
+}
+
+// The fault-injection controls are exposed through the C API so C
+// harnesses can script failure scenarios; arena-grow failure must be
+// absorbed by the ladder (collect/retry), not surfaced to the caller.
+TEST(CApi, FaultInjectionControls) {
+  if (!cgc_fault_injection_available())
+    GTEST_SKIP() << "fault-injection hooks compiled out";
+
+  cgc_config Config = testConfig();
+  cgc_collector *GC = cgc_create(&Config);
+  unsigned long long FiredBefore = cgc_fault_fired(CGC_FAULT_ARENA_GROW);
+  cgc_fault_arm(CGC_FAULT_ARENA_GROW, 0, 1);
+  // First allocation needs pages; the injected grow failure forces the
+  // ladder, which retries after its rungs and succeeds.
+  void *P = cgc_malloc(GC, 64);
+  EXPECT_NE(P, nullptr);
+  cgc_fault_disarm_all();
+  EXPECT_EQ(cgc_fault_fired(CGC_FAULT_ARENA_GROW), FiredBefore + 1);
+
+  // Out-of-range sites are ignored, not UB.
+  cgc_fault_arm(99, 0, 1);
+  EXPECT_EQ(cgc_fault_fired(99), 0u);
+  cgc_fault_disarm_all();
   cgc_destroy(GC);
 }
 

@@ -9,6 +9,7 @@
 #include "support/BitVector.h"
 #include <cstring>
 #include <gtest/gtest.h>
+#include <vector>
 
 using namespace cgc;
 
@@ -444,4 +445,27 @@ TEST_F(ObjectHeapFixture, LifoAblationUsesRecentBlock) {
   Lifo.deallocateExplicit(A);
   void *B = Lifo.allocateFromExisting(8, ObjectKind::Normal);
   EXPECT_EQ(B, A) << "LIFO reuses the most recently freed-into block";
+}
+
+TEST_F(ObjectHeapFixture, LargeAllocationFailsAtArenaLimitAndRecovers) {
+  // Fill the 2048-page arena with large objects until a request cannot
+  // be satisfied.  Each 256-page object occupies 257 pages (the first
+  // object starts past the block header offset), so seven fit.
+  constexpr size_t LargeBytes = 256 * PageSize;
+  std::vector<void *> Bigs;
+  while (void *P = Heap->allocateLarge(LargeBytes, ObjectKind::Normal))
+    Bigs.push_back(P);
+  ASSERT_GE(Bigs.size(), 2u);
+  EXPECT_EQ(Heap->allocateLarge(LargeBytes, ObjectKind::Normal), nullptr)
+      << "exhaustion reports nullptr instead of aborting";
+  EXPECT_GT(Pages.stats().FailedRequests, 0u);
+  Heap->verifyHeap();
+
+  // A collection that reclaims the objects returns their page runs;
+  // the identical request then succeeds.
+  Heap->clearMarks();
+  Heap->sweep();
+  void *After = Heap->allocateLarge(LargeBytes, ObjectKind::Normal);
+  EXPECT_NE(After, nullptr);
+  Heap->verifyHeap();
 }

@@ -206,3 +206,32 @@ TEST_F(InterpTest, EmbedderApi) {
   Value L = In.list({Value::fixnum(1), Value::fixnum(2)});
   EXPECT_EQ(In.toString(L), "(1 2)");
 }
+
+TEST(InterpOom, ExhaustedHeapReportsOutOfMemoryError) {
+  // A deliberately tiny arena: a program that conses without dropping
+  // references must climb the whole allocation ladder and then fail
+  // with the interpreter's error protocol — never abort the process.
+  GcConfig Config;
+  Config.MaxHeapBytes = 256 << 10;
+  Config.MinHeapBytesBeforeGc = 16 << 10;
+  Collector GC(Config);
+  Interpreter In(GC);
+  GC.enableMachineStackScanning();
+
+  In.clearError();
+  Value Result = In.evalString(
+      "(define grow (lambda (n acc)"
+      "  (if (= n 0) acc (grow (- n 1) (cons n acc)))))"
+      "(define hold (grow 100000 '()))"
+      "(length hold)");
+  (void)Result;
+  ASSERT_TRUE(In.failed()) << "the rooted list cannot fit in 256 KiB";
+  EXPECT_EQ(In.errorMessage(), "out of memory");
+  EXPECT_GE(GC.resilienceStats().OomEvents, 1u);
+
+  // The interpreter (and collector) remain usable after the failure.
+  In.clearError();
+  Value Ok = In.evalString("(+ 1 2)");
+  EXPECT_FALSE(In.failed());
+  EXPECT_EQ(In.toString(Ok), "3");
+}

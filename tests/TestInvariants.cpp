@@ -16,7 +16,7 @@ using namespace cgc;
 namespace {
 
 GcConfig fuzzConfig(bool Lazy, bool AddressOrdered,
-                    unsigned SweepThreads = 1) {
+                    unsigned SweepThreads = 1, bool VerifyEvery = false) {
   GcConfig Config;
   Config.MaxHeapBytes = 64 << 20;
   Config.GcAtStartup = true;
@@ -25,12 +25,13 @@ GcConfig fuzzConfig(bool Lazy, bool AddressOrdered,
   Config.LazySweep = Lazy;
   Config.AddressOrderedAllocation = AddressOrdered;
   Config.SweepThreads = SweepThreads;
+  Config.VerifyEveryCollection = VerifyEvery;
   return Config;
 }
 
 void fuzzOnce(bool Lazy, bool AddressOrdered, uint64_t Seed,
-              unsigned SweepThreads = 1) {
-  Collector GC(fuzzConfig(Lazy, AddressOrdered, SweepThreads));
+              unsigned SweepThreads = 1, bool VerifyEvery = false) {
+  Collector GC(fuzzConfig(Lazy, AddressOrdered, SweepThreads, VerifyEvery));
   Rng R(Seed);
   LayoutId Layout = GC.registerObjectLayout(
       {true, false, true, false}, 4 * sizeof(uint64_t));
@@ -129,6 +130,16 @@ TEST(HeapInvariants, FuzzEagerLifoParallelSweep) {
 }
 TEST(HeapInvariants, FuzzLazyParallelSweep) {
   fuzzOnce(true, true, 303, /*SweepThreads=*/4);
+}
+// The deep verifier lane: the same fuzz loop with
+// GcConfig::VerifyEveryCollection on, so every phase of every
+// collection re-verifies block table, page map, free lists, mark bits,
+// and blacklist — failures abort at the phase that corrupted the heap.
+TEST(HeapInvariants, FuzzEagerVerifyEveryCollection) {
+  fuzzOnce(false, true, 505, /*SweepThreads=*/1, /*VerifyEvery=*/true);
+}
+TEST(HeapInvariants, FuzzLazyVerifyEveryCollection) {
+  fuzzOnce(true, true, 606, /*SweepThreads=*/1, /*VerifyEvery=*/true);
 }
 
 // Sweep-counter coherence: after a parallel sweep (per-worker counter

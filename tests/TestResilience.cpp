@@ -1,0 +1,402 @@
+//===- tests/TestResilience.cpp - Memory-pressure resilience tests --------===//
+//
+// Exercises the allocation exhaustion ladder, the fault-injection
+// harness, and the deep heap verifier: the collector must degrade
+// gracefully (and deterministically) when pages, threads, or mark-stack
+// space are taken away from it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Collector.h"
+#include "support/FaultInjection.h"
+#include <cstring>
+#include <gtest/gtest.h>
+#include <set>
+#include <vector>
+
+using namespace cgc;
+
+namespace {
+
+/// Disarms every fault site when a test exits, pass or fail, so one
+/// test's armed faults never leak into the next.
+struct FaultGuard {
+  FaultGuard() { FaultInjector::instance().disarmAll(); }
+  ~FaultGuard() { FaultInjector::instance().disarmAll(); }
+};
+
+GcConfig smallHeapConfig(uint64_t MaxHeapBytes) {
+  GcConfig Config;
+  Config.MaxHeapBytes = MaxHeapBytes;
+  Config.MinHeapBytesBeforeGc = 1 << 20;
+  return Config;
+}
+
+/// Builds a rooted linked list of \p Count two-slot nodes; slot 0 of
+/// each node points at the next.  Window[0] roots the head.
+void buildRootedList(Collector &GC, std::vector<uint64_t> &Window,
+                     size_t Count) {
+  void *Prev = nullptr;
+  for (size_t I = 0; I != Count; ++I) {
+    void **Node = static_cast<void **>(GC.allocate(2 * sizeof(void *)));
+    ASSERT_NE(Node, nullptr);
+    Node[0] = Prev;
+    Prev = Node;
+  }
+  Window[0] = reinterpret_cast<uint64_t>(Prev);
+}
+
+/// Window offsets of every currently allocated object, i.e. the
+/// retained set in a collector-address-independent form.
+std::set<uint64_t> retainedOffsets(Collector &GC) {
+  std::set<uint64_t> Offsets;
+  GC.forEachObject([&](void *Ptr, size_t, ObjectKind) {
+    Offsets.insert(GC.windowOffsetOf(Ptr));
+  });
+  return Offsets;
+}
+
+//===----------------------------------------------------------------------===//
+// Ladder rungs under injected faults
+//===----------------------------------------------------------------------===//
+
+TEST(Resilience, ArenaGrowFaultFallsBackToCollect) {
+  if (!FaultInjectionCompiled)
+    GTEST_SKIP() << "built without CGC_FAULT_INJECTION";
+  FaultGuard Guard;
+
+  GcConfig Config = smallHeapConfig(16 << 20);
+  // Make threshold collections impossible so exhaustion reaches the
+  // ladder instead of being hidden by collect-before-growth.
+  Config.MinHeapBytesBeforeGc = uint64_t(1) << 40;
+  Collector GC(Config);
+
+  // Commit an initial working set while growth still works.
+  for (int I = 0; I != 64; ++I)
+    ASSERT_NE(GC.allocate(1024), nullptr);
+
+  // From here on the arena refuses to grow.  Everything above is
+  // garbage (no roots), so ladder collections keep reclaiming it and
+  // allocation must keep succeeding without ever growing again.
+  FaultInjector::instance().arm(FaultSite::ArenaGrow, 0, UINT64_MAX);
+  uint64_t Committed = GC.committedHeapBytes();
+  for (int I = 0; I != 4096; ++I)
+    ASSERT_NE(GC.allocate(1024), nullptr) << "iteration " << I;
+  EXPECT_EQ(GC.committedHeapBytes(), Committed);
+
+  GcResilienceStats Stats = GC.resilienceStats();
+  EXPECT_GT(Stats.HeapExhaustedCollections, 0u);
+  EXPECT_EQ(Stats.OomEvents, 0u);
+  EXPECT_GT(FaultInjector::instance().stats(FaultSite::ArenaGrow).Fired, 0u);
+}
+
+TEST(Resilience, PageRunSearchFaultFallsBackToGrow) {
+  if (!FaultInjectionCompiled)
+    GTEST_SKIP() << "built without CGC_FAULT_INJECTION";
+  FaultGuard Guard;
+
+  Collector GC(smallHeapConfig(64 << 20));
+  ASSERT_NE(GC.allocate(1024), nullptr);
+  uint64_t GrowsBefore = GC.pageStats().GrowEvents;
+
+  // The next free-run search claims nothing fits; the allocator must
+  // grow the arena and retry rather than failing the request.
+  FaultInjector::instance().arm(FaultSite::PageRunSearch, 0, 1);
+  void *Large = GC.allocate(3 * PageSize);
+  EXPECT_NE(Large, nullptr);
+  EXPECT_GT(GC.pageStats().GrowEvents, GrowsBefore);
+  EXPECT_EQ(FaultInjector::instance().stats(FaultSite::PageRunSearch).Fired,
+            1u);
+}
+
+TEST(Resilience, WorkerSpawnFaultDegradesToSequentialBitIdentical) {
+  if (!FaultInjectionCompiled)
+    GTEST_SKIP() << "built without CGC_FAULT_INJECTION";
+  FaultGuard Guard;
+
+  Collector GC(smallHeapConfig(64 << 20));
+  std::vector<uint64_t> Window(8, 0);
+  GC.addRootRange(Window.data(), Window.data() + Window.size(),
+                  RootEncoding::Native64, RootSource::Client, "window");
+  // Several independent rooted lists, so the root scan produces enough
+  // mark seeds for the phases to actually go parallel (a single seed
+  // runs the sequential drain without negotiating workers).
+  for (size_t Root = 0; Root != 4; ++Root) {
+    void *Prev = nullptr;
+    for (int I = 0; I != 125; ++I) {
+      void **Node = static_cast<void **>(GC.allocate(2 * sizeof(void *)));
+      ASSERT_NE(Node, nullptr);
+      Node[0] = Prev;
+      Prev = Node;
+    }
+    Window[Root] = reinterpret_cast<uint64_t>(Prev);
+  }
+
+  // Reference: the paper's sequential collector.
+  CollectionStats Sequential = GC.collect("reference");
+  std::set<uint64_t> SequentialRetained = retainedOffsets(GC);
+  ASSERT_EQ(GC.workerPool().threadsSpawned(), 0u);
+
+  // Ask for 8-way parallel phases while every thread spawn fails: the
+  // collection must complete sequentially with identical results.
+  FaultInjector::instance().arm(FaultSite::WorkerSpawn, 0, UINT64_MAX);
+  GC.setMarkThreads(8);
+  GC.setSweepThreads(8);
+  CollectionStats Degraded = GC.collect("degraded");
+
+  EXPECT_EQ(GC.workerPool().threadsSpawned(), 0u);
+  EXPECT_GT(GC.resilienceStats().WorkerSpawnFailures, 0u);
+  EXPECT_EQ(Degraded.MarkWorkers, 1u);
+  EXPECT_EQ(Degraded.SweepWorkers, 1u);
+  EXPECT_EQ(Degraded.ObjectsMarked, Sequential.ObjectsMarked);
+  EXPECT_EQ(Degraded.BytesMarked, Sequential.BytesMarked);
+  EXPECT_EQ(retainedOffsets(GC), SequentialRetained);
+}
+
+TEST(Resilience, MarkStackOverflowRecoverySequential) {
+  if (!FaultInjectionCompiled)
+    GTEST_SKIP() << "built without CGC_FAULT_INJECTION";
+  FaultGuard Guard;
+
+  Collector GC(smallHeapConfig(64 << 20));
+  std::vector<uint64_t> Window(8, 0);
+  GC.addRootRange(Window.data(), Window.data() + Window.size(),
+                  RootEncoding::Native64, RootSource::Client, "window");
+  buildRootedList(GC, Window, 800);
+
+  CollectionStats Reference = GC.collect("reference");
+  ASSERT_GT(Reference.ObjectsMarked, 800u - 1);
+
+  // Every push now drops its work item; the marker must rescan marked
+  // objects to a fixpoint and still mark the identical set.
+  FaultInjector::instance().arm(FaultSite::MarkStackOverflow, 0, UINT64_MAX);
+  CollectionStats Faulted = GC.collect("overflowing");
+  EXPECT_GT(Faulted.MarkStackOverflows, 0u);
+  EXPECT_EQ(Faulted.ObjectsMarked, Reference.ObjectsMarked);
+  EXPECT_EQ(Faulted.BytesMarked, Reference.BytesMarked);
+
+  // The list survived both collections.
+  size_t Nodes = 0;
+  for (void **Node = reinterpret_cast<void **>(Window[0]); Node;
+       Node = static_cast<void **>(Node[0]))
+    ++Nodes;
+  EXPECT_EQ(Nodes, 800u);
+}
+
+TEST(Resilience, MarkStackOverflowRecoveryParallel) {
+  if (!FaultInjectionCompiled)
+    GTEST_SKIP() << "built without CGC_FAULT_INJECTION";
+  FaultGuard Guard;
+
+  GcConfig Config = smallHeapConfig(64 << 20);
+  Config.MarkThreads = 4;
+  Collector GC(Config);
+  std::vector<uint64_t> Window(64, 0);
+  GC.addRootRange(Window.data(), Window.data() + Window.size(),
+                  RootEncoding::Native64, RootSource::Client, "window");
+  // Many independent rooted lists so the parallel marker has real work.
+  for (size_t Root = 0; Root != 32; ++Root) {
+    void *Prev = nullptr;
+    for (int I = 0; I != 40; ++I) {
+      void **Node = static_cast<void **>(GC.allocate(2 * sizeof(void *)));
+      ASSERT_NE(Node, nullptr);
+      Node[0] = Prev;
+      Prev = Node;
+    }
+    Window[Root] = reinterpret_cast<uint64_t>(Prev);
+  }
+
+  CollectionStats Reference = GC.collect("reference");
+  FaultInjector::instance().arm(FaultSite::MarkStackOverflow, 0, UINT64_MAX);
+  CollectionStats Faulted = GC.collect("overflowing");
+  EXPECT_GT(Faulted.MarkStackOverflows, 0u);
+  EXPECT_EQ(Faulted.ObjectsMarked, Reference.ObjectsMarked);
+  EXPECT_EQ(Faulted.BytesMarked, Reference.BytesMarked);
+}
+
+//===----------------------------------------------------------------------===//
+// OOM handler and warnings
+//===----------------------------------------------------------------------===//
+
+alignas(16) unsigned char OomSentinel[256];
+size_t OomCalls = 0;
+uint64_t OomBytesSeen = 0;
+
+void *sentinelOomHandler(uint64_t Bytes, void *UserData) {
+  ++OomCalls;
+  OomBytesSeen = Bytes;
+  EXPECT_EQ(UserData, &OomCalls);
+  return OomSentinel;
+}
+
+TEST(Resilience, OomHandlerInvokedOnceAndResultReturnedVerbatim) {
+  Collector GC(smallHeapConfig(2 << 20));
+
+  // Uncollectable objects survive every ladder rung, so the arena
+  // genuinely fills up.
+  std::vector<void *> Kept;
+  while (void *P = GC.allocate(4096, ObjectKind::Uncollectable))
+    Kept.push_back(P);
+  ASSERT_FALSE(Kept.empty());
+
+  GcResilienceStats Stats = GC.resilienceStats();
+  EXPECT_GE(Stats.OomEvents, 1u);
+  EXPECT_EQ(Stats.OomHandlerInvocations, 0u)
+      << "no handler installed during the fill";
+  EXPECT_GE(Stats.EmergencyCollections, 1u);
+
+  // With a handler installed, its result comes back verbatim — the
+  // collector must not zero or otherwise touch handler-provided memory.
+  OomCalls = 0;
+  std::memset(OomSentinel, 0xab, sizeof(OomSentinel));
+  GC.setOomHandler(sentinelOomHandler, &OomCalls);
+  void *P = GC.allocate(4096, ObjectKind::Uncollectable);
+  EXPECT_EQ(P, static_cast<void *>(OomSentinel));
+  EXPECT_EQ(OomCalls, 1u);
+  EXPECT_EQ(OomBytesSeen, 4096u);
+  EXPECT_EQ(OomSentinel[0], 0xab) << "handler result returned untouched";
+  EXPECT_EQ(GC.resilienceStats().OomHandlerInvocations, 1u);
+
+  // Releasing the heap ends the pressure: allocation succeeds again
+  // without consulting the handler.
+  GC.setOomHandler(nullptr);
+  for (void *Ptr : Kept)
+    GC.deallocate(Ptr);
+  EXPECT_NE(GC.allocate(4096, ObjectKind::Uncollectable), nullptr);
+  EXPECT_EQ(OomCalls, 1u);
+}
+
+TEST(Resilience, EmergencyCollectionRelaxesInteriorPolicy) {
+  GcConfig Config = smallHeapConfig(1 << 20);
+  Config.Interior = InteriorPolicy::All;
+  Collector GC(Config);
+
+  std::vector<uint64_t> Window(4, 0);
+  GC.addRootRange(Window.data(), Window.data() + Window.size(),
+                  RootEncoding::Native64, RootSource::Client, "window");
+
+  // A is retained only through a pointer deep inside it (page 2).
+  // Interior::All keeps it live; the emergency rung's relaxation to
+  // FirstPage does not, freeing the pages the second request needs.
+  constexpr size_t LargeBytes = 600 << 10;
+  void *A = GC.allocate(LargeBytes);
+  ASSERT_NE(A, nullptr);
+  uint64_t OffsetA = GC.windowOffsetOf(A);
+  Window[0] = reinterpret_cast<uint64_t>(static_cast<char *>(A) + PageSize);
+
+  void *B = GC.allocate(LargeBytes);
+  EXPECT_NE(B, nullptr) << "emergency collection should reclaim A";
+  EXPECT_TRUE(GC.isAllocated(B));
+  // Address-ordered first fit hands B the run A occupied: proof that A
+  // was reclaimed rather than the arena growing.
+  EXPECT_EQ(GC.windowOffsetOf(B), OffsetA);
+  GcResilienceStats Stats = GC.resilienceStats();
+  EXPECT_GE(Stats.EmergencyCollections, 1u);
+  EXPECT_EQ(Stats.OomEvents, 0u);
+  EXPECT_EQ(GC.config().Interior, InteriorPolicy::All)
+      << "the relaxed policy must be restored after the emergency cycle";
+}
+
+size_t WarnProcCalls = 0;
+
+void countingWarnProc(const char *Message, uint64_t, void *UserData) {
+  ++WarnProcCalls;
+  EXPECT_NE(Message, nullptr);
+  EXPECT_EQ(UserData, &WarnProcCalls);
+}
+
+TEST(Resilience, NoProgressWarningsArePowerOfTwoRateLimited) {
+  Collector GC(smallHeapConfig(1 << 20));
+  WarnProcCalls = 0;
+  GC.setWarnProc(countingWarnProc, &WarnProcCalls);
+
+  // Pin the whole heap, then fail eight allocations.  Each failure runs
+  // two no-progress ladder collections (heap-exhausted + emergency), so
+  // the no-progress event fires 16 times; the exponential backoff lets
+  // occurrences 1, 2, 4, 8, 16 through.
+  std::vector<void *> Kept;
+  while (void *P = GC.allocate(4096, ObjectKind::Uncollectable))
+    Kept.push_back(P);
+  for (int I = 0; I != 7; ++I)
+    EXPECT_EQ(GC.allocate(4096, ObjectKind::Uncollectable), nullptr);
+
+  GcResilienceStats Stats = GC.resilienceStats();
+  EXPECT_EQ(Stats.NoProgressCollections, 16u);
+  EXPECT_EQ(Stats.WarningsIssued, 5u);
+  EXPECT_EQ(Stats.WarningsSuppressed, 11u);
+  EXPECT_EQ(WarnProcCalls, 5u);
+  for (void *Ptr : Kept)
+    GC.deallocate(Ptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Deep heap verifier
+//===----------------------------------------------------------------------===//
+
+TEST(Resilience, VerifierReportsCleanHeap) {
+  Collector GC(smallHeapConfig(16 << 20));
+  for (int I = 0; I != 200; ++I)
+    ASSERT_NE(GC.allocate(48), nullptr);
+  GC.collect("settle");
+  HeapVerifyReport Report = GC.verifyHeapReport();
+  EXPECT_TRUE(Report.clean()) << Report.str();
+}
+
+TEST(Resilience, VerifierCatchesCorruptedBlockHeader) {
+  Collector GC(smallHeapConfig(16 << 20));
+  std::vector<void *> Kept;
+  for (int I = 0; I != 64; ++I) {
+    void *P = GC.allocate(48, ObjectKind::Uncollectable);
+    ASSERT_NE(P, nullptr);
+    Kept.push_back(P);
+  }
+
+  // Corrupt one block's allocation count, as a stray write would.
+  BlockDescriptor *Victim = nullptr;
+  GC.objectHeap().blockTable().forEach([&](BlockId, BlockDescriptor &Block) {
+    if (!Victim && Block.AllocatedCount > 0)
+      Victim = &Block;
+  });
+  ASSERT_NE(Victim, nullptr);
+  uint32_t Saved = Victim->AllocatedCount;
+  Victim->AllocatedCount = Victim->ObjectCount + 7;
+
+  HeapVerifyReport Report = GC.verifyHeapReport();
+  EXPECT_FALSE(Report.clean())
+      << "a corrupted header must produce a diagnostic, not a crash";
+  EXPECT_FALSE(Report.str().empty());
+
+  // Restored, the heap verifies clean again.
+  Victim->AllocatedCount = Saved;
+  EXPECT_TRUE(GC.verifyHeapReport().clean());
+  for (void *Ptr : Kept)
+    GC.deallocate(Ptr);
+}
+
+TEST(Resilience, VerifyEveryCollectionRunsAfterEachPhase) {
+  struct VerifyCounter final : GcObserver {
+    size_t Calls = 0;
+    bool AllClean = true;
+    void onHeapVerified(bool Clean, size_t) override {
+      ++Calls;
+      AllClean = AllClean && Clean;
+    }
+  };
+
+  GcConfig Config = smallHeapConfig(16 << 20);
+  Config.VerifyEveryCollection = true;
+  Collector GC(Config);
+  for (int I = 0; I != 100; ++I)
+    ASSERT_NE(GC.allocate(64), nullptr);
+
+  VerifyCounter Counter;
+  GcObserverId Id = GC.addObserver(&Counter);
+  GC.collect("verified");
+  GC.removeObserver(Id);
+
+  EXPECT_EQ(Counter.Calls, static_cast<size_t>(NumGcPhases))
+      << "one verification per pipeline phase";
+  EXPECT_TRUE(Counter.AllClean);
+}
+
+} // namespace
