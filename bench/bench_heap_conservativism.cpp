@@ -137,7 +137,8 @@ const char *styleName(Style S) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  bool Json = cgcbench::consumeJsonFlag(Argc, Argv);
   cgcbench::printBanner(
       "§2 (heap conservativism)",
       "garbage retained through 'compressed data' payloads, by how "
@@ -146,6 +147,9 @@ int main() {
       "pointers with high probability; pointer-free/typed declarations "
       "remove them");
 
+  cgcbench::JsonReport Report("heap conservativism");
+  Report.set("records", uint64_t(NumRecords));
+  Report.set("payload_words", uint64_t(PayloadWords));
   TablePrinter Table({"declaration", "garbage retained", "near misses",
                       "heap words scanned"});
   for (Style S :
@@ -155,8 +159,17 @@ int main() {
                   TablePrinter::bytes(Result.GarbageBytesRetained),
                   std::to_string(Result.NearMisses),
                   std::to_string(Result.HeapWordsScanned)});
+    Report.beginRow();
+    Report.rowSet("declaration", std::string(styleName(S)));
+    Report.rowSet("garbage_bytes_retained", Result.GarbageBytesRetained);
+    Report.rowSet("near_misses", Result.NearMisses);
+    Report.rowSet("heap_words_scanned", Result.HeapWordsScanned);
   }
   Table.print(stdout);
+  if (Json) {
+    std::string Path = Report.write();
+    std::printf("json: %s\n", Path.empty() ? "(write failed)" : Path.c_str());
+  }
   std::printf("\nthe same structure, the same random payload bits: only "
               "the declaration\nchanges.  Conservative payload scanning "
               "also floods the blacklist (near\nmisses), poisoning "

@@ -78,7 +78,8 @@ PauseProfile run(bool Lazy) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  bool Json = cgcbench::consumeJsonFlag(Argc, Argv);
   cgcbench::printBanner(
       "Pause times (lazy sweep ablation)",
       "collect() pause distribution: eager whole-heap sweep vs lazy "
@@ -86,6 +87,7 @@ int main() {
       "same total work and throughput; the sweep's share leaves the "
       "pause");
 
+  cgcbench::JsonReport Report("pause times");
   TablePrinter Table({"sweep mode", "collections", "mean pause (us)",
                       "max pause (us)", "throughput (ops/us)"});
   for (bool Lazy : {false, true}) {
@@ -96,7 +98,17 @@ int main() {
     std::snprintf(Thr, sizeof(Thr), "%.1f", P.ThroughputOpsPerUs);
     Table.addRow({Lazy ? "lazy" : "eager",
                   std::to_string(P.Collections), Mean, Max, Thr});
+    Report.beginRow();
+    Report.rowSet("sweep_mode", std::string(Lazy ? "lazy" : "eager"));
+    Report.rowSet("collections", P.Collections);
+    Report.rowSet("mean_pause_us", P.PauseMicros.mean());
+    Report.rowSet("max_pause_us", P.PauseMicros.maximum());
+    Report.rowSet("throughput_ops_per_us", P.ThroughputOpsPerUs);
   }
   Table.print(stdout);
+  if (Json) {
+    std::string Path = Report.write();
+    std::printf("json: %s\n", Path.empty() ? "(write failed)" : Path.c_str());
+  }
   return 0;
 }

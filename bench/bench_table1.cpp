@@ -39,6 +39,11 @@ struct CellResult {
   RunningStat Fraction;
   RunningStat BlacklistedPages;
   RunningStat CommittedPages;
+  /// Seeds whose Program T run exhausted the arena mid-construction
+  /// (ProgramTResult::OutOfMemory).  Such a run built fewer lists than
+  /// configured, so its retention fraction is not comparable — the
+  /// count is surfaced instead of silently averaged away.
+  unsigned OomRuns = 0;
 };
 
 CellResult runCell(Platform P, bool Optimized, BlacklistMode Mode,
@@ -64,6 +69,8 @@ CellResult runCell(Platform P, bool Optimized, BlacklistMode Mode,
         static_cast<double>(R.BlacklistedPages));
     Result.CommittedPages.addSample(
         static_cast<double>(R.CommittedHeapBytes / PageSize));
+    if (R.OutOfMemory)
+      ++Result.OomRuns;
   }
   return Result;
 }
@@ -71,6 +78,7 @@ CellResult runCell(Platform P, bool Optimized, BlacklistMode Mode,
 } // namespace
 
 int main(int Argc, char **Argv) {
+  bool Json = cgcbench::consumeJsonFlag(Argc, Argv);
   unsigned Seeds = Argc > 1 ? std::atoi(Argv[1]) : 3;
   if (Seeds == 0)
     Seeds = 3;
@@ -82,14 +90,18 @@ int main(int Argc, char **Argv) {
   // The last column checks the paper's observation 6: "the additional
   // heap size needed to make up for blacklisted pages ... was
   // negligible" — committed heap with blacklisting minus without.
+  cgcbench::JsonReport Report("table1");
+  Report.set("seeds_per_cell", uint64_t(Seeds));
   TablePrinter Table({"Machine", "Optimized?", "No Blacklisting",
-                      "Blacklisting", "BL pages", "extra heap (BL-on)"});
+                      "Blacklisting", "BL pages", "extra heap (BL-on)",
+                      "OOM runs"});
 
   for (Platform P : AllPlatforms) {
     for (bool Optimized : {false, true}) {
       CellResult Off = runCell(P, Optimized, BlacklistMode::Off, Seeds);
       CellResult On =
           runCell(P, Optimized, BlacklistMode::FlatBitmap, Seeds);
+      unsigned OomRuns = Off.OomRuns + On.OomRuns;
       Table.addRow({platformName(P), Optimized ? "yes" : "no",
                     cgcbench::percentRange(Off.Fraction.minimum(),
                                            Off.Fraction.maximum()),
@@ -100,10 +112,25 @@ int main(int Argc, char **Argv) {
                     TablePrinter::bytes(static_cast<uint64_t>(
                         std::max(0.0, On.CommittedPages.mean() -
                                           Off.CommittedPages.mean()) *
-                        PageSize))});
+                        PageSize)),
+                    OomRuns ? std::to_string(OomRuns) + " (!)" : "0"});
+      Report.beginRow();
+      Report.rowSet("machine", std::string(platformName(P)));
+      Report.rowSet("optimized", uint64_t(Optimized));
+      Report.rowSet("fraction_no_blacklist_min", Off.Fraction.minimum());
+      Report.rowSet("fraction_no_blacklist_max", Off.Fraction.maximum());
+      Report.rowSet("fraction_blacklist_min", On.Fraction.minimum());
+      Report.rowSet("fraction_blacklist_max", On.Fraction.maximum());
+      Report.rowSet("blacklisted_pages_mean", On.BlacklistedPages.mean());
+      Report.rowSet("oom_runs_no_blacklist", uint64_t(Off.OomRuns));
+      Report.rowSet("oom_runs_blacklist", uint64_t(On.OomRuns));
     }
   }
   Table.print(stdout);
+  if (Json) {
+    std::string Path = Report.write();
+    std::printf("json: %s\n", Path.empty() ? "(write failed)" : Path.c_str());
+  }
   std::printf("\n(%u seed(s) per cell; ranges are min-max across seeds, "
               "matching the paper's reporting)\n",
               Seeds);

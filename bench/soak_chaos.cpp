@@ -1,0 +1,465 @@
+//===- bench/soak_chaos.cpp - Deterministic chaos-soak harness ------------===//
+//
+// Long-running robustness soak: drives the interpreter, Program T, and
+// the §4 queue/tree workloads under seed-replayable randomized fault
+// arming, with periodic HeapVerifier deep checks and retention-sentinel
+// invariant assertions along the way.
+//
+// Every decision the harness makes — which workload to run, what sizes
+// to allocate, which fault site to arm and for how many hits — is drawn
+// from one xoshiro256** stream seeded on the command line, so a failure
+// replays with a single command.  On any check failure the harness
+// prints the exact seed and step:
+//
+//   SOAK FAILURE: <what failed>
+//     at step 117 of 300, seed 42
+//     replay: soak_chaos --seed 42 --steps 300
+//
+// The run folds its schedule and every deterministic observable (eval
+// results, live-object counts, retained-list counts, tolerated
+// allocation failures) into an FNV-1a digest; --replay-check executes
+// the whole soak twice and fails unless the digests are bit-identical.
+//
+// Usage: soak_chaos [--seed S] [--steps N] [--replay-check] [--json]
+// --json writes BENCH_soak_chaos.json for CI trend tracking.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "core/Collector.h"
+#include "core/GcSentinel.h"
+#include "interp/Interpreter.h"
+#include "structures/BinaryTree.h"
+#include "structures/FalseRef.h"
+#include "structures/ProgramT.h"
+#include "structures/Queue.h"
+#include "support/CrashReporter.h"
+#include "support/FaultInjection.h"
+#include "support/Random.h"
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace cgc;
+
+namespace {
+
+struct SoakOptions {
+  uint64_t Seed = 1;
+  unsigned Steps = 300;
+  bool ReplayCheck = false;
+  bool Json = false;
+};
+
+/// Everything a completed run reports; digest first, counters for the
+/// JSON report after.
+struct SoakOutcome {
+  bool Failed = false;
+  uint64_t Digest = 0xcbf29ce484222325ull; // FNV-1a offset basis.
+  uint64_t Collections = 0;
+  uint64_t Verifications = 0;
+  uint64_t AllocFailuresTolerated = 0;
+  uint64_t FaultsArmed = 0;
+  uint64_t InterpEvals = 0;
+  uint64_t QueueRounds = 0;
+  uint64_t TreeProbes = 0;
+  uint64_t ProgramTRuns = 0;
+  GcSentinelStats Sentinel;
+};
+
+class SoakRun {
+public:
+  SoakRun(const SoakOptions &Opts) : Opts(Opts), Schedule(Opts.Seed) {}
+
+  SoakOutcome run();
+
+private:
+  // Workload phases; drawn per step from the schedule stream.
+  void stepChurn(Collector &GC, std::vector<uint64_t> &Slots);
+  void stepInterpreter(interp::Interpreter &Interp);
+  void stepQueue();
+  void stepTree();
+  void stepProgramT();
+
+  void deepVerify(Collector &GC, const char *Label);
+  void checkSentinel(Collector &GC);
+
+  void fold(uint64_t Value) {
+    Outcome.Digest ^= Value;
+    Outcome.Digest *= 0x100000001b3ull;
+  }
+  void foldString(const std::string &Text) {
+    for (unsigned char C : Text)
+      fold(C);
+  }
+
+  [[noreturn]] void fail(const char *What, const std::string &Detail = "") {
+    std::printf("SOAK FAILURE: %s\n", What);
+    if (!Detail.empty())
+      std::printf("%s\n", Detail.c_str());
+    std::printf("  at step %u of %u, seed %" PRIu64 "\n", Step, Opts.Steps,
+                Opts.Seed);
+    std::printf("  replay: soak_chaos --seed %" PRIu64 " --steps %u\n",
+                Opts.Seed, Opts.Steps);
+    std::fflush(stdout);
+    std::exit(1);
+  }
+
+  SoakOptions Opts;
+  Rng Schedule;
+  SoakOutcome Outcome;
+  unsigned Step = 0;
+};
+
+GcConfig soakConfig(bool WithSentinel) {
+  GcConfig Config;
+  Config.MaxHeapBytes = uint64_t(64) << 20;
+  Config.GcAtStartup = false;
+  if (WithSentinel) {
+    // Aggressive policy so the soak actually exercises the ladder: a
+    // short window and a low floor turn churn surges into storms.
+    Config.Sentinel.Enabled = true;
+    Config.Sentinel.WindowCollections = 4;
+    Config.Sentinel.GrowthFloorBytes = 256 << 10;
+    Config.Sentinel.CalmCollections = 3;
+  }
+  return Config;
+}
+
+void SoakRun::deepVerify(Collector &GC, const char *Label) {
+  HeapVerifyReport Report = GC.verifyHeapReport();
+  ++Outcome.Verifications;
+  if (!Report.clean())
+    fail(Label, Report.str());
+}
+
+void SoakRun::checkSentinel(Collector &GC) {
+  GcSentinel *Sentinel = GC.sentinel();
+  if (!Sentinel)
+    fail("sentinel disappeared from a sentinel-enabled collector");
+  const GcSentinelStats &S = Sentinel->stats();
+  if (S.CurrentLevel > 4)
+    fail("sentinel escalated past the top of the ladder");
+  // Each ladder rung fires at most once per climb, in order; a climb
+  // that reached level N must have passed through every rung below it.
+  uint64_t Climbs = S.StackClearForces;
+  if (S.BlacklistRefreshes > Climbs || S.InteriorTightenings > Climbs ||
+      S.IncidentsRaised > Climbs)
+    fail("sentinel escalation rungs fired out of order");
+  if (S.CurrentLevel > 0 && Climbs == 0)
+    fail("sentinel reports a level without any recorded escalation");
+  Outcome.Sentinel = S;
+}
+
+/// Random allocation churn with faults armed: the one phase that runs
+/// with the injector live, so every allocation is written to tolerate
+/// failure.
+void SoakRun::stepChurn(Collector &GC, std::vector<uint64_t> &Slots) {
+  if (FaultInjectionCompiled && Schedule.nextBool(0.5)) {
+    // Finite FailCount: the fault is a transient the collector must
+    // ride through, not a permanently broken arena.
+    FaultSite Site = static_cast<FaultSite>(Schedule.nextBelow(NumFaultSites));
+    uint64_t Skip = Schedule.nextBelow(16);
+    uint64_t Fails = Schedule.nextInRange(1, 8);
+    FaultInjector::instance().arm(Site, Skip, Fails);
+    ++Outcome.FaultsArmed;
+    fold(static_cast<uint64_t>(Site) ^ (Skip << 8) ^ (Fails << 16));
+  }
+  if (Schedule.nextBool(0.25))
+    GC.setMarkThreads(
+        static_cast<unsigned>(Schedule.nextInRange(1, 4)));
+
+  // A surge leaves slots populated (live bytes climb, feeding the
+  // sentinel window); a purge clears most of them.
+  bool Surge = Schedule.nextBool(0.6);
+  unsigned Ops = static_cast<unsigned>(Schedule.nextInRange(32, 192));
+  for (unsigned I = 0; I != Ops; ++I) {
+    size_t Slot = Schedule.pickIndex(Slots.size());
+    if (!Surge && Schedule.nextBool(0.7)) {
+      Slots[Slot] = 0;
+      continue;
+    }
+    size_t Bytes = Schedule.nextBool(0.05)
+                       ? Schedule.nextInRange(16 << 10, 64 << 10)
+                       : Schedule.nextInRange(16, 4096);
+    void *Ptr = GC.allocate(Bytes);
+    if (!Ptr) {
+      // An armed arena fault surfaced as a failed allocation after the
+      // OOM ladder ran dry — tolerated, counted, and folded so replays
+      // agree on exactly which allocations failed.
+      ++Outcome.AllocFailuresTolerated;
+      fold(0xdeadull ^ (uint64_t(I) << 16));
+      continue;
+    }
+    std::memset(Ptr, 0, Bytes < 64 ? Bytes : 64);
+    Slots[Slot] = reinterpret_cast<uint64_t>(Ptr);
+  }
+
+  if (Schedule.nextBool(0.5)) {
+    CollectionStats Cycle = GC.collect("soak-churn");
+    ++Outcome.Collections;
+    fold(Cycle.ObjectsLive);
+    checkSentinel(GC);
+  }
+  FaultInjector::instance().disarmAll();
+}
+
+void SoakRun::stepInterpreter(interp::Interpreter &Interp) {
+  // Parameterized programs with computable answers: the eval result is
+  // a pure function of the schedule, so folding it into the digest
+  // turns any GC bug that frees a live interpreter temporary into a
+  // digest mismatch (or an error flag) instead of silent corruption.
+  char Program[256];
+  uint64_t Expected;
+  switch (Schedule.nextBelow(3)) {
+  case 0: {
+    unsigned N = static_cast<unsigned>(Schedule.nextInRange(50, 400));
+    std::snprintf(Program, sizeof(Program),
+                  "(define build (lambda (n acc) (if (= n 0) acc "
+                  "(build (- n 1) (cons n acc))))) (length (build %u '()))",
+                  N);
+    Expected = N;
+    break;
+  }
+  case 1: {
+    unsigned N = static_cast<unsigned>(Schedule.nextInRange(3, 30));
+    std::snprintf(Program, sizeof(Program),
+                  "(define sum (lambda (n) (if (= n 0) 0 "
+                  "(+ n (sum (- n 1)))))) (sum %u)",
+                  N);
+    Expected = uint64_t(N) * (N + 1) / 2;
+    break;
+  }
+  default: {
+    unsigned A = static_cast<unsigned>(Schedule.nextInRange(2, 40));
+    unsigned B = static_cast<unsigned>(Schedule.nextInRange(2, 40));
+    std::snprintf(Program, sizeof(Program),
+                  "(length (append (build-list %u) (build-list %u)))", A, B);
+    Expected = A + B;
+    break;
+  }
+  }
+  interp::Value Result = Interp.evalString(Program);
+  if (Interp.failed())
+    fail("interpreter error during soak", Interp.errorMessage());
+  std::string Text = Interp.toString(Result);
+  if (Text != std::to_string(Expected))
+    fail("interpreter produced a wrong answer (GC corruption?)",
+         std::string("program: ") + Program + "\n  got " + Text +
+             ", expected " + std::to_string(Expected));
+  foldString(Text);
+  ++Outcome.InterpEvals;
+  if (Schedule.nextBool(0.3)) {
+    Interp.collector().collect("soak-interp");
+    ++Outcome.Collections;
+  }
+}
+
+void SoakRun::stepQueue() {
+  Collector GC(soakConfig(false));
+  bool Clear = Schedule.nextBool(0.5);
+  uint64_t Churn = Schedule.nextInRange(200, 2000);
+  GcQueue Q(GC, Clear);
+  for (uint64_t I = 0; I != 8; ++I)
+    Q.enqueue(I);
+  PlantedRef Pin(GC);
+  Pin.setPointer(Q.head());
+  for (uint64_t I = 0; I != Churn; ++I) {
+    Q.enqueue(I);
+    Q.dequeue();
+  }
+  CollectionStats Cycle = GC.collect("soak-queue");
+  ++Outcome.Collections;
+  ++Outcome.QueueRounds;
+  // §4's bound: cleared links keep the live set flat no matter the
+  // churn; a regression here is a correctness bug, not noise.
+  if (Clear && Cycle.ObjectsLive > 64)
+    fail("cleared-link queue retained unbounded garbage");
+  fold(Cycle.ObjectsLive);
+  deepVerify(GC, "heap verification failed after queue churn");
+}
+
+void SoakRun::stepTree() {
+  Collector GC(soakConfig(false));
+  unsigned Height = static_cast<unsigned>(Schedule.nextInRange(6, 10));
+  BalancedTree Tree(GC, Height);
+  Tree.dropRoot();
+  PlantedRef Ref(GC);
+  // The paper's §4 claim is about the *expectation*: "the expected
+  // number of vertices retained ... is approximately equal to the
+  // height of the tree".  A single unlucky probe can land near the
+  // root and legitimately retain a whole subtree, so the assertion is
+  // statistical: out of 32 probes, at most a quarter may retain more
+  // than 4x the height (the true fraction is about 1/(4*height)).
+  constexpr unsigned Probes = 32;
+  unsigned Exceeded = 0;
+  for (unsigned I = 0; I != Probes; ++I) {
+    Ref.setOffset(Tree.nodeOffset(Schedule.pickIndex(Tree.nodeCount())));
+    CollectionStats Marked = GC.measureLiveness();
+    if (Marked.ObjectsMarked > Tree.nodeCount() + 8)
+      fail("false reference retained more objects than the tree holds");
+    if (Marked.ObjectsMarked > uint64_t(4) * Height + 8)
+      ++Exceeded;
+    fold(Marked.ObjectsMarked);
+    ++Outcome.TreeProbes;
+  }
+  if (Exceeded > Probes / 4)
+    fail("false references into balanced tree retained far more than "
+         "the expected O(height)");
+}
+
+void SoakRun::stepProgramT() {
+  Collector GC(soakConfig(false));
+  ProgramTConfig Config;
+  Config.NumLists = static_cast<unsigned>(Schedule.nextInRange(8, 24));
+  Config.CellsPerList = 500;
+  ProgramT T(GC, /*Stack=*/nullptr, Config);
+  ProgramTResult R = T.run();
+  if (R.OutOfMemory)
+    fail("Program T exhausted a 64 MB arena at toy scale");
+  fold((uint64_t(R.ListsBuilt) << 32) | R.ListsRetained);
+  ++Outcome.ProgramTRuns;
+  Outcome.Collections += R.CollectionsRun;
+  deepVerify(GC, "heap verification failed after Program T");
+}
+
+SoakOutcome SoakRun::run() {
+  // The churn collector and the interpreter live for the whole soak;
+  // queue/tree/Program T rounds use fresh throwaway collectors.
+  Collector ChurnGC(soakConfig(/*WithSentinel=*/true));
+  std::vector<uint64_t> Slots(192, 0);
+  RootId SlotsRoot = ChurnGC.addRootRange(
+      Slots.data(), Slots.data() + Slots.size(), RootEncoding::Native64,
+      RootSource::Client, "soak-churn-slots");
+
+  Collector InterpGC(soakConfig(/*WithSentinel=*/true));
+  InterpGC.enableMachineStackScanning();
+  interp::Interpreter Interp(InterpGC);
+  Interp.evalString("(define build-list (lambda (n) (if (= n 0) '() "
+                    "(cons n (build-list (- n 1))))))");
+
+  constexpr unsigned VerifyEvery = 25;
+  for (Step = 1; Step <= Opts.Steps; ++Step) {
+    uint64_t Choice = Schedule.nextBelow(100);
+    fold(Choice);
+    if (Choice < 45)
+      stepChurn(ChurnGC, Slots);
+    else if (Choice < 70)
+      stepInterpreter(Interp);
+    else if (Choice < 85)
+      stepQueue();
+    else if (Choice < 95)
+      stepTree();
+    else
+      stepProgramT();
+
+    if (Step % VerifyEvery == 0) {
+      deepVerify(ChurnGC, "periodic deep verification failed (churn heap)");
+      deepVerify(InterpGC,
+                 "periodic deep verification failed (interpreter heap)");
+    }
+  }
+
+  FaultInjector::instance().disarmAll();
+  deepVerify(ChurnGC, "final deep verification failed (churn heap)");
+  deepVerify(InterpGC, "final deep verification failed (interpreter heap)");
+  checkSentinel(ChurnGC);
+  ChurnGC.removeRootRange(SlotsRoot);
+  return Outcome;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  SoakOptions Opts;
+  Opts.Json = cgcbench::consumeJsonFlag(Argc, Argv);
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--seed") && I + 1 < Argc)
+      Opts.Seed = std::strtoull(Argv[++I], nullptr, 10);
+    else if (!std::strcmp(Argv[I], "--steps") && I + 1 < Argc)
+      Opts.Steps = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--replay-check"))
+      Opts.ReplayCheck = true;
+    else {
+      std::fprintf(stderr,
+                   "usage: soak_chaos [--seed S] [--steps N] "
+                   "[--replay-check] [--json]\n");
+      return 2;
+    }
+  }
+  if (Opts.Steps == 0)
+    Opts.Steps = 300;
+
+  cgcbench::printBanner(
+      "soak chaos",
+      "randomized workloads + fault injection + deep verification",
+      "n/a (robustness extension; any failure replays from its seed)");
+
+  // Crashes mid-soak should leave a post-mortem trail, not just a core.
+  crash::install();
+
+  std::printf("seed %" PRIu64 ", %u steps, fault hooks %s\n", Opts.Seed,
+              Opts.Steps,
+              FaultInjectionCompiled ? "compiled in" : "compiled out");
+
+  SoakOutcome First = SoakRun(Opts).run();
+  std::printf("digest %016" PRIx64 "\n", First.Digest);
+  if (Opts.ReplayCheck) {
+    SoakOutcome Second = SoakRun(Opts).run();
+    if (Second.Digest != First.Digest) {
+      std::printf("REPLAY MISMATCH: %016" PRIx64 " vs %016" PRIx64
+                  " for seed %" PRIu64 "\n",
+                  First.Digest, Second.Digest, Opts.Seed);
+      return 1;
+    }
+    std::printf("replay check: second run reproduced the digest "
+                "bit-for-bit\n");
+  }
+
+  std::printf("collections %" PRIu64 ", deep verifications %" PRIu64
+              ", faults armed %" PRIu64 ", alloc failures tolerated %" PRIu64
+              "\n",
+              First.Collections, First.Verifications, First.FaultsArmed,
+              First.AllocFailuresTolerated);
+  std::printf("sentinel: storms %" PRIu64 ", stack-clear %" PRIu64
+              ", blacklist-refresh %" PRIu64 ", tighten %" PRIu64
+              ", incidents %" PRIu64 ", de-escalations %" PRIu64 "\n",
+              First.Sentinel.StormsDetected, First.Sentinel.StackClearForces,
+              First.Sentinel.BlacklistRefreshes,
+              First.Sentinel.InteriorTightenings,
+              First.Sentinel.IncidentsRaised, First.Sentinel.Deescalations);
+
+  if (Opts.Json) {
+    char Digest[32];
+    std::snprintf(Digest, sizeof(Digest), "%016" PRIx64, First.Digest);
+    cgcbench::JsonReport Report("soak chaos");
+    Report.set("seed", Opts.Seed);
+    Report.set("steps", uint64_t(Opts.Steps));
+    Report.set("digest", std::string(Digest));
+    Report.set("fault_hooks_compiled", uint64_t(FaultInjectionCompiled));
+    Report.set("collections", First.Collections);
+    Report.set("deep_verifications", First.Verifications);
+    Report.set("faults_armed", First.FaultsArmed);
+    Report.set("alloc_failures_tolerated", First.AllocFailuresTolerated);
+    Report.set("interp_evals", First.InterpEvals);
+    Report.set("queue_rounds", First.QueueRounds);
+    Report.set("tree_probes", First.TreeProbes);
+    Report.set("program_t_runs", First.ProgramTRuns);
+    Report.set("sentinel_storms", First.Sentinel.StormsDetected);
+    Report.set("sentinel_stack_clear_forces",
+               First.Sentinel.StackClearForces);
+    Report.set("sentinel_blacklist_refreshes",
+               First.Sentinel.BlacklistRefreshes);
+    Report.set("sentinel_interior_tightenings",
+               First.Sentinel.InteriorTightenings);
+    Report.set("sentinel_incidents", First.Sentinel.IncidentsRaised);
+    Report.set("sentinel_deescalations", First.Sentinel.Deescalations);
+    std::string Path = Report.write();
+    std::printf("json: %s\n", Path.empty() ? "(write failed)" : Path.c_str());
+  }
+  std::printf("SOAK PASS\n");
+  return 0;
+}

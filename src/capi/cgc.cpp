@@ -2,6 +2,9 @@
 
 #include "capi/cgc.h"
 #include "core/Collector.h"
+#include "core/GcIncident.h"
+#include "core/GcSentinel.h"
+#include "support/CrashReporter.h"
 #include "support/FaultInjection.h"
 #include <algorithm>
 #include <cstring>
@@ -42,6 +45,20 @@ private:
   void *ClientData;
 };
 
+/// Bridges the sentinel's onIncident onto the flat C callback.  Lives
+/// in the handle; registered only while a callback is installed.
+class CIncidentObserver final : public GcObserver {
+public:
+  void onIncident(const GcIncident &Incident) override {
+    if (Fn)
+      Fn(static_cast<int>(Incident.Cause), Incident.CollectionIndex,
+         Incident.EscalationLevel, Incident.WindowGrowthBytes, ClientData);
+  }
+
+  cgc_incident_fn Fn = nullptr;
+  void *ClientData = nullptr;
+};
+
 } // namespace
 
 /// The opaque handle is a thin wrapper so the C side never sees C++
@@ -57,7 +74,31 @@ struct cgc_collector {
   void *COomData = nullptr;
   cgc_warn_fn CWarnFn = nullptr;
   void *CWarnData = nullptr;
+  /// C-side incident callback adapter; registered while Fn is set.
+  CIncidentObserver IncidentObserver;
+  GcObserverId IncidentObserverId = 0;
 };
+
+static SentinelPolicy convertSentinelPolicy(const cgc_sentinel_policy *C) {
+  SentinelPolicy Policy;
+  if (!C)
+    return Policy;
+  Policy.Enabled = C->enabled != 0;
+  if (C->window_collections)
+    Policy.WindowCollections = C->window_collections;
+  if (C->growth_floor_bytes)
+    Policy.GrowthFloorBytes = C->growth_floor_bytes;
+  if (C->growth_slope_fraction > 0)
+    Policy.GrowthSlopeFraction = C->growth_slope_fraction;
+  Policy.MinGrowingDeltas = C->min_growing_deltas;
+  if (C->escalation_cooldown)
+    Policy.EscalationCooldown = C->escalation_cooldown;
+  if (C->tighten_cycles)
+    Policy.TightenCycles = C->tighten_cycles;
+  if (C->calm_collections)
+    Policy.CalmCollections = C->calm_collections;
+  return Policy;
+}
 
 static GcConfig convertConfig(const cgc_config *C) {
   GcConfig Config;
@@ -143,6 +184,7 @@ static GcConfig convertConfig(const cgc_config *C) {
   Config.ClearFreedObjects = C->clear_freed_objects != 0;
   Config.AddressOrderedAllocation = C->address_ordered_allocation != 0;
   Config.VerifyEveryCollection = C->verify_every_collection != 0;
+  Config.Sentinel = convertSentinelPolicy(&C->sentinel);
   return Config;
 }
 
@@ -218,6 +260,14 @@ static void fillCConfig(cgc_config *Out, const GcConfig &In) {
   Out->clear_freed_objects = In.ClearFreedObjects ? 1 : 0;
   Out->address_ordered_allocation = In.AddressOrderedAllocation ? 1 : 0;
   Out->verify_every_collection = In.VerifyEveryCollection ? 1 : 0;
+  Out->sentinel.enabled = In.Sentinel.Enabled ? 1 : 0;
+  Out->sentinel.window_collections = In.Sentinel.WindowCollections;
+  Out->sentinel.growth_floor_bytes = In.Sentinel.GrowthFloorBytes;
+  Out->sentinel.growth_slope_fraction = In.Sentinel.GrowthSlopeFraction;
+  Out->sentinel.min_growing_deltas = In.Sentinel.MinGrowingDeltas;
+  Out->sentinel.escalation_cooldown = In.Sentinel.EscalationCooldown;
+  Out->sentinel.tighten_cycles = In.Sentinel.TightenCycles;
+  Out->sentinel.calm_collections = In.Sentinel.CalmCollections;
 }
 
 void cgc_config_init(cgc_config *Config) {
@@ -446,5 +496,59 @@ unsigned long long cgc_blacklisted_pages(cgc_collector *GC) {
 }
 
 void cgc_dump(cgc_collector *GC) { GC->GC.printReport(stderr); }
+
+void cgc_sentinel_policy_init(cgc_sentinel_policy *Policy) {
+  if (!Policy)
+    return;
+  SentinelPolicy Defaults;
+  Policy->enabled = Defaults.Enabled ? 1 : 0;
+  Policy->window_collections = Defaults.WindowCollections;
+  Policy->growth_floor_bytes = Defaults.GrowthFloorBytes;
+  Policy->growth_slope_fraction = Defaults.GrowthSlopeFraction;
+  Policy->min_growing_deltas = Defaults.MinGrowingDeltas;
+  Policy->escalation_cooldown = Defaults.EscalationCooldown;
+  Policy->tighten_cycles = Defaults.TightenCycles;
+  Policy->calm_collections = Defaults.CalmCollections;
+}
+
+void cgc_sentinel_configure(cgc_collector *GC,
+                            const cgc_sentinel_policy *Policy) {
+  GC->GC.configureSentinel(convertSentinelPolicy(Policy));
+}
+
+int cgc_sentinel_get_stats(cgc_collector *GC, cgc_sentinel_stats *Out) {
+  if (Out)
+    std::memset(Out, 0, sizeof(*Out));
+  GcSentinel *Sentinel = GC->GC.sentinel();
+  if (!Sentinel)
+    return 0;
+  if (Out) {
+    const GcSentinelStats &S = Sentinel->stats();
+    Out->storms_detected = S.StormsDetected;
+    Out->stack_clear_forces = S.StackClearForces;
+    Out->blacklist_refreshes = S.BlacklistRefreshes;
+    Out->interior_tightenings = S.InteriorTightenings;
+    Out->incidents_raised = S.IncidentsRaised;
+    Out->deescalations = S.Deescalations;
+    Out->current_level = S.CurrentLevel;
+  }
+  return 1;
+}
+
+void cgc_set_incident_callback(cgc_collector *GC, cgc_incident_fn Fn,
+                               void *ClientData) {
+  GC->IncidentObserver.Fn = Fn;
+  GC->IncidentObserver.ClientData = ClientData;
+  if (Fn && GC->IncidentObserverId == 0) {
+    GC->IncidentObserverId = GC->GC.addObserver(&GC->IncidentObserver);
+  } else if (!Fn && GC->IncidentObserverId != 0) {
+    GC->GC.removeObserver(GC->IncidentObserverId);
+    GC->IncidentObserverId = 0;
+  }
+}
+
+void cgc_install_crash_reporter(void) { crash::install(); }
+
+void cgc_dump_crash_report(int Fd) { crash::dump(Fd); }
 
 } // extern "C"

@@ -75,6 +75,21 @@ enum {
   CGC_PHASE_FINALIZE = 4,
 };
 
+/* Plain-C mirror of GcConfig::SentinelPolicy — the retention-storm
+ * sentinel watching the live-bytes trajectory across a window of
+ * collections (see core/GcSentinel.h).  Zero numeric fields keep the
+ * library defaults. */
+typedef struct cgc_sentinel_policy {
+  int enabled;                             /* boolean; default off     */
+  unsigned window_collections;             /* 0 = default (8)          */
+  unsigned long long growth_floor_bytes;   /* 0 = default (1 MiB)      */
+  double growth_slope_fraction;            /* <= 0 = default (0.05)    */
+  unsigned min_growing_deltas;             /* 0 = 3/4 of the window    */
+  unsigned escalation_cooldown;            /* 0 = default (2)          */
+  unsigned tighten_cycles;                 /* 0 = default (8)          */
+  unsigned calm_collections;               /* 0 = default (4)          */
+} cgc_sentinel_policy;
+
 /* Plain-C mirror of the collector configuration.  Zero/default
  * initialize with cgc_config_init; unset fields keep library defaults.
  */
@@ -123,6 +138,8 @@ typedef struct cgc_config {
    * forced on by the CGC_VERIFY_EVERY_COLLECTION environment
    * variable. */
   int verify_every_collection;           /* boolean                    */
+  /* Retention-storm sentinel policy; sentinel.enabled defaults off. */
+  cgc_sentinel_policy sentinel;
 } cgc_config;
 
 /* Fills *config with the library defaults.  Every field of the C++
@@ -203,6 +220,66 @@ void cgc_set_warn_proc(cgc_collector *gc, cgc_warn_fn fn,
  * written into it. */
 size_t cgc_verify_heap(cgc_collector *gc, char *report,
                        size_t report_bytes);
+
+/* --- retention-storm sentinel ---------------------------------------- */
+
+/* Fills *policy with the library defaults (sentinel disabled). */
+void cgc_sentinel_policy_init(cgc_sentinel_policy *policy);
+
+/* Replaces the sentinel policy at runtime.  enabled nonzero (re)creates
+ * the sentinel with a fresh trajectory window; zero tears it down and
+ * restores any configuration knobs its escalation ladder overrode.
+ * Must not be called from inside an observer or incident callback. */
+void cgc_sentinel_configure(cgc_collector *gc,
+                            const cgc_sentinel_policy *policy);
+
+/* Lifetime counters of the sentinel's detections and responses. */
+typedef struct cgc_sentinel_stats {
+  unsigned long long storms_detected;
+  unsigned long long stack_clear_forces;
+  unsigned long long blacklist_refreshes;
+  unsigned long long interior_tightenings;
+  unsigned long long incidents_raised;
+  unsigned long long deescalations;
+  unsigned current_level;   /* 0 (calm) .. 4 (incident raised) */
+} cgc_sentinel_stats;
+
+/* Fills *out with the sentinel's counters; returns nonzero when the
+ * sentinel is enabled, 0 (and a zeroed *out) when it is not. */
+int cgc_sentinel_get_stats(cgc_collector *gc, cgc_sentinel_stats *out);
+
+/* Incident causes (GcIncidentCause). */
+enum {
+  CGC_INCIDENT_RETENTION_STORM = 0,
+};
+
+/* Incident callback: the sentinel exhausted its escalation ladder and
+ * the heap is still growing.  cause is CGC_INCIDENT_*; collection is
+ * the 0-based collection index at which the incident fired;
+ * window_growth_bytes is the net live-bytes growth across the
+ * trajectory window.  Runs from collection-end context: it must not
+ * allocate from or collect gc. */
+typedef void (*cgc_incident_fn)(int cause, unsigned long long collection,
+                                unsigned escalation_level,
+                                unsigned long long window_growth_bytes,
+                                void *client_data);
+
+/* Installs (or clears, with NULL) the incident callback. */
+void cgc_set_incident_callback(cgc_collector *gc, cgc_incident_fn fn,
+                               void *client_data);
+
+/* --- crash reporting -------------------------------------------------- */
+
+/* Installs process-wide SIGSEGV/SIGABRT handlers that write the crash
+ * report (collector phase, heap summary, resilience counters, armed
+ * fault sites, last-events ring) to stderr, then restore the previous
+ * disposition and re-raise.  Idempotent; async-signal-safe (write(2)
+ * only, no allocation, no locks). */
+void cgc_install_crash_reporter(void);
+
+/* Writes the same crash report, on demand, to fd.  Async-signal-safe;
+ * covers every live collector in the process. */
+void cgc_dump_crash_report(int fd);
 
 /* --- fault injection (testing) --------------------------------------- */
 

@@ -33,6 +33,15 @@ void FlatBitmapBlacklist::endCycle() {
   Current = SeenThisCycle;
 }
 
+void FlatBitmapBlacklist::refresh() {
+  // SeenThisCycle is a subset of Current (noteCandidate sets both), so
+  // the intersection the sentinel wants is the seen set itself.  Only
+  // meaningful between cycles; mid-cycle the seen set is still filling.
+  if (InCycle)
+    return;
+  Current = SeenThisCycle;
+}
+
 HashedBlacklist::HashedBlacklist(unsigned BitsLog2, bool Aging)
     : BitsLog2(BitsLog2), Current(size_t(1) << BitsLog2),
       SeenThisCycle(size_t(1) << BitsLog2), Aging(Aging) {
@@ -57,6 +66,12 @@ void HashedBlacklist::endCycle() {
   ++Stats.Cycles;
   InCycle = false;
   if (!Aging)
+    return;
+  Current = SeenThisCycle;
+}
+
+void HashedBlacklist::refresh() {
+  if (InCycle)
     return;
   Current = SeenThisCycle;
 }

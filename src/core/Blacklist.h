@@ -60,6 +60,12 @@ public:
   /// Called at the end of a collection cycle; applies aging.
   virtual void endCycle() = 0;
 
+  /// One-shot aging on demand: drops every entry the most recent
+  /// collection did not re-observe, even when aging is off.  The
+  /// retention-storm sentinel's level-2 response — stale entries
+  /// squeeze allocation onto fewer pages.  No-op by default.
+  virtual void refresh() {}
+
   /// Number of pages currently blacklisted (hash mode: an upper-bound
   /// estimate of pages per set bit is not attempted; reports set bits).
   virtual uint64_t entryCount() const = 0;
@@ -93,6 +99,7 @@ public:
   }
   void beginCycle() override;
   void endCycle() override;
+  void refresh() override;
   uint64_t entryCount() const override { return Current.count(); }
 
 private:
@@ -114,6 +121,7 @@ public:
   }
   void beginCycle() override;
   void endCycle() override;
+  void refresh() override;
   uint64_t entryCount() const override { return Current.count(); }
 
 private:

@@ -1,6 +1,7 @@
 //===- core/Collector.cpp - Public collector facade -----------------------===//
 
 #include "core/Collector.h"
+#include "core/GcSentinel.h"
 #include "support/MathExtras.h"
 #include <algorithm>
 #include <atomic>
@@ -78,9 +79,45 @@ Collector::Collector(const GcConfig &Cfg) : Config(Cfg) {
   // phase, the phase's timing is already recorded.
   Observers.add(&TimingSink);
   Observers.add(&VerifierSink);
+
+  // Crash visibility: mirror this collector's identity into the
+  // process-global registry the signal-handler dump walks.  A full
+  // registry (> MaxTrackedCollectors live collectors) just means this
+  // one is absent from crash reports.
+  CrashInfo.CollectorId.store(UniqueId, std::memory_order_relaxed);
+  CrashRegistered = crash::registerState(&CrashInfo);
+
+  // Repeated spawn failures go through the same exponential-backoff
+  // limiter as the OOM ladder's warnings, so a soak run that can never
+  // spawn reports occurrences 1, 2, 4, 8, ... instead of spamming.
+  Pool->setSpawnFailureCallback([this](uint64_t Failures) {
+    warn(WarnEvent::WorkerSpawnFailure,
+         "cgc: worker thread spawn failed; collection degraded to fewer "
+         "workers",
+         Failures);
+  });
+
+  configureSentinel(Config.Sentinel);
 }
 
-Collector::~Collector() = default;
+Collector::~Collector() {
+  if (CrashRegistered)
+    crash::unregisterState(&CrashInfo);
+}
+
+void Collector::configureSentinel(const SentinelPolicy &Policy) {
+  if (SentinelImpl) {
+    SentinelImpl->standDown();
+    Observers.remove(SentinelObserverId);
+    SentinelImpl.reset();
+    SentinelObserverId = 0;
+  }
+  Config.Sentinel = Policy;
+  if (!Policy.Enabled)
+    return;
+  SentinelImpl = std::make_unique<GcSentinel>(*this, Policy);
+  SentinelObserverId = Observers.add(SentinelImpl.get());
+}
 
 void Collector::maybeStartupCollect() {
   // The paper's startup guarantee: one (fast) collection before any
@@ -186,6 +223,8 @@ void *Collector::runExhaustionLadder(uint64_t Bytes,
   }
   // Rung 2: a full collection.
   ++Resilience.HeapExhaustedCollections;
+  CrashInfo.HeapExhaustedCollections.store(
+      Resilience.HeapExhaustedCollections, std::memory_order_relaxed);
   noteLadderCollection(collect("heap-exhausted"));
   if (void *Result = Retry())
     return Result;
@@ -195,6 +234,9 @@ void *Collector::runExhaustionLadder(uint64_t Bytes,
   // pages — survival over blacklist hygiene, right before reporting
   // out of memory.
   ++Resilience.EmergencyCollections;
+  CrashInfo.EmergencyCollections.store(Resilience.EmergencyCollections,
+                                       std::memory_order_relaxed);
+  noteCrashEvent(GcEventKind::EmergencyCollection, /*Phase=*/-1, Bytes);
   Observers.dispatch(
       [&](GcObserver &O) { O.onEmergencyCollection(Bytes); });
   InteriorPolicy SavedInterior = Config.Interior;
@@ -210,6 +252,9 @@ void *Collector::runExhaustionLadder(uint64_t Bytes,
 
 void *Collector::reportOutOfMemory(uint64_t Bytes) {
   ++Resilience.OomEvents;
+  CrashInfo.OomEvents.store(Resilience.OomEvents,
+                            std::memory_order_relaxed);
+  noteCrashEvent(GcEventKind::OutOfMemory, /*Phase=*/-1, Bytes);
   bool HasHandler = Config.OomHandler != nullptr;
   Observers.dispatch(
       [&](GcObserver &O) { O.onOutOfMemory(Bytes, HasHandler); });
@@ -239,6 +284,9 @@ void Collector::warn(WarnEvent Event, const char *Message, uint64_t Value) {
     return;
   }
   ++Resilience.WarningsIssued;
+  CrashInfo.WarningsIssued.store(Resilience.WarningsIssued,
+                                 std::memory_order_relaxed);
+  noteCrashEvent(GcEventKind::Warning, /*Phase=*/-1, Value);
   if (Config.WarnProc)
     Config.WarnProc(Message, Value, Config.WarnProcData);
   Observers.dispatch([&](GcObserver &O) { O.onWarning(Message, Value); });
@@ -302,6 +350,9 @@ bool Collector::shouldCollectBeforeGrowth() const {
 
 void Collector::runPhase(GcPhase Phase, CollectionStats &Cycle,
                          const std::function<void()> &Body) {
+  CrashInfo.Phase.store(static_cast<int32_t>(Phase),
+                        std::memory_order_relaxed);
+  noteCrashEvent(GcEventKind::PhaseBegin, static_cast<int>(Phase), 0);
   Observers.dispatch([&](GcObserver &O) { O.onPhaseBegin(Phase); });
   uint64_t Start = nowNanos();
   Body();
@@ -310,6 +361,7 @@ void Collector::runPhase(GcPhase Phase, CollectionStats &Cycle,
   // Cycle.PhaseNanos before any client observer sees the event.
   Observers.dispatch(
       [&](GcObserver &O) { O.onPhaseEnd(Phase, Nanos, Cycle); });
+  noteCrashEvent(GcEventKind::PhaseEnd, static_cast<int>(Phase), Nanos);
 }
 
 void Collector::emitRetainedObjects() {
@@ -338,6 +390,9 @@ CollectionStats Collector::collect(const char *Reason) {
   CollectionStats Cycle;
   TimingSink.attach(&Cycle);
   uint64_t CollectionIndex = Lifetime.Collections;
+  CrashInfo.CollectionIndex.store(CollectionIndex,
+                                  std::memory_order_relaxed);
+  noteCrashEvent(GcEventKind::CollectionBegin, /*Phase=*/-1, 0);
   Observers.dispatch(
       [&](GcObserver &O) { O.onCollectionBegin(CollectionIndex, Reason); });
 
@@ -411,6 +466,15 @@ CollectionStats Collector::collect(const char *Reason) {
   LastCycle = Cycle;
   Lifetime.accumulate(Cycle);
   BytesSinceGc = 0;
+  // Refresh the crash-visible heap summary before dispatching: if an
+  // observer callback crashes, the report shows this cycle's numbers.
+  CrashInfo.Phase.store(-1, std::memory_order_relaxed);
+  CrashInfo.LiveBytes.store(Cycle.BytesLive, std::memory_order_relaxed);
+  CrashInfo.CommittedBytes.store(committedHeapBytes(),
+                                 std::memory_order_relaxed);
+  CrashInfo.BlacklistedPages.store(Cycle.BlacklistedPages,
+                                   std::memory_order_relaxed);
+  noteCrashEvent(GcEventKind::CollectionEnd, /*Phase=*/-1, Cycle.BytesLive);
   Observers.dispatch(
       [&](GcObserver &O) { O.onCollectionEnd(CollectionIndex, Cycle); });
   TimingSink.attach(nullptr);
@@ -482,6 +546,8 @@ void Collector::VerifySink::onPhaseEnd(GcPhase Phase, uint64_t,
   if (!GC.Config.VerifyEveryCollection)
     return;
   HeapVerifyReport Report = GC.verifyHeapReport();
+  GC.noteCrashEvent(GcEventKind::HeapVerified, static_cast<int>(Phase),
+                    Report.Issues.size());
   GC.Observers.dispatch([&](GcObserver &O) {
     O.onHeapVerified(Report.clean(), Report.Issues.size());
   });

@@ -40,11 +40,15 @@
 #include "heap/ObjectHeap.h"
 #include "roots/MachineStack.h"
 #include "roots/RootSet.h"
+#include "support/CrashReporter.h"
 #include <functional>
 #include <memory>
 #include <optional>
 
 namespace cgc {
+
+class GcSentinel;
+struct GcSentinelStats;
 
 class Collector {
 public:
@@ -224,6 +228,28 @@ public:
   bool removeObserver(GcObserverId Id) { return Observers.remove(Id); }
 
   //===--------------------------------------------------------------===//
+  // Retention-storm sentinel (see core/GcSentinel.h)
+  //===--------------------------------------------------------------===//
+
+  /// Replaces the sentinel policy at runtime.  Policy.Enabled == true
+  /// (re)creates the sentinel with a fresh window; false tears it down,
+  /// restoring any configuration knobs its ladder overrode.  Must not
+  /// be called from an observer callback.
+  void configureSentinel(const SentinelPolicy &Policy);
+
+  /// The active sentinel, or nullptr when disabled.
+  GcSentinel *sentinel() { return SentinelImpl.get(); }
+
+  //===--------------------------------------------------------------===//
+  // Crash reporting (see support/CrashReporter.h)
+  //===--------------------------------------------------------------===//
+
+  /// This collector's crash-visible state: relaxed-atomic mirrors of
+  /// phase/heap/resilience counters plus the event ring, kept current
+  /// by every collection and readable from a signal handler.
+  const GcCrashState &crashState() const { return CrashInfo; }
+
+  //===--------------------------------------------------------------===//
   // Stack clearing (§3.1)
   //===--------------------------------------------------------------===//
 
@@ -334,12 +360,16 @@ private:
     Collector &GC;
   };
 
+  friend class GcSentinel;
+
   /// Rate-limited warning kinds (one backoff counter each).
   enum class WarnEvent : unsigned {
     CollectionNoProgress = 0,
     LargeAllocOnBlacklistedHeap = 1,
+    WorkerSpawnFailure = 2,
+    SentinelIncident = 3,
   };
-  static constexpr unsigned NumWarnEvents = 2;
+  static constexpr unsigned NumWarnEvents = 4;
 
   bool shouldCollectBeforeGrowth() const;
   void maybeRunStackClearHooks();
@@ -374,6 +404,12 @@ private:
   void runPhase(GcPhase Phase, CollectionStats &Cycle,
                 const std::function<void()> &Body);
   void emitRetainedObjects();
+  /// Records an event in the crash-visible ring (see CrashInfo).
+  void noteCrashEvent(GcEventKind Kind, int Phase, uint64_t Value) {
+    CrashInfo.Events.push(
+        Kind, Phase, CrashInfo.CollectionIndex.load(std::memory_order_relaxed),
+        Value);
+  }
 
   GcConfig Config;
   std::unique_ptr<VirtualArena> Arena;
@@ -397,6 +433,10 @@ private:
   GcObserverRegistry Observers;
   PhaseTimingSink TimingSink;
   VerifySink VerifierSink{*this};
+  std::unique_ptr<GcSentinel> SentinelImpl;
+  GcObserverId SentinelObserverId = 0;
+  GcCrashState CrashInfo;
+  bool CrashRegistered = false;
 
   uint64_t UniqueId;
   CollectionStats LastCycle;

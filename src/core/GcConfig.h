@@ -88,6 +88,39 @@ using GcOomHandler = void *(*)(uint64_t Bytes, void *UserData);
 using GcWarnProc = void (*)(const char *Message, uint64_t Value,
                             void *UserData);
 
+/// Policy for the retention-storm sentinel (core/GcSentinel.h): a
+/// GcObserver that watches the live-bytes trajectory across a sliding
+/// window of collections and escalates defensive responses when the
+/// heap keeps growing — the runtime counterpart of the paper's §2
+/// "unbounded heap growth from misidentification" failure mode.
+struct SentinelPolicy {
+  bool Enabled = false;
+
+  /// Collections per trajectory window; detection needs a full window.
+  unsigned WindowCollections = 8;
+
+  /// A storm requires net window growth of at least this many bytes...
+  uint64_t GrowthFloorBytes = uint64_t(1) << 20;
+  /// ...and at least this fraction of the live bytes at window start.
+  double GrowthSlopeFraction = 0.05;
+
+  /// Minimum per-collection growth steps (positive deltas) within the
+  /// window; filters sawtooth workloads whose net drift is incidental.
+  /// 0 means "3/4 of the window's deltas".
+  unsigned MinGrowingDeltas = 0;
+
+  /// Collections to wait between escalation steps, so one response can
+  /// take effect before the next is judged necessary.
+  unsigned EscalationCooldown = 2;
+
+  /// Collections the level-3 interior-pointer tightening stays active.
+  unsigned TightenCycles = 8;
+
+  /// Consecutive non-growing collections before the sentinel stands
+  /// down and restores every overridden configuration knob.
+  unsigned CalmCollections = 4;
+};
+
 struct GcConfig {
   /// Reserved window size; models the platform address-space size.
   uint64_t WindowBytes = uint64_t(4) << 30;
@@ -185,6 +218,10 @@ struct GcConfig {
   /// tests and fuzzing.  The CGC_VERIFY_EVERY_COLLECTION environment
   /// variable (any value but "0") forces this on at construction.
   bool VerifyEveryCollection = false;
+
+  /// Retention-storm sentinel policy; Sentinel.Enabled defaults off so
+  /// paper experiments measure the undefended collector.
+  SentinelPolicy Sentinel;
 
   /// \returns the heap arena base offset implied by Placement.
   uint64_t heapBaseOffset() const {

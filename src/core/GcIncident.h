@@ -1,0 +1,76 @@
+//===- core/GcIncident.h - Structured retention incidents ------*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structured payload the retention-storm sentinel emits once its
+/// defensive escalations have all run and the heap is still growing: a
+/// cause, the trajectory window that tripped the detector, and a
+/// retained-by-root-source summary sampled through RetentionTracer.
+/// Delivered through GcObserver::onIncident and, as a one-line summary,
+/// through the rate-limited GcWarnProc.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_CORE_GCINCIDENT_H
+#define CGC_CORE_GCINCIDENT_H
+
+#include "roots/RootSet.h"
+#include <cstdint>
+#include <vector>
+
+namespace cgc {
+
+enum class GcIncidentCause : unsigned char {
+  /// Live bytes grew past the configured slope/floor for a full window
+  /// of collections despite every sentinel escalation.
+  RetentionStorm,
+};
+
+constexpr const char *gcIncidentCauseName(GcIncidentCause Cause) {
+  switch (Cause) {
+  case GcIncidentCause::RetentionStorm:
+    return "retention-storm";
+  }
+  return "?";
+}
+
+/// One per-collection sample from the sentinel's sliding window.
+struct SentinelSample {
+  uint64_t CollectionIndex = 0;
+  uint64_t BytesLive = 0;
+  uint64_t BlacklistedPages = 0;
+  /// Candidates that hit a blacklisted page this cycle (near misses).
+  uint64_t NearMisses = 0;
+};
+
+/// Bytes/objects retained, grouped by the root source whose word
+/// anchors them (RetentionTracer sample, not a full census).
+struct GcIncidentRootSummary {
+  RootSource Source = RootSource::Client;
+  uint64_t Objects = 0;
+  uint64_t Bytes = 0;
+};
+
+struct GcIncident {
+  GcIncidentCause Cause = GcIncidentCause::RetentionStorm;
+  /// Collection at which the incident was raised.
+  uint64_t CollectionIndex = 0;
+  /// Sentinel escalation level when the incident fired.
+  unsigned EscalationLevel = 0;
+  /// Net live-bytes growth across the trajectory window.
+  uint64_t WindowGrowthBytes = 0;
+  /// The window that tripped the detector, oldest first.
+  std::vector<SentinelSample> Trajectory;
+  /// Top retained-by-root-source groups, largest bytes first.
+  std::vector<GcIncidentRootSummary> RetainedByRoot;
+  /// Objects fed to RetentionTracer to build RetainedByRoot.
+  uint64_t ObjectsSampled = 0;
+};
+
+} // namespace cgc
+
+#endif // CGC_CORE_GCINCIDENT_H

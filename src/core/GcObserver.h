@@ -45,6 +45,7 @@
 namespace cgc {
 
 struct CollectionStats;
+struct GcIncident;
 
 using GcObserverId = uint32_t;
 
@@ -125,6 +126,13 @@ public:
     (void)Clean;
     (void)IssueCount;
   }
+
+  /// The retention-storm sentinel exhausted its escalation ladder and
+  /// raised a structured incident (core/GcIncident.h).  \p Incident is
+  /// valid only for the duration of the callback.  Dispatched from
+  /// onCollectionEnd context, so the usual no-alloc/no-collect rules
+  /// apply.
+  virtual void onIncident(const GcIncident &Incident) { (void)Incident; }
 };
 
 /// Holds registered observers and dispatches events to them.  Observers

@@ -33,26 +33,43 @@ uint64_t GcWorkerPool::spawnFailures() const {
   return SpawnFailures;
 }
 
-void GcWorkerPool::ensureThreads(unsigned Count) {
+void GcWorkerPool::setSpawnFailureCallback(std::function<void(uint64_t)> Fn) {
   std::lock_guard<std::mutex> Guard(Lock);
-  while (Threads.size() < Count) {
-    if (CGC_INJECT_FAULT(WorkerSpawn)) {
-      ++SpawnFailures;
-      return;
+  OnSpawnFailure = std::move(Fn);
+}
+
+void GcWorkerPool::ensureThreads(unsigned Count) {
+  uint64_t FailureTotal = 0;
+  std::function<void(uint64_t)> Callback;
+  {
+    std::lock_guard<std::mutex> Guard(Lock);
+    while (Threads.size() < Count) {
+      if (CGC_INJECT_FAULT(WorkerSpawn)) {
+        FailureTotal = ++SpawnFailures;
+        break;
+      }
+      unsigned Index = static_cast<unsigned>(Threads.size());
+      // A thread spawned mid-life must not run a job dispatched before
+      // it existed: it starts already caught up with the current
+      // generation.
+      try {
+        Threads.emplace_back(
+            [this, Index, Gen = Generation] { threadMain(Index, Gen); });
+      } catch (const std::system_error &) {
+        // Resource exhaustion (EAGAIN and friends).  Not fatal: phases
+        // degrade to however many workers exist.
+        FailureTotal = ++SpawnFailures;
+        break;
+      }
     }
-    unsigned Index = static_cast<unsigned>(Threads.size());
-    // A thread spawned mid-life must not run a job dispatched before it
-    // existed: it starts already caught up with the current generation.
-    try {
-      Threads.emplace_back(
-          [this, Index, Gen = Generation] { threadMain(Index, Gen); });
-    } catch (const std::system_error &) {
-      // Resource exhaustion (EAGAIN and friends).  Not fatal: phases
-      // degrade to however many workers exist.
-      ++SpawnFailures;
-      return;
-    }
+    if (FailureTotal != 0)
+      Callback = OnSpawnFailure;
   }
+  // The callback may warn through the collector (observers, warn
+  // procs); holding the pool lock across that invites deadlock with a
+  // callback that queries the pool.
+  if (Callback)
+    Callback(FailureTotal);
 }
 
 unsigned GcWorkerPool::ensureWorkers(unsigned Desired) {

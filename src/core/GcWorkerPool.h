@@ -78,6 +78,14 @@ public:
   /// Pool thread spawns that failed over this pool's lifetime.
   uint64_t spawnFailures() const;
 
+  /// Installs a callback invoked (outside the pool lock) each time a
+  /// spawn attempt fails, with the lifetime failure total.  The
+  /// collector routes this into its exponential-backoff warn limiter,
+  /// so a soak run that keeps failing to spawn reports occurrences
+  /// 1, 2, 4, 8, ... instead of spamming (or staying silent after the
+  /// first).
+  void setSpawnFailureCallback(std::function<void(uint64_t)> Fn);
+
   /// Number of pool threads ever spawned (== currently parked or
   /// working; pool threads live until destruction).  A collector that
   /// has only run sequential phases reports 0.
@@ -113,6 +121,8 @@ private:
   unsigned Remaining = 0;
   /// Spawn attempts that threw (or were fault-injected to fail).
   uint64_t SpawnFailures = 0;
+  /// See setSpawnFailureCallback; copied out of the lock before use.
+  std::function<void(uint64_t)> OnSpawnFailure;
   bool ShuttingDown = false;
 };
 

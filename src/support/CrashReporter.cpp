@@ -1,0 +1,244 @@
+//===- support/CrashReporter.cpp - Async-signal-safe post-mortems ---------===//
+
+#include "support/CrashReporter.h"
+#include "core/GcPhase.h"
+#include "support/FaultInjection.h"
+#include <csignal>
+#include <cstring>
+#include <unistd.h>
+
+using namespace cgc;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Async-signal-safe formatting
+//===----------------------------------------------------------------------===//
+// snprintf is not on the POSIX async-signal-safe list (it may take
+// locale locks or allocate), so the report is assembled with these
+// write-only helpers into a caller-owned buffer flushed via write(2).
+
+struct LineBuffer {
+  static constexpr size_t Size = 512;
+  char Data[Size];
+  size_t Len = 0;
+
+  void append(const char *Text) {
+    while (*Text && Len + 1 < Size)
+      Data[Len++] = *Text++;
+  }
+
+  void appendU64(uint64_t Value) {
+    char Digits[20];
+    unsigned N = 0;
+    do {
+      Digits[N++] = static_cast<char>('0' + Value % 10);
+      Value /= 10;
+    } while (Value != 0);
+    while (N != 0 && Len + 1 < Size)
+      Data[Len++] = Digits[--N];
+  }
+
+  void flush(int Fd) {
+    if (Len == 0)
+      return;
+    // Partial writes and EINTR: keep going; a truncated report still
+    // beats none, and the handler must never loop forever.
+    size_t Off = 0;
+    for (unsigned Attempts = 0; Off < Len && Attempts < 16; ++Attempts) {
+      ssize_t Wrote = ::write(Fd, Data + Off, Len - Off);
+      if (Wrote <= 0)
+        break;
+      Off += static_cast<size_t>(Wrote);
+    }
+    Len = 0;
+  }
+};
+
+const char *phaseNameOrNone(int Phase) {
+  if (Phase < 0 || Phase >= static_cast<int>(NumGcPhases))
+    return "none";
+  return gcPhaseName(static_cast<GcPhase>(Phase));
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+std::atomic<GcCrashState *> Registry[crash::MaxTrackedCollectors];
+
+//===----------------------------------------------------------------------===//
+// Signal handling
+//===----------------------------------------------------------------------===//
+
+std::atomic<bool> Installed{false};
+/// Re-entry gate: a fault inside the dump must not recurse.
+std::atomic<bool> Dumping{false};
+struct sigaction PreviousSegv;
+struct sigaction PreviousAbrt;
+
+void restoreAndReraise(int Signal) {
+  const struct sigaction *Previous =
+      Signal == SIGSEGV ? &PreviousSegv : &PreviousAbrt;
+  ::sigaction(Signal, Previous, nullptr);
+  ::raise(Signal);
+}
+
+void handleFatalSignal(int Signal) {
+  if (!Dumping.exchange(true, std::memory_order_relaxed))
+    crash::dump(STDERR_FILENO, Signal);
+  restoreAndReraise(Signal);
+}
+
+} // namespace
+
+namespace cgc::crash {
+
+bool registerState(GcCrashState *State) {
+  for (unsigned I = 0; I != MaxTrackedCollectors; ++I) {
+    GcCrashState *Expected = nullptr;
+    if (Registry[I].compare_exchange_strong(Expected, State,
+                                            std::memory_order_acq_rel))
+      return true;
+  }
+  return false;
+}
+
+void unregisterState(GcCrashState *State) {
+  for (unsigned I = 0; I != MaxTrackedCollectors; ++I) {
+    GcCrashState *Expected = State;
+    if (Registry[I].compare_exchange_strong(Expected, nullptr,
+                                            std::memory_order_acq_rel))
+      return;
+  }
+}
+
+void install() {
+  if (Installed.exchange(true, std::memory_order_acq_rel))
+    return;
+  struct sigaction Action;
+  std::memset(&Action, 0, sizeof(Action));
+  Action.sa_handler = handleFatalSignal;
+  ::sigemptyset(&Action.sa_mask);
+  // No SA_RESETHAND: the handler restores the previous disposition
+  // itself so chained handlers (gtest death tests, sanitizers) still
+  // run after the report.
+  ::sigaction(SIGSEGV, &Action, &PreviousSegv);
+  ::sigaction(SIGABRT, &Action, &PreviousAbrt);
+}
+
+void dump(int Fd, int Signal) {
+  LineBuffer Line;
+  Line.append("=== cgc crash report");
+  if (Signal >= 0) {
+    Line.append(" (signal ");
+    Line.appendU64(static_cast<uint64_t>(Signal));
+    Line.append(")");
+  }
+  Line.append(" ===\n");
+  Line.flush(Fd);
+
+  // Process-global fault-injection state first: armed sites explain
+  // "why was the heap exhausted" before any per-collector numbers.
+  if (FaultInjectionCompiled) {
+    Line.append("fault sites:");
+    bool Any = false;
+    for (unsigned I = 0; I != NumFaultSites; ++I) {
+      FaultSite Site = static_cast<FaultSite>(I);
+      uint64_t Fired = FaultInjector::instance().firedRelaxed(Site);
+      bool Armed = FaultInjector::instance().armedRelaxed(Site);
+      if (!Armed && Fired == 0)
+        continue;
+      Any = true;
+      Line.append(" ");
+      Line.append(faultSiteName(Site));
+      Line.append(Armed ? "(armed," : "(disarmed,");
+      Line.append("fired=");
+      Line.appendU64(Fired);
+      Line.append(")");
+    }
+    if (!Any)
+      Line.append(" none armed or fired");
+    Line.append("\n");
+    Line.flush(Fd);
+  }
+
+  for (unsigned I = 0; I != MaxTrackedCollectors; ++I) {
+    GcCrashState *State = Registry[I].load(std::memory_order_acquire);
+    if (!State)
+      continue;
+    uint64_t Id = State->CollectorId.load(std::memory_order_relaxed);
+    if (Id == 0)
+      continue;
+
+    Line.append("collector #");
+    Line.appendU64(Id);
+    Line.append(": phase=");
+    Line.append(
+        phaseNameOrNone(State->Phase.load(std::memory_order_relaxed)));
+    Line.append(" collection=");
+    Line.appendU64(State->CollectionIndex.load(std::memory_order_relaxed));
+    Line.append("\n");
+    Line.flush(Fd);
+
+    Line.append("  heap: live-bytes=");
+    Line.appendU64(State->LiveBytes.load(std::memory_order_relaxed));
+    Line.append(" committed-bytes=");
+    Line.appendU64(State->CommittedBytes.load(std::memory_order_relaxed));
+    Line.append(" blacklisted-pages=");
+    Line.appendU64(
+        State->BlacklistedPages.load(std::memory_order_relaxed));
+    Line.append("\n");
+    Line.flush(Fd);
+
+    Line.append("  resilience: heap-exhausted=");
+    Line.appendU64(
+        State->HeapExhaustedCollections.load(std::memory_order_relaxed));
+    Line.append(" emergency=");
+    Line.appendU64(
+        State->EmergencyCollections.load(std::memory_order_relaxed));
+    Line.append(" oom=");
+    Line.appendU64(State->OomEvents.load(std::memory_order_relaxed));
+    Line.append(" warnings=");
+    Line.appendU64(State->WarningsIssued.load(std::memory_order_relaxed));
+    Line.append("\n");
+    Line.flush(Fd);
+
+    Line.append("  sentinel: level=");
+    Line.appendU64(State->SentinelLevel.load(std::memory_order_relaxed));
+    Line.append(" incidents=");
+    Line.appendU64(
+        State->SentinelIncidents.load(std::memory_order_relaxed));
+    Line.append("\n");
+    Line.flush(Fd);
+
+    GcEventRecord Records[EventRing::Capacity];
+    unsigned Count = State->Events.snapshot(Records, EventRing::Capacity);
+    Line.append("  events (last ");
+    Line.appendU64(Count);
+    Line.append(" of ");
+    Line.appendU64(State->Events.pushed());
+    Line.append("):\n");
+    Line.flush(Fd);
+    for (unsigned R = 0; R != Count; ++R) {
+      const GcEventRecord &Record = Records[R];
+      Line.append("    [");
+      Line.appendU64(Record.Sequence);
+      Line.append("] ");
+      Line.append(gcEventKindName(Record.kind()));
+      Line.append(" phase=");
+      Line.append(phaseNameOrNone(Record.phase()));
+      Line.append(" collection=");
+      Line.appendU64(Record.collectionIndex());
+      Line.append(" value=");
+      Line.appendU64(Record.Value);
+      Line.append("\n");
+      Line.flush(Fd);
+    }
+  }
+
+  Line.append("=== end cgc crash report ===\n");
+  Line.flush(Fd);
+}
+
+} // namespace cgc::crash

@@ -1,0 +1,91 @@
+//===- support/CrashReporter.h - Async-signal-safe post-mortems -*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A crash reporter that can run inside a SIGSEGV/SIGABRT handler and
+/// still tell you what the collector was doing.  Every collector keeps
+/// a GcCrashState — a POD of relaxed-atomic mirrors of its phase, heap
+/// summary, resilience counters, and an EventRing of its last events —
+/// registered in a process-global lock-free table.  The dump walks the
+/// table and formats each state with hand-rolled integer formatters
+/// into a stack buffer, emitting only write(2) calls: no malloc, no
+/// stdio, no locks, no unbounded recursion.
+///
+/// Three entry points:
+///   * crash::install()   — sigaction handlers for SIGSEGV and SIGABRT
+///                          that dump to stderr, restore the previous
+///                          disposition, and re-raise;
+///   * crash::dump(fd)    — the same report, on demand, to any fd
+///                          (exposed as cgc_dump_crash_report);
+///   * crash::registerState / unregisterState — collector lifecycle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_SUPPORT_CRASHREPORTER_H
+#define CGC_SUPPORT_CRASHREPORTER_H
+
+#include "support/EventRing.h"
+#include <atomic>
+#include <cstdint>
+
+namespace cgc {
+
+/// Per-collector crash-visible state.  Writers are the collector's
+/// ordinary (non-signal) code paths; the only reader that matters is
+/// the signal handler, so every field is a relaxed atomic and the
+/// struct owns no heap memory.
+struct GcCrashState {
+  /// Collector::uniqueId(); 0 marks a free registry slot.
+  std::atomic<uint64_t> CollectorId{0};
+  /// Current pipeline phase as int(GcPhase), or -1 outside collection.
+  std::atomic<int32_t> Phase{-1};
+  std::atomic<uint64_t> CollectionIndex{0};
+  /// Heap summary, refreshed at every collection boundary.
+  std::atomic<uint64_t> LiveBytes{0};
+  std::atomic<uint64_t> CommittedBytes{0};
+  std::atomic<uint64_t> BlacklistedPages{0};
+  /// Resilience counters (subset of GcResilienceStats).
+  std::atomic<uint64_t> HeapExhaustedCollections{0};
+  std::atomic<uint64_t> EmergencyCollections{0};
+  std::atomic<uint64_t> OomEvents{0};
+  std::atomic<uint64_t> WarningsIssued{0};
+  /// Sentinel escalation level (0 = calm) and incidents raised.
+  std::atomic<uint64_t> SentinelLevel{0};
+  std::atomic<uint64_t> SentinelIncidents{0};
+  /// The last Capacity events, crash-readable.
+  EventRing Events;
+};
+
+namespace crash {
+
+/// Registry capacity; registering more live collectors than this is
+/// legal — the overflow simply isn't crash-visible.
+inline constexpr unsigned MaxTrackedCollectors = 32;
+
+/// Adds \p State to the crash registry.  \returns false when the
+/// registry is full (the collector still works; it just won't appear
+/// in dumps).
+bool registerState(GcCrashState *State);
+
+/// Removes \p State; safe to call for a state that never registered.
+void unregisterState(GcCrashState *State);
+
+/// Installs SIGSEGV/SIGABRT handlers (idempotent; first call wins).
+/// On signal: dump to stderr, restore the previous disposition, and
+/// re-raise so the process still dies with the original signal.
+void install();
+
+/// Writes the full crash report to \p fd.  Async-signal-safe; callable
+/// at any time, not just from handlers.  \p Signal is included in the
+/// header when >= 0.
+void dump(int Fd, int Signal = -1);
+
+} // namespace crash
+
+} // namespace cgc
+
+#endif // CGC_SUPPORT_CRASHREPORTER_H

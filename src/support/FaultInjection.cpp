@@ -38,6 +38,8 @@ void FaultInjector::arm(FaultSite Site, uint64_t SkipHits,
   S.Arming = Mode::Deterministic;
   S.SkipHits = SkipHits;
   S.FailCount = FailCount;
+  ArmedMirror[static_cast<unsigned>(Site)].store(1,
+                                                 std::memory_order_relaxed);
 }
 
 void FaultInjector::armRandom(FaultSite Site, double Probability,
@@ -49,6 +51,8 @@ void FaultInjector::armRandom(FaultSite Site, double Probability,
   S.Arming = Mode::Probabilistic;
   S.Probability = Probability;
   S.Stream.reseed(Seed);
+  ArmedMirror[static_cast<unsigned>(Site)].store(1,
+                                                 std::memory_order_relaxed);
 }
 
 void FaultInjector::disarm(FaultSite Site) {
@@ -57,6 +61,8 @@ void FaultInjector::disarm(FaultSite Site) {
   if (S.Arming != Mode::Disarmed)
     ArmedCount.fetch_sub(1, std::memory_order_relaxed);
   S.Arming = Mode::Disarmed;
+  ArmedMirror[static_cast<unsigned>(Site)].store(0,
+                                                 std::memory_order_relaxed);
 }
 
 void FaultInjector::disarmAll() {
@@ -64,6 +70,8 @@ void FaultInjector::disarmAll() {
   for (SiteState &S : Sites)
     S.Arming = Mode::Disarmed;
   ArmedCount.store(0, std::memory_order_relaxed);
+  for (unsigned I = 0; I != NumFaultSites; ++I)
+    ArmedMirror[I].store(0, std::memory_order_relaxed);
 }
 
 FaultSiteStats FaultInjector::stats(FaultSite Site) const {
@@ -75,6 +83,8 @@ void FaultInjector::resetStats() {
   std::lock_guard<std::mutex> Guard(Lock);
   for (SiteState &S : Sites)
     S.Stats = FaultSiteStats();
+  for (unsigned I = 0; I != NumFaultSites; ++I)
+    FiredMirror[I].store(0, std::memory_order_relaxed);
 }
 
 bool FaultInjector::shouldFailSlow(FaultSite Site) {
@@ -94,13 +104,19 @@ bool FaultInjector::shouldFailSlow(FaultSite Site) {
     if (S.FailCount != UINT64_MAX && --S.FailCount == 0) {
       S.Arming = Mode::Disarmed;
       ArmedCount.fetch_sub(1, std::memory_order_relaxed);
+      ArmedMirror[static_cast<unsigned>(Site)].store(
+          0, std::memory_order_relaxed);
     }
     ++S.Stats.Fired;
+    FiredMirror[static_cast<unsigned>(Site)].fetch_add(
+        1, std::memory_order_relaxed);
     return true;
   case Mode::Probabilistic:
     if (!S.Stream.nextBool(S.Probability))
       return false;
     ++S.Stats.Fired;
+    FiredMirror[static_cast<unsigned>(Site)].fetch_add(
+        1, std::memory_order_relaxed);
     return true;
   }
   CGC_UNREACHABLE("unknown fault arming mode");

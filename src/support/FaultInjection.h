@@ -105,6 +105,18 @@ public:
     return shouldFailSlow(Site);
   }
 
+  /// Lock-free mirrors of per-site state, readable from a signal
+  /// handler (the crash reporter's armed-fault-sites line).  Values may
+  /// trail the mutex-guarded truth by one update; never blocks.
+  bool armedRelaxed(FaultSite Site) const {
+    return ArmedMirror[static_cast<unsigned>(Site)].load(
+               std::memory_order_relaxed) != 0;
+  }
+  uint64_t firedRelaxed(FaultSite Site) const {
+    return FiredMirror[static_cast<unsigned>(Site)].load(
+        std::memory_order_relaxed);
+  }
+
 private:
   enum class Mode { Disarmed, Deterministic, Probabilistic };
 
@@ -122,6 +134,9 @@ private:
   mutable std::mutex Lock;
   SiteState Sites[NumFaultSites];
   std::atomic<uint64_t> ArmedCount{0};
+  /// Signal-handler-readable mirrors; see armedRelaxed/firedRelaxed.
+  std::atomic<uint8_t> ArmedMirror[NumFaultSites] = {};
+  std::atomic<uint64_t> FiredMirror[NumFaultSites] = {};
 };
 
 /// True when the build compiled the injection sites in.  Benchmarks

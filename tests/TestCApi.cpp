@@ -4,6 +4,8 @@
 #include "core/GcConfig.h"
 #include <cstring>
 #include <gtest/gtest.h>
+#include <string>
+#include <unistd.h>
 #include <vector>
 
 namespace {
@@ -73,6 +75,15 @@ TEST(CApi, ConfigDefaultsMatchGcConfig) {
   EXPECT_EQ(C.address_ordered_allocation,
             D.AddressOrderedAllocation ? 1 : 0);
   EXPECT_EQ(C.verify_every_collection, D.VerifyEveryCollection ? 1 : 0);
+  EXPECT_EQ(C.sentinel.enabled, D.Sentinel.Enabled ? 1 : 0);
+  EXPECT_EQ(C.sentinel.window_collections, D.Sentinel.WindowCollections);
+  EXPECT_EQ(C.sentinel.growth_floor_bytes, D.Sentinel.GrowthFloorBytes);
+  EXPECT_DOUBLE_EQ(C.sentinel.growth_slope_fraction,
+                   D.Sentinel.GrowthSlopeFraction);
+  EXPECT_EQ(C.sentinel.min_growing_deltas, D.Sentinel.MinGrowingDeltas);
+  EXPECT_EQ(C.sentinel.escalation_cooldown, D.Sentinel.EscalationCooldown);
+  EXPECT_EQ(C.sentinel.tighten_cycles, D.Sentinel.TightenCycles);
+  EXPECT_EQ(C.sentinel.calm_collections, D.Sentinel.CalmCollections);
 }
 
 // Every field set to a non-default value must round-trip through
@@ -106,6 +117,14 @@ TEST(CApi, ConfigRoundTripsThroughCollector) {
   In.clear_freed_objects = 0;
   In.address_ordered_allocation = 0;
   In.verify_every_collection = 1;
+  In.sentinel.enabled = 1;
+  In.sentinel.window_collections = 6;
+  In.sentinel.growth_floor_bytes = 2ULL << 20;
+  In.sentinel.growth_slope_fraction = 0.125;
+  In.sentinel.min_growing_deltas = 4;
+  In.sentinel.escalation_cooldown = 3;
+  In.sentinel.tighten_cycles = 12;
+  In.sentinel.calm_collections = 7;
 
   cgc_collector *GC = cgc_create(&In);
   ASSERT_NE(GC, nullptr);
@@ -141,6 +160,15 @@ TEST(CApi, ConfigRoundTripsThroughCollector) {
   EXPECT_EQ(Out.clear_freed_objects, In.clear_freed_objects);
   EXPECT_EQ(Out.address_ordered_allocation, In.address_ordered_allocation);
   EXPECT_EQ(Out.verify_every_collection, In.verify_every_collection);
+  EXPECT_EQ(Out.sentinel.enabled, In.sentinel.enabled);
+  EXPECT_EQ(Out.sentinel.window_collections, In.sentinel.window_collections);
+  EXPECT_EQ(Out.sentinel.growth_floor_bytes, In.sentinel.growth_floor_bytes);
+  EXPECT_DOUBLE_EQ(Out.sentinel.growth_slope_fraction,
+                   In.sentinel.growth_slope_fraction);
+  EXPECT_EQ(Out.sentinel.min_growing_deltas, In.sentinel.min_growing_deltas);
+  EXPECT_EQ(Out.sentinel.escalation_cooldown, In.sentinel.escalation_cooldown);
+  EXPECT_EQ(Out.sentinel.tighten_cycles, In.sentinel.tighten_cycles);
+  EXPECT_EQ(Out.sentinel.calm_collections, In.sentinel.calm_collections);
   cgc_destroy(GC);
 }
 
@@ -374,6 +402,92 @@ TEST(CApi, FaultInjectionControls) {
   cgc_fault_arm(99, 0, 1);
   EXPECT_EQ(cgc_fault_fired(99), 0u);
   cgc_fault_disarm_all();
+  cgc_destroy(GC);
+}
+
+TEST(CApi, SentinelConfigureStatsAndIncidentCallback) {
+  cgc_config Config = testConfig();
+  cgc_collector *GC = cgc_create(&Config);
+
+  cgc_sentinel_stats Stats;
+  EXPECT_EQ(cgc_sentinel_get_stats(GC, &Stats), 0)
+      << "the sentinel is off by default";
+
+  cgc_sentinel_policy Policy;
+  cgc_sentinel_policy_init(&Policy);
+  EXPECT_EQ(Policy.enabled, 0);
+  EXPECT_EQ(Policy.window_collections, 8u);
+  Policy.enabled = 1;
+  Policy.window_collections = 4;
+  Policy.growth_floor_bytes = 4 << 10;
+  Policy.growth_slope_fraction = 0.001;
+  Policy.escalation_cooldown = 1;
+  Policy.tighten_cycles = 100;
+  Policy.calm_collections = 100;
+  cgc_sentinel_configure(GC, &Policy);
+  EXPECT_EQ(cgc_sentinel_get_stats(GC, &Stats), 1);
+  EXPECT_EQ(Stats.current_level, 0u);
+
+  static int Incidents;
+  static unsigned LastLevel;
+  Incidents = 0;
+  LastLevel = 0;
+  cgc_set_incident_callback(
+      GC,
+      [](int Cause, unsigned long long /*Collection*/, unsigned Level,
+         unsigned long long Growth, void *) {
+        if (Cause == CGC_INCIDENT_RETENTION_STORM && Growth > 0)
+          ++Incidents;
+        LastLevel = Level;
+      },
+      nullptr);
+
+  // The storm workload from TestSentinel, through the C surface.
+  static void *Pins[64];
+  std::memset(Pins, 0, sizeof(Pins));
+  cgc_add_roots(GC, Pins, Pins + 64);
+  for (unsigned I = 0; I != 24 && Incidents == 0; ++I) {
+    Pins[I] = cgc_malloc(GC, 32 << 10);
+    cgc_gcollect(GC);
+  }
+
+  ASSERT_EQ(cgc_sentinel_get_stats(GC, &Stats), 1);
+  EXPECT_GE(Stats.storms_detected, 1ull);
+  EXPECT_EQ(Stats.stack_clear_forces, 1ull);
+  EXPECT_EQ(Stats.blacklist_refreshes, 1ull);
+  EXPECT_EQ(Stats.interior_tightenings, 1ull);
+  EXPECT_EQ(Stats.incidents_raised, 1ull);
+  EXPECT_EQ(Stats.current_level, 4u);
+  EXPECT_EQ(Incidents, 1);
+  EXPECT_EQ(LastLevel, 4u);
+
+  // Clearing the callback must deregister it; further collections run.
+  cgc_set_incident_callback(GC, nullptr, nullptr);
+  cgc_gcollect(GC);
+  cgc_destroy(GC);
+}
+
+TEST(CApi, CrashReportDumpOnDemand) {
+  cgc_config Config = testConfig();
+  cgc_collector *GC = cgc_create(&Config);
+  cgc_gcollect(GC);
+
+  int Fds[2];
+  ASSERT_EQ(::pipe(Fds), 0);
+  cgc_dump_crash_report(Fds[1]);
+  ::close(Fds[1]);
+  std::string Report;
+  char Buffer[4096];
+  ssize_t N;
+  while ((N = ::read(Fds[0], Buffer, sizeof(Buffer))) > 0)
+    Report.append(Buffer, static_cast<size_t>(N));
+  ::close(Fds[0]);
+
+  EXPECT_NE(Report.find("=== cgc crash report ==="), std::string::npos);
+  EXPECT_NE(Report.find("collector #"), std::string::npos);
+  EXPECT_NE(Report.find("collection-end"), std::string::npos);
+
+  cgc_install_crash_reporter(); // Idempotent; must not disturb anything.
   cgc_destroy(GC);
 }
 

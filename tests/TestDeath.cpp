@@ -8,7 +8,11 @@
 
 #include "baseline/ExplicitHeap.h"
 #include "core/Collector.h"
+#include "support/CrashReporter.h"
+#include <cstdlib>
 #include <gtest/gtest.h>
+#include <string>
+#include <unistd.h>
 
 using namespace cgc;
 
@@ -67,6 +71,84 @@ TEST(DeathTest, FinalizerOnNonObjectAborts) {
   GC.deallocate(P);
   EXPECT_DEATH(GC.registerFinalizer(P, [](void *) {}),
                "finalizer on a non-object");
+}
+
+namespace {
+
+/// Aborts the process at the start of the next Mark phase, simulating
+/// a crash mid-collection.
+class AbortInMark final : public GcObserver {
+public:
+  void onPhaseBegin(GcPhase Phase) override {
+    if (Armed && Phase == GcPhase::Mark)
+      std::abort();
+  }
+  bool Armed = false;
+};
+
+} // namespace
+
+TEST(DeathTest, CrashMidMarkReportsCurrentPhase) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Collector GC(deathConfig());
+  crash::install();
+  AbortInMark Bomb;
+  GC.addObserver(&Bomb);
+  // Earlier collections populate the event ring the report must show.
+  GC.collect("warmup");
+  GC.collect("warmup");
+  Bomb.Armed = true;
+  EXPECT_DEATH(GC.collect("boom"), "phase=mark");
+}
+
+TEST(DeathTest, CrashReportContainsEventRingLines) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Collector GC(deathConfig());
+  crash::install();
+  AbortInMark Bomb;
+  GC.addObserver(&Bomb);
+  GC.collect("warmup");
+  GC.collect("warmup");
+  Bomb.Armed = true;
+  // The SIGABRT report must carry the header, the resilience counters,
+  // and the trailing GC-event ring (phase begin/end markers from the
+  // warmup collections).
+  EXPECT_DEATH(GC.collect("boom"), "=== cgc crash report \\(signal 6\\)");
+  EXPECT_DEATH(GC.collect("boom"), "events \\(last");
+  EXPECT_DEATH(GC.collect("boom"), "phase-begin phase=mark");
+}
+
+TEST(DeathTest, OnDemandCrashDumpListsLastEightEvents) {
+  // Not a death test: cgc_dump_crash_report(fd) is the live post-mortem
+  // entry point; a pipe stands in for the crash log.
+  Collector GC(deathConfig());
+  GC.collect("one");
+  GC.collect("two");
+
+  int Fds[2];
+  ASSERT_EQ(::pipe(Fds), 0);
+  crash::dump(Fds[1]);
+  ::close(Fds[1]);
+  std::string Report;
+  char Buffer[4096];
+  ssize_t N;
+  while ((N = ::read(Fds[0], Buffer, sizeof(Buffer))) > 0)
+    Report.append(Buffer, static_cast<size_t>(N));
+  ::close(Fds[0]);
+
+  EXPECT_NE(Report.find("=== cgc crash report ==="), std::string::npos);
+  EXPECT_NE(Report.find("phase=none"), std::string::npos)
+      << "no collection is running, so the phase must read none";
+  EXPECT_NE(Report.find("resilience:"), std::string::npos);
+  EXPECT_NE(Report.find("collection-end"), std::string::npos);
+
+  // The acceptance bar: at least the last 8 GC events are listed (two
+  // full collections emit 12 each).
+  size_t EventLines = 0;
+  for (size_t At = Report.find("\n    ["); At != std::string::npos;
+       At = Report.find("\n    [", At + 1))
+    ++EventLines;
+  EXPECT_GE(EventLines, 8u);
 }
 
 TEST(DeathTest, BaselineDoubleFreeAborts) {

@@ -153,6 +153,52 @@ TEST(Resilience, WorkerSpawnFaultDegradesToSequentialBitIdentical) {
   EXPECT_EQ(retainedOffsets(GC), SequentialRetained);
 }
 
+TEST(Resilience, RepeatedSpawnFailuresWarnWithExponentialBackoff) {
+  if (!FaultInjectionCompiled)
+    GTEST_SKIP() << "built without CGC_FAULT_INJECTION";
+  FaultGuard Guard;
+
+  Collector GC(smallHeapConfig(64 << 20));
+  std::vector<uint64_t> Window(4, 0);
+  GC.addRootRange(Window.data(), Window.data() + Window.size(),
+                  RootEncoding::Native64, RootSource::Client, "window");
+  for (size_t Root = 0; Root != 4; ++Root) {
+    void *Prev = nullptr;
+    for (int I = 0; I != 50; ++I) {
+      void **Node = static_cast<void **>(GC.allocate(2 * sizeof(void *)));
+      ASSERT_NE(Node, nullptr);
+      Node[0] = Prev;
+      Prev = Node;
+    }
+    Window[Root] = reinterpret_cast<uint64_t>(Prev);
+  }
+
+  // Count only spawn-failure warnings actually delivered to the proc.
+  static unsigned Delivered;
+  Delivered = 0;
+  GC.setWarnProc(
+      [](const char *Message, uint64_t, void *) {
+        if (std::strstr(Message, "worker thread spawn failed"))
+          ++Delivered;
+      },
+      nullptr);
+
+  FaultInjector::instance().arm(FaultSite::WorkerSpawn, 0, UINT64_MAX);
+  GC.setMarkThreads(8);
+  constexpr unsigned Collections = 20;
+  for (unsigned I = 0; I != Collections; ++I)
+    GC.collect("spawn-degraded");
+
+  // Every collection re-attempts the spawn and fails again, but the
+  // warn stream is rate-limited through the same exponential backoff
+  // the OOM ladder uses (occurrences 1, 2, 4, 8, 16 are delivered).
+  EXPECT_GE(GC.resilienceStats().WorkerSpawnFailures, Collections);
+  EXPECT_GE(Delivered, 2u);
+  EXPECT_LE(Delivered, 6u)
+      << "spawn-failure warnings must back off, not fire per collection";
+  EXPECT_GT(GC.resilienceStats().WarningsSuppressed, 0u);
+}
+
 TEST(Resilience, MarkStackOverflowRecoverySequential) {
   if (!FaultInjectionCompiled)
     GTEST_SKIP() << "built without CGC_FAULT_INJECTION";
