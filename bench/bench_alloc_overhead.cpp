@@ -27,6 +27,8 @@
 #include "BenchUtil.h"
 #include "baseline/ExplicitHeap.h"
 #include "core/Collector.h"
+#include "heap/GuardedHeap.h"
+#include "heap/SizeClassTable.h"
 #include "sim/SyntheticSegments.h"
 #include "support/FaultInjection.h"
 #include <chrono>
@@ -72,8 +74,11 @@ struct RunResult {
 /// Steady-state 8-byte allocation with everything immediately garbage
 /// ("no accessible heap data"), with optional root pollution to give
 /// the blacklist real work.
-RunResult gcAllocLoop(BlacklistMode Mode, bool Polluted, size_t Allocs) {
-  Collector GC(steadyStateConfig(Mode));
+RunResult gcAllocLoop(BlacklistMode Mode, bool Polluted, size_t Allocs,
+                      bool Guarded = false) {
+  GcConfig Config = steadyStateConfig(Mode);
+  Config.DebugGuards = Guarded;
+  Collector GC(Config);
   Segment Tables;
   Rng R(3);
   appendIntTable(Tables, {15000, 0x30000000, 0.05, 0.30}, R, true);
@@ -217,9 +222,45 @@ int main(int Argc, char **Argv) {
          gcAllocLoop(BlacklistMode::FlatBitmap, true, Allocs));
   report(Report, "gc_8B_hashed_polluted",
          gcAllocLoop(BlacklistMode::Hashed, true, Allocs));
+  report(Report, "gc_8B_guarded",
+         gcAllocLoop(BlacklistMode::FlatBitmap, false, Allocs,
+                     /*Guarded=*/true));
   report(Report, "malloc_free_roundtrip_8B", mallocRoundTrip(Allocs));
   report(Report, "malloc_free_churn_8B", mallocChurn(Allocs));
   report(Report, "gc_churn_8B", gcChurn(Allocs));
+
+  // Guarded-mode space cost per size class: a guarded request is padded
+  // by header + minimum redzone (32 bytes), which can also push it into
+  // a larger class — or, near the small-object ceiling, off to a
+  // dedicated page run.
+  std::printf("\nguarded-mode space overhead (header %llu + redzone %llu "
+              "bytes per object)\n",
+              static_cast<unsigned long long>(GuardLayer::HeaderBytes),
+              static_cast<unsigned long long>(GuardLayer::MinRedzoneBytes));
+  std::printf("%10s %12s %14s %10s %8s\n", "user B", "plain slot",
+              "guarded slot", "extra B", "extra");
+  SizeClassTable Classes;
+  for (size_t UserBytes : {8, 16, 32, 64, 128, 256, 512, 1024, 2048}) {
+    uint64_t PlainSlot = Classes.classSize(Classes.classForSize(UserBytes));
+    uint64_t Padded = GuardLayer::paddedSize(UserBytes);
+    uint64_t GuardedSlot = SizeClassTable::isSmall(Padded)
+                               ? Classes.classSize(Classes.classForSize(Padded))
+                               : Padded;
+    uint64_t Overhead = GuardedSlot - PlainSlot;
+    double OverheadPct = 100.0 * double(Overhead) / double(PlainSlot);
+    std::printf("%10zu %12llu %14llu %10llu %7.1f%%%s\n", UserBytes,
+                static_cast<unsigned long long>(PlainSlot),
+                static_cast<unsigned long long>(GuardedSlot),
+                static_cast<unsigned long long>(Overhead), OverheadPct,
+                SizeClassTable::isSmall(Padded) ? "" : "  (large object)");
+    Report.beginRow();
+    Report.rowSet("config", std::string("guard_overhead"));
+    Report.rowSet("user_bytes", uint64_t(UserBytes));
+    Report.rowSet("plain_slot_bytes", PlainSlot);
+    Report.rowSet("guarded_slot_bytes", GuardedSlot);
+    Report.rowSet("overhead_bytes", Overhead);
+    Report.rowSet("overhead_pct", OverheadPct);
+  }
 
   if (Json) {
     std::string Path = Report.write();

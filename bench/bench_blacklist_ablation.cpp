@@ -68,7 +68,7 @@ AblationResult runConfig(BlacklistMode Mode, unsigned HashedBitsLog2,
   return Result;
 }
 
-void representationSweep() {
+void representationSweep(cgcbench::JsonReport &Report) {
   cgcbench::printBanner(
       "Blacklist ablation A",
       "representation sweep: off / flat bitmap / hashed at several "
@@ -104,12 +104,21 @@ void representationSweep() {
                   std::to_string(R.BlacklistEntries),
                   std::to_string(R.PagesLostToBlacklist),
                   TablePrinter::bytes(R.CommittedBytes)});
+    Report.beginRow();
+    Report.rowSet("section", std::string("representation"));
+    Report.rowSet("representation", std::string(Config.Name));
+    Report.rowSet("aging", uint64_t(Config.Aging ? 1 : 0));
+    Report.rowSet("retained_fraction", R.Retained);
+    Report.rowSet("out_of_memory", uint64_t(R.OutOfMemory ? 1 : 0));
+    Report.rowSet("blacklist_entries", R.BlacklistEntries);
+    Report.rowSet("pages_skipped", R.PagesLostToBlacklist);
+    Report.rowSet("committed_bytes", R.CommittedBytes);
   }
   Table.print(stdout);
   std::printf("\n");
 }
 
-void agingRecovery() {
+void agingRecovery(cgcbench::JsonReport &Report) {
   cgcbench::printBanner(
       "Blacklist ablation B",
       "aging recovery: pollution appears, is blacklisted, then is "
@@ -154,14 +163,20 @@ void agingRecovery() {
   }
   const char *Phases[] = {"all pollution live", "half overwritten",
                           "all overwritten"};
-  for (int Phase = 0; Phase != 3; ++Phase)
+  for (int Phase = 0; Phase != 3; ++Phase) {
     Table.addRow({Phases[Phase], std::to_string(Entries[1][Phase]),
                   std::to_string(Entries[0][Phase])});
+    Report.beginRow();
+    Report.rowSet("section", std::string("aging"));
+    Report.rowSet("phase", std::string(Phases[Phase]));
+    Report.rowSet("entries_aging", Entries[1][Phase]);
+    Report.rowSet("entries_no_aging", Entries[0][Phase]);
+  }
   Table.print(stdout);
   std::printf("\n");
 }
 
-void pointerFreeExemption() {
+void pointerFreeExemption(cgcbench::JsonReport &Report) {
   cgcbench::printBanner(
       "Blacklist ablation C",
       "pointer-free objects may occupy blacklisted pages",
@@ -203,13 +218,24 @@ void pointerFreeExemption() {
               (unsigned long long)OnBlacklisted[1]);
   std::printf("blacklisted pages in arena: %llu\n",
               (unsigned long long)GC.blacklistedPageCount());
+  Report.beginRow();
+  Report.rowSet("section", std::string("pointer_free_exemption"));
+  Report.rowSet("pointer_free_on_blacklisted", OnBlacklisted[0]);
+  Report.rowSet("pointer_bearing_on_blacklisted", OnBlacklisted[1]);
+  Report.rowSet("blacklisted_pages", GC.blacklistedPageCount());
 }
 
 } // namespace
 
-int main() {
-  representationSweep();
-  agingRecovery();
-  pointerFreeExemption();
+int main(int Argc, char **Argv) {
+  bool Json = cgcbench::consumeJsonFlag(Argc, Argv);
+  cgcbench::JsonReport Report("blacklist_ablation");
+  representationSweep(Report);
+  agingRecovery(Report);
+  pointerFreeExemption(Report);
+  if (Json) {
+    std::string Path = Report.write();
+    std::printf("json: %s\n", Path.empty() ? "(write failed)" : Path.c_str());
+  }
   return 0;
 }

@@ -96,4 +96,53 @@ BENCHMARK(BM_StringAppend)->Arg(1 << 16)->Arg(1 << 20);
 BENCHMARK(BM_CordSubstring)->Arg(1 << 16)->Arg(1 << 22);
 BENCHMARK(BM_StringSubstring)->Arg(1 << 16)->Arg(1 << 22);
 
-BENCHMARK_MAIN();
+namespace {
+
+/// Console reporter that also mirrors every run into a JsonReport row,
+/// so `--json` produces the same BENCH_<id>.json as the other benches.
+class RecordingReporter : public benchmark::ConsoleReporter {
+public:
+  explicit RecordingReporter(cgcbench::JsonReport &Report)
+      : Report(Report) {}
+
+  void ReportRuns(const std::vector<Run> &Runs) override {
+    ConsoleReporter::ReportRuns(Runs);
+    for (const Run &R : Runs) {
+      if (R.error_occurred)
+        continue;
+      Report.beginRow();
+      Report.rowSet("name", R.benchmark_name());
+      Report.rowSet("iterations", static_cast<uint64_t>(R.iterations));
+      double NsPerIter =
+          R.iterations == 0
+              ? 0.0
+              : 1e9 * R.real_accumulated_time /
+                    static_cast<double>(R.iterations);
+      Report.rowSet("ns_per_iter", NsPerIter);
+      for (const auto &Counter : R.counters)
+        Report.rowSet(Counter.first.c_str(),
+                      static_cast<double>(Counter.second.value));
+    }
+  }
+
+private:
+  cgcbench::JsonReport &Report;
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Json = cgcbench::consumeJsonFlag(Argc, Argv);
+  benchmark::Initialize(&Argc, Argv);
+  if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
+    return 1;
+  cgcbench::JsonReport Report("cords");
+  RecordingReporter Reporter(Report);
+  benchmark::RunSpecifiedBenchmarks(&Reporter);
+  benchmark::Shutdown();
+  if (Json) {
+    std::string Path = Report.write();
+    std::printf("json: %s\n", Path.empty() ? "(write failed)" : Path.c_str());
+  }
+  return 0;
+}

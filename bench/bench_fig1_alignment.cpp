@@ -72,7 +72,7 @@ const char *placementName(HeapPlacement P) {
   return "?";
 }
 
-void partAPlacement() {
+void partAPlacement(cgcbench::JsonReport &Report) {
   cgcbench::printBanner(
       "Fig.1/a (placement)",
       "objects misidentified per 10k scanned data words, by heap "
@@ -100,22 +100,28 @@ void partAPlacement() {
     appendStringPool(Strings, {2500, 3, 24, false}, R); // ~10k words.
     appendIntTable(Wild, {10000, 0xFFFFFFFF, 0.0, 0.0}, R, true);
 
-    auto Rate = [&](const Segment &Seg) {
+    Report.beginRow();
+    Report.rowSet("section", std::string("placement"));
+    Report.rowSet("placement", std::string(placementName(Placement)));
+    auto Rate = [&](const Segment &Seg, const char *Key) {
       auto [Hits, Candidates] = scanSegment(GC, Seg);
+      double Pct = 100.0 * static_cast<double>(Hits) /
+                   static_cast<double>(Candidates);
+      Report.rowSet(Key, Pct);
       char Buffer[64];
-      std::snprintf(Buffer, sizeof(Buffer), "%6.2f%%",
-                    100.0 * static_cast<double>(Hits) /
-                        static_cast<double>(Candidates));
+      std::snprintf(Buffer, sizeof(Buffer), "%6.2f%%", Pct);
       return std::string(Buffer);
     };
-    Table.addRow({placementName(Placement), Rate(Ints30),
-                  Rate(SmallInts), Rate(Strings), Rate(Wild)});
+    Table.addRow({placementName(Placement), Rate(Ints30, "ints30_pct"),
+                  Rate(SmallInts, "small_ints_pct"),
+                  Rate(Strings, "strings_pct"),
+                  Rate(Wild, "uniform32_pct")});
   }
   Table.print(stdout);
   std::printf("\n");
 }
 
-void partBFigure1() {
+void partBFigure1(cgcbench::JsonReport &Report) {
   cgcbench::printBanner(
       "Fig.1/b (alignment)",
       "small-integer arrays scanned at word / half-word / byte "
@@ -152,6 +158,12 @@ void partBFigure1() {
                     AvoidZeros ? "yes" : "no",
                     std::to_string(Cycle.NearMisses),
                     std::to_string(Cycle.ObjectsMarked)});
+      Report.beginRow();
+      Report.rowSet("section", std::string("figure1"));
+      Report.rowSet("scan_alignment", uint64_t(Alignment));
+      Report.rowSet("avoid_trailing_zeros", uint64_t(AvoidZeros ? 1 : 0));
+      Report.rowSet("near_misses", Cycle.NearMisses);
+      Report.rowSet("objects_misidentified", Cycle.ObjectsMarked);
     }
   }
   Table.print(stdout);
@@ -164,8 +176,14 @@ void partBFigure1() {
 
 } // namespace
 
-int main() {
-  partAPlacement();
-  partBFigure1();
+int main(int Argc, char **Argv) {
+  bool Json = cgcbench::consumeJsonFlag(Argc, Argv);
+  cgcbench::JsonReport Report("fig1_alignment");
+  partAPlacement(Report);
+  partBFigure1(Report);
+  if (Json) {
+    std::string Path = Report.write();
+    std::printf("json: %s\n", Path.empty() ? "(write failed)" : Path.c_str());
+  }
   return 0;
 }

@@ -93,9 +93,26 @@ std::string fractionOf(double Bytes, uint64_t Total) {
   return Buffer;
 }
 
+void reportStyle(cgcbench::JsonReport &Report, unsigned N,
+                 const char *Style, const StyleResult &R) {
+  Report.beginRow();
+  Report.rowSet("grid_n", uint64_t(N));
+  Report.rowSet("style", std::string(Style));
+  Report.rowSet("structure_bytes", R.TotalBytes);
+  Report.rowSet("mean_retained_bytes", R.MeanRetainedBytes);
+  Report.rowSet("max_retained_bytes", R.MaxRetainedBytes);
+  Report.rowSet("mean_retained_pct",
+                100.0 * R.MeanRetainedBytes /
+                    static_cast<double>(R.TotalBytes));
+  Report.rowSet("max_retained_pct",
+                100.0 * R.MaxRetainedBytes /
+                    static_cast<double>(R.TotalBytes));
+}
+
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  bool Json = cgcbench::consumeJsonFlag(Argc, Argv);
   cgcbench::printBanner(
       "Figs. 3/4 (grid styles)",
       "bytes retained by one random false reference: embedded links vs "
@@ -103,6 +120,7 @@ int main() {
       "embedded: a large fraction of the structure; separate: at most "
       "a single row or column");
 
+  cgcbench::JsonReport Report("fig3_grid");
   TablePrinter Table({"grid", "style", "structure size",
                       "mean retained", "mean %", "max %"});
   Rng R(77);
@@ -123,10 +141,16 @@ int main() {
                       static_cast<uint64_t>(S.MeanRetainedBytes)),
                   fractionOf(S.MeanRetainedBytes, S.TotalBytes),
                   fractionOf(S.MaxRetainedBytes, S.TotalBytes)});
+    reportStyle(Report, N, "embedded", E);
+    reportStyle(Report, N, "separate", S);
   }
   Table.print(stdout);
   std::printf("\nembedded retention stays ~25%% of the structure (the "
               "expected lower-right\nquadrant) at every size; separate "
               "retention falls as 1/N — one spine.\n");
+  if (Json) {
+    std::string Path = Report.write();
+    std::printf("json: %s\n", Path.empty() ? "(write failed)" : Path.c_str());
+  }
   return 0;
 }

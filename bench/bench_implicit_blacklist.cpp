@@ -84,7 +84,8 @@ std::vector<uint64_t> runMode(BlacklistMode Mode) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  bool Json = cgcbench::consumeJsonFlag(Argc, Argv);
   cgcbench::printBanner(
       "§3 observation 4 (implicit blacklisting)",
       "garbage bytes pinned by 20 persistent false references, per "
@@ -96,12 +97,22 @@ int main() {
   std::vector<uint64_t> NoBl = runMode(BlacklistMode::Off);
   std::vector<uint64_t> Bl = runMode(BlacklistMode::FlatBitmap);
 
+  cgcbench::JsonReport Report("implicit_blacklist");
+  Report.set("false_refs", uint64_t(FalseRefs));
+  Report.set("lists_per_round", uint64_t(ListsPerRound));
+  Report.set("cells_per_list", uint64_t(CellsPerList));
+
   TablePrinter Table({"round", "pinned garbage (no blacklist)",
                       "pinned garbage (blacklist)"});
-  for (unsigned Round = 0; Round != Rounds; ++Round)
+  for (unsigned Round = 0; Round != Rounds; ++Round) {
     Table.addRow({std::to_string(Round + 1),
                   TablePrinter::bytes(NoBl[Round]),
                   TablePrinter::bytes(Bl[Round])});
+    Report.beginRow();
+    Report.rowSet("round", uint64_t(Round + 1));
+    Report.rowSet("pinned_bytes_no_blacklist", NoBl[Round]);
+    Report.rowSet("pinned_bytes_blacklist", Bl[Round]);
+  }
   Table.print(stdout);
 
   uint64_t Stable = NoBl.back();
@@ -112,5 +123,9 @@ int main() {
               TablePrinter::bytes(Stable).c_str(),
               static_cast<double>(Stable) / FalseRefs / 1024.0,
               FalseRefs * 4, TablePrinter::bytes(Bl.back()).c_str());
+  if (Json) {
+    std::string Path = Report.write();
+    std::printf("json: %s\n", Path.empty() ? "(write failed)" : Path.c_str());
+  }
   return 0;
 }

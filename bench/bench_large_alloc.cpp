@@ -91,7 +91,8 @@ ProbeResult probe(InteriorPolicy Interior, double TableScale,
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  bool Json = cgcbench::consumeJsonFlag(Argc, Argv);
   cgcbench::printBanner(
       "Obs. 7 (large objects)",
       "largest allocatable object under blacklist pressure, by "
@@ -100,6 +101,7 @@ int main() {
       "hard to place on a polluted SPARC; first-page-only policy "
       "removes the limit");
 
+  cgcbench::JsonReport Report("large_alloc");
   TablePrinter Table({"interior policy", "pollution scale",
                       "blacklisted pages", "largest clean gap",
                       "largest object placed"});
@@ -107,12 +109,19 @@ int main() {
     for (InteriorPolicy Policy :
          {InteriorPolicy::All, InteriorPolicy::FirstPage}) {
       ProbeResult R = probe(Policy, Scale, 1);
+      const char *PolicyName =
+          Policy == InteriorPolicy::All ? "all interior" : "first page";
       Table.addRow(
-          {Policy == InteriorPolicy::All ? "all interior" : "first page",
-           std::to_string(Scale),
+          {PolicyName, std::to_string(Scale),
            std::to_string(R.BlacklistedPages),
            TablePrinter::bytes(R.LargestCleanGapBytes),
            TablePrinter::bytes(R.LargestPlacedBytes)});
+      Report.beginRow();
+      Report.rowSet("interior_policy", std::string(PolicyName));
+      Report.rowSet("pollution_scale", Scale);
+      Report.rowSet("blacklisted_pages", R.BlacklistedPages);
+      Report.rowSet("largest_clean_gap_bytes", R.LargestCleanGapBytes);
+      Report.rowSet("largest_placed_bytes", R.LargestPlacedBytes);
     }
   }
   Table.print(stdout);
@@ -120,5 +129,9 @@ int main() {
               "blacklisted pages;\nunder \"first page\" only the first "
               "page must be clean, so the size cap disappears\n(limited "
               "only by the arena).\n");
+  if (Json) {
+    std::string Path = Report.write();
+    std::printf("json: %s\n", Path.empty() ? "(write failed)" : Path.c_str());
+  }
   return 0;
 }

@@ -35,7 +35,7 @@ GcConfig benchConfig() {
   return Config;
 }
 
-void queueGrowth() {
+void queueGrowth(cgcbench::JsonReport &Report) {
   cgcbench::printBanner(
       "§4 queues", "live cells vs items processed, one pinned element",
       "uncleared links grow without bound; cleared links stay flat");
@@ -59,12 +59,17 @@ void queueGrowth() {
     }
     Table.addRow({std::to_string(Churn), std::to_string(Live[0]),
                   std::to_string(Live[1])});
+    Report.beginRow();
+    Report.rowSet("section", std::string("queue"));
+    Report.rowSet("items", uint64_t(Churn));
+    Report.rowSet("live_uncleared_links", Live[0]);
+    Report.rowSet("live_cleared_links", Live[1]);
   }
   Table.print(stdout);
   std::printf("\n");
 }
 
-void lazyListGrowth() {
+void lazyListGrowth(cgcbench::JsonReport &Report) {
   cgcbench::printBanner(
       "§4 lazy lists", "live cells vs stream position, one pinned cell",
       "a false reference to a consumed cell retains the whole segment "
@@ -85,12 +90,17 @@ void lazyListGrowth() {
     }
     Table.addRow({std::to_string(Steps), std::to_string(Live[0]),
                   std::to_string(Live[1])});
+    Report.beginRow();
+    Report.rowSet("section", std::string("lazy_list"));
+    Report.rowSet("cells_consumed", uint64_t(Steps));
+    Report.rowSet("live_pinned", Live[0]);
+    Report.rowSet("live_clean", Live[1]);
   }
   Table.print(stdout);
   std::printf("\n");
 }
 
-void treeRetention() {
+void treeRetention(cgcbench::JsonReport &Report) {
   cgcbench::printBanner(
       "§4 balanced trees",
       "mean vertices retained by a false reference vs tree height",
@@ -116,6 +126,12 @@ void treeRetention() {
     Table.addRow({std::to_string(Height),
                   std::to_string(Tree.nodeCount()),
                   std::to_string(Stat.mean()), Ratio});
+    Report.beginRow();
+    Report.rowSet("section", std::string("tree"));
+    Report.rowSet("height", uint64_t(Height));
+    Report.rowSet("nodes", uint64_t(Tree.nodeCount()));
+    Report.rowSet("mean_retained", Stat.mean());
+    Report.rowSet("retained_over_height", Stat.mean() / Height);
   }
   Table.print(stdout);
   std::printf("\n\"a large number of false references to such structures "
@@ -124,9 +140,15 @@ void treeRetention() {
 
 } // namespace
 
-int main() {
-  queueGrowth();
-  lazyListGrowth();
-  treeRetention();
+int main(int Argc, char **Argv) {
+  bool Json = cgcbench::consumeJsonFlag(Argc, Argv);
+  cgcbench::JsonReport Report("queue_tree");
+  queueGrowth(Report);
+  lazyListGrowth(Report);
+  treeRetention(Report);
+  if (Json) {
+    std::string Path = Report.write();
+    std::printf("json: %s\n", Path.empty() ? "(write failed)" : Path.c_str());
+  }
   return 0;
 }

@@ -60,7 +60,8 @@ ReversalResult runVariant(bool Recursive, bool Clearing, uint64_t Seed) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  bool Json = cgcbench::consumeJsonFlag(Argc, Argv);
   cgcbench::printBanner(
       "§3.1 (stack clearing)",
       "max apparently-live cons cells: reverse a 1000-element list "
@@ -68,6 +69,7 @@ int main() {
       "unoptimized 40,000-100,000; with cheap stack clearing <= "
       "18,000; optimized (loop) ~2,000");
 
+  cgcbench::JsonReport Report("stackclear");
   TablePrinter Table({"variant", "max apparent live cells",
                       "mean apparent live", "collections",
                       "cells allocated"});
@@ -92,6 +94,12 @@ int main() {
     Table.addRow({V.Name, std::to_string(R.MaxApparentLiveCells), Mean,
                   std::to_string(R.CollectionsRun),
                   std::to_string(R.CellsAllocated)});
+    Report.beginRow();
+    Report.rowSet("variant", std::string(V.Name));
+    Report.rowSet("max_apparent_live_cells", R.MaxApparentLiveCells);
+    Report.rowSet("mean_apparent_live_cells", R.meanApparentLiveCells());
+    Report.rowSet("collections", R.CollectionsRun);
+    Report.rowSet("cells_allocated", R.CellsAllocated);
   }
   Table.print(stdout);
 
@@ -107,5 +115,9 @@ int main() {
               "generational effectiveness.\n",
               MeanApparent[0] - MeanApparent[2],
               MeanApparent[1] - MeanApparent[2]);
+  if (Json) {
+    std::string Path = Report.write();
+    std::printf("json: %s\n", Path.empty() ? "(write failed)" : Path.c_str());
+  }
   return 0;
 }

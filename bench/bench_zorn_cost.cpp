@@ -143,7 +143,8 @@ RunResult runCollected(const TraceConfig &Trace, bool LeakFreeStyle) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  bool Json = cgcbench::consumeJsonFlag(Argc, Argv);
   cgcbench::printBanner(
       "Zorn-style cost",
       "one allocation trace through malloc/free (LIFO and "
@@ -153,6 +154,9 @@ int main() {
       "competitive");
 
   TraceConfig Trace;
+  cgcbench::JsonReport Report("zorn_cost");
+  Report.set("slots", uint64_t(Trace.Slots));
+  Report.set("steps", Trace.Steps);
   TablePrinter Table({"allocator", "peak footprint", "live at end",
                       "fragmentation", "ns/op", "collections"});
 
@@ -163,6 +167,13 @@ int main() {
     Table.addRow({Name, TablePrinter::bytes(R.PeakFootprintBytes),
                   TablePrinter::bytes(R.LiveBytesAtEnd), Frag, Ns,
                   std::to_string(R.Collections)});
+    Report.beginRow();
+    Report.rowSet("allocator", std::string(Name));
+    Report.rowSet("peak_footprint_bytes", R.PeakFootprintBytes);
+    Report.rowSet("live_bytes_at_end", R.LiveBytesAtEnd);
+    Report.rowSet("fragmentation_pct", R.FragmentationPct);
+    Report.rowSet("ns_per_op", R.NanosPerOp);
+    Report.rowSet("collections", R.Collections);
   };
 
   addRow("malloc/free, LIFO free lists",
@@ -177,5 +188,9 @@ int main() {
   std::printf("\nthe collector's extra footprint is the empty-heap "
               "fraction a tracing\ncollector needs; its throughput "
               "stays competitive with the explicit heap.\n");
+  if (Json) {
+    std::string Path = Report.write();
+    std::printf("json: %s\n", Path.empty() ? "(write failed)" : Path.c_str());
+  }
   return 0;
 }

@@ -20,7 +20,12 @@
 // allocation failures) into an FNV-1a digest; --replay-check executes
 // the whole soak twice and fails unless the digests are bit-identical.
 //
-// Usage: soak_chaos [--seed S] [--steps N] [--replay-check] [--json]
+// Usage: soak_chaos [--seed S] [--steps N] [--replay-check] [--guarded]
+//        [--json]
+// --guarded re-runs every collector in guarded-heap mode
+// (GcConfig::DebugGuards): headers, redzones, quarantine, and the
+// explicit-free validation ladder are all live, and ~25% of churn
+// slots are explicitly freed to keep the quarantine churning.
 // --json writes BENCH_soak_chaos.json for CI trend tracking.
 //
 //===----------------------------------------------------------------------===//
@@ -52,6 +57,7 @@ struct SoakOptions {
   unsigned Steps = 300;
   bool ReplayCheck = false;
   bool Json = false;
+  bool Guarded = false;
 };
 
 /// Everything a completed run reports; digest first, counters for the
@@ -67,7 +73,9 @@ struct SoakOutcome {
   uint64_t QueueRounds = 0;
   uint64_t TreeProbes = 0;
   uint64_t ProgramTRuns = 0;
+  uint64_t GuardedFrees = 0;
   GcSentinelStats Sentinel;
+  GcGuardStats Guard;
 };
 
 class SoakRun {
@@ -86,6 +94,7 @@ private:
 
   void deepVerify(Collector &GC, const char *Label);
   void checkSentinel(Collector &GC);
+  void checkGuards(Collector &GC);
 
   void fold(uint64_t Value) {
     Outcome.Digest ^= Value;
@@ -102,8 +111,8 @@ private:
       std::printf("%s\n", Detail.c_str());
     std::printf("  at step %u of %u, seed %" PRIu64 "\n", Step, Opts.Steps,
                 Opts.Seed);
-    std::printf("  replay: soak_chaos --seed %" PRIu64 " --steps %u\n",
-                Opts.Seed, Opts.Steps);
+    std::printf("  replay: soak_chaos --seed %" PRIu64 " --steps %u%s\n",
+                Opts.Seed, Opts.Steps, Opts.Guarded ? " --guarded" : "");
     std::fflush(stdout);
     std::exit(1);
   }
@@ -114,10 +123,18 @@ private:
   unsigned Step = 0;
 };
 
-GcConfig soakConfig(bool WithSentinel) {
+GcConfig soakConfig(bool WithSentinel, bool Guarded) {
   GcConfig Config;
   Config.MaxHeapBytes = uint64_t(64) << 20;
   Config.GcAtStartup = false;
+  if (Guarded) {
+    // The whole soak rides on guarded slots: headers and redzones are
+    // re-validated at every sweep and deep verification, and the small
+    // quarantine forces constant poison re-checks and evictions.
+    Config.DebugGuards = true;
+    Config.GuardFatal = true;
+    Config.QuarantineSlots = 64;
+  }
   if (WithSentinel) {
     // Aggressive policy so the soak actually exercises the ladder: a
     // short window and a low floor turn churn surges into storms.
@@ -154,6 +171,28 @@ void SoakRun::checkSentinel(Collector &GC) {
   Outcome.Sentinel = S;
 }
 
+/// A guarded soak runs only correct code, so any tripped guard counter
+/// is a collector bug: either the guard machinery misfired or the heap
+/// really was corrupted.  Folding the benign counters into the digest
+/// also makes replay-check cover the guard bookkeeping itself.
+void SoakRun::checkGuards(Collector &GC) {
+  if (!Opts.Guarded)
+    return;
+  const GcGuardStats &G = GC.guardStats();
+  if (G.HeaderSmashes || G.RedzoneSmashes || G.DoubleFrees ||
+      G.InvalidFrees || G.UseAfterFreeWrites)
+    fail("guard violation raised on a correct workload",
+         "header=" + std::to_string(G.HeaderSmashes) +
+             " redzone=" + std::to_string(G.RedzoneSmashes) +
+             " double-free=" + std::to_string(G.DoubleFrees) +
+             " invalid-free=" + std::to_string(G.InvalidFrees) +
+             " uaf=" + std::to_string(G.UseAfterFreeWrites));
+  fold(G.GuardedAllocations);
+  fold(G.GuardedFrees);
+  fold(G.QuarantineFlushes);
+  Outcome.Guard = G;
+}
+
 /// Random allocation churn with faults armed: the one phase that runs
 /// with the injector live, so every allocation is written to tolerate
 /// failure.
@@ -178,6 +217,16 @@ void SoakRun::stepChurn(Collector &GC, std::vector<uint64_t> &Slots) {
   unsigned Ops = static_cast<unsigned>(Schedule.nextInRange(32, 192));
   for (unsigned I = 0; I != Ops; ++I) {
     size_t Slot = Schedule.pickIndex(Slots.size());
+    // Guarded runs exercise the explicit-free path too: each pointer
+    // lives in exactly one slot, so this never double-frees, and every
+    // free rides the full validation ladder into the quarantine.
+    if (Opts.Guarded && Slots[Slot] && Schedule.nextBool(0.25)) {
+      GC.deallocate(reinterpret_cast<void *>(Slots[Slot]));
+      Slots[Slot] = 0;
+      ++Outcome.GuardedFrees;
+      fold(0xf4eeull ^ (uint64_t(Slot) << 16));
+      continue;
+    }
     if (!Surge && Schedule.nextBool(0.7)) {
       Slots[Slot] = 0;
       continue;
@@ -203,6 +252,7 @@ void SoakRun::stepChurn(Collector &GC, std::vector<uint64_t> &Slots) {
     ++Outcome.Collections;
     fold(Cycle.ObjectsLive);
     checkSentinel(GC);
+    checkGuards(GC);
   }
   FaultInjector::instance().disarmAll();
 }
@@ -259,7 +309,7 @@ void SoakRun::stepInterpreter(interp::Interpreter &Interp) {
 }
 
 void SoakRun::stepQueue() {
-  Collector GC(soakConfig(false));
+  Collector GC(soakConfig(false, Opts.Guarded));
   bool Clear = Schedule.nextBool(0.5);
   uint64_t Churn = Schedule.nextInRange(200, 2000);
   GcQueue Q(GC, Clear);
@@ -280,10 +330,11 @@ void SoakRun::stepQueue() {
     fail("cleared-link queue retained unbounded garbage");
   fold(Cycle.ObjectsLive);
   deepVerify(GC, "heap verification failed after queue churn");
+  checkGuards(GC);
 }
 
 void SoakRun::stepTree() {
-  Collector GC(soakConfig(false));
+  Collector GC(soakConfig(false, Opts.Guarded));
   unsigned Height = static_cast<unsigned>(Schedule.nextInRange(6, 10));
   BalancedTree Tree(GC, Height);
   Tree.dropRoot();
@@ -312,7 +363,7 @@ void SoakRun::stepTree() {
 }
 
 void SoakRun::stepProgramT() {
-  Collector GC(soakConfig(false));
+  Collector GC(soakConfig(false, Opts.Guarded));
   ProgramTConfig Config;
   Config.NumLists = static_cast<unsigned>(Schedule.nextInRange(8, 24));
   Config.CellsPerList = 500;
@@ -324,18 +375,19 @@ void SoakRun::stepProgramT() {
   ++Outcome.ProgramTRuns;
   Outcome.Collections += R.CollectionsRun;
   deepVerify(GC, "heap verification failed after Program T");
+  checkGuards(GC);
 }
 
 SoakOutcome SoakRun::run() {
   // The churn collector and the interpreter live for the whole soak;
   // queue/tree/Program T rounds use fresh throwaway collectors.
-  Collector ChurnGC(soakConfig(/*WithSentinel=*/true));
+  Collector ChurnGC(soakConfig(/*WithSentinel=*/true, Opts.Guarded));
   std::vector<uint64_t> Slots(192, 0);
   RootId SlotsRoot = ChurnGC.addRootRange(
       Slots.data(), Slots.data() + Slots.size(), RootEncoding::Native64,
       RootSource::Client, "soak-churn-slots");
 
-  Collector InterpGC(soakConfig(/*WithSentinel=*/true));
+  Collector InterpGC(soakConfig(/*WithSentinel=*/true, Opts.Guarded));
   InterpGC.enableMachineStackScanning();
   interp::Interpreter Interp(InterpGC);
   Interp.evalString("(define build-list (lambda (n) (if (= n 0) '() "
@@ -367,6 +419,10 @@ SoakOutcome SoakRun::run() {
   deepVerify(ChurnGC, "final deep verification failed (churn heap)");
   deepVerify(InterpGC, "final deep verification failed (interpreter heap)");
   checkSentinel(ChurnGC);
+  // Reported guard stats are the churn heap's (checked last): the one
+  // collector whose slots go through explicit frees and the quarantine.
+  checkGuards(InterpGC);
+  checkGuards(ChurnGC);
   ChurnGC.removeRootRange(SlotsRoot);
   return Outcome;
 }
@@ -383,10 +439,12 @@ int main(int Argc, char **Argv) {
       Opts.Steps = static_cast<unsigned>(std::atoi(Argv[++I]));
     else if (!std::strcmp(Argv[I], "--replay-check"))
       Opts.ReplayCheck = true;
+    else if (!std::strcmp(Argv[I], "--guarded"))
+      Opts.Guarded = true;
     else {
       std::fprintf(stderr,
                    "usage: soak_chaos [--seed S] [--steps N] "
-                   "[--replay-check] [--json]\n");
+                   "[--replay-check] [--guarded] [--json]\n");
       return 2;
     }
   }
@@ -401,9 +459,10 @@ int main(int Argc, char **Argv) {
   // Crashes mid-soak should leave a post-mortem trail, not just a core.
   crash::install();
 
-  std::printf("seed %" PRIu64 ", %u steps, fault hooks %s\n", Opts.Seed,
-              Opts.Steps,
-              FaultInjectionCompiled ? "compiled in" : "compiled out");
+  std::printf("seed %" PRIu64 ", %u steps, fault hooks %s, guards %s\n",
+              Opts.Seed, Opts.Steps,
+              FaultInjectionCompiled ? "compiled in" : "compiled out",
+              Opts.Guarded ? "on" : "off");
 
   SoakOutcome First = SoakRun(Opts).run();
   std::printf("digest %016" PRIx64 "\n", First.Digest);
@@ -431,11 +490,18 @@ int main(int Argc, char **Argv) {
               First.Sentinel.BlacklistRefreshes,
               First.Sentinel.InteriorTightenings,
               First.Sentinel.IncidentsRaised, First.Sentinel.Deescalations);
+  if (Opts.Guarded)
+    std::printf("guards: explicit frees %" PRIu64
+                ", churn-heap allocations %" PRIu64 ", frees %" PRIu64
+                ", quarantine flushes %" PRIu64 ", violations 0\n",
+                First.GuardedFrees, First.Guard.GuardedAllocations,
+                First.Guard.GuardedFrees, First.Guard.QuarantineFlushes);
 
   if (Opts.Json) {
     char Digest[32];
     std::snprintf(Digest, sizeof(Digest), "%016" PRIx64, First.Digest);
-    cgcbench::JsonReport Report("soak chaos");
+    cgcbench::JsonReport Report(Opts.Guarded ? "soak chaos guarded"
+                                             : "soak chaos");
     Report.set("seed", Opts.Seed);
     Report.set("steps", uint64_t(Opts.Steps));
     Report.set("digest", std::string(Digest));
@@ -457,6 +523,14 @@ int main(int Argc, char **Argv) {
                First.Sentinel.InteriorTightenings);
     Report.set("sentinel_incidents", First.Sentinel.IncidentsRaised);
     Report.set("sentinel_deescalations", First.Sentinel.Deescalations);
+    Report.set("guarded", uint64_t(Opts.Guarded ? 1 : 0));
+    if (Opts.Guarded) {
+      Report.set("guarded_explicit_frees", First.GuardedFrees);
+      Report.set("guard_allocations", First.Guard.GuardedAllocations);
+      Report.set("guard_frees", First.Guard.GuardedFrees);
+      Report.set("guard_quarantine_flushes", First.Guard.QuarantineFlushes);
+      Report.set("guard_slop_bytes", First.Guard.GuardSlopBytes);
+    }
     std::string Path = Report.write();
     std::printf("json: %s\n", Path.empty() ? "(write failed)" : Path.c_str());
   }

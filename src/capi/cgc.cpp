@@ -185,6 +185,11 @@ static GcConfig convertConfig(const cgc_config *C) {
   Config.AddressOrderedAllocation = C->address_ordered_allocation != 0;
   Config.VerifyEveryCollection = C->verify_every_collection != 0;
   Config.Sentinel = convertSentinelPolicy(&C->sentinel);
+  Config.DebugGuards = C->debug_guards != 0;
+  Config.GuardFatal = C->guard_fatal != 0;
+  // Unlike most numeric fields, 0 is meaningful here (release freed
+  // guarded objects immediately); cgc_config_init seeds the default.
+  Config.QuarantineSlots = C->quarantine_slots;
   return Config;
 }
 
@@ -268,6 +273,9 @@ static void fillCConfig(cgc_config *Out, const GcConfig &In) {
   Out->sentinel.escalation_cooldown = In.Sentinel.EscalationCooldown;
   Out->sentinel.tighten_cycles = In.Sentinel.TightenCycles;
   Out->sentinel.calm_collections = In.Sentinel.CalmCollections;
+  Out->debug_guards = In.DebugGuards ? 1 : 0;
+  Out->guard_fatal = In.GuardFatal ? 1 : 0;
+  Out->quarantine_slots = In.QuarantineSlots;
 }
 
 void cgc_config_init(cgc_config *Config) {
@@ -545,6 +553,49 @@ void cgc_set_incident_callback(cgc_collector *GC, cgc_incident_fn Fn,
     GC->GC.removeObserver(GC->IncidentObserverId);
     GC->IncidentObserverId = 0;
   }
+}
+
+void *cgc_debug_malloc(cgc_collector *GC, size_t Bytes, const char *Site) {
+  return GC->GC.allocateTagged(Bytes, Site, ObjectKind::Normal);
+}
+
+void cgc_debug_flush_quarantine(cgc_collector *GC) {
+  if (GC->GC.guards())
+    GC->GC.flushQuarantine();
+}
+
+int cgc_debug_get_stats(cgc_collector *GC, cgc_guard_stats *Out) {
+  if (Out)
+    std::memset(Out, 0, sizeof(*Out));
+  if (!GC->GC.guards())
+    return 0;
+  if (Out) {
+    const GcGuardStats &S = GC->GC.guardStats();
+    Out->guarded_allocations = S.GuardedAllocations;
+    Out->guarded_frees = S.GuardedFrees;
+    Out->quarantine_depth = S.QuarantineDepth;
+    Out->quarantine_flushes = S.QuarantineFlushes;
+    Out->header_smashes = S.HeaderSmashes;
+    Out->redzone_smashes = S.RedzoneSmashes;
+    Out->double_frees = S.DoubleFrees;
+    Out->invalid_frees = S.InvalidFrees;
+    Out->use_after_free_writes = S.UseAfterFreeWrites;
+    Out->guard_slop_bytes = S.GuardSlopBytes;
+    Out->leaked_objects = S.LeakedObjects;
+    Out->leaked_bytes = S.LeakedBytes;
+  }
+  return 1;
+}
+
+unsigned long long cgc_debug_find_leaks(cgc_collector *GC, cgc_leak_fn Fn,
+                                        void *User) {
+  if (!GC->GC.guards())
+    return 0;
+  GcLeakReport Report = GC->GC.findLeaks();
+  if (Fn)
+    for (const GcLeakSite &Site : Report.Sites)
+      Fn(Site.Site, Site.Objects, Site.Bytes, Site.FirstSeqno, User);
+  return Report.TotalObjects;
 }
 
 void cgc_install_crash_reporter(void) { crash::install(); }

@@ -140,6 +140,22 @@ typedef struct cgc_config {
   int verify_every_collection;           /* boolean                    */
   /* Retention-storm sentinel policy; sentinel.enabled defaults off. */
   cgc_sentinel_policy sentinel;
+  /* Guarded-heap (debug) mode: every allocation carries a 16-byte
+   * header (allocation-site tag, monotonic sequence number, canary)
+   * and a trailing redzone, validated at every sweep and by the heap
+   * verifier; explicit frees are fully validated and freed objects are
+   * poisoned and parked in a bounded quarantine that detects
+   * use-after-free writes.  Forces lazy_sweep off.  Retained sets are
+   * bit-identical to an unguarded collector on the same workload. */
+  int debug_guards;                      /* boolean; default off       */
+  /* Abort with a diagnostic on the first guard violation (default).
+   * Zero records the violation as an incident (cgc_incident_fn,
+   * CGC_INCIDENT_*) and keeps running. */
+  int guard_fatal;                       /* boolean; default on        */
+  /* Quarantine capacity in objects; freed guarded objects are parked
+   * this long before their memory is reusable.  0 = release
+   * immediately (no use-after-free window).  Default 256. */
+  unsigned quarantine_slots;
 } cgc_config;
 
 /* Fills *config with the library defaults.  Every field of the C++
@@ -248,9 +264,15 @@ typedef struct cgc_sentinel_stats {
  * sentinel is enabled, 0 (and a zeroed *out) when it is not. */
 int cgc_sentinel_get_stats(cgc_collector *gc, cgc_sentinel_stats *out);
 
-/* Incident causes (GcIncidentCause). */
+/* Incident causes (GcIncidentCause).  The guard causes fire only in
+ * guarded-heap mode with guard_fatal disabled. */
 enum {
   CGC_INCIDENT_RETENTION_STORM = 0,
+  CGC_INCIDENT_INVALID_FREE = 1,
+  CGC_INCIDENT_DOUBLE_FREE = 2,
+  CGC_INCIDENT_GUARD_HEADER_SMASH = 3,
+  CGC_INCIDENT_GUARD_REDZONE_SMASH = 4,
+  CGC_INCIDENT_QUARANTINE_USE_AFTER_FREE = 5,
 };
 
 /* Incident callback: the sentinel exhausted its escalation ladder and
@@ -280,6 +302,62 @@ void cgc_install_crash_reporter(void);
 /* Writes the same crash report, on demand, to fd.  Async-signal-safe;
  * covers every live collector in the process. */
 void cgc_dump_crash_report(int fd);
+
+/* --- guarded-heap debugging ------------------------------------------ */
+
+/* Allocation tagged with a site string for the guarded heap's
+ * violation and leak reports.  site must outlive the collector (a
+ * string literal; CGC_MALLOC_SITE builds one from __FILE__:__LINE__).
+ * Without debug_guards this is exactly cgc_malloc. */
+void *cgc_debug_malloc(cgc_collector *gc, size_t bytes, const char *site);
+
+#define CGC_STRINGIZE_(x) #x
+#define CGC_STRINGIZE(x) CGC_STRINGIZE_(x)
+/* cgc_debug_malloc tagged with the call's file:line. */
+#define CGC_MALLOC_SITE(gc, bytes)                                        \
+  cgc_debug_malloc((gc), (bytes), __FILE__ ":" CGC_STRINGIZE(__LINE__))
+
+/* Releases every quarantined object now, re-checking its poison fill
+ * (a failed check is a use-after-free violation).  Collections flush
+ * the quarantine themselves; this forces it between collections.
+ * No-op without debug_guards. */
+void cgc_debug_flush_quarantine(cgc_collector *gc);
+
+/* Lifetime counters of the guarded heap (GcGuardStats). */
+typedef struct cgc_guard_stats {
+  unsigned long long guarded_allocations;
+  unsigned long long guarded_frees;
+  unsigned long long quarantine_depth;
+  unsigned long long quarantine_flushes;
+  unsigned long long header_smashes;
+  unsigned long long redzone_smashes;
+  unsigned long long double_frees;
+  unsigned long long invalid_frees;
+  unsigned long long use_after_free_writes;
+  unsigned long long guard_slop_bytes;   /* header+redzone overhead   */
+  unsigned long long leaked_objects;     /* from the last find-leaks  */
+  unsigned long long leaked_bytes;
+} cgc_guard_stats;
+
+/* Fills *out with the guard counters; returns nonzero when guarded
+ * mode is active, 0 (and a zeroed *out) when it is not. */
+int cgc_debug_get_stats(cgc_collector *gc, cgc_guard_stats *out);
+
+/* Leak-report callback: one call per allocation site that owns
+ * never-freed unreachable objects, in deterministic site-intern
+ * order.  first_seqno is the earliest leaked allocation's sequence
+ * number.  Runs outside collection; it must not allocate from or
+ * collect gc. */
+typedef void (*cgc_leak_fn)(const char *site, unsigned long long objects,
+                            unsigned long long bytes,
+                            unsigned long long first_seqno, void *user);
+
+/* Runs a find-leaks pass: flushes the quarantine, marks from the
+ * current roots, and reports every unreachable-but-never-freed
+ * guarded object grouped by allocation site.  Returns the total
+ * leaked object count.  Requires debug_guards (returns 0 without). */
+unsigned long long cgc_debug_find_leaks(cgc_collector *gc, cgc_leak_fn fn,
+                                        void *user);
 
 /* --- fault injection (testing) --------------------------------------- */
 

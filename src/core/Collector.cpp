@@ -45,11 +45,20 @@ Collector::Collector(const GcConfig &Cfg) : Config(Cfg) {
   Map = std::make_unique<PageMap>(Arena->numPages());
   Blocks = std::make_unique<BlockTable>();
 
+  if (Config.DebugGuards) {
+    // Guarded sweeps validate every slot against its header, and the
+    // quarantine-flush-before-sweep invariant needs sweeps to happen
+    // inside collections — so lazy sweeping is forced off.
+    Config.LazySweep = false;
+    Guards = std::make_unique<GuardLayer>(Config.QuarantineSlots);
+  }
+
   ObjectHeapConfig HeapConfig;
   HeapConfig.AvoidTrailingZeroAddresses = Config.AvoidTrailingZeroAddresses;
   HeapConfig.ClearFreedObjects = Config.ClearFreedObjects;
   HeapConfig.AddressOrderedAllocation = Config.AddressOrderedAllocation;
   HeapConfig.LazySweep = Config.LazySweep;
+  HeapConfig.Guards = Guards.get();
   HeapConfig.PointerPageConstraint = Config.Interior == InteriorPolicy::All
                                          ? PageConstraint::AllPagesClean
                                          : PageConstraint::FirstPageClean;
@@ -72,6 +81,12 @@ Collector::Collector(const GcConfig &Cfg) : Config(Cfg) {
                                         Config);
   SweepCtx = std::make_unique<SweepContext>(*Heap, *Pool, Config);
 
+  // Guarded user pointers are slot base + HeaderBytes; under BaseOnly
+  // interior recognition that displacement must be registered or no
+  // guarded object would ever be retained.
+  if (Guards && Config.Interior == InteriorPolicy::BaseOnly)
+    MarkerImpl->registerDisplacement(GuardLayer::HeaderBytes);
+
   // GcStats consumes the observer layer like any other client: the
   // timing sink is the first registered observer, so later observers
   // see phase timings already folded into the cycle record.  The
@@ -85,6 +100,7 @@ Collector::Collector(const GcConfig &Cfg) : Config(Cfg) {
   // registry (> MaxTrackedCollectors live collectors) just means this
   // one is absent from crash reports.
   CrashInfo.CollectorId.store(UniqueId, std::memory_order_relaxed);
+  CrashInfo.GuardedMode.store(Guards ? 1 : 0, std::memory_order_relaxed);
   CrashRegistered = crash::registerState(&CrashInfo);
 
   // Repeated spawn failures go through the same exponential-backoff
@@ -131,6 +147,44 @@ void Collector::maybeStartupCollect() {
 }
 
 void *Collector::allocate(size_t Bytes, ObjectKind Kind) {
+  if (Guards)
+    return allocateGuarded(Bytes, Kind, /*Site=*/0, /*IgnoreOffPage=*/false);
+  return allocateRaw(Bytes, Kind);
+}
+
+void *Collector::allocateTagged(size_t Bytes, const char *Site,
+                                ObjectKind Kind) {
+  if (!Guards)
+    return allocate(Bytes, Kind); // Tags only exist in guarded mode.
+  return allocateGuarded(Bytes, Kind, Guards->internSite(Site),
+                         /*IgnoreOffPage=*/false);
+}
+
+void *Collector::allocateGuarded(size_t Bytes, ObjectKind Kind,
+                                 GuardSiteId Site, bool IgnoreOffPage) {
+  if (Bytes == 0)
+    Bytes = 1;
+  CGC_CHECK(Bytes <= GuardLayer::MaxUserBytes,
+            "guarded allocation too large");
+  size_t Padded = static_cast<size_t>(GuardLayer::paddedSize(Bytes));
+  void *Slot = IgnoreOffPage ? allocateRawIgnoreOffPage(Padded, Kind)
+                             : allocateRaw(Padded, Kind);
+  if (!Slot)
+    return nullptr;
+  // An installed OOM handler's result is returned verbatim; it is not
+  // heap memory, so it cannot (and must not) be armed.
+  if (!Arena->contains(reinterpret_cast<Address>(Slot)))
+    return Slot;
+  ObjectRef Ref = Heap->refForBase(windowOffsetOf(Slot));
+  CGC_ASSERT(Ref.valid(), "guarded slot must be an object base");
+  // Arm against the slot's full capacity (the size class may round the
+  // padded request up), so the redzone covers the slop bytes too.
+  uint64_t Seqno = Guards->arm(Slot, Heap->objectSize(Ref), Bytes, Site);
+  (void)Seqno;
+  return GuardLayer::userPointer(Slot);
+}
+
+void *Collector::allocateRaw(size_t Bytes, ObjectKind Kind) {
   maybeStartupCollect();
   maybeRunStackClearHooks();
 
@@ -293,8 +347,263 @@ void Collector::warn(WarnEvent Event, const char *Message, uint64_t Value) {
 }
 
 void Collector::deallocate(void *Ptr) {
-  Finalizers.unregister(windowOffsetOf(Ptr));
-  Heap->deallocateExplicit(Ptr);
+  if (Guards) {
+    deallocateGuarded(Ptr);
+    return;
+  }
+  // Even without guards a bad free must not be undefined behavior:
+  // classify first and turn the bad classes into rate-limited warnings.
+  switch (Heap->classifyExplicitFree(Ptr)) {
+  case ObjectHeap::FreeClass::Ok:
+    Finalizers.unregister(windowOffsetOf(Ptr));
+    Heap->deallocateExplicit(Ptr);
+    return;
+  case ObjectHeap::FreeClass::NonHeap:
+    warn(WarnEvent::InvalidFree, "cgc: ignored free of a non-heap pointer",
+         reinterpret_cast<uint64_t>(Ptr));
+    return;
+  case ObjectHeap::FreeClass::NotObjectBase:
+    warn(WarnEvent::InvalidFree,
+         "cgc: ignored free of a non-object (interior?) pointer",
+         reinterpret_cast<uint64_t>(Ptr));
+    return;
+  case ObjectHeap::FreeClass::NotAllocated:
+    warn(WarnEvent::InvalidFree, "cgc: ignored double free",
+         reinterpret_cast<uint64_t>(Ptr));
+    return;
+  }
+}
+
+Collector::GuardedRef Collector::guardedRefFor(const void *Ptr) const {
+  GuardedRef G;
+  Address Addr = reinterpret_cast<Address>(Ptr);
+  if (!Arena->contains(Addr))
+    return G;
+  WindowOffset UserOff = Arena->offsetOf(Addr);
+  if (UserOff < GuardLayer::HeaderBytes)
+    return G;
+  WindowOffset SlotOff = UserOff - GuardLayer::HeaderBytes;
+  ObjectRef Ref = Heap->refForBase(SlotOff);
+  if (!Ref.valid() || !Heap->isAllocated(Ref) ||
+      Blocks->get(Ref.Block).LayoutId != 0 || Guards->isQuarantined(SlotOff))
+    return G;
+  GuardLayer::Decoded Info =
+      GuardLayer::inspect(Arena->pointerTo(SlotOff), Heap->objectSize(Ref));
+  if (!Info.HeaderIntact)
+    return G;
+  G.Valid = true;
+  G.Ref = Ref;
+  G.SlotBase = SlotOff;
+  G.Info = Info;
+  return G;
+}
+
+void Collector::reportGuardViolation(const GuardViolation &V, uint64_t Addr,
+                                     const char *Detail) {
+  switch (V.Kind) {
+  case GuardViolationKind::HeaderSmash:
+    ++Guards->Stats.HeaderSmashes;
+    break;
+  case GuardViolationKind::RedzoneSmash:
+    ++Guards->Stats.RedzoneSmashes;
+    break;
+  case GuardViolationKind::DoubleFree:
+    ++Guards->Stats.DoubleFrees;
+    break;
+  case GuardViolationKind::InvalidFree:
+    ++Guards->Stats.InvalidFrees;
+    break;
+  case GuardViolationKind::QuarantineUseAfterFree:
+    ++Guards->Stats.UseAfterFreeWrites;
+    break;
+  }
+  const char *Site = Guards->siteName(V.Site);
+  CrashInfo.GuardViolations.fetch_add(1, std::memory_order_relaxed);
+  CrashInfo.LastGuardSeqno.store(V.Seqno, std::memory_order_relaxed);
+  CrashInfo.LastGuardKind.store(guardViolationKindName(V.Kind),
+                                std::memory_order_relaxed);
+  CrashInfo.LastGuardSite.store(Site, std::memory_order_relaxed);
+  noteCrashEvent(GcEventKind::Incident, /*Phase=*/-1, Addr);
+
+  GcIncident Incident;
+  switch (V.Kind) {
+  case GuardViolationKind::HeaderSmash:
+    Incident.Cause = GcIncidentCause::GuardHeaderSmash;
+    break;
+  case GuardViolationKind::RedzoneSmash:
+    Incident.Cause = GcIncidentCause::GuardRedzoneSmash;
+    break;
+  case GuardViolationKind::DoubleFree:
+    Incident.Cause = GcIncidentCause::DoubleFree;
+    break;
+  case GuardViolationKind::InvalidFree:
+    Incident.Cause = GcIncidentCause::InvalidFree;
+    break;
+  case GuardViolationKind::QuarantineUseAfterFree:
+    Incident.Cause = GcIncidentCause::QuarantineUseAfterFree;
+    break;
+  }
+  Incident.CollectionIndex = Lifetime.Collections;
+  Incident.GuardSite = Site;
+  Incident.GuardSeqno = V.Seqno;
+  Incident.GuardUserBytes = V.UserBytes;
+  Incident.GuardAddress = Addr;
+  LastGuardIncidentInfo = Incident;
+  HasGuardIncident = true;
+  Observers.dispatch([&](GcObserver &O) { O.onIncident(Incident); });
+  warn(WarnEvent::GuardViolation, Detail, Addr);
+
+  if (Config.GuardFatal) {
+    char Message[256];
+    std::snprintf(Message, sizeof(Message),
+                  "cgc guard violation: %s (site %s, seqno %llu, "
+                  "addr 0x%llx)",
+                  Detail, Site, (unsigned long long)V.Seqno,
+                  (unsigned long long)Addr);
+    fatalError(Message, __FILE__, __LINE__);
+  }
+}
+
+void Collector::deallocateGuarded(void *Ptr) {
+  Address Addr = reinterpret_cast<Address>(Ptr);
+  GuardViolation V;
+  if (!Arena->contains(Addr)) {
+    V.Kind = GuardViolationKind::InvalidFree;
+    reportGuardViolation(V, Addr, "free of a non-heap pointer");
+    return;
+  }
+  WindowOffset UserOff = Arena->offsetOf(Addr);
+
+  // Typed (precisely scanned) objects carry no guard metadata even in
+  // guarded mode; their base pointers free through the raw path.
+  ObjectRef RawRef = Heap->refForBase(UserOff);
+  if (RawRef.valid() && Heap->isAllocated(RawRef) &&
+      Blocks->get(RawRef.Block).LayoutId != 0) {
+    Finalizers.unregister(UserOff);
+    Heap->deallocateExplicit(Ptr);
+    return;
+  }
+
+  if (UserOff >= GuardLayer::HeaderBytes) {
+    WindowOffset SlotOff = UserOff - GuardLayer::HeaderBytes;
+    ObjectRef Ref = Heap->refForBase(SlotOff);
+    if (Ref.valid() && Blocks->get(Ref.Block).LayoutId == 0) {
+      if (!Heap->isAllocated(Ref)) {
+        // Valid slot base, already swept or flushed: a late double free.
+        V.Kind = GuardViolationKind::DoubleFree;
+        V.Base = SlotOff;
+        reportGuardViolation(V, Addr, "double free");
+        return;
+      }
+      if (Guards->isQuarantined(SlotOff)) {
+        // Still parked from the first free; the ring entry remembers
+        // the original allocation's identity.
+        V.Kind = GuardViolationKind::DoubleFree;
+        V.Base = SlotOff;
+        if (const GuardLayer::QuarantineEntry *E =
+                Guards->findQuarantined(SlotOff)) {
+          V.Seqno = E->Seqno;
+          V.Site = E->Site;
+          V.UserBytes = E->UserBytes;
+        }
+        reportGuardViolation(V, Addr, "double free");
+        return;
+      }
+      uint64_t SlotBytes = Heap->objectSize(Ref);
+      void *SlotPtr = Arena->pointerTo(SlotOff);
+      GuardLayer::Decoded Info = GuardLayer::inspect(SlotPtr, SlotBytes);
+      V.Base = SlotOff;
+      V.Seqno = Info.Seqno;
+      V.Site = Info.Site;
+      V.UserBytes = Info.UserBytes;
+      if (!Info.HeaderIntact) {
+        V.Kind = GuardViolationKind::HeaderSmash;
+        reportGuardViolation(V, Addr, "guard header smash");
+        return;
+      }
+      if (!Info.RedzoneIntact) {
+        V.Kind = GuardViolationKind::RedzoneSmash;
+        reportGuardViolation(V, Addr, "guard redzone smash");
+        return;
+      }
+      // A fully validated guarded free: poison, park, maybe release
+      // the ring's oldest entry.
+      Finalizers.unregister(SlotOff);
+      GuardLayer::QuarantineEntry Evicted;
+      if (Guards->quarantine(SlotPtr, SlotOff, SlotBytes, Info, Evicted))
+        releaseQuarantined(Evicted);
+      CrashInfo.QuarantineDepth.store(Guards->quarantineDepth(),
+                                      std::memory_order_relaxed);
+      return;
+    }
+  }
+  V.Kind = GuardViolationKind::InvalidFree;
+  reportGuardViolation(V, Addr, "free of a non-object pointer");
+}
+
+void Collector::releaseQuarantined(const GuardLayer::QuarantineEntry &E) {
+  void *SlotPtr = Arena->pointerTo(E.Base);
+  if (!GuardLayer::poisonIntact(SlotPtr, E.SlotBytes)) {
+    GuardViolation V;
+    V.Kind = GuardViolationKind::QuarantineUseAfterFree;
+    V.Base = E.Base;
+    V.Seqno = E.Seqno;
+    V.Site = E.Site;
+    V.UserBytes = E.UserBytes;
+    reportGuardViolation(
+        V, reinterpret_cast<uint64_t>(SlotPtr) + GuardLayer::HeaderBytes,
+        "quarantine use-after-free write");
+  }
+  ++Guards->Stats.QuarantineFlushes;
+  Heap->deallocateExplicit(SlotPtr);
+}
+
+void Collector::flushQuarantine() {
+  if (!Guards)
+    return;
+  GuardLayer::QuarantineEntry E;
+  while (Guards->popOldest(E))
+    releaseQuarantined(E);
+  CrashInfo.QuarantineDepth.store(0, std::memory_order_relaxed);
+}
+
+GcLeakReport Collector::findLeaks() {
+  CGC_CHECK(Guards, "findLeaks requires GcConfig::DebugGuards");
+  GcLeakReport Report;
+  flushQuarantine();
+  // Mark without sweeping: the mark bits then say exactly which
+  // guarded objects are unreachable, and the heap is left unchanged.
+  measureLiveness();
+  std::vector<GcLeakSite> BySite(Guards->siteCount());
+  Blocks->forEach([&](BlockId, BlockDescriptor &Block) {
+    if (Block.LayoutId != 0)
+      return;
+    for (uint32_t Slot = 0; Slot != Block.ObjectCount; ++Slot) {
+      if (!Block.AllocBits.test(Slot) || Block.MarkBits.test(Slot))
+        continue;
+      WindowOffset Base = Block.slotOffset(Slot);
+      GuardLayer::Decoded Info =
+          GuardLayer::inspect(Arena->pointerTo(Base), Block.ObjectSize);
+      GuardSiteId Site =
+          Info.HeaderIntact && Info.Site < BySite.size() ? Info.Site : 0;
+      GcLeakSite &Bucket = BySite[Site];
+      if (Bucket.Objects == 0 || Info.Seqno < Bucket.FirstSeqno)
+        Bucket.FirstSeqno = Info.Seqno;
+      ++Bucket.Objects;
+      Bucket.Bytes += Info.HeaderIntact ? Info.UserBytes : Block.ObjectSize;
+    }
+  });
+  for (GuardSiteId Site = 0; Site != BySite.size(); ++Site) {
+    if (BySite[Site].Objects == 0)
+      continue;
+    BySite[Site].Site = Guards->siteName(Site);
+    Report.TotalObjects += BySite[Site].Objects;
+    Report.TotalBytes += BySite[Site].Bytes;
+    Report.Sites.push_back(BySite[Site]);
+  }
+  Guards->Stats.LeakedObjects = Report.TotalObjects;
+  Guards->Stats.LeakedBytes = Report.TotalBytes;
+  return Report;
 }
 
 LayoutId
@@ -318,9 +627,15 @@ void *Collector::allocateTyped(LayoutId Layout) {
 }
 
 void *Collector::allocateIgnoreOffPage(size_t Bytes, ObjectKind Kind) {
+  if (Guards)
+    return allocateGuarded(Bytes, Kind, /*Site=*/0, /*IgnoreOffPage=*/true);
+  return allocateRawIgnoreOffPage(Bytes, Kind);
+}
+
+void *Collector::allocateRawIgnoreOffPage(size_t Bytes, ObjectKind Kind) {
   maybeStartupCollect();
   if (SizeClassTable::isSmall(Bytes))
-    return allocate(Bytes, Kind); // Small objects fit one page anyway.
+    return allocateRaw(Bytes, Kind); // Small objects fit one page anyway.
   maybeRunStackClearHooks();
   void *Result = allocateLargeSlow(Bytes, Kind, /*IgnoreOffPage=*/true);
   if (!Result)
@@ -382,6 +697,10 @@ void Collector::emitRetainedObjects() {
 
 CollectionStats Collector::collect(const char *Reason) {
   CGC_CHECK(!InCollection, "re-entrant collection");
+  // Guarded mode: release every quarantined slot (poison-checked)
+  // before any phase runs, so the sweep only ever sees armed headers
+  // and use-after-free writes are detected at a deterministic point.
+  flushQuarantine();
   InCollection = true;
 
   for (const auto &Hook : PreCollectionHooks)
@@ -432,6 +751,25 @@ CollectionStats Collector::collect(const char *Reason) {
 
   runPhase(GcPhase::Sweep, Cycle, [&] {
     SweepResult Swept = SweepCtx->run(Cycle);
+    if (Guards && !Swept.GuardViolations.empty()) {
+      // Workers found violations in whatever shard order; seqno (with
+      // base as tiebreaker for unreadable headers) restores the unique
+      // allocation order, so the report — and the aborting violation
+      // under GuardFatal — is identical for any SweepThreads value.
+      std::sort(Swept.GuardViolations.begin(), Swept.GuardViolations.end(),
+                [](const GuardViolation &A, const GuardViolation &B) {
+                  return A.Seqno != B.Seqno ? A.Seqno < B.Seqno
+                                            : A.Base < B.Base;
+                });
+      for (const GuardViolation &V : Swept.GuardViolations)
+        reportGuardViolation(
+            V,
+            reinterpret_cast<uint64_t>(Arena->pointerTo(V.Base)) +
+                GuardLayer::HeaderBytes,
+            V.Kind == GuardViolationKind::HeaderSmash
+                ? "guard header smash"
+                : "guard redzone smash");
+    }
     Cycle.ObjectsSweptFree = Swept.ObjectsSweptFree;
     Cycle.BytesSweptFree = Swept.BytesSweptFree;
     Cycle.ObjectsLive = Swept.ObjectsLive;
@@ -567,8 +905,19 @@ void Collector::reportLeaks() {
     for (uint32_t Slot = 0; Slot != Block.ObjectCount; ++Slot) {
       if (!Block.AllocBits.test(Slot) || Block.MarkBits.test(Slot))
         continue;
-      OnLeak(Arena->pointerTo(Block.slotOffset(Slot)), Block.ObjectSize,
-             Block.Kind);
+      void *Base = Arena->pointerTo(Block.slotOffset(Slot));
+      if (Guards && Block.LayoutId == 0) {
+        // Quarantine was flushed at collection start, so every slot
+        // here is an armed object; report its client-visible identity.
+        GuardLayer::Decoded Info =
+            GuardLayer::inspect(Base, Block.ObjectSize);
+        OnLeak(GuardLayer::userPointer(Base),
+               Info.HeaderIntact ? static_cast<size_t>(Info.UserBytes)
+                                 : Block.ObjectSize,
+               Block.Kind);
+        continue;
+      }
+      OnLeak(Base, Block.ObjectSize, Block.Kind);
     }
   });
 }
@@ -602,12 +951,23 @@ void *Collector::objectBase(const void *Ptr) const {
       Arena->offsetOf(reinterpret_cast<Address>(Ptr)));
   if (!Ref.valid())
     return nullptr;
-  return Arena->pointerTo(Heap->baseOffset(Ref));
+  void *Base = Arena->pointerTo(Heap->baseOffset(Ref));
+  // Guarded untyped objects: the client-visible base is past the header.
+  if (Guards && Blocks->get(Ref.Block).LayoutId == 0 &&
+      Heap->isAllocated(Ref) &&
+      !Guards->isQuarantined(Heap->baseOffset(Ref)))
+    return GuardLayer::userPointer(Base);
+  return Base;
 }
 
 size_t Collector::objectSizeOf(const void *Ptr) const {
   if (!isHeapPointer(Ptr))
     return 0;
+  if (Guards) {
+    GuardedRef G = guardedRefFor(Ptr);
+    if (G.Valid)
+      return static_cast<size_t>(G.Info.UserBytes);
+  }
   ObjectRef Ref =
       Heap->refForBase(Arena->offsetOf(reinterpret_cast<Address>(Ptr)));
   return Ref.valid() ? Heap->objectSize(Ref) : 0;
@@ -616,6 +976,8 @@ size_t Collector::objectSizeOf(const void *Ptr) const {
 bool Collector::isAllocated(const void *Ptr) const {
   if (!isHeapPointer(Ptr))
     return false;
+  if (Guards && guardedRefFor(Ptr).Valid)
+    return true;
   ObjectRef Ref =
       Heap->refForBase(Arena->offsetOf(reinterpret_cast<Address>(Ptr)));
   return Ref.valid() && Heap->isAllocated(Ref);
@@ -624,8 +986,14 @@ bool Collector::isAllocated(const void *Ptr) const {
 bool Collector::wasMarkedLive(const void *Ptr) const {
   if (!isHeapPointer(Ptr))
     return false;
-  ObjectRef Ref =
-      Heap->refForBase(Arena->offsetOf(reinterpret_cast<Address>(Ptr)));
+  ObjectRef Ref;
+  if (Guards) {
+    GuardedRef G = guardedRefFor(Ptr);
+    if (G.Valid)
+      Ref = G.Ref;
+  }
+  if (!Ref.valid())
+    Ref = Heap->refForBase(Arena->offsetOf(reinterpret_cast<Address>(Ptr)));
   if (!Ref.valid())
     return false;
   return Blocks->get(Ref.Block).MarkBits.test(Ref.Slot);
@@ -642,10 +1010,27 @@ void *Collector::pointerAtOffset(WindowOffset Offset) const {
 void Collector::registerFinalizer(void *Ptr,
                                   std::function<void(void *)> Fn) {
   CGC_CHECK(isAllocated(Ptr), "finalizer on a non-object");
+  if (Guards) {
+    GuardedRef G = guardedRefFor(Ptr);
+    if (G.Valid) {
+      // Key on the slot base (the offset the queue can resolve) and
+      // hand the finalizer the user pointer it expects.
+      Finalizers.registerFinalizer(G.SlotBase,
+                                   [Fn = std::move(Fn)](void *SlotPtr) {
+                                     Fn(GuardLayer::userPointer(SlotPtr));
+                                   });
+      return;
+    }
+  }
   Finalizers.registerFinalizer(windowOffsetOf(Ptr), std::move(Fn));
 }
 
 bool Collector::unregisterFinalizer(void *Ptr) {
+  if (Guards) {
+    GuardedRef G = guardedRefFor(Ptr);
+    if (G.Valid)
+      return Finalizers.unregister(G.SlotBase);
+  }
   return Finalizers.unregister(windowOffsetOf(Ptr));
 }
 
@@ -800,8 +1185,21 @@ void Collector::forEachObject(
     for (uint32_t Slot = 0; Slot != Block->ObjectCount; ++Slot) {
       if (!Block->AllocBits.test(Slot))
         continue;
-      Fn(Arena->pointerTo(Block->slotOffset(Slot)), Block->ObjectSize,
-         Block->Kind);
+      WindowOffset Base = Block->slotOffset(Slot);
+      if (Guards && Block->LayoutId == 0) {
+        // Quarantined slots are freed from the client's point of view;
+        // everything else reports its user pointer and requested size.
+        if (Guards->isQuarantined(Base))
+          continue;
+        GuardLayer::Decoded Info =
+            GuardLayer::inspect(Arena->pointerTo(Base), Block->ObjectSize);
+        Fn(GuardLayer::userPointer(Arena->pointerTo(Base)),
+           Info.HeaderIntact ? static_cast<size_t>(Info.UserBytes)
+                             : Block->ObjectSize,
+           Block->Kind);
+        continue;
+      }
+      Fn(Arena->pointerTo(Base), Block->ObjectSize, Block->Kind);
     }
   }
 }

@@ -32,6 +32,7 @@
 #include "core/Blacklist.h"
 #include "core/Finalization.h"
 #include "core/GcConfig.h"
+#include "core/GcIncident.h"
 #include "core/GcObserver.h"
 #include "core/GcPhase.h"
 #include "core/GcStats.h"
@@ -92,6 +93,13 @@ public:
   /// (observation 7's remedy for >100 KB objects under blacklisting).
   void *allocateIgnoreOffPage(size_t Bytes,
                               ObjectKind Kind = ObjectKind::Normal);
+
+  /// allocate(), tagged with an allocation-site string (interned by
+  /// value; typically a "file:line" literal).  Guarded mode records the
+  /// site in the object's debug header so violation and leak reports
+  /// name it; without DebugGuards the tag is ignored.
+  void *allocateTagged(size_t Bytes, const char *Site,
+                       ObjectKind Kind = ObjectKind::Normal);
 
   /// Under InteriorPolicy::BaseOnly, also accept base + Displacement
   /// as a valid reference (tagged-pointer language implementations).
@@ -210,6 +218,38 @@ public:
   using LeakCallback = std::function<void(void *Ptr, size_t Bytes,
                                           ObjectKind Kind)>;
   void setLeakCallback(LeakCallback Fn) { OnLeak = std::move(Fn); }
+
+  //===--------------------------------------------------------------===//
+  // Guarded-heap mode (GcConfig::DebugGuards; see heap/GuardedHeap.h)
+  //===--------------------------------------------------------------===//
+
+  /// The guard layer, or nullptr when DebugGuards is off.
+  GuardLayer *guards() { return Guards.get(); }
+
+  /// Lifetime guard counters.  Requires DebugGuards.
+  const GcGuardStats &guardStats() const {
+    CGC_CHECK(Guards, "guardStats requires GcConfig::DebugGuards");
+    return Guards->Stats;
+  }
+
+  /// Releases every quarantined object now, re-checking each slot's
+  /// poison fill for use-after-free writes first.  Every collection
+  /// does this implicitly before its phases run.  No-op without guards.
+  void flushQuarantine();
+
+  /// Find-leaks collection: flushes the quarantine, marks (without
+  /// sweeping), and reports every guarded object that is unreachable
+  /// but was never explicitly freed, grouped by allocation site in
+  /// site-registration order (deterministic).  Requires DebugGuards.
+  GcLeakReport findLeaks();
+
+  /// The most recent guard-violation incident, or nullptr if none has
+  /// been raised.  Meant for tests and tooling running with
+  /// GuardFatal == false; the same payload is delivered through
+  /// GcObserver::onIncident as it happens.
+  const GcIncident *lastGuardIncident() const {
+    return HasGuardIncident ? &LastGuardIncidentInfo : nullptr;
+  }
 
   //===--------------------------------------------------------------===//
   // Observability (see core/GcObserver.h)
@@ -368,8 +408,41 @@ private:
     LargeAllocOnBlacklistedHeap = 1,
     WorkerSpawnFailure = 2,
     SentinelIncident = 3,
+    InvalidFree = 4,
+    GuardViolation = 5,
   };
-  static constexpr unsigned NumWarnEvents = 4;
+  static constexpr unsigned NumWarnEvents = 6;
+
+  /// The unguarded allocation paths (the historical allocate /
+  /// allocateIgnoreOffPage bodies); the public entry points route
+  /// through the guard layer first when DebugGuards is on.
+  void *allocateRaw(size_t Bytes, ObjectKind Kind);
+  void *allocateRawIgnoreOffPage(size_t Bytes, ObjectKind Kind);
+  /// Guarded allocation: pads the request for header + redzone, takes a
+  /// raw slot, arms the guard metadata, and returns the interior user
+  /// pointer (slot base + GuardLayer::HeaderBytes).
+  void *allocateGuarded(size_t Bytes, ObjectKind Kind, GuardSiteId Site,
+                        bool IgnoreOffPage);
+  /// Guarded free-path validation ladder; every bad class raises a
+  /// structured incident instead of undefined behavior.
+  void deallocateGuarded(void *Ptr);
+  /// Resolution of a client pointer to a guarded object (user pointer =
+  /// slot base + HeaderBytes with an intact, unquarantined header).
+  struct GuardedRef {
+    bool Valid = false;
+    ObjectRef Ref;
+    WindowOffset SlotBase = 0;
+    GuardLayer::Decoded Info;
+  };
+  GuardedRef guardedRefFor(const void *Ptr) const;
+  /// Updates counters/crash state, raises the GcIncident (observers +
+  /// rate-limited warn), and fatals when GuardFatal.  \p Detail is a
+  /// static string naming the violation for the warn proc and the
+  /// fatal message.
+  void reportGuardViolation(const GuardViolation &V, uint64_t Addr,
+                            const char *Detail);
+  /// Poison-checks one quarantine entry and releases its slot.
+  void releaseQuarantined(const GuardLayer::QuarantineEntry &Entry);
 
   bool shouldCollectBeforeGrowth() const;
   void maybeRunStackClearHooks();
@@ -416,6 +489,9 @@ private:
   std::unique_ptr<PageAllocator> Pages;
   std::unique_ptr<PageMap> Map;
   std::unique_ptr<BlockTable> Blocks;
+  /// Guard layer (DebugGuards only).  Declared before Heap, which
+  /// borrows a const pointer for sweep-time validation.
+  std::unique_ptr<GuardLayer> Guards;
   std::unique_ptr<ObjectHeap> Heap;
   std::unique_ptr<Blacklist> BlacklistImpl;
   /// Declared before the phase drivers that borrow it so it outlives
@@ -439,6 +515,8 @@ private:
   bool CrashRegistered = false;
 
   uint64_t UniqueId;
+  GcIncident LastGuardIncidentInfo;
+  bool HasGuardIncident = false;
   CollectionStats LastCycle;
   GcLifetimeStats Lifetime;
   GcResilienceStats Resilience;

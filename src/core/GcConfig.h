@@ -219,6 +219,28 @@ struct GcConfig {
   /// variable (any value but "0") forces this on at construction.
   bool VerifyEveryCollection = false;
 
+  /// Opt-in guarded-heap (debug) mode: every conservatively scanned
+  /// allocation gains a 16-byte debug header (allocation-site tag +
+  /// monotonic seqno + canary) and a trailing redzone validated at
+  /// sweep time and by the verifier; explicit frees are fully
+  /// validated (non-heap / interior / double frees raise structured
+  /// GcIncidents instead of UB), poisoned, and parked in a bounded
+  /// quarantine whose flush detects use-after-free writes.  Guard
+  /// metadata words all read >= 2^63, so the conservative scan never
+  /// mistakes them for pointers and retained sets are bit-identical
+  /// with guards on or off.  Forces LazySweep off.  See
+  /// heap/GuardedHeap.h and DESIGN.md §7.
+  bool DebugGuards = false;
+  /// Abort (via the fatal-error path, after reporting the incident)
+  /// on any guard violation.  false keeps running so incidents and
+  /// guard stats can be inspected — meant for tests and soaks.
+  bool GuardFatal = true;
+  /// Capacity of the guarded free-quarantine ring; the oldest entry is
+  /// poison-checked and released when a free would overflow it, and
+  /// every collection flushes the whole ring.  0 disables parking
+  /// (validated frees release immediately).
+  uint32_t QuarantineSlots = 256;
+
   /// Retention-storm sentinel policy; Sentinel.Enabled defaults off so
   /// paper experiments measure the undefended collector.
   SentinelPolicy Sentinel;

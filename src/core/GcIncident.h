@@ -28,12 +28,33 @@ enum class GcIncidentCause : unsigned char {
   /// Live bytes grew past the configured slope/floor for a full window
   /// of collections despite every sentinel escalation.
   RetentionStorm,
+  /// Explicit free of a non-heap or non-object pointer (guarded mode).
+  InvalidFree,
+  /// Explicit free of an object that was already freed (guarded mode).
+  DoubleFree,
+  /// A guarded object's debug-header canary was overwritten.
+  GuardHeaderSmash,
+  /// A guarded object's trailing redzone was overwritten.
+  GuardRedzoneSmash,
+  /// A freed, quarantined object was written through a dangling
+  /// pointer before its quarantine slot was flushed.
+  QuarantineUseAfterFree,
 };
 
 constexpr const char *gcIncidentCauseName(GcIncidentCause Cause) {
   switch (Cause) {
   case GcIncidentCause::RetentionStorm:
     return "retention-storm";
+  case GcIncidentCause::InvalidFree:
+    return "invalid-free";
+  case GcIncidentCause::DoubleFree:
+    return "double-free";
+  case GcIncidentCause::GuardHeaderSmash:
+    return "guard-header-smash";
+  case GcIncidentCause::GuardRedzoneSmash:
+    return "guard-redzone-smash";
+  case GcIncidentCause::QuarantineUseAfterFree:
+    return "quarantine-use-after-free";
   }
   return "?";
 }
@@ -69,6 +90,19 @@ struct GcIncident {
   std::vector<GcIncidentRootSummary> RetainedByRoot;
   /// Objects fed to RetentionTracer to build RetainedByRoot.
   uint64_t ObjectsSampled = 0;
+
+  // Guarded-heap violation payload (guard-mode causes only).
+  /// Interned allocation-site tag of the offending object; nullptr for
+  /// retention storms, "(untagged)" for guarded objects with no tag.
+  const char *GuardSite = nullptr;
+  /// The offending object's monotonic allocation seqno (0 if the
+  /// header was unreadable).
+  uint64_t GuardSeqno = 0;
+  /// The offending object's user-requested size (0 if unreadable).
+  uint64_t GuardUserBytes = 0;
+  /// The offending address as passed by the client (free'd pointer or
+  /// the smashed object's user base).
+  uint64_t GuardAddress = 0;
 };
 
 } // namespace cgc

@@ -1,0 +1,151 @@
+//===- heap/GuardedHeap.cpp - Guarded (debug) object layout ---------------===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/GuardedHeap.h"
+#include "support/Assert.h"
+#include <cstring>
+
+namespace cgc {
+
+namespace {
+
+uint64_t loadWord(const void *At) {
+  uint64_t Word;
+  std::memcpy(&Word, At, sizeof(Word));
+  return Word;
+}
+
+void storeWord(void *At, uint64_t Word) {
+  std::memcpy(At, &Word, sizeof(Word));
+}
+
+} // namespace
+
+GuardLayer::GuardLayer(uint32_t QuarantineCapacity)
+    : Capacity(QuarantineCapacity) {
+  Sites.emplace_back("(untagged)");
+}
+
+GuardSiteId GuardLayer::internSite(const char *Site) {
+  if (!Site || !*Site)
+    return 0;
+  auto It = SiteIds.find(Site);
+  if (It != SiteIds.end())
+    return It->second;
+  CGC_CHECK(Sites.size() <= MaxSites, "too many guard allocation sites");
+  GuardSiteId Id = static_cast<GuardSiteId>(Sites.size());
+  Sites.emplace_back(Site);
+  SiteIds.emplace(Sites.back(), Id);
+  return Id;
+}
+
+const char *GuardLayer::siteName(GuardSiteId Id) const {
+  if (Id >= Sites.size())
+    return "(unknown site)";
+  return Sites[Id].c_str();
+}
+
+uint64_t GuardLayer::arm(void *SlotBase, uint64_t SlotBytes,
+                         uint64_t UserBytes, GuardSiteId Site) {
+  CGC_CHECK(UserBytes <= MaxUserBytes, "guarded allocation too large");
+  CGC_CHECK(SlotBytes >= HeaderBytes + UserBytes + MinRedzoneBytes,
+            "guarded slot smaller than header + user + redzone");
+  uint64_t Seqno = ++SeqnoCounter;
+  char *Base = static_cast<char *>(SlotBase);
+  storeWord(Base, HeaderMagic ^ Seqno);
+  storeWord(Base + 8, InfoMagic ^ (UserBytes | (uint64_t(Site) << 40)));
+  std::memset(Base + HeaderBytes + UserBytes, RedzoneByte,
+              SlotBytes - HeaderBytes - UserBytes);
+  ++Stats.GuardedAllocations;
+  Stats.GuardSlopBytes += SlotBytes - UserBytes;
+  return Seqno;
+}
+
+GuardLayer::Decoded GuardLayer::inspect(const void *SlotBase,
+                                        uint64_t SlotBytes) {
+  Decoded Info;
+  const char *Base = static_cast<const char *>(SlotBase);
+  uint64_t W0 = loadWord(Base) ^ HeaderMagic;
+  uint64_t W1 = loadWord(Base + 8) ^ InfoMagic;
+  uint64_t UserBytes = W1 & MaxUserBytes;
+  GuardSiteId Site = static_cast<GuardSiteId>(W1 >> 40);
+  // A valid header decodes to a seqno below 2^48, a site below 2^20,
+  // and a size that fits the slot with its minimum redzone.
+  if (W0 == 0 || (W0 >> 48) != 0 || Site > MaxSites ||
+      HeaderBytes + UserBytes + MinRedzoneBytes > SlotBytes)
+    return Info; // HeaderIntact stays false.
+  Info.HeaderIntact = true;
+  Info.Seqno = W0;
+  Info.Site = Site;
+  Info.UserBytes = UserBytes;
+  Info.RedzoneIntact = true;
+  for (uint64_t At = HeaderBytes + UserBytes; At != SlotBytes; ++At) {
+    if (static_cast<unsigned char>(Base[At]) != RedzoneByte) {
+      Info.RedzoneIntact = false;
+      break;
+    }
+  }
+  return Info;
+}
+
+bool GuardLayer::quarantine(void *SlotBase, WindowOffset Base,
+                            uint64_t SlotBytes, const Decoded &Info,
+                            QuarantineEntry &Evicted) {
+  std::memset(SlotBase, PoisonByte, SlotBytes);
+  ++Stats.GuardedFrees;
+  CGC_ASSERT(Stats.GuardSlopBytes >= SlotBytes - Info.UserBytes,
+             "guard slop accounting underflow");
+  Stats.GuardSlopBytes -= SlotBytes - Info.UserBytes;
+  QuarantineEntry Entry;
+  Entry.Base = Base;
+  Entry.SlotBytes = SlotBytes;
+  Entry.UserBytes = Info.UserBytes;
+  Entry.Seqno = Info.Seqno;
+  Entry.Site = Info.Site;
+  if (Capacity == 0) {
+    Evicted = Entry;
+    return true;
+  }
+  Ring.push_back(Entry);
+  Quarantined.insert(Base);
+  Stats.QuarantineDepth = Ring.size();
+  if (Ring.size() <= Capacity)
+    return false;
+  Evicted = Ring.front();
+  Ring.pop_front();
+  Quarantined.erase(Evicted.Base);
+  Stats.QuarantineDepth = Ring.size();
+  return true;
+}
+
+bool GuardLayer::popOldest(QuarantineEntry &Out) {
+  if (Ring.empty())
+    return false;
+  Out = Ring.front();
+  Ring.pop_front();
+  Quarantined.erase(Out.Base);
+  Stats.QuarantineDepth = Ring.size();
+  return true;
+}
+
+const GuardLayer::QuarantineEntry *
+GuardLayer::findQuarantined(WindowOffset Base) const {
+  for (const QuarantineEntry &E : Ring)
+    if (E.Base == Base)
+      return &E;
+  return nullptr;
+}
+
+bool GuardLayer::poisonIntact(const void *SlotBase, uint64_t SlotBytes) {
+  const unsigned char *Base = static_cast<const unsigned char *>(SlotBase);
+  for (uint64_t At = 0; At != SlotBytes; ++At)
+    if (Base[At] != PoisonByte)
+      return false;
+  return true;
+}
+
+} // namespace cgc

@@ -103,6 +103,30 @@ HeapVerifyReport HeapVerifier::run() {
                 "the allocator",
                 Id, Block.usableFreeCount());
     }
+    // Guarded mode: every allocated untyped slot must carry an intact
+    // header and redzone — unless it is parked in the quarantine, where
+    // the whole slot is poison instead (checked at flush time, not
+    // here: a verifier pass must stay side-effect free).
+    if (Heap.Config.Guards && Block.LayoutId == 0) {
+      const GuardLayer *Guards = Heap.Config.Guards;
+      for (uint32_t Slot = 0; Slot != Block.ObjectCount; ++Slot) {
+        if (!Block.AllocBits.test(Slot))
+          continue;
+        WindowOffset Base = Block.slotOffset(Slot);
+        if (Guards->isQuarantined(Base))
+          continue;
+        GuardLayer::Decoded Info = GuardLayer::inspect(
+            Heap.Arena.pointerTo(Base), Block.ObjectSize);
+        if (!Info.HeaderIntact)
+          R.notef("block %u slot %u: guard header smashed (offset 0x%llx)",
+                  Id, Slot, (unsigned long long)Base);
+        else if (!Info.RedzoneIntact)
+          R.notef("block %u slot %u: guard redzone smashed (seqno %llu, "
+                  "offset 0x%llx)",
+                  Id, Slot, (unsigned long long)Info.Seqno,
+                  (unsigned long long)Base);
+      }
+    }
     BytesSeen += uint64_t(Block.AllocatedCount) * Block.ObjectSize;
     BlockOwnedPages += Block.NumPages;
   });

@@ -239,6 +239,19 @@ void *ObjectHeap::allocateLarge(size_t Bytes, ObjectKind Kind,
   return Arena.pointerTo(Block.slotOffset(0));
 }
 
+ObjectHeap::FreeClass
+ObjectHeap::classifyExplicitFree(const void *Ptr) const {
+  Address Addr = reinterpret_cast<Address>(Ptr);
+  if (!Arena.contains(Addr))
+    return FreeClass::NonHeap;
+  ObjectRef Ref = refForBase(Arena.offsetOf(Addr));
+  if (!Ref.valid())
+    return FreeClass::NotObjectBase;
+  if (!Blocks.get(Ref.Block).AllocBits.test(Ref.Slot))
+    return FreeClass::NotAllocated;
+  return FreeClass::Ok;
+}
+
 void ObjectHeap::deallocateExplicit(void *Ptr) {
   Address Addr = reinterpret_cast<Address>(Ptr);
   CGC_CHECK(Arena.contains(Addr), "explicit free of a non-heap pointer");
@@ -292,11 +305,39 @@ void ObjectHeap::clearMarks() {
   });
 }
 
+void ObjectHeap::validateGuardedBlock(const BlockDescriptor &Block,
+                                      SweepResult &Result) {
+  if (!Config.Guards || Block.LayoutId != 0)
+    return;
+  // The collector flushes the quarantine before any sweep, so every
+  // allocated untyped slot here carries an armed header.  Validate all
+  // of them — including garbage about to be freed — so a smash is
+  // caught even when the smashed object is already unreachable.
+  for (uint32_t Slot = 0; Slot != Block.ObjectCount; ++Slot) {
+    if (!Block.AllocBits.test(Slot))
+      continue;
+    WindowOffset Base = Block.slotOffset(Slot);
+    GuardLayer::Decoded Info =
+        GuardLayer::inspect(Arena.pointerTo(Base), Block.ObjectSize);
+    if (Info.HeaderIntact && Info.RedzoneIntact)
+      continue;
+    GuardViolation V;
+    V.Kind = Info.HeaderIntact ? GuardViolationKind::RedzoneSmash
+                               : GuardViolationKind::HeaderSmash;
+    V.Base = Base;
+    V.Seqno = Info.Seqno;
+    V.Site = Info.Site;
+    V.UserBytes = Info.UserBytes;
+    Result.GuardViolations.push_back(V);
+  }
+}
+
 uint64_t ObjectHeap::sweepSmallBlockBody(BlockDescriptor &Block,
                                          SweepResult &Result,
                                          SweepDisposition &Disposition) {
   CGC_ASSERT(!Block.IsLarge && Block.Kind != ObjectKind::Uncollectable,
              "sweepSmallBlockBody on wrong block kind");
+  validateGuardedBlock(Block, Result);
   // Free unmarked allocated slots, pin marked free slots.  Everything
   // written here is local to the block (its bitmaps, counts, and page
   // contents) or to the caller's Result, so sweep workers can run this
@@ -378,6 +419,7 @@ ObjectHeap::SweepPlan ObjectHeap::beginSweep(SweepResult &Result) {
 
   Blocks.forEach([&](BlockId Id, BlockDescriptor &Block) {
     if (Block.Kind == ObjectKind::Uncollectable) {
+      validateGuardedBlock(Block, Result);
       // Never reclaimed; free slots may still be pinned by marks.
       Block.PinnedBits.clearAll();
       Block.PinnedCount = 0;
@@ -398,6 +440,7 @@ ObjectHeap::SweepPlan ObjectHeap::beginSweep(SweepResult &Result) {
     if (Block.IsLarge) {
       CGC_ASSERT(Block.AllocatedCount == 1,
                  "live large block must hold its object");
+      validateGuardedBlock(Block, Result);
       if (!Block.MarkBits.test(0)) {
         Result.BytesSweptFree += Block.ObjectSize;
         ++Result.ObjectsSweptFree;

@@ -32,6 +32,7 @@
 #define CGC_HEAP_OBJECTHEAP_H
 
 #include "heap/BlockTable.h"
+#include "heap/GuardedHeap.h"
 #include "heap/HeapUnits.h"
 #include "heap/HeapVerifier.h"
 #include "heap/ObjectKind.h"
@@ -61,6 +62,14 @@ struct ObjectHeapConfig {
   /// collection pause for amortized per-allocation work.  Large and
   /// uncollectable blocks are always swept eagerly.
   bool LazySweep = false;
+  /// Guarded-heap mode: every untyped (LayoutId 0) object carries a
+  /// debug header + redzone that sweep and verify re-check through this
+  /// layer.  Owned by the Collector; const reads only from here, so
+  /// parallel sweep workers validate without synchronization.  The
+  /// collector guarantees the quarantine is empty whenever a sweep
+  /// runs (every collection flushes it first), so sweep validates all
+  /// allocated untyped slots unconditionally.
+  const GuardLayer *Guards = nullptr;
 };
 
 struct ObjectHeapStats {
@@ -81,6 +90,11 @@ struct SweepResult {
   uint64_t ObjectsLive = 0;
   uint64_t PagesReleased = 0;
   uint64_t SlotsPinned = 0;
+  /// Guarded mode: canary/redzone violations found while sweeping.
+  /// Per-worker vectors are concatenated at the merge; the collector
+  /// sorts by seqno before reporting, so the order is deterministic
+  /// for any worker count.
+  std::vector<GuardViolation> GuardViolations;
 
   /// Folds another result into this one.  Parallel sweeping accumulates
   /// per-worker results and merges them sequentially after the join;
@@ -93,6 +107,9 @@ struct SweepResult {
     ObjectsLive += Other.ObjectsLive;
     PagesReleased += Other.PagesReleased;
     SlotsPinned += Other.SlotsPinned;
+    GuardViolations.insert(GuardViolations.end(),
+                           Other.GuardViolations.begin(),
+                           Other.GuardViolations.end());
   }
 };
 
@@ -168,8 +185,27 @@ public:
   void *allocateTypedFromExisting(LayoutId Id);
   bool addBlockForLayout(LayoutId Id);
 
+  /// How an explicit-free candidate pointer classifies, computed
+  /// without mutating anything; the collector's free-path validation
+  /// turns the bad classes into warnings (unguarded) or structured
+  /// incidents (guarded) instead of undefined behavior.
+  enum class FreeClass : unsigned char {
+    /// An allocated object base: deallocateExplicit will succeed.
+    Ok,
+    /// Not inside the heap arena's committed object pages.
+    NonHeap,
+    /// Inside the heap but not an object base (interior or slop).
+    NotObjectBase,
+    /// A valid slot base that is not currently allocated (double free
+    /// or a pointer into a swept block).
+    NotAllocated,
+  };
+  FreeClass classifyExplicitFree(const void *Ptr) const;
+
   /// Explicitly frees \p Ptr (any kind).  Required for Uncollectable
   /// objects; legal for others (leak-detector workloads free manually).
+  /// Aborts on invalid frees; callers wanting graceful handling must
+  /// classifyExplicitFree first (the Collector's free path does).
   void deallocateExplicit(void *Ptr);
 
   /// Resolves an exact object base address; invalid ref otherwise.
@@ -312,6 +348,12 @@ private:
   void *takeSlot(BlockId Id, BlockDescriptor &Block);
   BlockId createSmallBlock(size_t SlotSize, ObjectKind Kind,
                            LayoutId Layout);
+  /// Guarded mode: re-checks the header canaries and redzone of every
+  /// allocated untyped slot in \p Block, appending violations to
+  /// \p Result.  Pure reads of the block's pages and bitmaps, so sweep
+  /// workers can run it concurrently on disjoint blocks.
+  void validateGuardedBlock(const BlockDescriptor &Block,
+                            SweepResult &Result);
   /// Sweeps queued blocks of \p List until one offers a usable slot.
   /// \returns that block id, or InvalidBlockId.
   BlockId sweepUnsweptForAllocation(ClassList &List);

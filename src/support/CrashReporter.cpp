@@ -212,6 +212,32 @@ void dump(int Fd, int Signal) {
     Line.append("\n");
     Line.flush(Fd);
 
+    if (State->GuardedMode.load(std::memory_order_relaxed) != 0) {
+      Line.append("  guards: violations=");
+      Line.appendU64(
+          State->GuardViolations.load(std::memory_order_relaxed));
+      Line.append(" quarantine-depth=");
+      Line.appendU64(
+          State->QuarantineDepth.load(std::memory_order_relaxed));
+      Line.append("\n");
+      Line.flush(Fd);
+      const char *Kind =
+          State->LastGuardKind.load(std::memory_order_relaxed);
+      if (Kind) {
+        const char *Site =
+            State->LastGuardSite.load(std::memory_order_relaxed);
+        Line.append("  last-violation: ");
+        Line.append(Kind);
+        Line.append(" seqno=");
+        Line.appendU64(
+            State->LastGuardSeqno.load(std::memory_order_relaxed));
+        Line.append(" site=");
+        Line.append(Site ? Site : "(untagged)");
+        Line.append("\n");
+        Line.flush(Fd);
+      }
+    }
+
     GcEventRecord Records[EventRing::Capacity];
     unsigned Count = State->Events.snapshot(Records, EventRing::Capacity);
     Line.append("  events (last ");

@@ -56,6 +56,16 @@ struct GcCrashState {
   /// Sentinel escalation level (0 = calm) and incidents raised.
   std::atomic<uint64_t> SentinelLevel{0};
   std::atomic<uint64_t> SentinelIncidents{0};
+  /// Guarded-heap mode (GcConfig::DebugGuards): 1 when active.  The
+  /// kind/site pointers are string literals and interned site strings
+  /// (stable for the collector's lifetime), so the signal handler can
+  /// print them without touching collector memory management.
+  std::atomic<uint64_t> GuardedMode{0};
+  std::atomic<uint64_t> GuardViolations{0};
+  std::atomic<uint64_t> QuarantineDepth{0};
+  std::atomic<uint64_t> LastGuardSeqno{0};
+  std::atomic<const char *> LastGuardKind{nullptr};
+  std::atomic<const char *> LastGuardSite{nullptr};
   /// The last Capacity events, crash-readable.
   EventRing Events;
 };

@@ -10,6 +10,7 @@
 #include "core/Collector.h"
 #include "support/CrashReporter.h"
 #include <cstdlib>
+#include <cstring>
 #include <gtest/gtest.h>
 #include <string>
 #include <unistd.h>
@@ -29,30 +30,66 @@ GcConfig deathConfig() {
   return Config;
 }
 
+GcConfig guardedDeathConfig() {
+  GcConfig Config = deathConfig();
+  Config.DebugGuards = true;
+  return Config;
+}
+
 } // namespace
 
 using DeathTest = ::testing::Test;
 
-TEST(DeathTest, DoubleFreeAborts) {
+// A bad explicit free is only fatal in guarded mode; the unguarded
+// collector warns and ignores it (see TestGuardedHeap for that side of
+// the contract).
+
+TEST(DeathTest, GuardedDoubleFreeAborts) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
-  Collector GC(deathConfig());
+  Collector GC(guardedDeathConfig());
   void *P = GC.allocate(32);
   GC.deallocate(P);
   EXPECT_DEATH(GC.deallocate(P), "double free");
 }
 
-TEST(DeathTest, FreeingNonHeapPointerAborts) {
+TEST(DeathTest, GuardedFreeingNonHeapPointerAborts) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
-  Collector GC(deathConfig());
+  Collector GC(guardedDeathConfig());
   int Local = 0;
-  EXPECT_DEATH(GC.deallocate(&Local), "non-heap pointer");
+  EXPECT_DEATH(GC.deallocate(&Local), "free of a non-heap pointer");
 }
 
-TEST(DeathTest, FreeingInteriorPointerAborts) {
+TEST(DeathTest, GuardedFreeingInteriorPointerAborts) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
-  Collector GC(deathConfig());
+  Collector GC(guardedDeathConfig());
   auto *P = static_cast<char *>(GC.allocate(64));
-  EXPECT_DEATH(GC.deallocate(P + 8), "non-object pointer");
+  EXPECT_DEATH(GC.deallocate(P + 8), "free of a non-object pointer");
+}
+
+TEST(DeathTest, GuardedHeaderSmashAbortsAtCollection) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Collector GC(guardedDeathConfig());
+  auto *P = static_cast<char *>(GC.allocate(48));
+  // The word just below the user pointer is the guard header.
+  std::memset(P - 8, 0xAB, 8);
+  EXPECT_DEATH(GC.collect("smash"), "guard header smash");
+}
+
+TEST(DeathTest, GuardedRedzoneSmashAbortsAtCollection) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Collector GC(guardedDeathConfig());
+  auto *P = static_cast<char *>(GC.allocate(48));
+  P[48] = 0x7F; // One byte past the requested size: the redzone.
+  EXPECT_DEATH(GC.collect("smash"), "guard redzone smash");
+}
+
+TEST(DeathTest, GuardedUseAfterFreeInQuarantineAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Collector GC(guardedDeathConfig());
+  auto *P = static_cast<char *>(GC.allocate(48));
+  GC.deallocate(P);
+  P[4] = 1; // Dangling write into the poisoned, quarantined slot.
+  EXPECT_DEATH(GC.flushQuarantine(), "use-after-free");
 }
 
 TEST(DeathTest, HeapArenaMustFitWindow) {

@@ -16,7 +16,8 @@ using namespace cgc;
 namespace {
 
 GcConfig fuzzConfig(bool Lazy, bool AddressOrdered,
-                    unsigned SweepThreads = 1, bool VerifyEvery = false) {
+                    unsigned SweepThreads = 1, bool VerifyEvery = false,
+                    bool Guarded = false) {
   GcConfig Config;
   Config.MaxHeapBytes = 64 << 20;
   Config.GcAtStartup = true;
@@ -26,12 +27,15 @@ GcConfig fuzzConfig(bool Lazy, bool AddressOrdered,
   Config.AddressOrderedAllocation = AddressOrdered;
   Config.SweepThreads = SweepThreads;
   Config.VerifyEveryCollection = VerifyEvery;
+  Config.DebugGuards = Guarded;
   return Config;
 }
 
 void fuzzOnce(bool Lazy, bool AddressOrdered, uint64_t Seed,
-              unsigned SweepThreads = 1, bool VerifyEvery = false) {
-  Collector GC(fuzzConfig(Lazy, AddressOrdered, SweepThreads, VerifyEvery));
+              unsigned SweepThreads = 1, bool VerifyEvery = false,
+              bool Guarded = false) {
+  Collector GC(fuzzConfig(Lazy, AddressOrdered, SweepThreads, VerifyEvery,
+                          Guarded));
   Rng R(Seed);
   LayoutId Layout = GC.registerObjectLayout(
       {true, false, true, false}, 4 * sizeof(uint64_t));
@@ -140,6 +144,54 @@ TEST(HeapInvariants, FuzzEagerVerifyEveryCollection) {
 }
 TEST(HeapInvariants, FuzzLazyVerifyEveryCollection) {
   fuzzOnce(true, true, 606, /*SweepThreads=*/1, /*VerifyEvery=*/true);
+}
+// Guarded-heap lanes: the identical workloads under DebugGuards, so
+// every explicit free climbs the validation ladder, every freed object
+// rides through the quarantine, and every sweep and verifyHeap
+// checkpoint re-checks headers and redzones.  A clean run proves the
+// guard machinery itself never trips on a correct program.
+TEST(HeapInvariants, FuzzGuardedEager) {
+  fuzzOnce(false, true, 711, /*SweepThreads=*/1, /*VerifyEvery=*/false,
+           /*Guarded=*/true);
+}
+TEST(HeapInvariants, FuzzGuardedParallelSweep) {
+  fuzzOnce(false, true, 711, /*SweepThreads=*/4, /*VerifyEvery=*/false,
+           /*Guarded=*/true);
+}
+TEST(HeapInvariants, FuzzGuardedVerifyEveryCollection) {
+  fuzzOnce(false, true, 808, /*SweepThreads=*/1, /*VerifyEvery=*/true,
+           /*Guarded=*/true);
+}
+
+// Guard metadata must be invisible to conservative marking: the canary
+// words stay >= 2^63 (outside any heap window) and the redzone/poison
+// fills keep every straddling word's top byte >= 0x80, so a guarded
+// and an unguarded collector retain exactly the same objects on the
+// same deterministic workload.
+TEST(HeapInvariants, GuardsDoNotChangeRetainedSet) {
+  auto runCensus = [](bool Guarded) {
+    Collector GC(fuzzConfig(false, true, /*SweepThreads=*/1,
+                            /*VerifyEvery=*/false, Guarded));
+    Rng R(9090);
+    std::vector<uint64_t> Window(256, 0);
+    GC.addRootRange(Window.data(), Window.data() + Window.size(),
+                    RootEncoding::Native64, RootSource::Client, "window");
+    for (int Step = 0; Step != 4000; ++Step) {
+      if (R.nextBool(0.6))
+        Window[R.pickIndex(Window.size())] = reinterpret_cast<uint64_t>(
+            GC.allocate(R.nextInRange(8, 512)));
+      else
+        GC.allocate(R.nextInRange(8, 1024)); // Garbage.
+      if (Step % 512 == 511)
+        Window[R.pickIndex(Window.size())] = 0;
+    }
+    return GC.collect("census");
+  };
+  CollectionStats Guarded = runCensus(true);
+  CollectionStats Plain = runCensus(false);
+  EXPECT_EQ(Guarded.ObjectsLive, Plain.ObjectsLive)
+      << "guard headers/redzones must never be mistaken for references";
+  EXPECT_EQ(Guarded.ObjectsMarked, Plain.ObjectsMarked);
 }
 
 // Sweep-counter coherence: after a parallel sweep (per-worker counter
