@@ -1,0 +1,175 @@
+//===- bench/bench_mt_alloc.cpp - Multi-threaded allocation throughput ----===//
+//
+// Measures small-object allocation throughput from 1, 2, 4, and 8
+// registered mutator threads, with the per-thread caches on
+// (GcConfig::ThreadCacheSlots = 32: lock-free pops, batch refills
+// under the heap lock) and off (0: every allocation serializes on the
+// shared heap lock).  The interesting numbers are the cached-vs-
+// uncached ratio at each thread count — the caches exist so threads
+// stop queueing on the lock — and the scaling curve of the cached
+// configuration.
+//
+// Every run cross-checks the accounting: after the threads unregister
+// (flushing their caches and reversing unconsumed reservations), the
+// heap's lifetime allocation counter must equal exactly threads x
+// allocations-per-thread.
+//
+// Usage: bench_mt_alloc [--json] [allocs-per-thread] [reps]
+//   (default 100000 3; --json writes BENCH_mt_alloc.json)
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "core/Collector.h"
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+using namespace cgc;
+
+namespace {
+
+uint64_t nowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+GcConfig benchConfig(unsigned CacheSlots) {
+  GcConfig Config;
+  Config.WindowBytes = uint64_t(1) << 30;
+  Config.Placement = HeapPlacement::Custom;
+  Config.CustomHeapBaseOffset = 16 << 20;
+  Config.MaxHeapBytes = uint64_t(256) << 20;
+  Config.GcAtStartup = false;
+  Config.MinHeapBytesBeforeGc = ~uint64_t(0); // Pure allocation, no GC.
+  Config.ThreadCacheSlots = CacheSlots;
+  return Config;
+}
+
+/// One timed run: \p Threads registered mutators allocate \p PerThread
+/// 64-byte objects each, started together off a shared flag.  \returns
+/// wall nanoseconds from release to last completion.
+uint64_t runOnce(unsigned Threads, unsigned CacheSlots, size_t PerThread) {
+  Collector GC(benchConfig(CacheSlots));
+  std::atomic<unsigned> Ready{0};
+  std::atomic<bool> Go{false};
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T != Threads; ++T)
+    Workers.emplace_back([&GC, &Ready, &Go, PerThread] {
+      GcThreadScope Scope(GC);
+      if (!Scope.registered()) {
+        std::fprintf(stderr, "mutator registration refused\n");
+        std::exit(1);
+      }
+      Ready.fetch_add(1);
+      while (!Go.load(std::memory_order_acquire))
+        std::this_thread::yield();
+      // A tiny rotation window keeps a handful of objects reachable
+      // and lets the rest die; the run never collects, so this is a
+      // pure allocator measurement.
+      uint64_t *Keep[8] = {nullptr};
+      for (size_t I = 0; I != PerThread; ++I) {
+        auto *Obj = static_cast<uint64_t *>(GC.allocate(64));
+        if (!Obj) {
+          std::fprintf(stderr, "out of memory\n");
+          std::exit(1);
+        }
+        *Obj = I;
+        Keep[I % 8] = Obj;
+      }
+      (void)Keep;
+    });
+  while (Ready.load() != Threads)
+    std::this_thread::yield();
+  uint64_t Begin = nowNanos();
+  Go.store(true, std::memory_order_release);
+  for (std::thread &W : Workers)
+    W.join();
+  uint64_t Nanos = nowNanos() - Begin;
+
+  // Unregister reversed every unconsumed reservation: the lifetime
+  // counter must be exactly the objects the threads really took.
+  uint64_t Expected = uint64_t(Threads) * PerThread;
+  if (GC.heapStats().ObjectsAllocated != Expected) {
+    std::fprintf(stderr,
+                 "ACCOUNTING VIOLATION: %llu objects recorded, expected "
+                 "%llu\n",
+                 static_cast<unsigned long long>(
+                     GC.heapStats().ObjectsAllocated),
+                 static_cast<unsigned long long>(Expected));
+    std::exit(1);
+  }
+  return Nanos;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Json = cgcbench::consumeJsonFlag(Argc, Argv);
+  size_t PerThread = Argc > 1 ? std::strtoull(Argv[1], nullptr, 10) : 100000;
+  unsigned Reps = Argc > 2 ? static_cast<unsigned>(std::atoi(Argv[2])) : 3;
+  if (PerThread == 0)
+    PerThread = 100000;
+  if (Reps == 0)
+    Reps = 3;
+
+  cgcbench::printBanner(
+      "mt alloc",
+      "multi-threaded allocation throughput, per-thread caches on vs off",
+      "n/a (threading extension; bdwgc-style thread-local free lists)");
+
+  unsigned Cores = std::thread::hardware_concurrency();
+  std::printf("%zu x 64 B allocations per thread, best of %u reps, "
+              "hardware threads %u\n",
+              PerThread, Reps, Cores);
+  std::printf("%-8s %16s %16s %10s %10s\n", "threads", "uncached",
+              "cached (32)", "ratio", "scaling");
+
+  cgcbench::JsonReport Report("mt alloc");
+  Report.set("allocs_per_thread", uint64_t(PerThread));
+  Report.set("reps", uint64_t(Reps));
+  Report.set("hardware_threads", uint64_t(Cores));
+  Report.set("cache_slots", uint64_t(32));
+
+  double CachedBase = 0;
+  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+    uint64_t BestUncached = ~uint64_t(0), BestCached = ~uint64_t(0);
+    for (unsigned Rep = 0; Rep != Reps; ++Rep) {
+      uint64_t Uncached = runOnce(Threads, /*CacheSlots=*/0, PerThread);
+      uint64_t Cached = runOnce(Threads, /*CacheSlots=*/32, PerThread);
+      if (Uncached < BestUncached)
+        BestUncached = Uncached;
+      if (Cached < BestCached)
+        BestCached = Cached;
+    }
+    double Total = double(Threads) * double(PerThread);
+    double UncachedRate = Total / (double(BestUncached) / 1e9);
+    double CachedRate = Total / (double(BestCached) / 1e9);
+    double Ratio = UncachedRate > 0 ? CachedRate / UncachedRate : 0;
+    if (Threads == 1)
+      CachedBase = CachedRate;
+    double Scaling = CachedBase > 0 ? CachedRate / CachedBase : 0;
+    std::printf("%-8u %11.2f M/s %11.2f M/s %9.2fx %9.2fx\n", Threads,
+                UncachedRate / 1e6, CachedRate / 1e6, Ratio, Scaling);
+    Report.beginRow();
+    Report.rowSet("threads", uint64_t(Threads));
+    Report.rowSet("uncached_allocs_per_sec", UncachedRate);
+    Report.rowSet("cached_allocs_per_sec", CachedRate);
+    Report.rowSet("uncached_best_ns", BestUncached);
+    Report.rowSet("cached_best_ns", BestCached);
+    Report.rowSet("cached_vs_uncached", Ratio);
+    Report.rowSet("cached_scaling_vs_1t", Scaling);
+  }
+  std::printf("ratio = cached / uncached throughput at the same thread "
+              "count; scaling = cached throughput vs 1 thread\n");
+  if (Json) {
+    std::string Path = Report.write();
+    std::printf("json: %s\n", Path.empty() ? "(write failed)" : Path.c_str());
+  }
+  return 0;
+}

@@ -21,11 +21,17 @@
 // the whole soak twice and fails unless the digests are bit-identical.
 //
 // Usage: soak_chaos [--seed S] [--steps N] [--replay-check] [--guarded]
-//        [--json]
+//        [--mutator-threads N] [--json]
 // --guarded re-runs every collector in guarded-heap mode
 // (GcConfig::DebugGuards): headers, redzones, quarantine, and the
 // explicit-free validation ladder are all live, and ~25% of churn
 // slots are explicitly freed to keep the quarantine churning.
+// --mutator-threads N appends a multi-mutator phase: N registered
+// threads run independent seeded churn streams against one collector
+// (any of them may trigger a stop-the-world collect), and each
+// thread's stream-deterministic counters and value-tag checksum are
+// folded into the digest in thread-index order, so --replay-check
+// covers the handshake/cache machinery too.
 // --json writes BENCH_soak_chaos.json for CI trend tracking.
 //
 //===----------------------------------------------------------------------===//
@@ -46,6 +52,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace cgc;
@@ -58,6 +65,9 @@ struct SoakOptions {
   bool ReplayCheck = false;
   bool Json = false;
   bool Guarded = false;
+  /// 0 disables the multi-mutator phase (and leaves the digest of an
+  /// unthreaded soak untouched).
+  unsigned MutatorThreads = 0;
 };
 
 /// Everything a completed run reports; digest first, counters for the
@@ -74,6 +84,10 @@ struct SoakOutcome {
   uint64_t TreeProbes = 0;
   uint64_t ProgramTRuns = 0;
   uint64_t GuardedFrees = 0;
+  uint64_t MutatorAllocs = 0;
+  uint64_t MutatorFrees = 0;
+  uint64_t MutatorCollections = 0;
+  uint64_t MutatorHandshakes = 0;
   GcSentinelStats Sentinel;
   GcGuardStats Guard;
 };
@@ -95,6 +109,7 @@ private:
   void deepVerify(Collector &GC, const char *Label);
   void checkSentinel(Collector &GC);
   void checkGuards(Collector &GC);
+  void runMutatorPhase();
 
   void fold(uint64_t Value) {
     Outcome.Digest ^= Value;
@@ -111,8 +126,11 @@ private:
       std::printf("%s\n", Detail.c_str());
     std::printf("  at step %u of %u, seed %" PRIu64 "\n", Step, Opts.Steps,
                 Opts.Seed);
-    std::printf("  replay: soak_chaos --seed %" PRIu64 " --steps %u%s\n",
+    std::printf("  replay: soak_chaos --seed %" PRIu64 " --steps %u%s",
                 Opts.Seed, Opts.Steps, Opts.Guarded ? " --guarded" : "");
+    if (Opts.MutatorThreads != 0)
+      std::printf(" --mutator-threads %u", Opts.MutatorThreads);
+    std::printf("\n");
     std::fflush(stdout);
     std::exit(1);
   }
@@ -378,6 +396,136 @@ void SoakRun::stepProgramT() {
   checkGuards(GC);
 }
 
+/// The multi-mutator phase: N registered threads run independent
+/// seeded churn streams against one shared collector, any of which may
+/// trigger a stop-the-world collect at any moment.  Every value a
+/// thread folds is a pure function of its own stream — operation
+/// counts, sizes, and the tag checksum over objects it re-reads before
+/// dropping — never of the interleaving, so folding the per-thread
+/// digests in thread-index order keeps the whole soak seed-replayable.
+void SoakRun::runMutatorPhase() {
+  struct MutatorLocal {
+    uint64_t Digest = 0xcbf29ce484222325ull;
+    uint64_t Allocs = 0;
+    uint64_t Frees = 0;
+    uint64_t Collections = 0;
+    std::string Error;
+    void fold(uint64_t Value) {
+      Digest ^= Value;
+      Digest *= 0x100000001b3ull;
+    }
+  };
+
+  unsigned NumThreads = Opts.MutatorThreads;
+  GcConfig Config = soakConfig(/*WithSentinel=*/false, Opts.Guarded);
+  Config.MutatorThreads = NumThreads;
+  Collector GC(Config);
+  std::vector<std::vector<uint64_t>> Windows(
+      NumThreads, std::vector<uint64_t>(96, 0));
+  std::vector<RootId> WindowRoots;
+  for (std::vector<uint64_t> &W : Windows)
+    WindowRoots.push_back(GC.addRootRange(
+        W.data(), W.data() + W.size(), RootEncoding::Native64,
+        RootSource::Client, "soak-mutator-window"));
+
+  std::vector<MutatorLocal> Locals(NumThreads);
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T != NumThreads; ++T)
+    Threads.emplace_back([this, &GC, &Windows, &Locals, T] {
+      MutatorLocal &Local = Locals[T];
+      std::vector<uint64_t> &Window = Windows[T];
+      GcThreadScope Scope(GC);
+      if (!Scope.registered()) {
+        Local.Error = "mutator thread refused by the registry";
+        return;
+      }
+      // Per-thread stream: unrelated to the schedule stream and to
+      // every other thread's, so each thread's decisions replay
+      // identically whatever the interleaving.
+      Rng R(Opts.Seed ^ (0x9e3779b97f4a7c15ull * (T + 1)));
+      std::vector<uint64_t> Tags(Window.size(), 0);
+      for (unsigned Step = 0; Step != 1200; ++Step) {
+        size_t Slot = R.pickIndex(Window.size());
+        uint64_t Choice = R.nextBelow(100);
+        if (Choice < 70) { // Allocate into a slot, re-check the old tag.
+          if (Window[Slot] != 0) {
+            uint64_t Seen = *reinterpret_cast<uint64_t *>(Window[Slot]);
+            if (Seen != Tags[Slot]) {
+              Local.Error = "mutator tag mismatch: a rooted object was "
+                            "reclaimed or clobbered under churn";
+              return;
+            }
+            Local.fold(Seen);
+          }
+          size_t Bytes = R.nextInRange(16, 1024);
+          void *Ptr = GC.allocate(Bytes);
+          if (!Ptr) {
+            Local.Error = "mutator allocation failed in a 64 MB arena";
+            return;
+          }
+          uint64_t Tag = (uint64_t(T + 1) << 48) ^ (uint64_t(Step) << 16) ^
+                         uint64_t(Slot);
+          *reinterpret_cast<uint64_t *>(Ptr) = Tag;
+          Window[Slot] = reinterpret_cast<uint64_t>(Ptr);
+          Tags[Slot] = Tag;
+          ++Local.Allocs;
+        } else if (Choice < 85) { // Drop (or explicitly free) a slot.
+          if (Window[Slot] != 0) {
+            if (Opts.Guarded && R.nextBool(0.5)) {
+              GC.deallocate(reinterpret_cast<void *>(Window[Slot]));
+              ++Local.Frees;
+            }
+            Window[Slot] = 0;
+            Tags[Slot] = 0;
+          }
+        } else if (Choice < 88) { // Handshake-collect from this thread.
+          GC.collect("soak-mutator");
+          ++Local.Collections;
+        } else {
+          GC.safepoint();
+        }
+      }
+      Local.fold(Local.Allocs);
+      Local.fold(Local.Frees);
+      Local.fold(Local.Collections);
+    });
+  for (std::thread &Th : Threads)
+    Th.join();
+
+  for (unsigned T = 0; T != NumThreads; ++T) {
+    if (!Locals[T].Error.empty())
+      fail("multi-mutator phase failed",
+           "  thread " + std::to_string(T) + ": " + Locals[T].Error);
+    // Thread-index order: the fold sequence is independent of which
+    // thread finished first.
+    fold(Locals[T].Digest);
+    Outcome.MutatorAllocs += Locals[T].Allocs;
+    Outcome.MutatorFrees += Locals[T].Frees;
+    Outcome.MutatorCollections += Locals[T].Collections;
+  }
+  Outcome.Collections += Outcome.MutatorCollections;
+  Outcome.MutatorHandshakes = GC.threadRegistry().handshakes();
+  if (GC.threadRegistry().registeredCount() != 0)
+    fail("mutator threads left registry records behind");
+  fold(GC.threadRegistry().lifetimeRegistrations());
+
+  // With every thread gone there are no conservative stack roots left;
+  // dropping the windows must drain the heap to zero.
+  for (std::vector<uint64_t> &W : Windows)
+    std::fill(W.begin(), W.end(), 0);
+  GC.collect("soak-mutator-drain");
+  ++Outcome.Collections;
+  GC.objectHeap().finishPendingSweeps();
+  if (GC.allocatedBytes() != 0)
+    fail("multi-mutator heap failed to drain",
+         "  allocatedBytes=" + std::to_string(GC.allocatedBytes()));
+  fold(GC.allocatedBytes());
+  deepVerify(GC, "deep verification failed after the multi-mutator phase");
+  checkGuards(GC);
+  for (RootId Id : WindowRoots)
+    GC.removeRootRange(Id);
+}
+
 SoakOutcome SoakRun::run() {
   // The churn collector and the interpreter live for the whole soak;
   // queue/tree/Program T rounds use fresh throwaway collectors.
@@ -424,6 +572,8 @@ SoakOutcome SoakRun::run() {
   checkGuards(InterpGC);
   checkGuards(ChurnGC);
   ChurnGC.removeRootRange(SlotsRoot);
+  if (Opts.MutatorThreads != 0)
+    runMutatorPhase();
   return Outcome;
 }
 
@@ -441,10 +591,13 @@ int main(int Argc, char **Argv) {
       Opts.ReplayCheck = true;
     else if (!std::strcmp(Argv[I], "--guarded"))
       Opts.Guarded = true;
+    else if (!std::strcmp(Argv[I], "--mutator-threads") && I + 1 < Argc)
+      Opts.MutatorThreads = static_cast<unsigned>(std::atoi(Argv[++I]));
     else {
       std::fprintf(stderr,
                    "usage: soak_chaos [--seed S] [--steps N] "
-                   "[--replay-check] [--guarded] [--json]\n");
+                   "[--replay-check] [--guarded] [--mutator-threads N] "
+                   "[--json]\n");
       return 2;
     }
   }
@@ -483,6 +636,11 @@ int main(int Argc, char **Argv) {
               "\n",
               First.Collections, First.Verifications, First.FaultsArmed,
               First.AllocFailuresTolerated);
+  if (Opts.MutatorThreads != 0)
+    std::printf("mutators: %u threads, allocs %" PRIu64 ", frees %" PRIu64
+                ", collects %" PRIu64 ", handshakes %" PRIu64 "\n",
+                Opts.MutatorThreads, First.MutatorAllocs, First.MutatorFrees,
+                First.MutatorCollections, First.MutatorHandshakes);
   std::printf("sentinel: storms %" PRIu64 ", stack-clear %" PRIu64
               ", blacklist-refresh %" PRIu64 ", tighten %" PRIu64
               ", incidents %" PRIu64 ", de-escalations %" PRIu64 "\n",
@@ -524,6 +682,13 @@ int main(int Argc, char **Argv) {
     Report.set("sentinel_incidents", First.Sentinel.IncidentsRaised);
     Report.set("sentinel_deescalations", First.Sentinel.Deescalations);
     Report.set("guarded", uint64_t(Opts.Guarded ? 1 : 0));
+    Report.set("mutator_threads", uint64_t(Opts.MutatorThreads));
+    if (Opts.MutatorThreads != 0) {
+      Report.set("mutator_allocs", First.MutatorAllocs);
+      Report.set("mutator_frees", First.MutatorFrees);
+      Report.set("mutator_collections", First.MutatorCollections);
+      Report.set("mutator_handshakes", First.MutatorHandshakes);
+    }
     if (Opts.Guarded) {
       Report.set("guarded_explicit_frees", First.GuardedFrees);
       Report.set("guard_allocations", First.Guard.GuardedAllocations);

@@ -118,6 +118,21 @@ typedef struct cgc_config {
    * any value; only sweep wall-clock time changes.  Clamped to 64.
    */
   unsigned sweep_threads;
+  /* Root-scan-phase worker threads.  0 or 1 = sequential (the
+   * default); N > 1 decodes root spans on N workers, then replays the
+   * candidates sequentially in registration order — the marked set,
+   * the blacklist, and every counter are identical for any value.
+   * Clamped to 64. */
+  unsigned root_scan_threads;
+  /* Maximum registered mutator threads (cgc_register_thread); 0 =
+   * default (64).  A collector with no registered threads runs the
+   * paper's sequential single-mutator protocol bit-identically. */
+  unsigned mutator_threads;
+  /* Per-size-class slots in each registered thread's allocation
+   * cache; 0 = default (32).  Caches are refilled in batches under
+   * the heap lock, popped lock-free, and flushed at every
+   * stop-the-world handshake. */
+  unsigned thread_cache_slots;
   int heap_placement;                    /* CGC_PLACEMENT_*            */
   unsigned heap_growth_pages;            /* 0 = default (256)          */
   int decommit_freed_pages;              /* boolean                    */
@@ -195,6 +210,35 @@ unsigned cgc_mark_threads(cgc_collector *gc);
  * cgc_config.sweep_threads; 0 is treated as 1). */
 void cgc_set_sweep_threads(cgc_collector *gc, unsigned threads);
 unsigned cgc_sweep_threads(cgc_collector *gc);
+
+/* Sets the root-scan-phase worker count for future collections (see
+ * cgc_config.root_scan_threads; 0 is treated as 1). */
+void cgc_set_root_scan_threads(cgc_collector *gc, unsigned threads);
+unsigned cgc_root_scan_threads(cgc_collector *gc);
+
+/* --- mutator threads -------------------------------------------------- */
+
+/* Registers the calling thread as a mutator of gc.  Until the first
+ * registration the collector runs the paper's sequential protocol
+ * bit-identically; afterwards allocation and collection synchronize
+ * through the heap lock and a cooperative stop-the-world handshake.
+ * Call near the top of the thread's entry function: stack frames
+ * entered before registration are invisible to the collector, so the
+ * thread must not yet hold the only pointer to a collectable object.
+ * Returns nonzero on success, 0 when cgc_config.mutator_threads
+ * registrations are already live.  Pair with cgc_unregister_thread
+ * before the thread exits. */
+int cgc_register_thread(cgc_collector *gc);
+
+/* Unregisters the calling thread (flushing its allocation cache).
+ * The thread must not touch gc afterwards without re-registering. */
+void cgc_unregister_thread(cgc_collector *gc);
+
+/* Safepoint poll: if a collection is waiting for this thread, publish
+ * scan state and park until it finishes.  Cheap when no collection is
+ * pending.  Allocation already polls; call this inside long
+ * allocation-free compute loops.  No-op for unregistered threads. */
+void cgc_safepoint(cgc_collector *gc);
 
 /* Fills *out with gc's resolved configuration — the exact settings the
  * collector is running with, after defaulting and clamping.  A config

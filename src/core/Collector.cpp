@@ -2,6 +2,7 @@
 
 #include "core/Collector.h"
 #include "core/GcSentinel.h"
+#include "heap/ThreadCache.h"
 #include "support/MathExtras.h"
 #include <algorithm>
 #include <atomic>
@@ -147,15 +148,200 @@ void Collector::maybeStartupCollect() {
 }
 
 void *Collector::allocate(size_t Bytes, ObjectKind Kind) {
+  if (ThreadedMode.load(std::memory_order_relaxed))
+    return allocateThreaded(Bytes, Kind);
   if (Guards)
     return allocateGuarded(Bytes, Kind, /*Site=*/0, /*IgnoreOffPage=*/false);
   return allocateRaw(Bytes, Kind);
+}
+
+//===----------------------------------------------------------------------===//
+// Mutator threads
+//===----------------------------------------------------------------------===//
+
+void Collector::lockHeap() {
+  MutatorThread *Self = ThreadRegistry::current();
+  // Publish scan state and leave Running *before* the acquire: if a
+  // collection holds the lock, this thread is frozen here with fresh
+  // stack/register bounds and counts as stopped (see ThreadRegistry.h).
+  if (Self)
+    Registry.beginBlocked(Self);
+  HeapLock.lock();
+  if (Self)
+    Registry.endBlocked(Self);
+}
+
+void Collector::unlockHeap() { HeapLock.unlock(); }
+
+bool Collector::registerMutatorThread(const void *StackBaseHint) {
+  const void *Base =
+      StackBaseHint ? StackBaseHint : ThreadRegistry::currentStackBase();
+  // A plain acquire, not lockHeap(): this thread has no registry record
+  // yet, so an in-flight collection neither waits for it nor scans it,
+  // and blocking unpublished here is safe.  Holding the lock serializes
+  // registration against any handshake.
+  std::lock_guard<std::recursive_mutex> Guard(HeapLock);
+  MutatorThread *Thread =
+      Registry.registerThread(Base, Config.MutatorThreads);
+  if (!Thread)
+    return false;
+  if (Config.ThreadCacheSlots != 0 && !Guards)
+    Thread->Cache = std::make_unique<ThreadCache>(Heap->numSizeClasses(),
+                                                  Config.ThreadCacheSlots);
+  ThreadedMode.store(true, std::memory_order_release);
+  CrashInfo.RegisteredThreads.store(Registry.registeredCount(),
+                                    std::memory_order_relaxed);
+  return true;
+}
+
+void Collector::unregisterMutatorThread() {
+  MutatorThread *Self = ThreadRegistry::current();
+  CGC_CHECK(Self != nullptr,
+            "unregisterMutatorThread from an unregistered thread");
+  lockHeap();
+  if (Self->Cache)
+    Self->Cache->flush(*Heap);
+  CacheAllocsRetired += Self->CacheAllocs.load(std::memory_order_relaxed);
+  Registry.unregisterThread(Self);
+  CrashInfo.RegisteredThreads.store(Registry.registeredCount(),
+                                    std::memory_order_relaxed);
+  CrashInfo.CacheSlotDebt.store(Heap->cacheSlotDebt(),
+                                std::memory_order_relaxed);
+  unlockHeap();
+}
+
+void Collector::safepoint() {
+  if (!ThreadedMode.load(std::memory_order_relaxed))
+    return;
+  if (MutatorThread *Self = ThreadRegistry::current())
+    Registry.safepoint(Self);
+}
+
+void *Collector::allocateThreaded(size_t Bytes, ObjectKind Kind) {
+  MutatorThread *Self = ThreadRegistry::current();
+  if (Self != nullptr) {
+    // The allocation-time safepoint: the flag check is the documented
+    // "flag-checked slow path"; parking happens only under a stop.
+    Registry.safepoint(Self);
+    if (Self->Cache && !Guards && Kind == ObjectKind::Normal &&
+        SizeClassTable::isSmall(Bytes)) {
+      unsigned Class = Heap->sizeClassFor(Bytes == 0 ? 1 : Bytes);
+      // Lock-free fast path: pop a pre-reserved slot.
+      if (void *Cached = Self->Cache->take(Class))
+        return finishCachedAllocation(Self, Cached, Class);
+      HeapLockGuard Guard(*this);
+      return refillAndAllocate(Self, Bytes, Kind, Class);
+    }
+  }
+  HeapLockGuard Guard(*this);
+  if (Guards)
+    return allocateGuarded(Bytes, Kind, /*Site=*/0, /*IgnoreOffPage=*/false);
+  return allocateRaw(Bytes, Kind);
+}
+
+void *Collector::finishCachedAllocation(MutatorThread *Self, void *Result,
+                                        unsigned Class) {
+  // Size-class geometry is immutable, so reading it lock-free is safe.
+  size_t SlotBytes = Heap->sizeClassBytes(Class);
+  Self->CacheAllocs.fetch_add(1, std::memory_order_relaxed);
+  Self->CacheAllocBytes.fetch_add(SlotBytes, std::memory_order_relaxed);
+  // Mirrors allocateRaw's tail: fresh pages are OS-zeroed and reused
+  // slots were cleared at free time when ClearFreedObjects is on.
+  if (!Config.ClearFreedObjects)
+    std::memset(Result, 0, SlotBytes);
+  return Result;
+}
+
+void Collector::noteCacheRefill(unsigned Class, unsigned Slots) {
+  // The whole batch is charged against the collection trigger up front;
+  // the handshake flush returns unused slots before any marking, so the
+  // retained set never sees the over-charge.
+  BytesSinceGc += static_cast<uint64_t>(Slots) * Heap->sizeClassBytes(Class);
+  CrashInfo.CacheSlotDebt.store(Heap->cacheSlotDebt(),
+                                std::memory_order_relaxed);
+  Observers.dispatch(
+      [&](GcObserver &O) { O.onThreadCacheRefill(Class, Slots); });
+}
+
+void *Collector::refillAndAllocate(MutatorThread *Self, size_t Bytes,
+                                   ObjectKind Kind, unsigned Class) {
+  maybeStartupCollect();
+  maybeRunStackClearHooks();
+  if (unsigned Got = Self->Cache->refill(*Heap, Class)) {
+    noteCacheRefill(Class, Got);
+    void *Cached = Self->Cache->take(Class);
+    CGC_ASSERT(Cached != nullptr, "refilled cache has no slot");
+    return finishCachedAllocation(Self, Cached, Class);
+  }
+  // No free slot of this class anywhere: let the ordinary slow path
+  // collect/grow/climb the ladder for one object, then top the cache
+  // up from whatever that reclaimed.
+  void *Result = allocateRaw(Bytes, Kind);
+  if (Result != nullptr)
+    if (unsigned Got = Self->Cache->refill(*Heap, Class))
+      noteCacheRefill(Class, Got);
+  return Result;
+}
+
+uint64_t Collector::flushThreadCaches() {
+  uint64_t Flushed = 0;
+  uint64_t HandedOut = CacheAllocsRetired;
+  Registry.forEachThread([&](MutatorThread &Thread) {
+    if (Thread.Cache)
+      Flushed += Thread.Cache->flush(*Heap);
+    HandedOut += Thread.CacheAllocs.load(std::memory_order_relaxed);
+  });
+  // With every cache empty the heap's outstanding reservation debt is
+  // exactly the slots the fast paths handed to clients; anything else
+  // means a reservation leaked or double-released.
+  CGC_CHECK(Heap->cacheSlotDebt() == HandedOut,
+            "thread-cache reservation debt does not reconcile");
+  return Flushed;
+}
+
+void Collector::addMutatorRootRanges(const MutatorThread *SelfThread,
+                                     const void *SelfStackTop,
+                                     const void *SelfRegsBegin,
+                                     const void *SelfRegsEnd,
+                                     std::vector<RootId> &Ids) {
+  // Published tops are probe-local addresses with no particular
+  // alignment; round them down to pointer alignment so the strided
+  // root scan lands exactly on the frame's pointer slots.  The extra
+  // few bytes below the probe are dead stack — harmless to scan.
+  auto AlignDownToPointer = [](const void *P) {
+    return reinterpret_cast<const void *>(
+        reinterpret_cast<uintptr_t>(P) & ~uintptr_t(sizeof(void *) - 1));
+  };
+  Registry.forEachThread([&](MutatorThread &Thread) {
+    bool IsSelf = &Thread == SelfThread;
+    const void *Top = AlignDownToPointer(
+        IsSelf ? SelfStackTop
+               : Thread.StackTop.load(std::memory_order_acquire));
+    const void *RegsBegin =
+        IsSelf ? SelfRegsBegin : static_cast<const void *>(&Thread.Registers);
+    const void *RegsEnd =
+        IsSelf ? SelfRegsEnd
+               : static_cast<const void *>(
+                     reinterpret_cast<const unsigned char *>(
+                         &Thread.Registers) +
+                     sizeof(std::jmp_buf));
+    if (Top != nullptr && Thread.StackBase != nullptr &&
+        Top < Thread.StackBase)
+      Ids.push_back(Roots.addRange(Top, Thread.StackBase,
+                                   RootEncoding::Native64, RootSource::Stack,
+                                   "mutator-stack"));
+    Ids.push_back(Roots.addRange(RegsBegin, RegsEnd, RootEncoding::Native64,
+                                 RootSource::Registers,
+                                 "mutator-registers"));
+  });
 }
 
 void *Collector::allocateTagged(size_t Bytes, const char *Site,
                                 ObjectKind Kind) {
   if (!Guards)
     return allocate(Bytes, Kind); // Tags only exist in guarded mode.
+  safepoint();
+  HeapLockGuard Guard(*this);
   return allocateGuarded(Bytes, Kind, Guards->internSite(Site),
                          /*IgnoreOffPage=*/false);
 }
@@ -347,6 +533,7 @@ void Collector::warn(WarnEvent Event, const char *Message, uint64_t Value) {
 }
 
 void Collector::deallocate(void *Ptr) {
+  HeapLockGuard Guard(*this);
   if (Guards) {
     deallocateGuarded(Ptr);
     return;
@@ -561,6 +748,7 @@ void Collector::releaseQuarantined(const GuardLayer::QuarantineEntry &E) {
 void Collector::flushQuarantine() {
   if (!Guards)
     return;
+  HeapLockGuard Guard(*this);
   GuardLayer::QuarantineEntry E;
   while (Guards->popOldest(E))
     releaseQuarantined(E);
@@ -569,6 +757,7 @@ void Collector::flushQuarantine() {
 
 GcLeakReport Collector::findLeaks() {
   CGC_CHECK(Guards, "findLeaks requires GcConfig::DebugGuards");
+  HeapLockGuard Guard(*this);
   GcLeakReport Report;
   flushQuarantine();
   // Mark without sweeping: the mark bits then say exactly which
@@ -609,10 +798,13 @@ GcLeakReport Collector::findLeaks() {
 LayoutId
 Collector::registerObjectLayout(const std::vector<bool> &PointerWords,
                                 size_t SizeBytes) {
+  HeapLockGuard Guard(*this);
   return Heap->registerLayout(PointerWords, SizeBytes);
 }
 
 void *Collector::allocateTyped(LayoutId Layout) {
+  safepoint();
+  HeapLockGuard Guard(*this);
   maybeStartupCollect();
   maybeRunStackClearHooks();
   void *Result = Heap->allocateTypedFromExisting(Layout);
@@ -627,6 +819,8 @@ void *Collector::allocateTyped(LayoutId Layout) {
 }
 
 void *Collector::allocateIgnoreOffPage(size_t Bytes, ObjectKind Kind) {
+  safepoint();
+  HeapLockGuard Guard(*this);
   if (Guards)
     return allocateGuarded(Bytes, Kind, /*Site=*/0, /*IgnoreOffPage=*/true);
   return allocateRawIgnoreOffPage(Bytes, Kind);
@@ -647,10 +841,12 @@ void *Collector::allocateRawIgnoreOffPage(size_t Bytes, ObjectKind Kind) {
 }
 
 void Collector::registerDisplacement(uint32_t Displacement) {
+  HeapLockGuard Guard(*this);
   MarkerImpl->registerDisplacement(Displacement);
 }
 
 void Collector::addRootExclusion(const void *Begin, const void *End) {
+  HeapLockGuard Guard(*this);
   Roots.addExclusion(Begin, End);
 }
 
@@ -696,7 +892,33 @@ void Collector::emitRetainedObjects() {
 }
 
 CollectionStats Collector::collect(const char *Reason) {
+  HeapLockGuard HeapGuard(*this);
   CGC_CHECK(!InCollection, "re-entrant collection");
+
+  // Threaded mode: rendezvous every registered mutator at a safepoint
+  // before any phase touches shared heap state, and drain the
+  // per-thread allocation caches so mark/sweep never see a slot that is
+  // allocated-but-uncharted.  With zero registered threads this whole
+  // block is dead and the cycle is bit-identical to sequential mode.
+  MutatorThread *SelfThread = nullptr;
+  bool WorldStopped = false;
+  ThreadRegistry::HandshakeResult Handshake;
+  uint64_t CacheFlushed = 0;
+  if (ThreadedMode.load(std::memory_order_relaxed) &&
+      Registry.registeredCount() != 0) {
+    SelfThread = ThreadRegistry::current();
+    Handshake = Registry.stopTheWorld(SelfThread);
+    WorldStopped = true;
+    CacheFlushed = flushThreadCaches();
+    CrashInfo.Handshakes.store(Registry.handshakes(),
+                               std::memory_order_relaxed);
+    CrashInfo.CacheSlotDebt.store(Heap->cacheSlotDebt(),
+                                  std::memory_order_relaxed);
+    Observers.dispatch([&](GcObserver &O) {
+      O.onStopTheWorld(Handshake.MutatorsStopped, Handshake.Nanos);
+    });
+  }
+
   // Guarded mode: release every quarantined slot (poison-checked)
   // before any phase runs, so the sweep only ever sees armed headers
   // and use-after-free writes are detected at a deterministic point.
@@ -707,6 +929,9 @@ CollectionStats Collector::collect(const char *Reason) {
     Hook();
 
   CollectionStats Cycle;
+  Cycle.MutatorsStopped = Handshake.MutatorsStopped;
+  Cycle.HandshakeNanos = Handshake.Nanos;
+  Cycle.CacheSlotsFlushed = CacheFlushed;
   TimingSink.attach(&Cycle);
   uint64_t CollectionIndex = Lifetime.Collections;
   CrashInfo.CollectionIndex.store(CollectionIndex,
@@ -716,10 +941,13 @@ CollectionStats Collector::collect(const char *Reason) {
       [&](GcObserver &O) { O.onCollectionBegin(CollectionIndex, Reason); });
 
   // If real-stack scanning is on, snapshot the stack and registers and
-  // expose them as temporary root ranges.
+  // expose them as temporary root ranges.  A registered collecting
+  // thread is covered by the mutator root ranges below instead — the
+  // MachineStack base belongs to whichever thread enabled scanning,
+  // which need not be this one.
   std::jmp_buf RegisterBuffer;
   RootId StackRoot = 0, RegisterRoot = 0;
-  if (MachineStackScanner) {
+  if (MachineStackScanner && SelfThread == nullptr) {
     MachineStack::Snapshot Snap =
         MachineStackScanner->capture(RegisterBuffer);
     StackRoot = Roots.addRange(Snap.HotEnd, Snap.Base,
@@ -729,6 +957,24 @@ CollectionStats Collector::collect(const char *Reason) {
                                   RootEncoding::Native64,
                                   RootSource::Registers,
                                   "machine-registers");
+  }
+
+  // Stopped mutators published their stack top and registers at the
+  // safepoint; the collecting thread snapshots its own here.  Probe and
+  // jmp_buf are function-scope so the ranges stay valid through every
+  // phase; deeper collector frames sit below the probe and are
+  // (correctly) excluded.
+  std::jmp_buf SelfRegisters;
+  std::vector<RootId> ThreadRootIds;
+  volatile char SelfProbe = 0;
+  if (WorldStopped) {
+    if (SelfThread)
+      setjmp(SelfRegisters);
+    addMutatorRootRanges(
+        SelfThread, const_cast<const char *>(&SelfProbe), &SelfRegisters,
+        reinterpret_cast<const unsigned char *>(&SelfRegisters) +
+            sizeof(std::jmp_buf),
+        ThreadRootIds);
   }
 
   BlacklistImpl->beginCycle();
@@ -800,6 +1046,8 @@ CollectionStats Collector::collect(const char *Reason) {
     Roots.removeRange(StackRoot);
   if (RegisterRoot != 0)
     Roots.removeRange(RegisterRoot);
+  for (RootId Id : ThreadRootIds)
+    Roots.removeRange(Id);
 
   LastCycle = Cycle;
   Lifetime.accumulate(Cycle);
@@ -816,19 +1064,38 @@ CollectionStats Collector::collect(const char *Reason) {
   Observers.dispatch(
       [&](GcObserver &O) { O.onCollectionEnd(CollectionIndex, Cycle); });
   TimingSink.attach(nullptr);
+  if (WorldStopped)
+    Registry.resumeTheWorld();
   InCollection = false;
   return Cycle;
 }
 
 CollectionStats Collector::measureLiveness() {
+  HeapLockGuard HeapGuard(*this);
   CGC_CHECK(!InCollection, "re-entrant collection");
+  // Same rendezvous as collect(), minus the cache flush: a liveness
+  // census must not perturb the caches it is measuring, and cached
+  // slots carry set alloc+mark treatment only at sweep time (which a
+  // census never reaches).
+  MutatorThread *SelfThread = nullptr;
+  bool WorldStopped = false;
+  if (ThreadedMode.load(std::memory_order_relaxed) &&
+      Registry.registeredCount() != 0) {
+    SelfThread = ThreadRegistry::current();
+    ThreadRegistry::HandshakeResult Handshake =
+        Registry.stopTheWorld(SelfThread);
+    WorldStopped = true;
+    Observers.dispatch([&](GcObserver &O) {
+      O.onStopTheWorld(Handshake.MutatorsStopped, Handshake.Nanos);
+    });
+  }
   InCollection = true;
   for (const auto &Hook : PreCollectionHooks)
     Hook();
   CollectionStats Cycle;
   std::jmp_buf RegisterBuffer;
   RootId StackRoot = 0, RegisterRoot = 0;
-  if (MachineStackScanner) {
+  if (MachineStackScanner && SelfThread == nullptr) {
     MachineStack::Snapshot Snap =
         MachineStackScanner->capture(RegisterBuffer);
     StackRoot = Roots.addRange(Snap.HotEnd, Snap.Base,
@@ -839,17 +1106,54 @@ CollectionStats Collector::measureLiveness() {
                                   RootSource::Registers,
                                   "machine-registers");
   }
+  std::jmp_buf SelfRegisters;
+  std::vector<RootId> ThreadRootIds;
+  volatile char SelfProbe = 0;
+  if (WorldStopped) {
+    if (SelfThread)
+      setjmp(SelfRegisters);
+    addMutatorRootRanges(
+        SelfThread, const_cast<const char *>(&SelfProbe), &SelfRegisters,
+        reinterpret_cast<const unsigned char *>(&SelfRegisters) +
+            sizeof(std::jmp_buf),
+        ThreadRootIds);
+  }
   MarkerImpl->runMark(Roots, Cycle);
   if (StackRoot != 0)
     Roots.removeRange(StackRoot);
   if (RegisterRoot != 0)
     Roots.removeRange(RegisterRoot);
+  for (RootId Id : ThreadRootIds)
+    Roots.removeRange(Id);
+  if (WorldStopped)
+    Registry.resumeTheWorld();
   InCollection = false;
   return Cycle;
 }
 
 HeapVerifyReport Collector::verifyHeapReport() {
+  HeapLockGuard Guard(*this);
   HeapVerifyReport Report = Heap->verify();
+  // Thread-cache reservation ledger: every slot the heap charged to
+  // reserveCacheSlot is either parked in some thread's cache or was
+  // handed to a mutator (live or already retired with its thread).
+  // Valid only while mutators are quiesced — between the caller's
+  // operations under the heap lock a mutator may be mid-refill — so a
+  // mismatch is reported, not fataled, and the verifier is expected to
+  // run from tests at known-quiet points.
+  if (ThreadedMode.load(std::memory_order_relaxed)) {
+    uint64_t Accounted = CacheAllocsRetired;
+    Registry.forEachThread([&](MutatorThread &Thread) {
+      Accounted += Thread.CacheAllocs.load(std::memory_order_relaxed);
+      if (Thread.Cache)
+        Accounted += Thread.Cache->cachedSlots();
+    });
+    if (Heap->cacheSlotDebt() != Accounted)
+      Report.notef("thread caches: heap reservation debt %llu but caches "
+                   "and hand-outs account for %llu",
+                   (unsigned long long)Heap->cacheSlotDebt(),
+                   (unsigned long long)Accounted);
+  }
   // Collector-level cross-check: every flat-bitmap blacklist entry must
   // lie inside the potential heap — Figure 2 only notes candidates in
   // the heap's vicinity, so an out-of-range bit means the marker (or
@@ -925,13 +1229,18 @@ void Collector::reportLeaks() {
 RootId Collector::addRootRange(const void *Begin, const void *End,
                                RootEncoding Encoding, RootSource Source,
                                std::string Label) {
+  HeapLockGuard Guard(*this);
   return Roots.addRange(Begin, End, Encoding, Source, std::move(Label));
 }
 
-bool Collector::removeRootRange(RootId Id) { return Roots.removeRange(Id); }
+bool Collector::removeRootRange(RootId Id) {
+  HeapLockGuard Guard(*this);
+  return Roots.removeRange(Id);
+}
 
 bool Collector::updateRootRange(RootId Id, const void *Begin,
                                 const void *End) {
+  HeapLockGuard Guard(*this);
   return Roots.updateRange(Id, Begin, End);
 }
 
@@ -1009,6 +1318,7 @@ void *Collector::pointerAtOffset(WindowOffset Offset) const {
 
 void Collector::registerFinalizer(void *Ptr,
                                   std::function<void(void *)> Fn) {
+  HeapLockGuard Guard(*this);
   CGC_CHECK(isAllocated(Ptr), "finalizer on a non-object");
   if (Guards) {
     GuardedRef G = guardedRefFor(Ptr);
@@ -1026,6 +1336,7 @@ void Collector::registerFinalizer(void *Ptr,
 }
 
 bool Collector::unregisterFinalizer(void *Ptr) {
+  HeapLockGuard Guard(*this);
   if (Guards) {
     GuardedRef G = guardedRefFor(Ptr);
     if (G.Valid)
@@ -1034,7 +1345,10 @@ bool Collector::unregisterFinalizer(void *Ptr) {
   return Finalizers.unregister(windowOffsetOf(Ptr));
 }
 
-size_t Collector::runFinalizers() { return Finalizers.runReady(*Arena); }
+size_t Collector::runFinalizers() {
+  HeapLockGuard Guard(*this);
+  return Finalizers.runReady(*Arena);
+}
 
 void Collector::addStackClearHook(std::function<void()> Hook) {
   StackClearHooks.push_back(std::move(Hook));
@@ -1071,10 +1385,17 @@ void Collector::printReport(std::FILE *Out) const {
                  gcPhaseName(static_cast<GcPhase>(I)),
                  Lifetime.TotalPhaseNanos[I] / 1e6,
                  I + 1 == NumGcPhases ? "\n" : ",");
-  std::fprintf(Out, "workers         : %u mark, %u sweep configured; "
-                    "%u pool thread(s) spawned\n",
+  std::fprintf(Out, "workers         : %u mark, %u sweep, %u root-scan "
+                    "configured; %u pool thread(s) spawned\n",
                Config.MarkThreads, Config.SweepThreads,
-               Pool->threadsSpawned());
+               Config.RootScanThreads, Pool->threadsSpawned());
+  if (Registry.lifetimeRegistrations() != 0)
+    std::fprintf(Out, "mutators        : %llu registered now, %llu over "
+                      "lifetime; %llu handshakes, %llu safepoint parks\n",
+                 (unsigned long long)Registry.registeredCount(),
+                 (unsigned long long)Registry.lifetimeRegistrations(),
+                 (unsigned long long)Registry.handshakes(),
+                 (unsigned long long)Registry.safepointParks());
   std::fprintf(Out, "last cycle      : %llu live objects (%llu KiB), "
                     "%llu freed, %llu pinned slots\n",
                (unsigned long long)LastCycle.ObjectsLive,

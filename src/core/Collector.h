@@ -38,6 +38,7 @@
 #include "core/GcStats.h"
 #include "core/Marker.h"
 #include "core/SweepContext.h"
+#include "core/ThreadRegistry.h"
 #include "heap/ObjectHeap.h"
 #include "roots/MachineStack.h"
 #include "roots/RootSet.h"
@@ -138,6 +139,16 @@ public:
   }
   unsigned sweepThreads() const { return Config.SweepThreads; }
 
+  /// Sets the RootScan-phase worker count for future collections
+  /// (clamped to [1, MarkContext::MaxWorkers]).  1 = the paper's
+  /// sequential scan; any value yields the identical seeded set and
+  /// counters (workers gather candidates read-only, then the candidates
+  /// replay sequentially in range-registration order).
+  void setRootScanThreads(unsigned Threads) {
+    Config.RootScanThreads = Threads == 0 ? 1 : Threads;
+  }
+  unsigned rootScanThreads() const { return Config.RootScanThreads; }
+
   /// Installs (or clears, with nullptr) the out-of-memory handler the
   /// allocation ladder invokes once per exhausted request.
   void setOomHandler(GcOomHandler Fn, void *UserData = nullptr) {
@@ -171,6 +182,38 @@ public:
   /// Enables conservative scanning of the calling thread's real stack
   /// and registers during collections.  Call from near main().
   void enableMachineStackScanning();
+
+  //===--------------------------------------------------------------===//
+  // Mutator threads (see core/ThreadRegistry.h).  With zero registered
+  // threads every path below is unreachable and the collector runs the
+  // paper's sequential protocol bit-identically.
+  //===--------------------------------------------------------------===//
+
+  /// Registers the calling thread as a mutator: records its stack base
+  /// (\p StackBaseHint, or the platform stack extent when null), gives
+  /// it a per-size-class allocation cache (GcConfig::ThreadCacheSlots;
+  /// disabled in guarded mode), and — sticky, for the collector's
+  /// lifetime — switches every public entry point onto the heap lock.
+  /// During collections the thread's stack and registers join the
+  /// conservative root set.  Call from near the thread's entry point,
+  /// before it allocates or holds GC pointers.  \returns false when
+  /// GcConfig::MutatorThreads registrations are already live.
+  bool registerMutatorThread(const void *StackBaseHint = nullptr);
+
+  /// Unregisters the calling thread (must be registered): flushes its
+  /// cache back to the heap and removes it from the stop-the-world
+  /// protocol.  Its stack is no longer scanned — drop or hand off GC
+  /// pointers first.
+  void unregisterMutatorThread();
+
+  /// Blocking safepoint: if a stop-the-world is in flight, publishes
+  /// the calling thread's scan state and parks until resume.  Cheap
+  /// (one atomic load) otherwise.  Allocation already polls this;
+  /// compute-only loops should call it periodically.
+  void safepoint();
+
+  /// The mutator registry, for tests and tooling.
+  ThreadRegistry &threadRegistry() { return Registry; }
 
   //===--------------------------------------------------------------===//
   // Queries
@@ -444,6 +487,58 @@ private:
   /// Poison-checks one quarantine entry and releases its slot.
   void releaseQuarantined(const GuardLayer::QuarantineEntry &Entry);
 
+  /// Heap-lock protocol (threaded mode only).  lockHeap publishes the
+  /// calling thread's scan state and enters BlockedOnHeap before the
+  /// acquire, so a thread frozen on the collector's mutex counts as
+  /// stopped; the mutex is recursive because collect() runs from
+  /// allocation slow paths that already hold it.
+  void lockHeap();
+  void unlockHeap();
+  /// RAII heap lock that is a no-op until the first thread registers,
+  /// keeping the zero-thread configuration on the unlocked sequential
+  /// path.
+  struct HeapLockGuard {
+    explicit HeapLockGuard(Collector &GC)
+        : GC(GC), Active(GC.ThreadedMode.load(std::memory_order_relaxed)) {
+      if (Active)
+        GC.lockHeap();
+    }
+    ~HeapLockGuard() {
+      if (Active)
+        GC.unlockHeap();
+    }
+    HeapLockGuard(const HeapLockGuard &) = delete;
+    HeapLockGuard &operator=(const HeapLockGuard &) = delete;
+    Collector &GC;
+    bool Active;
+  };
+  /// Threaded-mode allocate(): safepoint poll, lock-free cache pop,
+  /// then the locked refill / ordinary slow path.
+  void *allocateThreaded(size_t Bytes, ObjectKind Kind);
+  /// Refills \p Self's cache for \p Class under the heap lock and
+  /// serves one slot; falls back to the ordinary small-object ladder
+  /// when the class needs a new block.
+  void *refillAndAllocate(MutatorThread *Self, size_t Bytes,
+                          ObjectKind Kind, unsigned Class);
+  /// Counters + conditional clear for a slot handed out from a cache,
+  /// mirroring allocateRaw's tail (BytesSinceGc was charged at refill).
+  void *finishCachedAllocation(MutatorThread *Self, void *Result,
+                               unsigned Class);
+  /// Accounting + observer event for a completed cache refill.
+  void noteCacheRefill(unsigned Class, unsigned Slots);
+  /// Flushes every registered thread's cache (world stopped or
+  /// quiesced) and cross-checks the reservation debt.  \returns slots
+  /// released.
+  uint64_t flushThreadCaches();
+  /// Adds [StackTop, StackBase) + register-snapshot root ranges for
+  /// every registered thread, in registration order; the collecting
+  /// thread's bounds are the caller's (fresh) probe and jmp_buf.
+  void addMutatorRootRanges(const MutatorThread *SelfThread,
+                            const void *SelfStackTop,
+                            const void *SelfRegsBegin,
+                            const void *SelfRegsEnd,
+                            std::vector<RootId> &Ids);
+
   bool shouldCollectBeforeGrowth() const;
   void maybeRunStackClearHooks();
   /// Runs the startup collection once, before the first allocation.
@@ -502,6 +597,21 @@ private:
   RootSet Roots;
   FinalizationQueue Finalizers;
   std::optional<MachineStack> MachineStackScanner;
+  ThreadRegistry Registry;
+  /// Serializes every heap-mutating entry point in threaded mode, and
+  /// doubles as the stop-the-world fence: the collector holds it for
+  /// the whole collection.  Recursive so collections triggered from
+  /// allocation slow paths re-enter cleanly.
+  std::recursive_mutex HeapLock;
+  /// Set (never cleared) by the first registerMutatorThread.  Until
+  /// then no entry point touches HeapLock or the registry, so the
+  /// single-mutator configuration is instruction-identical to the
+  /// sequential collector.
+  std::atomic<bool> ThreadedMode{false};
+  /// Cache slots handed out by threads that have since unregistered;
+  /// with live threads' counters this reconciles the heap's
+  /// reservation debt.
+  uint64_t CacheAllocsRetired = 0;
 
   LeakCallback OnLeak;
   std::vector<std::function<void()>> StackClearHooks;
@@ -525,6 +635,34 @@ private:
   uint64_t AllocsSinceClear = 0;
   bool StartupGcDone = false;
   bool InCollection = false;
+};
+
+/// RAII mutator registration: registers the constructing thread with
+/// \p GC and unregisters at scope exit.  The canonical shape of a
+/// mutator thread's entry function:
+/// \code
+///   void worker(cgc::Collector &GC) {
+///     cgc::GcThreadScope Scope(GC);
+///     // ... allocate, mutate, GC.safepoint() in compute loops ...
+///   }
+/// \endcode
+class GcThreadScope {
+public:
+  explicit GcThreadScope(Collector &GC, const void *StackBaseHint = nullptr)
+      : GC(GC), Registered(GC.registerMutatorThread(StackBaseHint)) {}
+  ~GcThreadScope() {
+    if (Registered)
+      GC.unregisterMutatorThread();
+  }
+  GcThreadScope(const GcThreadScope &) = delete;
+  GcThreadScope &operator=(const GcThreadScope &) = delete;
+
+  /// False when the registry was full (GcConfig::MutatorThreads).
+  bool registered() const { return Registered; }
+
+private:
+  Collector &GC;
+  bool Registered;
 };
 
 } // namespace cgc

@@ -173,6 +173,30 @@ struct GcConfig {
   /// [1, 64].
   unsigned SweepThreads = 1;
 
+  /// Workers gathering root-scan candidates in the RootScan phase.  1
+  /// (the default) runs the paper's exact sequential scan.  N > 1
+  /// shards the scannable spans across persistent pool workers, which
+  /// decode candidate words read-only; the candidates are then replayed
+  /// through the marker sequentially in span registration order, so the
+  /// seeded set, hit/near-miss counters, and blacklist feed are
+  /// identical for any value.  Clamped to [1, 64].
+  unsigned RootScanThreads = 1;
+
+  /// Maximum simultaneously registered mutator threads
+  /// (cgc_register_thread / GcThreadScope).  Registration beyond the
+  /// cap fails cleanly.  With zero registered threads the collector
+  /// runs the paper's sequential single-mutator protocol bit-
+  /// identically: no heap lock, no safepoints, no handshake.
+  unsigned MutatorThreads = 64;
+
+  /// Per-size-class capacity of each registered thread's allocation
+  /// cache (heap/ThreadCache.h).  Slots are reserved in batches under
+  /// the heap lock and handed out lock-free; every stop-the-world
+  /// handshake flushes unused slots back so retained sets stay exact.
+  /// 0 disables caching (every allocation takes the heap lock).
+  /// Guarded mode (DebugGuards) also disables caching.
+  unsigned ThreadCacheSlots = 32;
+
   /// Collect before growing the heap once allocation since the last
   /// collection exceeds this fraction of the committed heap.
   double CollectBeforeGrowthRatio = 0.5;

@@ -127,6 +127,23 @@ public:
     (void)IssueCount;
   }
 
+  /// The stop-the-world handshake completed: \p MutatorsStopped
+  /// registered threads parked within \p Nanos.  Emitted before
+  /// onCollectionBegin's phases, only when at least one mutator thread
+  /// is registered — single-mutator collections never handshake.
+  virtual void onStopTheWorld(uint64_t MutatorsStopped, uint64_t Nanos) {
+    (void)MutatorsStopped;
+    (void)Nanos;
+  }
+
+  /// A registered thread's allocation cache was refilled with
+  /// \p Slots reservations of size class \p SizeClass (dispatched under
+  /// the heap lock, from the allocating thread).
+  virtual void onThreadCacheRefill(unsigned SizeClass, unsigned Slots) {
+    (void)SizeClass;
+    (void)Slots;
+  }
+
   /// The retention-storm sentinel exhausted its escalation ladder and
   /// raised a structured incident (core/GcIncident.h).  \p Incident is
   /// valid only for the duration of the callback.  Dispatched from

@@ -82,6 +82,18 @@ struct CollectionStats {
   /// (GcConfig::SweepThreads at the time of collection; 1 = the paper's
   /// sequential sweep).
   uint32_t SweepWorkers = 1;
+  /// Workers that gathered root candidates this cycle
+  /// (GcConfig::RootScanThreads; 1 = the paper's sequential scan).
+  uint32_t RootScanWorkers = 1;
+  /// Registered mutator threads the stop-the-world handshake waited
+  /// into a stopped state (0 in single-mutator mode: no handshake ran).
+  uint64_t MutatorsStopped = 0;
+  /// Nanoseconds from raising the stop request to the last mutator
+  /// parking (0 when no handshake ran).
+  uint64_t HandshakeNanos = 0;
+  /// Thread-cache slots flushed back to the heap at this cycle's
+  /// handshake (unused reservations returned before RootScan).
+  uint64_t CacheSlotsFlushed = 0;
   /// Nanoseconds spent in each pipeline phase (indexed by GcPhase).
   uint64_t PhaseNanos[NumGcPhases] = {};
   /// Aggregate nanoseconds: MarkNanos covers RootScan + Mark +

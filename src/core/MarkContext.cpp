@@ -102,6 +102,45 @@ ObjectRef MarkContext::resolveCandidate(WindowOffset Candidate) const {
   return {Id, SlotIdx};
 }
 
+void MarkContext::gatherRootSpan(const RootRange &Range,
+                                 const unsigned char *Begin,
+                                 const unsigned char *End,
+                                 RootSpanGather &Out) const {
+  // Mirror of MarkWorker::scanRootSpan's decode loops, minus every
+  // side effect: the membership test reads only the arena geometry, so
+  // N workers can gather N spans at once.
+  Out.BytesScanned += static_cast<uint64_t>(End - Begin);
+  unsigned Stride = Config.RootScanAlignment;
+  CGC_CHECK(Stride >= 1 && Stride <= 8, "bad root scan alignment");
+
+  if (Range.Encoding == RootEncoding::Native64) {
+    if (static_cast<size_t>(End - Begin) < sizeof(uint64_t))
+      return;
+    for (const unsigned char *P = Begin; P + sizeof(uint64_t) <= End;
+         P += Stride) {
+      ++Out.CandidatesExamined;
+      uint64_t Word = load64(P);
+      Address Addr = static_cast<Address>(Word);
+      if (!Arena.contains(Addr))
+        continue;
+      Out.Candidates.push_back(Arena.offsetOf(Addr));
+    }
+    return;
+  }
+
+  bool BigEndian = Range.Encoding == RootEncoding::Window32BE;
+  if (static_cast<size_t>(End - Begin) < sizeof(uint32_t))
+    return;
+  for (const unsigned char *P = Begin; P + sizeof(uint32_t) <= End;
+       P += Stride) {
+    ++Out.CandidatesExamined;
+    WindowOffset Offset = load32(P, BigEndian);
+    if (!Arena.containsOffset(Offset))
+      continue;
+    Out.Candidates.push_back(Offset);
+  }
+}
+
 void MarkContext::registerDisplacement(uint32_t Displacement) {
   auto It = std::lower_bound(Displacements.begin(), Displacements.end(),
                              Displacement);
@@ -333,6 +372,18 @@ void MarkWorker::scanRootSpan(const RootRange &Range,
     WindowOffset Offset = load32(P, BigEndian);
     if (!Ctx.Arena.containsOffset(Offset))
       continue;
+    uint64_t Before = Stats.ObjectsMarked;
+    considerCandidate(Offset, originOf(Range.Source));
+    if (Stats.ObjectsMarked != Before)
+      ++Stats.RootHits;
+  }
+}
+
+void MarkWorker::replayRootCandidates(
+    const RootRange &Range, const MarkContext::RootSpanGather &Gather) {
+  Stats.RootBytesScanned += Gather.BytesScanned;
+  Stats.RootCandidatesExamined += Gather.CandidatesExamined;
+  for (WindowOffset Offset : Gather.Candidates) {
     uint64_t Before = Stats.ObjectsMarked;
     considerCandidate(Offset, originOf(Range.Source));
     if (Stats.ObjectsMarked != Before)

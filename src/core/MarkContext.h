@@ -82,6 +82,26 @@ public:
   /// Read-only; safe from any mark worker.
   ObjectRef resolveCandidate(WindowOffset Candidate) const;
 
+  /// One root span's decoded candidates, produced by gatherRootSpan on
+  /// any worker and consumed by MarkWorker::replayRootCandidates on the
+  /// collecting thread.  Splitting the root scan into a read-only
+  /// parallel gather and a sequential replay keeps the marked set, the
+  /// blacklist, and every counter bit-identical for any
+  /// GcConfig::RootScanThreads value.
+  struct RootSpanGather {
+    uint64_t BytesScanned = 0;
+    uint64_t CandidatesExamined = 0;
+    /// Arena offsets of words that passed the window-membership test,
+    /// in span scan order.
+    std::vector<WindowOffset> Candidates;
+  };
+
+  /// Decodes one root span per its encoding and scan alignment into
+  /// \p Out.  Touches no shared mutable state: safe to run on many
+  /// spans concurrently.
+  void gatherRootSpan(const RootRange &Range, const unsigned char *Begin,
+                      const unsigned char *End, RootSpanGather &Out) const;
+
   /// Registers an additional valid interior displacement for the
   /// BaseOnly policy.  Displacement 0 is always valid.  Not legal
   /// during a mark.
@@ -161,6 +181,12 @@ public:
   /// encoding and the configured scan alignment.
   void scanRootSpan(const RootRange &Range, const unsigned char *Begin,
                     const unsigned char *End);
+
+  /// Replays a gathered span through considerCandidate, folding the
+  /// gather's scan counters into this worker's stats.  Sequential; call
+  /// in span registration order for determinism.
+  void replayRootCandidates(const RootRange &Range,
+                            const MarkContext::RootSpanGather &Gather);
 
   /// Sequential: drains \p Stack (must be this worker's ExternalStack)
   /// to empty, scanning each popped object.

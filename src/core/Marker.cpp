@@ -9,7 +9,7 @@ Marker::Marker(VirtualArena &Arena, PageAllocator &Pages, PageMap &Map,
                BlockTable &Blocks, ObjectHeap &Heap,
                Blacklist &BlacklistImpl, GcWorkerPool &Pool,
                const GcConfig &Config)
-    : Blocks(Blocks), Heap(Heap), Config(Config),
+    : Blocks(Blocks), Heap(Heap), Pool(Pool), Config(Config),
       Context(Arena, Pages, Map, Blocks, Heap, BlacklistImpl, Pool,
               Config) {}
 
@@ -37,8 +37,37 @@ void Marker::runRootScan(const RootSet &Roots, CollectionStats &Stats) {
   // contents may hold the only pointer to collectable data.
   markUncollectableObjects(Stats);
   MarkWorker Scanner(Context, Stats, &Seeds);
-  for (const RootScanSpan &Span : Roots.scannableSpans())
-    Scanner.scanRootSpan(*Span.Range, Span.Begin, Span.End);
+  std::vector<RootScanSpan> Spans = Roots.scannableSpans();
+  unsigned Workers =
+      std::clamp(Config.RootScanThreads, 1u, MarkContext::MaxWorkers);
+  if (Workers > 1 && Spans.size() >= 2)
+    Workers = Pool.ensureWorkers(Workers);
+  Stats.RootScanWorkers = Workers;
+  if (Workers == 1 || Spans.size() < 2) {
+    for (const RootScanSpan &Span : Spans)
+      Scanner.scanRootSpan(*Span.Range, Span.Begin, Span.End);
+    return;
+  }
+
+  // Parallel path, in two halves.  Gather: workers pull spans off a
+  // shared index and decode them read-only into per-span buffers.
+  // Replay: the collecting thread feeds every buffered candidate
+  // through considerCandidate in span registration order, so marking,
+  // RootHits, and blacklist notes — and therefore the whole collection
+  // — are bit-identical for any worker count or span/worker pairing.
+  std::vector<MarkContext::RootSpanGather> Gathers(Spans.size());
+  std::atomic<size_t> NextSpan{0};
+  Pool.runOn(Workers, [&](unsigned) {
+    for (;;) {
+      size_t I = NextSpan.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Spans.size())
+        return;
+      Context.gatherRootSpan(*Spans[I].Range, Spans[I].Begin, Spans[I].End,
+                             Gathers[I]);
+    }
+  });
+  for (size_t I = 0; I != Spans.size(); ++I)
+    Scanner.replayRootCandidates(*Spans[I].Range, Gathers[I]);
 }
 
 void Marker::runMarkPhase(CollectionStats &Stats) {

@@ -96,6 +96,9 @@ private:
 
   BlockTable &Blocks;
   ObjectHeap &Heap;
+  /// Borrowed for the parallel root-scan gather (the Mark phase's
+  /// workers come from the same pool, via Context).
+  GcWorkerPool &Pool;
   const GcConfig &Config;
   MarkContext Context;
   /// Mark work seeded by the RootScan phase, consumed by the Mark

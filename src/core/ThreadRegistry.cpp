@@ -1,0 +1,161 @@
+//===- core/ThreadRegistry.cpp - Mutator threads and safepoints ----------===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ThreadRegistry.h"
+#include "heap/ThreadCache.h"
+#include <chrono>
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
+namespace cgc {
+
+namespace {
+
+thread_local MutatorThread *CurrentMutator = nullptr;
+
+uint64_t nowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace
+
+MutatorThread *ThreadRegistry::current() { return CurrentMutator; }
+
+const void *ThreadRegistry::currentStackBase() {
+#if defined(__linux__)
+  pthread_attr_t Attr;
+  if (pthread_getattr_np(pthread_self(), &Attr) == 0) {
+    void *Addr = nullptr;
+    size_t Size = 0;
+    int Rc = pthread_attr_getstack(&Attr, &Addr, &Size);
+    pthread_attr_destroy(&Attr);
+    if (Rc == 0 && Addr != nullptr)
+      return static_cast<const unsigned char *>(Addr) + Size;
+  }
+#endif
+  // Fallback: an address in the caller's frame.  Frames entered after
+  // registration sit below it on a downward-growing stack, so the
+  // scannable range still covers every later local.
+  volatile char Probe = 0;
+  return const_cast<const char *>(&Probe);
+}
+
+MutatorThread *ThreadRegistry::registerThread(const void *StackBase,
+                                              unsigned MaxThreads) {
+  CGC_CHECK(CurrentMutator == nullptr,
+            "thread registered with a collector twice");
+  std::lock_guard<std::mutex> Guard(Lock);
+  // The caller holds the heap lock, so no handshake is in flight; a
+  // full registry is the only refusal.
+  if (MaxThreads != 0 && Threads.size() >= MaxThreads)
+    return nullptr;
+  auto Thread = std::make_unique<MutatorThread>();
+  Thread->Id = NextId++;
+  Thread->StackBase = StackBase;
+  Thread->StackTop.store(StackBase, std::memory_order_release);
+  MutatorThread *Raw = Thread.get();
+  Threads.push_back(std::move(Thread));
+  Count.store(Threads.size(), std::memory_order_release);
+  LifetimeRegistrations.fetch_add(1, std::memory_order_relaxed);
+  CurrentMutator = Raw;
+  return Raw;
+}
+
+void ThreadRegistry::unregisterThread(MutatorThread *Thread) {
+  CGC_CHECK(Thread != nullptr && Thread == CurrentMutator,
+            "unregister from a thread that is not registered");
+  std::lock_guard<std::mutex> Guard(Lock);
+  for (size_t I = 0, E = Threads.size(); I != E; ++I) {
+    if (Threads[I].get() != Thread)
+      continue;
+    Threads.erase(Threads.begin() + static_cast<ptrdiff_t>(I));
+    Count.store(Threads.size(), std::memory_order_release);
+    CurrentMutator = nullptr;
+    return;
+  }
+  CGC_CHECK(false, "thread record not found in registry");
+}
+
+void ThreadRegistry::publishScanState(MutatorThread *Self) {
+  // Flush callee-saved registers into the record's jmp_buf (the classic
+  // uncooperative-environment technique; see MachineStack) and publish
+  // an address within the current frame as the conservative low bound
+  // of the live stack.  The park/blocked frames sit below every mutator
+  // frame, so [StackTop, StackBase) covers all live locals.
+  setjmp(Self->Registers);
+  volatile char Probe = 0;
+  Self->StackTop.store(const_cast<const char *>(&Probe),
+                       std::memory_order_release);
+}
+
+void ThreadRegistry::parkAtSafepoint(MutatorThread *Self) {
+  publishScanState(Self);
+  std::unique_lock<std::mutex> Guard(Lock);
+  if (!StopFlag.load(std::memory_order_acquire))
+    return; // Raced with resume; never parked.
+  Self->State.store(static_cast<uint32_t>(MutatorState::AtSafepoint),
+                    std::memory_order_release);
+  Self->SafepointsTaken.fetch_add(1, std::memory_order_relaxed);
+  SafepointParks.fetch_add(1, std::memory_order_relaxed);
+  MutatorParked.notify_all();
+  WorldResumed.wait(Guard,
+                    [&] { return !StopFlag.load(std::memory_order_acquire); });
+  Self->State.store(static_cast<uint32_t>(MutatorState::Running),
+                    std::memory_order_release);
+}
+
+void ThreadRegistry::beginBlocked(MutatorThread *Self) {
+  publishScanState(Self);
+  std::lock_guard<std::mutex> Guard(Lock);
+  Self->State.store(static_cast<uint32_t>(MutatorState::BlockedOnHeap),
+                    std::memory_order_release);
+  MutatorParked.notify_all();
+}
+
+void ThreadRegistry::endBlocked(MutatorThread *Self) {
+  // The caller acquired the heap lock, and StopRequested is only ever
+  // raised while that lock is held — so no stop is in flight and the
+  // transition back to Running cannot be misread as a missed park.
+  Self->State.store(static_cast<uint32_t>(MutatorState::Running),
+                    std::memory_order_release);
+}
+
+ThreadRegistry::HandshakeResult
+ThreadRegistry::stopTheWorld(const MutatorThread *Self) {
+  HandshakeResult Result;
+  const uint64_t Begin = nowNanos();
+  std::unique_lock<std::mutex> Guard(Lock);
+  StopFlag.store(true, std::memory_order_release);
+  auto AllParked = [&] {
+    for (const std::unique_ptr<MutatorThread> &Thread : Threads) {
+      if (Thread.get() == Self)
+        continue;
+      if (Thread->state() == MutatorState::Running)
+        return false;
+    }
+    return true;
+  };
+  MutatorParked.wait(Guard, AllParked);
+  for (const std::unique_ptr<MutatorThread> &Thread : Threads)
+    if (Thread.get() != Self)
+      ++Result.MutatorsStopped;
+  Result.Nanos = nowNanos() - Begin;
+  Handshakes.fetch_add(1, std::memory_order_relaxed);
+  return Result;
+}
+
+void ThreadRegistry::resumeTheWorld() {
+  std::lock_guard<std::mutex> Guard(Lock);
+  StopFlag.store(false, std::memory_order_release);
+  WorldResumed.notify_all();
+}
+
+} // namespace cgc

@@ -1,0 +1,227 @@
+//===- core/ThreadRegistry.h - Mutator threads and safepoints --*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mutator-thread registry and the cooperative stop-the-world
+/// handshake.  The paper's collector assumes a single mutator whose
+/// stack and registers are the conservative root set; this layer grows
+/// that into N registered mutator threads, each with a recorded stack
+/// base, a stack top and register snapshot published whenever the
+/// thread parks, and (optionally) a per-size-class allocation cache.
+///
+/// The handshake is cooperative, not signal-based: the collector never
+/// suspends a thread from the outside.  Instead it raises StopRequested
+/// and waits for every registered thread to park itself in one of two
+/// stopped states:
+///
+///   * AtSafepoint — the thread polled the flag (allocation slow path,
+///     or an explicit cgc_safepoint() in a compute loop), published its
+///     stack top + registers, and is waiting on the resume signal.
+///   * BlockedOnHeap — the thread published its stack top + registers
+///     *before* trying to acquire the heap lock.  The collector holds
+///     the heap lock for the whole collection, so a thread in this
+///     state is frozen on the mutex and is safely scannable.
+///
+/// Deadlock freedom rests on two rules: StopRequested is only ever set
+/// and cleared while the collector holds the heap lock, and a mutator
+/// always publishes its scan state and leaves Running before it can
+/// block on that lock.  Once the wait predicate "every registered
+/// thread except the collector is not Running" becomes true it stays
+/// true until resume: parked threads only re-enter Running after
+/// observing StopRequested == false under the registry lock, and a
+/// blocked thread only wakes when the collector releases the heap lock
+/// after resuming the world.
+///
+/// With zero registered threads none of this machinery is reachable:
+/// the collector takes no lock, requests no stop, and reproduces the
+/// sequential paper collector bit-identically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_CORE_THREADREGISTRY_H
+#define CGC_CORE_THREADREGISTRY_H
+
+#include "support/Assert.h"
+#include <atomic>
+#include <condition_variable>
+#include <csetjmp>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace cgc {
+
+class Collector;
+class ThreadCache;
+
+/// Where a registered mutator currently stands with respect to the
+/// stop-the-world protocol.
+enum class MutatorState : uint32_t {
+  /// Mutating freely; its stack top / register snapshot are stale.
+  Running,
+  /// Parked at a safepoint with fresh scan state, waiting for resume.
+  AtSafepoint,
+  /// Published fresh scan state and is (or is about to be) blocked on
+  /// the heap lock.  Counts as stopped: the collector owns that lock
+  /// for the entire collection.
+  BlockedOnHeap,
+};
+
+/// Per-thread record.  Owned by the registry; the address is stable for
+/// the thread's registered lifetime (records are heap-allocated and the
+/// registry stores pointers), so the owner thread may keep it in a
+/// thread_local and the collector may scan Registers in place.
+struct MutatorThread {
+  /// 1-based registration order; never reused within a registry.
+  uint64_t Id = 0;
+  /// High end of the thread's scannable stack, recorded at
+  /// registration.  Frames above the registration point are invisible
+  /// to the collector — register at the top of the thread's main.
+  const void *StackBase = nullptr;
+  /// Low end of the live stack, published each time the thread parks.
+  std::atomic<const void *> StackTop{nullptr};
+  /// Callee-saved registers flushed with setjmp when the thread parks,
+  /// scanned in place as a conservative root range.
+  std::jmp_buf Registers;
+  /// MutatorState, as its underlying integer.
+  std::atomic<uint32_t> State{static_cast<uint32_t>(MutatorState::Running)};
+  /// Per-size-class allocation cache; null when ThreadCacheSlots == 0
+  /// or guarded mode is active.
+  std::unique_ptr<ThreadCache> Cache;
+  /// Owner-thread counters for the lock-free fast path; read by the
+  /// collector only while the world is stopped (or after unregister).
+  std::atomic<uint64_t> CacheAllocs{0};
+  std::atomic<uint64_t> CacheAllocBytes{0};
+  /// Times this thread parked at a safepoint (lifetime).
+  std::atomic<uint64_t> SafepointsTaken{0};
+
+  MutatorState state() const {
+    return static_cast<MutatorState>(State.load(std::memory_order_acquire));
+  }
+};
+
+class ThreadRegistry {
+public:
+  ThreadRegistry() = default;
+  ThreadRegistry(const ThreadRegistry &) = delete;
+  ThreadRegistry &operator=(const ThreadRegistry &) = delete;
+
+  /// Registers the calling thread.  Serialized against the handshake by
+  /// the caller (Collector::registerMutatorThread holds the heap lock),
+  /// so registration never races a stop.  \returns the new record, or
+  /// null when \p MaxThreads registrations are already live.
+  MutatorThread *registerThread(const void *StackBase, unsigned MaxThreads);
+
+  /// Unregisters \p Thread (must be the calling thread's record, with
+  /// its cache already flushed).  Caller holds the heap lock.
+  void unregisterThread(MutatorThread *Thread);
+
+  /// Registered threads right now.  Lock-free; the allocation fast path
+  /// uses this (via Collector's sticky threaded-mode flag) to keep the
+  /// zero-thread configuration on the paper's sequential path.
+  uint64_t registeredCount() const {
+    return Count.load(std::memory_order_acquire);
+  }
+
+  /// Lifetime registration total (never decreases; feeds crash state).
+  uint64_t lifetimeRegistrations() const {
+    return LifetimeRegistrations.load(std::memory_order_relaxed);
+  }
+
+  /// The calling thread's record, or null if it never registered with
+  /// any registry.  (One registry per process is the supported shape;
+  /// the record is checked against this registry where it matters.)
+  static MutatorThread *current();
+
+  /// Best-effort high end of the calling thread's stack: the pthread
+  /// stack extent where the platform exposes it, else an address in the
+  /// caller's frame (in that case register near the thread's entry
+  /// point, since shallower frames are invisible to the collector).
+  static const void *currentStackBase();
+
+  /// True while a stop-the-world is in flight.  Mutators poll this on
+  /// the allocation fast path and in cgc_safepoint().
+  bool stopRequested() const {
+    return StopFlag.load(std::memory_order_acquire);
+  }
+
+  /// Collector side: raises StopRequested and waits until every
+  /// registered thread other than \p Self has parked (AtSafepoint or
+  /// BlockedOnHeap).  Caller must hold the heap lock for the entire
+  /// stop..resume window.  \returns how many threads were waited into a
+  /// stopped state and how long the rendezvous took.
+  struct HandshakeResult {
+    uint64_t MutatorsStopped = 0;
+    uint64_t Nanos = 0;
+  };
+  HandshakeResult stopTheWorld(const MutatorThread *Self);
+
+  /// Collector side: clears StopRequested and wakes every parked
+  /// thread.  Caller still holds the heap lock.
+  void resumeTheWorld();
+
+  /// Mutator side: if a stop is requested, publish scan state and park
+  /// until resumed.  Cheap when no stop is in flight (one acquire
+  /// load); never call while holding the heap lock.
+  void safepoint(MutatorThread *Self) {
+    if (!stopRequested() || Self == nullptr)
+      return;
+    parkAtSafepoint(Self);
+  }
+
+  /// Mutator side: publish scan state and enter BlockedOnHeap *before*
+  /// acquiring the heap lock, so a thread frozen on the collector's
+  /// mutex still counts as stopped and is scannable.
+  void beginBlocked(MutatorThread *Self);
+
+  /// Mutator side: back to Running, after the heap lock is acquired.
+  /// Holding the lock proves no stop is in flight.
+  void endBlocked(MutatorThread *Self);
+
+  /// Iterates every registered record.  Caller must hold the heap lock
+  /// (registration and unregistration are serialized under it).
+  template <typename FnT> void forEachThread(FnT Fn) const {
+    std::lock_guard<std::mutex> Guard(Lock);
+    for (const std::unique_ptr<MutatorThread> &Thread : Threads)
+      Fn(*Thread);
+  }
+
+  /// Stop-the-world handshakes completed (lifetime).
+  uint64_t handshakes() const {
+    return Handshakes.load(std::memory_order_relaxed);
+  }
+
+  /// Safepoint parks taken across all threads (lifetime).
+  uint64_t safepointParks() const {
+    return SafepointParks.load(std::memory_order_relaxed);
+  }
+
+private:
+  void parkAtSafepoint(MutatorThread *Self);
+  /// Publishes \p Self's stack top and register snapshot.  Must not be
+  /// inlined into a frame that dies before the state is consumed; the
+  /// park/blocked wrappers keep their frames alive.
+  static void publishScanState(MutatorThread *Self);
+
+  mutable std::mutex Lock;
+  /// Collector waits here for the last mutator to park.
+  std::condition_variable MutatorParked;
+  /// Parked mutators wait here for resume.
+  std::condition_variable WorldResumed;
+  std::vector<std::unique_ptr<MutatorThread>> Threads;
+  std::atomic<uint64_t> Count{0};
+  std::atomic<bool> StopFlag{false};
+  uint64_t NextId = 1;
+  std::atomic<uint64_t> LifetimeRegistrations{0};
+  std::atomic<uint64_t> Handshakes{0};
+  std::atomic<uint64_t> SafepointParks{0};
+};
+
+} // namespace cgc
+
+#endif // CGC_CORE_THREADREGISTRY_H

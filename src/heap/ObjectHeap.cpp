@@ -43,15 +43,8 @@ PageConstraint ObjectHeap::constraintFor(ObjectKind Kind, bool Large) const {
   CGC_UNREACHABLE("bad object kind");
 }
 
-void *ObjectHeap::allocateFromExisting(size_t Bytes, ObjectKind Kind) {
-  CGC_ASSERT(SizeClassTable::isSmall(Bytes), "small-object path only");
-  if (Bytes == 0)
-    Bytes = 1;
-  unsigned Class = SizeClasses.classForSize(Bytes);
-  ClassList &List =
-      ClassLists[size_t(Kind) * SizeClasses.numClasses() + Class];
-  size_t SlotSize = SizeClasses.classSize(Class);
-
+BlockId ObjectHeap::pickAllocationBlock(ClassList &List, ObjectKind Kind,
+                                        size_t SlotSize, LayoutId Layout) {
   BlockId Id = InvalidBlockId;
   if (Config.AddressOrderedAllocation) {
     if (!List.Partial.empty())
@@ -63,9 +56,11 @@ void *ObjectHeap::allocateFromExisting(size_t Bytes, ObjectKind Kind) {
       BlockId Top = List.Stack.back();
       if (Blocks.isLive(Top)) {
         BlockDescriptor &Candidate = Blocks.get(Top);
-        if (!Candidate.IsLarge && Candidate.Kind == Kind &&
-            Candidate.ObjectSize == SlotSize &&
-            Candidate.usableFreeCount() > 0) {
+        bool Matches = Layout != 0
+                           ? Candidate.LayoutId == Layout
+                           : (!Candidate.IsLarge && Candidate.Kind == Kind &&
+                              Candidate.ObjectSize == SlotSize);
+        if (Matches && Candidate.usableFreeCount() > 0) {
           Id = Top;
           break;
         }
@@ -75,6 +70,19 @@ void *ObjectHeap::allocateFromExisting(size_t Bytes, ObjectKind Kind) {
   }
   if (Id == InvalidBlockId)
     Id = sweepUnsweptForAllocation(List);
+  return Id;
+}
+
+void *ObjectHeap::allocateFromExisting(size_t Bytes, ObjectKind Kind) {
+  CGC_ASSERT(SizeClassTable::isSmall(Bytes), "small-object path only");
+  if (Bytes == 0)
+    Bytes = 1;
+  unsigned Class = SizeClasses.classForSize(Bytes);
+  ClassList &List =
+      ClassLists[size_t(Kind) * SizeClasses.numClasses() + Class];
+  size_t SlotSize = SizeClasses.classSize(Class);
+
+  BlockId Id = pickAllocationBlock(List, Kind, SlotSize, /*Layout=*/0);
   if (Id == InvalidBlockId)
     return nullptr;
 
@@ -82,6 +90,46 @@ void *ObjectHeap::allocateFromExisting(size_t Bytes, ObjectKind Kind) {
   void *Result = takeSlot(Id, Block);
   Stats.BytesRequested += Bytes;
   return Result;
+}
+
+void *ObjectHeap::reserveCacheSlot(unsigned Class) {
+  ClassList &List =
+      ClassLists[size_t(ObjectKind::Normal) * SizeClasses.numClasses() +
+                 Class];
+  size_t SlotSize = SizeClasses.classSize(Class);
+  BlockId Id =
+      pickAllocationBlock(List, ObjectKind::Normal, SlotSize, /*Layout=*/0);
+  if (Id == InvalidBlockId)
+    return nullptr;
+  void *Result = takeSlot(Id, Blocks.get(Id));
+  // A reservation is charged as a whole-slot allocation up front; a
+  // release reverses it, so only slots the client really received stay
+  // in the lifetime stats.
+  Stats.BytesRequested += SlotSize;
+  ++CacheSlotDebt;
+  return Result;
+}
+
+void ObjectHeap::releaseCacheSlot(void *Ptr) {
+  Address Addr = reinterpret_cast<Address>(Ptr);
+  CGC_CHECK(Arena.contains(Addr), "cache release of a non-heap pointer");
+  ObjectRef Ref = refForBase(Arena.offsetOf(Addr));
+  CGC_CHECK(Ref.valid(), "cache release of a non-object pointer");
+  BlockDescriptor &Block = Blocks.get(Ref.Block);
+  CGC_CHECK(!Block.IsLarge && Block.AllocBits.test(Ref.Slot),
+            "cache release of an unreserved slot");
+  CGC_ASSERT(CacheSlotDebt > 0, "cache-slot debt underflow");
+  bool WasFull = Block.usableFreeCount() == 0;
+  Block.AllocBits.reset(Ref.Slot);
+  --Block.AllocatedCount;
+  AllocatedBytes -= Block.ObjectSize;
+  --Stats.ObjectsAllocated;
+  Stats.BytesRequested -= Block.ObjectSize;
+  --CacheSlotDebt;
+  // The slot was cleared when it was last freed (or is fresh from a new
+  // page) and the client never saw it, so no re-clearing is needed.
+  if (WasFull)
+    addToClassList(Block, Ref.Block);
 }
 
 void *ObjectHeap::takeSlot(BlockId Id, BlockDescriptor &Block) {
@@ -165,26 +213,8 @@ LayoutId ObjectHeap::registerLayout(const std::vector<bool> &PointerWords,
 void *ObjectHeap::allocateTypedFromExisting(LayoutId Id) {
   const ObjectLayout &L = layout(Id);
   ClassList &List = TypedClassLists[Id];
-  BlockId Block = InvalidBlockId;
-  if (Config.AddressOrderedAllocation) {
-    if (!List.Partial.empty())
-      Block = List.Partial.begin()->second;
-  } else {
-    while (!List.Stack.empty()) {
-      BlockId Top = List.Stack.back();
-      if (Blocks.isLive(Top)) {
-        BlockDescriptor &Candidate = Blocks.get(Top);
-        if (Candidate.LayoutId == Id &&
-            Candidate.usableFreeCount() > 0) {
-          Block = Top;
-          break;
-        }
-      }
-      List.Stack.pop_back();
-    }
-  }
-  if (Block == InvalidBlockId)
-    Block = sweepUnsweptForAllocation(List);
+  BlockId Block = pickAllocationBlock(List, ObjectKind::Normal, L.SizeBytes,
+                                      /*Layout=*/Id);
   if (Block == InvalidBlockId)
     return nullptr;
   Stats.BytesRequested += L.SizeBytes;

@@ -159,6 +159,40 @@ public:
   /// block (and possibly a collection) is needed.  Small sizes only.
   void *allocateFromExisting(size_t Bytes, ObjectKind Kind);
 
+  //===--------------------------------------------------------------===//
+  // Thread-cache support (heap/ThreadCache.h).  Callers hold the heap
+  // lock.  A reserved slot looks allocated (AllocBits set, counters
+  // charged) so nothing reclaims it while it sits in a cache; releasing
+  // an unused slot reverses the reservation exactly, and the running
+  // debt lets the verifier prove every reservation was either handed to
+  // the client or returned.
+  //===--------------------------------------------------------------===//
+
+  /// Reserves one free untyped Normal-kind slot of size class \p Class
+  /// for a thread cache, through the ordinary address-ordered (or LIFO)
+  /// block discipline.  nullptr when the class needs a new block.
+  void *reserveCacheSlot(unsigned Class);
+
+  /// Returns an unused cached slot to the free state, reversing its
+  /// reservation's accounting (allocated bytes/count, lifetime object
+  /// and requested-byte stats).
+  void releaseCacheSlot(void *Ptr);
+
+  /// Reserved-minus-released cache slots over the heap's lifetime:
+  /// slots currently cached plus slots handed to the client.  After a
+  /// full cache flush this equals the client-held handouts; the
+  /// collector cross-checks it against the registry's counters.
+  uint64_t cacheSlotDebt() const { return CacheSlotDebt; }
+
+  /// Size-class geometry, exposed for the thread caches.
+  unsigned numSizeClasses() const { return SizeClasses.numClasses(); }
+  unsigned sizeClassFor(size_t Bytes) const {
+    return SizeClasses.classForSize(Bytes);
+  }
+  size_t sizeClassBytes(unsigned Class) const {
+    return SizeClasses.classSize(Class);
+  }
+
   /// Acquires a fresh page for \p Bytes's size class; false on OOM.
   bool addBlockForClass(size_t Bytes, ObjectKind Kind);
 
@@ -346,6 +380,12 @@ private:
   };
 
   void *takeSlot(BlockId Id, BlockDescriptor &Block);
+  /// Picks the block the next slot of \p List should come from (address
+  /// order or pruned LIFO, then lazily-swept blocks); InvalidBlockId
+  /// when the class needs a fresh block.  \p Kind/\p SlotSize validate
+  /// stale LIFO stack entries; pass layout blocks through unchanged.
+  BlockId pickAllocationBlock(ClassList &List, ObjectKind Kind,
+                              size_t SlotSize, LayoutId Layout);
   BlockId createSmallBlock(size_t SlotSize, ObjectKind Kind,
                            LayoutId Layout);
   /// Guarded mode: re-checks the header canaries and redzone of every
@@ -377,6 +417,7 @@ private:
   std::vector<ObjectLayout> Layouts;
   ObjectHeapStats Stats;
   uint64_t AllocatedBytes = 0;
+  uint64_t CacheSlotDebt = 0;
   size_t PendingSweeps = 0;
   bool EmergencyRelaxation = false;
 };

@@ -1,0 +1,45 @@
+//===- heap/ThreadCache.cpp - Per-thread allocation caches ----------------===//
+
+#include "heap/ThreadCache.h"
+#include "heap/ObjectHeap.h"
+
+using namespace cgc;
+
+ThreadCache::ThreadCache(unsigned NumClasses, unsigned SlotsPerClass)
+    : Stubs(NumClasses), SlotsPerClass(SlotsPerClass) {
+  for (std::vector<void *> &Stub : Stubs)
+    Stub.reserve(SlotsPerClass);
+}
+
+unsigned ThreadCache::refill(ObjectHeap &Heap, unsigned Class) {
+  std::vector<void *> &Stub = Stubs[Class];
+  unsigned Want = SlotsPerClass - static_cast<unsigned>(Stub.size());
+  unsigned Got = 0;
+  for (; Got != Want; ++Got) {
+    void *Slot = Heap.reserveCacheSlot(Class);
+    if (Slot == nullptr)
+      break;
+    Stub.push_back(Slot);
+  }
+  if (Got != 0) {
+    ++Refills;
+    SlotsRefilledTotal += Got;
+  }
+  return Got;
+}
+
+uint64_t ThreadCache::flush(ObjectHeap &Heap) {
+  uint64_t Released = 0;
+  for (std::vector<void *> &Stub : Stubs) {
+    // Release in reverse so the block's free bits come back in the
+    // order the refill took them; the next sequential allocation then
+    // sees the same lowest-slot-first heap a never-cached run would.
+    while (!Stub.empty()) {
+      Heap.releaseCacheSlot(Stub.back());
+      Stub.pop_back();
+      ++Released;
+    }
+  }
+  SlotsFlushedTotal += Released;
+  return Released;
+}

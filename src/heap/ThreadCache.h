@@ -1,0 +1,97 @@
+//===- heap/ThreadCache.h - Per-thread allocation caches -------*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A per-mutator-thread allocation cache: one LIFO stub of pre-reserved
+/// slots per small-object size class, refilled in batches from the
+/// shared ObjectHeap under the heap lock and consumed lock-free by the
+/// owning thread.  This is the conservative-GC shape of thread-local
+/// allocation (bdwgc's thread-local free lists, Nofl's lab pointers):
+///
+///   * Refill pops free slots through the heap's ordinary address-
+///     ordered discipline and leaves their AllocBits SET, so a cached
+///     slot looks allocated to everything else — the sweep never
+///     reclaims it out from under the owner, and the page can never be
+///     released while slots from it sit in a cache.
+///   * take() is a plain pop on thread-owned vectors: no atomics, no
+///     lock, no shared state.  The slow path (empty stub) goes back to
+///     the collector, which refills under the heap lock.
+///   * At every stop-the-world handshake (and at unregister) the
+///     collector flushes all caches: unused slots return to the heap's
+///     free state with their reservation accounting reversed, so the
+///     marks/sweep that follow see exactly the objects the client
+///     actually holds — retained sets stay exact, and the heap verifier
+///     can insist the refill/release debt nets to zero.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_HEAP_THREADCACHE_H
+#define CGC_HEAP_THREADCACHE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace cgc {
+
+class ObjectHeap;
+
+class ThreadCache {
+public:
+  /// \p NumClasses stubs (one per small size class), each refilled to
+  /// at most \p SlotsPerClass slots.
+  ThreadCache(unsigned NumClasses, unsigned SlotsPerClass);
+
+  /// Lock-free fast path: pops a cached slot of \p Class, or null when
+  /// the stub is empty.  Owner thread only.
+  void *take(unsigned Class) {
+    std::vector<void *> &Stub = Stubs[Class];
+    if (Stub.empty())
+      return nullptr;
+    void *Result = Stub.back();
+    Stub.pop_back();
+    ++Hits;
+    return Result;
+  }
+
+  /// Refills \p Class's stub from \p Heap's existing blocks up to the
+  /// per-class capacity.  Caller holds the heap lock.  \returns the
+  /// number of slots added (0 means the heap needs a new block — the
+  /// caller drives the ordinary growth/collection ladder and retries).
+  unsigned refill(ObjectHeap &Heap, unsigned Class);
+
+  /// Returns every cached slot to \p Heap's free state.  Caller holds
+  /// the heap lock with the owner thread parked (or is the owner, at
+  /// unregister).  \returns the number of slots released.
+  uint64_t flush(ObjectHeap &Heap);
+
+  /// Slots currently sitting in stubs.
+  uint64_t cachedSlots() const {
+    uint64_t Total = 0;
+    for (const std::vector<void *> &Stub : Stubs)
+      Total += Stub.size();
+    return Total;
+  }
+
+  unsigned slotsPerClass() const { return SlotsPerClass; }
+  uint64_t hits() const { return Hits; }
+  uint64_t refills() const { return Refills; }
+  uint64_t slotsRefilled() const { return SlotsRefilledTotal; }
+  uint64_t slotsFlushed() const { return SlotsFlushedTotal; }
+
+private:
+  /// Stubs[Class] holds cached slot base pointers, popped LIFO.
+  std::vector<std::vector<void *>> Stubs;
+  unsigned SlotsPerClass;
+  uint64_t Hits = 0;
+  uint64_t Refills = 0;
+  uint64_t SlotsRefilledTotal = 0;
+  uint64_t SlotsFlushedTotal = 0;
+};
+
+} // namespace cgc
+
+#endif // CGC_HEAP_THREADCACHE_H

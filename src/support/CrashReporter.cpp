@@ -204,6 +204,21 @@ void dump(int Fd, int Signal) {
     Line.append("\n");
     Line.flush(Fd);
 
+    uint64_t Registered =
+        State->RegisteredThreads.load(std::memory_order_relaxed);
+    uint64_t Handshakes = State->Handshakes.load(std::memory_order_relaxed);
+    uint64_t CacheDebt = State->CacheSlotDebt.load(std::memory_order_relaxed);
+    if (Registered != 0 || Handshakes != 0 || CacheDebt != 0) {
+      Line.append("  threads: registered=");
+      Line.appendU64(Registered);
+      Line.append(" handshakes=");
+      Line.appendU64(Handshakes);
+      Line.append(" cache-slot-debt=");
+      Line.appendU64(CacheDebt);
+      Line.append("\n");
+      Line.flush(Fd);
+    }
+
     Line.append("  sentinel: level=");
     Line.appendU64(State->SentinelLevel.load(std::memory_order_relaxed));
     Line.append(" incidents=");

@@ -62,6 +62,13 @@ struct GcCrashState {
   /// print them without touching collector memory management.
   std::atomic<uint64_t> GuardedMode{0};
   std::atomic<uint64_t> GuardViolations{0};
+  /// Thread layer: registered mutators right now, stop-the-world
+  /// handshakes completed, and the heap's outstanding thread-cache
+  /// reservation debt (slots cached or handed out lock-free).  All zero
+  /// in single-mutator mode, and the dump omits the line.
+  std::atomic<uint64_t> RegisteredThreads{0};
+  std::atomic<uint64_t> Handshakes{0};
+  std::atomic<uint64_t> CacheSlotDebt{0};
   std::atomic<uint64_t> QuarantineDepth{0};
   std::atomic<uint64_t> LastGuardSeqno{0};
   std::atomic<const char *> LastGuardKind{nullptr};

@@ -2,9 +2,11 @@
 
 #include "capi/cgc.h"
 #include "core/GcConfig.h"
+#include <atomic>
 #include <cstring>
 #include <gtest/gtest.h>
 #include <string>
+#include <thread>
 #include <unistd.h>
 #include <vector>
 
@@ -60,6 +62,9 @@ TEST(CApi, ConfigDefaultsMatchGcConfig) {
   EXPECT_EQ(C.heap_scan_alignment, D.HeapScanAlignment);
   EXPECT_EQ(C.mark_threads, D.MarkThreads);
   EXPECT_EQ(C.sweep_threads, D.SweepThreads);
+  EXPECT_EQ(C.root_scan_threads, D.RootScanThreads);
+  EXPECT_EQ(C.mutator_threads, D.MutatorThreads);
+  EXPECT_EQ(C.thread_cache_slots, D.ThreadCacheSlots);
   EXPECT_EQ(C.all_interior_pointers_avoid_spans, 0);
   EXPECT_EQ(C.precise_free_slot_detection,
             D.PreciseFreeSlotDetection ? 1 : 0);
@@ -107,6 +112,9 @@ TEST(CApi, ConfigRoundTripsThroughCollector) {
   In.heap_scan_alignment = 4;
   In.mark_threads = 3;
   In.sweep_threads = 5;
+  In.root_scan_threads = 2;
+  In.mutator_threads = 7;
+  In.thread_cache_slots = 16;
   In.precise_free_slot_detection = 1;
   In.collect_before_growth_ratio = 0.75;
   In.min_heap_bytes_before_gc = 2ULL << 20;
@@ -147,6 +155,9 @@ TEST(CApi, ConfigRoundTripsThroughCollector) {
   EXPECT_EQ(Out.heap_scan_alignment, In.heap_scan_alignment);
   EXPECT_EQ(Out.mark_threads, In.mark_threads);
   EXPECT_EQ(Out.sweep_threads, In.sweep_threads);
+  EXPECT_EQ(Out.root_scan_threads, In.root_scan_threads);
+  EXPECT_EQ(Out.mutator_threads, In.mutator_threads);
+  EXPECT_EQ(Out.thread_cache_slots, In.thread_cache_slots);
   EXPECT_EQ(Out.all_interior_pointers_avoid_spans, 0);
   EXPECT_EQ(Out.precise_free_slot_detection, In.precise_free_slot_detection);
   EXPECT_DOUBLE_EQ(Out.collect_before_growth_ratio,
@@ -502,5 +513,33 @@ TEST(CApi, DisplacementsUnderBaseOnly) {
   cgc_add_roots(GC, &TaggedRef, &TaggedRef + 1);
   cgc_gcollect(GC);
   EXPECT_GE(cgc_live_bytes(GC), 64u);
+  cgc_destroy(GC);
+}
+
+TEST(CApi, MutatorThreadRegistrationAndSafepoint) {
+  cgc_config Config = testConfig();
+  Config.mutator_threads = 4;
+  cgc_collector *GC = cgc_create(&Config);
+  // Unregistered threads: safepoint is a cheap no-op.
+  cgc_safepoint(GC);
+
+  std::vector<std::thread> Workers;
+  std::atomic<unsigned> Succeeded{0};
+  for (int T = 0; T != 3; ++T)
+    Workers.emplace_back([&] {
+      if (!cgc_register_thread(GC))
+        return;
+      Succeeded.fetch_add(1);
+      static thread_local void *Keep[8];
+      for (int I = 0; I != 200; ++I) {
+        Keep[I % 8] = cgc_malloc(GC, 48);
+        cgc_safepoint(GC);
+      }
+      cgc_unregister_thread(GC);
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  EXPECT_EQ(Succeeded.load(), 3u);
+  cgc_gcollect(GC); // No registered threads left; must not hang.
   cgc_destroy(GC);
 }

@@ -10,6 +10,7 @@
 #include "structures/FalseRef.h"
 #include "support/Random.h"
 #include <gtest/gtest.h>
+#include <thread>
 
 using namespace cgc;
 
@@ -228,6 +229,110 @@ TEST(HeapInvariants, ParallelSweepTotalsMatchSequentialResweep) {
   EXPECT_EQ(Resweep.BytesLive, Cycle.BytesLive);
   EXPECT_EQ(Resweep.SlotsPinned, Cycle.SlotsPinned);
   GC.verifyHeap();
+}
+
+namespace {
+
+// One mutator's deterministic churn for the multi-mutator fuzz lane:
+// rooted allocations into its own window, garbage, pointer-free and
+// uncollectable objects, explicit frees, root drops, and occasional
+// explicit collections — the single-thread fuzz diet, minus the
+// planted stray (which is per-collector, not per-thread).
+void mutatorChurn(Collector &GC, uint64_t Seed,
+                  std::vector<uint64_t> &Window) {
+  Rng R(Seed);
+  std::vector<void *> Explicit;
+  for (int Step = 0; Step != 1500; ++Step) {
+    switch (R.pickIndex(8)) {
+    case 0:
+    case 1:
+    case 2:
+      Window[R.pickIndex(Window.size())] = reinterpret_cast<uint64_t>(
+          GC.allocate(R.nextInRange(8, 512)));
+      break;
+    case 3: // Garbage.
+      GC.allocate(R.nextInRange(8, 2000));
+      break;
+    case 4:
+      GC.allocate(R.nextInRange(8, 256), ObjectKind::PointerFree);
+      break;
+    case 5:
+      if (Explicit.size() < 32 && R.nextBool(0.6)) {
+        Explicit.push_back(GC.allocate(R.nextInRange(8, 128),
+                                       ObjectKind::Uncollectable));
+      } else if (!Explicit.empty()) {
+        size_t Pick = R.pickIndex(Explicit.size());
+        GC.deallocate(Explicit[Pick]);
+        Explicit.erase(Explicit.begin() + static_cast<ptrdiff_t>(Pick));
+      }
+      break;
+    case 6: // Drop a root.
+      Window[R.pickIndex(Window.size())] = 0;
+      break;
+    case 7:
+      if (R.nextBool(0.05))
+        GC.collect("mt-fuzz");
+      else
+        GC.safepoint();
+      break;
+    }
+  }
+  for (void *P : Explicit)
+    GC.deallocate(P);
+}
+
+// Runs three mutatorChurn streams either as registered threads (any of
+// which may trigger a handshake-collect at any moment) or sequentially
+// on the same unthreaded collector, and returns the lifetime allocation
+// count after draining.  The streams are interleaving-independent, so
+// the totals must agree exactly — and both heaps must empty.
+uint64_t runMutatorStreams(bool Threaded) {
+  Collector GC(fuzzConfig(false, true));
+  constexpr int NumMutators = 3;
+  std::vector<std::vector<uint64_t>> Windows(
+      NumMutators, std::vector<uint64_t>(128, 0));
+  for (auto &W : Windows)
+    GC.addRootRange(W.data(), W.data() + W.size(), RootEncoding::Native64,
+                    RootSource::Client, "mutator-window");
+  if (Threaded) {
+    std::vector<std::thread> Threads;
+    for (int T = 0; T != NumMutators; ++T)
+      Threads.emplace_back([&GC, &Windows, T] {
+        GcThreadScope Scope(GC);
+        ASSERT_TRUE(Scope.registered());
+        mutatorChurn(GC, 1000 + uint64_t(T), Windows[size_t(T)]);
+      });
+    for (std::thread &Th : Threads)
+      Th.join();
+    EXPECT_EQ(GC.threadRegistry().registeredCount(), 0u);
+  } else {
+    for (int T = 0; T != NumMutators; ++T)
+      mutatorChurn(GC, 1000 + uint64_t(T), Windows[size_t(T)]);
+  }
+  GC.collect("final");
+  GC.objectHeap().finishPendingSweeps();
+  GC.verifyHeap();
+  for (auto &W : Windows)
+    std::fill(W.begin(), W.end(), 0);
+  GC.collect("drain");
+  GC.objectHeap().finishPendingSweeps();
+  GC.verifyHeap();
+  EXPECT_EQ(GC.allocatedBytes(), 0u)
+      << "everything must drain once every mutator has left";
+  return GC.heapStats().ObjectsAllocated;
+}
+
+} // namespace
+
+// The multi-mutator fuzz lane, cross-checked against the sequential
+// collector: per-thread allocation streams are deterministic whatever
+// the interleaving, so the lifetime object count (cache reservations
+// are reversed at flush, leaving only real hand-outs) matches a
+// single-threaded replay of the same streams.
+TEST(HeapInvariants, FuzzMultiMutatorMatchesSequential) {
+  uint64_t Threaded = runMutatorStreams(true);
+  uint64_t Sequential = runMutatorStreams(false);
+  EXPECT_EQ(Threaded, Sequential);
 }
 
 TEST(HeapInvariants, VerifierPassesAfterEveryPhase) {
