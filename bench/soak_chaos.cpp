@@ -21,11 +21,15 @@
 // the whole soak twice and fails unless the digests are bit-identical.
 //
 // Usage: soak_chaos [--seed S] [--steps N] [--replay-check] [--guarded]
-//        [--mutator-threads N] [--json]
+//        [--typed] [--mutator-threads N] [--json]
 // --guarded re-runs every collector in guarded-heap mode
 // (GcConfig::DebugGuards): headers, redzones, quarantine, and the
 // explicit-free validation ladder are all live, and ~25% of churn
 // slots are explicitly freed to keep the quarantine churning.
+// --typed adds a descriptor-driven lane: each round builds the same
+// pointer-dense list precisely and all-conservatively, asserts the
+// typed heap retains a subset, reconciles the per-class scan split,
+// and folds both retained counts into the digest.
 // --mutator-threads N appends a multi-mutator phase: N registered
 // threads run independent seeded churn streams against one collector
 // (any of them may trigger a stop-the-world collect), and each
@@ -65,6 +69,10 @@ struct SoakOptions {
   bool ReplayCheck = false;
   bool Json = false;
   bool Guarded = false;
+  /// Adds a typed-marking lane: descriptor-driven allocation rounds
+  /// whose subset property and scan-mix reconciliation fold into the
+  /// digest (a soak without --typed keeps its historical digest).
+  bool Typed = false;
   /// 0 disables the multi-mutator phase (and leaves the digest of an
   /// unthreaded soak untouched).
   unsigned MutatorThreads = 0;
@@ -83,6 +91,7 @@ struct SoakOutcome {
   uint64_t QueueRounds = 0;
   uint64_t TreeProbes = 0;
   uint64_t ProgramTRuns = 0;
+  uint64_t TypedRounds = 0;
   uint64_t GuardedFrees = 0;
   uint64_t MutatorAllocs = 0;
   uint64_t MutatorFrees = 0;
@@ -105,6 +114,7 @@ private:
   void stepQueue();
   void stepTree();
   void stepProgramT();
+  void stepTyped();
 
   void deepVerify(Collector &GC, const char *Label);
   void checkSentinel(Collector &GC);
@@ -126,8 +136,9 @@ private:
       std::printf("%s\n", Detail.c_str());
     std::printf("  at step %u of %u, seed %" PRIu64 "\n", Step, Opts.Steps,
                 Opts.Seed);
-    std::printf("  replay: soak_chaos --seed %" PRIu64 " --steps %u%s",
-                Opts.Seed, Opts.Steps, Opts.Guarded ? " --guarded" : "");
+    std::printf("  replay: soak_chaos --seed %" PRIu64 " --steps %u%s%s",
+                Opts.Seed, Opts.Steps, Opts.Guarded ? " --guarded" : "",
+                Opts.Typed ? " --typed" : "");
     if (Opts.MutatorThreads != 0)
       std::printf(" --mutator-threads %u", Opts.MutatorThreads);
     std::printf("\n");
@@ -396,6 +407,80 @@ void SoakRun::stepProgramT() {
   checkGuards(GC);
 }
 
+/// The --typed lane: the same pointer-dense list is built twice — once
+/// through its precise descriptor, once with every descriptor demoted
+/// to conservative (GcConfig::AllConservativeDescriptors) — and the
+/// paper-level claim is asserted directly: the typed heap retains a
+/// subset of the conservative heap, because integer payloads that spell
+/// heap addresses stop retaining anything once the descriptor says
+/// they are not pointers.  Both retained counts and the per-class
+/// scan-mix reconciliation fold into the digest.
+void SoakRun::stepTyped() {
+  struct TypedNode {
+    uint64_t Payload; // Never a pointer; filled with decoy addresses.
+    TypedNode *Next;
+    uint64_t Noise; // Never a pointer either.
+  };
+  static_assert(sizeof(TypedNode) == 3 * sizeof(uint64_t), "");
+  unsigned Count = static_cast<unsigned>(Schedule.nextInRange(64, 512));
+  unsigned Decoys = static_cast<unsigned>(Schedule.nextInRange(8, 64));
+
+  auto build = [&](bool AllConservative) -> uint64_t {
+    GcConfig Config = soakConfig(false, Opts.Guarded);
+    Config.AllConservativeDescriptors = AllConservative;
+    Collector GC(Config);
+    LayoutId Node = GC.registerObjectLayout({false, true, false},
+                                            sizeof(TypedNode));
+    // Decoys: real heap objects that go dead immediately; their
+    // addresses live on only inside non-pointer words of the list.
+    std::vector<uint64_t> DecoyAddrs;
+    for (unsigned I = 0; I != Decoys; ++I)
+      DecoyAddrs.push_back(
+          reinterpret_cast<uint64_t>(GC.allocate(64)));
+    TypedNode *Head = nullptr;
+    for (unsigned I = 0; I != Count; ++I) {
+      auto *N = static_cast<TypedNode *>(GC.allocateTyped(Node));
+      if (!N)
+        fail("typed allocation failed in a 64 MB arena");
+      N->Payload = DecoyAddrs[I % DecoyAddrs.size()];
+      N->Next = Head;
+      N->Noise = DecoyAddrs[(I + 1) % DecoyAddrs.size()];
+      Head = N;
+    }
+    PlantedRef Pin(GC);
+    Pin.setPointer(Head);
+    CollectionStats Cycle = GC.collect("soak-typed");
+    ++Outcome.Collections;
+    constexpr unsigned Cons =
+        static_cast<unsigned>(DescriptorClass::Conservative);
+    constexpr unsigned Precise =
+        static_cast<unsigned>(DescriptorClass::Precise);
+    constexpr unsigned PtrFree =
+        static_cast<unsigned>(DescriptorClass::PointerFree);
+    if (Cycle.ScanWordsByClass[Cons] + Cycle.ScanWordsByClass[Precise] !=
+            Cycle.HeapWordsScanned ||
+        Cycle.ScanWordsByClass[PtrFree] != 0)
+      fail("per-class scan counters do not reconcile with the total");
+    if (AllConservative && Cycle.ScanWordsByClass[Precise] != 0)
+      fail("all-conservative mode still traced through a descriptor");
+    if (!AllConservative && Cycle.ScanWordsByClass[Precise] == 0)
+      fail("typed heap never dispatched a precise scan");
+    fold(Cycle.ObjectsLive);
+    fold(Cycle.ScanWordsByClass[Precise]);
+    deepVerify(GC, "heap verification failed after the typed lane");
+    checkGuards(GC);
+    return Cycle.ObjectsLive;
+  };
+
+  uint64_t TypedLive = build(/*AllConservative=*/false);
+  uint64_t ConservativeLive = build(/*AllConservative=*/true);
+  if (TypedLive > ConservativeLive)
+    fail("typed heap retained more than its conservative twin",
+         "  typed=" + std::to_string(TypedLive) +
+             " conservative=" + std::to_string(ConservativeLive));
+  ++Outcome.TypedRounds;
+}
+
 /// The multi-mutator phase: N registered threads run independent
 /// seeded churn streams against one shared collector, any of which may
 /// trigger a stop-the-world collect at any moment.  Every value a
@@ -553,6 +638,8 @@ SoakOutcome SoakRun::run() {
       stepQueue();
     else if (Choice < 95)
       stepTree();
+    else if (Opts.Typed && Choice >= 98)
+      stepTyped();
     else
       stepProgramT();
 
@@ -591,13 +678,15 @@ int main(int Argc, char **Argv) {
       Opts.ReplayCheck = true;
     else if (!std::strcmp(Argv[I], "--guarded"))
       Opts.Guarded = true;
+    else if (!std::strcmp(Argv[I], "--typed"))
+      Opts.Typed = true;
     else if (!std::strcmp(Argv[I], "--mutator-threads") && I + 1 < Argc)
       Opts.MutatorThreads = static_cast<unsigned>(std::atoi(Argv[++I]));
     else {
       std::fprintf(stderr,
                    "usage: soak_chaos [--seed S] [--steps N] "
-                   "[--replay-check] [--guarded] [--mutator-threads N] "
-                   "[--json]\n");
+                   "[--replay-check] [--guarded] [--typed] "
+                   "[--mutator-threads N] [--json]\n");
       return 2;
     }
   }
@@ -641,6 +730,10 @@ int main(int Argc, char **Argv) {
                 ", collects %" PRIu64 ", handshakes %" PRIu64 "\n",
                 Opts.MutatorThreads, First.MutatorAllocs, First.MutatorFrees,
                 First.MutatorCollections, First.MutatorHandshakes);
+  if (Opts.Typed)
+    std::printf("typed lane: %" PRIu64 " rounds (retained-subset and "
+                "scan-mix checks all passed)\n",
+                First.TypedRounds);
   std::printf("sentinel: storms %" PRIu64 ", stack-clear %" PRIu64
               ", blacklist-refresh %" PRIu64 ", tighten %" PRIu64
               ", incidents %" PRIu64 ", de-escalations %" PRIu64 "\n",
@@ -658,8 +751,10 @@ int main(int Argc, char **Argv) {
   if (Opts.Json) {
     char Digest[32];
     std::snprintf(Digest, sizeof(Digest), "%016" PRIx64, First.Digest);
-    cgcbench::JsonReport Report(Opts.Guarded ? "soak chaos guarded"
-                                             : "soak chaos");
+    cgcbench::JsonReport Report(Opts.Guarded
+                                    ? "soak chaos guarded"
+                                    : Opts.Typed ? "soak chaos typed"
+                                                 : "soak chaos");
     Report.set("seed", Opts.Seed);
     Report.set("steps", uint64_t(Opts.Steps));
     Report.set("digest", std::string(Digest));
@@ -672,6 +767,9 @@ int main(int Argc, char **Argv) {
     Report.set("queue_rounds", First.QueueRounds);
     Report.set("tree_probes", First.TreeProbes);
     Report.set("program_t_runs", First.ProgramTRuns);
+    Report.set("typed", uint64_t(Opts.Typed ? 1 : 0));
+    if (Opts.Typed)
+      Report.set("typed_rounds", First.TypedRounds);
     Report.set("sentinel_storms", First.Sentinel.StormsDetected);
     Report.set("sentinel_stack_clear_forces",
                First.Sentinel.StackClearForces);

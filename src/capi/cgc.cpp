@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cstring>
 #include <memory>
+#include <vector>
 
 using namespace cgc;
 
@@ -311,8 +312,25 @@ void *cgc_malloc_uncollectable(cgc_collector *GC, size_t Bytes) {
   return GC->GC.allocate(Bytes, ObjectKind::Uncollectable);
 }
 
+void *cgc_malloc_atomic_uncollectable(cgc_collector *GC, size_t Bytes) {
+  return GC->GC.allocate(Bytes, ObjectKind::PointerFreeUncollectable);
+}
+
 void *cgc_malloc_ignore_off_page(cgc_collector *GC, size_t Bytes) {
   return GC->GC.allocateIgnoreOffPage(Bytes, ObjectKind::Normal);
+}
+
+unsigned cgc_register_descriptor(cgc_collector *GC,
+                                 const unsigned char *PointerWords,
+                                 size_t NumWords, size_t Bytes) {
+  std::vector<bool> Words(NumWords);
+  for (size_t I = 0; I != NumWords; ++I)
+    Words[I] = PointerWords[I] != 0;
+  return GC->GC.registerObjectLayout(Words, Bytes);
+}
+
+void *cgc_malloc_explicitly_typed(cgc_collector *GC, unsigned Descriptor) {
+  return GC->GC.allocateTyped(Descriptor);
 }
 
 void cgc_free(cgc_collector *GC, void *Ptr) {

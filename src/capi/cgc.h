@@ -190,11 +190,31 @@ void *cgc_malloc(cgc_collector *gc, size_t bytes);
 void *cgc_malloc_atomic(cgc_collector *gc, size_t bytes);
 /* Scanned but never collected; free with cgc_free. */
 void *cgc_malloc_uncollectable(cgc_collector *gc, size_t bytes);
+/* Pointer-free AND uncollectable (bdwgc's GC_malloc_atomic_uncollectable):
+ * never scanned, never reclaimed by the collector; free with cgc_free. */
+void *cgc_malloc_atomic_uncollectable(cgc_collector *gc, size_t bytes);
 /* Large object retained only through first-page pointers (paper,
  * observation 7). */
 void *cgc_malloc_ignore_off_page(cgc_collector *gc, size_t bytes);
 /* Explicit deallocation (required for uncollectable objects). */
 void cgc_free(cgc_collector *gc, void *ptr);
+
+/* --- typed (descriptor-driven) allocation ---------------------------- */
+
+/* Registers an interned layout descriptor for objects of size bytes
+ * (small objects only).  pointer_words[i] nonzero means word i may hold
+ * a pointer; words at and past num_words are pointer-free.  Returns the
+ * descriptor id.  Registering the same {bitmap, size} twice returns the
+ * same id.  Degenerate bitmaps (every word / no word) transparently
+ * behave like cgc_malloc / cgc_malloc_atomic. */
+unsigned cgc_register_descriptor(cgc_collector *gc,
+                                 const unsigned char *pointer_words,
+                                 size_t num_words, size_t bytes);
+
+/* Allocates one object of the given descriptor.  Only the declared
+ * pointer words are traced; the rest are ignored by the marker and
+ * never feed the page blacklist. */
+void *cgc_malloc_explicitly_typed(cgc_collector *gc, unsigned descriptor);
 
 /* --- collection ------------------------------------------------------ */
 

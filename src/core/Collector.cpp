@@ -242,7 +242,11 @@ void *Collector::allocateThreaded(size_t Bytes, ObjectKind Kind) {
 void *Collector::finishCachedAllocation(MutatorThread *Self, void *Result,
                                         unsigned Class) {
   // Size-class geometry is immutable, so reading it lock-free is safe.
-  size_t SlotBytes = Heap->sizeClassBytes(Class);
+  return finishCachedSlot(Self, Result, Heap->sizeClassBytes(Class));
+}
+
+void *Collector::finishCachedSlot(MutatorThread *Self, void *Result,
+                                  size_t SlotBytes) {
   Self->CacheAllocs.fetch_add(1, std::memory_order_relaxed);
   Self->CacheAllocBytes.fetch_add(SlotBytes, std::memory_order_relaxed);
   // Mirrors allocateRaw's tail: fresh pages are OS-zeroed and reused
@@ -804,9 +808,69 @@ Collector::registerObjectLayout(const std::vector<bool> &PointerWords,
 
 void *Collector::allocateTyped(LayoutId Layout) {
   safepoint();
-  HeapLockGuard Guard(*this);
+  // Lock-free typed fast path: a stub only ever holds slots this thread
+  // reserved earlier for this descriptor, and records their capacity,
+  // so no descriptor-table read happens outside the lock.
+  MutatorThread *Self = nullptr;
+  if (ThreadedMode.load(std::memory_order_relaxed)) {
+    Self = ThreadRegistry::current();
+    if (Self && Self->Cache && !Guards &&
+        !Config.AllConservativeDescriptors) {
+      size_t SlotBytes = 0;
+      if (void *Cached = Self->Cache->takeTyped(Layout, SlotBytes))
+        return finishCachedSlot(Self, Cached, SlotBytes);
+    }
+  }
+  size_t RouteBytes;
+  ObjectKind RouteKind;
+  {
+    HeapLockGuard Guard(*this);
+    const TypeDescriptor &D = Heap->layout(Layout);
+    if (!Config.AllConservativeDescriptors &&
+        D.Class == DescriptorClass::Precise) {
+      if (Self && Self->Cache && !Guards)
+        return refillTypedAndAllocate(Self, Layout);
+      maybeStartupCollect();
+      maybeRunStackClearHooks();
+      void *Result = Heap->allocateTypedFromExisting(Layout);
+      if (!Result)
+        Result = allocateTypedSlow(Layout);
+      if (!Result)
+        return reportOutOfMemory(D.SizeBytes);
+      BytesSinceGc += D.SizeBytes;
+      if (!Config.ClearFreedObjects)
+        std::memset(Result, 0, D.SizeBytes);
+      return Result;
+    }
+    // Degenerate bitmaps collapse onto the ordinary kinds, and the
+    // all-conservative ablation ignores descriptors outright: route
+    // through allocate() so guarded mode, thread caches, and the
+    // allocation stream are exactly the untyped collector's.
+    // Registered sizes are granule-aligned, so the size class — and
+    // with it every downstream decision — is unchanged.
+    RouteBytes = D.SizeBytes;
+    RouteKind = !Config.AllConservativeDescriptors &&
+                        D.Class == DescriptorClass::PointerFree
+                    ? ObjectKind::PointerFree
+                    : ObjectKind::Normal;
+  }
+  return allocate(RouteBytes, RouteKind);
+}
+
+void *Collector::refillTypedAndAllocate(MutatorThread *Self,
+                                        LayoutId Layout) {
   maybeStartupCollect();
   maybeRunStackClearHooks();
+  unsigned Class = Heap->sizeClassFor(Heap->layout(Layout).SizeBytes);
+  if (unsigned Got = Self->Cache->refillTyped(*Heap, Layout)) {
+    noteCacheRefill(Class, Got);
+    size_t SlotBytes = 0;
+    void *Cached = Self->Cache->takeTyped(Layout, SlotBytes);
+    CGC_ASSERT(Cached != nullptr, "refilled typed cache has no slot");
+    return finishCachedSlot(Self, Cached, SlotBytes);
+  }
+  // No free slot of this layout anywhere: drive the typed ladder for
+  // one object, then top the stub up from whatever that reclaimed.
   void *Result = Heap->allocateTypedFromExisting(Layout);
   if (!Result)
     Result = allocateTypedSlow(Layout);
@@ -815,6 +879,8 @@ void *Collector::allocateTyped(LayoutId Layout) {
   BytesSinceGc += Heap->layout(Layout).SizeBytes;
   if (!Config.ClearFreedObjects)
     std::memset(Result, 0, Heap->layout(Layout).SizeBytes);
+  if (unsigned Got = Self->Cache->refillTyped(*Heap, Layout))
+    noteCacheRefill(Class, Got);
   return Result;
 }
 
@@ -1060,6 +1126,14 @@ CollectionStats Collector::collect(const char *Reason) {
                                  std::memory_order_relaxed);
   CrashInfo.BlacklistedPages.store(Cycle.BlacklistedPages,
                                    std::memory_order_relaxed);
+  static_assert(NumDescriptorClasses == 3,
+                "GcCrashState's scan-mix arrays are sized 3");
+  for (unsigned I = 0; I != NumDescriptorClasses; ++I) {
+    CrashInfo.ScanWordsByClass[I].store(Cycle.ScanWordsByClass[I],
+                                        std::memory_order_relaxed);
+    CrashInfo.ScanCandidatesByClass[I].store(
+        Cycle.ScanCandidatesByClass[I], std::memory_order_relaxed);
+  }
   noteCrashEvent(GcEventKind::CollectionEnd, /*Phase=*/-1, Cycle.BytesLive);
   Observers.dispatch(
       [&](GcObserver &O) { O.onCollectionEnd(CollectionIndex, Cycle); });
@@ -1402,6 +1476,15 @@ void Collector::printReport(std::FILE *Out) const {
                (unsigned long long)(LastCycle.BytesLive >> 10),
                (unsigned long long)LastCycle.ObjectsSweptFree,
                (unsigned long long)LastCycle.SlotsPinned);
+  std::fprintf(Out, "scan mix        : conservative %llu words / %llu "
+                    "candidates, precise %llu / %llu, pointer-free "
+                    "%llu / %llu\n",
+               (unsigned long long)Lifetime.TotalScanWordsByClass[0],
+               (unsigned long long)Lifetime.TotalScanCandidatesByClass[0],
+               (unsigned long long)Lifetime.TotalScanWordsByClass[1],
+               (unsigned long long)Lifetime.TotalScanCandidatesByClass[1],
+               (unsigned long long)Lifetime.TotalScanWordsByClass[2],
+               (unsigned long long)Lifetime.TotalScanCandidatesByClass[2]);
   std::fprintf(Out, "blacklist       : %llu pages, %llu candidates "
                     "noted, %.3f%% of GC time\n",
                (unsigned long long)BlacklistImpl->entryCount(),

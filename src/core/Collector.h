@@ -520,10 +520,17 @@ private:
   /// when the class needs a new block.
   void *refillAndAllocate(MutatorThread *Self, size_t Bytes,
                           ObjectKind Kind, unsigned Class);
+  /// Refills \p Self's typed stub for Precise descriptor \p Layout
+  /// under the heap lock and serves one slot; falls back to the typed
+  /// slow path when the layout needs a new block.
+  void *refillTypedAndAllocate(MutatorThread *Self, LayoutId Layout);
   /// Counters + conditional clear for a slot handed out from a cache,
   /// mirroring allocateRaw's tail (BytesSinceGc was charged at refill).
   void *finishCachedAllocation(MutatorThread *Self, void *Result,
                                unsigned Class);
+  /// Same, for a slot of known byte capacity (typed stubs record it).
+  void *finishCachedSlot(MutatorThread *Self, void *Result,
+                         size_t SlotBytes);
   /// Accounting + observer event for a completed cache refill.
   void noteCacheRefill(unsigned Class, unsigned Slots);
   /// Flushes every registered thread's cache (world stopped or

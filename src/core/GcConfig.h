@@ -203,6 +203,16 @@ struct GcConfig {
   /// Never collect-before-grow below this committed size.
   uint64_t MinHeapBytesBeforeGc = uint64_t(1) << 20;
 
+  /// Ablation/fuzz knob: ignore every registered type descriptor and
+  /// serve typed allocations from the ordinary conservative (Normal
+  /// kind) path, exactly as if each descriptor were all-conservative.
+  /// Registered sizes are granule-aligned, so the allocation stream —
+  /// and therefore retained sets, free-list order, stats, and
+  /// blacklist contents — must be bit-identical to a collector that
+  /// never saw a descriptor.  The typed-marking fuzz cross-check pins
+  /// this equivalence.
+  bool AllConservativeDescriptors = false;
+
   /// When the collector cannot tell a free slot from an allocated one
   /// (the paper's collectors could not), a false reference to a free
   /// slot pins it.  Setting this to true lets the collector reject such

@@ -9,6 +9,10 @@
 /// Typed sugar over Collector::allocate:
 ///
 ///   * gcNew<T> / gcNewArray<T> — placement-construct on GC storage.
+///   * CGC_DESCRIBE(Type, fields...) + gcAllocTyped<T> — declare which
+///     fields of a type hold pointers and allocate through the typed
+///     (descriptor-driven) mark path: only the declared words are
+///     traced, everything else is ignored.
 ///   * GcAllocated — CRTP-free base class whose operator new allocates
 ///     from the ambient collector (set with GcScope), so existing C++
 ///     class hierarchies adopt the collector by inheritance.
@@ -26,11 +30,51 @@
 #define CGC_CORE_GCNEW_H
 
 #include "core/Collector.h"
+#include <cstddef>
 #include <new>
 #include <type_traits>
 #include <utility>
+#include <vector>
 
 namespace cgc {
+
+/// Customization point populated by CGC_DESCRIBE: the specialization
+/// for a described type provides pointerWords(), the word-granular
+/// pointer bitmap handed to Collector::registerObjectLayout.  Using
+/// gcAllocTyped<T> without a CGC_DESCRIBE(T, ...) is a compile error
+/// (the primary template is undefined).
+template <typename T> struct GcTypeLayout;
+
+/// \returns T's interned descriptor id for \p GC, registering it on
+/// first use.  Memoized per {type, collector, thread}; interning makes
+/// re-registration idempotent, so the memo is a fast path, not a
+/// correctness requirement.  T must be a small object
+/// (SizeClassTable::isSmall(sizeof(T))).
+template <typename T> LayoutId gcLayoutOf(Collector &GC) {
+  thread_local uint64_t CachedCollector = 0;
+  thread_local LayoutId Cached = 0;
+  if (CachedCollector != GC.uniqueId()) {
+    Cached = GC.registerObjectLayout(GcTypeLayout<T>::pointerWords(),
+                                     sizeof(T));
+    CachedCollector = GC.uniqueId();
+  }
+  return Cached;
+}
+
+/// Allocates and constructs a T on \p GC's heap through the typed mark
+/// path: only the words CGC_DESCRIBE declared are traced.  Degenerate
+/// descriptors (every word / no word) transparently collapse onto the
+/// ordinary Normal / PointerFree allocation paths.
+template <typename T, typename... ArgTs>
+T *gcAllocTyped(Collector &GC, ArgTs &&...Args) {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "gcAllocTyped requires trivially destructible types; use "
+                "gcNewFinalized to run a destructor at reclamation");
+  void *Memory = GC.allocateTyped(gcLayoutOf<T>(GC));
+  if (!Memory)
+    return nullptr;
+  return ::new (Memory) T(std::forward<ArgTs>(Args)...);
+}
 
 /// Allocates and constructs a T on \p GC's heap.
 template <typename T, typename... ArgTs>
@@ -138,5 +182,48 @@ private:
 };
 
 } // namespace cgc
+
+//===----------------------------------------------------------------------===//
+// CGC_DESCRIBE
+//===----------------------------------------------------------------------===//
+//
+// CGC_DESCRIBE(Type, fields...) — at namespace scope, after the type's
+// definition — declares that exactly the named fields may hold heap
+// pointers.  Every word a named field overlaps is marked pointer-
+// bearing (so multi-word members like nested structs or pointer arrays
+// are described whole); all other words are declared pointer-free and
+// are never traced, never feed the blacklist, and never retain
+// anything.  Up to 8 fields; list every pointer-bearing field — an
+// omitted one is a collector-visible dangling-pointer bug.
+
+/// Marks the words [offsetof, offsetof + sizeof) of FIELD in Words.
+#define CGC_DESCRIBE_FIELD(TYPE, FIELD)                                  \
+  for (size_t CgcByte = offsetof(TYPE, FIELD),                           \
+              CgcEnd = offsetof(TYPE, FIELD) + sizeof(TYPE::FIELD);      \
+       CgcByte < CgcEnd; CgcByte += sizeof(void *))                      \
+    Words[CgcByte / sizeof(void *)] = true;
+
+#define CGC_DESC_1(T, F) CGC_DESCRIBE_FIELD(T, F)
+#define CGC_DESC_2(T, F, ...) CGC_DESCRIBE_FIELD(T, F) CGC_DESC_1(T, __VA_ARGS__)
+#define CGC_DESC_3(T, F, ...) CGC_DESCRIBE_FIELD(T, F) CGC_DESC_2(T, __VA_ARGS__)
+#define CGC_DESC_4(T, F, ...) CGC_DESCRIBE_FIELD(T, F) CGC_DESC_3(T, __VA_ARGS__)
+#define CGC_DESC_5(T, F, ...) CGC_DESCRIBE_FIELD(T, F) CGC_DESC_4(T, __VA_ARGS__)
+#define CGC_DESC_6(T, F, ...) CGC_DESCRIBE_FIELD(T, F) CGC_DESC_5(T, __VA_ARGS__)
+#define CGC_DESC_7(T, F, ...) CGC_DESCRIBE_FIELD(T, F) CGC_DESC_6(T, __VA_ARGS__)
+#define CGC_DESC_8(T, F, ...) CGC_DESCRIBE_FIELD(T, F) CGC_DESC_7(T, __VA_ARGS__)
+#define CGC_DESC_PICK(_1, _2, _3, _4, _5, _6, _7, _8, NAME, ...) NAME
+
+#define CGC_DESCRIBE(TYPE, ...)                                          \
+  template <> struct cgc::GcTypeLayout<TYPE> {                           \
+    static std::vector<bool> pointerWords() {                            \
+      std::vector<bool> Words(                                           \
+          (sizeof(TYPE) + sizeof(void *) - 1) / sizeof(void *));         \
+      CGC_DESC_PICK(__VA_ARGS__, CGC_DESC_8, CGC_DESC_7, CGC_DESC_6,     \
+                    CGC_DESC_5, CGC_DESC_4, CGC_DESC_3, CGC_DESC_2,      \
+                    CGC_DESC_1)                                          \
+      (TYPE, __VA_ARGS__)                                                \
+      return Words;                                                      \
+    }                                                                    \
+  };
 
 #endif // CGC_CORE_GCNEW_H

@@ -16,6 +16,7 @@
 #define CGC_CORE_GCSTATS_H
 
 #include "core/GcPhase.h"
+#include "heap/TypeDescriptor.h"
 #include <cstdint>
 
 namespace cgc {
@@ -108,6 +109,15 @@ struct CollectionStats {
   /// candidate word was found (indexed by ScanOrigin).
   uint64_t MarksByOrigin[NumScanOrigins] = {};
   uint64_t NearMissesByOrigin[NumScanOrigins] = {};
+  /// Heap-object words examined, broken down by how the containing
+  /// object is traced (indexed by DescriptorClass).  PointerFree stays
+  /// zero by construction (such payloads are never scanned); the other
+  /// two sum to HeapWordsScanned.
+  uint64_t ScanWordsByClass[NumDescriptorClasses] = {};
+  /// Of those words, the ones whose value fell inside the heap window
+  /// and were therefore considered as candidate pointers (indexed by
+  /// DescriptorClass).
+  uint64_t ScanCandidatesByClass[NumDescriptorClasses] = {};
 
   /// Folds another stats record's scanning counters into this one.
   /// Parallel marking accumulates per-worker records and merges them
@@ -126,6 +136,10 @@ struct CollectionStats {
     for (unsigned I = 0; I != NumScanOrigins; ++I) {
       MarksByOrigin[I] += Other.MarksByOrigin[I];
       NearMissesByOrigin[I] += Other.NearMissesByOrigin[I];
+    }
+    for (unsigned I = 0; I != NumDescriptorClasses; ++I) {
+      ScanWordsByClass[I] += Other.ScanWordsByClass[I];
+      ScanCandidatesByClass[I] += Other.ScanCandidatesByClass[I];
     }
   }
 };
@@ -166,6 +180,9 @@ struct GcLifetimeStats {
   uint64_t TotalNearMisses = 0;
   /// Per-pipeline-phase lifetime totals (indexed by GcPhase).
   uint64_t TotalPhaseNanos[NumGcPhases] = {};
+  /// Lifetime heap-word scan mix (indexed by DescriptorClass).
+  uint64_t TotalScanWordsByClass[NumDescriptorClasses] = {};
+  uint64_t TotalScanCandidatesByClass[NumDescriptorClasses] = {};
 
   void accumulate(const CollectionStats &Cycle) {
     ++Collections;
@@ -176,6 +193,10 @@ struct GcLifetimeStats {
     TotalNearMisses += Cycle.NearMisses;
     for (unsigned I = 0; I != NumGcPhases; ++I)
       TotalPhaseNanos[I] += Cycle.PhaseNanos[I];
+    for (unsigned I = 0; I != NumDescriptorClasses; ++I) {
+      TotalScanWordsByClass[I] += Cycle.ScanWordsByClass[I];
+      TotalScanCandidatesByClass[I] += Cycle.ScanCandidatesByClass[I];
+    }
   }
 };
 

@@ -215,7 +215,7 @@ void MarkContext::recoverFromOverflow(CollectionStats &Stats) {
     Before = Stats.ObjectsMarked;
     std::vector<MarkWorkItem> Stack;
     Blocks.forEach([&](BlockId, BlockDescriptor &Block) {
-      if (Block.Kind == ObjectKind::PointerFree)
+      if (kindIsPointerFree(Block.Kind))
         return;
       for (uint32_t Slot = 0; Slot != Block.ObjectCount; ++Slot)
         if (Block.MarkBits.test(Slot))
@@ -263,12 +263,18 @@ void MarkWorker::push(const MarkWorkItem &Item) {
 void MarkWorker::seed(const MarkWorkItem &Item) { Local.push_back(Item); }
 
 void MarkWorker::considerCandidate(WindowOffset Candidate,
-                                   ScanOrigin Origin) {
+                                   ScanOrigin Origin, bool PreciseWord) {
   // Figure 2, line by line.  "if p is not a valid object address":
   ObjectRef Ref = Ctx.resolveCandidate(Candidate);
   if (!Ref.valid()) {
     // "if p is in the vicinity of the heap, add p to blacklist".  The
     // proximity test shares its page probe with the validity check.
+    // A word the descriptor declared to be a pointer can't be a
+    // misidentified integer: its failed resolution is stale or foreign
+    // data, so it neither blacklists the page nor counts as a near
+    // miss.
+    if (PreciseWord)
+      return;
     PageIndex Page = pageOfOffset(Candidate);
     if (Ctx.Pages.inPotentialHeap(Page)) {
       if (Parallel) {
@@ -295,25 +301,32 @@ void MarkWorker::considerCandidate(WindowOffset Candidate,
   ++Stats.MarksByOrigin[static_cast<unsigned>(Origin)];
   // "for each field q ... mark(q)" — deferred to the mark stack, and
   // skipped entirely for objects declared pointer-free.
-  if (Block.Kind != ObjectKind::PointerFree)
+  if (!kindIsPointerFree(Block.Kind))
     push({Block.slotOffset(Ref.Slot), Block.ObjectSize, Block.LayoutId});
 }
 
 void MarkWorker::scanTypedObject(WindowOffset Begin, uint32_t Bytes,
                                  uint32_t LayoutId) {
-  const ObjectLayout &Layout = Ctx.Heap.layout(LayoutId);
+  const TypeDescriptor &D = Ctx.Heap.layout(LayoutId);
   const unsigned char *Base =
       static_cast<const unsigned char *>(Ctx.Arena.pointerTo(Begin));
-  size_t Words = std::min<size_t>(Layout.PointerWords.size(),
-                                  Bytes / sizeof(uint64_t));
-  for (size_t Word = Layout.PointerWords.findFirstSet(); Word < Words;
-       Word = Layout.PointerWords.findFirstSet(Word + 1)) {
+  // The slot can be larger than the type (size-class rounding); the
+  // tail past the descriptor is never traced.
+  uint32_t Words = std::min<uint32_t>(
+      D.NumWords, Bytes / static_cast<uint32_t>(sizeof(uint64_t)));
+  constexpr unsigned Precise =
+      static_cast<unsigned>(DescriptorClass::Precise);
+  for (uint32_t Word = D.findPointerWord(0); Word < Words;
+       Word = D.findPointerWord(Word + 1)) {
     ++Stats.HeapWordsScanned;
+    ++Stats.ScanWordsByClass[Precise];
     uint64_t Value = load64(Base + Word * sizeof(uint64_t));
     Address Addr = static_cast<Address>(Value);
     if (!Ctx.Arena.contains(Addr))
       continue;
-    considerCandidate(Ctx.Arena.offsetOf(Addr), ScanOrigin::Heap);
+    ++Stats.ScanCandidatesByClass[Precise];
+    considerCandidate(Ctx.Arena.offsetOf(Addr), ScanOrigin::Heap,
+                      /*PreciseWord=*/true);
   }
 }
 
@@ -325,12 +338,16 @@ void MarkWorker::scanHeapRange(WindowOffset Begin, uint32_t Bytes) {
   const unsigned char *End = P + Bytes;
   unsigned Stride = Ctx.Config.HeapScanAlignment;
   CGC_CHECK(Stride >= 1 && Stride <= 8, "bad heap scan alignment");
+  constexpr unsigned Cons =
+      static_cast<unsigned>(DescriptorClass::Conservative);
   for (; P + sizeof(uint64_t) <= End; P += Stride) {
     ++Stats.HeapWordsScanned;
+    ++Stats.ScanWordsByClass[Cons];
     uint64_t Word = load64(P);
     Address Addr = static_cast<Address>(Word);
     if (!Ctx.Arena.contains(Addr))
       continue;
+    ++Stats.ScanCandidatesByClass[Cons];
     considerCandidate(Ctx.Arena.offsetOf(Addr), ScanOrigin::Heap);
   }
 }

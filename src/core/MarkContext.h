@@ -175,7 +175,13 @@ public:
              unsigned NumWorkers);
 
   /// Figure 2's mark(p): validity test, blacklist note, mark, push.
-  void considerCandidate(WindowOffset Candidate, ScanOrigin Origin);
+  /// \p PreciseWord marks candidates read from a precisely-traced word:
+  /// a failed resolution is then a stale or foreign pointer, not a near
+  /// miss, so it never feeds the blacklist or the near-miss counters
+  /// (BlacklistPromote treats such words as incapable of pinning
+  /// pages).
+  void considerCandidate(WindowOffset Candidate, ScanOrigin Origin,
+                         bool PreciseWord = false);
 
   /// Scans one root span for candidate words, honoring the range's
   /// encoding and the configured scan alignment.

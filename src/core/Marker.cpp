@@ -15,7 +15,7 @@ Marker::Marker(VirtualArena &Arena, PageAllocator &Pages, PageMap &Map,
 
 void Marker::markUncollectableObjects(CollectionStats &Stats) {
   Blocks.forEach([&](BlockId, BlockDescriptor &Block) {
-    if (Block.Kind != ObjectKind::Uncollectable)
+    if (!kindIsUncollectable(Block.Kind))
       return;
     for (uint32_t Slot = 0; Slot != Block.ObjectCount; ++Slot) {
       if (!Block.AllocBits.test(Slot))
@@ -24,6 +24,10 @@ void Marker::markUncollectableObjects(CollectionStats &Stats) {
         continue;
       ++Stats.ObjectsMarked;
       Stats.BytesMarked += Block.ObjectSize;
+      // Pointer-free uncollectable payloads are live by definition but
+      // hold no pointers: nothing to trace through them.
+      if (kindIsPointerFree(Block.Kind))
+        continue;
       Seeds.push_back({Block.slotOffset(Slot), Block.ObjectSize,
                        Block.LayoutId});
     }

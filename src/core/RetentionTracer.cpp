@@ -92,9 +92,11 @@ RetentionTrace RetentionTracer::explain(const void *Target) {
 
   bool Found = false;
 
-  // Uncollectable objects are roots.
+  // Uncollectable objects are roots (including the pointer-free
+  // variety: live by definition, even though nothing traces through
+  // them).
   Heap.forEachBlock([&](BlockId Id, BlockDescriptor &Block) {
-    if (Found || Block.Kind != ObjectKind::Uncollectable)
+    if (Found || !kindIsUncollectable(Block.Kind))
       return;
     for (uint32_t Slot = 0; Slot != Block.ObjectCount && !Found; ++Slot) {
       if (!Block.AllocBits.test(Slot))
@@ -155,7 +157,7 @@ RetentionTrace RetentionTracer::explain(const void *Target) {
                   static_cast<uint32_t>(Key)};
     const BlockDescriptor &Block =
         Heap.blockTable().get(Ref.Block);
-    if (Block.Kind == ObjectKind::PointerFree)
+    if (kindIsPointerFree(Block.Kind))
       continue;
     WindowOffset Base = Heap.baseOffset(Ref);
     const unsigned char *P =
@@ -163,12 +165,13 @@ RetentionTrace RetentionTracer::explain(const void *Target) {
     uint32_t Bytes = Block.ObjectSize;
 
     if (Block.LayoutId != 0) {
-      const ObjectLayout &Layout = Heap.layout(Block.LayoutId);
-      size_t Words = std::min<size_t>(Layout.PointerWords.size(),
-                                      Bytes / sizeof(uint64_t));
-      for (size_t Word = Layout.PointerWords.findFirstSet();
-           !Found && Word < Words;
-           Word = Layout.PointerWords.findFirstSet(Word + 1)) {
+      // Mirror of MarkWorker::scanTypedObject: stride over exactly the
+      // descriptor's pointer-bearing words.
+      const TypeDescriptor &D = Heap.layout(Block.LayoutId);
+      uint32_t Words = std::min<uint32_t>(
+          D.NumWords, Bytes / static_cast<uint32_t>(sizeof(uint64_t)));
+      for (uint32_t Word = D.findPointerWord(0); !Found && Word < Words;
+           Word = D.findPointerWord(Word + 1)) {
         Address Addr =
             static_cast<Address>(load64At(P + Word * sizeof(uint64_t)));
         if (Arena.contains(Addr))

@@ -31,6 +31,9 @@ PageConstraint ObjectHeap::constraintFor(ObjectKind Kind, bool Large) const {
   case ObjectKind::Uncollectable:
     // Never reclaimed, so a false reference costs nothing extra.
     return PageConstraint::None;
+  case ObjectKind::PointerFreeUncollectable:
+    // Both exemptions at once: never scanned and never reclaimed.
+    return PageConstraint::None;
   case ObjectKind::PointerFree:
     // Small pointer-free objects are the paper's designated tenants of
     // blacklisted pages: pinning one retains only its own few bytes.
@@ -106,6 +109,21 @@ void *ObjectHeap::reserveCacheSlot(unsigned Class) {
   // release reverses it, so only slots the client really received stay
   // in the lifetime stats.
   Stats.BytesRequested += SlotSize;
+  ++CacheSlotDebt;
+  return Result;
+}
+
+void *ObjectHeap::reserveTypedCacheSlot(LayoutId Layout) {
+  const TypeDescriptor &D = layout(Layout);
+  CGC_ASSERT(D.Class == DescriptorClass::Precise,
+             "typed cache slots come from Precise descriptors only");
+  ClassList &List = TypedClassLists[Layout];
+  BlockId Id =
+      pickAllocationBlock(List, ObjectKind::Normal, D.SizeBytes, Layout);
+  if (Id == InvalidBlockId)
+    return nullptr;
+  void *Result = takeSlot(Id, Blocks.get(Id));
+  Stats.BytesRequested += Blocks.get(Id).ObjectSize;
   ++CacheSlotDebt;
   return Result;
 }
@@ -199,32 +217,39 @@ LayoutId ObjectHeap::registerLayout(const std::vector<bool> &PointerWords,
                 PointerWords.size() ==
                     (SizeBytes + WordBytes - 1) / WordBytes,
             "layout word count must cover the object");
-  ObjectLayout Layout;
-  Layout.SizeBytes = static_cast<uint32_t>(
-      alignTo(SizeBytes, GranuleBytes));
-  Layout.PointerWords.resize(PointerWords.size());
-  for (size_t I = 0; I != PointerWords.size(); ++I)
-    if (PointerWords[I])
-      Layout.PointerWords.set(I);
-  Layouts.push_back(std::move(Layout));
-  return static_cast<LayoutId>(Layouts.size());
+  uint32_t Aligned =
+      static_cast<uint32_t>(alignTo(SizeBytes, GranuleBytes));
+  return Descriptors.intern(PointerWords, Aligned);
+}
+
+/// The degenerate descriptor classes collapse onto the ordinary kind
+/// paths: Conservative is an untyped Normal allocation, PointerFree an
+/// untyped PointerFree one.  Only Precise descriptors mint typed
+/// blocks.
+static ObjectKind kindForDegenerate(DescriptorClass Class) {
+  return Class == DescriptorClass::PointerFree ? ObjectKind::PointerFree
+                                               : ObjectKind::Normal;
 }
 
 void *ObjectHeap::allocateTypedFromExisting(LayoutId Id) {
-  const ObjectLayout &L = layout(Id);
+  const TypeDescriptor &D = layout(Id);
+  if (D.Class != DescriptorClass::Precise)
+    return allocateFromExisting(D.SizeBytes, kindForDegenerate(D.Class));
   ClassList &List = TypedClassLists[Id];
-  BlockId Block = pickAllocationBlock(List, ObjectKind::Normal, L.SizeBytes,
+  BlockId Block = pickAllocationBlock(List, ObjectKind::Normal, D.SizeBytes,
                                       /*Layout=*/Id);
   if (Block == InvalidBlockId)
     return nullptr;
-  Stats.BytesRequested += L.SizeBytes;
+  Stats.BytesRequested += D.SizeBytes;
   return takeSlot(Block, Blocks.get(Block));
 }
 
 bool ObjectHeap::addBlockForLayout(LayoutId Id) {
-  const ObjectLayout &L = layout(Id);
+  const TypeDescriptor &D = layout(Id);
+  if (D.Class != DescriptorClass::Precise)
+    return addBlockForClass(D.SizeBytes, kindForDegenerate(D.Class));
   size_t SlotSize =
-      SizeClasses.classSize(SizeClasses.classForSize(L.SizeBytes));
+      SizeClasses.classSize(SizeClasses.classForSize(D.SizeBytes));
   return createSmallBlock(SlotSize, ObjectKind::Normal, Id) !=
          InvalidBlockId;
 }
@@ -365,7 +390,7 @@ void ObjectHeap::validateGuardedBlock(const BlockDescriptor &Block,
 uint64_t ObjectHeap::sweepSmallBlockBody(BlockDescriptor &Block,
                                          SweepResult &Result,
                                          SweepDisposition &Disposition) {
-  CGC_ASSERT(!Block.IsLarge && Block.Kind != ObjectKind::Uncollectable,
+  CGC_ASSERT(!Block.IsLarge && !kindIsUncollectable(Block.Kind),
              "sweepSmallBlockBody on wrong block kind");
   validateGuardedBlock(Block, Result);
   // Free unmarked allocated slots, pin marked free slots.  Everything
@@ -448,7 +473,7 @@ ObjectHeap::SweepPlan ObjectHeap::beginSweep(SweepResult &Result) {
   PendingSweeps = 0;
 
   Blocks.forEach([&](BlockId Id, BlockDescriptor &Block) {
-    if (Block.Kind == ObjectKind::Uncollectable) {
+    if (kindIsUncollectable(Block.Kind)) {
       validateGuardedBlock(Block, Result);
       // Never reclaimed; free slots may still be pinned by marks.
       Block.PinnedBits.clearAll();

@@ -39,6 +39,7 @@
 #include "heap/PageAllocator.h"
 #include "heap/PageMap.h"
 #include "heap/SizeClassTable.h"
+#include "heap/TypeDescriptor.h"
 #include "heap/VirtualArena.h"
 #include <map>
 #include <vector>
@@ -134,22 +135,6 @@ struct ObjectRef {
   bool valid() const { return Block != InvalidBlockId; }
 };
 
-/// Identifier of a registered object layout; 0 = fully conservative.
-using LayoutId = uint32_t;
-
-/// A registered object layout: which words of an object may hold
-/// pointers.  Objects allocated with a layout are scanned precisely —
-/// the paper's survey notes that many systems "maintain complete
-/// information on the location of pointers in the heap, and only scan
-/// the stack conservatively"; layouts are how a client opts into that
-/// regime per type.
-struct ObjectLayout {
-  /// Bit I set: word I may hold a pointer.
-  BitVector PointerWords;
-  /// Object size in bytes this layout describes.
-  uint32_t SizeBytes = 0;
-};
-
 class ObjectHeap {
 public:
   ObjectHeap(VirtualArena &Arena, PageAllocator &Pages, PageMap &Map,
@@ -172,6 +157,13 @@ public:
   /// for a thread cache, through the ordinary address-ordered (or LIFO)
   /// block discipline.  nullptr when the class needs a new block.
   void *reserveCacheSlot(unsigned Class);
+
+  /// Reserves one free slot of Precise descriptor \p Id for a thread
+  /// cache (the typed analogue of reserveCacheSlot; caches are keyed by
+  /// {size class, descriptor} and typed stubs draw from the
+  /// descriptor's own block list).  nullptr when the descriptor needs a
+  /// new block.
+  void *reserveTypedCacheSlot(LayoutId Id);
 
   /// Returns an unused cached slot to the free state, reversing its
   /// reservation's accounting (allocated bytes/count, lifetime object
@@ -202,20 +194,29 @@ public:
   void *allocateLarge(size_t Bytes, ObjectKind Kind,
                       bool IgnoreOffPage = false);
 
-  /// Registers an object layout; \returns its id.  \p PointerWords[I]
-  /// true means word I may hold a pointer.
+  /// Registers (interning) a type descriptor; \returns its id.
+  /// \p PointerWords[I] true means word I may hold a pointer.  All-true
+  /// and all-false bitmaps classify as degenerate Conservative /
+  /// PointerFree descriptors whose allocations route onto the ordinary
+  /// kind paths (see heap/TypeDescriptor.h); only mixed bitmaps mint
+  /// Precise descriptors with typed blocks.
   LayoutId registerLayout(const std::vector<bool> &PointerWords,
                           size_t SizeBytes);
 
-  /// \returns the registered layout (Id must be valid and nonzero).
-  const ObjectLayout &layout(LayoutId Id) const {
-    CGC_ASSERT(Id != 0 && Id <= Layouts.size(), "bad layout id");
-    return Layouts[Id - 1];
+  /// \returns the interned descriptor (Id must be valid and nonzero).
+  const TypeDescriptor &layout(LayoutId Id) const {
+    return Descriptors.get(Id);
   }
 
-  /// Allocates an object with a registered layout (Normal kind,
-  /// precisely scanned).  Small sizes only; nullptr when a new block is
-  /// needed (drive with addBlockForLayout, as with the untyped path).
+  /// The descriptor registry (for reports and tests).
+  const TypeDescriptorTable &descriptorTable() const { return Descriptors; }
+
+  /// Allocates an object with a registered descriptor.  Precise
+  /// descriptors use typed (LayoutId != 0) Normal-kind blocks and are
+  /// scanned precisely; degenerate descriptors route onto the untyped
+  /// Normal / PointerFree paths.  Small sizes only; nullptr when a new
+  /// block is needed (drive with addBlockForLayout, as with the untyped
+  /// path).
   void *allocateTypedFromExisting(LayoutId Id);
   bool addBlockForLayout(LayoutId Id);
 
@@ -411,10 +412,10 @@ private:
   SizeClassTable SizeClasses;
   /// One class list per (kind, size class).
   std::vector<ClassList> ClassLists;
-  /// Class lists for typed blocks, keyed by layout id (each layout has
-  /// one slot size, hence one list).
+  /// Class lists for typed blocks, keyed by descriptor id (each
+  /// descriptor has one slot size, hence one list).
   std::map<LayoutId, ClassList> TypedClassLists;
-  std::vector<ObjectLayout> Layouts;
+  TypeDescriptorTable Descriptors;
   ObjectHeapStats Stats;
   uint64_t AllocatedBytes = 0;
   uint64_t CacheSlotDebt = 0;

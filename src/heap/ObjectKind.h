@@ -29,9 +29,26 @@ enum class ObjectKind : unsigned char {
   /// only by explicit deallocation.  Used to model client data that the
   /// mutator manages manually (and by the leak-detector use case).
   Uncollectable,
+  /// Pointer-free AND uncollectable (bdwgc's
+  /// GC_malloc_atomic_uncollectable): never scanned, never reclaimed by
+  /// the collector, freed only explicitly.  The natural kind for
+  /// manually managed buffers that must not pin or be pinned.
+  PointerFreeUncollectable,
 };
 
-constexpr unsigned NumObjectKinds = 3;
+constexpr unsigned NumObjectKinds = 4;
+
+/// True for the kinds whose payload is never scanned for pointers.
+constexpr bool kindIsPointerFree(ObjectKind Kind) {
+  return Kind == ObjectKind::PointerFree ||
+         Kind == ObjectKind::PointerFreeUncollectable;
+}
+
+/// True for the kinds the collector never reclaims (explicit free only).
+constexpr bool kindIsUncollectable(ObjectKind Kind) {
+  return Kind == ObjectKind::Uncollectable ||
+         Kind == ObjectKind::PointerFreeUncollectable;
+}
 
 constexpr const char *objectKindName(ObjectKind Kind) {
   switch (Kind) {
@@ -41,6 +58,8 @@ constexpr const char *objectKindName(ObjectKind Kind) {
     return "pointer-free";
   case ObjectKind::Uncollectable:
     return "uncollectable";
+  case ObjectKind::PointerFreeUncollectable:
+    return "pointer-free-uncollectable";
   }
   return "unknown";
 }

@@ -28,6 +28,25 @@ unsigned ThreadCache::refill(ObjectHeap &Heap, unsigned Class) {
   return Got;
 }
 
+unsigned ThreadCache::refillTyped(ObjectHeap &Heap, LayoutId Layout) {
+  TypedStubList &Typed = TypedStubs[Layout];
+  unsigned Want = SlotsPerClass - static_cast<unsigned>(Typed.Stubs.size());
+  unsigned Got = 0;
+  for (; Got != Want; ++Got) {
+    void *Slot = Heap.reserveTypedCacheSlot(Layout);
+    if (Slot == nullptr)
+      break;
+    Typed.Stubs.push_back(Slot);
+  }
+  if (Got != 0) {
+    Typed.SlotBytes = Heap.sizeClassBytes(
+        Heap.sizeClassFor(Heap.layout(Layout).SizeBytes));
+    ++Refills;
+    SlotsRefilledTotal += Got;
+  }
+  return Got;
+}
+
 uint64_t ThreadCache::flush(ObjectHeap &Heap) {
   uint64_t Released = 0;
   for (std::vector<void *> &Stub : Stubs) {
@@ -37,6 +56,16 @@ uint64_t ThreadCache::flush(ObjectHeap &Heap) {
     while (!Stub.empty()) {
       Heap.releaseCacheSlot(Stub.back());
       Stub.pop_back();
+      ++Released;
+    }
+  }
+  // Typed stubs after every untyped one, in ascending descriptor-id
+  // order (the map's order), reversed within each for the same
+  // lowest-slot-first reason.
+  for (auto &[Layout, Typed] : TypedStubs) {
+    while (!Typed.Stubs.empty()) {
+      Heap.releaseCacheSlot(Typed.Stubs.back());
+      Typed.Stubs.pop_back();
       ++Released;
     }
   }

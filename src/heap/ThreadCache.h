@@ -32,7 +32,9 @@
 #ifndef CGC_HEAP_THREADCACHE_H
 #define CGC_HEAP_THREADCACHE_H
 
+#include "heap/TypeDescriptor.h"
 #include <cstdint>
+#include <map>
 #include <vector>
 
 namespace cgc {
@@ -63,16 +65,40 @@ public:
   /// caller drives the ordinary growth/collection ladder and retries).
   unsigned refill(ObjectHeap &Heap, unsigned Class);
 
+  /// Lock-free fast path for typed allocation: pops a cached slot of
+  /// Precise descriptor \p Layout, or null when no stub exists or it is
+  /// empty.  On success \p SlotBytes receives the slot's size-class
+  /// capacity (recorded at refill time, so the fast path never reads
+  /// the descriptor table).  Owner thread only.
+  void *takeTyped(LayoutId Layout, size_t &SlotBytes) {
+    auto It = TypedStubs.find(Layout);
+    if (It == TypedStubs.end() || It->second.Stubs.empty())
+      return nullptr;
+    void *Result = It->second.Stubs.back();
+    It->second.Stubs.pop_back();
+    SlotBytes = It->second.SlotBytes;
+    ++Hits;
+    return Result;
+  }
+
+  /// Refills \p Layout's typed stub up to the per-class capacity.  Only
+  /// legal for Precise descriptors (degenerate layouts route through
+  /// the untyped kinds and the ordinary per-class stubs).  Caller holds
+  /// the heap lock.
+  unsigned refillTyped(ObjectHeap &Heap, LayoutId Layout);
+
   /// Returns every cached slot to \p Heap's free state.  Caller holds
   /// the heap lock with the owner thread parked (or is the owner, at
   /// unregister).  \returns the number of slots released.
   uint64_t flush(ObjectHeap &Heap);
 
-  /// Slots currently sitting in stubs.
+  /// Slots currently sitting in stubs (untyped and typed).
   uint64_t cachedSlots() const {
     uint64_t Total = 0;
     for (const std::vector<void *> &Stub : Stubs)
       Total += Stub.size();
+    for (const auto &[Layout, Typed] : TypedStubs)
+      Total += Typed.Stubs.size();
     return Total;
   }
 
@@ -83,8 +109,18 @@ public:
   uint64_t slotsFlushed() const { return SlotsFlushedTotal; }
 
 private:
+  /// One typed stub: cached slots of a single Precise descriptor plus
+  /// their common size-class capacity.
+  struct TypedStubList {
+    std::vector<void *> Stubs;
+    size_t SlotBytes = 0;
+  };
+
   /// Stubs[Class] holds cached slot base pointers, popped LIFO.
   std::vector<std::vector<void *>> Stubs;
+  /// Typed stubs keyed by descriptor id; ordered so the flush walks
+  /// them deterministically (ascending id, after every untyped stub).
+  std::map<LayoutId, TypedStubList> TypedStubs;
   unsigned SlotsPerClass;
   uint64_t Hits = 0;
   uint64_t Refills = 0;

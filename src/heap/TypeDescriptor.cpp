@@ -1,0 +1,90 @@
+//===- heap/TypeDescriptor.cpp - Interned type layout descriptors ---------===//
+
+#include "heap/TypeDescriptor.h"
+#include "heap/HeapUnits.h"
+
+using namespace cgc;
+
+namespace {
+
+/// Index of the lowest set bit at or after \p From within \p Bits,
+/// or 64 when none.
+uint32_t firstSetFrom(uint64_t Bits, uint32_t From) {
+  if (From >= 64)
+    return 64;
+  uint64_t Masked = Bits & (~uint64_t(0) << From);
+  if (Masked == 0)
+    return 64;
+  return static_cast<uint32_t>(__builtin_ctzll(Masked));
+}
+
+} // namespace
+
+uint32_t TypeDescriptor::findPointerWord(uint32_t From) const {
+  if (From >= NumWords)
+    return NumWords;
+  if (usesInlineBitmap()) {
+    uint32_t Bit = firstSetFrom(InlineBits, From);
+    return Bit >= NumWords ? NumWords : Bit;
+  }
+  uint32_t WordIdx = From / 64;
+  uint32_t BitIdx = From % 64;
+  for (; WordIdx != OutOfLineBits.size(); ++WordIdx, BitIdx = 0) {
+    uint32_t Bit = firstSetFrom(OutOfLineBits[WordIdx], BitIdx);
+    if (Bit != 64) {
+      uint32_t Index = WordIdx * 64 + Bit;
+      return Index >= NumWords ? NumWords : Index;
+    }
+  }
+  return NumWords;
+}
+
+uint32_t TypeDescriptor::pointerWordCount() const {
+  if (usesInlineBitmap())
+    return static_cast<uint32_t>(__builtin_popcountll(InlineBits));
+  uint32_t Count = 0;
+  for (uint64_t Bits : OutOfLineBits)
+    Count += static_cast<uint32_t>(__builtin_popcountll(Bits));
+  return Count;
+}
+
+LayoutId TypeDescriptorTable::intern(const std::vector<bool> &PointerWords,
+                                     uint32_t SizeBytes) {
+  CGC_CHECK(SizeBytes > 0 && SizeBytes % WordBytes == 0,
+            "descriptor size must be a positive word multiple");
+  uint32_t NumWords = SizeBytes / WordBytes;
+
+  // Normalize to a fixed-width bitmap: words past the provided vector
+  // (and any vector entries past the object) are pointer-free.
+  std::vector<uint64_t> Bits((NumWords + 63) / 64, 0);
+  uint32_t SetCount = 0;
+  for (uint32_t I = 0; I != NumWords && I != PointerWords.size(); ++I) {
+    if (!PointerWords[I])
+      continue;
+    Bits[I / 64] |= uint64_t(1) << (I % 64);
+    ++SetCount;
+  }
+
+  auto Key = std::make_pair(SizeBytes, Bits);
+  auto Found = Ids.find(Key);
+  if (Found != Ids.end())
+    return Found->second;
+
+  TypeDescriptor D;
+  D.SizeBytes = SizeBytes;
+  D.NumWords = NumWords;
+  if (SetCount == 0)
+    D.Class = DescriptorClass::PointerFree;
+  else if (SetCount == NumWords)
+    D.Class = DescriptorClass::Conservative;
+  else
+    D.Class = DescriptorClass::Precise;
+  if (NumWords <= TypeDescriptor::InlineWordLimit)
+    D.InlineBits = Bits[0];
+  else
+    D.OutOfLineBits = Bits;
+  Table.push_back(std::move(D));
+  LayoutId Id = static_cast<LayoutId>(Table.size());
+  Ids.emplace(std::move(Key), Id);
+  return Id;
+}

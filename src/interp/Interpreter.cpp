@@ -12,6 +12,10 @@ using namespace cgc::interp;
 //===----------------------------------------------------------------------===//
 
 Interpreter::Interpreter(Collector &GC) : GC(GC) {
+  static_assert(sizeof(Obj) == 6 * sizeof(uint64_t),
+                "Obj layout bitmap below assumes three two-word Values");
+  ObjLayout = GC.registerObjectLayout(
+      {false, true, false, true, false, true}, sizeof(Obj));
   GlobalRootId = GC.addRootRange(&GlobalEnvRoot, &GlobalEnvRoot + 1,
                                  RootEncoding::Native64,
                                  RootSource::StaticData,
@@ -45,7 +49,7 @@ Value Interpreter::fail(std::string Message) {
 //===----------------------------------------------------------------------===//
 
 Value Interpreter::cons(Value Car, Value Cdr) {
-  auto *O = static_cast<Obj *>(GC.allocate(sizeof(Obj)));
+  auto *O = static_cast<Obj *>(GC.allocateTyped(ObjLayout));
   if (!O)
     return fail("out of memory");
   O->Slots[0] = Car;
@@ -54,7 +58,7 @@ Value Interpreter::cons(Value Car, Value Cdr) {
 }
 
 Value Interpreter::makeClosure(Value Params, Value Body, Value Env) {
-  auto *O = static_cast<Obj *>(GC.allocate(sizeof(Obj)));
+  auto *O = static_cast<Obj *>(GC.allocateTyped(ObjLayout));
   if (!O)
     return fail("out of memory");
   O->Slots[0] = Params;

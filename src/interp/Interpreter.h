@@ -125,6 +125,12 @@ private:
   void installBuiltins();
 
   Collector &GC;
+  /// Descriptor for Obj: each Value is {Tag word, payload word}, and
+  /// only the payload words (1, 3, 5) can hold heap pointers.  The Tag
+  /// words and any integer payloads are never traced, so a fixnum that
+  /// happens to look like a heap address cannot retain (or blacklist)
+  /// anything.
+  LayoutId ObjLayout = 0;
   std::vector<std::string> Symbols;
   /// The global environment's pair pointer, registered as a root.
   uint64_t GlobalEnvRoot = 0;

@@ -191,6 +191,23 @@ void dump(int Fd, int Signal) {
     Line.append("\n");
     Line.flush(Fd);
 
+    // Heap-scan mix of the last cycle: words/candidates per descriptor
+    // class.  All zeros before the first collection; pointer-free stays
+    // zero by construction.
+    static const char *const ClassTags[3] = {" conservative=", " precise=",
+                                             " pointer-free="};
+    Line.append("  scan-mix:");
+    for (unsigned C = 0; C != 3; ++C) {
+      Line.append(ClassTags[C]);
+      Line.appendU64(
+          State->ScanWordsByClass[C].load(std::memory_order_relaxed));
+      Line.append("/");
+      Line.appendU64(
+          State->ScanCandidatesByClass[C].load(std::memory_order_relaxed));
+    }
+    Line.append("\n");
+    Line.flush(Fd);
+
     Line.append("  resilience: heap-exhausted=");
     Line.appendU64(
         State->HeapExhaustedCollections.load(std::memory_order_relaxed));

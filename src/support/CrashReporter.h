@@ -48,6 +48,12 @@ struct GcCrashState {
   std::atomic<uint64_t> LiveBytes{0};
   std::atomic<uint64_t> CommittedBytes{0};
   std::atomic<uint64_t> BlacklistedPages{0};
+  /// Last cycle's heap-scan mix, indexed by DescriptorClass
+  /// (0 conservative, 1 precise, 2 pointer-free — the array size is a
+  /// literal so this header stays free of heap-layer includes): words
+  /// examined and candidate pointers considered.
+  std::atomic<uint64_t> ScanWordsByClass[3]{};
+  std::atomic<uint64_t> ScanCandidatesByClass[3]{};
   /// Resilience counters (subset of GcResilienceStats).
   std::atomic<uint64_t> HeapExhaustedCollections{0};
   std::atomic<uint64_t> EmergencyCollections{0};
