@@ -11,12 +11,22 @@
 // Workload: steady-state list churn (allocate, retain a window, drop),
 // automatic collections; we record every collect() pause.
 //
+// The threaded rows additionally measure time-to-stop — the handshake
+// nanoseconds from raising the stop request to the last mutator
+// parking — for a cooperative worker (polls safepoints) and for a
+// worker that never polls, so every handshake must climb the watchdog
+// ladder to the signal-suspension rung (GcConfig::HandshakeDeadlineMs).
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 #include "core/Collector.h"
 #include "support/Statistics.h"
+#include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <thread>
+#include <vector>
 
 using namespace cgc;
 
@@ -33,7 +43,19 @@ struct PauseProfile {
   RunningStat PauseMicros;
   double ThroughputOpsPerUs = 0;
   uint64_t Collections = 0;
+  /// Per-cycle handshake time-to-stop; empty for single-mutator rows.
+  std::vector<double> StopMicros;
 };
+
+double percentile(std::vector<double> Samples, double Fraction) {
+  if (Samples.empty())
+    return 0.0;
+  std::sort(Samples.begin(), Samples.end());
+  size_t Index =
+      static_cast<size_t>(Fraction * static_cast<double>(Samples.size() - 1) +
+                          0.5);
+  return Samples[std::min(Index, Samples.size() - 1)];
+}
 
 PauseProfile run(bool Lazy) {
   GcConfig Config;
@@ -76,6 +98,101 @@ PauseProfile run(bool Lazy) {
   return Profile;
 }
 
+/// One extra mutator thread alongside the collecting (main) thread.
+/// Cooperative: the worker polls GC.safepoint() in its loop, so every
+/// handshake stops it on the first rung.  Signal fallback: the worker
+/// spins without ever polling, so every handshake must escalate to the
+/// watchdog's preemptive signal suspension at deadline/2.
+PauseProfile runThreaded(bool SignalFallback) {
+  GcConfig Config;
+  Config.MaxHeapBytes = uint64_t(128) << 20;
+  Config.LazySweep = false;
+  Config.GcAtStartup = false;
+  Config.MinHeapBytesBeforeGc = ~uint64_t(0);
+  // Coop: generous deadline the handshake never approaches (the armed
+  // watchdog costs nothing on the cooperative path).  Signal: short
+  // deadline so the signal rung (deadline/2) bounds time-to-stop.
+  Config.HandshakeDeadlineMs = SignalFallback ? 20 : 2000;
+  Collector GC(Config);
+
+  std::atomic<bool> Done{false};
+  std::atomic<uint64_t> WorkerOps{0};
+  std::thread Worker([&] {
+    GcThreadScope Scope(GC);
+    if (SignalFallback) {
+      while (!Done.load(std::memory_order_acquire))
+        WorkerOps.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      while (!Done.load(std::memory_order_acquire)) {
+        GC.safepoint();
+        WorkerOps.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  GcThreadScope MainScope(GC);
+  struct Node {
+    Node *Next;
+    uint64_t Pad[3];
+  };
+  constexpr size_t WindowSlots = 10000;
+  std::vector<uint64_t> Window(WindowSlots, 0);
+  GC.addRootRange(Window.data(), Window.data() + Window.size(),
+                  RootEncoding::Native64, RootSource::Client, "window");
+
+  PauseProfile Profile;
+  uint64_t Seed = 0x9e3779b9;
+  uint64_t Start = nowNanos();
+  // The signal row pays >= deadline/2 per handshake; keep its cycle
+  // count small so the bench stays fast.
+  const uint64_t TotalOps = SignalFallback ? 120'000 : 600'000;
+  const uint64_t OpsPerCycle = SignalFallback ? 10'000 : 50'000;
+  for (uint64_t Op = 0; Op != TotalOps; ++Op) {
+    Seed = Seed * 6364136223846793005ULL + 1442695040888963407ULL;
+    size_t Slot = (Seed >> 33) % WindowSlots;
+    auto *N = static_cast<Node *>(GC.allocate(sizeof(Node)));
+    CGC_CHECK(N, "allocation failed");
+    Window[Slot] = reinterpret_cast<uint64_t>(N);
+    if (Op % OpsPerCycle == OpsPerCycle - 1) {
+      uint64_t T0 = nowNanos();
+      CollectionStats Cycle = GC.collect("periodic");
+      Profile.PauseMicros.addSample(
+          static_cast<double>(nowNanos() - T0) / 1000.0);
+      Profile.StopMicros.push_back(
+          static_cast<double>(Cycle.HandshakeNanos) / 1000.0);
+      ++Profile.Collections;
+    }
+  }
+  uint64_t Elapsed = nowNanos() - Start;
+  Profile.ThroughputOpsPerUs = static_cast<double>(TotalOps) * 1000.0 /
+                               static_cast<double>(Elapsed);
+  Done.store(true, std::memory_order_release);
+  Worker.join();
+  return Profile;
+}
+
+void addProfileRow(TablePrinter &Table, cgcbench::JsonReport &Report,
+                   const char *Mode, const PauseProfile &P) {
+  double StopP50 = percentile(P.StopMicros, 0.50);
+  double StopP99 = percentile(P.StopMicros, 0.99);
+  char Mean[32], Max[32], P50[32], P99[32], Thr[32];
+  std::snprintf(Mean, sizeof(Mean), "%.0f", P.PauseMicros.mean());
+  std::snprintf(Max, sizeof(Max), "%.0f", P.PauseMicros.maximum());
+  std::snprintf(P50, sizeof(P50), "%.0f", StopP50);
+  std::snprintf(P99, sizeof(P99), "%.0f", StopP99);
+  std::snprintf(Thr, sizeof(Thr), "%.1f", P.ThroughputOpsPerUs);
+  Table.addRow({Mode, std::to_string(P.Collections), Mean, Max, P50, P99,
+                Thr});
+  Report.beginRow();
+  Report.rowSet("sweep_mode", std::string(Mode));
+  Report.rowSet("collections", P.Collections);
+  Report.rowSet("mean_pause_us", P.PauseMicros.mean());
+  Report.rowSet("max_pause_us", P.PauseMicros.maximum());
+  Report.rowSet("stop_p50_us", StopP50);
+  Report.rowSet("stop_p99_us", StopP99);
+  Report.rowSet("throughput_ops_per_us", P.ThroughputOpsPerUs);
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -83,28 +200,19 @@ int main(int Argc, char **Argv) {
   cgcbench::printBanner(
       "Pause times (lazy sweep ablation)",
       "collect() pause distribution: eager whole-heap sweep vs lazy "
-      "allocation-time sweep",
+      "allocation-time sweep, plus stop-the-world time-to-stop for "
+      "cooperative and signal-fallback mutators",
       "same total work and throughput; the sweep's share leaves the "
-      "pause");
+      "pause, and the signal rows bound time-to-stop by the watchdog");
 
   cgcbench::JsonReport Report("pause times");
   TablePrinter Table({"sweep mode", "collections", "mean pause (us)",
-                      "max pause (us)", "throughput (ops/us)"});
-  for (bool Lazy : {false, true}) {
-    PauseProfile P = run(Lazy);
-    char Mean[32], Max[32], Thr[32];
-    std::snprintf(Mean, sizeof(Mean), "%.0f", P.PauseMicros.mean());
-    std::snprintf(Max, sizeof(Max), "%.0f", P.PauseMicros.maximum());
-    std::snprintf(Thr, sizeof(Thr), "%.1f", P.ThroughputOpsPerUs);
-    Table.addRow({Lazy ? "lazy" : "eager",
-                  std::to_string(P.Collections), Mean, Max, Thr});
-    Report.beginRow();
-    Report.rowSet("sweep_mode", std::string(Lazy ? "lazy" : "eager"));
-    Report.rowSet("collections", P.Collections);
-    Report.rowSet("mean_pause_us", P.PauseMicros.mean());
-    Report.rowSet("max_pause_us", P.PauseMicros.maximum());
-    Report.rowSet("throughput_ops_per_us", P.ThroughputOpsPerUs);
-  }
+                      "max pause (us)", "stop p50 (us)", "stop p99 (us)",
+                      "throughput (ops/us)"});
+  for (bool Lazy : {false, true})
+    addProfileRow(Table, Report, Lazy ? "lazy" : "eager", run(Lazy));
+  addProfileRow(Table, Report, "threaded coop", runThreaded(false));
+  addProfileRow(Table, Report, "threaded signal", runThreaded(true));
   Table.print(stdout);
   if (Json) {
     std::string Path = Report.write();

@@ -21,7 +21,7 @@
 // the whole soak twice and fails unless the digests are bit-identical.
 //
 // Usage: soak_chaos [--seed S] [--steps N] [--replay-check] [--guarded]
-//        [--typed] [--mutator-threads N] [--json]
+//        [--typed] [--mutator-threads N] [--wedge] [--json]
 // --guarded re-runs every collector in guarded-heap mode
 // (GcConfig::DebugGuards): headers, redzones, quarantine, and the
 // explicit-free validation ladder are all live, and ~25% of churn
@@ -36,7 +36,13 @@
 // thread's stream-deterministic counters and value-tag checksum are
 // folded into the digest in thread-index order, so --replay-check
 // covers the handshake/cache machinery too.
-// --json writes BENCH_soak_chaos.json for CI trend tracking.
+// --wedge appends the stop-the-world hardening lane: each round one
+// mutator spins past every safepoint so the handshake must climb the
+// watchdog ladder to the signal-suspension rung; only stream-pure
+// counters and the per-round suspension delta fold into the digest,
+// so the lane replays bit-identically under --replay-check.
+// --json writes BENCH_soak_chaos.json for CI trend tracking
+// (BENCH_soak_chaos_wedge.json under --wedge).
 //
 //===----------------------------------------------------------------------===//
 
@@ -51,6 +57,7 @@
 #include "support/CrashReporter.h"
 #include "support/FaultInjection.h"
 #include "support/Random.h"
+#include <atomic>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -76,6 +83,10 @@ struct SoakOptions {
   /// 0 disables the multi-mutator phase (and leaves the digest of an
   /// unthreaded soak untouched).
   unsigned MutatorThreads = 0;
+  /// Appends the stop-the-world hardening lane: each round wedges one
+  /// mutator in a poll-free spin so the handshake must climb the
+  /// watchdog ladder to the signal-suspension rung.
+  bool Wedge = false;
 };
 
 /// Everything a completed run reports; digest first, counters for the
@@ -97,6 +108,8 @@ struct SoakOutcome {
   uint64_t MutatorFrees = 0;
   uint64_t MutatorCollections = 0;
   uint64_t MutatorHandshakes = 0;
+  uint64_t WedgeRounds = 0;
+  uint64_t WedgeSuspensions = 0;
   GcSentinelStats Sentinel;
   GcGuardStats Guard;
 };
@@ -120,6 +133,7 @@ private:
   void checkSentinel(Collector &GC);
   void checkGuards(Collector &GC);
   void runMutatorPhase();
+  void runWedgePhase();
 
   void fold(uint64_t Value) {
     Outcome.Digest ^= Value;
@@ -136,9 +150,9 @@ private:
       std::printf("%s\n", Detail.c_str());
     std::printf("  at step %u of %u, seed %" PRIu64 "\n", Step, Opts.Steps,
                 Opts.Seed);
-    std::printf("  replay: soak_chaos --seed %" PRIu64 " --steps %u%s%s",
+    std::printf("  replay: soak_chaos --seed %" PRIu64 " --steps %u%s%s%s",
                 Opts.Seed, Opts.Steps, Opts.Guarded ? " --guarded" : "",
-                Opts.Typed ? " --typed" : "");
+                Opts.Typed ? " --typed" : "", Opts.Wedge ? " --wedge" : "");
     if (Opts.MutatorThreads != 0)
       std::printf(" --mutator-threads %u", Opts.MutatorThreads);
     std::printf("\n");
@@ -228,8 +242,17 @@ void SoakRun::checkGuards(Collector &GC) {
 void SoakRun::stepChurn(Collector &GC, std::vector<uint64_t> &Slots) {
   if (FaultInjectionCompiled && Schedule.nextBool(0.5)) {
     // Finite FailCount: the fault is a transient the collector must
-    // ride through, not a permanently broken arena.
-    FaultSite Site = static_cast<FaultSite>(Schedule.nextBelow(NumFaultSites));
+    // ride through, not a permanently broken arena.  Only the
+    // allocation-path sites are drawn here: WedgedMutator (and any
+    // later site) is meaningless on a single-threaded phase, and
+    // pinning the draw range keeps historical soak digests stable.
+    constexpr unsigned NumChaosFaultSites = 4;
+    static_assert(static_cast<unsigned>(FaultSite::WedgedMutator) ==
+                      NumChaosFaultSites,
+                  "allocation-path fault sites must stay contiguous below "
+                  "the thread faults");
+    FaultSite Site =
+        static_cast<FaultSite>(Schedule.nextBelow(NumChaosFaultSites));
     uint64_t Skip = Schedule.nextBelow(16);
     uint64_t Fails = Schedule.nextInRange(1, 8);
     FaultInjector::instance().arm(Site, Skip, Fails);
@@ -611,6 +634,145 @@ void SoakRun::runMutatorPhase() {
     GC.removeRootRange(Id);
 }
 
+/// The --wedge lane: each round one mutator deliberately never reaches
+/// a safepoint, so the stop-the-world handshake must climb the
+/// watchdog ladder to the signal-suspension rung.  Worker 0 churns a
+/// seeded stream, raises a flag, then spins with no polls; worker 1
+/// churns the same way and then parks politely on polls; the main
+/// thread collects once the flag is up.  Only interleaving-independent
+/// values fold into the digest: each worker's stream digest in index
+/// order and the per-round suspension delta (always exactly the one
+/// wedged thread — the cooperative worker polls every iteration and
+/// the signal rung only fires at deadline/2).
+void SoakRun::runWedgePhase() {
+  struct WedgeLocal {
+    uint64_t Digest = 0xcbf29ce484222325ull;
+    uint64_t Allocs = 0;
+    std::string Error;
+    void fold(uint64_t Value) {
+      Digest ^= Value;
+      Digest *= 0x100000001b3ull;
+    }
+  };
+
+  constexpr unsigned Rounds = 4;
+  GcConfig Config = soakConfig(/*WithSentinel=*/false, Opts.Guarded);
+  Config.MutatorThreads = 2;
+  // Signal rung at deadline/2 = 50 ms: a huge margin for the
+  // cooperative worker to park on a poll first, short enough that the
+  // lane stays fast.
+  Config.HandshakeDeadlineMs = 100;
+  Collector GC(Config);
+
+  std::vector<std::vector<uint64_t>> Windows(2,
+                                             std::vector<uint64_t>(64, 0));
+  std::vector<RootId> Roots;
+  for (std::vector<uint64_t> &W : Windows)
+    Roots.push_back(GC.addRootRange(W.data(), W.data() + W.size(),
+                                    RootEncoding::Native64,
+                                    RootSource::Client,
+                                    "soak-wedge-window"));
+
+  for (unsigned Round = 0; Round != Rounds; ++Round) {
+    std::atomic<bool> WedgedUp{false};
+    std::atomic<bool> CoopUp{false};
+    std::atomic<bool> Resume{false};
+    WedgeLocal Locals[2];
+    // Per-thread stream: a pure function of (seed, round, index), so
+    // the folded digest is independent of scheduling.
+    auto churn = [&](unsigned T, WedgeLocal &Local) {
+      Rng R(Opts.Seed ^ (0xd1b54a32d192ed03ull * (Round * 2 + T + 1)));
+      std::vector<uint64_t> &Window = Windows[T];
+      for (unsigned I = 0; I != 160; ++I) {
+        size_t Slot = R.pickIndex(Window.size());
+        size_t Bytes = R.nextInRange(16, 512);
+        void *Ptr = GC.allocate(Bytes);
+        if (!Ptr) {
+          Local.Error = "wedge-lane allocation failed in a 64 MB arena";
+          return false;
+        }
+        std::memset(Ptr, 0, 16);
+        Window[Slot] = reinterpret_cast<uint64_t>(Ptr);
+        Local.fold((uint64_t(Slot) << 32) ^ Bytes);
+        ++Local.Allocs;
+      }
+      return true;
+    };
+
+    std::thread Wedger([&] {
+      GcThreadScope Scope(GC);
+      if (!Scope.registered()) {
+        Locals[0].Error = "wedge thread refused by the registry";
+        WedgedUp.store(true, std::memory_order_release);
+        return;
+      }
+      if (!churn(0, Locals[0])) {
+        WedgedUp.store(true, std::memory_order_release);
+        return;
+      }
+      // The wedge: raise the flag, then spin without ever polling a
+      // safepoint.  The only way to stop this thread is the watchdog's
+      // preemptive signal suspension.
+      WedgedUp.store(true, std::memory_order_release);
+      while (!Resume.load(std::memory_order_acquire)) {
+      }
+    });
+    std::thread Cooperative([&] {
+      GcThreadScope Scope(GC);
+      if (!Scope.registered()) {
+        Locals[1].Error = "cooperative thread refused by the registry";
+        CoopUp.store(true, std::memory_order_release);
+        return;
+      }
+      bool Churned = churn(1, Locals[1]);
+      // Published only once churn is done: a tail-of-churn allocation
+      // can trigger its own collection, and that handshake would
+      // signal-suspend the already-spinning wedger.  The suspension
+      // window below must not race with such a collection, or the
+      // folded delta stops being schedule-independent.
+      CoopUp.store(true, std::memory_order_release);
+      if (!Churned)
+        return;
+      while (!Resume.load(std::memory_order_acquire))
+        GC.safepoint();
+    });
+
+    while (!WedgedUp.load(std::memory_order_acquire) ||
+           !CoopUp.load(std::memory_order_acquire))
+      std::this_thread::yield();
+    uint64_t SuspendsBefore = GC.threadRegistry().signalSuspensions();
+    GC.collect("soak-wedge");
+    ++Outcome.Collections;
+    uint64_t Delta =
+        GC.threadRegistry().signalSuspensions() - SuspendsBefore;
+    Resume.store(true, std::memory_order_release);
+    Wedger.join();
+    Cooperative.join();
+    for (WedgeLocal &Local : Locals)
+      if (!Local.Error.empty())
+        fail("wedge phase failed", "  " + Local.Error);
+    if (Delta == 0)
+      fail("wedged mutator was never signal-suspended; the watchdog "
+           "escalation did not fire");
+    fold(Locals[0].Digest);
+    fold(Locals[1].Digest);
+    fold(Delta);
+    Outcome.WedgeSuspensions += Delta;
+    ++Outcome.WedgeRounds;
+  }
+
+  if (GC.threadRegistry().registeredCount() != 0)
+    fail("wedge threads left registry records behind");
+  for (std::vector<uint64_t> &W : Windows)
+    std::fill(W.begin(), W.end(), 0);
+  GC.collect("soak-wedge-drain");
+  ++Outcome.Collections;
+  deepVerify(GC, "deep verification failed after the wedge phase");
+  checkGuards(GC);
+  for (RootId Id : Roots)
+    GC.removeRootRange(Id);
+}
+
 SoakOutcome SoakRun::run() {
   // The churn collector and the interpreter live for the whole soak;
   // queue/tree/Program T rounds use fresh throwaway collectors.
@@ -661,6 +823,8 @@ SoakOutcome SoakRun::run() {
   ChurnGC.removeRootRange(SlotsRoot);
   if (Opts.MutatorThreads != 0)
     runMutatorPhase();
+  if (Opts.Wedge)
+    runWedgePhase();
   return Outcome;
 }
 
@@ -682,11 +846,13 @@ int main(int Argc, char **Argv) {
       Opts.Typed = true;
     else if (!std::strcmp(Argv[I], "--mutator-threads") && I + 1 < Argc)
       Opts.MutatorThreads = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (!std::strcmp(Argv[I], "--wedge"))
+      Opts.Wedge = true;
     else {
       std::fprintf(stderr,
                    "usage: soak_chaos [--seed S] [--steps N] "
                    "[--replay-check] [--guarded] [--typed] "
-                   "[--mutator-threads N] [--json]\n");
+                   "[--mutator-threads N] [--wedge] [--json]\n");
       return 2;
     }
   }
@@ -730,6 +896,11 @@ int main(int Argc, char **Argv) {
                 ", collects %" PRIu64 ", handshakes %" PRIu64 "\n",
                 Opts.MutatorThreads, First.MutatorAllocs, First.MutatorFrees,
                 First.MutatorCollections, First.MutatorHandshakes);
+  if (Opts.Wedge)
+    std::printf("wedge lane: %" PRIu64 " rounds, %" PRIu64
+                " signal suspensions (every handshake climbed to the "
+                "signal rung)\n",
+                First.WedgeRounds, First.WedgeSuspensions);
   if (Opts.Typed)
     std::printf("typed lane: %" PRIu64 " rounds (retained-subset and "
                 "scan-mix checks all passed)\n",
@@ -751,10 +922,11 @@ int main(int Argc, char **Argv) {
   if (Opts.Json) {
     char Digest[32];
     std::snprintf(Digest, sizeof(Digest), "%016" PRIx64, First.Digest);
-    cgcbench::JsonReport Report(Opts.Guarded
-                                    ? "soak chaos guarded"
-                                    : Opts.Typed ? "soak chaos typed"
-                                                 : "soak chaos");
+    cgcbench::JsonReport Report(
+        Opts.Wedge ? "soak chaos wedge"
+                   : Opts.Guarded ? "soak chaos guarded"
+                                  : Opts.Typed ? "soak chaos typed"
+                                               : "soak chaos");
     Report.set("seed", Opts.Seed);
     Report.set("steps", uint64_t(Opts.Steps));
     Report.set("digest", std::string(Digest));
@@ -780,6 +952,11 @@ int main(int Argc, char **Argv) {
     Report.set("sentinel_incidents", First.Sentinel.IncidentsRaised);
     Report.set("sentinel_deescalations", First.Sentinel.Deescalations);
     Report.set("guarded", uint64_t(Opts.Guarded ? 1 : 0));
+    Report.set("wedge", uint64_t(Opts.Wedge ? 1 : 0));
+    if (Opts.Wedge) {
+      Report.set("wedge_rounds", First.WedgeRounds);
+      Report.set("wedge_suspensions", First.WedgeSuspensions);
+    }
     Report.set("mutator_threads", uint64_t(Opts.MutatorThreads));
     if (Opts.MutatorThreads != 0) {
       Report.set("mutator_allocs", First.MutatorAllocs);

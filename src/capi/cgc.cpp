@@ -197,6 +197,11 @@ static GcConfig convertConfig(const cgc_config *C) {
   // Unlike most numeric fields, 0 is meaningful here (release freed
   // guarded objects immediately); cgc_config_init seeds the default.
   Config.QuarantineSlots = C->quarantine_slots;
+  Config.HandshakeDeadlineMs = C->handshake_deadline_ms;
+  Config.HandshakeFatal = C->handshake_fatal != 0;
+  // 0 (default signal) and negative (rung disabled) are both
+  // meaningful; copy verbatim.
+  Config.SuspendSignal = C->suspend_signal;
   return Config;
 }
 
@@ -286,6 +291,9 @@ static void fillCConfig(cgc_config *Out, const GcConfig &In) {
   Out->debug_guards = In.DebugGuards ? 1 : 0;
   Out->guard_fatal = In.GuardFatal ? 1 : 0;
   Out->quarantine_slots = In.QuarantineSlots;
+  Out->handshake_deadline_ms = In.HandshakeDeadlineMs;
+  Out->handshake_fatal = In.HandshakeFatal ? 1 : 0;
+  Out->suspend_signal = In.SuspendSignal;
 }
 
 void cgc_config_init(cgc_config *Config) {

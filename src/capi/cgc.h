@@ -171,6 +171,26 @@ typedef struct cgc_config {
    * this long before their memory is reusable.  0 = release
    * immediately (no use-after-free window).  Default 256. */
   unsigned quarantine_slots;
+  /* Stop-the-world handshake watchdog deadline in milliseconds.
+   * 0 (default) disables the watchdog: the handshake waits forever,
+   * exactly as before the hardening layer existed.  Nonzero arms an
+   * escalation ladder: a rate-limited warning at deadline/4, a
+   * preemptive signal suspension of still-running mutators at
+   * deadline/2, and at the full deadline a CGC_INCIDENT_HANDSHAKE_
+   * TIMEOUT incident after which the collection attempt is abandoned
+   * and allocation degrades to heap growth. */
+  unsigned long long handshake_deadline_ms;
+  /* Abort (through the fatal-error path, crash report included)
+   * instead of abandoning the collection when the handshake deadline
+   * expires.  Boolean; default off. */
+  int handshake_fatal;
+  /* The reserved suspend signal for the watchdog's preemptive rung;
+   * the resume signal is always suspend+1 and both are reserved
+   * process-wide while any watchdog is armed.  0 (default) =
+   * SIGRTMIN+6, overridable with the CGC_SUSPEND_SIGNAL environment
+   * variable; negative disables the signal rung entirely (the ladder
+   * then goes warn -> timeout). */
+  int suspend_signal;
 } cgc_config;
 
 /* Fills *config with the library defaults.  Every field of the C++
@@ -337,6 +357,9 @@ enum {
   CGC_INCIDENT_GUARD_HEADER_SMASH = 3,
   CGC_INCIDENT_GUARD_REDZONE_SMASH = 4,
   CGC_INCIDENT_QUARANTINE_USE_AFTER_FREE = 5,
+  /* A stop-the-world handshake exhausted handshake_deadline_ms; the
+   * collection attempt was abandoned. */
+  CGC_INCIDENT_HANDSHAKE_TIMEOUT = 6,
 };
 
 /* Incident callback: the sentinel exhausted its escalation ladder and
@@ -432,6 +455,7 @@ enum {
   CGC_FAULT_PAGE_RUN_SEARCH = 1,    /* free-run search reports no fit  */
   CGC_FAULT_WORKER_SPAWN = 2,       /* GC worker thread spawn fails    */
   CGC_FAULT_MARK_STACK_OVERFLOW = 3,/* mark-stack push drops its item  */
+  CGC_FAULT_WEDGED_MUTATOR = 4,     /* safepoint park behaves as missed */
 };
 
 /* Returns nonzero when the library was built with the injection hooks

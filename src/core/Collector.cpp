@@ -4,12 +4,15 @@
 #include "core/GcSentinel.h"
 #include "heap/ThreadCache.h"
 #include "support/MathExtras.h"
+#include "support/SignalSuspend.h"
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <new>
+#include <pthread.h>
 
 using namespace cgc;
 
@@ -20,6 +23,19 @@ uint64_t nowNanos() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+/// Live collectors in construction order, for the process-wide
+/// pthread_atfork handlers.  Function-local statics so a collector
+/// constructed before main() still finds them initialized.
+std::mutex &forkListLock() {
+  static std::mutex Lock;
+  return Lock;
+}
+
+std::vector<Collector *> &forkCollectors() {
+  static std::vector<Collector *> List;
+  return List;
 }
 
 } // namespace
@@ -114,12 +130,169 @@ Collector::Collector(const GcConfig &Cfg) : Config(Cfg) {
          Failures);
   });
 
+  // Handshake watchdog: resolve and install the reserved suspend signal
+  // up front, so the first stalled handshake can escalate without doing
+  // anything allocation- or lock-shaped in the stop path.  A negative
+  // SuspendSignal disables the signal rung (the ladder goes
+  // warn -> timeout); installation failure degrades the same way.
+  if (Config.HandshakeDeadlineMs != 0) {
+    int Sig = -1;
+    if (Config.SuspendSignal >= 0) {
+      Sig = suspend::resolveSuspendSignal(Config.SuspendSignal);
+      if (Sig >= 0 && suspend::ensureInstalled(Sig) < 0)
+        Sig = -1;
+      if (Sig >= 0)
+        crash::setReservedSignal(Sig);
+    }
+    Registry.configureWatchdog(Config.HandshakeDeadlineMs * 1000000ull, Sig,
+                               &Collector::stallWarnThunk, this);
+  }
+
+  // Fork safety: every live collector participates in one process-wide
+  // atfork triple (registered once; the handlers walk the list).
+  {
+    std::lock_guard<std::mutex> Guard(forkListLock());
+    forkCollectors().push_back(this);
+  }
+  static std::once_flag AtforkOnce;
+  std::call_once(AtforkOnce, [] {
+    ::pthread_atfork(&Collector::forkPrepare, &Collector::forkParent,
+                     &Collector::forkChild);
+  });
+
   configureSentinel(Config.Sentinel);
 }
 
 Collector::~Collector() {
+  {
+    std::lock_guard<std::mutex> Guard(forkListLock());
+    std::vector<Collector *> &List = forkCollectors();
+    List.erase(std::remove(List.begin(), List.end(), this), List.end());
+  }
   if (CrashRegistered)
     crash::unregisterState(&CrashInfo);
+}
+
+//===----------------------------------------------------------------------===//
+// Fork safety
+//===----------------------------------------------------------------------===//
+
+void Collector::forkPrepare() {
+  forkListLock().lock();
+  for (Collector *GC : forkCollectors())
+    GC->forkPrepareOne();
+}
+
+void Collector::forkParent() {
+  std::vector<Collector *> &List = forkCollectors();
+  for (auto It = List.rbegin(); It != List.rend(); ++It)
+    (*It)->forkParentOne();
+  forkListLock().unlock();
+}
+
+void Collector::forkChild() {
+  std::vector<Collector *> &List = forkCollectors();
+  for (auto It = List.rbegin(); It != List.rend(); ++It)
+    (*It)->forkChildOne();
+  crash::reinstallAfterFork();
+  forkListLock().unlock();
+}
+
+void Collector::forkPrepareOne() {
+  // Rank order: the heap lock first (waits out any in-flight collection
+  // and quiesces allocation; lockHeap publishes a registered forking
+  // thread's scan state before blocking so the handshake stays
+  // deadlock-free), then the worker pool (no job dispatch straddles the
+  // fork), then the registry (no registration straddles it).
+  lockHeap();
+  Pool->lockForFork();
+  Registry.lockForFork();
+}
+
+void Collector::forkParentOne() {
+  Registry.unlockForFork();
+  Pool->unlockForFork();
+  unlockHeap();
+}
+
+void Collector::forkChildOne() {
+  Registry.unlockForFork();
+  Pool->unlockForFork();
+  // Only the forking thread survived the fork: the pool workers and
+  // every other mutator are gone.  Detach the stale pool records so the
+  // next parallel phase respawns, and drop the dead mutators' records —
+  // returning their cache reservations against the debt ledger first,
+  // exactly as unregisterMutatorThread would have.
+  Pool->resetAfterFork();
+  Registry.rebuildAfterFork(
+      ThreadRegistry::current(), [this](MutatorThread &Thread) {
+        if (Thread.Cache)
+          Thread.Cache->flush(*Heap);
+        CacheAllocsRetired +=
+            Thread.CacheAllocs.load(std::memory_order_relaxed);
+      });
+  CrashInfo.RegisteredThreads.store(Registry.registeredCount(),
+                                    std::memory_order_relaxed);
+  CrashInfo.CacheSlotDebt.store(Heap->cacheSlotDebt(),
+                                std::memory_order_relaxed);
+  // The heap lock cannot simply be released here: recursive-mutex
+  // ownership is bound to the locking thread's kernel TID, and the
+  // forking thread has a new one in the child, so unlock() would fail
+  // with EPERM (swallowed inside std::recursive_mutex) and leave the
+  // lock wedged under the dead parent thread's id.  The child is
+  // single-threaded at this point, so reconstructing the mutex in
+  // place is safe.
+  new (&HeapLock) std::recursive_mutex();
+}
+
+//===----------------------------------------------------------------------===//
+// Stop-the-world hardening
+//===----------------------------------------------------------------------===//
+
+void Collector::stallWarnThunk(void *Ctx, uint64_t ThreadId, uint32_t State,
+                               uint64_t StalledNanos) {
+  (void)StalledNanos;
+  Collector *GC = static_cast<Collector *>(Ctx);
+  // One static message per observable state so the warn proc contract
+  // (static strings) holds; the stalled thread's id rides in Value.
+  const char *Message =
+      State == static_cast<uint32_t>(MutatorState::Running)
+          ? "cgc: stop-the-world stalled; mutator thread is running past "
+            "the handshake deadline's warning rung"
+          : "cgc: stop-the-world stalled; mutator thread is slow to park";
+  GC->warn(WarnEvent::HandshakeStall, Message, ThreadId);
+}
+
+void Collector::publishHandshakeCrashState() {
+  CrashInfo.Handshakes.store(Registry.handshakes(),
+                             std::memory_order_relaxed);
+  CrashInfo.SignalSuspensions.store(Registry.signalSuspensions(),
+                                    std::memory_order_relaxed);
+  CrashInfo.HandshakeTimeouts.store(Registry.handshakeTimeouts(),
+                                    std::memory_order_relaxed);
+  CrashInfo.MaxStopNanos.store(Registry.maxStopNanos(),
+                               std::memory_order_relaxed);
+}
+
+void Collector::abandonStoppedWorld(
+    ThreadRegistry::HandshakeResult &Handshake, const char *Reason) {
+  (void)Reason;
+  ++Resilience.HandshakeTimeouts;
+  ++Resilience.AbandonedCollections;
+  publishHandshakeCrashState();
+  GcIncident Incident;
+  Incident.Cause = GcIncidentCause::HandshakeTimeout;
+  Incident.CollectionIndex = Lifetime.Collections;
+  Incident.HandshakeTrace = std::move(Handshake.Trace);
+  Observers.dispatch([&](GcObserver &O) { O.onIncident(Incident); });
+  warn(WarnEvent::HandshakeStall,
+       "cgc: stop-the-world handshake timed out; abandoning collection",
+       Handshake.Nanos);
+  if (Config.HandshakeFatal)
+    fatalError("stop-the-world handshake timed out", __FILE__, __LINE__);
+  // The world resumes un-collected; the caller returns an empty cycle
+  // and the allocation ladder degrades to heap growth.
+  Registry.resumeTheWorld();
 }
 
 void Collector::configureSentinel(const SentinelPolicy &Policy) {
@@ -321,14 +494,25 @@ void Collector::addMutatorRootRanges(const MutatorThread *SelfThread,
     const void *Top = AlignDownToPointer(
         IsSelf ? SelfStackTop
                : Thread.StackTop.load(std::memory_order_acquire));
-    const void *RegsBegin =
-        IsSelf ? SelfRegsBegin : static_cast<const void *>(&Thread.Registers);
-    const void *RegsEnd =
-        IsSelf ? SelfRegsEnd
-               : static_cast<const void *>(
-                     reinterpret_cast<const unsigned char *>(
-                         &Thread.Registers) +
-                     sizeof(std::jmp_buf));
+    const void *RegsBegin;
+    const void *RegsEnd;
+    if (IsSelf) {
+      RegsBegin = SelfRegsBegin;
+      RegsEnd = SelfRegsEnd;
+    } else if (Thread.Suspend.UseRegisters.load(std::memory_order_acquire)) {
+      // Preemptively suspended: the cooperative jmp_buf is stale; the
+      // handler's sigsetjmp capture is the live register snapshot.
+      RegsBegin = static_cast<const void *>(&Thread.Suspend.Registers);
+      RegsEnd = static_cast<const void *>(
+          reinterpret_cast<const unsigned char *>(
+              &Thread.Suspend.Registers) +
+          sizeof(sigjmp_buf));
+    } else {
+      RegsBegin = static_cast<const void *>(&Thread.Registers);
+      RegsEnd = static_cast<const void *>(
+          reinterpret_cast<const unsigned char *>(&Thread.Registers) +
+          sizeof(std::jmp_buf));
+    }
     if (Top != nullptr && Thread.StackBase != nullptr &&
         Top < Thread.StackBase)
       Ids.push_back(Roots.addRange(Top, Thread.StackBase,
@@ -975,9 +1159,17 @@ CollectionStats Collector::collect(const char *Reason) {
     SelfThread = ThreadRegistry::current();
     Handshake = Registry.stopTheWorld(SelfThread);
     WorldStopped = true;
+    // Watchdog final rung: some mutator could not be stopped.  Raise
+    // the structured incident and abandon the attempt — no phase may
+    // run against a world that is still mutating.  The caller's
+    // allocation ladder treats the empty cycle as "reclaimed nothing"
+    // and degrades to heap growth.
+    if (Handshake.TimedOut) {
+      abandonStoppedWorld(Handshake, Reason);
+      return CollectionStats();
+    }
     CacheFlushed = flushThreadCaches();
-    CrashInfo.Handshakes.store(Registry.handshakes(),
-                               std::memory_order_relaxed);
+    publishHandshakeCrashState();
     CrashInfo.CacheSlotDebt.store(Heap->cacheSlotDebt(),
                                   std::memory_order_relaxed);
     Observers.dispatch([&](GcObserver &O) {
@@ -1159,6 +1351,11 @@ CollectionStats Collector::measureLiveness() {
     ThreadRegistry::HandshakeResult Handshake =
         Registry.stopTheWorld(SelfThread);
     WorldStopped = true;
+    if (Handshake.TimedOut) {
+      abandonStoppedWorld(Handshake, "measure-liveness");
+      return CollectionStats();
+    }
+    publishHandshakeCrashState();
     Observers.dispatch([&](GcObserver &O) {
       O.onStopTheWorld(Handshake.MutatorsStopped, Handshake.Nanos);
     });
@@ -1463,13 +1660,27 @@ void Collector::printReport(std::FILE *Out) const {
                     "configured; %u pool thread(s) spawned\n",
                Config.MarkThreads, Config.SweepThreads,
                Config.RootScanThreads, Pool->threadsSpawned());
-  if (Registry.lifetimeRegistrations() != 0)
+  if (Registry.lifetimeRegistrations() != 0) {
     std::fprintf(Out, "mutators        : %llu registered now, %llu over "
                       "lifetime; %llu handshakes, %llu safepoint parks\n",
                  (unsigned long long)Registry.registeredCount(),
                  (unsigned long long)Registry.lifetimeRegistrations(),
                  (unsigned long long)Registry.handshakes(),
                  (unsigned long long)Registry.safepointParks());
+    uint64_t Handshakes = Registry.handshakes();
+    std::fprintf(Out, "stop-the-world  : %.2f us mean, %.2f us max to "
+                      "stop; %llu warn rungs, %llu signal rungs, %llu "
+                      "suspensions, %llu send retries, %llu timeouts\n",
+                 Handshakes == 0
+                     ? 0.0
+                     : Registry.totalStopNanos() / 1e3 / Handshakes,
+                 Registry.maxStopNanos() / 1e3,
+                 (unsigned long long)Registry.warnRungs(),
+                 (unsigned long long)Registry.signalRungs(),
+                 (unsigned long long)Registry.signalSuspensions(),
+                 (unsigned long long)Registry.signalSendRetries(),
+                 (unsigned long long)Registry.handshakeTimeouts());
+  }
   std::fprintf(Out, "last cycle      : %llu live objects (%llu KiB), "
                     "%llu freed, %llu pinned slots\n",
                (unsigned long long)LastCycle.ObjectsLive,

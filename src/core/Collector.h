@@ -215,6 +215,23 @@ public:
   /// The mutator registry, for tests and tooling.
   ThreadRegistry &threadRegistry() { return Registry; }
 
+  /// Snapshot of the lifetime stop-the-world handshake counters:
+  /// time-to-stop (max/total over completed rendezvous), signal
+  /// suspensions and send retries, and watchdog rung counts.  All
+  /// zeros until the first threaded collection.
+  GcHandshakeStats handshakeStats() const {
+    GcHandshakeStats Snapshot;
+    Snapshot.Handshakes = Registry.handshakes();
+    Snapshot.MaxStopNanos = Registry.maxStopNanos();
+    Snapshot.TotalStopNanos = Registry.totalStopNanos();
+    Snapshot.SignalSuspensions = Registry.signalSuspensions();
+    Snapshot.SignalSendRetries = Registry.signalSendRetries();
+    Snapshot.WarnRungs = Registry.warnRungs();
+    Snapshot.SignalRungs = Registry.signalRungs();
+    Snapshot.HandshakeTimeouts = Registry.handshakeTimeouts();
+    return Snapshot;
+  }
+
   //===--------------------------------------------------------------===//
   // Queries
   //===--------------------------------------------------------------===//
@@ -453,8 +470,9 @@ private:
     SentinelIncident = 3,
     InvalidFree = 4,
     GuardViolation = 5,
+    HandshakeStall = 6,
   };
-  static constexpr unsigned NumWarnEvents = 6;
+  static constexpr unsigned NumWarnEvents = 7;
 
   /// The unguarded allocation paths (the historical allocate /
   /// allocateIgnoreOffPage bodies); the public entry points route
@@ -545,6 +563,35 @@ private:
                             const void *SelfRegsBegin,
                             const void *SelfRegsEnd,
                             std::vector<RootId> &Ids);
+
+  /// ThreadRegistry::StallWarnFn target: routes a watchdog stall report
+  /// for one still-running mutator through the rate-limited warn path
+  /// (WarnEvent::HandshakeStall), naming the thread and its state.
+  static void stallWarnThunk(void *Ctx, uint64_t ThreadId, uint32_t State,
+                             uint64_t StalledNanos);
+  /// Raises the HandshakeTimeout incident (per-thread trace attached),
+  /// updates resilience/crash counters, and either fatals
+  /// (GcConfig::HandshakeFatal) or resumes the stopped threads so the
+  /// caller can abandon the collection attempt.  \p Reason names the
+  /// abandoned collection for the event ring.
+  void abandonStoppedWorld(ThreadRegistry::HandshakeResult &Handshake,
+                           const char *Reason);
+  /// Publishes the registry's lifetime handshake counters into the
+  /// crash-visible state after every stop-the-world.
+  void publishHandshakeCrashState();
+  /// pthread_atfork handlers (process-wide, covering every live
+  /// Collector in construction order): prepare quiesces the worker pool
+  /// and takes each collector's heap, pool, and registry locks in rank
+  /// order; parent unwinds; the child rebuilds each registry around the
+  /// surviving thread, retires stale thread caches against the debt
+  /// ledger, resets the worker pool, and reinstalls the crash reporter.
+  static void forkPrepare();
+  static void forkParent();
+  static void forkChild();
+  /// Per-collector pieces of the fork handlers.
+  void forkPrepareOne();
+  void forkParentOne();
+  void forkChildOne();
 
   bool shouldCollectBeforeGrowth() const;
   void maybeRunStackClearHooks();

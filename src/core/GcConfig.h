@@ -197,6 +197,35 @@ struct GcConfig {
   /// Guarded mode (DebugGuards) also disables caching.
   unsigned ThreadCacheSlots = 32;
 
+  /// Stop-the-world handshake watchdog deadline in milliseconds
+  /// (monotonic clock).  0 — the default — disables the watchdog:
+  /// collect() waits for the cooperative handshake forever, exactly
+  /// the pre-watchdog behavior.  With a deadline, a registered mutator
+  /// that fails to park climbs an escalation ladder: a rate-limited
+  /// GcWarnProc warning naming the wedged thread at deadline/4,
+  /// preemptive suspension via the reserved real-time signal at
+  /// deadline/2, and — if the thread still cannot be stopped — a
+  /// HandshakeTimeout GcIncident at the full deadline, after which
+  /// the collection attempt is abandoned and allocation degrades to
+  /// heap growth.
+  uint64_t HandshakeDeadlineMs = 0;
+
+  /// Abort (via the fatal-error path, so the crash reporter fires)
+  /// instead of abandoning the collection when the handshake watchdog
+  /// reaches its final timeout.  For deployments where a wedged
+  /// mutator is unrecoverable and a loud crash beats silent heap
+  /// growth.
+  bool HandshakeFatal = false;
+
+  /// Signal number reserved for preemptive mutator suspension (rung 2
+  /// of the watchdog ladder).  0 — the default — picks SIGRTMIN+6, or
+  /// the CGC_SUSPEND_SIGNAL environment variable when set.  The
+  /// resume signal is always SuspendSignal+1; both numbers are
+  /// reserved process-wide while any collector has a watchdog armed.
+  /// Negative disables the signal fallback entirely (the ladder skips
+  /// from the warning rung straight to the final timeout).
+  int SuspendSignal = 0;
+
   /// Collect before growing the heap once allocation since the last
   /// collection exceeds this fraction of the committed heap.
   double CollectBeforeGrowthRatio = 0.5;

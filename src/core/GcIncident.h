@@ -39,6 +39,10 @@ enum class GcIncidentCause : unsigned char {
   /// A freed, quarantined object was written through a dangling
   /// pointer before its quarantine slot was flushed.
   QuarantineUseAfterFree,
+  /// A stop-the-world handshake exhausted its watchdog deadline: some
+  /// registered mutator neither parked cooperatively nor answered the
+  /// suspend signal, and the collection attempt was abandoned.
+  HandshakeTimeout,
 };
 
 constexpr const char *gcIncidentCauseName(GcIncidentCause Cause) {
@@ -55,9 +59,25 @@ constexpr const char *gcIncidentCauseName(GcIncidentCause Cause) {
     return "guard-redzone-smash";
   case GcIncidentCause::QuarantineUseAfterFree:
     return "quarantine-use-after-free";
+  case GcIncidentCause::HandshakeTimeout:
+    return "handshake-timeout";
   }
   return "?";
 }
+
+/// One registered thread's view of a failed stop-the-world handshake,
+/// captured at the watchdog's final-timeout rung.  State is the raw
+/// MutatorState value at capture time (core/ThreadRegistry.h).
+struct GcHandshakeTraceEntry {
+  uint64_t ThreadId = 0;
+  uint32_t State = 0;
+  uint64_t SafepointsTaken = 0;
+  /// Suspend-signal deliveries attempted against this thread (0 when
+  /// it parked cooperatively or the signal fallback was disabled).
+  uint64_t SignalAttempts = 0;
+  /// The thread ended the handshake preemptively suspended.
+  bool SignalSuspended = false;
+};
 
 /// One per-collection sample from the sentinel's sliding window.
 struct SentinelSample {
@@ -103,6 +123,11 @@ struct GcIncident {
   /// The offending address as passed by the client (free'd pointer or
   /// the smashed object's user base).
   uint64_t GuardAddress = 0;
+
+  /// Per-thread handshake trace (HandshakeTimeout only): every
+  /// registered thread other than the collector, in registration
+  /// order, with its state at the final-timeout rung.
+  std::vector<GcHandshakeTraceEntry> HandshakeTrace;
 };
 
 } // namespace cgc

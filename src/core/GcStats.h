@@ -168,6 +168,35 @@ struct GcResilienceStats {
   /// Pool worker threads that failed to spawn (collection degraded to
   /// fewer workers; results are unchanged).
   uint64_t WorkerSpawnFailures = 0;
+  /// Stop-the-world handshakes that exhausted the watchdog deadline.
+  /// Each one abandoned a collection attempt (HandshakeTimeout
+  /// incident raised; allocation degraded to heap growth).
+  uint64_t HandshakeTimeouts = 0;
+  /// Collection attempts abandoned before any phase ran (today always
+  /// equal to HandshakeTimeouts; split out so future abandon causes
+  /// keep their own accounting).
+  uint64_t AbandonedCollections = 0;
+};
+
+/// Lifetime stop-the-world handshake timing and watchdog-escalation
+/// counters, snapshotted from the mutator registry
+/// (Collector::handshakeStats).  Mean time-to-stop is
+/// TotalStopNanos / Handshakes.
+struct GcHandshakeStats {
+  /// Completed rendezvous (equals threaded collections).
+  uint64_t Handshakes = 0;
+  uint64_t MaxStopNanos = 0;
+  uint64_t TotalStopNanos = 0;
+  /// Threads preemptively suspended by the reserved signal (lifetime).
+  uint64_t SignalSuspensions = 0;
+  /// Suspend-signal re-sends beyond each thread's first (lifetime).
+  uint64_t SignalSendRetries = 0;
+  /// Handshakes that climbed to the warning rung (deadline/4).
+  uint64_t WarnRungs = 0;
+  /// Handshakes that climbed to the signal rung (deadline/2).
+  uint64_t SignalRungs = 0;
+  /// Handshakes that exhausted the full deadline.
+  uint64_t HandshakeTimeouts = 0;
 };
 
 /// Lifetime totals across collections.

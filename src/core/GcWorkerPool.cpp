@@ -28,6 +28,21 @@ uint64_t GcWorkerPool::jobsDispatched() const {
   return Generation;
 }
 
+void GcWorkerPool::lockForFork() { Lock.lock(); }
+
+void GcWorkerPool::unlockForFork() { Lock.unlock(); }
+
+void GcWorkerPool::resetAfterFork() {
+  std::lock_guard<std::mutex> Guard(Lock);
+  CGC_ASSERT(Job == nullptr, "fork with a pool job in flight");
+  for (std::thread &T : Threads)
+    T.detach();
+  Threads.clear();
+  Remaining = 0;
+  JobWorkers = 0;
+  ShuttingDown = false;
+}
+
 uint64_t GcWorkerPool::spawnFailures() const {
   std::lock_guard<std::mutex> Guard(Lock);
   return SpawnFailures;

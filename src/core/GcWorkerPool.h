@@ -96,6 +96,21 @@ public:
   /// prove threads are reused, not respawned.
   uint64_t jobsDispatched() const;
 
+  /// Fork safety.  lockForFork (pthread_atfork prepare) acquires the
+  /// pool lock so the fork snapshot never catches a thread mid-wakeup
+  /// with the lock held; phases run under the collector's heap lock —
+  /// already held by prepare — so no job can be in flight.
+  /// unlockForFork releases it again in the parent and the child.
+  void lockForFork();
+  void unlockForFork();
+
+  /// Child-side fork cleanup: the forked child has none of the pool's
+  /// threads (fork preserves only the calling thread), but the copied
+  /// bookkeeping says it does.  Drops every thread record — detached;
+  /// there is nothing to join — and resets job state so the next
+  /// parallel phase respawns from scratch.
+  void resetAfterFork();
+
 private:
   void threadMain(unsigned Index, uint64_t StartGeneration);
   /// Grows the pool to \p Count threads; caller must not hold Lock.

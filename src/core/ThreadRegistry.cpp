@@ -7,12 +7,22 @@
 
 #include "core/ThreadRegistry.h"
 #include "heap/ThreadCache.h"
+#include "support/FaultInjection.h"
+#include <algorithm>
 #include <chrono>
-#if defined(__linux__)
 #include <pthread.h>
-#endif
 
 namespace cgc {
+
+// The async-signal-safe suspend handler cannot include this header
+// (support must not depend on core), so it publishes raw state values
+// that must stay in lockstep with the enum.
+static_assert(static_cast<uint32_t>(MutatorState::Running) ==
+                  suspend::RunningState,
+              "suspend handler state constants drifted");
+static_assert(static_cast<uint32_t>(MutatorState::SignalSuspended) ==
+                  suspend::SignalSuspendedState,
+              "suspend handler state constants drifted");
 
 namespace {
 
@@ -61,11 +71,19 @@ MutatorThread *ThreadRegistry::registerThread(const void *StackBase,
   Thread->Id = NextId++;
   Thread->StackBase = StackBase;
   Thread->StackTop.store(StackBase, std::memory_order_release);
+  // Wire the suspension slot before the record becomes visible to the
+  // watchdog: the handler reads these through the thread_local slot.
+  Thread->Suspend.State = &Thread->State;
+  Thread->Suspend.StackTop = &Thread->StackTop;
+  Thread->Suspend.Handle = pthread_self();
   MutatorThread *Raw = Thread.get();
   Threads.push_back(std::move(Thread));
   Count.store(Threads.size(), std::memory_order_release);
   LifetimeRegistrations.fetch_add(1, std::memory_order_relaxed);
   CurrentMutator = Raw;
+  suspend::setCurrentSlot(&Raw->Suspend);
+  if (WatchdogDeadlineNanos != 0 && WatchdogSignal >= 0)
+    suspend::unblockInCurrentThread(WatchdogSignal);
   return Raw;
 }
 
@@ -76,6 +94,7 @@ void ThreadRegistry::unregisterThread(MutatorThread *Thread) {
   for (size_t I = 0, E = Threads.size(); I != E; ++I) {
     if (Threads[I].get() != Thread)
       continue;
+    suspend::setCurrentSlot(nullptr);
     Threads.erase(Threads.begin() + static_cast<ptrdiff_t>(I));
     Count.store(Threads.size(), std::memory_order_release);
     CurrentMutator = nullptr;
@@ -97,12 +116,26 @@ void ThreadRegistry::publishScanState(MutatorThread *Self) {
 }
 
 void ThreadRegistry::parkAtSafepoint(MutatorThread *Self) {
+  // Deterministic wedged-mutator site: the thread behaves as if it
+  // never saw the poll, which is exactly what the watchdog's
+  // escalation ladder exists to survive.  Only reached while a stop is
+  // actually requested (safepoint() gates on stopRequested).
+  if (CGC_INJECT_FAULT(WedgedMutator))
+    return;
   publishScanState(Self);
-  std::unique_lock<std::mutex> Guard(Lock);
-  if (!StopFlag.load(std::memory_order_acquire))
-    return; // Raced with resume; never parked.
+  // Leave Running *before* touching the registry lock: the watchdog's
+  // suspend handler parks any Running thread it interrupts, and a
+  // thread parked in sigsuspend while holding this lock would wedge
+  // the watchdog itself.  In a stopped state the handler only acks.
   Self->State.store(static_cast<uint32_t>(MutatorState::AtSafepoint),
                     std::memory_order_release);
+  std::unique_lock<std::mutex> Guard(Lock);
+  if (!StopFlag.load(std::memory_order_acquire)) {
+    // Raced with resume; never parked.
+    Self->State.store(static_cast<uint32_t>(MutatorState::Running),
+                      std::memory_order_release);
+    return;
+  }
   Self->SafepointsTaken.fetch_add(1, std::memory_order_relaxed);
   SafepointParks.fetch_add(1, std::memory_order_relaxed);
   MutatorParked.notify_all();
@@ -114,9 +147,12 @@ void ThreadRegistry::parkAtSafepoint(MutatorThread *Self) {
 
 void ThreadRegistry::beginBlocked(MutatorThread *Self) {
   publishScanState(Self);
-  std::lock_guard<std::mutex> Guard(Lock);
+  // As in parkAtSafepoint: enter the stopped state before taking the
+  // registry lock, so a suspend signal landing here finds a thread
+  // that only needs an ack, never one to park while holding the lock.
   Self->State.store(static_cast<uint32_t>(MutatorState::BlockedOnHeap),
                     std::memory_order_release);
+  std::lock_guard<std::mutex> Guard(Lock);
   MutatorParked.notify_all();
 }
 
@@ -143,19 +179,162 @@ ThreadRegistry::stopTheWorld(const MutatorThread *Self) {
     }
     return true;
   };
-  MutatorParked.wait(Guard, AllParked);
-  for (const std::unique_ptr<MutatorThread> &Thread : Threads)
-    if (Thread.get() != Self)
+  if (WatchdogDeadlineNanos == 0) {
+    // No watchdog: the pre-hardening unbounded cooperative wait,
+    // bit-identically.
+    MutatorParked.wait(Guard, AllParked);
+  } else {
+    const uint64_t WarnAt = Begin + WatchdogDeadlineNanos / 4;
+    const uint64_t SignalAt = Begin + WatchdogDeadlineNanos / 2;
+    const uint64_t FinalAt = Begin + WatchdogDeadlineNanos;
+    bool Warned = false;
+    // Poll interval once the signal rung is live; doubles up to 16 ms
+    // so re-sends against a blocked delivery back off.
+    uint64_t PollNanos = 1000 * 1000;
+    while (!AllParked()) {
+      uint64_t Now = nowNanos();
+      if (Now >= FinalAt)
+        break;
+      uint64_t WakeAt;
+      if (Now < WarnAt)
+        WakeAt = WarnAt;
+      else if (Now < SignalAt)
+        WakeAt = SignalAt;
+      else
+        WakeAt = std::min(FinalAt, Now + PollNanos);
+      // wait_for releases the registry lock, so cooperative threads
+      // keep parking (and handlers never need the lock at all).
+      MutatorParked.wait_for(Guard, std::chrono::nanoseconds(WakeAt - Now),
+                             AllParked);
+      if (AllParked())
+        break;
+      Now = nowNanos();
+      if (!Warned && Now >= WarnAt) {
+        Warned = true;
+        Result.Rung = std::max(Result.Rung, 1u);
+        WarnRungs.fetch_add(1, std::memory_order_relaxed);
+        if (StallWarn)
+          for (const std::unique_ptr<MutatorThread> &Thread : Threads)
+            if (Thread.get() != Self &&
+                Thread->state() == MutatorState::Running)
+              StallWarn(StallWarnCtx, Thread->Id,
+                        Thread->State.load(std::memory_order_acquire),
+                        Now - Begin);
+      }
+      if (Now >= SignalAt && WatchdogSignal >= 0) {
+        if (Result.Rung < 2) {
+          Result.Rung = 2;
+          SignalRungs.fetch_add(1, std::memory_order_relaxed);
+        }
+        // Consume handler acks (the semaphore side of the protocol);
+        // the states themselves are re-read below and by AllParked.
+        suspend::drainAcks();
+        for (const std::unique_ptr<MutatorThread> &Thread : Threads) {
+          if (Thread.get() == Self ||
+              Thread->state() != MutatorState::Running)
+            continue;
+          if (Thread->Suspend.Pending.load(std::memory_order_acquire)) {
+            // A previous send has not been answered: retry.
+            ++Result.SignalSendRetries;
+            SignalSendRetries.fetch_add(1, std::memory_order_relaxed);
+          }
+          suspend::sendSuspend(Thread->Suspend, WatchdogSignal);
+        }
+        if (PollNanos < 16u * 1000 * 1000)
+          PollNanos *= 2;
+      }
+    }
+    if (!AllParked()) {
+      Result.TimedOut = true;
+      Result.Rung = 3;
+      for (const std::unique_ptr<MutatorThread> &Thread : Threads) {
+        if (Thread.get() == Self)
+          continue;
+        GcHandshakeTraceEntry Entry;
+        Entry.ThreadId = Thread->Id;
+        Entry.State = Thread->State.load(std::memory_order_acquire);
+        Entry.SafepointsTaken =
+            Thread->SafepointsTaken.load(std::memory_order_relaxed);
+        Entry.SignalAttempts =
+            Thread->Suspend.SignalAttempts.load(std::memory_order_relaxed);
+        Entry.SignalSuspended =
+            Entry.State ==
+            static_cast<uint32_t>(MutatorState::SignalSuspended);
+        Result.Trace.push_back(Entry);
+      }
+    }
+  }
+  for (const std::unique_ptr<MutatorThread> &Thread : Threads) {
+    if (Thread.get() == Self)
+      continue;
+    const MutatorState State = Thread->state();
+    if (!Result.TimedOut || State != MutatorState::Running)
       ++Result.MutatorsStopped;
+    if (State == MutatorState::SignalSuspended)
+      ++Result.SignalSuspended;
+  }
   Result.Nanos = nowNanos() - Begin;
-  Handshakes.fetch_add(1, std::memory_order_relaxed);
+  if (Result.SignalSuspended != 0)
+    SignalSuspensions.fetch_add(Result.SignalSuspended,
+                                std::memory_order_relaxed);
+  if (Result.TimedOut) {
+    HandshakeTimeouts.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Handshakes counts completed rendezvous only, so "handshakes ==
+    // threaded collections" stays true for crash/report consumers.
+    Handshakes.fetch_add(1, std::memory_order_relaxed);
+    TotalStopNanos.fetch_add(Result.Nanos, std::memory_order_relaxed);
+    if (Result.Nanos > MaxStopNanos.load(std::memory_order_relaxed))
+      MaxStopNanos.store(Result.Nanos, std::memory_order_relaxed);
+  }
   return Result;
 }
 
 void ThreadRegistry::resumeTheWorld() {
   std::lock_guard<std::mutex> Guard(Lock);
   StopFlag.store(false, std::memory_order_release);
+  for (const std::unique_ptr<MutatorThread> &Thread : Threads) {
+    suspend::SuspendSlot &Slot = Thread->Suspend;
+    if (Thread->state() == MutatorState::SignalSuspended)
+      suspend::resumeThread(Slot);
+    else if (Slot.Pending.load(std::memory_order_acquire))
+      Slot.Pending.store(false, std::memory_order_release);
+    Slot.SignalAttempts.store(0, std::memory_order_relaxed);
+  }
+  suspend::drainAcks();
   WorldResumed.notify_all();
+}
+
+void ThreadRegistry::configureWatchdog(uint64_t DeadlineNanos,
+                                       int SuspendSignal, StallWarnFn Warn,
+                                       void *WarnCtx) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  WatchdogDeadlineNanos = DeadlineNanos;
+  WatchdogSignal = SuspendSignal;
+  StallWarn = Warn;
+  StallWarnCtx = WarnCtx;
+}
+
+void ThreadRegistry::rebuildAfterFork(
+    MutatorThread *Survivor,
+    const std::function<void(MutatorThread &)> &OnDrop) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  std::vector<std::unique_ptr<MutatorThread>> Kept;
+  for (std::unique_ptr<MutatorThread> &Thread : Threads) {
+    if (Thread.get() == Survivor) {
+      Thread->Suspend.Pending.store(false, std::memory_order_relaxed);
+      Thread->Suspend.SignalAttempts.store(0, std::memory_order_relaxed);
+      Thread->State.store(static_cast<uint32_t>(MutatorState::Running),
+                          std::memory_order_release);
+      Kept.push_back(std::move(Thread));
+    } else if (OnDrop) {
+      OnDrop(*Thread);
+    }
+  }
+  Threads = std::move(Kept);
+  Count.store(Threads.size(), std::memory_order_release);
+  StopFlag.store(false, std::memory_order_release);
+  suspend::reinitAfterFork();
 }
 
 } // namespace cgc

@@ -13,10 +13,9 @@
 /// base, a stack top and register snapshot published whenever the
 /// thread parks, and (optionally) a per-size-class allocation cache.
 ///
-/// The handshake is cooperative, not signal-based: the collector never
-/// suspends a thread from the outside.  Instead it raises StopRequested
-/// and waits for every registered thread to park itself in one of two
-/// stopped states:
+/// The handshake is cooperative first: the collector raises
+/// StopRequested and waits for every registered thread to park itself
+/// in one of two stopped states:
 ///
 ///   * AtSafepoint — the thread polled the flag (allocation slow path,
 ///     or an explicit cgc_safepoint() in a compute loop), published its
@@ -36,6 +35,28 @@
 /// blocked thread only wakes when the collector releases the heap lock
 /// after resuming the world.
 ///
+/// A mutator that never reaches a poll — spinning in compute code,
+/// wedged in a syscall without beginBlocked, or simply buggy — would
+/// stall that wait forever.  With GcConfig::HandshakeDeadlineMs set,
+/// stopTheWorld arms a monotonic-clock watchdog that climbs an
+/// escalation ladder instead:
+///
+///   1. at deadline/4, a rate-limited warning names each still-running
+///      thread and its state;
+///   2. at deadline/2, each still-running thread is suspended
+///      preemptively with the reserved real-time signal
+///      (support/SignalSuspend.h): the async-signal-safe handler
+///      publishes the thread's stack top + sigsetjmp register snapshot,
+///      acks on a semaphore, and parks in sigsuspend until resume.
+///      Sends are retried with backoff; a fourth stopped state,
+///      SignalSuspended, satisfies the same wait predicate;
+///   3. at the full deadline, the handshake reports TimedOut with a
+///      per-thread trace; the collector abandons the collection (or
+///      aborts under GcConfig::HandshakeFatal).
+///
+/// With a zero deadline (the default) the wait is unbounded and the
+/// protocol is exactly the pre-watchdog cooperative handshake.
+///
 /// With zero registered threads none of this machinery is reachable:
 /// the collector takes no lock, requests no stop, and reproduces the
 /// sequential paper collector bit-identically.
@@ -45,11 +66,14 @@
 #ifndef CGC_CORE_THREADREGISTRY_H
 #define CGC_CORE_THREADREGISTRY_H
 
+#include "core/GcIncident.h"
 #include "support/Assert.h"
+#include "support/SignalSuspend.h"
 #include <atomic>
 #include <condition_variable>
 #include <csetjmp>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -70,6 +94,10 @@ enum class MutatorState : uint32_t {
   /// the heap lock.  Counts as stopped: the collector owns that lock
   /// for the entire collection.
   BlockedOnHeap,
+  /// Suspended preemptively by the watchdog's reserved signal; the
+  /// handler published scan state and is parked in sigsuspend.  Counts
+  /// as stopped; only the resume signal releases it.
+  SignalSuspended,
 };
 
 /// Per-thread record.  Owned by the registry; the address is stable for
@@ -99,6 +127,12 @@ struct MutatorThread {
   std::atomic<uint64_t> CacheAllocBytes{0};
   /// Times this thread parked at a safepoint (lifetime).
   std::atomic<uint64_t> SafepointsTaken{0};
+  /// Preemptive-suspension slot for the watchdog's signal rung; its
+  /// State/StackTop pointers alias the fields above and the pthread
+  /// handle is captured at registration.  While Suspend.UseRegisters
+  /// is set, Suspend.Registers (the handler's sigsetjmp capture) is
+  /// the scannable register snapshot instead of Registers.
+  suspend::SuspendSlot Suspend;
 
   MutatorState state() const {
     return static_cast<MutatorState>(State.load(std::memory_order_acquire));
@@ -151,19 +185,48 @@ public:
   }
 
   /// Collector side: raises StopRequested and waits until every
-  /// registered thread other than \p Self has parked (AtSafepoint or
-  /// BlockedOnHeap).  Caller must hold the heap lock for the entire
-  /// stop..resume window.  \returns how many threads were waited into a
-  /// stopped state and how long the rendezvous took.
+  /// registered thread other than \p Self has stopped (AtSafepoint,
+  /// BlockedOnHeap, or SignalSuspended).  Caller must hold the heap
+  /// lock for the entire stop..resume window.  With a watchdog
+  /// configured the wait is bounded and the result records how far up
+  /// the escalation ladder the handshake climbed; TimedOut means some
+  /// thread could not be stopped and the collection must be abandoned
+  /// (StopRequested stays raised until resumeTheWorld).
   struct HandshakeResult {
     uint64_t MutatorsStopped = 0;
     uint64_t Nanos = 0;
+    /// Threads that ended the handshake preemptively suspended.
+    uint64_t SignalSuspended = 0;
+    /// Suspend-signal re-sends beyond each thread's first.
+    uint64_t SignalSendRetries = 0;
+    /// Highest ladder rung climbed: 0 cooperative, 1 warned,
+    /// 2 signaled, 3 timed out.
+    uint32_t Rung = 0;
+    bool TimedOut = false;
+    /// Per-thread state at the final-timeout rung (TimedOut only).
+    std::vector<GcHandshakeTraceEntry> Trace;
   };
   HandshakeResult stopTheWorld(const MutatorThread *Self);
 
-  /// Collector side: clears StopRequested and wakes every parked
+  /// Collector side: clears StopRequested, wakes every parked thread,
+  /// and releases (resume signal, retried) every signal-suspended
   /// thread.  Caller still holds the heap lock.
   void resumeTheWorld();
+
+  /// Rate-limited stall warning sink for the watchdog's first rung:
+  /// invoked, with the registry lock held, once per still-running
+  /// thread when the handshake crosses deadline/4.  Must not call back
+  /// into the registry.
+  using StallWarnFn = void (*)(void *Ctx, uint64_t ThreadId,
+                               uint32_t State, uint64_t StalledNanos);
+
+  /// Arms (or with \p DeadlineNanos == 0 disarms) the handshake
+  /// watchdog.  \p SuspendSignal is the resolved, installed suspend
+  /// signal, or -1 to skip the signal rung (the ladder then goes
+  /// warn → timeout).  Not thread-safe against in-flight handshakes;
+  /// the collector configures it at construction.
+  void configureWatchdog(uint64_t DeadlineNanos, int SuspendSignal,
+                         StallWarnFn Warn, void *WarnCtx);
 
   /// Mutator side: if a stop is requested, publish scan state and park
   /// until resumed.  Cheap when no stop is in flight (one acquire
@@ -201,6 +264,44 @@ public:
     return SafepointParks.load(std::memory_order_relaxed);
   }
 
+  /// Lifetime handshake-hardening counters (all relaxed atomics).
+  uint64_t maxStopNanos() const {
+    return MaxStopNanos.load(std::memory_order_relaxed);
+  }
+  uint64_t totalStopNanos() const {
+    return TotalStopNanos.load(std::memory_order_relaxed);
+  }
+  uint64_t signalSuspensions() const {
+    return SignalSuspensions.load(std::memory_order_relaxed);
+  }
+  uint64_t signalSendRetries() const {
+    return SignalSendRetries.load(std::memory_order_relaxed);
+  }
+  uint64_t warnRungs() const {
+    return WarnRungs.load(std::memory_order_relaxed);
+  }
+  uint64_t signalRungs() const {
+    return SignalRungs.load(std::memory_order_relaxed);
+  }
+  uint64_t handshakeTimeouts() const {
+    return HandshakeTimeouts.load(std::memory_order_relaxed);
+  }
+
+  /// Child-side fork cleanup: drops every record except \p Survivor
+  /// (the forking thread's record; null when the forking thread was
+  /// unregistered), invoking \p OnDrop on each dropped record first so
+  /// the collector can reverse its cache reservations against the debt
+  /// ledger.  Also clears any in-flight stop and stale suspension
+  /// state.  Call only from a freshly forked child, before it mutates.
+  void rebuildAfterFork(MutatorThread *Survivor,
+                        const std::function<void(MutatorThread &)> &OnDrop);
+
+  /// Fork safety: prepare acquires the registry lock so the fork
+  /// snapshot never copies it mid-transition; parent and child release
+  /// it (the child before rebuildAfterFork).
+  void lockForFork() { Lock.lock(); }
+  void unlockForFork() { Lock.unlock(); }
+
 private:
   void parkAtSafepoint(MutatorThread *Self);
   /// Publishes \p Self's stack top and register snapshot.  Must not be
@@ -220,6 +321,21 @@ private:
   std::atomic<uint64_t> LifetimeRegistrations{0};
   std::atomic<uint64_t> Handshakes{0};
   std::atomic<uint64_t> SafepointParks{0};
+
+  /// Watchdog configuration (written once at collector construction).
+  uint64_t WatchdogDeadlineNanos = 0;
+  int WatchdogSignal = -1;
+  StallWarnFn StallWarn = nullptr;
+  void *StallWarnCtx = nullptr;
+
+  /// Lifetime handshake-hardening counters.
+  std::atomic<uint64_t> MaxStopNanos{0};
+  std::atomic<uint64_t> TotalStopNanos{0};
+  std::atomic<uint64_t> SignalSuspensions{0};
+  std::atomic<uint64_t> SignalSendRetries{0};
+  std::atomic<uint64_t> WarnRungs{0};
+  std::atomic<uint64_t> SignalRungs{0};
+  std::atomic<uint64_t> HandshakeTimeouts{0};
 };
 
 } // namespace cgc

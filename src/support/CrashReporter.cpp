@@ -74,6 +74,10 @@ std::atomic<GcCrashState *> Registry[crash::MaxTrackedCollectors];
 std::atomic<bool> Installed{false};
 /// Re-entry gate: a fault inside the dump must not recurse.
 std::atomic<bool> Dumping{false};
+/// The collector's reserved suspend signal (and its resume companion,
+/// Sig + 1), kept blocked while a crash handler dumps so a concurrent
+/// stop-the-world cannot interleave with the report.  -1 when none.
+std::atomic<int> ReservedSignal{-1};
 struct sigaction PreviousSegv;
 struct sigaction PreviousAbrt;
 
@@ -88,6 +92,28 @@ void handleFatalSignal(int Signal) {
   if (!Dumping.exchange(true, std::memory_order_relaxed))
     crash::dump(STDERR_FILENO, Signal);
   restoreAndReraise(Signal);
+}
+
+/// (Re-)applies the SIGSEGV/SIGABRT registrations with the current
+/// reserved-signal mask.  SavePrevious only on the very first install:
+/// later re-applies (reserved-signal updates, fork children) must not
+/// clobber the saved chain with our own handler.
+void applyHandlers(bool SavePrevious) {
+  struct sigaction Action;
+  std::memset(&Action, 0, sizeof(Action));
+  Action.sa_handler = handleFatalSignal;
+  ::sigemptyset(&Action.sa_mask);
+  int Reserved = ReservedSignal.load(std::memory_order_relaxed);
+  if (Reserved > 0) {
+    ::sigaddset(&Action.sa_mask, Reserved);
+    ::sigaddset(&Action.sa_mask, Reserved + 1);
+  }
+  // No SA_RESETHAND: the handler restores the previous disposition
+  // itself so chained handlers (gtest death tests, sanitizers) still
+  // run after the report.  A crash landing inside the suspend handler
+  // follows the same chain: dump, restore, re-raise.
+  ::sigaction(SIGSEGV, &Action, SavePrevious ? &PreviousSegv : nullptr);
+  ::sigaction(SIGABRT, &Action, SavePrevious ? &PreviousAbrt : nullptr);
 }
 
 } // namespace
@@ -116,15 +142,21 @@ void unregisterState(GcCrashState *State) {
 void install() {
   if (Installed.exchange(true, std::memory_order_acq_rel))
     return;
-  struct sigaction Action;
-  std::memset(&Action, 0, sizeof(Action));
-  Action.sa_handler = handleFatalSignal;
-  ::sigemptyset(&Action.sa_mask);
-  // No SA_RESETHAND: the handler restores the previous disposition
-  // itself so chained handlers (gtest death tests, sanitizers) still
-  // run after the report.
-  ::sigaction(SIGSEGV, &Action, &PreviousSegv);
-  ::sigaction(SIGABRT, &Action, &PreviousAbrt);
+  applyHandlers(/*SavePrevious=*/true);
+}
+
+void setReservedSignal(int Sig) {
+  ReservedSignal.store(Sig, std::memory_order_relaxed);
+  if (Installed.load(std::memory_order_acquire))
+    applyHandlers(/*SavePrevious=*/false);
+}
+
+void reinstallAfterFork() {
+  // A fork during a dump leaves the latch set in the child; clear it so
+  // the child's first crash still reports.
+  Dumping.store(false, std::memory_order_relaxed);
+  if (Installed.load(std::memory_order_acquire))
+    applyHandlers(/*SavePrevious=*/false);
 }
 
 void dump(int Fd, int Signal) {
@@ -232,6 +264,15 @@ void dump(int Fd, int Signal) {
       Line.appendU64(Handshakes);
       Line.append(" cache-slot-debt=");
       Line.appendU64(CacheDebt);
+      Line.append(" signal-suspends=");
+      Line.appendU64(
+          State->SignalSuspensions.load(std::memory_order_relaxed));
+      Line.append(" stalls=");
+      Line.appendU64(
+          State->HandshakeTimeouts.load(std::memory_order_relaxed));
+      Line.append(" max-stop-us=");
+      Line.appendU64(State->MaxStopNanos.load(std::memory_order_relaxed) /
+                     1000);
       Line.append("\n");
       Line.flush(Fd);
     }

@@ -75,6 +75,12 @@ struct GcCrashState {
   std::atomic<uint64_t> RegisteredThreads{0};
   std::atomic<uint64_t> Handshakes{0};
   std::atomic<uint64_t> CacheSlotDebt{0};
+  /// Stop-the-world hardening: threads preemptively suspended by the
+  /// watchdog's reserved signal, handshakes that hit the final timeout
+  /// (abandoned collections), and the slowest completed time-to-stop.
+  std::atomic<uint64_t> SignalSuspensions{0};
+  std::atomic<uint64_t> HandshakeTimeouts{0};
+  std::atomic<uint64_t> MaxStopNanos{0};
   std::atomic<uint64_t> QuarantineDepth{0};
   std::atomic<uint64_t> LastGuardSeqno{0};
   std::atomic<const char *> LastGuardKind{nullptr};
@@ -106,6 +112,18 @@ void install();
 /// at any time, not just from handlers.  \p Signal is included in the
 /// header when >= 0.
 void dump(int Fd, int Signal = -1);
+
+/// Declares \p Sig (the collector's reserved suspend signal) as one the
+/// crash handlers must keep blocked while dumping, so a suspend request
+/// landing mid-dump cannot interleave with the report or deadlock on
+/// the dump's write loop.  Re-applies the handler registration when
+/// install() already ran, preserving the saved previous dispositions.
+void setReservedSignal(int Sig);
+
+/// Child-side fork cleanup: clears the in-progress dump latch and
+/// re-applies the handler registration (no-op when install() never
+/// ran), so a crash in the child still produces a report.
+void reinstallAfterFork();
 
 } // namespace crash
 

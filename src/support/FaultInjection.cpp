@@ -20,6 +20,8 @@ const char *faultSiteName(FaultSite Site) {
     return "worker-spawn";
   case FaultSite::MarkStackOverflow:
     return "mark-stack-overflow";
+  case FaultSite::WedgedMutator:
+    return "wedged-mutator";
   }
   CGC_UNREACHABLE("unknown fault site");
 }

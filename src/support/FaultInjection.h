@@ -53,9 +53,13 @@ enum class FaultSite : unsigned {
   /// MarkWorker::push — the mark stack "overflows" and drops the item;
   /// marking must recover by rescanning marked objects to a fixpoint.
   MarkStackOverflow = 3,
+  /// ThreadRegistry::parkAtSafepoint — the mutator ignores the
+  /// safepoint poll and keeps running, as if wedged in a compute loop;
+  /// the handshake watchdog must stop it preemptively.
+  WedgedMutator = 4,
 };
 
-inline constexpr unsigned NumFaultSites = 4;
+inline constexpr unsigned NumFaultSites = 5;
 
 /// \returns a stable human-readable name for \p Site.
 const char *faultSiteName(FaultSite Site);

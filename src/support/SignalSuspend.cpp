@@ -1,0 +1,197 @@
+//===- support/SignalSuspend.cpp - Preemptive mutator suspension ----------===//
+
+#include "support/SignalSuspend.h"
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <mutex>
+#include <semaphore.h>
+
+using namespace cgc;
+using namespace cgc::suspend;
+
+namespace {
+
+/// The calling thread's suspension slot; deliveries before
+/// setCurrentSlot (or after clearing it) are stale and ignored.
+thread_local SuspendSlot *CurrentSlot = nullptr;
+
+/// Published suspend signal; -1 until ensureInstalled succeeds.
+/// Relaxed-readable from signal context (installedSignal).
+std::atomic<int> InstalledSig{-1};
+
+/// Serializes (re)installation; the handler never takes it.
+std::mutex InstallLock;
+
+/// Mask a suspended thread parks on: everything blocked except the
+/// resume signal and the fatal signals the crash reporter owns, so a
+/// crash inside the park is still reportable.  Rebuilt only under
+/// InstallLock, before InstalledSig publishes the new number.
+sigset_t ParkMask;
+
+/// Handler→watchdog ack channel (sem_post is async-signal-safe).
+sem_t AckSem;
+bool AckSemReady = false;
+
+void keepFatalSignalsDeliverable(sigset_t *Set) {
+  sigdelset(Set, SIGSEGV);
+  sigdelset(Set, SIGBUS);
+  sigdelset(Set, SIGILL);
+  sigdelset(Set, SIGFPE);
+  sigdelset(Set, SIGABRT);
+}
+
+/// Async-signal-safe suspend handler.  Touches only atomics, the
+/// thread-local slot pointer, sigsetjmp, sem_post, and sigsuspend;
+/// saves and restores errno around everything.
+void suspendHandler(int) {
+  const int SavedErrno = errno;
+  SuspendSlot *Slot = CurrentSlot;
+  if (Slot != nullptr && Slot->Pending.load(std::memory_order_acquire)) {
+    if (Slot->State->load(std::memory_order_acquire) == RunningState) {
+      // Capture the interrupted register file, then publish a probe
+      // from this (deeper) frame as the stack top: the scan range
+      // grows toward the interrupted frames, and a conservative
+      // superset is always safe.
+      (void)sigsetjmp(Slot->Registers, 0);
+      volatile char Probe = 0;
+      Slot->StackTop->store(const_cast<const char *>(&Probe),
+                            std::memory_order_release);
+      Slot->UseRegisters.store(true, std::memory_order_release);
+      Slot->State->store(SignalSuspendedState, std::memory_order_release);
+      sem_post(&AckSem);
+      while (Slot->Pending.load(std::memory_order_acquire))
+        sigsuspend(&ParkMask);
+      Slot->UseRegisters.store(false, std::memory_order_release);
+      Slot->State->store(RunningState, std::memory_order_release);
+    } else {
+      // Already stopped cooperatively (parked, or frozen behind the
+      // heap lock); ack so the watchdog stops retrying this thread.
+      sem_post(&AckSem);
+    }
+  }
+  errno = SavedErrno;
+}
+
+/// The resume signal needs a disposition (the RT default would kill
+/// the process); its only job is to interrupt sigsuspend.
+void resumeHandler(int) {}
+
+} // namespace
+
+namespace cgc {
+namespace suspend {
+
+int resolveSuspendSignal(int Configured) {
+  int Sig = Configured > 0 ? Configured : 0;
+  if (Sig == 0) {
+    if (const char *Env = std::getenv("CGC_SUSPEND_SIGNAL"))
+      Sig = std::atoi(Env);
+  }
+  if (Sig == 0)
+    Sig = SIGRTMIN + 6;
+  if (Sig < 1 || Sig + 1 > SIGRTMAX)
+    return -1;
+  return Sig;
+}
+
+int ensureInstalled(int SuspendSig) {
+  if (SuspendSig < 1 || SuspendSig + 1 > SIGRTMAX)
+    return -1;
+  std::lock_guard<std::mutex> Guard(InstallLock);
+  if (InstalledSig.load(std::memory_order_relaxed) == SuspendSig)
+    return SuspendSig;
+  struct sigaction SuspendAction;
+  std::memset(&SuspendAction, 0, sizeof(SuspendAction));
+  SuspendAction.sa_handler = suspendHandler;
+  // Block everything while the handler runs except the signals whose
+  // delivery must never wait (crash reporting); the park itself uses
+  // ParkMask, which additionally admits the resume signal.
+  sigfillset(&SuspendAction.sa_mask);
+  keepFatalSignalsDeliverable(&SuspendAction.sa_mask);
+  SuspendAction.sa_flags = SA_RESTART;
+  if (::sigaction(SuspendSig, &SuspendAction, nullptr) != 0)
+    return -1;
+  struct sigaction ResumeAction;
+  std::memset(&ResumeAction, 0, sizeof(ResumeAction));
+  ResumeAction.sa_handler = resumeHandler;
+  ::sigemptyset(&ResumeAction.sa_mask);
+  ResumeAction.sa_flags = SA_RESTART;
+  if (::sigaction(SuspendSig + 1, &ResumeAction, nullptr) != 0)
+    return -1;
+  sigfillset(&ParkMask);
+  sigdelset(&ParkMask, SuspendSig + 1);
+  keepFatalSignalsDeliverable(&ParkMask);
+  if (!AckSemReady) {
+    sem_init(&AckSem, 0, 0);
+    AckSemReady = true;
+  }
+  InstalledSig.store(SuspendSig, std::memory_order_release);
+  return SuspendSig;
+}
+
+int installedSignal() {
+  return InstalledSig.load(std::memory_order_relaxed);
+}
+
+void setCurrentSlot(SuspendSlot *Slot) { CurrentSlot = Slot; }
+
+void unblockInCurrentThread(int SuspendSig) {
+  if (SuspendSig < 1)
+    return;
+  sigset_t Set;
+  sigemptyset(&Set);
+  sigaddset(&Set, SuspendSig);
+  sigaddset(&Set, SuspendSig + 1);
+  pthread_sigmask(SIG_UNBLOCK, &Set, nullptr);
+}
+
+bool sendSuspend(SuspendSlot &Slot, int SuspendSig) {
+  Slot.Pending.store(true, std::memory_order_release);
+  Slot.SignalAttempts.fetch_add(1, std::memory_order_relaxed);
+  return pthread_kill(Slot.Handle, SuspendSig) == 0;
+}
+
+unsigned drainAcks() {
+  if (!AckSemReady)
+    return 0;
+  unsigned Drained = 0;
+  while (sem_trywait(&AckSem) == 0)
+    ++Drained;
+  return Drained;
+}
+
+void resumeThread(SuspendSlot &Slot) {
+  Slot.Pending.store(false, std::memory_order_release);
+  const int Suspend = InstalledSig.load(std::memory_order_acquire);
+  if (Suspend < 0 || Slot.State == nullptr)
+    return;
+  // Real-time signals queue, so the first resume normally lands; the
+  // bounded backoff loop covers a thread the scheduler is slow to run
+  // (and gives up rather than hanging resumeTheWorld on a thread the
+  // OS will not deliver to).
+  uint64_t SleepNanos = 1000;
+  for (int Attempt = 0; Attempt != 64; ++Attempt) {
+    if (Slot.State->load(std::memory_order_acquire) != SignalSuspendedState)
+      return;
+    pthread_kill(Slot.Handle, Suspend + 1);
+    struct timespec Ts = {0, static_cast<long>(SleepNanos)};
+    nanosleep(&Ts, nullptr);
+    if (SleepNanos < 1000000)
+      SleepNanos *= 2;
+  }
+}
+
+void reinitAfterFork() {
+  std::lock_guard<std::mutex> Guard(InstallLock);
+  if (!AckSemReady)
+    return;
+  // The child inherits the semaphore memory, possibly with acks from
+  // threads that no longer exist; reset it to a clean zero.
+  while (sem_trywait(&AckSem) == 0) {
+  }
+}
+
+} // namespace suspend
+} // namespace cgc

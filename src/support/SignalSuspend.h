@@ -1,0 +1,125 @@
+//===- support/SignalSuspend.h - Preemptive mutator suspension -*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The signal-based fallback rung of the stop-the-world watchdog
+/// ladder (core/ThreadRegistry.h): when a registered mutator fails to
+/// park cooperatively before GcConfig::HandshakeDeadlineMs, the
+/// collector suspends it preemptively with a dedicated real-time
+/// signal, bdwgc-style (pthread_stop_world.c's SIG_SUSPEND protocol).
+///
+/// The handler is strictly async-signal-safe: it reads atomics the
+/// watchdog published, captures the interrupted register file with
+/// sigsetjmp, publishes a frame-local probe as the conservative stack
+/// top, acks on a semaphore, and parks in sigsuspend until the resume
+/// signal (suspend+1) arrives.  Real-time signals queue reliably, but
+/// the watchdog still retries sends with backoff against blocked or
+/// slow deliveries, and the resume path retries until the thread is
+/// observed running again.
+///
+/// Two consecutive signal numbers are reserved process-wide while any
+/// collector arms a watchdog: SIGRTMIN+6 and SIGRTMIN+7 by default,
+/// overridable with GcConfig::SuspendSignal or the CGC_SUSPEND_SIGNAL
+/// environment variable.  The crash reporter masks the suspend signal
+/// while dumping (crash::setReservedSignal) so a dump is never parked
+/// mid-write(2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_SUPPORT_SIGNALSUSPEND_H
+#define CGC_SUPPORT_SIGNALSUSPEND_H
+
+#include <atomic>
+#include <csetjmp>
+#include <csignal>
+#include <cstdint>
+#include <pthread.h>
+
+namespace cgc {
+namespace suspend {
+
+/// Raw MutatorState values the handler publishes.  ThreadRegistry.cpp
+/// static_asserts these against core/ThreadRegistry.h's enum — the
+/// handler cannot include the registry header without a support→core
+/// cycle.
+inline constexpr uint32_t RunningState = 0;
+inline constexpr uint32_t SignalSuspendedState = 3;
+
+/// Per-thread suspension slot, embedded in each MutatorThread record.
+/// The pointer fields alias the owning record's atomics and are set
+/// once at registration, before the slot is ever signaled.
+struct SuspendSlot {
+  /// Watchdog→handler: a suspension is requested.  The handler parks
+  /// while this holds; stale or duplicate deliveries with it clear
+  /// are ignored.
+  std::atomic<bool> Pending{false};
+  /// The owning thread's MutatorState word (MutatorThread::State).
+  std::atomic<uint32_t> *State = nullptr;
+  /// The owning thread's published stack top (MutatorThread::StackTop).
+  std::atomic<const void *> *StackTop = nullptr;
+  /// Registers captures the interrupted context; valid (and scanned
+  /// instead of the cooperative jmp_buf) while UseRegisters is set.
+  std::atomic<bool> UseRegisters{false};
+  sigjmp_buf Registers;
+  /// pthread handle for pthread_kill, captured at registration.
+  pthread_t Handle{};
+  /// Suspend-signal deliveries attempted against this thread over the
+  /// current handshake (reset when the world resumes).
+  std::atomic<uint64_t> SignalAttempts{0};
+};
+
+/// Resolves the suspend signal number: \p Configured > 0 wins, else
+/// the CGC_SUSPEND_SIGNAL environment variable, else SIGRTMIN+6.
+/// \returns -1 for out-of-range results (the resume signal is always
+/// suspend+1 and must also fit below SIGRTMAX).
+int resolveSuspendSignal(int Configured);
+
+/// Installs (or re-installs, for a different number) the process-wide
+/// suspend/resume handlers and the park mask.  Thread-safe and
+/// idempotent per signal.  \returns the installed suspend signal, or
+/// -1 if sigaction refused it.
+int ensureInstalled(int SuspendSig);
+
+/// The currently installed suspend signal, or -1.  Async-signal-safe
+/// (a relaxed atomic load); the crash reporter reads it while dumping.
+int installedSignal();
+
+/// Registers \p Slot as the calling thread's suspension target (null
+/// to clear, before unregistering).  Until a thread calls this the
+/// handler treats its deliveries as stale and ignores them.
+void setCurrentSlot(SuspendSlot *Slot);
+
+/// Unblocks the suspend and resume signals in the calling thread so
+/// deliveries cannot sit masked forever (registered threads may
+/// inherit restrictive masks).
+void unblockInCurrentThread(int SuspendSig);
+
+/// Sends one suspend signal to the thread behind \p Slot (setting
+/// Pending first) and bumps its attempt counter.  \returns false if
+/// pthread_kill failed outright (thread gone).
+bool sendSuspend(SuspendSlot &Slot, int SuspendSig);
+
+/// Drains and \returns the number of handler acks posted since the
+/// last drain.  The watchdog uses a positive count as a prompt to
+/// re-check thread states instead of sleeping out its poll interval.
+unsigned drainAcks();
+
+/// Resumes a signal-suspended thread: clears Pending, then sends the
+/// resume signal with bounded retries until the thread leaves
+/// SignalSuspendedState.  Safe to call for threads that were never
+/// suspended (clears a stale Pending and returns).
+void resumeThread(SuspendSlot &Slot);
+
+/// Child-side fork cleanup: drains stale semaphore acks and clears
+/// the calling thread's notion of any in-flight suspension.  Signal
+/// dispositions themselves survive fork and need no reinstall.
+void reinitAfterFork();
+
+} // namespace suspend
+} // namespace cgc
+
+#endif // CGC_SUPPORT_SIGNALSUSPEND_H

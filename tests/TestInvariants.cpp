@@ -8,6 +8,7 @@
 
 #include "core/Collector.h"
 #include "structures/FalseRef.h"
+#include "support/FaultInjection.h"
 #include "support/Random.h"
 #include <gtest/gtest.h>
 #include <thread>
@@ -286,8 +287,10 @@ void mutatorChurn(Collector &GC, uint64_t Seed,
 // on the same unthreaded collector, and returns the lifetime allocation
 // count after draining.  The streams are interleaving-independent, so
 // the totals must agree exactly — and both heaps must empty.
-uint64_t runMutatorStreams(bool Threaded) {
-  Collector GC(fuzzConfig(false, true));
+uint64_t runMutatorStreams(bool Threaded, uint64_t HandshakeDeadlineMs = 0) {
+  GcConfig Config = fuzzConfig(false, true);
+  Config.HandshakeDeadlineMs = HandshakeDeadlineMs;
+  Collector GC(Config);
   constexpr int NumMutators = 3;
   std::vector<std::vector<uint64_t>> Windows(
       NumMutators, std::vector<uint64_t>(128, 0));
@@ -331,6 +334,22 @@ uint64_t runMutatorStreams(bool Threaded) {
 // single-threaded replay of the same streams.
 TEST(HeapInvariants, FuzzMultiMutatorMatchesSequential) {
   uint64_t Threaded = runMutatorStreams(true);
+  uint64_t Sequential = runMutatorStreams(false);
+  EXPECT_EQ(Threaded, Sequential);
+}
+
+// The skipped-polls fuzz lane: the WedgedMutator fault randomly turns
+// safepoint polls into no-ops (a seeded stream, so runs replay), and
+// the armed watchdog's signal rung rescues any handshake that stalls
+// on a thread mid-skip.  How a thread got stopped never changes what
+// it allocated, so the lifetime totals still match the sequential
+// replay of the same streams.
+TEST(HeapInvariants, FuzzMultiMutatorRandomSkippedPolls) {
+  if (!FaultInjectionCompiled)
+    GTEST_SKIP() << "fault hooks compiled out";
+  FaultInjector::instance().armRandom(FaultSite::WedgedMutator, 0.7, 77);
+  uint64_t Threaded = runMutatorStreams(true, /*HandshakeDeadlineMs=*/500);
+  FaultInjector::instance().disarmAll();
   uint64_t Sequential = runMutatorStreams(false);
   EXPECT_EQ(Threaded, Sequential);
 }
