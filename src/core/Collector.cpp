@@ -460,20 +460,55 @@ void *Collector::refillAndAllocate(MutatorThread *Self, size_t Bytes,
   return Result;
 }
 
-uint64_t Collector::flushThreadCaches() {
-  uint64_t Flushed = 0;
+Collector::CacheFlushOutcome Collector::flushThreadCaches() {
+  CacheFlushOutcome Outcome;
   uint64_t HandedOut = CacheAllocsRetired;
   Registry.forEachThread([&](MutatorThread &Thread) {
+    // A thread the watchdog suspended preemptively can be frozen at
+    // any instruction of the lock-free take() fast path — between
+    // Stub.back() and pop_back(), or holding a popped slot it has not
+    // yet counted in CacheAllocs.  Draining its stubs here would
+    // mutate owner-thread-only state it resumes into (releasing a
+    // slot it is about to hand out double-allocates it), so leave the
+    // cache untouched; pinSuspendedThreadCaches keeps the slots alive
+    // through the sweep instead.
+    if (Thread.state() == MutatorState::SignalSuspended && Thread.Cache) {
+      ++Outcome.CachesSkipped;
+      return;
+    }
     if (Thread.Cache)
-      Flushed += Thread.Cache->flush(*Heap);
+      Outcome.SlotsFlushed += Thread.Cache->flush(*Heap);
     HandedOut += Thread.CacheAllocs.load(std::memory_order_relaxed);
   });
   // With every cache empty the heap's outstanding reservation debt is
   // exactly the slots the fast paths handed to clients; anything else
-  // means a reservation leaked or double-released.
-  CGC_CHECK(Heap->cacheSlotDebt() == HandedOut,
-            "thread-cache reservation debt does not reconcile");
-  return Flushed;
+  // means a reservation leaked or double-released.  With a cache left
+  // populated the identity cannot hold — and a suspended owner may
+  // sit between popping a slot and counting it, so even adding the
+  // skipped caches' contents back would be off by one.  The check
+  // resumes at the next fully drained handshake.
+  if (Outcome.CachesSkipped == 0)
+    CGC_CHECK(Heap->cacheSlotDebt() == HandedOut,
+              "thread-cache reservation debt does not reconcile");
+  return Outcome;
+}
+
+uint64_t Collector::pinSuspendedThreadCaches() {
+  uint64_t Pinned = 0;
+  Registry.forEachThread([&](MutatorThread &Thread) {
+    if (Thread.state() != MutatorState::SignalSuspended || !Thread.Cache)
+      return;
+    // Reading the frozen owner's stub vectors is safe — the thread is
+    // parked in the suspend handler, and each fast-path mutation
+    // leaves the vector consistent at every instruction boundary.  A
+    // slot it popped but still holds in a register is covered by its
+    // signal-time stack/register root ranges instead.
+    Thread.Cache->forEachCachedSlot([&](void *Slot) {
+      Heap->markCachedSlotLive(Slot);
+      ++Pinned;
+    });
+  });
+  return Pinned;
 }
 
 void Collector::addMutatorRootRanges(const MutatorThread *SelfThread,
@@ -518,9 +553,12 @@ void Collector::addMutatorRootRanges(const MutatorThread *SelfThread,
       Ids.push_back(Roots.addRange(Top, Thread.StackBase,
                                    RootEncoding::Native64, RootSource::Stack,
                                    "mutator-stack"));
+    // Labels here must fit the small-string buffer: these ranges are
+    // registered while the world is stopped, when a heap-allocating
+    // std::string could deadlock against a signal-suspended thread's
+    // malloc arena lock.
     Ids.push_back(Roots.addRange(RegsBegin, RegsEnd, RootEncoding::Native64,
-                                 RootSource::Registers,
-                                 "mutator-registers"));
+                                 RootSource::Registers, "mutator-regs"));
   });
 }
 
@@ -1153,10 +1191,21 @@ CollectionStats Collector::collect(const char *Reason) {
   MutatorThread *SelfThread = nullptr;
   bool WorldStopped = false;
   ThreadRegistry::HandshakeResult Handshake;
-  uint64_t CacheFlushed = 0;
+  CacheFlushOutcome CacheFlush;
+  std::vector<RootId> ThreadRootIds;
   if (ThreadedMode.load(std::memory_order_relaxed) &&
       Registry.registeredCount() != 0) {
     SelfThread = ThreadRegistry::current();
+    // Reserve every vector the stopped-world window appends to before
+    // any mutator can be frozen: the watchdog's signal rung may park a
+    // thread inside libc malloc with an arena lock held, after which a
+    // collector-side system allocation can deadlock (the bdwgc
+    // no-malloc-between-suspend-and-resume rule).  Two ranges per
+    // thread (stack + registers), plus two for the machine-stack pair
+    // an unregistered collecting thread adds.
+    const size_t RangeBudget = 2 * Registry.registeredCount() + 2;
+    ThreadRootIds.reserve(RangeBudget);
+    Roots.reserveAdditional(RangeBudget);
     Handshake = Registry.stopTheWorld(SelfThread);
     WorldStopped = true;
     // Watchdog final rung: some mutator could not be stopped.  Raise
@@ -1168,7 +1217,7 @@ CollectionStats Collector::collect(const char *Reason) {
       abandonStoppedWorld(Handshake, Reason);
       return CollectionStats();
     }
-    CacheFlushed = flushThreadCaches();
+    CacheFlush = flushThreadCaches();
     publishHandshakeCrashState();
     CrashInfo.CacheSlotDebt.store(Heap->cacheSlotDebt(),
                                   std::memory_order_relaxed);
@@ -1189,7 +1238,7 @@ CollectionStats Collector::collect(const char *Reason) {
   CollectionStats Cycle;
   Cycle.MutatorsStopped = Handshake.MutatorsStopped;
   Cycle.HandshakeNanos = Handshake.Nanos;
-  Cycle.CacheSlotsFlushed = CacheFlushed;
+  Cycle.CacheSlotsFlushed = CacheFlush.SlotsFlushed;
   TimingSink.attach(&Cycle);
   uint64_t CollectionIndex = Lifetime.Collections;
   CrashInfo.CollectionIndex.store(CollectionIndex,
@@ -1214,7 +1263,7 @@ CollectionStats Collector::collect(const char *Reason) {
     RegisterRoot = Roots.addRange(Snap.RegistersBegin, Snap.RegistersEnd,
                                   RootEncoding::Native64,
                                   RootSource::Registers,
-                                  "machine-registers");
+                                  "machine-regs");
   }
 
   // Stopped mutators published their stack top and registers at the
@@ -1223,7 +1272,6 @@ CollectionStats Collector::collect(const char *Reason) {
   // phase; deeper collector frames sit below the probe and are
   // (correctly) excluded.
   std::jmp_buf SelfRegisters;
-  std::vector<RootId> ThreadRootIds;
   volatile char SelfProbe = 0;
   if (WorldStopped) {
     if (SelfThread)
@@ -1246,6 +1294,13 @@ CollectionStats Collector::collect(const char *Reason) {
     // work), staging them for the Finalize phase.
     Finalizers.processUnreachable(*MarkerImpl, *Heap, *Blocks, Cycle);
   });
+
+  // Caches that could not be drained (owner frozen by the suspend
+  // signal, possibly mid-fast-path) still hold reserved slots with
+  // AllocBits set but no marks; pin them before leak reporting and the
+  // sweep so neither treats them as garbage.
+  if (CacheFlush.CachesSkipped != 0)
+    Cycle.CacheSlotsPinned = pinSuspendedThreadCaches();
 
   runPhase(GcPhase::BlacklistPromote, Cycle,
            [&] { BlacklistImpl->endCycle(); });
@@ -1345,9 +1400,15 @@ CollectionStats Collector::measureLiveness() {
   // census never reaches).
   MutatorThread *SelfThread = nullptr;
   bool WorldStopped = false;
+  std::vector<RootId> ThreadRootIds;
   if (ThreadedMode.load(std::memory_order_relaxed) &&
       Registry.registeredCount() != 0) {
     SelfThread = ThreadRegistry::current();
+    // As in collect(): reserve root-range storage before any mutator
+    // can be frozen inside libc malloc by the watchdog's signal rung.
+    const size_t RangeBudget = 2 * Registry.registeredCount() + 2;
+    ThreadRootIds.reserve(RangeBudget);
+    Roots.reserveAdditional(RangeBudget);
     ThreadRegistry::HandshakeResult Handshake =
         Registry.stopTheWorld(SelfThread);
     WorldStopped = true;
@@ -1375,10 +1436,9 @@ CollectionStats Collector::measureLiveness() {
     RegisterRoot = Roots.addRange(Snap.RegistersBegin, Snap.RegistersEnd,
                                   RootEncoding::Native64,
                                   RootSource::Registers,
-                                  "machine-registers");
+                                  "machine-regs");
   }
   std::jmp_buf SelfRegisters;
-  std::vector<RootId> ThreadRootIds;
   volatile char SelfProbe = 0;
   if (WorldStopped) {
     if (SelfThread)

@@ -551,10 +551,29 @@ private:
                          size_t SlotBytes);
   /// Accounting + observer event for a completed cache refill.
   void noteCacheRefill(unsigned Class, unsigned Slots);
+  /// What flushThreadCaches did: slots returned to the heap, and
+  /// caches it had to leave populated because their owner is frozen by
+  /// the watchdog's suspend signal.
+  struct CacheFlushOutcome {
+    uint64_t SlotsFlushed = 0;
+    uint64_t CachesSkipped = 0;
+  };
   /// Flushes every registered thread's cache (world stopped or
-  /// quiesced) and cross-checks the reservation debt.  \returns slots
-  /// released.
-  uint64_t flushThreadCaches();
+  /// quiesced) and cross-checks the reservation debt.  Caches owned by
+  /// signal-suspended threads are skipped untouched: the owner may be
+  /// frozen mid-take() inside the lock-free fast path, so mutating its
+  /// stub vectors (or trusting its CacheAllocs counter) from here
+  /// would race the instruction it resumes on — their slots are
+  /// instead pinned live for the cycle (pinSuspendedThreadCaches), and
+  /// the exact debt cross-check stands down until a handshake where
+  /// every cache could be drained.
+  CacheFlushOutcome flushThreadCaches();
+  /// Sets the mark bit on every slot still cached by a signal-
+  /// suspended thread, after the Mark phase and before the sweep, so
+  /// the sweep keeps them (bdwgc's mark-the-free-lists treatment of
+  /// thread-local caches).  Allocation-free: the world may hold a
+  /// thread suspended inside libc malloc.  \returns slots pinned.
+  uint64_t pinSuspendedThreadCaches();
   /// Adds [StackTop, StackBase) + register-snapshot root ranges for
   /// every registered thread, in registration order; the collecting
   /// thread's bounds are the caller's (fresh) probe and jmp_buf.

@@ -95,6 +95,11 @@ struct CollectionStats {
   /// Thread-cache slots flushed back to the heap at this cycle's
   /// handshake (unused reservations returned before RootScan).
   uint64_t CacheSlotsFlushed = 0;
+  /// Thread-cache slots that could not be flushed — their owner was
+  /// frozen by the watchdog's suspend signal, possibly mid-fast-path —
+  /// and were instead marked live so the sweep keeps them (0 on every
+  /// cooperative handshake).
+  uint64_t CacheSlotsPinned = 0;
   /// Nanoseconds spent in each pipeline phase (indexed by GcPhase).
   uint64_t PhaseNanos[NumGcPhases] = {};
   /// Aggregate nanoseconds: MarkNanos covers RootScan + Mark +

@@ -169,6 +169,14 @@ ThreadRegistry::stopTheWorld(const MutatorThread *Self) {
   HandshakeResult Result;
   const uint64_t Begin = nowNanos();
   std::unique_lock<std::mutex> Guard(Lock);
+  // Preallocate the timeout trace now, while every mutator is still
+  // running free: once the signal rung has suspended a thread at an
+  // arbitrary instruction — possibly inside libc malloc, holding an
+  // arena lock — the collector must not allocate from the system heap
+  // (the bdwgc no-malloc-while-stopped rule), or the push_back below
+  // could deadlock the whole handshake.
+  if (WatchdogDeadlineNanos != 0)
+    Result.Trace.reserve(Threads.size());
   StopFlag.store(true, std::memory_order_release);
   auto AllParked = [&] {
     for (const std::unique_ptr<MutatorThread> &Thread : Threads) {
@@ -291,18 +299,34 @@ ThreadRegistry::stopTheWorld(const MutatorThread *Self) {
 }
 
 void ThreadRegistry::resumeTheWorld() {
-  std::lock_guard<std::mutex> Guard(Lock);
-  StopFlag.store(false, std::memory_order_release);
-  for (const std::unique_ptr<MutatorThread> &Thread : Threads) {
-    suspend::SuspendSlot &Slot = Thread->Suspend;
-    if (Thread->state() == MutatorState::SignalSuspended)
-      suspend::resumeThread(Slot);
-    else if (Slot.Pending.load(std::memory_order_acquire))
-      Slot.Pending.store(false, std::memory_order_release);
-    Slot.SignalAttempts.store(0, std::memory_order_relaxed);
+  // Under the registry lock do only the cheap, non-blocking work:
+  // clear the stop flag and every Pending bit (the park loop's exit
+  // condition) and wake the cooperatively parked threads.  The
+  // signal-suspended threads' send-and-confirm loops run after the
+  // lock is dropped — resumeThread retries with nanosleep backoff for
+  // up to tens of milliseconds per slow-to-schedule thread, and
+  // holding the lock through that would block parking mutators and
+  // registration far past the measured stop time.
+  {
+    std::lock_guard<std::mutex> Guard(Lock);
+    StopFlag.store(false, std::memory_order_release);
+    for (const std::unique_ptr<MutatorThread> &Thread : Threads) {
+      suspend::SuspendSlot &Slot = Thread->Suspend;
+      if (Slot.Pending.load(std::memory_order_acquire))
+        Slot.Pending.store(false, std::memory_order_release);
+      Slot.SignalAttempts.store(0, std::memory_order_relaxed);
+    }
+    WorldResumed.notify_all();
   }
+  // Safe without the registry lock: the caller holds the heap lock,
+  // which serializes registration and unregistration, so the record
+  // set is stable; state transitions are lock-free atomics; and a
+  // signal-suspended thread cannot unregister (and free its record)
+  // until it resumes and then acquires the heap lock we still hold.
+  for (const std::unique_ptr<MutatorThread> &Thread : Threads)
+    if (Thread->state() == MutatorState::SignalSuspended)
+      suspend::resumeThread(Thread->Suspend);
   suspend::drainAcks();
-  WorldResumed.notify_all();
 }
 
 void ThreadRegistry::configureWatchdog(uint64_t DeadlineNanos,

@@ -150,6 +150,17 @@ void ObjectHeap::releaseCacheSlot(void *Ptr) {
     addToClassList(Block, Ref.Block);
 }
 
+void ObjectHeap::markCachedSlotLive(const void *Ptr) {
+  Address Addr = reinterpret_cast<Address>(Ptr);
+  CGC_CHECK(Arena.contains(Addr), "cache pin of a non-heap pointer");
+  ObjectRef Ref = refForBase(Arena.offsetOf(Addr));
+  CGC_CHECK(Ref.valid(), "cache pin of a non-object pointer");
+  BlockDescriptor &Block = Blocks.get(Ref.Block);
+  CGC_CHECK(!Block.IsLarge && Block.AllocBits.test(Ref.Slot),
+            "cache pin of an unreserved slot");
+  Block.MarkBits.set(Ref.Slot);
+}
+
 void *ObjectHeap::takeSlot(BlockId Id, BlockDescriptor &Block) {
   // Lowest-index usable slot: address order within the block.
   size_t Slot = 0;

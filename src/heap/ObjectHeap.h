@@ -176,6 +176,13 @@ public:
   /// collector cross-checks it against the registry's counters.
   uint64_t cacheSlotDebt() const { return CacheSlotDebt; }
 
+  /// Sets the mark bit on a reserved cache slot that could not be
+  /// flushed (its owner is frozen by the watchdog's suspend signal), so
+  /// the coming sweep treats it as live instead of reclaiming it out
+  /// from under the suspended owner.  Call after marking, before the
+  /// sweep.  Allocation-free.
+  void markCachedSlotLive(const void *Ptr);
+
   /// Size-class geometry, exposed for the thread caches.
   unsigned numSizeClasses() const { return SizeClasses.numClasses(); }
   unsigned sizeClassFor(size_t Bytes) const {

@@ -92,6 +92,21 @@ public:
   /// unregister).  \returns the number of slots released.
   uint64_t flush(ObjectHeap &Heap);
 
+  /// Visits every cached slot, untyped stubs first then typed stubs in
+  /// ascending descriptor-id order.  The collector uses this to pin a
+  /// signal-suspended owner's slots live for one cycle: reading the
+  /// frozen owner's vectors is safe (each fast-path mutation leaves
+  /// them consistent at instruction boundaries), where flushing them
+  /// would not be.  Allocation-free.
+  template <typename FnT> void forEachCachedSlot(FnT Fn) const {
+    for (const std::vector<void *> &Stub : Stubs)
+      for (void *Slot : Stub)
+        Fn(Slot);
+    for (const auto &[Layout, Typed] : TypedStubs)
+      for (void *Slot : Typed.Stubs)
+        Fn(Slot);
+  }
+
   /// Slots currently sitting in stubs (untyped and typed).
   uint64_t cachedSlots() const {
     uint64_t Total = 0;

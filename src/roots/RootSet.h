@@ -115,6 +115,12 @@ public:
     return false;
   }
 
+  /// Pre-reserves capacity for \p N more ranges.  The collector calls
+  /// this before stopping the world so that adding mutator stack and
+  /// register ranges while threads are frozen (possibly inside libc
+  /// malloc, under the watchdog's signal suspension) never allocates.
+  void reserveAdditional(size_t N) { Ranges.reserve(Ranges.size() + N); }
+
   size_t rangeCount() const { return Ranges.size(); }
 
   size_t totalBytes() const {

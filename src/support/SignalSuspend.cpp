@@ -26,9 +26,13 @@ std::mutex InstallLock;
 
 /// Mask a suspended thread parks on: everything blocked except the
 /// resume signal and the fatal signals the crash reporter owns, so a
-/// crash inside the park is still reportable.  Rebuilt only under
-/// InstallLock, before InstalledSig publishes the new number.
-sigset_t ParkMask;
+/// crash inside the park is still reportable.  Double-buffered: a
+/// reinstall with a different signal number builds the new mask into
+/// the inactive buffer under InstallLock and publishes it by flipping
+/// ParkMaskIndex, so a handler parking concurrently never reads a
+/// torn sigset_t or a transient all-blocked state.
+sigset_t ParkMasks[2];
+std::atomic<unsigned> ParkMaskIndex{0};
 
 /// Handler→watchdog ack channel (sem_post is async-signal-safe).
 sem_t AckSem;
@@ -61,8 +65,12 @@ void suspendHandler(int) {
       Slot->UseRegisters.store(true, std::memory_order_release);
       Slot->State->store(SignalSuspendedState, std::memory_order_release);
       sem_post(&AckSem);
+      // Re-read the published mask each iteration: a concurrent
+      // reinstall flips the index to a fully built buffer, never a
+      // half-written one.
       while (Slot->Pending.load(std::memory_order_acquire))
-        sigsuspend(&ParkMask);
+        sigsuspend(
+            &ParkMasks[ParkMaskIndex.load(std::memory_order_acquire)]);
       Slot->UseRegisters.store(false, std::memory_order_release);
       Slot->State->store(RunningState, std::memory_order_release);
     } else {
@@ -120,9 +128,14 @@ int ensureInstalled(int SuspendSig) {
   ResumeAction.sa_flags = SA_RESTART;
   if (::sigaction(SuspendSig + 1, &ResumeAction, nullptr) != 0)
     return -1;
-  sigfillset(&ParkMask);
-  sigdelset(&ParkMask, SuspendSig + 1);
-  keepFatalSignalsDeliverable(&ParkMask);
+  // Build the new park mask off to the side and publish it atomically;
+  // a thread parking under the previous signal keeps a complete mask.
+  const unsigned NextMask =
+      ParkMaskIndex.load(std::memory_order_relaxed) ^ 1u;
+  sigfillset(&ParkMasks[NextMask]);
+  sigdelset(&ParkMasks[NextMask], SuspendSig + 1);
+  keepFatalSignalsDeliverable(&ParkMasks[NextMask]);
+  ParkMaskIndex.store(NextMask, std::memory_order_release);
   if (!AckSemReady) {
     sem_init(&AckSem, 0, 0);
     AckSemReady = true;

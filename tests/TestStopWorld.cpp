@@ -240,6 +240,70 @@ TEST(SignalSuspend, EscalationRungsUnderInjectedFault) {
       << "the warn rung must name the stalled handshake";
 }
 
+// A signal-suspended mutator may be frozen anywhere — including inside
+// the lock-free cache fast path — so the collector must not drain its
+// allocation cache: the slots are pinned live for the cycle instead,
+// the exact debt cross-check stands down, and after resume the owner
+// keeps allocating from the very same (still valid) cache.  The next
+// cooperative handshake drains everything and the exact reservation
+// reconciliation holds again.
+TEST(SignalSuspend, SuspendedThreadCacheIsPinnedNotFlushed) {
+  GcConfig Config = testConfig();
+  Config.HandshakeDeadlineMs = 400; // Signal rung at 200 ms.
+  Config.ThreadCacheSlots = 32;     // Pins the refill arithmetic below.
+  Collector GC(Config);
+  std::atomic<bool> Wedged{false};
+  std::atomic<bool> Resume{false};
+  std::atomic<bool> AllocsDone{false};
+  std::atomic<bool> Quit{false};
+  std::atomic<bool> PostResumeOk{false};
+  std::thread Worker([&] {
+    GcThreadScope Scope(GC);
+    ASSERT_TRUE(Scope.registered());
+    // The first small allocation creates the 48-byte class block and
+    // tops the stub up to all 32 slots, parked in this thread's cache
+    // when the suspend signal lands.
+    void *P = GC.allocate(48);
+    ASSERT_NE(P, nullptr);
+    Wedged.store(true, std::memory_order_release);
+    while (!Resume.load(std::memory_order_acquire)) {
+    }
+    // The pinned slots must have survived the stopped-world sweep as
+    // valid reservations: keep allocating through the cache.  40
+    // allocations drain the 32 pinned slots, refill once, and leave
+    // the cache non-empty for the cooperative flush below.
+    bool Ok = true;
+    for (int I = 0; I != 40; ++I)
+      Ok = Ok && GC.allocate(48) != nullptr;
+    PostResumeOk.store(Ok, std::memory_order_release);
+    AllocsDone.store(true, std::memory_order_release);
+    while (!Quit.load(std::memory_order_acquire))
+      GC.safepoint();
+  });
+  while (!Wedged.load(std::memory_order_acquire))
+    std::this_thread::yield();
+  CollectionStats Cycle = GC.collect("wedged-cache");
+  EXPECT_EQ(Cycle.MutatorsStopped, 1u);
+  EXPECT_EQ(Cycle.CacheSlotsFlushed, 0u)
+      << "a suspended owner's cache must not be drained";
+  EXPECT_GT(Cycle.CacheSlotsPinned, 0u)
+      << "the skipped cache's slots must be pinned live";
+  Resume.store(true, std::memory_order_release);
+  while (!AllocsDone.load(std::memory_order_acquire))
+    std::this_thread::yield();
+  EXPECT_TRUE(PostResumeOk.load(std::memory_order_acquire));
+  GcHandshakeStats H = GC.handshakeStats();
+  EXPECT_GE(H.SignalSuspensions, 1u);
+  EXPECT_EQ(H.HandshakeTimeouts, 0u);
+  // Cooperative handshake with the worker polling: every cache drains
+  // and the exact debt check (a CGC_CHECK) runs and passes.
+  CollectionStats Clean = GC.collect("cooperative-after");
+  EXPECT_EQ(Clean.CacheSlotsPinned, 0u);
+  EXPECT_GT(Clean.CacheSlotsFlushed, 0u);
+  Quit.store(true, std::memory_order_release);
+  Worker.join();
+}
+
 // With the signal fallback disabled, a wedged mutator exhausts the full
 // deadline: the collection is abandoned with a structured incident
 // carrying a per-thread trace, and allocation degrades to heap growth
