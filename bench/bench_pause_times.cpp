@@ -17,6 +17,12 @@
 // worker that never polls, so every handshake must climb the watchdog
 // ladder to the signal-suspension rung (GcConfig::HandshakeDeadlineMs).
 //
+// The sealed rows rerun the same workload with GcConfig::SealMetadata:
+// GC metadata lives on dedicated pages kept PROT_READ between
+// collections, so each cycle pays two mprotect transitions (unseal at
+// entry, reseal at exit).  The "seal (us/gc)" column is that cost
+// amortized per collection — the price of wild-write containment.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
@@ -45,6 +51,10 @@ struct PauseProfile {
   uint64_t Collections = 0;
   /// Per-cycle handshake time-to-stop; empty for single-mutator rows.
   std::vector<double> StopMicros;
+  /// Metadata seal/unseal bookkeeping; zero for unsealed rows.
+  bool Sealed = false;
+  uint64_t SealTransitions = 0;
+  double SealMicrosPerCollection = 0;
 };
 
 double percentile(std::vector<double> Samples, double Fraction) {
@@ -57,10 +67,11 @@ double percentile(std::vector<double> Samples, double Fraction) {
   return Samples[std::min(Index, Samples.size() - 1)];
 }
 
-PauseProfile run(bool Lazy) {
+PauseProfile run(bool Lazy, bool Sealed) {
   GcConfig Config;
   Config.MaxHeapBytes = uint64_t(128) << 20;
   Config.LazySweep = Lazy;
+  Config.SealMetadata = Sealed;
   Config.GcAtStartup = false;
   Config.MinHeapBytesBeforeGc = ~uint64_t(0); // Explicit collections.
   Collector GC(Config);
@@ -95,6 +106,13 @@ PauseProfile run(bool Lazy) {
   uint64_t Elapsed = nowNanos() - Start;
   Profile.ThroughputOpsPerUs = static_cast<double>(TotalOps) * 1000.0 /
                                static_cast<double>(Elapsed);
+  const GcRepairStats &Repair = GC.repairStats();
+  Profile.Sealed = Sealed;
+  Profile.SealTransitions = Repair.SealTransitions;
+  if (Profile.Collections != 0)
+    Profile.SealMicrosPerCollection =
+        static_cast<double>(Repair.SealNanos) / 1000.0 /
+        static_cast<double>(Profile.Collections);
   return Profile;
 }
 
@@ -175,14 +193,15 @@ void addProfileRow(TablePrinter &Table, cgcbench::JsonReport &Report,
                    const char *Mode, const PauseProfile &P) {
   double StopP50 = percentile(P.StopMicros, 0.50);
   double StopP99 = percentile(P.StopMicros, 0.99);
-  char Mean[32], Max[32], P50[32], P99[32], Thr[32];
+  char Mean[32], Max[32], P50[32], P99[32], Thr[32], Seal[32];
   std::snprintf(Mean, sizeof(Mean), "%.0f", P.PauseMicros.mean());
   std::snprintf(Max, sizeof(Max), "%.0f", P.PauseMicros.maximum());
   std::snprintf(P50, sizeof(P50), "%.0f", StopP50);
   std::snprintf(P99, sizeof(P99), "%.0f", StopP99);
   std::snprintf(Thr, sizeof(Thr), "%.1f", P.ThroughputOpsPerUs);
+  std::snprintf(Seal, sizeof(Seal), "%.1f", P.SealMicrosPerCollection);
   Table.addRow({Mode, std::to_string(P.Collections), Mean, Max, P50, P99,
-                Thr});
+                P.Sealed ? Seal : "-", Thr});
   Report.beginRow();
   Report.rowSet("sweep_mode", std::string(Mode));
   Report.rowSet("collections", P.Collections);
@@ -190,6 +209,9 @@ void addProfileRow(TablePrinter &Table, cgcbench::JsonReport &Report,
   Report.rowSet("max_pause_us", P.PauseMicros.maximum());
   Report.rowSet("stop_p50_us", StopP50);
   Report.rowSet("stop_p99_us", StopP99);
+  Report.rowSet("sealed", uint64_t(P.Sealed ? 1 : 0));
+  Report.rowSet("seal_transitions", P.SealTransitions);
+  Report.rowSet("seal_us_per_collection", P.SealMicrosPerCollection);
   Report.rowSet("throughput_ops_per_us", P.ThroughputOpsPerUs);
 }
 
@@ -208,9 +230,13 @@ int main(int Argc, char **Argv) {
   cgcbench::JsonReport Report("pause times");
   TablePrinter Table({"sweep mode", "collections", "mean pause (us)",
                       "max pause (us)", "stop p50 (us)", "stop p99 (us)",
-                      "throughput (ops/us)"});
+                      "seal (us/gc)", "throughput (ops/us)"});
   for (bool Lazy : {false, true})
-    addProfileRow(Table, Report, Lazy ? "lazy" : "eager", run(Lazy));
+    addProfileRow(Table, Report, Lazy ? "lazy" : "eager",
+                  run(Lazy, /*Sealed=*/false));
+  for (bool Lazy : {false, true})
+    addProfileRow(Table, Report, Lazy ? "lazy sealed" : "eager sealed",
+                  run(Lazy, /*Sealed=*/true));
   addProfileRow(Table, Report, "threaded coop", runThreaded(false));
   addProfileRow(Table, Report, "threaded signal", runThreaded(true));
   Table.print(stdout);

@@ -41,8 +41,18 @@
 // watchdog ladder to the signal-suspension rung; only stream-pure
 // counters and the per-round suspension delta fold into the digest,
 // so the lane replays bit-identically under --replay-check.
+// --corrupt appends the corruption-containment lane: every round
+// deliberately damages one metadata structure (block header, free-list
+// link, page-map entry, or alloc bit — schedule-drawn) at collection
+// entry on a sealed-metadata collector running with per-phase
+// verification and the repair ladder engaged.  Each corruption must be
+// detected, the cycle abandoned and retried after an in-place repair,
+// and the heap deep-verified clean — with every live-count and
+// repair-counter delta folded into the digest so --replay-check proves
+// the whole detect/repair/retry ladder is bit-replayable.
 // --json writes BENCH_soak_chaos.json for CI trend tracking
-// (BENCH_soak_chaos_wedge.json under --wedge).
+// (BENCH_soak_chaos_wedge.json under --wedge,
+// BENCH_soak_chaos_corrupt.json under --corrupt).
 //
 //===----------------------------------------------------------------------===//
 
@@ -87,6 +97,9 @@ struct SoakOptions {
   /// mutator in a poll-free spin so the handshake must climb the
   /// watchdog ladder to the signal-suspension rung.
   bool Wedge = false;
+  /// Appends the corruption-containment lane: one injected metadata
+  /// corruption per step, each detected, repaired, and retried.
+  bool Corrupt = false;
 };
 
 /// Everything a completed run reports; digest first, counters for the
@@ -110,6 +123,14 @@ struct SoakOutcome {
   uint64_t MutatorHandshakes = 0;
   uint64_t WedgeRounds = 0;
   uint64_t WedgeSuspensions = 0;
+  uint64_t CorruptionsInjected = 0;
+  uint64_t CorruptRetries = 0;
+  uint64_t CorruptFindingsRepaired = 0;
+  uint64_t CorruptFreeListRebuilds = 0;
+  uint64_t CorruptPageMapRederivations = 0;
+  uint64_t CorruptCountersResynced = 0;
+  uint64_t CorruptQuarantined = 0;
+  uint64_t CorruptSealTransitions = 0;
   GcSentinelStats Sentinel;
   GcGuardStats Guard;
 };
@@ -134,6 +155,7 @@ private:
   void checkGuards(Collector &GC);
   void runMutatorPhase();
   void runWedgePhase();
+  void runCorruptPhase();
 
   void fold(uint64_t Value) {
     Outcome.Digest ^= Value;
@@ -150,9 +172,10 @@ private:
       std::printf("%s\n", Detail.c_str());
     std::printf("  at step %u of %u, seed %" PRIu64 "\n", Step, Opts.Steps,
                 Opts.Seed);
-    std::printf("  replay: soak_chaos --seed %" PRIu64 " --steps %u%s%s%s",
+    std::printf("  replay: soak_chaos --seed %" PRIu64 " --steps %u%s%s%s%s",
                 Opts.Seed, Opts.Steps, Opts.Guarded ? " --guarded" : "",
-                Opts.Typed ? " --typed" : "", Opts.Wedge ? " --wedge" : "");
+                Opts.Typed ? " --typed" : "", Opts.Wedge ? " --wedge" : "",
+                Opts.Corrupt ? " --corrupt" : "");
     if (Opts.MutatorThreads != 0)
       std::printf(" --mutator-threads %u", Opts.MutatorThreads);
     std::printf("\n");
@@ -773,6 +796,118 @@ void SoakRun::runWedgePhase() {
     GC.removeRootRange(Id);
 }
 
+/// The --corrupt lane: one deliberate metadata corruption per step on
+/// a sealed-metadata collector running per-phase verification with the
+/// repair ladder engaged (RepairFatal off).  Each round churns a
+/// rooted slot window, arms one of the four metadata-corruption sites
+/// (drawn from the schedule), and collects: the injected damage lands
+/// at collection entry, the verifier catches it at the first phase
+/// boundary, the cycle is abandoned, the heap repaired in place, and
+/// the cycle retried — all of which must leave the retained set intact
+/// and the heap deep-verified clean, every single round.  Live counts
+/// and every repair-counter delta fold into the digest, so
+/// --replay-check proves the containment ladder itself replays
+/// bit-identically.
+void SoakRun::runCorruptPhase() {
+  if (!FaultInjectionCompiled)
+    fail("--corrupt requires a build with CGC_FAULT_INJECTION");
+
+  // Victim selection inside injectMetadataFaults keys off the
+  // process-global injector's cumulative fired counts; zero them so a
+  // --replay-check second run corrupts the exact same blocks.
+  FaultInjector::instance().resetStats();
+
+  GcConfig Config = soakConfig(/*WithSentinel=*/false, /*Guarded=*/false);
+  Config.SealMetadata = true;
+  Config.VerifyEveryCollection = true;
+  Config.RepairFatal = false;
+  Collector GC(Config);
+  std::vector<uint64_t> Slots(96, 0);
+  RootId SlotsRoot = GC.addRootRange(
+      Slots.data(), Slots.data() + Slots.size(), RootEncoding::Native64,
+      RootSource::Client, "soak-corrupt-slots");
+
+  // Seed survivors across several size classes, then collect once
+  // clean: every later round has live blocks to flip headers in and
+  // partial class lists to smash links out of.
+  for (size_t Slot = 0; Slot != Slots.size(); ++Slot)
+    Slots[Slot] = reinterpret_cast<uint64_t>(
+        GC.allocate(Schedule.nextInRange(16, 512)));
+  GC.collect("soak-corrupt-seed");
+  ++Outcome.Collections;
+
+  constexpr FaultSite MetadataSites[] = {
+      FaultSite::MetadataHeaderFlip, FaultSite::MetadataFreeListSmash,
+      FaultSite::MetadataPageMapClobber, FaultSite::MetadataAllocBitFlip};
+
+  for (unsigned Round = 0; Round != Opts.Steps; ++Round) {
+    // Churn: overwrite and drop slots so the heap shape keeps moving,
+    // but always leave survivors for the fault to target.
+    unsigned Ops = static_cast<unsigned>(Schedule.nextInRange(16, 64));
+    for (unsigned I = 0; I != Ops; ++I) {
+      size_t Slot = Schedule.pickIndex(Slots.size());
+      if (Schedule.nextBool(0.3)) {
+        Slots[Slot] = 0;
+        continue;
+      }
+      void *Ptr = GC.allocate(Schedule.nextInRange(16, 2048));
+      if (!Ptr)
+        fail("corrupt-lane allocation failed in a 64 MB arena");
+      Slots[Slot] = reinterpret_cast<uint64_t>(Ptr);
+    }
+
+    FaultSite Site = MetadataSites[Schedule.nextBelow(4)];
+    fold(static_cast<uint64_t>(Site));
+    uint64_t FiredBefore = FaultInjector::instance().stats(Site).Fired;
+    GcRepairStats Before = GC.repairStats();
+
+    FaultInjector::instance().arm(Site, 0, 1);
+    CollectionStats Cycle = GC.collect("soak-corrupt");
+    FaultInjector::instance().disarmAll();
+    ++Outcome.Collections;
+
+    if (FaultInjector::instance().stats(Site).Fired != FiredBefore + 1)
+      fail("metadata corruption site never fired");
+    ++Outcome.CorruptionsInjected;
+
+    GcRepairStats After = GC.repairStats();
+    if (After.CollectionsRetried != Before.CollectionsRetried + 1)
+      fail("injected corruption went unreported: the cycle was neither "
+           "abandoned nor retried");
+    if (After.DegradedMode)
+      fail("a repairable corruption degraded the collector");
+    Outcome.CorruptRetries += After.CollectionsRetried -
+                              Before.CollectionsRetried;
+    Outcome.CorruptFindingsRepaired +=
+        After.FindingsRepaired - Before.FindingsRepaired;
+    Outcome.CorruptFreeListRebuilds +=
+        After.FreeListRebuilds - Before.FreeListRebuilds;
+    Outcome.CorruptPageMapRederivations +=
+        After.PageMapRederivations - Before.PageMapRederivations;
+    Outcome.CorruptCountersResynced +=
+        After.CountersResynced - Before.CountersResynced;
+    Outcome.CorruptQuarantined += (After.BlocksQuarantined -
+                                   Before.BlocksQuarantined) +
+                                  (After.PagesQuarantined -
+                                   Before.PagesQuarantined);
+
+    // Everything the ladder did is a pure function of the schedule:
+    // fold it all, so a replay that detects, repairs, or retries even
+    // one round differently is a digest mismatch.
+    fold(Cycle.ObjectsLive);
+    fold(After.FindingsRepaired - Before.FindingsRepaired);
+    fold(After.FreeListRebuilds - Before.FreeListRebuilds);
+    fold(After.PageMapRederivations - Before.PageMapRederivations);
+    fold(After.CountersResynced - Before.CountersResynced);
+    fold(After.BlocksQuarantined - Before.BlocksQuarantined);
+
+    deepVerify(GC, "deep verification failed after a repaired corruption");
+  }
+
+  Outcome.CorruptSealTransitions = GC.repairStats().SealTransitions;
+  GC.removeRootRange(SlotsRoot);
+}
+
 SoakOutcome SoakRun::run() {
   // The churn collector and the interpreter live for the whole soak;
   // queue/tree/Program T rounds use fresh throwaway collectors.
@@ -825,6 +960,8 @@ SoakOutcome SoakRun::run() {
     runMutatorPhase();
   if (Opts.Wedge)
     runWedgePhase();
+  if (Opts.Corrupt)
+    runCorruptPhase();
   return Outcome;
 }
 
@@ -848,13 +985,20 @@ int main(int Argc, char **Argv) {
       Opts.MutatorThreads = static_cast<unsigned>(std::atoi(Argv[++I]));
     else if (!std::strcmp(Argv[I], "--wedge"))
       Opts.Wedge = true;
+    else if (!std::strcmp(Argv[I], "--corrupt"))
+      Opts.Corrupt = true;
     else {
       std::fprintf(stderr,
                    "usage: soak_chaos [--seed S] [--steps N] "
                    "[--replay-check] [--guarded] [--typed] "
-                   "[--mutator-threads N] [--wedge] [--json]\n");
+                   "[--mutator-threads N] [--wedge] [--corrupt] [--json]\n");
       return 2;
     }
+  }
+  if (Opts.Corrupt && !FaultInjectionCompiled) {
+    std::fprintf(stderr, "soak_chaos: --corrupt needs a build with "
+                         "CGC_FAULT_INJECTION enabled\n");
+    return 2;
   }
   if (Opts.Steps == 0)
     Opts.Steps = 300;
@@ -901,6 +1045,17 @@ int main(int Argc, char **Argv) {
                 " signal suspensions (every handshake climbed to the "
                 "signal rung)\n",
                 First.WedgeRounds, First.WedgeSuspensions);
+  if (Opts.Corrupt)
+    std::printf("corrupt lane: %" PRIu64 " corruptions injected, %" PRIu64
+                " cycles retried, %" PRIu64 " findings repaired (%" PRIu64
+                " free-list rebuilds, %" PRIu64 " page-map rederivations, "
+                "%" PRIu64 " counter resyncs, %" PRIu64 " quarantined), "
+                "%" PRIu64 " seal transitions, zero aborts\n",
+                First.CorruptionsInjected, First.CorruptRetries,
+                First.CorruptFindingsRepaired, First.CorruptFreeListRebuilds,
+                First.CorruptPageMapRederivations,
+                First.CorruptCountersResynced, First.CorruptQuarantined,
+                First.CorruptSealTransitions);
   if (Opts.Typed)
     std::printf("typed lane: %" PRIu64 " rounds (retained-subset and "
                 "scan-mix checks all passed)\n",
@@ -923,10 +1078,12 @@ int main(int Argc, char **Argv) {
     char Digest[32];
     std::snprintf(Digest, sizeof(Digest), "%016" PRIx64, First.Digest);
     cgcbench::JsonReport Report(
-        Opts.Wedge ? "soak chaos wedge"
-                   : Opts.Guarded ? "soak chaos guarded"
-                                  : Opts.Typed ? "soak chaos typed"
-                                               : "soak chaos");
+        Opts.Corrupt
+            ? "soak chaos corrupt"
+            : Opts.Wedge ? "soak chaos wedge"
+                         : Opts.Guarded ? "soak chaos guarded"
+                                        : Opts.Typed ? "soak chaos typed"
+                                                     : "soak chaos");
     Report.set("seed", Opts.Seed);
     Report.set("steps", uint64_t(Opts.Steps));
     Report.set("digest", std::string(Digest));
@@ -956,6 +1113,18 @@ int main(int Argc, char **Argv) {
     if (Opts.Wedge) {
       Report.set("wedge_rounds", First.WedgeRounds);
       Report.set("wedge_suspensions", First.WedgeSuspensions);
+    }
+    Report.set("corrupt", uint64_t(Opts.Corrupt ? 1 : 0));
+    if (Opts.Corrupt) {
+      Report.set("corruptions_injected", First.CorruptionsInjected);
+      Report.set("corrupt_retries", First.CorruptRetries);
+      Report.set("corrupt_findings_repaired", First.CorruptFindingsRepaired);
+      Report.set("corrupt_free_list_rebuilds", First.CorruptFreeListRebuilds);
+      Report.set("corrupt_page_map_rederivations",
+                 First.CorruptPageMapRederivations);
+      Report.set("corrupt_counters_resynced", First.CorruptCountersResynced);
+      Report.set("corrupt_quarantined", First.CorruptQuarantined);
+      Report.set("corrupt_seal_transitions", First.CorruptSealTransitions);
     }
     Report.set("mutator_threads", uint64_t(Opts.MutatorThreads));
     if (Opts.MutatorThreads != 0) {

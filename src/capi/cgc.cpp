@@ -202,6 +202,8 @@ static GcConfig convertConfig(const cgc_config *C) {
   // 0 (default signal) and negative (rung disabled) are both
   // meaningful; copy verbatim.
   Config.SuspendSignal = C->suspend_signal;
+  Config.SealMetadata = C->seal_metadata != 0;
+  Config.RepairFatal = C->repair_fatal != 0;
   return Config;
 }
 
@@ -294,6 +296,8 @@ static void fillCConfig(cgc_config *Out, const GcConfig &In) {
   Out->handshake_deadline_ms = In.HandshakeDeadlineMs;
   Out->handshake_fatal = In.HandshakeFatal ? 1 : 0;
   Out->suspend_signal = In.SuspendSignal;
+  Out->seal_metadata = In.SealMetadata ? 1 : 0;
+  Out->repair_fatal = In.RepairFatal ? 1 : 0;
 }
 
 void cgc_config_init(cgc_config *Config) {
@@ -428,6 +432,99 @@ size_t cgc_verify_heap(cgc_collector *GC, char *Report,
     Report[Len] = '\0';
   }
   return Result.Issues.size();
+}
+
+// The C mirrors must track the C++ enums value-for-value; a drift here
+// would silently mistranslate every streamed finding.
+static_assert(CGC_VERIFY_GENERIC ==
+                  static_cast<int>(VerifyFindingKind::Generic) &&
+              CGC_VERIFY_BLOCK_GEOMETRY ==
+                  static_cast<int>(VerifyFindingKind::BlockGeometry) &&
+              CGC_VERIFY_PAGE_MAP_STALE ==
+                  static_cast<int>(VerifyFindingKind::PageMapStale) &&
+              CGC_VERIFY_COUNTER_MISMATCH ==
+                  static_cast<int>(VerifyFindingKind::CounterMismatch) &&
+              CGC_VERIFY_FREE_LIST_BROKEN ==
+                  static_cast<int>(VerifyFindingKind::FreeListBroken) &&
+              CGC_VERIFY_FREE_RUN_BROKEN ==
+                  static_cast<int>(VerifyFindingKind::FreeRunBroken) &&
+              CGC_VERIFY_GUARD_SMASH ==
+                  static_cast<int>(VerifyFindingKind::GuardSmash) &&
+              CGC_VERIFY_ACCOUNTING ==
+                  static_cast<int>(VerifyFindingKind::Accounting),
+              "CGC_VERIFY_* drifted from VerifyFindingKind");
+static_assert(CGC_REPAIR_NOT_ATTEMPTED ==
+                  static_cast<int>(VerifyRepairOutcome::NotAttempted) &&
+              CGC_REPAIR_REPAIRED ==
+                  static_cast<int>(VerifyRepairOutcome::Repaired) &&
+              CGC_REPAIR_QUARANTINED ==
+                  static_cast<int>(VerifyRepairOutcome::Quarantined),
+              "CGC_REPAIR_* drifted from VerifyRepairOutcome");
+static_assert(CGC_INCIDENT_METADATA_WILD_WRITE ==
+                  static_cast<int>(GcIncidentCause::MetadataWildWrite),
+              "incident cause drifted");
+static_assert(CGC_FAULT_METADATA_HEADER_FLIP ==
+                  static_cast<int>(FaultSite::MetadataHeaderFlip) &&
+              CGC_FAULT_METADATA_FREE_LIST_SMASH ==
+                  static_cast<int>(FaultSite::MetadataFreeListSmash) &&
+              CGC_FAULT_METADATA_PAGE_MAP_CLOBBER ==
+                  static_cast<int>(FaultSite::MetadataPageMapClobber) &&
+              CGC_FAULT_METADATA_ALLOC_BIT_FLIP ==
+                  static_cast<int>(FaultSite::MetadataAllocBitFlip),
+              "CGC_FAULT_* drifted from FaultSite");
+
+static void fillRepairStats(cgc_repair_stats *Out, const GcRepairStats &In) {
+  Out->verify_repairs_run = In.VerifyRepairsRun;
+  Out->findings_repaired = In.FindingsRepaired;
+  Out->blocks_quarantined = In.BlocksQuarantined;
+  Out->pages_quarantined = In.PagesQuarantined;
+  Out->free_list_rebuilds = In.FreeListRebuilds;
+  Out->page_map_rederivations = In.PageMapRederivations;
+  Out->counters_resynced = In.CountersResynced;
+  Out->collections_retried = In.CollectionsRetried;
+  Out->metadata_wild_writes = In.MetadataWildWrites;
+  Out->seal_transitions = In.SealTransitions;
+  Out->seal_nanos = In.SealNanos;
+  Out->degraded_mode = In.DegradedMode ? 1 : 0;
+}
+
+/// Streams one report's findings through the C callback.  The C struct
+/// borrows each finding's message string, so the callback contract (the
+/// pointer dies with the call) keeps this allocation-free per finding.
+static void streamFindings(const HeapVerifyReport &Report,
+                           cgc_verify_report_fn Fn, void *ClientData) {
+  for (const VerifyFinding &F : Report.Findings) {
+    cgc_verify_finding C;
+    C.kind = static_cast<int>(F.Kind);
+    C.message = F.Message.c_str();
+    C.page = F.Page;
+    C.block = F.Block;
+    C.outcome = static_cast<int>(F.Outcome);
+    Fn(&C, ClientData);
+  }
+}
+
+size_t cgc_verify_heap_report(cgc_collector *GC, cgc_verify_report_fn Fn,
+                              void *ClientData) {
+  HeapVerifyReport Result = GC->GC.verifyHeapReport();
+  if (Fn)
+    streamFindings(Result, Fn, ClientData);
+  return Result.Findings.size();
+}
+
+int cgc_verify_and_repair(cgc_collector *GC, cgc_verify_report_fn Fn,
+                          void *ClientData, cgc_repair_stats *Out) {
+  HeapVerifyReport Report = GC->GC.verifyAndRepair();
+  if (Fn)
+    streamFindings(Report, Fn, ClientData);
+  if (Out)
+    fillRepairStats(Out, GC->GC.repairStats());
+  return (Report.clean() || Report.RepairedClean) ? 1 : 0;
+}
+
+void cgc_get_repair_stats(cgc_collector *GC, cgc_repair_stats *Out) {
+  if (Out)
+    fillRepairStats(Out, GC->GC.repairStats());
 }
 
 int cgc_fault_injection_available(void) {

@@ -191,6 +191,21 @@ typedef struct cgc_config {
    * variable; negative disables the signal rung entirely (the ladder
    * then goes warn -> timeout). */
   int suspend_signal;
+  /* Place the collector's own metadata (block table, page map, free
+   * lists) in a dedicated arena kept PROT_READ between collections.
+   * A wild store into sealed metadata faults; the collector's SIGSEGV
+   * sub-handler attributes it to the damaged structure, raises a
+   * CGC_INCIDENT_METADATA_WILD_WRITE incident, repairs the heap in
+   * place, and resumes the store — instead of crashing later on
+   * corrupt metadata.  Costs two mprotect calls per collection. */
+  int seal_metadata;                     /* boolean; default off       */
+  /* Abort (through the fatal-error path) when the mid-collection
+   * verifier finds corrupt metadata (default, the historical
+   * behavior).  Zero engages the containment ladder instead: abandon
+   * the collection, repair the heap from the surviving structures,
+   * retry the cycle once, and on a second failure degrade to
+   * fresh-page allocation — never aborting. */
+  int repair_fatal;                      /* boolean; default on        */
 } cgc_config;
 
 /* Fills *config with the library defaults.  Every field of the C++
@@ -321,6 +336,76 @@ void cgc_set_warn_proc(cgc_collector *gc, cgc_warn_fn fn,
 size_t cgc_verify_heap(cgc_collector *gc, char *report,
                        size_t report_bytes);
 
+/* Structured verifier finding kinds (VerifyFindingKind). */
+enum {
+  CGC_VERIFY_GENERIC = 0,          /* uncategorized cross-check failure */
+  CGC_VERIFY_BLOCK_GEOMETRY = 1,   /* block descriptor/header damage    */
+  CGC_VERIFY_PAGE_MAP_STALE = 2,   /* page-map entry disagrees w/ table */
+  CGC_VERIFY_COUNTER_MISMATCH = 3, /* live/free counters out of sync    */
+  CGC_VERIFY_FREE_LIST_BROKEN = 4, /* small-object free list damaged    */
+  CGC_VERIFY_FREE_RUN_BROKEN = 5,  /* page-allocator free run damaged   */
+  CGC_VERIFY_GUARD_SMASH = 6,      /* guarded-heap canary/redzone smash */
+  CGC_VERIFY_ACCOUNTING = 7,       /* byte accounting inconsistency     */
+};
+
+/* Repair outcome per finding (VerifyRepairOutcome). */
+enum {
+  CGC_REPAIR_NOT_ATTEMPTED = 0,    /* verify-only pass, or unrepaired   */
+  CGC_REPAIR_REPAIRED = 1,         /* structure rebuilt in place        */
+  CGC_REPAIR_QUARANTINED = 2,      /* block/page leaked deliberately    */
+};
+
+/* One structured verifier finding.  message points into report
+ * storage and is valid only for the duration of the callback. */
+typedef struct cgc_verify_finding {
+  int kind;                 /* CGC_VERIFY_*                             */
+  const char *message;      /* human-readable one-liner                 */
+  unsigned long long page;  /* faulting page index; 0 = not page-level  */
+  unsigned block;           /* faulting block id; 0 = not block-level   */
+  int outcome;              /* CGC_REPAIR_*                             */
+} cgc_verify_finding;
+
+/* Streaming verifier-report callback: one call per finding. */
+typedef void (*cgc_verify_report_fn)(const cgc_verify_finding *finding,
+                                     void *client_data);
+
+/* Runs the deep heap verifier and streams every structured finding
+ * (capped and deduplicated per (kind, page); see cgc_repair_stats for
+ * the truncation counters) through fn.  Returns the number of
+ * findings reported.  Never aborts; fn may be NULL to just count. */
+size_t cgc_verify_heap_report(cgc_collector *gc, cgc_verify_report_fn fn,
+                              void *client_data);
+
+/* Lifetime corruption-containment counters (GcRepairStats). */
+typedef struct cgc_repair_stats {
+  unsigned long long verify_repairs_run;   /* verifyAndRepair passes    */
+  unsigned long long findings_repaired;    /* findings fixed in place   */
+  unsigned long long blocks_quarantined;   /* blocks deliberately leaked*/
+  unsigned long long pages_quarantined;    /* pages deliberately leaked */
+  unsigned long long free_list_rebuilds;   /* free lists rebuilt        */
+  unsigned long long page_map_rederivations; /* page-map entries fixed  */
+  unsigned long long counters_resynced;    /* counters re-derived       */
+  unsigned long long collections_retried;  /* cycles abandoned+retried  */
+  unsigned long long metadata_wild_writes; /* sealed-arena SIGSEGVs     */
+  unsigned long long seal_transitions;     /* mprotect seal/unseal calls*/
+  unsigned long long seal_nanos;           /* total mprotect time       */
+  int degraded_mode;        /* boolean: collector gave up on collecting */
+} cgc_repair_stats;
+
+/* Runs a verify-and-repair pass: free lists rebuilt from the alloc and
+ * mark bits, page-map entries re-derived from the block table,
+ * irreparable blocks/pages quarantined (deliberately leaked).  Streams
+ * the pre-repair findings — each with its repair outcome filled in —
+ * through fn (NULL to skip), then fills *out (when non-NULL) with the
+ * lifetime repair counters.  Returns nonzero when the heap verified
+ * clean after repair.  Never aborts, regardless of repair_fatal. */
+int cgc_verify_and_repair(cgc_collector *gc, cgc_verify_report_fn fn,
+                          void *client_data, cgc_repair_stats *out);
+
+/* Fills *out with the lifetime corruption-containment counters without
+ * running the verifier. */
+void cgc_get_repair_stats(cgc_collector *gc, cgc_repair_stats *out);
+
 /* --- retention-storm sentinel ---------------------------------------- */
 
 /* Fills *policy with the library defaults (sentinel disabled). */
@@ -360,6 +445,9 @@ enum {
   /* A stop-the-world handshake exhausted handshake_deadline_ms; the
    * collection attempt was abandoned. */
   CGC_INCIDENT_HANDSHAKE_TIMEOUT = 6,
+  /* A wild store hit the sealed metadata arena (seal_metadata mode);
+   * the write was contained, attributed, and the heap repaired. */
+  CGC_INCIDENT_METADATA_WILD_WRITE = 7,
 };
 
 /* Incident callback: the sentinel exhausted its escalation ladder and
@@ -456,6 +544,13 @@ enum {
   CGC_FAULT_WORKER_SPAWN = 2,       /* GC worker thread spawn fails    */
   CGC_FAULT_MARK_STACK_OVERFLOW = 3,/* mark-stack push drops its item  */
   CGC_FAULT_WEDGED_MUTATOR = 4,     /* safepoint park behaves as missed */
+  /* Deterministic metadata-corruption classes (collection entry picks
+   * a victim and damages it before any phase runs; the verifier must
+   * detect and repair it). */
+  CGC_FAULT_METADATA_HEADER_FLIP = 5,      /* block-descriptor bit flip  */
+  CGC_FAULT_METADATA_FREE_LIST_SMASH = 6,  /* free-list link smashed     */
+  CGC_FAULT_METADATA_PAGE_MAP_CLOBBER = 7, /* page-map entry clobbered   */
+  CGC_FAULT_METADATA_ALLOC_BIT_FLIP = 8,   /* alloc bit vs header flip   */
 };
 
 /* Returns nonzero when the library was built with the injection hooks

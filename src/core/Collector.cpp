@@ -56,11 +56,18 @@ Collector::Collector(const GcConfig &Cfg) : Config(Cfg) {
   PageIndex MaxPages =
       static_cast<PageIndex>(Config.MaxHeapBytes >> PageSizeLog2);
 
+  // Sealed-metadata mode: the block table, page map, and free-run maps
+  // draw their storage from a dedicated arena whose pages are flipped
+  // PROT_READ between collections, so a wild client store into GC
+  // metadata faults (and is contained) instead of silently corrupting.
+  if (Config.SealMetadata)
+    MetaArena = std::make_unique<MetadataArena>();
   Pages = std::make_unique<PageAllocator>(*Arena, BasePage, MaxPages,
                                           Config.HeapGrowthPages,
-                                          Config.DecommitFreedPages);
-  Map = std::make_unique<PageMap>(Arena->numPages());
-  Blocks = std::make_unique<BlockTable>();
+                                          Config.DecommitFreedPages,
+                                          MetaArena.get());
+  Map = std::make_unique<PageMap>(Arena->numPages(), MetaArena.get());
+  Blocks = std::make_unique<BlockTable>(MetaArena.get());
 
   if (Config.DebugGuards) {
     // Guarded sweeps validate every slot against its header, and the
@@ -161,9 +168,18 @@ Collector::Collector(const GcConfig &Cfg) : Config(Cfg) {
   });
 
   configureSentinel(Config.Sentinel);
+
+  // Seal immediately: the window until the first allocation unseals is
+  // already one where a buggy client could scribble on fresh metadata.
+  if (MetaArena)
+    MetaArena->seal();
 }
 
 Collector::~Collector() {
+  // Member destructors (block table, page map, free-run maps) release
+  // their storage back into the arena, which must be writable.
+  if (MetaArena)
+    MetaArena->unseal();
   {
     std::lock_guard<std::mutex> Guard(forkListLock());
     std::vector<Collector *> &List = forkCollectors();
@@ -442,6 +458,7 @@ void Collector::noteCacheRefill(unsigned Class, unsigned Slots) {
 
 void *Collector::refillAndAllocate(MutatorThread *Self, size_t Bytes,
                                    ObjectKind Kind, unsigned Class) {
+  MetadataScope MetaScope(*this);
   maybeStartupCollect();
   maybeRunStackClearHooks();
   if (unsigned Got = Self->Cache->refill(*Heap, Class)) {
@@ -597,6 +614,7 @@ void *Collector::allocateGuarded(size_t Bytes, ObjectKind Kind,
 }
 
 void *Collector::allocateRaw(size_t Bytes, ObjectKind Kind) {
+  MetadataScope MetaScope(*this);
   maybeStartupCollect();
   maybeRunStackClearHooks();
 
@@ -760,6 +778,7 @@ void Collector::warn(WarnEvent Event, const char *Message, uint64_t Value) {
 
 void Collector::deallocate(void *Ptr) {
   HeapLockGuard Guard(*this);
+  MetadataScope MetaScope(*this);
   if (Guards) {
     deallocateGuarded(Ptr);
     return;
@@ -975,6 +994,7 @@ void Collector::flushQuarantine() {
   if (!Guards)
     return;
   HeapLockGuard Guard(*this);
+  MetadataScope MetaScope(*this);
   GuardLayer::QuarantineEntry E;
   while (Guards->popOldest(E))
     releaseQuarantined(E);
@@ -1025,6 +1045,7 @@ LayoutId
 Collector::registerObjectLayout(const std::vector<bool> &PointerWords,
                                 size_t SizeBytes) {
   HeapLockGuard Guard(*this);
+  MetadataScope MetaScope(*this);
   return Heap->registerLayout(PointerWords, SizeBytes);
 }
 
@@ -1047,6 +1068,7 @@ void *Collector::allocateTyped(LayoutId Layout) {
   ObjectKind RouteKind;
   {
     HeapLockGuard Guard(*this);
+    MetadataScope MetaScope(*this);
     const TypeDescriptor &D = Heap->layout(Layout);
     if (!Config.AllConservativeDescriptors &&
         D.Class == DescriptorClass::Precise) {
@@ -1081,6 +1103,7 @@ void *Collector::allocateTyped(LayoutId Layout) {
 
 void *Collector::refillTypedAndAllocate(MutatorThread *Self,
                                         LayoutId Layout) {
+  MetadataScope MetaScope(*this);
   maybeStartupCollect();
   maybeRunStackClearHooks();
   unsigned Class = Heap->sizeClassFor(Heap->layout(Layout).SizeBytes);
@@ -1115,6 +1138,7 @@ void *Collector::allocateIgnoreOffPage(size_t Bytes, ObjectKind Kind) {
 }
 
 void *Collector::allocateRawIgnoreOffPage(size_t Bytes, ObjectKind Kind) {
+  MetadataScope MetaScope(*this);
   maybeStartupCollect();
   if (SizeClassTable::isSmall(Bytes))
     return allocateRaw(Bytes, Kind); // Small objects fit one page anyway.
@@ -1182,6 +1206,13 @@ void Collector::emitRetainedObjects() {
 CollectionStats Collector::collect(const char *Reason) {
   HeapLockGuard HeapGuard(*this);
   CGC_CHECK(!InCollection, "re-entrant collection");
+  // Degraded mode: repeated post-repair verification failures mean the
+  // metadata cannot be trusted to survive a pipeline.  Every further
+  // cycle is refused (an empty cycle reads as "reclaimed nothing"), so
+  // the allocation ladder degrades to fresh-page growth.
+  if (RepairStatsInfo.DegradedMode)
+    return CollectionStats();
+  MetadataScope MetaScope(*this);
 
   // Threaded mode: rendezvous every registered mutator at a safepoint
   // before any phase touches shared heap state, and drain the
@@ -1231,6 +1262,11 @@ CollectionStats Collector::collect(const char *Reason) {
   // and use-after-free writes are detected at a deterministic point.
   flushQuarantine();
   InCollection = true;
+
+  // Deterministic corruption drills: any armed Metadata* fault site
+  // fires here — after unsealing, before any phase — so corrupt-soak
+  // runs replay bit-for-bit.  No-op without armed sites.
+  Heap->injectMetadataFaults();
 
   for (const auto &Hook : PreCollectionHooks)
     Hook();
@@ -1283,69 +1319,115 @@ CollectionStats Collector::collect(const char *Reason) {
         ThreadRootIds);
   }
 
-  BlacklistImpl->beginCycle();
+  // The phase pipeline, transactional under the repair ladder: the
+  // verify sink (VerifyEveryCollection, !RepairFatal) sets
+  // RepairPending at the first corrupted phase boundary, after which
+  // the remaining phases are skipped — no sweep may run over metadata
+  // that failed verification.
+  RepairPending = false;
+  auto RunPipeline = [&](CollectionStats &C) {
+    // beginCycle is reset-safe: an abandoned attempt re-begins without
+    // an intervening endCycle.
+    BlacklistImpl->beginCycle();
 
-  runPhase(GcPhase::RootScan, Cycle,
-           [&] { MarkerImpl->runRootScan(Roots, Cycle); });
+    if (!RepairPending)
+      runPhase(GcPhase::RootScan, C,
+               [&] { MarkerImpl->runRootScan(Roots, C); });
 
-  runPhase(GcPhase::Mark, Cycle, [&] {
-    MarkerImpl->runMarkPhase(Cycle);
-    // Finalizer detection resurrects unreachable objects (marking
-    // work), staging them for the Finalize phase.
-    Finalizers.processUnreachable(*MarkerImpl, *Heap, *Blocks, Cycle);
-  });
+    if (!RepairPending)
+      runPhase(GcPhase::Mark, C, [&] {
+        MarkerImpl->runMarkPhase(C);
+        // Finalizer detection resurrects unreachable objects (marking
+        // work), staging them for the Finalize phase.
+        Finalizers.processUnreachable(*MarkerImpl, *Heap, *Blocks, C);
+      });
 
-  // Caches that could not be drained (owner frozen by the suspend
-  // signal, possibly mid-fast-path) still hold reserved slots with
-  // AllocBits set but no marks; pin them before leak reporting and the
-  // sweep so neither treats them as garbage.
-  if (CacheFlush.CachesSkipped != 0)
-    Cycle.CacheSlotsPinned = pinSuspendedThreadCaches();
+    // Caches that could not be drained (owner frozen by the suspend
+    // signal, possibly mid-fast-path) still hold reserved slots with
+    // AllocBits set but no marks; pin them before leak reporting and
+    // the sweep so neither treats them as garbage.
+    if (!RepairPending && CacheFlush.CachesSkipped != 0)
+      C.CacheSlotsPinned = pinSuspendedThreadCaches();
 
-  runPhase(GcPhase::BlacklistPromote, Cycle,
-           [&] { BlacklistImpl->endCycle(); });
+    if (!RepairPending)
+      runPhase(GcPhase::BlacklistPromote, C,
+               [&] { BlacklistImpl->endCycle(); });
 
-  if (OnLeak)
-    reportLeaks();
+    if (!RepairPending && OnLeak)
+      reportLeaks();
 
-  runPhase(GcPhase::Sweep, Cycle, [&] {
-    SweepResult Swept = SweepCtx->run(Cycle);
-    if (Guards && !Swept.GuardViolations.empty()) {
-      // Workers found violations in whatever shard order; seqno (with
-      // base as tiebreaker for unreadable headers) restores the unique
-      // allocation order, so the report — and the aborting violation
-      // under GuardFatal — is identical for any SweepThreads value.
-      std::sort(Swept.GuardViolations.begin(), Swept.GuardViolations.end(),
-                [](const GuardViolation &A, const GuardViolation &B) {
-                  return A.Seqno != B.Seqno ? A.Seqno < B.Seqno
-                                            : A.Base < B.Base;
-                });
-      for (const GuardViolation &V : Swept.GuardViolations)
-        reportGuardViolation(
-            V,
-            reinterpret_cast<uint64_t>(Arena->pointerTo(V.Base)) +
-                GuardLayer::HeaderBytes,
-            V.Kind == GuardViolationKind::HeaderSmash
-                ? "guard header smash"
-                : "guard redzone smash");
+    if (!RepairPending)
+      runPhase(GcPhase::Sweep, C, [&] {
+        SweepResult Swept = SweepCtx->run(C);
+        if (Guards && !Swept.GuardViolations.empty()) {
+          // Workers found violations in whatever shard order; seqno
+          // (with base as tiebreaker for unreadable headers) restores
+          // the unique allocation order, so the report — and the
+          // aborting violation under GuardFatal — is identical for any
+          // SweepThreads value.
+          std::sort(Swept.GuardViolations.begin(),
+                    Swept.GuardViolations.end(),
+                    [](const GuardViolation &A, const GuardViolation &B) {
+                      return A.Seqno != B.Seqno ? A.Seqno < B.Seqno
+                                                : A.Base < B.Base;
+                    });
+          for (const GuardViolation &V : Swept.GuardViolations)
+            reportGuardViolation(
+                V,
+                reinterpret_cast<uint64_t>(Arena->pointerTo(V.Base)) +
+                    GuardLayer::HeaderBytes,
+                V.Kind == GuardViolationKind::HeaderSmash
+                    ? "guard header smash"
+                    : "guard redzone smash");
+        }
+        C.ObjectsSweptFree = Swept.ObjectsSweptFree;
+        C.BytesSweptFree = Swept.BytesSweptFree;
+        C.ObjectsLive = Swept.ObjectsLive;
+        C.BytesLive = Swept.BytesLive;
+        if (Config.LazySweep) {
+          // Small blocks are swept later; report liveness from marks.
+          C.ObjectsLive = C.ObjectsMarked;
+          C.BytesLive = C.BytesMarked;
+        }
+        C.SlotsPinned = Swept.SlotsPinned;
+        C.PagesReleased = Swept.PagesReleased;
+      });
+
+    if (!RepairPending)
+      runPhase(GcPhase::Finalize, C, [&] {
+        Finalizers.publishStaged();
+        emitRetainedObjects();
+      });
+  };
+
+  RunPipeline(Cycle);
+
+  // Transactional retry: a mid-phase verification failure abandoned
+  // the pipeline above.  Repair in place — world still stopped, heap
+  // lock held — and retry the cycle once under the already-paid
+  // handshake (the root-scan clears the partial mark state).  A second
+  // failure parks the collector in degraded mode rather than ever
+  // sweeping over metadata that cannot be made consistent.
+  if (RepairPending) {
+    RepairPending = false;
+    ++RepairStatsInfo.CollectionsRetried;
+    repairHeapLocked();
+    CollectionStats Retry;
+    Retry.MutatorsStopped = Cycle.MutatorsStopped;
+    Retry.HandshakeNanos = Cycle.HandshakeNanos;
+    Retry.CacheSlotsFlushed = Cycle.CacheSlotsFlushed;
+    Cycle = Retry; // Same address: the timing sink stays attached.
+    RunPipeline(Cycle);
+    if (RepairPending) {
+      RepairPending = false;
+      repairHeapLocked();
+      RepairStatsInfo.DegradedMode = true;
+      warn(WarnEvent::MetadataRepair,
+           "cgc: heap verification failed again after repair; collector "
+           "degraded to growth-only allocation",
+           Lifetime.Collections);
     }
-    Cycle.ObjectsSweptFree = Swept.ObjectsSweptFree;
-    Cycle.BytesSweptFree = Swept.BytesSweptFree;
-    Cycle.ObjectsLive = Swept.ObjectsLive;
-    Cycle.BytesLive = Swept.BytesLive;
-    if (Config.LazySweep) {
-      // Small blocks are swept later; report liveness from the marks.
-      Cycle.ObjectsLive = Cycle.ObjectsMarked;
-      Cycle.BytesLive = Cycle.BytesMarked;
-    }
-    Cycle.SlotsPinned = Swept.SlotsPinned;
-    Cycle.PagesReleased = Swept.PagesReleased;
-  });
-
-  runPhase(GcPhase::Finalize, Cycle, [&] {
-    Finalizers.publishStaged();
-    emitRetainedObjects();
-  });
+  }
 
   Cycle.BlacklistedPages = BlacklistImpl->entryCount();
   // Aggregate views of the pipeline timings (see GcStats.h).
@@ -1388,12 +1470,17 @@ CollectionStats Collector::collect(const char *Reason) {
   if (WorldStopped)
     Registry.resumeTheWorld();
   InCollection = false;
+  // Request re-sealing: it happens when the outermost MetadataScope
+  // unwinds, so an allocation slow path that triggered this collection
+  // finishes on writable metadata first.
+  SealPending = true;
   return Cycle;
 }
 
 CollectionStats Collector::measureLiveness() {
   HeapLockGuard HeapGuard(*this);
   CGC_CHECK(!InCollection, "re-entrant collection");
+  MetadataScope MetaScope(*this);
   // Same rendezvous as collect(), minus the cache flush: a liveness
   // census must not perturb the caches it is measuring, and cached
   // slots carry set alloc+mark treatment only at sweep time (which a
@@ -1526,6 +1613,26 @@ void Collector::VerifySink::onPhaseEnd(GcPhase Phase, uint64_t,
   });
   if (Report.clean())
     return;
+  if (!GC.Config.RepairFatal && GC.InCollection) {
+    // Guard smashes are damage to *client* memory that the sweep
+    // reports through the guard-violation path; metadata repair cannot
+    // resolve them, so they never spin the abandon-repair-retry
+    // ladder.
+    bool OnlyGuardSmashes = !Report.Findings.empty();
+    for (const VerifyFinding &F : Report.Findings)
+      if (F.Kind != VerifyFindingKind::GuardSmash)
+        OnlyGuardSmashes = false;
+    if (OnlyGuardSmashes)
+      return;
+    // Abandon the cycle: collect() skips the remaining phases, repairs
+    // under the still-stopped world, and retries once.
+    GC.RepairPending = true;
+    GC.warn(WarnEvent::MetadataRepair,
+            "cgc: heap verification failed mid-collection; abandoning "
+            "the cycle for repair",
+            Report.Issues.size());
+    return;
+  }
   std::fprintf(stderr,
                "cgc heap verification failed after phase %s "
                "(%zu issues):\n%s",
@@ -1533,6 +1640,81 @@ void Collector::VerifySink::onPhaseEnd(GcPhase Phase, uint64_t,
                Report.str().c_str());
   fatalError("heap verification failed during collection", __FILE__,
              __LINE__);
+}
+
+HeapVerifyReport Collector::repairHeapLocked() {
+  HeapRepairStats Stats;
+  HeapVerifyReport Report = Heap->verifyAndRepair(Stats);
+  ++RepairStatsInfo.VerifyRepairsRun;
+  RepairStatsInfo.FindingsRepaired += Stats.FindingsRepaired;
+  RepairStatsInfo.BlocksQuarantined += Stats.BlocksQuarantined;
+  RepairStatsInfo.PagesQuarantined += Stats.PagesQuarantined;
+  RepairStatsInfo.FreeListRebuilds += Stats.FreeListRebuilds;
+  RepairStatsInfo.PageMapRederivations += Stats.PageMapRederivations;
+  RepairStatsInfo.CountersResynced += Stats.CountersResynced;
+  if (!Report.clean())
+    warn(WarnEvent::MetadataRepair,
+         Report.RepairedClean
+             ? "cgc: metadata corruption repaired in place"
+             : "cgc: metadata corruption only partially repaired",
+         Report.Issues.size());
+  return Report;
+}
+
+HeapVerifyReport Collector::verifyAndRepair() {
+  HeapLockGuard Guard(*this);
+  MetadataScope MetaScope(*this);
+  return repairHeapLocked();
+}
+
+GcRepairStats Collector::repairStats() const {
+  GcRepairStats Snapshot = RepairStatsInfo;
+  if (MetaArena) {
+    Snapshot.SealTransitions = MetaArena->protectTransitions();
+    Snapshot.SealNanos = MetaArena->protectNanos();
+  }
+  return Snapshot;
+}
+
+void Collector::serviceMetadataWildWrites() {
+  if (!MetaArena)
+    return;
+  MetadataArena::WildWrite Writes[16];
+  unsigned Count = MetaArena->drainWildWrites(Writes, 16);
+  if (Count == 0)
+    return;
+  for (unsigned I = 0; I != Count; ++I) {
+    const void *Addr = reinterpret_cast<const void *>(Writes[I].Address);
+    GcIncident Incident;
+    Incident.Cause = GcIncidentCause::MetadataWildWrite;
+    Incident.CollectionIndex = Lifetime.Collections;
+    Incident.MetadataAddress = Writes[I].Address;
+    PageIndex Page = 0;
+    BlockId Hit = Blocks->descriptorContaining(Addr);
+    if (Map->attributeAddress(Addr, Page)) {
+      Incident.MetadataRegion = "page-map";
+      Incident.MetadataPage = Page;
+    } else if (Hit != InvalidBlockId) {
+      Incident.MetadataRegion = "block-table";
+      Incident.MetadataBlock = Hit;
+      if (Blocks->isLive(Hit))
+        Incident.MetadataPage = Blocks->get(Hit).StartPage;
+    } else if (MetaArena->contains(Addr)) {
+      Incident.MetadataRegion = "free-lists";
+    } else {
+      Incident.MetadataRegion = "metadata";
+    }
+    ++RepairStatsInfo.MetadataWildWrites;
+    noteCrashEvent(GcEventKind::Incident, /*Phase=*/-1, Writes[I].Address);
+    Observers.dispatch([&](GcObserver &O) { O.onIncident(Incident); });
+    warn(WarnEvent::MetadataRepair,
+         "cgc: wild write to sealed GC metadata caught and contained",
+         Writes[I].Address);
+  }
+  // The faulting stores landed (the handler unprotected their pages so
+  // the writers could retry): whatever they hit is suspect — verify
+  // and repair before any allocator or collector path trusts it.
+  repairHeapLocked();
 }
 
 void Collector::reportLeaks() {

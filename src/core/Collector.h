@@ -43,6 +43,7 @@
 #include "roots/MachineStack.h"
 #include "roots/RootSet.h"
 #include "support/CrashReporter.h"
+#include "support/MetadataArena.h"
 #include <functional>
 #include <memory>
 #include <optional>
@@ -417,6 +418,20 @@ public:
   /// the full report and fatals on any inconsistency.
   void verifyHeap();
 
+  /// Runs the verifier's self-healing pass under the heap lock:
+  /// counters resynced from their bitmaps, the page map re-derived from
+  /// the block table, class free lists and free page runs rebuilt, and
+  /// blocks with untrustworthy geometry quarantined (their pages
+  /// deliberately leaked).  \returns the pre-repair report with each
+  /// finding's Outcome filled in and RepairedClean reflecting the
+  /// post-repair re-verification; counters fold into repairStats().
+  HeapVerifyReport verifyAndRepair();
+
+  /// Snapshot of the corruption-containment counters: repair passes,
+  /// quarantined blocks/pages, collection retries, wild writes to
+  /// sealed metadata, and the seal/unseal mprotect traffic.
+  GcRepairStats repairStats() const;
+
   VirtualArena &arena() { return *Arena; }
   /// Low-level access for tests and experiment harnesses.
   ObjectHeap &objectHeap() { return *Heap; }
@@ -471,8 +486,9 @@ private:
     InvalidFree = 4,
     GuardViolation = 5,
     HandshakeStall = 6,
+    MetadataRepair = 7,
   };
-  static constexpr unsigned NumWarnEvents = 7;
+  static constexpr unsigned NumWarnEvents = 8;
 
   /// The unguarded allocation paths (the historical allocate /
   /// allocateIgnoreOffPage bodies); the public entry points route
@@ -645,6 +661,43 @@ private:
   void runPhase(GcPhase Phase, CollectionStats &Cycle,
                 const std::function<void()> &Body);
   void emitRetainedObjects();
+
+  /// Lazily unseals the metadata arena on entry to a metadata-mutating
+  /// path and re-seals at the outermost scope's exit once a collection
+  /// has requested it (SealPending) — so sealed-mode traffic stays at
+  /// two mprotect transitions per collection no matter how deeply
+  /// collect() nests inside allocation slow paths.  No-op without
+  /// GcConfig::SealMetadata.
+  struct MetadataScope {
+    explicit MetadataScope(Collector &GC) : GC(GC) {
+      if (GC.MetaArena) {
+        ++GC.MetadataDepth;
+        if (GC.MetaArena->sealed()) {
+          GC.MetaArena->unseal();
+          GC.serviceMetadataWildWrites();
+        }
+      }
+    }
+    ~MetadataScope() {
+      if (GC.MetaArena && --GC.MetadataDepth == 0 && GC.SealPending) {
+        GC.SealPending = false;
+        GC.MetaArena->seal();
+      }
+    }
+    MetadataScope(const MetadataScope &) = delete;
+    MetadataScope &operator=(const MetadataScope &) = delete;
+    Collector &GC;
+  };
+  /// Drains the sealed arena's wild-write ring: attributes each caught
+  /// store to the structure it hit (block table, page map, free lists),
+  /// raises GcIncident{MetadataWildWrite}, and runs one repair pass.
+  /// Called whenever the arena transitions sealed -> unsealed.
+  void serviceMetadataWildWrites();
+  /// One verifyAndRepair pass with counters folded into
+  /// RepairStatsInfo; callers hold the heap lock (and, mid-collection,
+  /// the stopped world).  \returns the annotated pre-repair report.
+  HeapVerifyReport repairHeapLocked();
+
   /// Records an event in the crash-visible ring (see CrashInfo).
   void noteCrashEvent(GcEventKind Kind, int Phase, uint64_t Value) {
     CrashInfo.Events.push(
@@ -654,6 +707,11 @@ private:
 
   GcConfig Config;
   std::unique_ptr<VirtualArena> Arena;
+  /// Dedicated mmap arena for GC metadata when GcConfig::SealMetadata
+  /// is on; its pages flip PROT_READ between collections.  Declared
+  /// before the structures that allocate from it so it is destroyed
+  /// last.  Null (and everything heap-allocated) when sealing is off.
+  std::unique_ptr<MetadataArena> MetaArena;
   std::unique_ptr<PageAllocator> Pages;
   std::unique_ptr<PageMap> Map;
   std::unique_ptr<BlockTable> Blocks;
@@ -703,6 +761,17 @@ private:
   CollectionStats LastCycle;
   GcLifetimeStats Lifetime;
   GcResilienceStats Resilience;
+  /// Corruption-containment counters; seal traffic is read from the
+  /// arena at snapshot time (repairStats()).
+  GcRepairStats RepairStatsInfo;
+  /// Set by the verify sink when a mid-collection verification failed
+  /// under !RepairFatal: the remaining phases are skipped, the cycle
+  /// abandoned, the heap repaired, and the pipeline retried once.
+  bool RepairPending = false;
+  /// Depth of nested MetadataScope frames (heap lock serializes).
+  unsigned MetadataDepth = 0;
+  /// A collection finished inside a nested scope; seal on unwind.
+  bool SealPending = false;
   uint64_t WarnOccurrences[NumWarnEvents] = {};
   uint64_t BytesSinceGc = 0;
   uint64_t AllocsSinceClear = 0;

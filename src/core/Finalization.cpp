@@ -8,6 +8,13 @@ size_t FinalizationQueue::processUnreachable(Marker &MarkerImpl,
                                              ObjectHeap &Heap,
                                              BlockTable &Blocks,
                                              CollectionStats &Stats) {
+  // Entries staged by an abandoned (repair-retried) cycle left the
+  // Registered map but were never published; their resurrection marks
+  // were discarded with the retry's mark reset, so renew them or the
+  // sweep reclaims objects a pending finalizer will read.  Empty —
+  // and free — on every normally completed cycle.
+  for (const auto &[Offset, Fn] : Staged)
+    MarkerImpl.markFromCandidate(Offset, Stats);
   // Collect the unreachable set first: resurrecting one object may make
   // another registered object reachable again, and PCR semantics queue
   // everything that was unreachable at mark completion.

@@ -282,6 +282,24 @@ struct GcConfig {
   /// variable (any value but "0") forces this on at construction.
   bool VerifyEveryCollection = false;
 
+  /// Opt-in metadata sealing: BlockTable descriptors, PageMap entries,
+  /// and page free-list storage live on dedicated metadata-arena pages
+  /// that are flipped PROT_READ between collections and unprotected
+  /// under the heap lock at collection/allocation entry.  A wild store
+  /// from client code then faults; the SIGSEGV sub-handler attributes
+  /// it, lets it proceed, and the collector raises a structured
+  /// GcIncident{MetadataWildWrite} and runs verify-and-repair instead
+  /// of crashing.  Sealing changes no allocation decision, so
+  /// collections are digest-identical with it on or off.
+  bool SealMetadata = false;
+
+  /// Abort (historical behavior) when per-phase verification
+  /// (VerifyEveryCollection) finds an inconsistency.  false switches to
+  /// the containment path: the collection is abandoned, the verifier's
+  /// repair mode runs, the cycle is retried once, and a second failure
+  /// degrades the collector to fresh-page allocation — never aborting.
+  bool RepairFatal = true;
+
   /// Opt-in guarded-heap (debug) mode: every conservatively scanned
   /// allocation gains a 16-byte debug header (allocation-site tag +
   /// monotonic seqno + canary) and a trailing redzone validated at

@@ -43,6 +43,11 @@ enum class GcIncidentCause : unsigned char {
   /// registered mutator neither parked cooperatively nor answered the
   /// suspend signal, and the collection attempt was abandoned.
   HandshakeTimeout,
+  /// A wild store landed on a sealed metadata page
+  /// (GcConfig::SealMetadata): the SIGSEGV sub-handler attributed the
+  /// write, let it proceed against an unprotected copy of the page, and
+  /// the collector ran verify-and-repair at its next entry.
+  MetadataWildWrite,
 };
 
 constexpr const char *gcIncidentCauseName(GcIncidentCause Cause) {
@@ -61,6 +66,8 @@ constexpr const char *gcIncidentCauseName(GcIncidentCause Cause) {
     return "quarantine-use-after-free";
   case GcIncidentCause::HandshakeTimeout:
     return "handshake-timeout";
+  case GcIncidentCause::MetadataWildWrite:
+    return "metadata-wild-write";
   }
   return "?";
 }
@@ -128,6 +135,19 @@ struct GcIncident {
   /// registered thread other than the collector, in registration
   /// order, with its state at the final-timeout rung.
   std::vector<GcHandshakeTraceEntry> HandshakeTrace;
+
+  // Metadata wild-write payload (MetadataWildWrite only).
+  /// The faulting store's target address inside the sealed metadata
+  /// arena.
+  uint64_t MetadataAddress = 0;
+  /// Which sealed structure the address fell in ("block-table",
+  /// "page-map", "free-lists", or "metadata" when unattributable).
+  const char *MetadataRegion = nullptr;
+  /// Block whose descriptor was hit (0 = none / not a descriptor).
+  uint32_t MetadataBlock = 0;
+  /// Heap page whose page-map entry was hit (0 when the write did not
+  /// land in the page-map entry array).
+  uint64_t MetadataPage = 0;
 };
 
 } // namespace cgc

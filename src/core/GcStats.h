@@ -183,6 +183,44 @@ struct GcResilienceStats {
   uint64_t AbandonedCollections = 0;
 };
 
+/// Lifetime counters for the corruption-containment layer: what the
+/// self-healing verifier rebuilt, what it had to quarantine
+/// (deliberately leak), how often a collection was abandoned and
+/// retried after repair, and the sealed-metadata traffic.
+struct GcRepairStats {
+  /// verifyAndRepair passes executed (verifier-triggered or wild-write
+  /// triggered).
+  uint64_t VerifyRepairsRun = 0;
+  /// Findings the repair pass resolved in place (counters resynced,
+  /// page-map entries re-derived, lists rebuilt).
+  uint64_t FindingsRepaired = 0;
+  /// Blocks with irreparable geometry dropped from the block table;
+  /// their pages are quarantined, not returned to the free lists.
+  uint64_t BlocksQuarantined = 0;
+  /// Pages deliberately leaked to quarantine (never reallocated).
+  uint64_t PagesQuarantined = 0;
+  /// Class free lists rebuilt from the alloc bitmaps.
+  uint64_t FreeListRebuilds = 0;
+  /// Page-map entry arrays re-derived from the block table.
+  uint64_t PageMapRederivations = 0;
+  /// Alloc/pinned counters resynced to their bitmaps.
+  uint64_t CountersResynced = 0;
+  /// Collections abandoned mid-pipeline and retried after repair.
+  uint64_t CollectionsRetried = 0;
+  /// Wild writes to sealed metadata pages caught by the SIGSEGV
+  /// sub-handler and raised as MetadataWildWrite incidents.
+  uint64_t MetadataWildWrites = 0;
+  /// Seal/unseal mprotect transitions (2 per collection when
+  /// GcConfig::SealMetadata is on and mutation happened in between).
+  uint64_t SealTransitions = 0;
+  /// Nanoseconds spent inside seal/unseal mprotect calls (lifetime).
+  uint64_t SealNanos = 0;
+  /// The collector gave up on collection after a repeated mid-repair
+  /// verification failure; collect() returns empty cycles and
+  /// allocation degrades to fresh-page growth.
+  bool DegradedMode = false;
+};
+
 /// Lifetime stop-the-world handshake timing and watchdog-escalation
 /// counters, snapshotted from the mutator registry
 /// (Collector::handshakeStats).  Mean time-to-stop is

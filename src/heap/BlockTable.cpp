@@ -4,21 +4,47 @@
 
 using namespace cgc;
 
+BlockTable::~BlockTable() {
+  for (BlockDescriptor *D : Blocks)
+    if (D)
+      deleteDescriptor(D);
+}
+
+BlockDescriptor *BlockTable::newDescriptor() {
+  if (!Arena)
+    return new BlockDescriptor();
+  void *Mem = Arena->allocate(sizeof(BlockDescriptor),
+                              alignof(BlockDescriptor) > 16
+                                  ? 16
+                                  : alignof(BlockDescriptor));
+  return new (Mem) BlockDescriptor();
+}
+
+void BlockTable::deleteDescriptor(BlockDescriptor *D) {
+  if (!Arena) {
+    delete D;
+    return;
+  }
+  D->~BlockDescriptor();
+  Arena->deallocate(D, sizeof(BlockDescriptor));
+}
+
 BlockId BlockTable::create() {
   ++NumLive;
   if (!FreeIds.empty()) {
     BlockId Id = FreeIds.back();
     FreeIds.pop_back();
-    Blocks[Id - 1] = std::make_unique<BlockDescriptor>();
+    Blocks[Id - 1] = newDescriptor();
     return Id;
   }
-  Blocks.push_back(std::make_unique<BlockDescriptor>());
+  Blocks.push_back(newDescriptor());
   return static_cast<BlockId>(Blocks.size());
 }
 
 void BlockTable::destroy(BlockId Id) {
   CGC_CHECK(isLive(Id), "destroying a dead block id");
-  Blocks[Id - 1].reset();
+  deleteDescriptor(Blocks[Id - 1]);
+  Blocks[Id - 1] = nullptr;
   FreeIds.push_back(Id);
   --NumLive;
 }

@@ -21,6 +21,7 @@
 #include "heap/ObjectKind.h"
 #include "support/Assert.h"
 #include "support/BitVector.h"
+#include "support/MetadataArena.h"
 #include <memory>
 #include <vector>
 
@@ -106,9 +107,19 @@ struct BlockDescriptor {
   }
 };
 
-/// Owns every live block descriptor and recycles identifiers.
+/// Owns every live block descriptor and recycles identifiers.  With a
+/// MetadataArena, descriptors are placement-constructed in sealable
+/// pages so wild stores into them fault instead of corrupting silently
+/// (their BitVector word arrays still live on the ordinary heap — a
+/// documented gap; the verifier cross-checks catch those).
 class BlockTable {
 public:
+  explicit BlockTable(MetadataArena *Arena = nullptr) : Arena(Arena) {}
+  ~BlockTable();
+
+  BlockTable(const BlockTable &) = delete;
+  BlockTable &operator=(const BlockTable &) = delete;
+
   /// Creates a descriptor and returns its id (never InvalidBlockId).
   BlockId create();
 
@@ -123,6 +134,22 @@ public:
   const BlockDescriptor &get(BlockId Id) const {
     CGC_ASSERT(isLive(Id), "dereferencing a dead block id");
     return *Blocks[Id - 1];
+  }
+
+  /// Attributes a wild metadata write: when \p Addr lands inside a live
+  /// descriptor object, \returns its id (else InvalidBlockId).  Linear
+  /// scan — only the incident-report path uses it.
+  BlockId descriptorContaining(const void *Addr) const {
+    uintptr_t A = reinterpret_cast<uintptr_t>(Addr);
+    for (BlockId Id = 1; Id <= Blocks.size(); ++Id) {
+      const BlockDescriptor *D = Blocks[Id - 1];
+      if (!D)
+        continue;
+      uintptr_t Base = reinterpret_cast<uintptr_t>(D);
+      if (A >= Base && A < Base + sizeof(BlockDescriptor))
+        return Id;
+    }
+    return InvalidBlockId;
   }
 
   bool isLive(BlockId Id) const {
@@ -142,7 +169,11 @@ public:
   }
 
 private:
-  std::vector<std::unique_ptr<BlockDescriptor>> Blocks;
+  BlockDescriptor *newDescriptor();
+  void deleteDescriptor(BlockDescriptor *D);
+
+  MetadataArena *Arena;
+  std::vector<BlockDescriptor *> Blocks;
   std::vector<BlockId> FreeIds;
   size_t NumLive = 0;
 };

@@ -11,13 +11,70 @@
 
 namespace cgc {
 
+const char *verifyFindingKindName(VerifyFindingKind Kind) {
+  switch (Kind) {
+  case VerifyFindingKind::Generic:
+    return "generic";
+  case VerifyFindingKind::BlockGeometry:
+    return "block-geometry";
+  case VerifyFindingKind::PageMapStale:
+    return "page-map-stale";
+  case VerifyFindingKind::CounterMismatch:
+    return "counter-mismatch";
+  case VerifyFindingKind::FreeListBroken:
+    return "free-list-broken";
+  case VerifyFindingKind::FreeRunBroken:
+    return "free-run-broken";
+  case VerifyFindingKind::GuardSmash:
+    return "guard-smash";
+  case VerifyFindingKind::Accounting:
+    return "accounting";
+  }
+  CGC_UNREACHABLE("unknown finding kind");
+}
+
+void HeapVerifyReport::record(VerifyFindingKind Kind, BlockId Block,
+                              uint64_t Page, std::string Message) {
+  // Dedup per (kind, page) — but never for Generic findings, which are
+  // heterogeneous collector-level notes all sharing (Generic, 0).
+  if (Kind != VerifyFindingKind::Generic) {
+    for (const VerifyFinding &F : Findings) {
+      if (F.Kind == Kind && F.Page == Page) {
+        ++Deduplicated;
+        return;
+      }
+    }
+  }
+  if (Findings.size() >= MaxFindings) {
+    ++Truncated;
+    return;
+  }
+  VerifyFinding F;
+  F.Kind = Kind;
+  F.Block = Block;
+  F.Page = Page;
+  F.Message = Message;
+  Findings.push_back(std::move(F));
+  Issues.push_back(std::move(Message));
+}
+
 void HeapVerifyReport::notef(const char *Fmt, ...) {
   char Buffer[512];
   va_list Args;
   va_start(Args, Fmt);
   std::vsnprintf(Buffer, sizeof(Buffer), Fmt, Args);
   va_end(Args);
-  Issues.emplace_back(Buffer);
+  record(VerifyFindingKind::Generic, InvalidBlockId, 0, Buffer);
+}
+
+void HeapVerifyReport::notefAt(VerifyFindingKind Kind, BlockId Block,
+                               uint64_t Page, const char *Fmt, ...) {
+  char Buffer[512];
+  va_list Args;
+  va_start(Args, Fmt);
+  std::vsnprintf(Buffer, sizeof(Buffer), Fmt, Args);
+  va_end(Args);
+  record(Kind, Block, Page, Buffer);
 }
 
 std::string HeapVerifyReport::str() const {
@@ -33,60 +90,73 @@ HeapVerifyReport HeapVerifier::run() {
   HeapVerifyReport R;
   PageAllocator &Pages = Heap.Pages;
   PageMap &Map = Heap.Map;
+  using K = VerifyFindingKind;
 
   // --- Block table ↔ page map ↔ bitmaps ↔ byte accounting. ---
   uint64_t BytesSeen = 0;
   uint64_t BlockOwnedPages = 0;
   Heap.Blocks.forEach([&](BlockId Id, BlockDescriptor &Block) {
     if (Block.NumPages == 0 || Block.ObjectCount == 0) {
-      R.notef("block %u: degenerate (%u pages, %u slots)", Id,
-              Block.NumPages, Block.ObjectCount);
+      R.notefAt(K::BlockGeometry, Id, Block.StartPage,
+                "block %u: degenerate (%u pages, %u slots)", Id,
+                Block.NumPages, Block.ObjectCount);
       return; // Geometry is garbage; further checks would divide by it.
     }
     if (!Pages.inPotentialHeap(Block.StartPage) ||
         !Pages.inPotentialHeap(Block.StartPage + Block.NumPages - 1))
-      R.notef("block %u: pages [%llu, %llu) outside the heap arena", Id,
-              (unsigned long long)Block.StartPage,
-              (unsigned long long)(Block.StartPage + Block.NumPages));
+      R.notefAt(K::BlockGeometry, Id, Block.StartPage,
+                "block %u: pages [%llu, %llu) outside the heap arena", Id,
+                (unsigned long long)Block.StartPage,
+                (unsigned long long)(Block.StartPage + Block.NumPages));
     if (Block.StartPage + Block.NumPages > Pages.committedLimitPage())
-      R.notef("block %u: extends past the committed limit %llu", Id,
-              (unsigned long long)Pages.committedLimitPage());
+      R.notefAt(K::BlockGeometry, Id, Block.StartPage,
+                "block %u: extends past the committed limit %llu", Id,
+                (unsigned long long)Pages.committedLimitPage());
     if (Block.FirstObjectOffset +
             uint64_t(Block.ObjectCount) * Block.ObjectSize >
         uint64_t(Block.NumPages) * PageSize)
-      R.notef("block %u: %u slots of %u bytes overflow %u pages", Id,
-              Block.ObjectCount, Block.ObjectSize, Block.NumPages);
+      R.notefAt(K::BlockGeometry, Id, Block.StartPage,
+                "block %u: %u slots of %u bytes overflow %u pages", Id,
+                Block.ObjectCount, Block.ObjectSize, Block.NumPages);
     for (uint32_t P = 0; P != Block.NumPages; ++P) {
       if (Map.blockAt(Block.StartPage + P) != Id) {
-        R.notef("block %u: page map entry for page %llu points elsewhere",
-                Id, (unsigned long long)(Block.StartPage + P));
+        R.notefAt(K::PageMapStale, Id, Block.StartPage + P,
+                  "block %u: page map entry for page %llu points elsewhere",
+                  Id, (unsigned long long)(Block.StartPage + P));
         break; // One line per block is enough to localize it.
       }
     }
     if (Block.AllocBits.count() != Block.AllocatedCount)
-      R.notef("block %u: alloc bitmap has %llu bits set, counter says %u",
-              Id, (unsigned long long)Block.AllocBits.count(),
-              Block.AllocatedCount);
+      R.notefAt(K::CounterMismatch, Id, Block.StartPage,
+                "block %u: alloc bitmap has %llu bits set, counter says %u",
+                Id, (unsigned long long)Block.AllocBits.count(),
+                Block.AllocatedCount);
     if (Block.PinnedBits.count() != Block.PinnedCount)
-      R.notef("block %u: pinned bitmap has %llu bits set, counter says %u",
-              Id, (unsigned long long)Block.PinnedBits.count(),
-              Block.PinnedCount);
+      R.notefAt(K::CounterMismatch, Id, Block.StartPage,
+                "block %u: pinned bitmap has %llu bits set, counter says %u",
+                Id, (unsigned long long)Block.PinnedBits.count(),
+                Block.PinnedCount);
     if (Block.AllocatedCount + Block.PinnedCount > Block.ObjectCount)
-      R.notef("block %u: %u allocated + %u pinned exceed %u slots", Id,
-              Block.AllocatedCount, Block.PinnedCount, Block.ObjectCount);
+      R.notefAt(K::CounterMismatch, Id, Block.StartPage,
+                "block %u: %u allocated + %u pinned exceed %u slots", Id,
+                Block.AllocatedCount, Block.PinnedCount, Block.ObjectCount);
     BitVector Overlap = Block.AllocBits;
     Overlap.andWith(Block.PinnedBits);
     if (Overlap.count() != 0)
-      R.notef("block %u: %llu slots both allocated and pinned", Id,
-              (unsigned long long)Overlap.count());
+      R.notefAt(K::CounterMismatch, Id, Block.StartPage,
+                "block %u: %llu slots both allocated and pinned", Id,
+                (unsigned long long)Overlap.count());
     if (Block.MarkBits.count() > Block.ObjectCount)
-      R.notef("block %u: mark bitmap has %llu bits set for %u slots", Id,
-              (unsigned long long)Block.MarkBits.count(), Block.ObjectCount);
+      R.notefAt(K::CounterMismatch, Id, Block.StartPage,
+                "block %u: mark bitmap has %llu bits set for %u slots", Id,
+                (unsigned long long)Block.MarkBits.count(),
+                Block.ObjectCount);
     if (Block.IsLarge &&
         (Block.ObjectCount != 1 || Block.AllocatedCount != 1))
-      R.notef("block %u: large block must hold exactly one object "
-              "(%u slots, %u allocated)",
-              Id, Block.ObjectCount, Block.AllocatedCount);
+      R.notefAt(K::BlockGeometry, Id, Block.StartPage,
+                "block %u: large block must hold exactly one object "
+                "(%u slots, %u allocated)",
+                Id, Block.ObjectCount, Block.AllocatedCount);
     // Every small block with usable space must be reachable by the
     // allocator: listed on its class list or queued for lazy sweep.
     // (The LIFO ablation prunes its stacks lazily, so only the
@@ -99,9 +169,10 @@ HeapVerifyReport HeapVerifier::run() {
       for (BlockId Q : List.Unswept)
         Queued |= Q == Id;
       if (!Listed && !Queued)
-        R.notef("block %u: has %u usable free slots but is invisible to "
-                "the allocator",
-                Id, Block.usableFreeCount());
+        R.notefAt(K::FreeListBroken, Id, Block.StartPage,
+                  "block %u: has %u usable free slots but is invisible to "
+                  "the allocator",
+                  Id, Block.usableFreeCount());
     }
     // Guarded mode: every allocated untyped slot must carry an intact
     // header and redzone — unless it is parked in the quarantine, where
@@ -118,43 +189,50 @@ HeapVerifyReport HeapVerifier::run() {
         GuardLayer::Decoded Info = GuardLayer::inspect(
             Heap.Arena.pointerTo(Base), Block.ObjectSize);
         if (!Info.HeaderIntact)
-          R.notef("block %u slot %u: guard header smashed (offset 0x%llx)",
-                  Id, Slot, (unsigned long long)Base);
+          R.notefAt(K::GuardSmash, Id, pageOfOffset(Base),
+                    "block %u slot %u: guard header smashed (offset 0x%llx)",
+                    Id, Slot, (unsigned long long)Base);
         else if (!Info.RedzoneIntact)
-          R.notef("block %u slot %u: guard redzone smashed (seqno %llu, "
-                  "offset 0x%llx)",
-                  Id, Slot, (unsigned long long)Info.Seqno,
-                  (unsigned long long)Base);
+          R.notefAt(K::GuardSmash, Id, pageOfOffset(Base),
+                    "block %u slot %u: guard redzone smashed (seqno %llu, "
+                    "offset 0x%llx)",
+                    Id, Slot, (unsigned long long)Info.Seqno,
+                    (unsigned long long)Base);
       }
     }
     BytesSeen += uint64_t(Block.AllocatedCount) * Block.ObjectSize;
     BlockOwnedPages += Block.NumPages;
   });
   if (BytesSeen != Heap.AllocatedBytes)
-    R.notef("allocated-bytes accounting: blocks hold %llu bytes, counter "
-            "says %llu",
-            (unsigned long long)BytesSeen,
-            (unsigned long long)Heap.AllocatedBytes);
+    R.notefAt(K::Accounting, InvalidBlockId, 0,
+              "allocated-bytes accounting: blocks hold %llu bytes, counter "
+              "says %llu",
+              (unsigned long long)BytesSeen,
+              (unsigned long long)Heap.AllocatedBytes);
 
   // --- Class lists point at live, matching blocks. ---
   size_t QueuedBlocks = 0;
   auto CheckList = [&](const ObjectHeap::ClassList &List, const char *What) {
     for (const auto &[StartPage, Id] : List.Partial) {
       if (!Heap.Blocks.isLive(Id)) {
-        R.notef("%s class list: entry for page %llu names dead block %u",
-                What, (unsigned long long)StartPage, Id);
+        R.notefAt(K::FreeListBroken, Id, StartPage,
+                  "%s class list: entry for page %llu names dead block %u",
+                  What, (unsigned long long)StartPage, Id);
         continue;
       }
       const BlockDescriptor &Block = Heap.Blocks.get(Id);
       if (Block.StartPage != StartPage)
-        R.notef("%s class list: key page %llu but block %u starts at %llu",
-                What, (unsigned long long)StartPage, Id,
-                (unsigned long long)Block.StartPage);
+        R.notefAt(K::FreeListBroken, Id, StartPage,
+                  "%s class list: key page %llu but block %u starts at %llu",
+                  What, (unsigned long long)StartPage, Id,
+                  (unsigned long long)Block.StartPage);
       if (Block.IsLarge)
-        R.notef("%s class list: large block %u listed", What, Id);
+        R.notefAt(K::FreeListBroken, Id, StartPage,
+                  "%s class list: large block %u listed", What, Id);
       if (Block.usableFreeCount() == 0)
-        R.notef("%s class list: block %u listed with no usable slot", What,
-                Id);
+        R.notefAt(K::FreeListBroken, Id, StartPage,
+                  "%s class list: block %u listed with no usable slot", What,
+                  Id);
     }
     // Unswept entries may name blocks released meanwhile (the queue is
     // pruned lazily); only count them against the pending total.
@@ -167,9 +245,10 @@ HeapVerifyReport HeapVerifier::run() {
     CheckList(List, "typed");
   }
   if (QueuedBlocks != Heap.PendingSweeps)
-    R.notef("lazy-sweep queue holds %llu entries, counter says %llu",
-            (unsigned long long)QueuedBlocks,
-            (unsigned long long)Heap.PendingSweeps);
+    R.notefAt(K::Accounting, InvalidBlockId, 0,
+              "lazy-sweep queue holds %llu entries, counter says %llu",
+              (unsigned long long)QueuedBlocks,
+              (unsigned long long)Heap.PendingSweeps);
 
   // --- Free runs ↔ page map ↔ committed-page partition. ---
   uint64_t FreePages = 0;
@@ -177,46 +256,277 @@ HeapVerifyReport HeapVerifier::run() {
   bool FirstRun = true;
   Pages.forEachFreeRun([&](PageIndex Start, uint32_t Length) {
     if (Length == 0)
-      R.notef("free run at page %llu: zero length",
-              (unsigned long long)Start);
+      R.notefAt(K::FreeRunBroken, InvalidBlockId, Start,
+                "free run at page %llu: zero length",
+                (unsigned long long)Start);
     if (Start < Pages.arenaBasePage() ||
         Start + Length > Pages.committedLimitPage())
-      R.notef("free run [%llu, %llu) outside the committed arena "
-              "[%llu, %llu)",
-              (unsigned long long)Start,
-              (unsigned long long)(Start + Length),
-              (unsigned long long)Pages.arenaBasePage(),
-              (unsigned long long)Pages.committedLimitPage());
+      R.notefAt(K::FreeRunBroken, InvalidBlockId, Start,
+                "free run [%llu, %llu) outside the committed arena "
+                "[%llu, %llu)",
+                (unsigned long long)Start,
+                (unsigned long long)(Start + Length),
+                (unsigned long long)Pages.arenaBasePage(),
+                (unsigned long long)Pages.committedLimitPage());
     if (!FirstRun && Start <= PrevEnd)
-      R.notef("free run at page %llu %s the previous run ending at %llu",
-              (unsigned long long)Start,
-              Start < PrevEnd ? "overlaps" : "abuts (uncoalesced)",
-              (unsigned long long)PrevEnd);
+      R.notefAt(K::FreeRunBroken, InvalidBlockId, Start,
+                "free run at page %llu %s the previous run ending at %llu",
+                (unsigned long long)Start,
+                Start < PrevEnd ? "overlaps" : "abuts (uncoalesced)",
+                (unsigned long long)PrevEnd);
     FirstRun = false;
     PrevEnd = Start + Length;
     FreePages += Length;
     for (uint32_t P = 0; P != Length; ++P) {
       if (Map.blockAt(Start + P) != InvalidBlockId) {
-        R.notef("free run [%llu, %llu): page %llu owned by block %u",
-                (unsigned long long)Start,
-                (unsigned long long)(Start + Length),
-                (unsigned long long)(Start + P), Map.blockAt(Start + P));
+        R.notefAt(K::FreeRunBroken, InvalidBlockId, Start + P,
+                  "free run [%llu, %llu): page %llu owned by block %u",
+                  (unsigned long long)Start,
+                  (unsigned long long)(Start + Length),
+                  (unsigned long long)(Start + P), Map.blockAt(Start + P));
         break;
       }
     }
   });
+  uint64_t QuarantinedPages = 0;
+  Pages.forEachQuarantinedRun(
+      [&](PageIndex, uint32_t Length) { QuarantinedPages += Length; });
   uint64_t Committed = Pages.committedLimitPage() - Pages.arenaBasePage();
-  if (BlockOwnedPages + FreePages != Committed)
-    R.notef("committed-page partition: %llu block-owned + %llu free != "
-            "%llu committed",
-            (unsigned long long)BlockOwnedPages,
-            (unsigned long long)FreePages, (unsigned long long)Committed);
+  if (BlockOwnedPages + FreePages + QuarantinedPages != Committed)
+    R.notefAt(K::Accounting, InvalidBlockId, 0,
+              "committed-page partition: %llu block-owned + %llu free + "
+              "%llu quarantined != %llu committed",
+              (unsigned long long)BlockOwnedPages,
+              (unsigned long long)FreePages,
+              (unsigned long long)QuarantinedPages,
+              (unsigned long long)Committed);
   if (Pages.stats().CommittedPages != Committed)
-    R.notef("page stats: CommittedPages says %llu, commit limit implies "
-            "%llu",
-            (unsigned long long)Pages.stats().CommittedPages,
-            (unsigned long long)Committed);
+    R.notefAt(K::Accounting, InvalidBlockId, 0,
+              "page stats: CommittedPages says %llu, commit limit implies "
+              "%llu",
+              (unsigned long long)Pages.stats().CommittedPages,
+              (unsigned long long)Committed);
   return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Repair
+//===----------------------------------------------------------------------===//
+
+HeapVerifyReport HeapVerifier::verifyAndRepair(HeapRepairStats &Stats) {
+  HeapVerifyReport Pre = run();
+  if (Pre.clean()) {
+    Pre.RepairedClean = true;
+    return Pre;
+  }
+
+  PageAllocator &Pages = Heap.Pages;
+  PageMap &Map = Heap.Map;
+  std::vector<BlockId> QuarantinedBlocks;
+
+  // (a) Quarantine blocks whose geometry cannot be trusted: every
+  // later repair divides by it.  Their pages are withdrawn forever (a
+  // wild pointer may still point into them), except pages the block
+  // never plausibly owned.
+  {
+    std::vector<BlockId> Bad;
+    Heap.Blocks.forEach([&](BlockId Id, BlockDescriptor &B) {
+      bool Garbage =
+          B.NumPages == 0 || B.ObjectCount == 0 ||
+          !Pages.inPotentialHeap(B.StartPage) ||
+          !Pages.inPotentialHeap(B.StartPage + B.NumPages - 1) ||
+          B.StartPage + B.NumPages > Pages.committedLimitPage() ||
+          B.ObjectSize == 0 ||
+          B.FirstObjectOffset + uint64_t(B.ObjectCount) * B.ObjectSize >
+              uint64_t(B.NumPages) * PageSize ||
+          (B.IsLarge && B.ObjectCount != 1);
+      if (Garbage)
+        Bad.push_back(Id);
+    });
+    for (BlockId Id : Bad) {
+      BlockDescriptor &B = Heap.Blocks.get(Id);
+      bool PagesPlausible =
+          B.NumPages != 0 && Pages.inPotentialHeap(B.StartPage) &&
+          Pages.inPotentialHeap(B.StartPage + B.NumPages - 1) &&
+          B.StartPage + B.NumPages <= Pages.committedLimitPage();
+      if (PagesPlausible) {
+        Pages.quarantineRun(B.StartPage, B.NumPages);
+        Stats.PagesQuarantined += B.NumPages;
+      }
+      Heap.Blocks.destroy(Id);
+      ++Stats.BlocksQuarantined;
+      QuarantinedBlocks.push_back(Id);
+    }
+  }
+
+  // (b) Per-block bitmap/counter repair.  The bitmaps are the source of
+  // truth: counters resync to them, overlap resolves in favor of
+  // "allocated" (freeing a live object is the one unrecoverable move).
+  Heap.Blocks.forEach([&](BlockId, BlockDescriptor &B) {
+    bool Resynced = false;
+    for (uint32_t Slot = 0; Slot != B.ObjectCount; ++Slot)
+      if (B.AllocBits.test(Slot) && B.PinnedBits.test(Slot)) {
+        B.PinnedBits.reset(Slot);
+        Resynced = true;
+      }
+    if (B.MarkBits.count() > B.ObjectCount) {
+      // Marks are rebuilt every cycle; clearing is always safe here
+      // (repair runs with the cycle abandoned and marks invalidated).
+      B.MarkBits.clearAll();
+      Resynced = true;
+    }
+    if (B.IsLarge && B.AllocBits.count() == 0) {
+      // A large block exists only to hold its object; resurrect the
+      // bit rather than leave a phantom empty block.
+      B.AllocBits.set(0);
+      Resynced = true;
+    }
+    uint32_t AllocCount = static_cast<uint32_t>(B.AllocBits.count());
+    if (B.AllocatedCount != AllocCount) {
+      B.AllocatedCount = AllocCount;
+      Resynced = true;
+    }
+    uint32_t PinCount = static_cast<uint32_t>(B.PinnedBits.count());
+    if (B.PinnedCount != PinCount) {
+      B.PinnedCount = PinCount;
+      Resynced = true;
+    }
+    if (Resynced)
+      ++Stats.CountersResynced;
+  });
+
+  // (c) Re-derive the page map from the block table: reset the arena
+  // range, then stamp each block's run.  A block colliding with an
+  // already-stamped page loses — it is quarantined (its non-colliding
+  // pages too: their contents are unknown).
+  {
+    PageIndex Base = Pages.arenaBasePage();
+    PageIndex Limit = Pages.committedLimitPage();
+    if (Limit > Base)
+      Map.clearRun(Base, Limit - Base);
+    std::vector<BlockId> Colliding;
+    Heap.Blocks.forEach([&](BlockId Id, BlockDescriptor &B) {
+      bool Collides = false;
+      for (uint32_t P = 0; P != B.NumPages; ++P)
+        if (Map.blockAt(B.StartPage + P) != InvalidBlockId) {
+          Collides = true;
+          break;
+        }
+      if (Collides) {
+        Colliding.push_back(Id);
+        return;
+      }
+      for (uint32_t P = 0; P != B.NumPages; ++P)
+        Map.setRaw(B.StartPage + P, Id);
+    });
+    for (BlockId Id : Colliding) {
+      BlockDescriptor &B = Heap.Blocks.get(Id);
+      for (uint32_t P = 0; P != B.NumPages; ++P) {
+        if (Map.blockAt(B.StartPage + P) == InvalidBlockId) {
+          Pages.quarantineRun(B.StartPage + P, 1);
+          ++Stats.PagesQuarantined;
+        }
+      }
+      Heap.Blocks.destroy(Id);
+      ++Stats.BlocksQuarantined;
+      QuarantinedBlocks.push_back(Id);
+    }
+    ++Stats.PageMapRederivations;
+  }
+
+  // (d) Rebuild the class lists from scratch: every small block with a
+  // usable slot gets re-listed; the lazy-sweep queue is dropped (the
+  // queued blocks' garbage is simply collected next cycle instead).
+  {
+    for (ObjectHeap::ClassList &List : Heap.ClassLists) {
+      List.Partial.clear();
+      List.Stack.clear();
+      List.Unswept.clear();
+    }
+    for (auto &[Id, List] : Heap.TypedClassLists) {
+      (void)Id;
+      List.Partial.clear();
+      List.Stack.clear();
+      List.Unswept.clear();
+    }
+    Heap.PendingSweeps = 0;
+    Heap.Blocks.forEach([&](BlockId Id, BlockDescriptor &B) {
+      if (!B.IsLarge && B.usableFreeCount() > 0)
+        Heap.addToClassList(B, Id);
+    });
+    ++Stats.FreeListRebuilds;
+  }
+
+  // (e) Rebuild the free runs as the complement of (block-owned ∪
+  // quarantined) within the committed range.
+  {
+    PageIndex Base = Pages.arenaBasePage();
+    PageIndex Limit = Pages.committedLimitPage();
+    std::vector<bool> Owned(Limit - Base, false);
+    Heap.Blocks.forEach([&](BlockId, BlockDescriptor &B) {
+      for (uint32_t P = 0; P != B.NumPages; ++P)
+        Owned[B.StartPage + P - Base] = true;
+    });
+    Pages.forEachQuarantinedRun([&](PageIndex Start, uint32_t Length) {
+      for (uint32_t P = 0; P != Length; ++P)
+        if (Start + P >= Base && Start + P < Limit)
+          Owned[Start + P - Base] = true;
+    });
+    std::vector<std::pair<PageIndex, uint32_t>> Runs;
+    for (PageIndex P = 0; P < Limit - Base;) {
+      if (Owned[P]) {
+        ++P;
+        continue;
+      }
+      PageIndex RunStart = P;
+      while (P < Limit - Base && !Owned[P])
+        ++P;
+      Runs.emplace_back(Base + RunStart, P - RunStart);
+    }
+    Pages.rebuildFreeRuns(Runs);
+  }
+
+  // (f) Recompute the heap-wide allocated-bytes counter.
+  {
+    uint64_t Bytes = 0;
+    Heap.Blocks.forEach([&](BlockId, BlockDescriptor &B) {
+      Bytes += uint64_t(B.AllocatedCount) * B.ObjectSize;
+    });
+    Heap.AllocatedBytes = Bytes;
+  }
+
+  // Annotate the pre-repair findings with what happened to them.
+  for (VerifyFinding &F : Pre.Findings) {
+    bool BlockGone = false;
+    for (BlockId Q : QuarantinedBlocks)
+      BlockGone |= Q == F.Block;
+    if (BlockGone) {
+      F.Outcome = VerifyRepairOutcome::Quarantined;
+      continue;
+    }
+    switch (F.Kind) {
+    case VerifyFindingKind::Generic:
+    case VerifyFindingKind::GuardSmash:
+      // Collector-level notes aren't heap metadata; guard smashes are
+      // client-memory damage no metadata rebuild can undo.
+      F.Outcome = VerifyRepairOutcome::NotAttempted;
+      break;
+    default:
+      F.Outcome = VerifyRepairOutcome::Repaired;
+      ++Stats.FindingsRepaired;
+      break;
+    }
+  }
+
+  // Re-verify: the repaired heap must satisfy every invariant again
+  // (guard smashes excepted — those persist until the smashed objects
+  // die or the client is told).
+  HeapVerifyReport Post = run();
+  bool OnlyGuardSmashes = true;
+  for (const VerifyFinding &F : Post.Findings)
+    OnlyGuardSmashes &= F.Kind == VerifyFindingKind::GuardSmash;
+  Pre.RepairedClean = Post.clean() || OnlyGuardSmashes;
+  return Pre;
 }
 
 } // namespace cgc

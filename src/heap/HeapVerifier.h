@@ -14,6 +14,16 @@
 /// "Automated Verification of Practical Garbage Collectors" argues a
 /// collector's own invariants deserve first-class treatment.
 ///
+/// Findings are typed ((kind, block, page) plus the legacy message
+/// string), deduplicated per (kind, page), and capped, so a massively
+/// corrupted heap produces a bounded, readable report instead of a
+/// million lines.  verifyAndRepair() goes one step further: free lists
+/// are rebuilt from the alloc/pin bitmaps, page-map entries re-derived
+/// from the block table, counters resynced from their bitmaps, and
+/// blocks whose geometry cannot be trusted are *quarantined* — their
+/// pages deliberately leaked, because a contained leak always beats a
+/// dangling reuse.
+///
 /// The report format is shared with the explicit baseline heap
 /// (baseline/ExplicitHeap.h), so GC and malloc/free diagnostics read
 /// the same.  Abort semantics are preserved by thin wrappers
@@ -26,6 +36,7 @@
 #ifndef CGC_HEAP_HEAPVERIFIER_H
 #define CGC_HEAP_HEAPVERIFIER_H
 
+#include "heap/HeapUnits.h"
 #include <cstdarg>
 #include <string>
 #include <vector>
@@ -34,32 +45,130 @@ namespace cgc {
 
 class ObjectHeap;
 
+/// What kind of invariant a finding violated.  Generic findings are
+/// collector-level cross-checks recorded through the legacy string
+/// interface; they carry no block/page and are never deduplicated.
+enum class VerifyFindingKind : unsigned char {
+  Generic = 0,
+  /// Block descriptor geometry is garbage (page range, slot overflow,
+  /// large-block shape): unrepairable, quarantined.
+  BlockGeometry,
+  /// A page-map entry disagrees with the block table: re-derived.
+  PageMapStale,
+  /// A counter disagrees with its bitmap (alloc/pinned/mark):
+  /// resynced from the bitmap.
+  CounterMismatch,
+  /// A class (free) list entry is dead, mismatched, or a block with
+  /// usable slots is invisible to the allocator: lists rebuilt.
+  FreeListBroken,
+  /// A free page run is malformed or collides with owned pages:
+  /// free runs rebuilt from the page-map complement.
+  FreeRunBroken,
+  /// A guarded object's header or redzone is smashed: client memory,
+  /// not repairable from metadata.
+  GuardSmash,
+  /// Heap-wide accounting mismatch (allocated bytes, pending sweeps,
+  /// committed-page partition): recomputed.
+  Accounting,
+};
+
+/// \returns a stable lowercase name for \p Kind.
+const char *verifyFindingKindName(VerifyFindingKind Kind);
+
+/// What verifyAndRepair did about a finding.
+enum class VerifyRepairOutcome : unsigned char {
+  /// Plain verification, or damage outside metadata (guard smashes).
+  NotAttempted = 0,
+  /// The structure was rebuilt/resynced and re-verified.
+  Repaired,
+  /// The block (and its pages) were withdrawn from circulation.
+  Quarantined,
+};
+
+/// One typed verifier finding.  Message matches the legacy Issues line.
+struct VerifyFinding {
+  VerifyFindingKind Kind = VerifyFindingKind::Generic;
+  /// Offending block id, or InvalidBlockId when not block-specific.
+  BlockId Block = InvalidBlockId;
+  /// Offending page index, or 0 when not page-specific.
+  uint64_t Page = 0;
+  std::string Message;
+  VerifyRepairOutcome Outcome = VerifyRepairOutcome::NotAttempted;
+};
+
 /// Accumulated verifier diagnostics.  Empty = heap consistent.
 struct HeapVerifyReport {
+  /// Legacy view: one formatted line per recorded finding, in the same
+  /// order as Findings (existing tests and the C API index into this).
   std::vector<std::string> Issues;
+  /// Typed view of the same findings.
+  std::vector<VerifyFinding> Findings;
+  /// Findings dropped because an identical (kind, page) was already
+  /// recorded.  Generic findings are exempt — they are heterogeneous
+  /// collector-level notes that share (Generic, 0).
+  uint64_t Deduplicated = 0;
+  /// Findings dropped because the report hit MaxFindings.
+  uint64_t Truncated = 0;
+  /// Set by verifyAndRepair: the post-repair re-verification came back
+  /// clean.  Meaningless (false) on a plain run().
+  bool RepairedClean = false;
+
+  /// Hard cap on recorded findings; a heap with a million smashed
+  /// entries still yields a readable report.
+  static constexpr size_t MaxFindings = 256;
 
   bool clean() const { return Issues.empty(); }
 
-  /// Appends a fully formed issue line.
-  void note(std::string Issue) { Issues.push_back(std::move(Issue)); }
+  /// Appends a fully formed Generic issue line.
+  void note(std::string Issue) {
+    record(VerifyFindingKind::Generic, InvalidBlockId, 0, std::move(Issue));
+  }
 
-  /// Appends a printf-formatted issue line.
+  /// Appends a printf-formatted Generic issue line.
   void notef(const char *Fmt, ...) __attribute__((format(printf, 2, 3)));
+
+  /// Appends a printf-formatted typed finding.
+  void notefAt(VerifyFindingKind Kind, BlockId Block, uint64_t Page,
+               const char *Fmt, ...) __attribute__((format(printf, 5, 6)));
+
+  /// Records one finding, applying the dedup and cap policies.
+  void record(VerifyFindingKind Kind, BlockId Block, uint64_t Page,
+              std::string Message);
 
   /// All issues joined with newlines (trailing newline included when
   /// non-empty) — the form the abort wrappers print.
   std::string str() const;
 };
 
-/// Walks every heap structure and cross-checks the invariants.  O(heap)
-/// and strictly read-only; meant for tests, fuzzing, and post-mortem
-/// debugging, not production allocation paths.
+/// Heap-level counters produced by verifyAndRepair; the collector folds
+/// them into its GcRepairStats.
+struct HeapRepairStats {
+  uint64_t FindingsRepaired = 0;
+  uint64_t BlocksQuarantined = 0;
+  uint64_t PagesQuarantined = 0;
+  uint64_t FreeListRebuilds = 0;
+  uint64_t PageMapRederivations = 0;
+  uint64_t CountersResynced = 0;
+};
+
+/// Walks every heap structure and cross-checks the invariants.  run()
+/// is O(heap) and strictly read-only; verifyAndRepair() mutates — it is
+/// the self-healing path and must only run with the world stopped and
+/// the heap lock held.
 class HeapVerifier {
 public:
   explicit HeapVerifier(ObjectHeap &Heap) : Heap(Heap) {}
 
   /// Runs every check and \returns the accumulated report.
   HeapVerifyReport run();
+
+  /// Verifies, then repairs what metadata redundancy allows: counters
+  /// resynced from bitmaps, page map re-derived from the block table,
+  /// class lists and free runs rebuilt, irreparable blocks quarantined
+  /// (deliberately leaked).  \returns the pre-repair report with each
+  /// finding's Outcome filled in and RepairedClean reflecting the
+  /// post-repair re-verification.
+  HeapVerifyReport verifyAndRepair(HeapRepairStats &Stats);
 
 private:
   ObjectHeap &Heap;

@@ -1,6 +1,7 @@
 //===- heap/ObjectHeap.cpp - Object-level allocator -----------------------===//
 
 #include "heap/ObjectHeap.h"
+#include "support/FaultInjection.h"
 #include "support/MathExtras.h"
 #include <cstring>
 
@@ -585,6 +586,99 @@ void ObjectHeap::finishPendingSweeps() {
 }
 
 HeapVerifyReport ObjectHeap::verify() { return HeapVerifier(*this).run(); }
+
+HeapVerifyReport ObjectHeap::verifyAndRepair(HeapRepairStats &Stats) {
+  return HeapVerifier(*this).verifyAndRepair(Stats);
+}
+
+#ifdef CGC_FAULT_INJECTION_ENABLED
+/// \returns the \p N-th live block (mod the live count), or
+/// InvalidBlockId on an empty table.  Deterministic: id order.
+static BlockId nthLiveBlock(BlockTable &Blocks, uint64_t N) {
+  size_t Live = Blocks.liveCount();
+  if (Live == 0)
+    return InvalidBlockId;
+  N %= Live;
+  BlockId Found = InvalidBlockId;
+  uint64_t I = 0;
+  Blocks.forEach([&](BlockId Id, BlockDescriptor &) {
+    if (I++ == N)
+      Found = Id;
+  });
+  return Found;
+}
+#endif
+
+void ObjectHeap::injectMetadataFaults() {
+#ifdef CGC_FAULT_INJECTION_ENABLED
+  FaultInjector &Injector = FaultInjector::instance();
+
+  if (CGC_INJECT_FAULT(MetadataHeaderFlip)) {
+    // Flip the low bit of a live block's allocated counter: header
+    // damage the counter/bitmap cross-check must catch.
+    uint64_t N = Injector.firedRelaxed(FaultSite::MetadataHeaderFlip);
+    BlockId Id = nthLiveBlock(Blocks, N);
+    if (Id != InvalidBlockId)
+      Blocks.get(Id).AllocatedCount ^= 1;
+  }
+
+  if (CGC_INJECT_FAULT(MetadataFreeListSmash)) {
+    // Erase the first partial-list entry found: a block with usable
+    // slots goes invisible to the allocator.
+    auto Smash = [](ClassList &List) {
+      if (List.Partial.empty())
+        return false;
+      List.Partial.erase(List.Partial.begin());
+      return true;
+    };
+    bool Done = false;
+    for (ClassList &List : ClassLists)
+      if ((Done = Smash(List)))
+        break;
+    if (!Done)
+      for (auto &[Layout, List] : TypedClassLists) {
+        (void)Layout;
+        if ((Done = Smash(List)))
+          break;
+      }
+  }
+
+  if (CGC_INJECT_FAULT(MetadataPageMapClobber)) {
+    // Zero a live block's start-page entry: the block's pages orphan.
+    uint64_t N = Injector.firedRelaxed(FaultSite::MetadataPageMapClobber);
+    BlockId Id = nthLiveBlock(Blocks, N);
+    if (Id != InvalidBlockId)
+      Map.setRaw(Blocks.get(Id).StartPage, InvalidBlockId);
+  }
+
+  if (CGC_INJECT_FAULT(MetadataAllocBitFlip)) {
+    // SET a clear, non-pinned alloc bit (never clear one — repair
+    // trusts the bitmap, and clearing would free a live object).  The
+    // repaired heap leaks that one slot until the next sweep reclaims
+    // it as unmarked garbage.
+    uint64_t N = Injector.firedRelaxed(FaultSite::MetadataAllocBitFlip);
+    size_t Live = Blocks.liveCount();
+    for (size_t Try = 0; Try != Live; ++Try) {
+      BlockId Id = nthLiveBlock(Blocks, N + Try);
+      if (Id == InvalidBlockId)
+        break;
+      BlockDescriptor &B = Blocks.get(Id);
+      if (B.IsLarge)
+        continue;
+      bool Flipped = false;
+      for (uint32_t Slot = 0; Slot != B.ObjectCount; ++Slot) {
+        if (!B.AllocBits.test(Slot) && !B.PinnedBits.test(Slot)) {
+          B.AllocBits.set(Slot);
+          Flipped = true;
+          break;
+        }
+      }
+      if (Flipped)
+        break;
+    }
+  }
+#endif
+}
 
 void ObjectHeap::verifyHeap() {
   HeapVerifyReport Report = verify();

@@ -356,6 +356,21 @@ public:
   /// report and fatals on any inconsistency.
   void verifyHeap();
 
+  /// The verifier's self-healing pass (HeapVerifier::verifyAndRepair):
+  /// counters resynced from bitmaps, page map re-derived, class lists
+  /// and free runs rebuilt, irreparable blocks quarantined.  Callers
+  /// must hold the heap lock with the world stopped.
+  HeapVerifyReport verifyAndRepair(HeapRepairStats &Stats);
+
+  /// Deterministic metadata corruption (the Metadata* fault-injection
+  /// sites): each armed site that fires mutilates live metadata exactly
+  /// the way a wild client store would — a header counter bit-flip, a
+  /// smashed free-list link, a clobbered page-map entry, a stray alloc
+  /// bit.  Driven by the collector at collection entry (after any
+  /// unsealing) so corrupt-soak runs replay bit-for-bit.  No-op when
+  /// nothing fires.
+  void injectMetadataFaults();
+
   const ObjectHeapStats &stats() const { return Stats; }
 
   /// Total bytes in allocated slots (client-usable view of heap usage).

@@ -9,10 +9,16 @@ using namespace cgc;
 
 PageAllocator::PageAllocator(VirtualArena &Arena, PageIndex BasePage,
                              PageIndex MaxPages, uint32_t GrowthPages,
-                             bool DecommitFreed)
+                             bool DecommitFreed, MetadataArena *MetaArena)
     : Arena(Arena), BasePage(BasePage), MaxPages(MaxPages),
       GrowthPages(GrowthPages), DecommitFreed(DecommitFreed),
-      CommitLimit(BasePage) {
+      CommitLimit(BasePage),
+      FreeRuns(RunMap::key_compare(),
+               MetadataAllocator<std::pair<const PageIndex, uint32_t>>(
+                   MetaArena)),
+      Quarantined(RunMap::key_compare(),
+                  MetadataAllocator<std::pair<const PageIndex, uint32_t>>(
+                      MetaArena)) {
   CGC_CHECK(GrowthPages > 0, "growth increment must be positive");
   CGC_CHECK(uint64_t(BasePage) + MaxPages <= Arena.numPages(),
             "heap arena exceeds the window");
@@ -152,6 +158,48 @@ void PageAllocator::carveFromFreeRun(PageIndex Start, uint32_t NumPages) {
     FreeRuns.emplace(RunStart, Start - RunStart);
   if (Start + NumPages < RunStart + RunLen)
     FreeRuns.emplace(Start + NumPages, RunStart + RunLen - Start - NumPages);
+}
+
+void PageAllocator::quarantineRun(PageIndex Start, uint32_t NumPages) {
+  CGC_CHECK(NumPages > 0, "quarantining an empty page run");
+  CGC_CHECK(Start >= BasePage &&
+                uint64_t(Start) + NumPages <= arenaLimitPage(),
+            "quarantining pages outside the heap arena");
+  PageIndex End = Start + NumPages;
+
+  // Coalesce with neighbors the same way freeRun does, so repeated
+  // repairs of adjacent blocks do not fragment the quarantine map.
+  auto After = Quarantined.lower_bound(Start);
+  if (After != Quarantined.end() && After->first == End) {
+    NumPages += After->second;
+    Quarantined.erase(After);
+  }
+  auto Before = Quarantined.lower_bound(Start);
+  if (Before != Quarantined.begin()) {
+    --Before;
+    if (Before->first + Before->second == Start) {
+      Before->second += NumPages;
+      Stats.QuarantinedPages += End - Start;
+      return;
+    }
+  }
+  Quarantined.emplace(Start, NumPages);
+  Stats.QuarantinedPages += End - Start;
+}
+
+bool PageAllocator::pageQuarantined(PageIndex Page) const {
+  auto It = Quarantined.upper_bound(Page);
+  if (It == Quarantined.begin())
+    return false;
+  --It;
+  return Page >= It->first && Page < It->first + It->second;
+}
+
+void PageAllocator::rebuildFreeRuns(
+    const std::vector<std::pair<PageIndex, uint32_t>> &Runs) {
+  FreeRuns.clear();
+  for (const auto &[Start, Length] : Runs)
+    freeRun(Start, Length);
 }
 
 uint64_t PageAllocator::freePageCount() const {

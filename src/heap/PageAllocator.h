@@ -30,6 +30,7 @@
 
 #include "heap/HeapUnits.h"
 #include "heap/VirtualArena.h"
+#include "support/MetadataArena.h"
 #include <functional>
 #include <map>
 #include <optional>
@@ -58,6 +59,9 @@ struct PageAllocatorStats {
   uint64_t GrowEvents = 0;
   /// Requests that failed even after growing to the arena limit.
   uint64_t FailedRequests = 0;
+  /// Pages deliberately leaked by verify-and-repair: their metadata was
+  /// irreparable, so they are withdrawn from circulation forever.
+  uint64_t QuarantinedPages = 0;
 };
 
 class PageAllocator {
@@ -68,8 +72,10 @@ public:
   /// \param GrowthPages  commit increment when the heap grows.
   /// \param DecommitFreed return freed pages to the OS (zero-filled on
   ///                      reuse).
+  /// \param MetaArena    optional sealable arena for free-run nodes.
   PageAllocator(VirtualArena &Arena, PageIndex BasePage, PageIndex MaxPages,
-                uint32_t GrowthPages, bool DecommitFreed);
+                uint32_t GrowthPages, bool DecommitFreed,
+                MetadataArena *MetaArena = nullptr);
 
   /// Installs the per-page blacklist predicate (may be empty).
   void setBlacklistQuery(std::function<bool(PageIndex)> Query) {
@@ -110,6 +116,30 @@ public:
       Fn(Start, Length);
   }
 
+  /// Withdraws [Start, Start+NumPages) from circulation permanently:
+  /// the run is recorded as quarantined and will never be handed out
+  /// again.  Repair quarantines pages whose metadata cannot be
+  /// reconstructed — a deliberate leak beats a dangling reuse.  The
+  /// caller is responsible for removing the run from the free pool
+  /// (rebuildFreeRuns does this wholesale).
+  void quarantineRun(PageIndex Start, uint32_t NumPages);
+
+  /// True when \p Page lies in a quarantined run.
+  bool pageQuarantined(PageIndex Page) const;
+
+  /// Calls \p Fn(Start, Length) for each quarantined run.
+  template <typename FnT> void forEachQuarantinedRun(FnT Fn) const {
+    for (const auto &[Start, Length] : Quarantined)
+      Fn(Start, Length);
+  }
+
+  /// Repair entry point: discards the (possibly corrupt) free-run set
+  /// and re-adds \p Runs, which must be disjoint, ascending, and inside
+  /// [arenaBasePage(), committedLimitPage()).  Freed pages are
+  /// decommitted per policy, exactly as an ordinary freeRun would.
+  void rebuildFreeRuns(
+      const std::vector<std::pair<PageIndex, uint32_t>> &Runs);
+
 private:
   /// Searches existing free runs for a feasible start.
   std::optional<PageIndex> findInFreeRuns(uint32_t NumPages,
@@ -137,7 +167,14 @@ private:
   uint32_t GrowthPages;
   bool DecommitFreed;
   PageIndex CommitLimit; ///< One past the last committed page.
-  std::map<PageIndex, uint32_t> FreeRuns;
+  /// Free and quarantined runs live in the sealable arena (when one is
+  /// configured) — their link structure is exactly the metadata a wild
+  /// store corrupts.
+  using RunMap =
+      std::map<PageIndex, uint32_t, std::less<PageIndex>,
+               MetadataAllocator<std::pair<const PageIndex, uint32_t>>>;
+  RunMap FreeRuns;
+  RunMap Quarantined;
   std::function<bool(PageIndex)> IsBlacklisted;
   PageAllocatorStats Stats;
 };

@@ -12,6 +12,10 @@
 /// window is 1 M entries of 4 bytes — an acceptable fixed cost for the
 /// O(1) hot path.
 ///
+/// The entry array can optionally live in a MetadataArena so sealed
+/// collectors take a fault (and a structured incident) instead of
+/// silent corruption when client code scribbles on it.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CGC_HEAP_PAGEMAP_H
@@ -19,14 +23,15 @@
 
 #include "heap/HeapUnits.h"
 #include "support/Assert.h"
+#include "support/MetadataArena.h"
 #include <vector>
 
 namespace cgc {
 
 class PageMap {
 public:
-  explicit PageMap(PageIndex NumPages)
-      : Entries(NumPages, InvalidBlockId) {}
+  explicit PageMap(PageIndex NumPages, MetadataArena *Arena = nullptr)
+      : Entries(NumPages, InvalidBlockId, MetadataAllocator<BlockId>(Arena)) {}
 
   BlockId blockAt(PageIndex Page) const {
     return Page < Entries.size() ? Entries[Page] : InvalidBlockId;
@@ -49,8 +54,29 @@ public:
       Entries[Start + I] = InvalidBlockId;
   }
 
+  /// Overwrites one entry with no occupancy checking.  Repair code uses
+  /// this to re-derive entries from the block table, and fault
+  /// injection uses it to clobber them; neither can honor assignRun's
+  /// "previously empty" contract.
+  void setRaw(PageIndex Page, BlockId Id) {
+    CGC_ASSERT(Page < Entries.size(), "page outside the window");
+    Entries[Page] = Id;
+  }
+
+  /// Entry storage bounds, for attributing a wild metadata write to
+  /// this map.  \returns the faulted page index via \p PageOut when
+  /// \p Addr lands inside the entry array.
+  bool attributeAddress(const void *Addr, PageIndex &PageOut) const {
+    uintptr_t A = reinterpret_cast<uintptr_t>(Addr);
+    uintptr_t Base = reinterpret_cast<uintptr_t>(Entries.data());
+    if (A < Base || A >= Base + Entries.size() * sizeof(BlockId))
+      return false;
+    PageOut = static_cast<PageIndex>((A - Base) / sizeof(BlockId));
+    return true;
+  }
+
 private:
-  std::vector<BlockId> Entries;
+  std::vector<BlockId, MetadataAllocator<BlockId>> Entries;
 };
 
 } // namespace cgc

@@ -22,6 +22,14 @@ const char *faultSiteName(FaultSite Site) {
     return "mark-stack-overflow";
   case FaultSite::WedgedMutator:
     return "wedged-mutator";
+  case FaultSite::MetadataHeaderFlip:
+    return "metadata-header-flip";
+  case FaultSite::MetadataFreeListSmash:
+    return "metadata-free-list-smash";
+  case FaultSite::MetadataPageMapClobber:
+    return "metadata-page-map-clobber";
+  case FaultSite::MetadataAllocBitFlip:
+    return "metadata-alloc-bit-flip";
   }
   CGC_UNREACHABLE("unknown fault site");
 }

@@ -57,9 +57,30 @@ enum class FaultSite : unsigned {
   /// safepoint poll and keeps running, as if wedged in a compute loop;
   /// the handshake watchdog must stop it preemptively.
   WedgedMutator = 4,
+
+  // Metadata-corruption sites (ObjectHeap::injectMetadataFaults, run at
+  // collection entry): each one deterministically mutilates live GC
+  // metadata the way a wild client store would, so the verifier's
+  // detect-repair-retry path can be driven seed-replayably.  They must
+  // stay contiguous above the allocation/thread sites — soak_chaos's
+  // historical digests draw from the first NumChaosFaultSites only.
+  /// BlockDescriptor header bit-flip: the chosen live block's
+  /// AllocatedCount has its low bit flipped, so counter and alloc
+  /// bitmap disagree.
+  MetadataHeaderFlip = 5,
+  /// Free-list link smash: the chosen class list's first partial-block
+  /// entry is erased, leaving a block with free slots invisible to the
+  /// allocator.
+  MetadataFreeListSmash = 6,
+  /// Page-map entry clobber: the chosen live block's start-page entry
+  /// is overwritten with InvalidBlockId, orphaning the block.
+  MetadataPageMapClobber = 7,
+  /// Alloc-bit flip: a clear, non-pinned alloc bit in the chosen block
+  /// is set, so the bitmap claims one more object than the counter.
+  MetadataAllocBitFlip = 8,
 };
 
-inline constexpr unsigned NumFaultSites = 5;
+inline constexpr unsigned NumFaultSites = 9;
 
 /// \returns a stable human-readable name for \p Site.
 const char *faultSiteName(FaultSite Site);

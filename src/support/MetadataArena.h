@@ -1,0 +1,179 @@
+//===- support/MetadataArena.h - Sealable metadata storage -----*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Page-granular storage for GC metadata that can be *sealed*
+/// (mprotect'd PROT_READ) between collections, so a wild store from
+/// client code faults instead of silently corrupting a block
+/// descriptor, page-map entry, or free-list node (the paper's shared
+/// address space means arbitrary C code can scribble on the collector).
+///
+/// The arena is a bump-plus-freelist allocator over dedicated mmap'd
+/// chunks; `MetadataAllocator<T>` adapts it to standard containers and
+/// degrades to `::operator new` when no arena is configured, so the
+/// unsealed collector's containers are untouched.
+///
+/// Sealing is cooperative with a process-wide SIGSEGV sub-handler
+/// (installHandler): a write that faults inside a registered, sealed
+/// chunk is let through — the handler unprotects the one page, records
+/// the faulting address in a lock-free ring, and returns so the store
+/// retries.  The owning collector drains the ring at its next entry,
+/// attributes the address to a block/page, raises a structured
+/// GcIncident{MetadataWildWrite}, and runs verify-and-repair.  Faults
+/// outside every arena chain to the previously installed handler
+/// (e.g. the crash reporter), so the sub-handler is invisible to
+/// ordinary crashes.
+///
+/// Everything the handler reads is append-only or atomic: the chunk
+/// table is a fixed array published with release stores, and the
+/// pending-write ring uses relaxed atomics only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_SUPPORT_METADATAARENA_H
+#define CGC_SUPPORT_METADATAARENA_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+namespace cgc {
+
+class MetadataArena {
+public:
+  MetadataArena();
+  ~MetadataArena();
+
+  MetadataArena(const MetadataArena &) = delete;
+  MetadataArena &operator=(const MetadataArena &) = delete;
+
+  /// Allocates \p Size bytes aligned to \p Align (<= 16) from the
+  /// arena's dedicated pages.  Never returns nullptr (fatals on mmap
+  /// failure, like the rest of the collector's infallible metadata
+  /// paths).  Must not be called while sealed.
+  void *allocate(size_t Size, size_t Align);
+
+  /// Returns \p Ptr (of \p Size bytes) to the arena's free lists.
+  /// Must not be called while sealed.
+  void deallocate(void *Ptr, size_t Size);
+
+  /// Flips every chunk PROT_READ.  Idempotent.
+  void seal();
+
+  /// Flips every chunk PROT_READ|PROT_WRITE.  Idempotent.
+  void unseal();
+
+  bool sealed() const { return Sealed.load(std::memory_order_acquire); }
+
+  /// True when \p Ptr lies inside one of this arena's chunks.
+  /// Async-signal-safe.
+  bool contains(const void *Ptr) const;
+
+  /// Total nanoseconds spent inside seal/unseal mprotect loops, and
+  /// the number of transitions, for the pause-time benchmark.
+  uint64_t protectNanos() const {
+    return ProtectNanos.load(std::memory_order_relaxed);
+  }
+  uint64_t protectTransitions() const {
+    return ProtectTransitions.load(std::memory_order_relaxed);
+  }
+
+  /// One wild write the SIGSEGV sub-handler let through.
+  struct WildWrite {
+    uintptr_t Address = 0;
+  };
+
+  /// Drains up to \p Max pending wild writes recorded against this
+  /// arena into \p Out; \returns the count drained.
+  unsigned drainWildWrites(WildWrite *Out, unsigned Max);
+
+  /// Installs the process-wide SIGSEGV sub-handler (idempotent,
+  /// first call wins) that recovers wild writes to sealed arenas and
+  /// chains every other fault to the previously installed handler.
+  static void installHandler();
+
+  /// True when \p Addr lies in any live arena's chunks (for tests).
+  static bool anyArenaContains(const void *Addr);
+
+private:
+  struct Chunk {
+    std::atomic<uintptr_t> Base{0};
+    std::atomic<size_t> Size{0};
+  };
+
+  /// Intrusive free-list node stored in freed metadata memory.
+  struct FreeNode {
+    FreeNode *Next;
+  };
+
+  void *allocateFromChunks(size_t Size);
+  void addChunk(size_t MinBytes);
+
+  static constexpr size_t ChunkBytes = size_t(256) << 10; // 256 KiB
+  static constexpr unsigned MaxChunks = 1024;             // 256 MiB cap
+  /// Segregated free lists for 16, 32, 64, ..., 4096-byte cells.
+  static constexpr unsigned NumSizeClasses = 9;
+  static constexpr size_t MinCellBytes = 16;
+
+  static unsigned classFor(size_t Size);
+  static size_t classBytes(unsigned Class);
+
+  Chunk Chunks[MaxChunks];
+  std::atomic<unsigned> NumChunks{0};
+  /// Bump frontier within the newest chunk.
+  uintptr_t BumpPtr = 0;
+  uintptr_t BumpEnd = 0;
+  FreeNode *FreeLists[NumSizeClasses] = {};
+  /// Head of the oversize (page-rounded) free list; nodes store
+  /// {NextAddress, RoundedBytes} in their first two words.
+  uintptr_t OversizeFree = 0;
+  std::atomic<bool> Sealed{false};
+  std::atomic<uint64_t> ProtectNanos{0};
+  std::atomic<uint64_t> ProtectTransitions{0};
+};
+
+/// Standard-allocator adapter over MetadataArena.  A null arena (the
+/// default) degrades to global operator new/delete, so containers in
+/// unsealed collectors behave exactly as before.
+template <typename T> class MetadataAllocator {
+public:
+  using value_type = T;
+
+  MetadataAllocator(MetadataArena *Arena = nullptr) : Arena(Arena) {}
+  template <typename U>
+  MetadataAllocator(const MetadataAllocator<U> &Other)
+      : Arena(Other.Arena) {}
+
+  T *allocate(size_t N) {
+    if (Arena)
+      return static_cast<T *>(
+          Arena->allocate(N * sizeof(T), alignof(T) > 16 ? 16 : alignof(T)));
+    return static_cast<T *>(::operator new(N * sizeof(T)));
+  }
+
+  void deallocate(T *Ptr, size_t N) {
+    if (Arena) {
+      Arena->deallocate(Ptr, N * sizeof(T));
+      return;
+    }
+    ::operator delete(Ptr);
+  }
+
+  template <typename U> bool operator==(const MetadataAllocator<U> &O) const {
+    return Arena == O.Arena;
+  }
+  template <typename U> bool operator!=(const MetadataAllocator<U> &O) const {
+    return Arena != O.Arena;
+  }
+
+  MetadataArena *Arena;
+};
+
+} // namespace cgc
+
+#endif // CGC_SUPPORT_METADATAARENA_H

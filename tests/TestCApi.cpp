@@ -89,6 +89,8 @@ TEST(CApi, ConfigDefaultsMatchGcConfig) {
   EXPECT_EQ(C.sentinel.escalation_cooldown, D.Sentinel.EscalationCooldown);
   EXPECT_EQ(C.sentinel.tighten_cycles, D.Sentinel.TightenCycles);
   EXPECT_EQ(C.sentinel.calm_collections, D.Sentinel.CalmCollections);
+  EXPECT_EQ(C.seal_metadata, D.SealMetadata ? 1 : 0);
+  EXPECT_EQ(C.repair_fatal, D.RepairFatal ? 1 : 0);
 }
 
 // Every field set to a non-default value must round-trip through
@@ -133,6 +135,8 @@ TEST(CApi, ConfigRoundTripsThroughCollector) {
   In.sentinel.escalation_cooldown = 3;
   In.sentinel.tighten_cycles = 12;
   In.sentinel.calm_collections = 7;
+  In.seal_metadata = 1;
+  In.repair_fatal = 0;
 
   cgc_collector *GC = cgc_create(&In);
   ASSERT_NE(GC, nullptr);
@@ -180,6 +184,8 @@ TEST(CApi, ConfigRoundTripsThroughCollector) {
   EXPECT_EQ(Out.sentinel.escalation_cooldown, In.sentinel.escalation_cooldown);
   EXPECT_EQ(Out.sentinel.tighten_cycles, In.sentinel.tighten_cycles);
   EXPECT_EQ(Out.sentinel.calm_collections, In.sentinel.calm_collections);
+  EXPECT_EQ(Out.seal_metadata, In.seal_metadata);
+  EXPECT_EQ(Out.repair_fatal, In.repair_fatal);
   cgc_destroy(GC);
 }
 
@@ -388,6 +394,106 @@ TEST(CApi, VerifyHeapReportsCleanAndFillsBuffer) {
   std::memset(Report, 'x', sizeof(Report));
   EXPECT_EQ(cgc_verify_heap(GC, Report, sizeof(Report)), 0u);
   EXPECT_EQ(Report[0], '\0') << "clean heap yields an empty report";
+  cgc_destroy(GC);
+}
+
+namespace {
+// Captured copy of one streamed finding (the message pointer is only
+// valid during the callback, so the capture deep-copies it).
+struct CapturedFinding {
+  int Kind;
+  std::string Message;
+  unsigned long long Page;
+  unsigned Block;
+  int Outcome;
+};
+
+void captureFinding(const cgc_verify_finding *F, void *ClientData) {
+  auto *Out = static_cast<std::vector<CapturedFinding> *>(ClientData);
+  Out->push_back({F->kind, F->message ? F->message : "", F->page, F->block,
+                  F->outcome});
+}
+} // namespace
+
+// The structured report streams typed findings through the callback:
+// a clean heap streams nothing; a guarded heap with a smashed redzone
+// (client-memory damage the test itself inflicts, no fault injection
+// needed) streams a GUARD_SMASH finding whose message matches the
+// legacy text report.
+TEST(CApi, VerifyHeapReportStreamsStructuredFindings) {
+  cgc_config Config = testConfig();
+  Config.debug_guards = 1;
+  Config.guard_fatal = 0;
+  cgc_collector *GC = cgc_create(&Config);
+
+  std::vector<CapturedFinding> Findings;
+  EXPECT_EQ(cgc_verify_heap_report(GC, captureFinding, &Findings), 0u);
+  EXPECT_TRUE(Findings.empty());
+  // NULL callback just counts.
+  EXPECT_EQ(cgc_verify_heap_report(GC, nullptr, nullptr), 0u);
+
+  void *Obj = CGC_MALLOC_SITE(GC, 64);
+  ASSERT_NE(Obj, nullptr);
+  std::memset(static_cast<char *>(Obj) + 64, 0xAB, 4); // Smash the redzone.
+
+  size_t Count = cgc_verify_heap_report(GC, captureFinding, &Findings);
+  ASSERT_GE(Count, 1u);
+  EXPECT_EQ(Count, Findings.size());
+  EXPECT_EQ(Findings[0].Kind, CGC_VERIFY_GUARD_SMASH);
+  EXPECT_NE(Findings[0].Message.find("redzone"), std::string::npos);
+  EXPECT_EQ(Findings[0].Outcome, CGC_REPAIR_NOT_ATTEMPTED);
+
+  // Guard smashes are client-memory damage, not metadata: repair
+  // streams them with outcome not-attempted but still reports the
+  // *metadata* clean — there is nothing for it to fix.
+  Findings.clear();
+  cgc_repair_stats Stats;
+  std::memset(&Stats, 0xff, sizeof(Stats));
+  EXPECT_EQ(cgc_verify_and_repair(GC, captureFinding, &Findings, &Stats), 1);
+  ASSERT_GE(Findings.size(), 1u);
+  EXPECT_EQ(Findings[0].Kind, CGC_VERIFY_GUARD_SMASH);
+  EXPECT_EQ(Findings[0].Outcome, CGC_REPAIR_NOT_ATTEMPTED);
+  EXPECT_GE(Stats.verify_repairs_run, 1ull);
+  EXPECT_EQ(Stats.degraded_mode, 0);
+  cgc_destroy(GC);
+}
+
+// A metadata corruption injected at collection entry must ride the
+// whole containment ladder through the C surface: detected by the
+// per-phase verifier, collection abandoned, heap repaired, cycle
+// retried — and the lifetime counters must say so.
+TEST(CApi, VerifyAndRepairAfterInjectedCorruption) {
+  if (!cgc_fault_injection_available())
+    GTEST_SKIP() << "fault-injection hooks compiled out";
+
+  cgc_config Config = testConfig();
+  Config.verify_every_collection = 1;
+  Config.repair_fatal = 0;
+  cgc_collector *GC = cgc_create(&Config);
+
+  // Rooted survivors so live blocks exist for the fault to flip.
+  static void *Keep[16];
+  std::memset(Keep, 0, sizeof(Keep));
+  cgc_add_roots(GC, Keep, Keep + 16);
+  for (int I = 0; I != 16; ++I)
+    Keep[I] = cgc_malloc(GC, 48);
+
+  cgc_fault_arm(CGC_FAULT_METADATA_HEADER_FLIP, 0, 1);
+  cgc_gcollect(GC);
+  cgc_fault_disarm_all();
+  EXPECT_EQ(cgc_fault_fired(CGC_FAULT_METADATA_HEADER_FLIP), 1ull);
+
+  cgc_repair_stats Stats;
+  cgc_get_repair_stats(GC, &Stats);
+  EXPECT_GE(Stats.collections_retried, 1ull);
+  EXPECT_GE(Stats.verify_repairs_run, 1ull);
+  EXPECT_GE(Stats.counters_resynced, 1ull);
+  EXPECT_EQ(Stats.degraded_mode, 0);
+
+  // The repaired heap verifies clean and the survivors are intact.
+  EXPECT_EQ(cgc_verify_heap_report(GC, nullptr, nullptr), 0u);
+  EXPECT_EQ(cgc_verify_and_repair(GC, nullptr, nullptr, nullptr), 1);
+  EXPECT_GE(cgc_live_bytes(GC), 16ull * 48ull);
   cgc_destroy(GC);
 }
 
