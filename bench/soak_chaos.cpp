@@ -21,7 +21,8 @@
 // the whole soak twice and fails unless the digests are bit-identical.
 //
 // Usage: soak_chaos [--seed S] [--steps N] [--replay-check] [--guarded]
-//        [--typed] [--mutator-threads N] [--wedge] [--json]
+//        [--typed] [--mutator-threads N] [--wedge] [--corrupt]
+//        [--redirect] [--json]
 // --guarded re-runs every collector in guarded-heap mode
 // (GcConfig::DebugGuards): headers, redzones, quarantine, and the
 // explicit-free validation ladder are all live, and ~25% of churn
@@ -50,16 +51,30 @@
 // and the heap deep-verified clean — with every live-count and
 // repair-counter delta folded into the digest so --replay-check proves
 // the whole detect/repair/retry ladder is bit-replayable.
+// --redirect appends the malloc-redirection lane: seeded churn through
+// the process-global cgc_redirect_* entry points with ~10% hostile
+// calls mixed in (foreign frees of real libc chunks, overflowing
+// callocs, frees of stack addresses, zero-size and realloc edge
+// cases), recorded to a trace and replayed through ExplicitHeap — the
+// replay digest, the per-op stream, and the redirect stats deltas all
+// fold into the soak digest, so --replay-check proves the hardened
+// entry points behave bit-identically under hostility.
 // --json writes BENCH_soak_chaos.json for CI trend tracking
 // (BENCH_soak_chaos_wedge.json under --wedge,
-// BENCH_soak_chaos_corrupt.json under --corrupt).
+// BENCH_soak_chaos_corrupt.json under --corrupt,
+// BENCH_soak_chaos_redirect.json under --redirect).
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
+#include "baseline/ExplicitHeap.h"
+#include "capi/cgc.h"
 #include "core/Collector.h"
 #include "core/GcSentinel.h"
 #include "interp/Interpreter.h"
+#include "redirect/Redirect.h"
+#include "redirect/TraceLog.h"
+#include "redirect/TraceReplay.h"
 #include "structures/BinaryTree.h"
 #include "structures/FalseRef.h"
 #include "structures/ProgramT.h"
@@ -68,7 +83,9 @@
 #include "support/FaultInjection.h"
 #include "support/Random.h"
 #include <atomic>
+#include <cerrno>
 #include <cinttypes>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -100,6 +117,10 @@ struct SoakOptions {
   /// Appends the corruption-containment lane: one injected metadata
   /// corruption per step, each detected, repaired, and retried.
   bool Corrupt = false;
+  /// Appends the malloc-redirection lane: hostile churn through the
+  /// process-global cgc_redirect_* entry points, recorded to a trace
+  /// and replayed through ExplicitHeap into the digest.
+  bool Redirect = false;
 };
 
 /// Everything a completed run reports; digest first, counters for the
@@ -131,6 +152,14 @@ struct SoakOutcome {
   uint64_t CorruptCountersResynced = 0;
   uint64_t CorruptQuarantined = 0;
   uint64_t CorruptSealTransitions = 0;
+  uint64_t RedirectRounds = 0;
+  uint64_t RedirectAllocs = 0;
+  uint64_t RedirectFrees = 0;
+  uint64_t RedirectHostileCalls = 0;
+  uint64_t RedirectForeignFrees = 0;
+  uint64_t RedirectCallocOverflows = 0;
+  uint64_t RedirectTraceRecords = 0;
+  uint64_t RedirectReplayEvents = 0;
   GcSentinelStats Sentinel;
   GcGuardStats Guard;
 };
@@ -156,6 +185,7 @@ private:
   void runMutatorPhase();
   void runWedgePhase();
   void runCorruptPhase();
+  void runRedirectPhase();
 
   void fold(uint64_t Value) {
     Outcome.Digest ^= Value;
@@ -172,10 +202,11 @@ private:
       std::printf("%s\n", Detail.c_str());
     std::printf("  at step %u of %u, seed %" PRIu64 "\n", Step, Opts.Steps,
                 Opts.Seed);
-    std::printf("  replay: soak_chaos --seed %" PRIu64 " --steps %u%s%s%s%s",
+    std::printf("  replay: soak_chaos --seed %" PRIu64 " --steps %u%s%s%s%s%s",
                 Opts.Seed, Opts.Steps, Opts.Guarded ? " --guarded" : "",
                 Opts.Typed ? " --typed" : "", Opts.Wedge ? " --wedge" : "",
-                Opts.Corrupt ? " --corrupt" : "");
+                Opts.Corrupt ? " --corrupt" : "",
+                Opts.Redirect ? " --redirect" : "");
     if (Opts.MutatorThreads != 0)
       std::printf(" --mutator-threads %u", Opts.MutatorThreads);
     std::printf("\n");
@@ -908,6 +939,253 @@ void SoakRun::runCorruptPhase() {
   GC.removeRootRange(SlotsRoot);
 }
 
+/// The --redirect lane: seeded churn through the process-global
+/// malloc-redirection entry points with ~10% hostile calls mixed in
+/// (foreign frees of real libc chunks and stack addresses, overflowing
+/// callocs, zero-size and realloc edge cases), recorded to a trace and
+/// replayed through ExplicitHeap.  Everything folded is a pure
+/// function of the schedule: per-op draws, payload tags verified
+/// before every free, the redirect stats DELTAS (the layer is
+/// process-global and survives into a --replay-check second run, so
+/// absolute counters would never reproduce), and the replay digest of
+/// the recorded trace.
+void SoakRun::runRedirectPhase() {
+  if (!cgc_redirect_install())
+    fail("--redirect: the redirect layer fell back to libc");
+  cgc_collector *GC = cgc_redirect_collector();
+  if (!GC)
+    fail("--redirect: install succeeded but the collector handle is null");
+
+  // Hostile frees must not reach the real libc free (passing it a
+  // stack address aborts the process); warn mode raises the incident
+  // and leaves the pointer untouched, which also lets the lane free
+  // its decoy libc chunks itself afterwards.
+  cgc_redirect_set_foreign_free_mode(CGC_FOREIGN_FREE_WARN);
+
+  cgc_redirect_stats Before;
+  cgc_redirect_get_stats(&Before);
+
+  char TracePath[128];
+  std::snprintf(TracePath, sizeof(TracePath),
+                "soak_redirect_%" PRIu64 ".trace", Opts.Seed);
+  if (!cgc_redirect_trace_start(TracePath))
+    fail("--redirect: trace recording would not start");
+
+  // The slot table is an explicit root of the redirect collector, so
+  // survivors stay live across its own collection cycles no matter
+  // where the compiler parks this frame.
+  constexpr size_t NumSlots = 96;
+  constexpr size_t StampMax = 24;
+  void *Slots[NumSlots] = {};
+  unsigned char Tags[NumSlots] = {};
+  size_t Stamps[NumSlots] = {};
+  unsigned RootHandle =
+      cgc_add_roots(GC, &Slots[0], &Slots[NumSlots]);
+
+  uint64_t ForeignFrees = 0, Overflows = 0;
+
+  auto VerifySlot = [&](size_t Slot) {
+    const unsigned char *P = static_cast<const unsigned char *>(Slots[Slot]);
+    for (size_t I = 0; I != Stamps[Slot]; ++I)
+      if (P[I] != Tags[Slot])
+        fail("--redirect: payload stamp clobbered under redirect churn");
+  };
+
+  for (unsigned Round = 0; Round != Opts.Steps; ++Round) {
+    ++Outcome.RedirectRounds;
+    unsigned Ops = static_cast<unsigned>(Schedule.nextInRange(8, 32));
+    for (unsigned I = 0; I != Ops; ++I) {
+      if (Schedule.nextBelow(100) < 10) {
+        // A hostile call: the kind folds, and every expectation about
+        // how the hardened entry point absorbs it is checked.
+        uint64_t Kind = Schedule.nextBelow(6);
+        fold(0x4ed12ec7 ^ Kind);
+        ++Outcome.RedirectHostileCalls;
+        switch (Kind) {
+        case 0: {
+          // Foreign free of a real libc chunk: incident, untouched.
+          void *Alien = std::malloc(64);
+          if (Alien) {
+            static_cast<unsigned char *>(Alien)[0] = 0xa5;
+            cgc_redirect_free(Alien);
+            if (static_cast<unsigned char *>(Alien)[0] != 0xa5)
+              fail("--redirect: warn-mode foreign free touched the chunk");
+            std::free(Alien);
+            ++ForeignFrees;
+          }
+          break;
+        }
+        case 1: {
+          // Foreign free of a stack address.
+          unsigned char Local[32] = {};
+          cgc_redirect_free(Local);
+          ++ForeignFrees;
+          break;
+        }
+        case 2: {
+          // Overflowing calloc: refused with errno=ENOMEM, never a
+          // short allocation.
+          errno = 0;
+          void *P = cgc_redirect_calloc(SIZE_MAX / 2, 16);
+          if (P || errno != ENOMEM)
+            fail("--redirect: overflowing calloc was not refused");
+          ++Overflows;
+          break;
+        }
+        case 3:
+          cgc_redirect_free(nullptr);
+          break;
+        case 4: {
+          // Zero-size malloc: a real, freeable pointer (glibc
+          // contract).
+          void *P = cgc_redirect_malloc(0);
+          if (!P)
+            fail("--redirect: malloc(0) returned NULL");
+          cgc_redirect_free(P);
+          break;
+        }
+        default: {
+          // realloc(NULL, n) behaves as malloc; realloc(p, 0) frees
+          // and returns NULL.
+          void *P = cgc_redirect_realloc(nullptr, 48);
+          if (!P)
+            fail("--redirect: realloc(NULL, n) returned NULL");
+          if (cgc_redirect_realloc(P, 0) != nullptr)
+            fail("--redirect: realloc(p, 0) did not return NULL");
+          break;
+        }
+        }
+        continue;
+      }
+
+      size_t Slot = Schedule.pickIndex(NumSlots);
+      if (!Slots[Slot]) {
+        uint64_t Kind = Schedule.nextBelow(4);
+        size_t Bytes = static_cast<size_t>(Schedule.nextInRange(32, 1024));
+        unsigned char Tag =
+            static_cast<unsigned char>(1 + Schedule.nextBelow(250));
+        void *P = nullptr;
+        switch (Kind) {
+        case 0:
+          P = cgc_redirect_malloc(Bytes);
+          break;
+        case 1:
+          P = cgc_redirect_calloc(1, Bytes);
+          if (P)
+            for (size_t B = 0; B != StampMax; ++B)
+              if (static_cast<unsigned char *>(P)[B] != 0)
+                fail("--redirect: calloc returned dirty memory");
+          break;
+        case 2: {
+          std::string Text(Bytes - 1, static_cast<char>(Tag));
+          P = cgc_redirect_strdup(Text.c_str());
+          break;
+        }
+        default:
+          if (cgc_redirect_posix_memalign(&P, 64, Bytes) != 0)
+            P = nullptr;
+          else if (reinterpret_cast<uintptr_t>(P) % 64 != 0)
+            fail("--redirect: posix_memalign ignored the alignment");
+          break;
+        }
+        if (!P)
+          fail("--redirect: allocation failed under the 1 GiB default");
+        if (cgc_redirect_malloc_usable_size(P) < Bytes)
+          fail("--redirect: usable size smaller than the request");
+        std::memset(P, Tag, StampMax);
+        Slots[Slot] = P;
+        Tags[Slot] = Tag;
+        Stamps[Slot] = StampMax;
+        fold(Kind);
+        fold(Bytes);
+        fold(Tag);
+        ++Outcome.RedirectAllocs;
+      } else {
+        VerifySlot(Slot);
+        fold(Tags[Slot]);
+        if (Schedule.nextBool(0.6)) {
+          cgc_redirect_free(Slots[Slot]);
+          Slots[Slot] = nullptr;
+          ++Outcome.RedirectFrees;
+        } else {
+          size_t NewBytes =
+              static_cast<size_t>(Schedule.nextInRange(64, 2048));
+          void *P = cgc_redirect_realloc(Slots[Slot], NewBytes);
+          if (!P)
+            fail("--redirect: realloc failed under the 1 GiB default");
+          // The stamp sits in the preserved prefix; it must survive
+          // the move byte-for-byte.
+          for (size_t B = 0; B != StampMax; ++B)
+            if (static_cast<unsigned char *>(P)[B] != Tags[Slot])
+              fail("--redirect: realloc lost the preserved prefix");
+          std::memset(P, Tags[Slot], StampMax);
+          Slots[Slot] = P;
+          fold(NewBytes);
+          ++Outcome.RedirectAllocs;
+        }
+      }
+    }
+  }
+
+  // Drain every survivor through the verified-free path so the next
+  // --replay-check run starts from an empty slot table.
+  for (size_t Slot = 0; Slot != NumSlots; ++Slot) {
+    if (!Slots[Slot])
+      continue;
+    VerifySlot(Slot);
+    fold(Tags[Slot]);
+    cgc_redirect_free(Slots[Slot]);
+    Slots[Slot] = nullptr;
+    ++Outcome.RedirectFrees;
+  }
+  cgc_remove_roots(GC, RootHandle);
+  cgc_redirect_trace_stop();
+  cgc_redirect_set_foreign_free_mode(CGC_FOREIGN_FREE_PASSTHROUGH);
+
+  cgc_redirect_stats After;
+  cgc_redirect_get_stats(&After);
+  if (After.foreign_frees - Before.foreign_frees != ForeignFrees)
+    fail("--redirect: a hostile free went uncounted as foreign");
+  if (After.calloc_overflows - Before.calloc_overflows != Overflows)
+    fail("--redirect: a calloc overflow went uncounted");
+  Outcome.RedirectForeignFrees = ForeignFrees;
+  Outcome.RedirectCallocOverflows = Overflows;
+  Outcome.RedirectTraceRecords = After.trace_records - Before.trace_records;
+  // Stats deltas are pure functions of the schedule; fold them all so
+  // a replay that routes even one call differently mismatches.
+  fold(After.gc_allocs - Before.gc_allocs);
+  fold(After.gc_frees - Before.gc_frees);
+  fold(After.foreign_frees - Before.foreign_frees);
+  fold(After.foreign_reallocs - Before.foreign_reallocs);
+  fold(After.calloc_overflows - Before.calloc_overflows);
+  fold(After.failed_allocs - Before.failed_allocs);
+  fold(After.trace_records - Before.trace_records);
+
+  // Replay the recorded trace through ExplicitHeap and fold the
+  // replay digest: the hostile churn must round-trip through the
+  // trace format bit-identically, foreign frees and all.
+  TraceReader Reader;
+  if (!Reader.load(TracePath))
+    fail("--redirect: the recorded trace would not load");
+  struct LaneAllocator final : ReplayAllocator {
+    baseline::ExplicitHeap Heap{256ull << 20,
+                                baseline::ExplicitHeap::Policy::LifoFit};
+    void *allocate(size_t Bytes) override { return Heap.malloc(Bytes); }
+    void deallocate(void *Ptr) override { Heap.free(Ptr); }
+  } Replayer;
+  ReplayResult Replay = replayTrace(Reader, Replayer);
+  if (Replay.Malformed)
+    fail("--redirect: the recorded trace replayed as malformed");
+  if (Replay.FailedAllocs != 0)
+    fail("--redirect: ExplicitHeap refused a replayed allocation");
+  Outcome.RedirectReplayEvents = Replay.Events;
+  fold(Replay.Digest);
+  fold(Replay.Events);
+  fold(Replay.AllocEvents);
+  fold(Replay.FreeEvents);
+  std::remove(TracePath);
+}
+
 SoakOutcome SoakRun::run() {
   // The churn collector and the interpreter live for the whole soak;
   // queue/tree/Program T rounds use fresh throwaway collectors.
@@ -962,6 +1240,8 @@ SoakOutcome SoakRun::run() {
     runWedgePhase();
   if (Opts.Corrupt)
     runCorruptPhase();
+  if (Opts.Redirect)
+    runRedirectPhase();
   return Outcome;
 }
 
@@ -987,11 +1267,14 @@ int main(int Argc, char **Argv) {
       Opts.Wedge = true;
     else if (!std::strcmp(Argv[I], "--corrupt"))
       Opts.Corrupt = true;
+    else if (!std::strcmp(Argv[I], "--redirect"))
+      Opts.Redirect = true;
     else {
       std::fprintf(stderr,
                    "usage: soak_chaos [--seed S] [--steps N] "
                    "[--replay-check] [--guarded] [--typed] "
-                   "[--mutator-threads N] [--wedge] [--corrupt] [--json]\n");
+                   "[--mutator-threads N] [--wedge] [--corrupt] "
+                   "[--redirect] [--json]\n");
       return 2;
     }
   }
@@ -1056,6 +1339,16 @@ int main(int Argc, char **Argv) {
                 First.CorruptPageMapRederivations,
                 First.CorruptCountersResynced, First.CorruptQuarantined,
                 First.CorruptSealTransitions);
+  if (Opts.Redirect)
+    std::printf("redirect lane: %" PRIu64 " rounds, %" PRIu64
+                " allocs, %" PRIu64 " frees, %" PRIu64 " hostile calls "
+                "(%" PRIu64 " foreign frees, %" PRIu64 " calloc "
+                "overflows), %" PRIu64 " trace records replayed as "
+                "%" PRIu64 " events\n",
+                First.RedirectRounds, First.RedirectAllocs,
+                First.RedirectFrees, First.RedirectHostileCalls,
+                First.RedirectForeignFrees, First.RedirectCallocOverflows,
+                First.RedirectTraceRecords, First.RedirectReplayEvents);
   if (Opts.Typed)
     std::printf("typed lane: %" PRIu64 " rounds (retained-subset and "
                 "scan-mix checks all passed)\n",
@@ -1078,12 +1371,14 @@ int main(int Argc, char **Argv) {
     char Digest[32];
     std::snprintf(Digest, sizeof(Digest), "%016" PRIx64, First.Digest);
     cgcbench::JsonReport Report(
-        Opts.Corrupt
-            ? "soak chaos corrupt"
-            : Opts.Wedge ? "soak chaos wedge"
-                         : Opts.Guarded ? "soak chaos guarded"
-                                        : Opts.Typed ? "soak chaos typed"
-                                                     : "soak chaos");
+        Opts.Redirect
+            ? "soak chaos redirect"
+            : Opts.Corrupt
+                  ? "soak chaos corrupt"
+                  : Opts.Wedge ? "soak chaos wedge"
+                               : Opts.Guarded ? "soak chaos guarded"
+                                              : Opts.Typed ? "soak chaos typed"
+                                                           : "soak chaos");
     Report.set("seed", Opts.Seed);
     Report.set("steps", uint64_t(Opts.Steps));
     Report.set("digest", std::string(Digest));
@@ -1125,6 +1420,17 @@ int main(int Argc, char **Argv) {
       Report.set("corrupt_counters_resynced", First.CorruptCountersResynced);
       Report.set("corrupt_quarantined", First.CorruptQuarantined);
       Report.set("corrupt_seal_transitions", First.CorruptSealTransitions);
+    }
+    Report.set("redirect", uint64_t(Opts.Redirect ? 1 : 0));
+    if (Opts.Redirect) {
+      Report.set("redirect_rounds", First.RedirectRounds);
+      Report.set("redirect_allocs", First.RedirectAllocs);
+      Report.set("redirect_frees", First.RedirectFrees);
+      Report.set("redirect_hostile_calls", First.RedirectHostileCalls);
+      Report.set("redirect_foreign_frees", First.RedirectForeignFrees);
+      Report.set("redirect_calloc_overflows", First.RedirectCallocOverflows);
+      Report.set("redirect_trace_records", First.RedirectTraceRecords);
+      Report.set("redirect_replay_events", First.RedirectReplayEvents);
     }
     Report.set("mutator_threads", uint64_t(Opts.MutatorThreads));
     if (Opts.MutatorThreads != 0) {

@@ -1,12 +1,14 @@
 //===- capi/cgc.cpp - C API for the cgc collector -------------------------===//
 
 #include "capi/cgc.h"
+#include "capi/cgc_internal.h"
 #include "core/Collector.h"
 #include "core/GcIncident.h"
 #include "core/GcSentinel.h"
 #include "support/CrashReporter.h"
 #include "support/FaultInjection.h"
 #include <algorithm>
+#include <cerrno>
 #include <cstring>
 #include <memory>
 #include <vector>
@@ -312,24 +314,36 @@ cgc_collector *cgc_create(const cgc_config *Config) {
 
 void cgc_destroy(cgc_collector *GC) { delete GC; }
 
+/// Every C allocation entry point funnels its result through here so
+/// the errno contract is uniform: a NULL return always leaves
+/// errno == ENOMEM, the way libc allocators do.  (Callers ported from
+/// plain malloc check errno, and the redirect layer forwards these
+/// returns straight to such callers.)
+static void *finishAlloc(void *Ptr) {
+  if (!Ptr)
+    errno = ENOMEM;
+  return Ptr;
+}
+
 void *cgc_malloc(cgc_collector *GC, size_t Bytes) {
-  return GC->GC.allocate(Bytes, ObjectKind::Normal);
+  return finishAlloc(GC->GC.allocate(Bytes, ObjectKind::Normal));
 }
 
 void *cgc_malloc_atomic(cgc_collector *GC, size_t Bytes) {
-  return GC->GC.allocate(Bytes, ObjectKind::PointerFree);
+  return finishAlloc(GC->GC.allocate(Bytes, ObjectKind::PointerFree));
 }
 
 void *cgc_malloc_uncollectable(cgc_collector *GC, size_t Bytes) {
-  return GC->GC.allocate(Bytes, ObjectKind::Uncollectable);
+  return finishAlloc(GC->GC.allocate(Bytes, ObjectKind::Uncollectable));
 }
 
 void *cgc_malloc_atomic_uncollectable(cgc_collector *GC, size_t Bytes) {
-  return GC->GC.allocate(Bytes, ObjectKind::PointerFreeUncollectable);
+  return finishAlloc(
+      GC->GC.allocate(Bytes, ObjectKind::PointerFreeUncollectable));
 }
 
 void *cgc_malloc_ignore_off_page(cgc_collector *GC, size_t Bytes) {
-  return GC->GC.allocateIgnoreOffPage(Bytes, ObjectKind::Normal);
+  return finishAlloc(GC->GC.allocateIgnoreOffPage(Bytes, ObjectKind::Normal));
 }
 
 unsigned cgc_register_descriptor(cgc_collector *GC,
@@ -342,7 +356,17 @@ unsigned cgc_register_descriptor(cgc_collector *GC,
 }
 
 void *cgc_malloc_explicitly_typed(cgc_collector *GC, unsigned Descriptor) {
-  return GC->GC.allocateTyped(Descriptor);
+  return finishAlloc(GC->GC.allocateTyped(Descriptor));
+}
+
+// This file's definitions sit inside an extern "C" region; the bridge
+// is a C++ symbol, so re-open C++ linkage for it.
+extern "C++" {
+namespace cgc {
+namespace capi {
+Collector &collectorOf(cgc_collector *Handle) { return Handle->GC; }
+} // namespace capi
+} // namespace cgc
 }
 
 void cgc_free(cgc_collector *GC, void *Ptr) {
@@ -461,7 +485,9 @@ static_assert(CGC_REPAIR_NOT_ATTEMPTED ==
                   static_cast<int>(VerifyRepairOutcome::Quarantined),
               "CGC_REPAIR_* drifted from VerifyRepairOutcome");
 static_assert(CGC_INCIDENT_METADATA_WILD_WRITE ==
-                  static_cast<int>(GcIncidentCause::MetadataWildWrite),
+                      static_cast<int>(GcIncidentCause::MetadataWildWrite) &&
+                  CGC_INCIDENT_FOREIGN_FREE ==
+                      static_cast<int>(GcIncidentCause::ForeignFree),
               "incident cause drifted");
 static_assert(CGC_FAULT_METADATA_HEADER_FLIP ==
                   static_cast<int>(FaultSite::MetadataHeaderFlip) &&
@@ -706,7 +732,7 @@ void cgc_set_incident_callback(cgc_collector *GC, cgc_incident_fn Fn,
 }
 
 void *cgc_debug_malloc(cgc_collector *GC, size_t Bytes, const char *Site) {
-  return GC->GC.allocateTagged(Bytes, Site, ObjectKind::Normal);
+  return finishAlloc(GC->GC.allocateTagged(Bytes, Site, ObjectKind::Normal));
 }
 
 void cgc_debug_flush_quarantine(cgc_collector *GC) {

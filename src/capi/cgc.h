@@ -448,6 +448,11 @@ enum {
   /* A wild store hit the sealed metadata arena (seal_metadata mode);
    * the write was contained, attributed, and the heap repaired. */
   CGC_INCIDENT_METADATA_WILD_WRITE = 7,
+  /* The malloc-redirect layer saw free()/realloc() of a pointer the
+   * collector does not own (redirect/Redirect.h); the call degraded
+   * to a pass-through or no-op.  Also raised for an unguarded
+   * cgc_free of a non-heap pointer. */
+  CGC_INCIDENT_FOREIGN_FREE = 8,
 };
 
 /* Incident callback: the sentinel exhausted its escalation ladder and

@@ -1,0 +1,35 @@
+//===- capi/cgc_internal.h - C-handle bridge for in-tree code --*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// In-tree-only bridge from the opaque C handle to the C++ Collector.
+/// The redirect layer drives the collector through the public C API
+/// for everything clients could do themselves, but incident raising
+/// and other introspection need the C++ object.  NOT installed; the
+/// cgc_collector layout stays private to capi/cgc.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_CAPI_CGC_INTERNAL_H
+#define CGC_CAPI_CGC_INTERNAL_H
+
+typedef struct cgc_collector cgc_collector;
+
+namespace cgc {
+
+class Collector;
+
+namespace capi {
+
+/// The Collector inside a C handle (defined in cgc.cpp, the only
+/// translation unit that knows the handle layout).
+Collector &collectorOf(cgc_collector *Handle);
+
+} // namespace capi
+} // namespace cgc
+
+#endif // CGC_CAPI_CGC_INTERNAL_H

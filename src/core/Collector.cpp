@@ -329,7 +329,7 @@ void Collector::maybeStartupCollect() {
   // The paper's startup guarantee: one (fast) collection before any
   // allocation, so static false references are blacklisted before the
   // allocator can place pages under them.
-  if (StartupGcDone)
+  if (StartupGcDone || InCollection)
     return;
   StartupGcDone = true;
   if (Config.GcAtStartup)
@@ -402,12 +402,23 @@ void Collector::unregisterMutatorThread() {
 void Collector::safepoint() {
   if (!ThreadedMode.load(std::memory_order_relaxed))
     return;
-  if (MutatorThread *Self = ThreadRegistry::current())
+  MutatorThread *Self = ThreadRegistry::current();
+  // The stop initiator polling its own stop request (an observer or
+  // warn callback allocating mid-collection) must not park: the resume
+  // it would wait for is the one it has not issued yet.
+  if (Self && Self != StopInitiator.load(std::memory_order_relaxed))
     Registry.safepoint(Self);
 }
 
 void *Collector::allocateThreaded(size_t Bytes, ObjectKind Kind) {
   MutatorThread *Self = ThreadRegistry::current();
+  if (Self != nullptr &&
+      Self == StopInitiator.load(std::memory_order_relaxed))
+    // Mid-collection re-entrant allocation (callback context): no
+    // safepoint (self-park) and no cache refill (a refilled slot would
+    // be allocated-but-uncharted under the already-flushed caches);
+    // take the locked slow path, which pins the object (allocateRaw).
+    Self = nullptr;
   if (Self != nullptr) {
     // The allocation-time safepoint: the flag check is the documented
     // "flag-checked slow path"; parking happens only under a stop.
@@ -508,6 +519,11 @@ Collector::CacheFlushOutcome Collector::flushThreadCaches() {
     CGC_CHECK(Heap->cacheSlotDebt() == HandedOut,
               "thread-cache reservation debt does not reconcile");
   return Outcome;
+}
+
+void Collector::pinMidCycleAllocation(void *Ptr) {
+  Heap->markAllocatedObjectLive(Ptr);
+  MidCyclePins.push_back(Ptr);
 }
 
 uint64_t Collector::pinSuspendedThreadCaches() {
@@ -630,6 +646,11 @@ void *Collector::allocateRaw(size_t Bytes, ObjectKind Kind) {
     return reportOutOfMemory(Bytes);
 
   BytesSinceGc += Bytes;
+  // A callback allocating mid-collection gets an object with a clear
+  // mark bit that the cycle's own sweep would reclaim before the
+  // callback even returns; pin it for this cycle.
+  if (InCollection)
+    pinMidCycleAllocation(Result);
   // Fresh pages are zero-filled by the OS; reused slots were cleared
   // at free time when ClearFreedObjects is on.  Clear here otherwise
   // so clients always see zeroed memory.
@@ -640,8 +661,9 @@ void *Collector::allocateRaw(size_t Bytes, ObjectKind Kind) {
 
 void *Collector::allocateSmallSlow(size_t Bytes, ObjectKind Kind) {
   // Out of cached slots: decide whether to collect before taking more
-  // pages.
-  if (shouldCollectBeforeGrowth()) {
+  // pages.  (Never mid-collection: a callback's allocation must not
+  // recurse into collect.)
+  if (!InCollection && shouldCollectBeforeGrowth()) {
     collect("allocation-threshold");
     if (void *Result = Heap->allocateFromExisting(Bytes, Kind))
       return Result;
@@ -660,7 +682,7 @@ void *Collector::allocateSmallSlow(size_t Bytes, ObjectKind Kind) {
 
 void *Collector::allocateLargeSlow(size_t Bytes, ObjectKind Kind,
                                    bool IgnoreOffPage) {
-  if (shouldCollectBeforeGrowth())
+  if (!InCollection && shouldCollectBeforeGrowth())
     collect("allocation-threshold");
   if (void *Result = Heap->allocateLarge(Bytes, Kind, IgnoreOffPage))
     return Result;
@@ -679,7 +701,7 @@ void *Collector::allocateLargeSlow(size_t Bytes, ObjectKind Kind,
 
 void *Collector::allocateTypedSlow(LayoutId Layout) {
   uint64_t Bytes = Heap->layout(Layout).SizeBytes;
-  if (shouldCollectBeforeGrowth()) {
+  if (!InCollection && shouldCollectBeforeGrowth()) {
     collect("allocation-threshold");
     if (void *Result = Heap->allocateTypedFromExisting(Layout))
       return Result;
@@ -705,6 +727,11 @@ void *Collector::runExhaustionLadder(uint64_t Bytes,
     if (void *Result = Retry())
       return Result;
   }
+  // Re-entrant allocation from a mid-collection callback: the
+  // remaining rungs all collect, which would recurse.  Sweep-flush was
+  // the last safe resort; report exhaustion to the callback instead.
+  if (InCollection)
+    return nullptr;
   // Rung 2: a full collection.
   ++Resilience.HeapExhaustedCollections;
   CrashInfo.HeapExhaustedCollections.store(
@@ -784,26 +811,43 @@ void Collector::deallocate(void *Ptr) {
     return;
   }
   // Even without guards a bad free must not be undefined behavior:
-  // classify first and turn the bad classes into rate-limited warnings.
+  // classify first and turn the bad classes into structured incidents
+  // (plus the rate-limited warning) while the free itself is ignored.
   switch (Heap->classifyExplicitFree(Ptr)) {
   case ObjectHeap::FreeClass::Ok:
     Finalizers.unregister(windowOffsetOf(Ptr));
     Heap->deallocateExplicit(Ptr);
     return;
   case ObjectHeap::FreeClass::NonHeap:
-    warn(WarnEvent::InvalidFree, "cgc: ignored free of a non-heap pointer",
-         reinterpret_cast<uint64_t>(Ptr));
+    raiseClientIncident(GcIncidentCause::ForeignFree,
+                        reinterpret_cast<uint64_t>(Ptr),
+                        "cgc: ignored free of a non-heap pointer");
     return;
   case ObjectHeap::FreeClass::NotObjectBase:
-    warn(WarnEvent::InvalidFree,
-         "cgc: ignored free of a non-object (interior?) pointer",
-         reinterpret_cast<uint64_t>(Ptr));
+    raiseClientIncident(GcIncidentCause::InvalidFree,
+                        reinterpret_cast<uint64_t>(Ptr),
+                        "cgc: ignored free of a non-object (interior?) pointer");
     return;
   case ObjectHeap::FreeClass::NotAllocated:
-    warn(WarnEvent::InvalidFree, "cgc: ignored double free",
-         reinterpret_cast<uint64_t>(Ptr));
+    raiseClientIncident(GcIncidentCause::DoubleFree,
+                        reinterpret_cast<uint64_t>(Ptr),
+                        "cgc: ignored double free");
     return;
   }
+}
+
+void Collector::raiseClientIncident(GcIncidentCause Cause, uint64_t Addr,
+                                    const char *Detail) {
+  noteCrashEvent(GcEventKind::Incident, /*Phase=*/-1, Addr);
+  GcIncident Incident;
+  Incident.Cause = Cause;
+  Incident.CollectionIndex = Lifetime.Collections;
+  Incident.GuardAddress = Addr;
+  // Deliberately does NOT set LastGuardIncidentInfo/HasGuardIncident:
+  // the latch is the guarded heap's test surface and client misuse in
+  // unguarded mode must not masquerade as a guard violation.
+  Observers.dispatch([&](GcObserver &O) { O.onIncident(Incident); });
+  warn(WarnEvent::InvalidFree, Detail, Addr);
 }
 
 Collector::GuardedRef Collector::guardedRefFor(const void *Ptr) const {
@@ -1057,6 +1101,10 @@ void *Collector::allocateTyped(LayoutId Layout) {
   MutatorThread *Self = nullptr;
   if (ThreadedMode.load(std::memory_order_relaxed)) {
     Self = ThreadRegistry::current();
+    // Mid-collection callback: bypass the cache paths entirely (see
+    // allocateThreaded) and let the locked tail pin the object.
+    if (Self == StopInitiator.load(std::memory_order_relaxed))
+      Self = nullptr;
     if (Self && Self->Cache && !Guards &&
         !Config.AllConservativeDescriptors) {
       size_t SlotBytes = 0;
@@ -1082,6 +1130,8 @@ void *Collector::allocateTyped(LayoutId Layout) {
       if (!Result)
         return reportOutOfMemory(D.SizeBytes);
       BytesSinceGc += D.SizeBytes;
+      if (InCollection)
+        pinMidCycleAllocation(Result);
       if (!Config.ClearFreedObjects)
         std::memset(Result, 0, D.SizeBytes);
       return Result;
@@ -1147,6 +1197,8 @@ void *Collector::allocateRawIgnoreOffPage(size_t Bytes, ObjectKind Kind) {
   if (!Result)
     return reportOutOfMemory(Bytes);
   BytesSinceGc += Bytes;
+  if (InCollection)
+    pinMidCycleAllocation(Result);
   if (!Config.ClearFreedObjects)
     std::memset(Result, 0, Bytes);
   return Result;
@@ -1205,7 +1257,16 @@ void Collector::emitRetainedObjects() {
 
 CollectionStats Collector::collect(const char *Reason) {
   HeapLockGuard HeapGuard(*this);
-  CGC_CHECK(!InCollection, "re-entrant collection");
+  // A callback collecting mid-collection (observer, warn proc, OOM
+  // handler) gets a refused empty cycle, not an abort: the documented
+  // contract is "must not collect", and the robust reading of a
+  // violation is a no-op.
+  if (InCollection) {
+    warn(WarnEvent::ReentrantCollection,
+         "cgc: refused re-entrant collection from a callback",
+         Lifetime.Collections);
+    return CollectionStats();
+  }
   // Degraded mode: repeated post-repair verification failures mean the
   // metadata cannot be trusted to survive a pipeline.  Every further
   // cycle is refused (an empty cycle reads as "reclaimed nothing"), so
@@ -1239,12 +1300,14 @@ CollectionStats Collector::collect(const char *Reason) {
     Roots.reserveAdditional(RangeBudget);
     Handshake = Registry.stopTheWorld(SelfThread);
     WorldStopped = true;
+    StopInitiator.store(SelfThread, std::memory_order_release);
     // Watchdog final rung: some mutator could not be stopped.  Raise
     // the structured incident and abandon the attempt — no phase may
     // run against a world that is still mutating.  The caller's
     // allocation ladder treats the empty cycle as "reclaimed nothing"
     // and degrades to heap growth.
     if (Handshake.TimedOut) {
+      StopInitiator.store(nullptr, std::memory_order_release);
       abandonStoppedWorld(Handshake, Reason);
       return CollectionStats();
     }
@@ -1348,6 +1411,13 @@ CollectionStats Collector::collect(const char *Reason) {
     // the sweep so neither treats them as garbage.
     if (!RepairPending && CacheFlush.CachesSkipped != 0)
       C.CacheSlotsPinned = pinSuspendedThreadCaches();
+
+    // Begin-observer allocations were pinned before the Mark phase
+    // reset every mark bit; re-pin the whole mid-cycle list so the
+    // sweep keeps them (idempotent for post-Mark allocations).
+    if (!RepairPending)
+      for (void *Pinned : MidCyclePins)
+        Heap->markAllocatedObjectLive(Pinned);
 
     if (!RepairPending)
       runPhase(GcPhase::BlacklistPromote, C,
@@ -1467,9 +1537,12 @@ CollectionStats Collector::collect(const char *Reason) {
   Observers.dispatch(
       [&](GcObserver &O) { O.onCollectionEnd(CollectionIndex, Cycle); });
   TimingSink.attach(nullptr);
-  if (WorldStopped)
+  if (WorldStopped) {
+    StopInitiator.store(nullptr, std::memory_order_release);
     Registry.resumeTheWorld();
+  }
   InCollection = false;
+  MidCyclePins.clear();
   // Request re-sealing: it happens when the outermost MetadataScope
   // unwinds, so an allocation slow path that triggered this collection
   // finishes on writable metadata first.
@@ -1479,7 +1552,14 @@ CollectionStats Collector::collect(const char *Reason) {
 
 CollectionStats Collector::measureLiveness() {
   HeapLockGuard HeapGuard(*this);
-  CGC_CHECK(!InCollection, "re-entrant collection");
+  // Same graceful refusal as collect(): a mid-collection callback
+  // asking for a census gets an empty one.
+  if (InCollection) {
+    warn(WarnEvent::ReentrantCollection,
+         "cgc: refused re-entrant collection from a callback",
+         Lifetime.Collections);
+    return CollectionStats();
+  }
   MetadataScope MetaScope(*this);
   // Same rendezvous as collect(), minus the cache flush: a liveness
   // census must not perturb the caches it is measuring, and cached
@@ -1499,7 +1579,9 @@ CollectionStats Collector::measureLiveness() {
     ThreadRegistry::HandshakeResult Handshake =
         Registry.stopTheWorld(SelfThread);
     WorldStopped = true;
+    StopInitiator.store(SelfThread, std::memory_order_release);
     if (Handshake.TimedOut) {
+      StopInitiator.store(nullptr, std::memory_order_release);
       abandonStoppedWorld(Handshake, "measure-liveness");
       return CollectionStats();
     }
@@ -1543,9 +1625,12 @@ CollectionStats Collector::measureLiveness() {
     Roots.removeRange(RegisterRoot);
   for (RootId Id : ThreadRootIds)
     Roots.removeRange(Id);
-  if (WorldStopped)
+  if (WorldStopped) {
+    StopInitiator.store(nullptr, std::memory_order_release);
     Registry.resumeTheWorld();
+  }
   InCollection = false;
+  MidCyclePins.clear();
   return Cycle;
 }
 

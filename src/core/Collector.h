@@ -312,6 +312,14 @@ public:
     return HasGuardIncident ? &LastGuardIncidentInfo : nullptr;
   }
 
+  /// Raises a client-misuse incident (observers + rate-limited warn)
+  /// without touching the guard-incident latch: used by the unguarded
+  /// free ladder and the malloc-redirect layer for foreign frees and
+  /// kin.  \p Detail is a static string for the warn proc; \p Addr the
+  /// offending pointer.
+  void raiseClientIncident(GcIncidentCause Cause, uint64_t Addr,
+                           const char *Detail);
+
   //===--------------------------------------------------------------===//
   // Observability (see core/GcObserver.h)
   //===--------------------------------------------------------------===//
@@ -487,8 +495,9 @@ private:
     GuardViolation = 5,
     HandshakeStall = 6,
     MetadataRepair = 7,
+    ReentrantCollection = 8,
   };
-  static constexpr unsigned NumWarnEvents = 8;
+  static constexpr unsigned NumWarnEvents = 9;
 
   /// The unguarded allocation paths (the historical allocate /
   /// allocateIgnoreOffPage bodies); the public entry points route
@@ -590,6 +599,12 @@ private:
   /// thread-local caches).  Allocation-free: the world may hold a
   /// thread suspended inside libc malloc.  \returns slots pinned.
   uint64_t pinSuspendedThreadCaches();
+
+  /// Pins an object allocated while a collection is in flight (an
+  /// observer or warn callback allocating mid-cycle): marks it live
+  /// now and records it for the post-Mark re-pin, since the Mark
+  /// phase's bit reset would otherwise erase a pre-Mark pin.
+  void pinMidCycleAllocation(void *Ptr);
   /// Adds [StackTop, StackBase) + register-snapshot root ranges for
   /// every registered thread, in registration order; the collecting
   /// thread's bounds are the caller's (fresh) probe and jmp_buf.
@@ -777,6 +792,19 @@ private:
   uint64_t AllocsSinceClear = 0;
   bool StartupGcDone = false;
   bool InCollection = false;
+  /// Objects handed out while InCollection (observer/warn callbacks
+  /// allocating mid-cycle).  Each is mark-bit pinned at allocation
+  /// time, but a begin-observer allocation precedes the Mark phase's
+  /// bit reset — so the pipeline re-pins this list after Mark, before
+  /// leak reporting and the sweep.  Cleared when the cycle ends.
+  std::vector<void *> MidCyclePins;
+  /// The registered thread that initiated the current stop-the-world
+  /// window (nullptr outside a stop, or when the initiator is
+  /// unregistered).  Observer callbacks run on this thread while every
+  /// other mutator is parked; its safepoint polls must not park it
+  /// against its own stop request, so a callback that allocates cannot
+  /// self-deadlock (see DESIGN.md "Callback re-entrancy").
+  std::atomic<MutatorThread *> StopInitiator{nullptr};
 };
 
 /// RAII mutator registration: registers the constructing thread with

@@ -48,6 +48,11 @@ enum class GcIncidentCause : unsigned char {
   /// write, let it proceed against an unprotected copy of the page, and
   /// the collector ran verify-and-repair at its next entry.
   MetadataWildWrite,
+  /// The redirect layer saw free()/realloc() of a pointer the
+  /// collector does not own — memory from another allocator handed to
+  /// a GC entry point.  The call degraded to a pass-through (or no-op);
+  /// the incident is the structured record of the mismatch.
+  ForeignFree,
 };
 
 constexpr const char *gcIncidentCauseName(GcIncidentCause Cause) {
@@ -68,6 +73,8 @@ constexpr const char *gcIncidentCauseName(GcIncidentCause Cause) {
     return "handshake-timeout";
   case GcIncidentCause::MetadataWildWrite:
     return "metadata-wild-write";
+  case GcIncidentCause::ForeignFree:
+    return "foreign-free";
   }
   return "?";
 }

@@ -151,6 +151,21 @@ void ObjectHeap::releaseCacheSlot(void *Ptr) {
     addToClassList(Block, Ref.Block);
 }
 
+void ObjectHeap::markAllocatedObjectLive(const void *Ptr) {
+  Address Addr = reinterpret_cast<Address>(Ptr);
+  // Tolerant by contract: callers pin whatever a mid-collection
+  // allocation handed back, and a pointer outside the arena (a libc
+  // fallback, a bootstrap chunk) simply is not this heap's to pin.
+  if (!Arena.contains(Addr))
+    return;
+  ObjectRef Ref = refForBase(Arena.offsetOf(Addr));
+  if (!Ref.valid())
+    return;
+  BlockDescriptor &Block = Blocks.get(Ref.Block);
+  CGC_CHECK(Block.AllocBits.test(Ref.Slot), "pin of an unallocated slot");
+  Block.MarkBits.set(Ref.Slot);
+}
+
 void ObjectHeap::markCachedSlotLive(const void *Ptr) {
   Address Addr = reinterpret_cast<Address>(Ptr);
   CGC_CHECK(Arena.contains(Addr), "cache pin of a non-heap pointer");

@@ -183,6 +183,12 @@ public:
   /// sweep.  Allocation-free.
   void markCachedSlotLive(const void *Ptr);
 
+  /// Sets the mark bit on an allocated object (small or large): pins an
+  /// object allocated from a mid-collection callback so the cycle's own
+  /// sweep cannot reclaim it before the callback returns.
+  /// Allocation-free.
+  void markAllocatedObjectLive(const void *Ptr);
+
   /// Size-class geometry, exposed for the thread caches.
   unsigned numSizeClasses() const { return SizeClasses.numClasses(); }
   unsigned sizeClassFor(size_t Bytes) const {

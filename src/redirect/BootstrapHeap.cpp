@@ -1,0 +1,58 @@
+//===- redirect/BootstrapHeap.cpp - Pre-init bump allocator --------------===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+
+#include "redirect/BootstrapHeap.h"
+
+#include <cstring>
+
+namespace cgc {
+
+void *BootstrapHeap::allocate(size_t Bytes, size_t Alignment) {
+  if (Alignment < 16)
+    Alignment = 16;
+  if (Bytes == 0)
+    Bytes = 1;
+  // Chunk layout: [pad][16-byte header][payload].  The header ends on
+  // an Alignment boundary so the payload is aligned; its first word is
+  // the payload size (for usableSize/realloc), its second a marker.
+  size_t Current = Used.load(std::memory_order_relaxed);
+  for (;;) {
+    uintptr_t Base = reinterpret_cast<uintptr_t>(Buffer) + Current;
+    uintptr_t Payload =
+        ((Base + HeaderBytes + Alignment - 1) & ~(Alignment - 1));
+    size_t NewUsed =
+        (Payload - reinterpret_cast<uintptr_t>(Buffer)) + Bytes;
+    // Round the chunk end to 16 so the next header stays aligned.
+    NewUsed = (NewUsed + 15) & ~size_t(15);
+    if (NewUsed > Capacity || NewUsed < Current)
+      return nullptr;
+    if (Used.compare_exchange_weak(Current, NewUsed,
+                                   std::memory_order_acq_rel,
+                                   std::memory_order_relaxed)) {
+      uint64_t *Header = reinterpret_cast<uint64_t *>(Payload) - 2;
+      Header[0] = Bytes;
+      Header[1] = 0xb005b005b005b005ull;
+      Chunks.fetch_add(1, std::memory_order_relaxed);
+      return reinterpret_cast<void *>(Payload);
+    }
+  }
+}
+
+size_t BootstrapHeap::usableSize(const void *Ptr) const {
+  if (!owns(Ptr))
+    return 0;
+  uintptr_t Payload = reinterpret_cast<uintptr_t>(Ptr);
+  if (Payload % 16 != 0 ||
+      Payload - reinterpret_cast<uintptr_t>(Buffer) < HeaderBytes)
+    return 0;
+  const uint64_t *Header = reinterpret_cast<const uint64_t *>(Payload) - 2;
+  if (Header[1] != 0xb005b005b005b005ull)
+    return 0;
+  return static_cast<size_t>(Header[0]);
+}
+
+} // namespace cgc

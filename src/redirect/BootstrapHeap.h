@@ -1,0 +1,81 @@
+//===- redirect/BootstrapHeap.h - Pre-init bump allocator ------*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static-buffer allocator that serves interposed malloc calls
+/// before the collector is up.  Under LD_PRELOAD the very first
+/// allocations arrive from libc/ld.so initialization — including the
+/// calloc that glibc's dlsym() performs while we are resolving the
+/// *real* malloc — so this layer must work with no dependencies at
+/// all: no locks that allocate, no lazy initialization, no libc.
+///
+/// It is a bump allocator over a fixed .bss buffer: allocation is a
+/// CAS loop, free is a no-op (the handful of pre-init chunks are
+/// program-lifetime by nature), and every chunk carries a size prefix
+/// so malloc_usable_size and realloc keep working across the
+/// bootstrap/collector boundary.  The buffer lives in our image's
+/// writable segment, which the redirect layer registers as a GC root
+/// range — so a pointer to a collector object stored in bootstrap
+/// memory still retains it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_REDIRECT_BOOTSTRAPHEAP_H
+#define CGC_REDIRECT_BOOTSTRAPHEAP_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace cgc {
+
+class BootstrapHeap {
+public:
+  /// Allocates \p Bytes zero-initialized (the buffer starts zeroed and
+  /// chunks are never reused), aligned to 16 or \p Alignment if
+  /// larger (power of two).  \returns nullptr when the buffer is
+  /// exhausted — the caller falls back to the real libc if it can.
+  void *allocate(size_t Bytes, size_t Alignment = 16);
+
+  /// \returns true when \p Ptr points into the bootstrap buffer
+  /// (anywhere, not just a chunk base): bootstrap memory must never be
+  /// passed to libc free or the collector.
+  bool owns(const void *Ptr) const {
+    const unsigned char *P = static_cast<const unsigned char *>(Ptr);
+    return P >= Buffer && P < Buffer + Capacity;
+  }
+
+  /// Usable size of a chunk returned by allocate() (reads the size
+  /// prefix); 0 if \p Ptr is not a chunk base.
+  size_t usableSize(const void *Ptr) const;
+
+  size_t bytesUsed() const { return Used.load(std::memory_order_relaxed); }
+  uint64_t chunksServed() const {
+    return Chunks.load(std::memory_order_relaxed);
+  }
+
+  /// Buffer extent, for root registration.
+  const void *bufferBegin() const { return Buffer; }
+  const void *bufferEnd() const { return Buffer + Capacity; }
+
+private:
+  // 512 KiB absorbs the worst observed pre-init traffic (dynamic
+  // linker + libc + sanitizer-free C++ runtimes) with an order of
+  // magnitude to spare.
+  static constexpr size_t Capacity = 512 * 1024;
+  static constexpr size_t HeaderBytes = 16;
+
+  // Explicitly zero-initialized so a BootstrapHeap global is
+  // constant-initializable (constinit) and lands in .bss.
+  alignas(16) unsigned char Buffer[Capacity] = {};
+  std::atomic<size_t> Used{0};
+  std::atomic<uint64_t> Chunks{0};
+};
+
+} // namespace cgc
+
+#endif // CGC_REDIRECT_BOOTSTRAPHEAP_H

@@ -1,0 +1,258 @@
+//===- redirect/Interpose.cpp - malloc symbol interposition --------------===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+//
+// The actual interposed symbol definitions: the C allocation entry
+// points, the C++ operator new/delete family, and pthread_create
+// (so threads of an unmodified program are auto-registered and their
+// stacks scanned).  This TU is linked ONLY into the cgc_redirect
+// static library and the libcgc_preload.so shim — never into lib cgc
+// itself, or every in-tree binary's malloc would be hijacked.
+//
+// The malloc-family definitions deliberately avoid including
+// <stdlib.h>/<string.h>/<malloc.h>: glibc tags its declarations with
+// attributes and exception specifiers that vary across versions, and
+// an interposer that must match them exactly is an interposer that
+// breaks on the next libc.  The symbols are matched by name at link
+// time; only the ABI (types) has to agree.
+//
+//===----------------------------------------------------------------------===//
+
+#include "redirect/Redirect.h"
+
+#include "capi/cgc.h"
+
+#include <cerrno>
+#include <new>
+
+#include <dlfcn.h>
+#include <pthread.h>
+
+// <pthread.h> declares pthread_create with glibc's __THROWNL, which a
+// C++ build expands to an exception specifier the definition must
+// repeat; mirror whatever the header used.
+#if defined(__THROWNL) && defined(__cplusplus)
+#define CGC_PTHREAD_CREATE_SPEC __THROWNL
+#else
+#define CGC_PTHREAD_CREATE_SPEC
+#endif
+
+extern "C" {
+
+void *malloc(size_t Bytes) { return cgc_redirect_malloc(Bytes); }
+
+void *calloc(size_t Nmemb, size_t Bytes) {
+  return cgc_redirect_calloc(Nmemb, Bytes);
+}
+
+void *realloc(void *Ptr, size_t Bytes) {
+  return cgc_redirect_realloc(Ptr, Bytes);
+}
+
+void free(void *Ptr) { cgc_redirect_free(Ptr); }
+
+int posix_memalign(void **MemPtr, size_t Alignment, size_t Bytes) {
+  return cgc_redirect_posix_memalign(MemPtr, Alignment, Bytes);
+}
+
+void *aligned_alloc(size_t Alignment, size_t Bytes) {
+  return cgc_redirect_aligned_alloc(Alignment, Bytes);
+}
+
+void *memalign(size_t Alignment, size_t Bytes) {
+  // Deprecated but still emitted by older code; alignment need not be
+  // a multiple of sizeof(void*) here, so round it up.
+  size_t Align = Alignment < sizeof(void *) ? sizeof(void *) : Alignment;
+  return cgc_redirect_aligned_alloc(Align, Bytes);
+}
+
+void *valloc(size_t Bytes) { return cgc_redirect_aligned_alloc(4096, Bytes); }
+
+void *reallocarray(void *Ptr, size_t Nmemb, size_t Bytes) {
+  if (Nmemb != 0 && Bytes != 0 && Nmemb > __SIZE_MAX__ / Bytes) {
+    errno = ENOMEM;
+    return nullptr;
+  }
+  return cgc_redirect_realloc(Ptr, Nmemb * Bytes);
+}
+
+char *strdup(const char *S) { return cgc_redirect_strdup(S); }
+
+char *strndup(const char *S, size_t MaxLen) {
+  if (!S)
+    return nullptr;
+  size_t Len = 0;
+  while (Len < MaxLen && S[Len] != '\0')
+    ++Len;
+  char *Copy = static_cast<char *>(cgc_redirect_malloc(Len + 1));
+  if (!Copy)
+    return nullptr;
+  for (size_t I = 0; I != Len; ++I)
+    Copy[I] = S[I];
+  Copy[Len] = '\0';
+  return Copy;
+}
+
+size_t malloc_usable_size(void *Ptr) {
+  return cgc_redirect_malloc_usable_size(Ptr);
+}
+
+// glibc's internal entry points used by some of its own modules.
+void *__libc_memalign(size_t Alignment, size_t Bytes);
+void *__libc_memalign(size_t Alignment, size_t Bytes) {
+  return memalign(Alignment, Bytes);
+}
+
+} // extern "C"
+
+//===----------------------------------------------------------------------===//
+// C++ operator new / delete (gc_cpp-style: everything funnels into the
+// interposed malloc, so redirected C++ programs need no source change)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void *newImpl(size_t Bytes) {
+  for (;;) {
+    if (void *Ptr = cgc_redirect_malloc(Bytes ? Bytes : 1))
+      return Ptr;
+    // The standard's retry loop: give an installed new_handler a
+    // chance to release memory before giving up.
+    std::new_handler Handler = std::get_new_handler();
+    if (!Handler)
+      throw std::bad_alloc();
+    Handler();
+  }
+}
+
+void *newAlignedImpl(size_t Bytes, std::align_val_t Alignment) {
+  for (;;) {
+    void *Ptr = nullptr;
+    size_t Align = static_cast<size_t>(Alignment);
+    if (Align < sizeof(void *))
+      Align = sizeof(void *);
+    if (cgc_redirect_posix_memalign(&Ptr, Align, Bytes ? Bytes : 1) == 0)
+      return Ptr;
+    std::new_handler Handler = std::get_new_handler();
+    if (!Handler)
+      throw std::bad_alloc();
+    Handler();
+  }
+}
+
+} // namespace
+
+void *operator new(size_t Bytes) { return newImpl(Bytes); }
+void *operator new[](size_t Bytes) { return newImpl(Bytes); }
+
+void *operator new(size_t Bytes, const std::nothrow_t &) noexcept {
+  return cgc_redirect_malloc(Bytes ? Bytes : 1);
+}
+void *operator new[](size_t Bytes, const std::nothrow_t &) noexcept {
+  return cgc_redirect_malloc(Bytes ? Bytes : 1);
+}
+
+void *operator new(size_t Bytes, std::align_val_t Alignment) {
+  return newAlignedImpl(Bytes, Alignment);
+}
+void *operator new[](size_t Bytes, std::align_val_t Alignment) {
+  return newAlignedImpl(Bytes, Alignment);
+}
+void *operator new(size_t Bytes, std::align_val_t Alignment,
+                   const std::nothrow_t &) noexcept {
+  void *Ptr = nullptr;
+  size_t Align = static_cast<size_t>(Alignment);
+  if (Align < sizeof(void *))
+    Align = sizeof(void *);
+  cgc_redirect_posix_memalign(&Ptr, Align, Bytes ? Bytes : 1);
+  return Ptr;
+}
+void *operator new[](size_t Bytes, std::align_val_t Alignment,
+                     const std::nothrow_t &) noexcept {
+  return operator new(Bytes, Alignment, std::nothrow);
+}
+
+void operator delete(void *Ptr) noexcept { cgc_redirect_free(Ptr); }
+void operator delete[](void *Ptr) noexcept { cgc_redirect_free(Ptr); }
+void operator delete(void *Ptr, const std::nothrow_t &) noexcept {
+  cgc_redirect_free(Ptr);
+}
+void operator delete[](void *Ptr, const std::nothrow_t &) noexcept {
+  cgc_redirect_free(Ptr);
+}
+void operator delete(void *Ptr, size_t) noexcept { cgc_redirect_free(Ptr); }
+void operator delete[](void *Ptr, size_t) noexcept { cgc_redirect_free(Ptr); }
+void operator delete(void *Ptr, std::align_val_t) noexcept {
+  cgc_redirect_free(Ptr);
+}
+void operator delete[](void *Ptr, std::align_val_t) noexcept {
+  cgc_redirect_free(Ptr);
+}
+void operator delete(void *Ptr, size_t, std::align_val_t) noexcept {
+  cgc_redirect_free(Ptr);
+}
+void operator delete[](void *Ptr, size_t, std::align_val_t) noexcept {
+  cgc_redirect_free(Ptr);
+}
+
+//===----------------------------------------------------------------------===//
+// pthread_create interposition: auto-register every thread the
+// redirected program creates, so its stack is scanned for roots
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+using PthreadCreateFn = int (*)(pthread_t *, const pthread_attr_t *,
+                                void *(*)(void *), void *);
+
+PthreadCreateFn realPthreadCreate() {
+  static PthreadCreateFn Real = reinterpret_cast<PthreadCreateFn>(
+      dlsym(RTLD_NEXT, "pthread_create"));
+  return Real;
+}
+
+struct ThreadStart {
+  void *(*Fn)(void *);
+  void *Arg;
+};
+
+void *threadTrampoline(void *Raw) {
+  ThreadStart Start = *static_cast<ThreadStart *>(Raw);
+  cgc_redirect_start_packet_free(Raw);
+  cgc_redirect_thread_attach();
+  void *Result = Start.Fn(Start.Arg);
+  // Normal return: detach now.  pthread_exit() unwinds skip this and
+  // are caught by the redirect layer's TLS destructor instead.
+  cgc_redirect_thread_detach();
+  return Result;
+}
+
+} // namespace
+
+extern "C" int pthread_create(pthread_t *Thread, const pthread_attr_t *Attr,
+                              void *(*StartFn)(void *),
+                              void *Arg) CGC_PTHREAD_CREATE_SPEC {
+  PthreadCreateFn Real = realPthreadCreate();
+  if (!Real)
+    return EAGAIN; // no underlying pthreads: nothing sane to do
+  if (!cgc_redirect_active())
+    return Real(Thread, Attr, StartFn, Arg);
+  // The start packet must stay alive across the create/start gap with
+  // no scanned reference to it (pthread stores it in unscanned libc
+  // memory), so it is uncollectable by construction; the trampoline
+  // frees it explicitly.  The depth-guarded helper keeps the
+  // collector's own bookkeeping out of the interposed malloc.
+  auto *Start = static_cast<ThreadStart *>(
+      cgc_redirect_start_packet_alloc(sizeof(ThreadStart)));
+  if (!Start)
+    return Real(Thread, Attr, StartFn, Arg);
+  Start->Fn = StartFn;
+  Start->Arg = Arg;
+  int Err = Real(Thread, Attr, threadTrampoline, Start);
+  if (Err != 0)
+    cgc_redirect_start_packet_free(Start);
+  return Err;
+}

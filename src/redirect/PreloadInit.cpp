@@ -1,0 +1,34 @@
+//===- redirect/PreloadInit.cpp - LD_PRELOAD shim bootstrap --------------===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+//
+// The libcgc_preload.so-only TU.  An ELF constructor installs the
+// redirect collector as early as the dynamic linker allows; any
+// allocation that beats it (ld.so itself, other preloads, libc init)
+// is served by the bootstrap buffer via the interposers' lazy-install
+// path, so running this constructor is an optimization, not a
+// correctness requirement.  The destructor flushes an in-flight trace
+// so `CGC_TRACE_FILE=x LD_PRELOAD=./libcgc_preload.so prog` yields a
+// complete file even though the program never heard of cgc.
+//
+//===----------------------------------------------------------------------===//
+
+#include "redirect/Redirect.h"
+
+namespace {
+
+// 101 is the lowest priority the toolchain reserves for users: run
+// before ordinarily-prioritized constructors in the main program and
+// other libraries.
+__attribute__((constructor(101))) void cgcPreloadInit() {
+  cgc_redirect_install();
+}
+
+__attribute__((destructor)) void cgcPreloadFini() {
+  cgc_redirect_trace_stop();
+}
+
+} // namespace

@@ -1,0 +1,134 @@
+/*===- redirect/Redirect.h - Drop-in malloc redirection ---------- C -*-===//
+ *
+ * Part of the cgc project: a reproduction of Boehm, "Space Efficient
+ * Conservative Garbage Collection", PLDI 1993.
+ *
+ *===--------------------------------------------------------------------===//
+ *
+ * The malloc-redirection layer: a process-global collector behind the
+ * standard C allocation entry points, usable two ways:
+ *
+ *   - link-time: link the `cgc_redirect` static library before libc;
+ *     its malloc/calloc/realloc/free/... definitions interpose the
+ *     libc ones for the whole program.
+ *   - LD_PRELOAD: `LD_PRELOAD=./libcgc_preload.so ./your_program`
+ *     redirects an *unmodified* binary (see README).
+ *
+ * The cgc_redirect_* functions below are the implementation those
+ * interposers call; they are also directly callable (and tested)
+ * without any symbol interposition.
+ *
+ * Hostile-environment contract:
+ *   - Calls arriving before the collector is up (libc/ld.so init,
+ *     dlsym's own calloc) are served from a static bootstrap buffer.
+ *   - free/realloc of a pointer the collector does not own degrades
+ *     to a structured CGC_INCIDENT_FOREIGN_FREE incident plus a
+ *     pass-through to the real libc (default) or a warn-and-ignore
+ *     (CGC_REDIRECT_FOREIGN_FREE=warn), never corruption.
+ *   - calloc checks the nmemb*size multiplication for overflow.
+ *   - Every failing allocation sets errno=ENOMEM (EINVAL where POSIX
+ *     says so) and returns NULL.
+ *   - If initialization fails mid-preload (or CGC_REDIRECT_DISABLE is
+ *     set), every entry point falls back to the real libc for the
+ *     life of the process: the program keeps running unredirected.
+ *
+ * Environment knobs (read at install):
+ *   CGC_REDIRECT_DISABLE       any value: never start the collector.
+ *   CGC_REDIRECT_MAX_HEAP      arena cap in bytes (default 1 GiB).
+ *   CGC_REDIRECT_FOREIGN_FREE  "pass" (default) or "warn".
+ *   CGC_TRACE_FILE             record every interposed call to this
+ *                              trace file (tools/trace_record format).
+ *
+ *===--------------------------------------------------------------------===*/
+
+#ifndef CGC_REDIRECT_REDIRECT_H
+#define CGC_REDIRECT_REDIRECT_H
+
+#include <stddef.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct cgc_collector cgc_collector;
+
+/* Lifetime counters for the redirect layer; all monotonic. */
+typedef struct cgc_redirect_stats {
+  unsigned long long gc_allocs;        /* served by the collector      */
+  unsigned long long gc_frees;         /* explicit frees of GC memory  */
+  unsigned long long bootstrap_allocs; /* served pre-init              */
+  unsigned long long bootstrap_bytes;
+  unsigned long long libc_allocs;      /* re-entrant/fallback, to libc */
+  unsigned long long foreign_frees;    /* free() of non-GC memory      */
+  unsigned long long foreign_reallocs; /* realloc() of non-GC memory   */
+  unsigned long long calloc_overflows; /* refused nmemb*size overflow  */
+  unsigned long long failed_allocs;    /* NULL returns (errno=ENOMEM)  */
+  unsigned long long threads_attached; /* auto-registered via          */
+                                       /* pthread_create interposition */
+  unsigned long long trace_records;    /* events written to the trace  */
+  int active;                          /* 1 = collector serving calls  */
+  int fallback;                        /* 1 = permanent libc fallback  */
+} cgc_redirect_stats;
+
+/* Foreign-free handling modes (cgc_redirect_set_foreign_free_mode). */
+#define CGC_FOREIGN_FREE_PASSTHROUGH 0 /* incident + real free()      */
+#define CGC_FOREIGN_FREE_WARN 1        /* incident + ignore           */
+
+/* Starts the process-global redirect collector (idempotent, thread-
+ * safe; the interposers call it lazily on first use).  Returns 1 when
+ * the collector is serving, 0 when the layer fell back to libc. */
+int cgc_redirect_install(void);
+
+/* 1 while the collector is serving interposed calls. */
+int cgc_redirect_active(void);
+
+/* The process-global collector handle (observers, stats, gcollect);
+ * NULL before install or in fallback mode. */
+cgc_collector *cgc_redirect_collector(void);
+
+void cgc_redirect_get_stats(cgc_redirect_stats *out);
+void cgc_redirect_set_foreign_free_mode(int mode);
+
+/* The interposed entry points.  Exact libc semantics, hardened. */
+void *cgc_redirect_malloc(size_t bytes);
+void *cgc_redirect_calloc(size_t nmemb, size_t bytes);
+void *cgc_redirect_realloc(void *ptr, size_t bytes);
+void cgc_redirect_free(void *ptr);
+int cgc_redirect_posix_memalign(void **memptr, size_t alignment,
+                                size_t bytes);
+void *cgc_redirect_aligned_alloc(size_t alignment, size_t bytes);
+char *cgc_redirect_strdup(const char *s);
+size_t cgc_redirect_malloc_usable_size(void *ptr);
+
+/* Registers/unregisters the calling thread with the redirect
+ * collector so its stack is scanned; the pthread_create interposer
+ * calls these around every thread created after install.  attach is
+ * idempotent per thread; detach tolerates double calls. */
+void cgc_redirect_thread_attach(void);
+void cgc_redirect_thread_detach(void);
+
+/* Internal plumbing for the pthread_create interposer: the thread-
+ * start packet must be uncollectable collector memory, and it must be
+ * allocated/freed with the re-entrancy guard held — a bare capi call
+ * from inside an interposer would let the collector's own bookkeeping
+ * allocations recurse into the interposed malloc and end up as
+ * collectable heap memory that internal code later frees to libc. */
+void *cgc_redirect_start_packet_alloc(size_t bytes);
+void cgc_redirect_start_packet_free(void *ptr);
+
+/* Starts recording every interposed call to a trace file (TraceLog
+ * format).  Returns 1 on success.  Stop flushes and closes. */
+int cgc_redirect_trace_start(const char *path);
+void cgc_redirect_trace_stop(void);
+
+/* Test hooks.  simulate_init_failure forces the next install into
+ * fallback mode; reset tears the layer back to uninstalled (leaking
+ * the collector deliberately — the heap may still be referenced). */
+void cgc_redirect_simulate_init_failure(int enable);
+void cgc_redirect_reset_for_tests(void);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* CGC_REDIRECT_REDIRECT_H */

@@ -1,0 +1,281 @@
+//===- redirect/TraceLog.cpp - Allocation trace record format ------------===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+
+#include "redirect/TraceLog.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace cgc {
+
+uint64_t TraceRecord::requestBytes() const {
+  switch (Op) {
+  case TraceOp::Malloc:
+  case TraceOp::Realloc:
+  case TraceOp::Memalign:
+    return Op == TraceOp::Memalign ? B : A;
+  case TraceOp::Calloc: {
+    if (A != 0 && B > UINT64_MAX / A)
+      return UINT64_MAX;
+    return A * B;
+  }
+  case TraceOp::Strdup:
+    return A == UINT64_MAX ? UINT64_MAX : A + 1;
+  case TraceOp::End:
+  case TraceOp::Free:
+  case TraceOp::ForeignFree:
+    return 0;
+  }
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// TraceWriter
+//===----------------------------------------------------------------------===//
+
+bool TraceWriter::open(const char *Path) {
+  close();
+  IoError = false;
+  Records = 0;
+  BufferLen = 0;
+  Fd = ::open(Path, O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (Fd < 0) {
+    IoError = true;
+    return false;
+  }
+  uint32_t Header[2] = {TraceMagic, TraceVersion};
+  std::memcpy(Buffer, Header, sizeof(Header));
+  BufferLen = sizeof(Header);
+  return true;
+}
+
+void TraceWriter::putByte(uint8_t Byte) {
+  if (BufferLen == BufferCap)
+    flush();
+  Buffer[BufferLen++] = Byte;
+}
+
+void TraceWriter::putUleb(uint64_t Value) {
+  do {
+    uint8_t Byte = Value & 0x7f;
+    Value >>= 7;
+    if (Value != 0)
+      Byte |= 0x80;
+    putByte(Byte);
+  } while (Value != 0);
+}
+
+void TraceWriter::flush() {
+  size_t Off = 0;
+  while (Off < BufferLen && !IoError) {
+    ssize_t Wrote = ::write(Fd, Buffer + Off, BufferLen - Off);
+    if (Wrote < 0) {
+      if (errno == EINTR)
+        continue;
+      IoError = true;
+      break;
+    }
+    Off += static_cast<size_t>(Wrote);
+  }
+  BufferLen = 0;
+}
+
+void TraceWriter::record(const TraceRecord &Rec) {
+  if (Fd < 0 || IoError)
+    return;
+  putByte(static_cast<uint8_t>(Rec.Op));
+  switch (Rec.Op) {
+  case TraceOp::Malloc:
+    putUleb(Rec.Id);
+    putUleb(Rec.A);
+    break;
+  case TraceOp::Calloc:
+  case TraceOp::Memalign:
+    putUleb(Rec.Id);
+    putUleb(Rec.A);
+    putUleb(Rec.B);
+    break;
+  case TraceOp::Realloc:
+    putUleb(Rec.Id);
+    putUleb(Rec.OldId);
+    putUleb(Rec.A);
+    break;
+  case TraceOp::Strdup:
+    putUleb(Rec.Id);
+    putUleb(Rec.A);
+    break;
+  case TraceOp::Free:
+    putUleb(Rec.Id);
+    break;
+  case TraceOp::ForeignFree:
+  case TraceOp::End:
+    break;
+  }
+  ++Records;
+}
+
+void TraceWriter::close() {
+  if (Fd < 0)
+    return;
+  putByte(static_cast<uint8_t>(TraceOp::End));
+  flush();
+  ::close(Fd);
+  Fd = -1;
+}
+
+//===----------------------------------------------------------------------===//
+// TraceReader
+//===----------------------------------------------------------------------===//
+
+bool TraceReader::load(const char *Path) {
+  Data.clear();
+  Cursor = 0;
+  Malformed = false;
+  std::FILE *File = std::fopen(Path, "rb");
+  if (!File)
+    return false;
+  unsigned char Chunk[1 << 16];
+  size_t Got;
+  while ((Got = std::fread(Chunk, 1, sizeof(Chunk), File)) != 0)
+    Data.insert(Data.end(), Chunk, Chunk + Got);
+  bool ReadError = std::ferror(File) != 0;
+  std::fclose(File);
+  if (ReadError || Data.size() < 8)
+    return false;
+  uint32_t Magic, Version;
+  std::memcpy(&Magic, Data.data(), 4);
+  std::memcpy(&Version, Data.data() + 4, 4);
+  if (Magic != TraceMagic || Version != TraceVersion)
+    return false;
+  Data.erase(Data.begin(), Data.begin() + 8);
+  return true;
+}
+
+void TraceReader::adopt(std::vector<unsigned char> Bytes) {
+  Data = std::move(Bytes);
+  Cursor = 0;
+  Malformed = false;
+}
+
+bool TraceReader::getByte(uint8_t &Byte) {
+  if (Cursor >= Data.size())
+    return false;
+  Byte = Data[Cursor++];
+  return true;
+}
+
+bool TraceReader::getUleb(uint64_t &Value) {
+  Value = 0;
+  unsigned Shift = 0;
+  uint8_t Byte;
+  do {
+    if (Shift >= 64 || !getByte(Byte)) {
+      Malformed = true;
+      return false;
+    }
+    Value |= uint64_t(Byte & 0x7f) << Shift;
+    Shift += 7;
+  } while (Byte & 0x80);
+  return true;
+}
+
+bool TraceReader::next(TraceRecord &Rec) {
+  Rec = TraceRecord();
+  uint8_t OpByte;
+  if (!getByte(OpByte))
+    return false;
+  if (OpByte > static_cast<uint8_t>(TraceOp::ForeignFree)) {
+    Malformed = true;
+    return false;
+  }
+  Rec.Op = static_cast<TraceOp>(OpByte);
+  switch (Rec.Op) {
+  case TraceOp::End:
+    return false;
+  case TraceOp::Malloc:
+    return getUleb(Rec.Id) && getUleb(Rec.A);
+  case TraceOp::Calloc:
+  case TraceOp::Memalign:
+    return getUleb(Rec.Id) && getUleb(Rec.A) && getUleb(Rec.B);
+  case TraceOp::Realloc:
+    return getUleb(Rec.Id) && getUleb(Rec.OldId) && getUleb(Rec.A);
+  case TraceOp::Strdup:
+    return getUleb(Rec.Id) && getUleb(Rec.A);
+  case TraceOp::Free:
+    return getUleb(Rec.Id);
+  case TraceOp::ForeignFree:
+    return true;
+  }
+  Malformed = true;
+  return false;
+}
+
+uint64_t TraceReader::maxId() {
+  size_t SavedCursor = Cursor;
+  bool SavedMalformed = Malformed;
+  Cursor = 0;
+  Malformed = false;
+  uint64_t Max = 0;
+  TraceRecord Rec;
+  while (next(Rec))
+    if (Rec.Id > Max)
+      Max = Rec.Id;
+  Cursor = SavedCursor;
+  Malformed = SavedMalformed;
+  return Max;
+}
+
+//===----------------------------------------------------------------------===//
+// In-memory encoding (scenario generators)
+//===----------------------------------------------------------------------===//
+
+static void appendUleb(std::vector<unsigned char> &Out, uint64_t Value) {
+  do {
+    uint8_t Byte = Value & 0x7f;
+    Value >>= 7;
+    if (Value != 0)
+      Byte |= 0x80;
+    Out.push_back(Byte);
+  } while (Value != 0);
+}
+
+void appendTraceRecord(std::vector<unsigned char> &Out,
+                       const TraceRecord &Rec) {
+  Out.push_back(static_cast<uint8_t>(Rec.Op));
+  switch (Rec.Op) {
+  case TraceOp::Malloc:
+    appendUleb(Out, Rec.Id);
+    appendUleb(Out, Rec.A);
+    break;
+  case TraceOp::Calloc:
+  case TraceOp::Memalign:
+    appendUleb(Out, Rec.Id);
+    appendUleb(Out, Rec.A);
+    appendUleb(Out, Rec.B);
+    break;
+  case TraceOp::Realloc:
+    appendUleb(Out, Rec.Id);
+    appendUleb(Out, Rec.OldId);
+    appendUleb(Out, Rec.A);
+    break;
+  case TraceOp::Strdup:
+    appendUleb(Out, Rec.Id);
+    appendUleb(Out, Rec.A);
+    break;
+  case TraceOp::Free:
+    appendUleb(Out, Rec.Id);
+    break;
+  case TraceOp::ForeignFree:
+  case TraceOp::End:
+    break;
+  }
+}
+
+} // namespace cgc

@@ -1,0 +1,151 @@
+//===- redirect/TraceLog.h - Allocation trace record format ----*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact, address-independent record format for allocation traces.
+///
+/// Traces are captured by the malloc-redirection layer (one record per
+/// interposed call) and replayed bit-identically through any allocator
+/// by bench_trace_replay.  Records are keyed by sequential *slot ids*
+/// instead of addresses — id N is the N-th allocation event of the run
+/// — so a trace recorded under the LD_PRELOAD shim replays through the
+/// collector, ExplicitHeap, or libc without any pointer translation.
+///
+/// On-disk layout: an 8-byte header ("CGCT" + u32le version), then one
+/// record per event: a 1-byte opcode followed by ULEB128 operands.
+/// The stream ends at EOF or an explicit End opcode.
+///
+///   Malloc      id size
+///   Calloc      id nmemb size
+///   Memalign    id align size        (posix_memalign / aligned_alloc)
+///   Realloc     id oldid size        (oldid 0 == realloc(NULL, size))
+///   Strdup      id len               (len excludes the NUL)
+///   Free        id                   (id 0 == free(NULL))
+///   ForeignFree                      (hostile call observed; no slot)
+///
+/// TraceWriter is interposer-safe: it never allocates after open() —
+/// records accumulate in a fixed internal buffer flushed with raw
+/// write(2) — so it can run inside malloc itself.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_REDIRECT_TRACELOG_H
+#define CGC_REDIRECT_TRACELOG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cgc {
+
+enum class TraceOp : uint8_t {
+  End = 0,
+  Malloc = 1,
+  Calloc = 2,
+  Memalign = 3,
+  Realloc = 4,
+  Strdup = 5,
+  Free = 6,
+  ForeignFree = 7,
+};
+
+/// One decoded trace event.  Operand meaning depends on Op (above);
+/// unused operands read zero.
+struct TraceRecord {
+  TraceOp Op = TraceOp::End;
+  uint64_t Id = 0;
+  uint64_t OldId = 0;
+  uint64_t A = 0; // size / nmemb / align / len
+  uint64_t B = 0; // size (Calloc, Memalign)
+
+  /// \returns the number of user bytes this event requests (0 for
+  /// frees); saturates instead of overflowing for hostile sizes.
+  uint64_t requestBytes() const;
+};
+
+constexpr uint32_t TraceMagic = 0x54434743; // "CGCT" little-endian
+constexpr uint32_t TraceVersion = 1;
+
+/// Streaming trace writer safe to call from inside an interposed
+/// malloc: after open() it performs no allocation, only raw write(2)
+/// flushes of a fixed buffer.  Not internally synchronized — the
+/// redirect layer serializes record() calls under its own trace lock.
+class TraceWriter {
+public:
+  TraceWriter() = default;
+  ~TraceWriter() { close(); }
+  TraceWriter(const TraceWriter &) = delete;
+  TraceWriter &operator=(const TraceWriter &) = delete;
+
+  /// Opens \p Path (created/truncated) and writes the header.
+  /// \returns false on I/O failure.
+  bool open(const char *Path);
+  bool isOpen() const { return Fd >= 0; }
+
+  /// Appends one record.  Silently drops records after an I/O error
+  /// (the error sticks; check ioFailed()).
+  void record(const TraceRecord &Rec);
+
+  /// Flushes the buffer and closes the file (End opcode included).
+  void close();
+
+  uint64_t recordsWritten() const { return Records; }
+  bool ioFailed() const { return IoError; }
+
+private:
+  void putByte(uint8_t Byte);
+  void putUleb(uint64_t Value);
+  void flush();
+
+  static constexpr size_t BufferCap = 1 << 16;
+  unsigned char Buffer[BufferCap];
+  size_t BufferLen = 0;
+  int Fd = -1;
+  uint64_t Records = 0;
+  bool IoError = false;
+};
+
+/// In-memory trace reader; loads the whole file once (replay side
+/// only — never runs inside an interposer).
+class TraceReader {
+public:
+  /// Loads \p Path.  \returns false on I/O error or a bad header.
+  bool load(const char *Path);
+
+  /// Adopts an already-encoded record stream (header not included);
+  /// used by the canned-scenario generators and tests.
+  void adopt(std::vector<unsigned char> Bytes);
+
+  /// Decodes the next record.  \returns false at end of stream or on
+  /// a malformed record (check malformed()).
+  bool next(TraceRecord &Rec);
+
+  /// Rewinds to the first record.
+  void rewind() { Cursor = 0; Malformed = false; }
+
+  /// Highest slot id used by any record (one linear pre-scan).
+  uint64_t maxId();
+
+  bool malformed() const { return Malformed; }
+
+private:
+  bool getByte(uint8_t &Byte);
+  bool getUleb(uint64_t &Value);
+
+  std::vector<unsigned char> Data;
+  size_t Cursor = 0;
+  bool Malformed = false;
+};
+
+/// Encodes one record to \p Out (same wire format TraceWriter emits);
+/// scenario generators build in-memory streams with this.
+void appendTraceRecord(std::vector<unsigned char> &Out,
+                       const TraceRecord &Rec);
+
+} // namespace cgc
+
+#endif // CGC_REDIRECT_TRACELOG_H

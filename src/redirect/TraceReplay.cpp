@@ -1,0 +1,208 @@
+//===- redirect/TraceReplay.cpp - Trace replay harness -------------------===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+
+#include "redirect/TraceReplay.h"
+
+#include <chrono>
+#include <cstring>
+
+namespace cgc {
+
+namespace {
+
+constexpr size_t StampBytes = 64;
+
+/// Deterministic per-slot stamp byte: a cheap mix of the slot id and
+/// the byte index, so adjacent slots never share a stamp.
+inline unsigned char stampByte(uint64_t Id, size_t Index) {
+  uint64_t Mixed = Id * 0x9e3779b97f4a7c15ull + Index * 0x100000001b3ull;
+  return static_cast<unsigned char>(Mixed >> 56);
+}
+
+void stampSlot(void *Ptr, uint64_t Id, uint64_t Bytes) {
+  if (!Ptr)
+    return;
+  unsigned char *P = static_cast<unsigned char *>(Ptr);
+  size_t N = Bytes < StampBytes ? static_cast<size_t>(Bytes) : StampBytes;
+  for (size_t I = 0; I != N; ++I)
+    P[I] = stampByte(Id, I);
+}
+
+uint64_t checksumSlot(const void *Ptr, uint64_t Bytes) {
+  if (!Ptr)
+    return 0;
+  const unsigned char *P = static_cast<const unsigned char *>(Ptr);
+  size_t N = Bytes < StampBytes ? static_cast<size_t>(Bytes) : StampBytes;
+  uint64_t Sum = DigestSeed;
+  for (size_t I = 0; I != N; ++I)
+    Sum = foldDigest(Sum, P[I]);
+  return Sum;
+}
+
+struct Slot {
+  void *Ptr = nullptr;
+  uint64_t Bytes = 0;
+  bool Live = false;
+};
+
+} // namespace
+
+ReplayResult replayTrace(TraceReader &Reader, ReplayAllocator &Allocator,
+                         const ReplayOptions &Options) {
+  ReplayResult Result;
+  Result.Digest = DigestSeed;
+
+  uint64_t Slots = Reader.maxId() + 1;
+  std::vector<Slot> Table(Slots);
+  // Expose the slot pointers to collecting allocators as a root range:
+  // they are the only references keeping replayed objects alive.  The
+  // table never reallocates after this point.
+  std::vector<void *> Pointers(Slots, nullptr);
+  Allocator.noteSlotTable(Pointers.data(), Slots);
+
+  auto setSlot = [&](uint64_t Id, void *Ptr, uint64_t Bytes) {
+    Table[Id].Ptr = Ptr;
+    Table[Id].Bytes = Bytes;
+    Table[Id].Live = Ptr != nullptr;
+    Pointers[Id] = Ptr;
+  };
+  auto dropSlot = [&](uint64_t Id) {
+    Table[Id] = Slot();
+    Pointers[Id] = nullptr;
+  };
+
+  auto allocInto = [&](uint64_t Id, uint64_t Bytes) {
+    ++Result.AllocEvents;
+    Result.BytesRequested += Bytes;
+    void *Ptr = Bytes > SIZE_MAX ? nullptr
+                                 : Allocator.allocate(
+                                       static_cast<size_t>(Bytes ? Bytes : 1));
+    if (!Ptr)
+      ++Result.FailedAllocs;
+    stampSlot(Ptr, Id, Bytes);
+    // Fold the stamp checksum at birth too: catches an allocator
+    // returning overlapping or undersized memory immediately.
+    Result.Digest = foldDigest(Result.Digest, Ptr ? 1 : 0);
+    Result.Digest =
+        foldDigest(Result.Digest, checksumSlot(Ptr, Bytes));
+    setSlot(Id, Ptr, Bytes);
+  };
+
+  auto releaseSlot = [&](uint64_t Id) {
+    ++Result.FreeEvents;
+    if (Id >= Slots || !Table[Id].Live) {
+      // free(NULL), a double free in the trace, or a slot whose
+      // allocation failed: all fold as a no-op free.
+      Result.Digest = foldDigest(Result.Digest, 0x5eed);
+      return;
+    }
+    Result.Digest =
+        foldDigest(Result.Digest, checksumSlot(Table[Id].Ptr, Table[Id].Bytes));
+    if (Options.HonorFrees)
+      Allocator.deallocate(Table[Id].Ptr);
+    dropSlot(Id);
+  };
+
+  Reader.rewind();
+  auto Begin = std::chrono::steady_clock::now();
+  TraceRecord Rec;
+  while (Reader.next(Rec)) {
+    ++Result.Events;
+    Result.Digest = foldDigest(Result.Digest,
+                               static_cast<uint64_t>(Rec.Op) ^
+                                   (Rec.Id << 8) ^ (Rec.A << 24) ^
+                                   (Rec.B << 40) ^ (Rec.OldId << 52));
+    switch (Rec.Op) {
+    case TraceOp::Malloc:
+      allocInto(Rec.Id, Rec.A);
+      break;
+    case TraceOp::Calloc: {
+      uint64_t Bytes = Rec.requestBytes();
+      if (Rec.A != 0 && Rec.B != 0 && Bytes / Rec.A != Rec.B) {
+        // Overflowing calloc: every allocator must refuse it.
+        ++Result.AllocEvents;
+        ++Result.FailedAllocs;
+        Result.Digest = foldDigest(Result.Digest, 0xca110c);
+        setSlot(Rec.Id, nullptr, 0);
+        break;
+      }
+      allocInto(Rec.Id, Bytes);
+      break;
+    }
+    case TraceOp::Memalign:
+      // Alignment is folded via the operand mix above; allocators
+      // without an alignment path serve the plain size.
+      allocInto(Rec.Id, Rec.B);
+      break;
+    case TraceOp::Realloc: {
+      // Modeled as verify-old + alloc-new + free-old, which is
+      // deterministic for every allocator and keeps stamps exact.
+      uint64_t NewBytes = Rec.A;
+      bool HadOld = Rec.OldId != 0 && Rec.OldId < Slots &&
+                    Table[Rec.OldId].Live;
+      if (HadOld)
+        Result.Digest = foldDigest(
+            Result.Digest,
+            checksumSlot(Table[Rec.OldId].Ptr, Table[Rec.OldId].Bytes));
+      if (NewBytes == 0) {
+        // realloc(p, 0): glibc frees and returns NULL.
+        if (HadOld) {
+          if (Options.HonorFrees)
+            Allocator.deallocate(Table[Rec.OldId].Ptr);
+          dropSlot(Rec.OldId);
+        }
+        ++Result.FreeEvents;
+        setSlot(Rec.Id, nullptr, 0);
+        break;
+      }
+      allocInto(Rec.Id, NewBytes);
+      if (HadOld) {
+        if (Options.HonorFrees)
+          Allocator.deallocate(Table[Rec.OldId].Ptr);
+        dropSlot(Rec.OldId);
+      }
+      break;
+    }
+    case TraceOp::Strdup:
+      allocInto(Rec.Id, Rec.A + 1);
+      break;
+    case TraceOp::Free:
+      releaseSlot(Rec.Id);
+      break;
+    case TraceOp::ForeignFree:
+      // Hostile-call marker: folds, allocates nothing.
+      Result.Digest = foldDigest(Result.Digest, 0xf02e16);
+      break;
+    case TraceOp::End:
+      break;
+    }
+  }
+
+  // End of trace: verify and release whatever the program leaked (in
+  // id order, so the teardown is deterministic too).
+  for (uint64_t Id = 0; Id != Slots; ++Id) {
+    if (!Table[Id].Live)
+      continue;
+    ++Result.LeakedSlots;
+    Result.Digest =
+        foldDigest(Result.Digest, checksumSlot(Table[Id].Ptr, Table[Id].Bytes));
+    if (Options.HonorFrees)
+      Allocator.deallocate(Table[Id].Ptr);
+    dropSlot(Id);
+  }
+
+  auto ElapsedNanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - Begin)
+                          .count();
+  Result.Nanos = static_cast<uint64_t>(ElapsedNanos);
+  Result.PeakFootprintBytes = Allocator.footprintBytes();
+  Result.Collections = Allocator.collections();
+  Result.Malformed = Reader.malformed();
+  return Result;
+}
+
+} // namespace cgc

@@ -1,0 +1,94 @@
+//===- redirect/TraceReplay.h - Trace replay harness -----------*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replays a TraceLog record stream through an allocator and folds a
+/// bit-exact FNV-1a digest of the logical event stream: opcode,
+/// operands, and a payload-stamp checksum verified at free time.  The
+/// digest never includes addresses, so the same trace replayed through
+/// the collector, ExplicitHeap, or libc produces the same digest —
+/// and two runs of the same (trace, allocator) pair must produce
+/// identical digests (the --replay-check contract).
+///
+/// Payload stamping: every allocation's first bytes (up to 64) are
+/// filled with a pattern derived from its slot id; the free path
+/// re-reads and folds them, so cross-allocation clobbering or a
+/// prematurely reclaimed object perturbs the digest instead of going
+/// unnoticed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_REDIRECT_TRACEREPLAY_H
+#define CGC_REDIRECT_TRACEREPLAY_H
+
+#include "redirect/TraceLog.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace cgc {
+
+/// The allocator under replay.  Implementations must return memory at
+/// least requestBytes() large (or null), and tolerate free(nullptr).
+class ReplayAllocator {
+public:
+  virtual ~ReplayAllocator() = default;
+  virtual void *allocate(size_t Bytes) = 0;
+  virtual void deallocate(void *Ptr) = 0;
+  /// Called once before replay with the number of distinct slot ids,
+  /// so allocators can register the slot table as a root range.
+  virtual void noteSlotTable(void **Table, uint64_t Slots) {
+    (void)Table;
+    (void)Slots;
+  }
+  /// Peak footprint in bytes, allocator-defined (committed heap for
+  /// the collector, footprint for ExplicitHeap).
+  virtual uint64_t footprintBytes() const { return 0; }
+  /// Collections run (0 for non-collecting allocators).
+  virtual uint64_t collections() const { return 0; }
+};
+
+struct ReplayResult {
+  uint64_t Digest = 0;
+  uint64_t Events = 0;
+  uint64_t AllocEvents = 0;
+  uint64_t FreeEvents = 0;
+  uint64_t BytesRequested = 0;
+  /// Allocations the allocator refused (folded into the digest, so a
+  /// deterministic allocator refuses deterministically or not at all).
+  uint64_t FailedAllocs = 0;
+  /// Live slot ids at end of trace (never freed by the program).
+  uint64_t LeakedSlots = 0;
+  uint64_t PeakFootprintBytes = 0;
+  uint64_t Collections = 0;
+  uint64_t Nanos = 0;
+  bool Malformed = false;
+};
+
+/// Replay options.  HonorFrees=false models pure garbage collection:
+/// Free records only drop the slot-table reference (the collector must
+/// reclaim the object on its own); payload verification then happens
+/// only for slots still live at the end.
+struct ReplayOptions {
+  bool HonorFrees = true;
+};
+
+/// Replays \p Reader (rewound first) through \p Allocator.
+ReplayResult replayTrace(TraceReader &Reader, ReplayAllocator &Allocator,
+                         const ReplayOptions &Options = ReplayOptions());
+
+/// FNV-1a fold step shared with the soak harness.
+inline uint64_t foldDigest(uint64_t Digest, uint64_t Value) {
+  Digest ^= Value;
+  return Digest * 1099511628211ull;
+}
+
+constexpr uint64_t DigestSeed = 14695981039346656037ull;
+
+} // namespace cgc
+
+#endif // CGC_REDIRECT_TRACEREPLAY_H

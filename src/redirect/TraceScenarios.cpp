@@ -1,0 +1,263 @@
+//===- redirect/TraceScenarios.cpp - Canned allocation traces ------------===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+
+#include "redirect/TraceScenarios.h"
+
+#include "support/Random.h"
+
+#include <cstring>
+
+namespace cgc {
+
+namespace {
+
+/// Shared emission state: monotonically assigns slot ids and appends
+/// encoded records.
+class TraceBuilder {
+public:
+  uint64_t malloc(uint64_t Bytes) {
+    TraceRecord Rec;
+    Rec.Op = TraceOp::Malloc;
+    Rec.Id = ++LastId;
+    Rec.A = Bytes;
+    appendTraceRecord(Out, Rec);
+    return Rec.Id;
+  }
+
+  uint64_t calloc(uint64_t Nmemb, uint64_t Bytes) {
+    TraceRecord Rec;
+    Rec.Op = TraceOp::Calloc;
+    Rec.Id = ++LastId;
+    Rec.A = Nmemb;
+    Rec.B = Bytes;
+    appendTraceRecord(Out, Rec);
+    return Rec.Id;
+  }
+
+  uint64_t realloc(uint64_t OldId, uint64_t Bytes) {
+    TraceRecord Rec;
+    Rec.Op = TraceOp::Realloc;
+    Rec.Id = ++LastId;
+    Rec.OldId = OldId;
+    Rec.A = Bytes;
+    appendTraceRecord(Out, Rec);
+    return Rec.Id;
+  }
+
+  uint64_t strdup(uint64_t Len) {
+    TraceRecord Rec;
+    Rec.Op = TraceOp::Strdup;
+    Rec.Id = ++LastId;
+    Rec.A = Len;
+    appendTraceRecord(Out, Rec);
+    return Rec.Id;
+  }
+
+  void free(uint64_t Id) {
+    TraceRecord Rec;
+    Rec.Op = TraceOp::Free;
+    Rec.Id = Id;
+    appendTraceRecord(Out, Rec);
+  }
+
+  std::vector<unsigned char> take() { return std::move(Out); }
+
+private:
+  std::vector<unsigned char> Out;
+  uint64_t LastId = 0;
+};
+
+/// Web-server request churn: short per-request bursts against a
+/// rotating pool of keep-alive sessions.
+std::vector<unsigned char> generateWeb(uint64_t Seed, unsigned Scale) {
+  TraceBuilder B;
+  Rng Random(Seed ^ 0x3eb5e53e);
+  const unsigned Requests = 1500 * Scale;
+  const unsigned SessionPool = 64;
+  std::vector<uint64_t> Sessions(SessionPool, 0);
+
+  for (unsigned Req = 0; Req != Requests; ++Req) {
+    // Keep-alive session state: one in eight requests rotates a
+    // session slot (connection close + accept).
+    if (Random.nextBelow(8) == 0) {
+      unsigned Slot = static_cast<unsigned>(Random.nextBelow(SessionPool));
+      if (Sessions[Slot])
+        B.free(Sessions[Slot]);
+      Sessions[Slot] = B.malloc(256 + Random.nextBelow(768));
+    }
+    // Header strings: a burst of small strdup-sized allocations.
+    uint64_t Headers[24];
+    unsigned NumHeaders = 6 + static_cast<unsigned>(Random.nextBelow(12));
+    for (unsigned H = 0; H != NumHeaders; ++H)
+      Headers[H] = B.strdup(8 + Random.nextBelow(72));
+    // Body buffer: mostly small, occasionally a large response.
+    uint64_t Body = Random.nextBelow(50) == 0
+                        ? B.malloc(64 * 1024 + Random.nextBelow(192 * 1024))
+                        : B.malloc(512 + Random.nextBelow(7680));
+    // Handler scratch, zero-initialized.
+    uint64_t Scratch = B.calloc(1 + Random.nextBelow(16), 64);
+    // Request end: everything request-scoped dies, LIFO-ish.
+    B.free(Scratch);
+    B.free(Body);
+    for (unsigned H = NumHeaders; H != 0; --H)
+      B.free(Headers[H - 1]);
+  }
+  for (uint64_t Session : Sessions)
+    if (Session)
+      B.free(Session);
+  return B.take();
+}
+
+/// JSON parse/build: per-document node trees and realloc-doubled
+/// arrays, freed in traversal order (FIFO within a document).
+std::vector<unsigned char> generateJson(uint64_t Seed, unsigned Scale) {
+  TraceBuilder B;
+  Rng Random(Seed ^ 0x15052ull);
+  const unsigned Documents = 120 * Scale;
+
+  for (unsigned Doc = 0; Doc != Documents; ++Doc) {
+    unsigned Nodes = 64 + static_cast<unsigned>(Random.nextBelow(448));
+    std::vector<uint64_t> Tree;
+    Tree.reserve(Nodes + 8);
+    for (unsigned N = 0; N != Nodes; ++N) {
+      switch (Random.nextBelow(4)) {
+      case 0: // object/array node
+        Tree.push_back(B.malloc(48));
+        break;
+      case 1: // number node
+        Tree.push_back(B.malloc(32));
+        break;
+      default: // string node: header + copied text
+        Tree.push_back(B.malloc(32));
+        Tree.push_back(B.strdup(3 + Random.nextBelow(61)));
+        break;
+      }
+    }
+    // Array backing stores grow by doubling: the classic realloc
+    // pattern parsers and builders hit constantly.
+    unsigned Arrays = 2 + static_cast<unsigned>(Random.nextBelow(6));
+    for (unsigned A = 0; A != Arrays; ++A) {
+      uint64_t Backing = B.malloc(64);
+      uint64_t Capacity = 64;
+      unsigned Doublings = 2 + static_cast<unsigned>(Random.nextBelow(7));
+      for (unsigned G = 0; G != Doublings; ++G) {
+        Capacity *= 2;
+        Backing = B.realloc(Backing, Capacity);
+      }
+      Tree.push_back(Backing);
+    }
+    // Serialize buffer, realloc-grown once from an estimate.
+    uint64_t SerialBuf = B.malloc(1024);
+    SerialBuf = B.realloc(SerialBuf, 1024 + Random.nextBelow(31744));
+    B.free(SerialBuf);
+    // Tear down in traversal (build) order.
+    for (uint64_t Node : Tree)
+      B.free(Node);
+  }
+  return B.take();
+}
+
+/// Compiler-like AST churn: per-function node populations released at
+/// function end, against append-only interned symbol strings.
+std::vector<unsigned char> generateAst(uint64_t Seed, unsigned Scale) {
+  TraceBuilder B;
+  Rng Random(Seed ^ 0xa57c0deull);
+  const unsigned Functions = 300 * Scale;
+  std::vector<uint64_t> SymbolTable;
+  SymbolTable.reserve(Functions * 2);
+
+  for (unsigned Fn = 0; Fn != Functions; ++Fn) {
+    // Interned identifiers survive the whole compilation.
+    unsigned NewSymbols = 1 + static_cast<unsigned>(Random.nextBelow(4));
+    for (unsigned S = 0; S != NewSymbols; ++S)
+      SymbolTable.push_back(B.strdup(4 + Random.nextBelow(28)));
+    // The function body: a burst of small nodes of a few fixed sizes
+    // (expr/stmt/decl/type), typical arena fodder.
+    static const uint64_t NodeSizes[4] = {24, 40, 64, 96};
+    unsigned Nodes = 100 + static_cast<unsigned>(Random.nextBelow(900));
+    std::vector<uint64_t> Body;
+    Body.reserve(Nodes);
+    for (unsigned N = 0; N != Nodes; ++N)
+      Body.push_back(B.malloc(NodeSizes[Random.nextBelow(4)]));
+    // Occasional per-function side table (zeroed).
+    if (Random.nextBelow(3) == 0)
+      Body.push_back(B.calloc(16 + Random.nextBelow(48), 16));
+    // Codegen scratch outlives the body release briefly.
+    uint64_t Scratch = B.malloc(2048 + Random.nextBelow(14336));
+    // Function end: the arena drains all at once, address order.
+    for (uint64_t Node : Body)
+      B.free(Node);
+    B.free(Scratch);
+  }
+  for (uint64_t Symbol : SymbolTable)
+    B.free(Symbol);
+  return B.take();
+}
+
+} // namespace
+
+bool scenarioByName(const char *Name, TraceScenario &Out) {
+  if (std::strcmp(Name, "web") == 0) {
+    Out = TraceScenario::WebServer;
+    return true;
+  }
+  if (std::strcmp(Name, "json") == 0) {
+    Out = TraceScenario::JsonDocuments;
+    return true;
+  }
+  if (std::strcmp(Name, "ast") == 0) {
+    Out = TraceScenario::CompilerAst;
+    return true;
+  }
+  return false;
+}
+
+const char *scenarioName(TraceScenario Scenario) {
+  switch (Scenario) {
+  case TraceScenario::WebServer:
+    return "web";
+  case TraceScenario::JsonDocuments:
+    return "json";
+  case TraceScenario::CompilerAst:
+    return "ast";
+  }
+  return "?";
+}
+
+std::vector<unsigned char> generateScenarioTrace(TraceScenario Scenario,
+                                                 uint64_t Seed,
+                                                 unsigned Scale) {
+  if (Scale == 0)
+    Scale = 1;
+  switch (Scenario) {
+  case TraceScenario::WebServer:
+    return generateWeb(Seed, Scale);
+  case TraceScenario::JsonDocuments:
+    return generateJson(Seed, Scale);
+  case TraceScenario::CompilerAst:
+    return generateAst(Seed, Scale);
+  }
+  return {};
+}
+
+bool writeScenarioTrace(TraceScenario Scenario, uint64_t Seed,
+                        unsigned Scale, const char *Path) {
+  std::vector<unsigned char> Bytes =
+      generateScenarioTrace(Scenario, Seed, Scale);
+  TraceWriter Writer;
+  if (!Writer.open(Path))
+    return false;
+  TraceReader Reader;
+  Reader.adopt(std::move(Bytes));
+  TraceRecord Rec;
+  while (Reader.next(Rec))
+    Writer.record(Rec);
+  Writer.close();
+  return !Writer.ioFailed();
+}
+
+} // namespace cgc

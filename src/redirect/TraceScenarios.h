@@ -1,0 +1,70 @@
+//===- redirect/TraceScenarios.h - Canned allocation traces ----*- C++ -*-===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic generators for three realistic allocation traces, in
+/// the TraceLog record format.  Zorn's methodology (and "Effectiveness
+/// of Garbage Collection in MIT/GNU Scheme", PAPERS.md) argues that
+/// collector cost claims only hold up against real program traffic;
+/// these model three archetypes the paper's discussion leans on:
+///
+///   web  — server request churn: per-request bursts of small header
+///          strings and a medium body buffer, all freed at request
+///          end, against a slowly rotating pool of long-lived
+///          keep-alive session state.
+///   json — document parse/build: trees of small nodes built per
+///          document, realloc-grown arrays (the vector-doubling
+///          pattern), then freed in traversal order.
+///   ast  — compiler frontend churn: many small nodes live until
+///          "function end", interned symbol strings (strdup) that
+///          persist for the whole run, periodic whole-arena releases.
+///
+/// Generators are pure functions of (seed, scale): the same inputs
+/// yield a byte-identical record stream on every platform, so replay
+/// digests are comparable across runs and machines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CGC_REDIRECT_TRACESCENARIOS_H
+#define CGC_REDIRECT_TRACESCENARIOS_H
+
+#include "redirect/TraceLog.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace cgc {
+
+/// Identifies one canned scenario; scenarioByName maps the CLI names.
+enum class TraceScenario {
+  WebServer,
+  JsonDocuments,
+  CompilerAst,
+};
+
+/// \returns the scenario for CLI name "web", "json", or "ast", or
+/// false when the name is unknown.
+bool scenarioByName(const char *Name, TraceScenario &Out);
+
+/// \returns the CLI name of \p Scenario.
+const char *scenarioName(TraceScenario Scenario);
+
+/// Generates the record stream (TraceLog wire format, no file header)
+/// for \p Scenario.  \p Scale multiplies the workload (requests /
+/// documents / functions); scale 1 is a few thousand events.
+std::vector<unsigned char> generateScenarioTrace(TraceScenario Scenario,
+                                                 uint64_t Seed,
+                                                 unsigned Scale);
+
+/// Writes \p Scenario to \p Path as a complete trace file (header
+/// included).  \returns false on I/O failure.
+bool writeScenarioTrace(TraceScenario Scenario, uint64_t Seed,
+                        unsigned Scale, const char *Path);
+
+} // namespace cgc
+
+#endif // CGC_REDIRECT_TRACESCENARIOS_H

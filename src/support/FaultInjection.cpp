@@ -7,6 +7,7 @@
 
 #include "support/FaultInjection.h"
 #include "support/Assert.h"
+#include "support/SignalSuspend.h"
 
 namespace cgc {
 
@@ -41,6 +42,7 @@ FaultInjector &FaultInjector::instance() {
 
 void FaultInjector::arm(FaultSite Site, uint64_t SkipHits,
                         uint64_t FailCount) {
+  suspend::SuspendCriticalScope NoSuspend;
   std::lock_guard<std::mutex> Guard(Lock);
   SiteState &S = Sites[static_cast<unsigned>(Site)];
   if (S.Arming == Mode::Disarmed)
@@ -54,6 +56,7 @@ void FaultInjector::arm(FaultSite Site, uint64_t SkipHits,
 
 void FaultInjector::armRandom(FaultSite Site, double Probability,
                               uint64_t Seed) {
+  suspend::SuspendCriticalScope NoSuspend;
   std::lock_guard<std::mutex> Guard(Lock);
   SiteState &S = Sites[static_cast<unsigned>(Site)];
   if (S.Arming == Mode::Disarmed)
@@ -66,6 +69,7 @@ void FaultInjector::armRandom(FaultSite Site, double Probability,
 }
 
 void FaultInjector::disarm(FaultSite Site) {
+  suspend::SuspendCriticalScope NoSuspend;
   std::lock_guard<std::mutex> Guard(Lock);
   SiteState &S = Sites[static_cast<unsigned>(Site)];
   if (S.Arming != Mode::Disarmed)
@@ -76,6 +80,7 @@ void FaultInjector::disarm(FaultSite Site) {
 }
 
 void FaultInjector::disarmAll() {
+  suspend::SuspendCriticalScope NoSuspend;
   std::lock_guard<std::mutex> Guard(Lock);
   for (SiteState &S : Sites)
     S.Arming = Mode::Disarmed;
@@ -85,11 +90,13 @@ void FaultInjector::disarmAll() {
 }
 
 FaultSiteStats FaultInjector::stats(FaultSite Site) const {
+  suspend::SuspendCriticalScope NoSuspend;
   std::lock_guard<std::mutex> Guard(Lock);
   return Sites[static_cast<unsigned>(Site)].Stats;
 }
 
 void FaultInjector::resetStats() {
+  suspend::SuspendCriticalScope NoSuspend;
   std::lock_guard<std::mutex> Guard(Lock);
   for (SiteState &S : Sites)
     S.Stats = FaultSiteStats();
@@ -98,6 +105,7 @@ void FaultInjector::resetStats() {
 }
 
 bool FaultInjector::shouldFailSlow(FaultSite Site) {
+  suspend::SuspendCriticalScope NoSuspend;
   std::lock_guard<std::mutex> Guard(Lock);
   SiteState &S = Sites[static_cast<unsigned>(Site)];
   ++S.Stats.Hits;

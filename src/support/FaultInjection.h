@@ -96,6 +96,11 @@ struct FaultSiteStats {
 /// Process-global fault injector.  All state is behind a mutex except
 /// the armed-site count, which gates the disarmed fast path with one
 /// relaxed load.  Tests arm sites directly or through the C API.
+/// Every lock section is a suspend::SuspendCriticalScope: a mutator
+/// polling an armed WedgedMutator site is inside this mutex on every
+/// safepoint, and the watchdog's preemptive suspension must not park
+/// it there — the stop initiator takes the same mutex at each
+/// CGC_INJECT_FAULT site mid-collection.
 class FaultInjector {
 public:
   /// \returns the process-wide injector.

@@ -17,6 +17,17 @@ namespace {
 /// setCurrentSlot (or after clearing it) are stale and ignored.
 thread_local SuspendSlot *CurrentSlot = nullptr;
 
+/// Nesting depth of SuspendCriticalScope on this thread; while
+/// nonzero the handler must not park (the thread holds a lock the
+/// stop initiator may need).  volatile sig_atomic_t: written in
+/// normal context, read in the handler, same thread only.
+thread_local volatile sig_atomic_t CriticalDepth = 0;
+
+/// Set by the handler when a suspension had to be deferred because
+/// CriticalDepth was nonzero; the outermost scope exit consumes it
+/// and re-raises the suspend signal.
+thread_local volatile sig_atomic_t DeferredSuspend = 0;
+
 /// Published suspend signal; -1 until ensureInstalled succeeds.
 /// Relaxed-readable from signal context (installedSignal).
 std::atomic<int> InstalledSig{-1};
@@ -53,7 +64,16 @@ void suspendHandler(int) {
   const int SavedErrno = errno;
   SuspendSlot *Slot = CurrentSlot;
   if (Slot != nullptr && Slot->Pending.load(std::memory_order_acquire)) {
-    if (Slot->State->load(std::memory_order_acquire) == RunningState) {
+    if (CriticalDepth != 0) {
+      // Interrupted inside a suspension-unsafe critical section
+      // (SuspendCriticalScope): the thread holds a process-global
+      // lock the stop initiator may itself need mid-collection, so
+      // parking here would deadlock the handshake's caller.  Leave
+      // the thread Running (no ack — the watchdog keeps retrying)
+      // and let the scope exit re-raise the signal just outside.
+      DeferredSuspend = 1;
+    } else if (Slot->State->load(std::memory_order_acquire) ==
+               RunningState) {
       // Capture the interrupted register file, then publish a probe
       // from this (deeper) frame as the stack top: the scan range
       // grows toward the interrupted frames, and a conservative
@@ -193,6 +213,28 @@ void resumeThread(SuspendSlot &Slot) {
     nanosleep(&Ts, nullptr);
     if (SleepNanos < 1000000)
       SleepNanos *= 2;
+  }
+}
+
+SuspendCriticalScope::SuspendCriticalScope() {
+  CriticalDepth = CriticalDepth + 1;
+}
+
+SuspendCriticalScope::~SuspendCriticalScope() {
+  CriticalDepth = CriticalDepth - 1;
+  if (CriticalDepth == 0 && DeferredSuspend != 0) {
+    DeferredSuspend = 0;
+    // A suspension was deferred while this section was live: re-raise
+    // the signal now that the lock is released, so the handler parks
+    // the thread at a point the initiator can tolerate.  Gated on
+    // Pending — if the handshake already gave up (timeout) or a
+    // retried delivery parked us at depth zero above, the request is
+    // stale and the raise would be a no-op anyway.
+    const int Sig = InstalledSig.load(std::memory_order_acquire);
+    SuspendSlot *Slot = CurrentSlot;
+    if (Sig > 0 && Slot != nullptr &&
+        Slot->Pending.load(std::memory_order_acquire))
+      ::raise(Sig);
   }
 }
 

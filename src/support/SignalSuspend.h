@@ -119,6 +119,25 @@ void resumeThread(SuspendSlot &Slot);
 /// dispositions themselves survive fork and need no reinstall.
 void reinitAfterFork();
 
+/// RAII marker for a suspension-unsafe critical section: a region
+/// where the calling thread holds a process-global lock the stop
+/// initiator itself may need while the world is stopped (the fault
+/// injector's lock is the canonical example — a spinning mutator is
+/// inside it on every armed safepoint poll, and the collection path
+/// takes it at every CGC_INJECT_FAULT site).  Parking a thread here
+/// would deadlock the initiator, so the suspend handler defers
+/// instead: it leaves the thread Running, and the scope exit
+/// re-raises the suspend signal so the park lands just outside the
+/// lock.  The watchdog's normal send retries cover the window.
+/// Nestable; cheap enough for slow paths (two thread-local updates).
+class SuspendCriticalScope {
+public:
+  SuspendCriticalScope();
+  ~SuspendCriticalScope();
+  SuspendCriticalScope(const SuspendCriticalScope &) = delete;
+  SuspendCriticalScope &operator=(const SuspendCriticalScope &) = delete;
+};
+
 } // namespace suspend
 } // namespace cgc
 

@@ -3,6 +3,7 @@
 #include "capi/cgc.h"
 #include "core/GcConfig.h"
 #include <atomic>
+#include <cerrno>
 #include <cstring>
 #include <gtest/gtest.h>
 #include <string>
@@ -381,6 +382,52 @@ TEST(CApi, OomHandlerRunsWhenLadderExhausted) {
   void *After = cgc_malloc(GC, 4096);
   EXPECT_NE(After, nullptr);
   EXPECT_EQ(OomHandlerCalls, 0u);
+  cgc_destroy(GC);
+}
+
+TEST(CApi, FailedAllocationsSetErrnoToEnomem) {
+  // The malloc-compatibility contract (satellite of the redirect
+  // layer): every C-API allocation entry point returns NULL with
+  // errno=ENOMEM on failure, so interposed callers see exact libc
+  // semantics.
+  cgc_config Config = testConfig();
+  Config.max_heap_bytes = 2ULL << 20;
+  cgc_collector *GC = cgc_create(&Config);
+  cgc_set_warn_proc(
+      GC, [](const char *, unsigned long long, void *) {}, nullptr);
+
+  // A request larger than the whole heap fails on every entry point.
+  constexpr size_t TooBig = 64ULL << 20;
+  errno = 0;
+  EXPECT_EQ(cgc_malloc(GC, TooBig), nullptr);
+  EXPECT_EQ(errno, ENOMEM);
+  errno = 0;
+  EXPECT_EQ(cgc_malloc_atomic(GC, TooBig), nullptr);
+  EXPECT_EQ(errno, ENOMEM);
+  errno = 0;
+  EXPECT_EQ(cgc_malloc_uncollectable(GC, TooBig), nullptr);
+  EXPECT_EQ(errno, ENOMEM);
+  errno = 0;
+  EXPECT_EQ(cgc_malloc_atomic_uncollectable(GC, TooBig), nullptr);
+  EXPECT_EQ(errno, ENOMEM);
+  errno = 0;
+  EXPECT_EQ(cgc_malloc_ignore_off_page(GC, TooBig), nullptr);
+  EXPECT_EQ(errno, ENOMEM);
+
+  // Genuine exhaustion (ladder runs dry) reports the same way.
+  std::vector<void *> Pinned;
+  errno = 0;
+  while (void *P = cgc_malloc_uncollectable(GC, 4096)) {
+    Pinned.push_back(P);
+    errno = 0;
+  }
+  EXPECT_EQ(errno, ENOMEM);
+  EXPECT_FALSE(Pinned.empty());
+
+  for (void *P : Pinned)
+    cgc_free(GC, P);
+  void *After = cgc_malloc(GC, 4096);
+  EXPECT_NE(After, nullptr);
   cgc_destroy(GC);
 }
 

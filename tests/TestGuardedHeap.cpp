@@ -283,6 +283,47 @@ TEST(GuardedHeap, UnguardedBadFreesWarnAndNoOp) {
   EXPECT_EQ(GC.verifyHeapReport().Issues.size(), 0u);
 }
 
+TEST(GuardedHeap, UnguardedBadFreesRaiseStructuredIncidents) {
+  // The warnings above are for humans; observers get the structured
+  // form: one GcIncident per bad free with a cause that names the
+  // misuse class, so the redirect layer (and any embedder) can count
+  // and route hostile frees without string-matching warn text.
+  GcConfig Config;
+  Config.MaxHeapBytes = 16 << 20;
+  Config.GcAtStartup = false;
+  Config.MinHeapBytesBeforeGc = ~uint64_t(0);
+  Collector GC(Config);
+
+  struct IncidentCapture : GcObserver {
+    std::vector<GcIncidentCause> Causes;
+    std::vector<uint64_t> Addresses;
+    void onIncident(const GcIncident &Incident) override {
+      Causes.push_back(Incident.Cause);
+      Addresses.push_back(Incident.GuardAddress);
+    }
+  } Capture;
+  GcObserverId Id = GC.addObserver(&Capture);
+
+  int Local = 0;
+  GC.deallocate(&Local); // foreign
+  auto *P = static_cast<char *>(GC.allocate(64));
+  GC.deallocate(P + 8); // interior
+  GC.deallocate(P);     // valid: no incident
+  GC.deallocate(P);     // double free
+
+  ASSERT_EQ(Capture.Causes.size(), 3u);
+  EXPECT_EQ(Capture.Causes[0], GcIncidentCause::ForeignFree);
+  EXPECT_EQ(Capture.Causes[1], GcIncidentCause::InvalidFree);
+  EXPECT_EQ(Capture.Causes[2], GcIncidentCause::DoubleFree);
+  EXPECT_EQ(Capture.Addresses[0], reinterpret_cast<uint64_t>(&Local));
+  EXPECT_EQ(Capture.Addresses[1], reinterpret_cast<uint64_t>(P + 8));
+
+  // Client misuse must not masquerade as a guard violation: the
+  // guarded heap's incident latch stays clear in unguarded mode.
+  EXPECT_EQ(GC.lastGuardIncident(), nullptr);
+  GC.removeObserver(Id);
+}
+
 TEST(GuardedHeap, FinalizersRunOnGuardedObjects) {
   Collector GC(guardedConfig());
   int Ran = 0;

@@ -327,6 +327,53 @@ TEST_F(ObjectHeapFixture, ExplicitFreeAndReuse) {
   EXPECT_EQ(C, A) << "address-ordered reuse takes the lowest free slot";
 }
 
+TEST_F(ObjectHeapFixture, ClassifyExplicitFreeCoversEveryMisuseClass) {
+  // The Collector's unguarded free path classifies before freeing so
+  // hostile pointers become incidents instead of CGC_CHECK aborts;
+  // this is the classifier's ground truth.
+  void *A = allocSmall(32);
+  EXPECT_EQ(Heap->classifyExplicitFree(A), ObjectHeap::FreeClass::Ok);
+
+  int Local = 0;
+  EXPECT_EQ(Heap->classifyExplicitFree(&Local),
+            ObjectHeap::FreeClass::NonHeap);
+
+  EXPECT_EQ(Heap->classifyExplicitFree(static_cast<char *>(A) + 8),
+            ObjectHeap::FreeClass::NotObjectBase);
+
+  Heap->deallocateExplicit(A);
+  EXPECT_EQ(Heap->classifyExplicitFree(A),
+            ObjectHeap::FreeClass::NotAllocated);
+
+  // Large objects classify through the same ladder.
+  void *Big = Heap->allocateLarge(3 * PageSize, ObjectKind::Normal);
+  EXPECT_EQ(Heap->classifyExplicitFree(Big), ObjectHeap::FreeClass::Ok);
+  EXPECT_EQ(Heap->classifyExplicitFree(static_cast<char *>(Big) + 64),
+            ObjectHeap::FreeClass::NotObjectBase);
+}
+
+TEST_F(ObjectHeapFixture, MarkAllocatedObjectLivePinsAcrossSweep) {
+  // Objects allocated from inside a collection (observer callbacks via
+  // the redirect layer) are pinned by setting their mark bit so the
+  // in-flight cycle's sweep cannot reclaim them.
+  void *A = allocSmall(48);
+  void *B = allocSmall(48);
+  Heap->markAllocatedObjectLive(A);
+
+  ObjectRef RefA = Heap->refForBase(
+      Arena.offsetOf(reinterpret_cast<Address>(A)));
+  ObjectRef RefB = Heap->refForBase(
+      Arena.offsetOf(reinterpret_cast<Address>(B)));
+  ASSERT_TRUE(RefA.valid());
+  ASSERT_TRUE(RefB.valid());
+  EXPECT_TRUE(Blocks.get(RefA.Block).MarkBits.test(RefA.Slot));
+  EXPECT_FALSE(Blocks.get(RefB.Block).MarkBits.test(RefB.Slot));
+
+  // Pointers outside the arena are ignored, not fatal.
+  int Local = 0;
+  Heap->markAllocatedObjectLive(&Local);
+}
+
 TEST_F(ObjectHeapFixture, FreedMemoryIsCleared) {
   auto *A = static_cast<uint64_t *>(allocSmall(8));
   *A = 0xDEADBEEFDEADBEEFULL;

@@ -445,4 +445,145 @@ TEST(Resilience, VerifyEveryCollectionRunsAfterEachPhase) {
   EXPECT_TRUE(Counter.AllClean);
 }
 
+//===----------------------------------------------------------------------===//
+// Callback re-entrancy (the redirect layer's contract, DESIGN.md §12):
+// a callback that allocates must neither deadlock nor have its objects
+// swept by the in-flight cycle, and a callback that collects is
+// refused gracefully.
+//===----------------------------------------------------------------------===//
+
+TEST(Resilience, CallbacksMayAllocateDuringCollection) {
+  struct AllocatingObserver final : GcObserver {
+    Collector *GC = nullptr;
+    std::vector<char *> FromBegin;
+    std::vector<char *> FromEnd;
+
+    static void fill(char *Ptr, char Tag) {
+      for (int I = 0; I != 128; ++I)
+        Ptr[I] = static_cast<char>(Tag + I);
+    }
+    void onCollectionBegin(uint64_t, const char *) override {
+      for (int I = 0; I != 8; ++I) {
+        auto *Ptr = static_cast<char *>(GC->allocate(128));
+        ASSERT_NE(Ptr, nullptr);
+        fill(Ptr, 'b');
+        FromBegin.push_back(Ptr);
+      }
+    }
+    void onCollectionEnd(uint64_t, const CollectionStats &) override {
+      for (int I = 0; I != 8; ++I) {
+        auto *Ptr = static_cast<char *>(GC->allocate(128));
+        ASSERT_NE(Ptr, nullptr);
+        fill(Ptr, 'e');
+        FromEnd.push_back(Ptr);
+      }
+    }
+  };
+
+  Collector GC(smallHeapConfig(16 << 20));
+  AllocatingObserver Observer;
+  Observer.GC = &GC;
+  // The first allocation runs the startup collection; attach the
+  // observer after it so exactly one cycle reaches the callbacks.
+  for (int I = 0; I != 200; ++I)
+    ASSERT_NE(GC.allocate(64), nullptr);
+  GcObserverId Id = GC.addObserver(&Observer);
+  GC.collect("reentrancy");
+  GC.removeObserver(Id);
+
+  ASSERT_EQ(Observer.FromBegin.size(), 8u);
+  ASSERT_EQ(Observer.FromEnd.size(), 8u);
+
+  // Mid-collection allocations were pinned for the in-flight cycle:
+  // the sweep must not have reclaimed them.  Churn some allocation to
+  // surface any slot reuse, then verify every byte.
+  for (int I = 0; I != 200; ++I)
+    ASSERT_NE(GC.allocate(128), nullptr);
+  for (char *Ptr : Observer.FromBegin)
+    for (int I = 0; I != 128; ++I)
+      ASSERT_EQ(Ptr[I], static_cast<char>('b' + I));
+  for (char *Ptr : Observer.FromEnd)
+    for (int I = 0; I != 128; ++I)
+      ASSERT_EQ(Ptr[I], static_cast<char>('e' + I));
+  EXPECT_EQ(GC.verifyHeapReport().Issues.size(), 0u);
+}
+
+TEST(Resilience, WarnProcMayAllocateAndFree) {
+  // Warnings fire with the heap lock held (it is recursive for exactly
+  // this reason): a warn proc that calls back into the collector must
+  // not self-deadlock.
+  struct WarnState {
+    Collector *GC = nullptr;
+    unsigned Calls = 0;
+  };
+  Collector GC(smallHeapConfig(16 << 20));
+  WarnState State;
+  State.GC = &GC;
+  GC.setWarnProc(
+      [](const char *, uint64_t, void *Data) {
+        auto *State = static_cast<WarnState *>(Data);
+        ++State->Calls;
+        void *Ptr = State->GC->allocate(96);
+        EXPECT_NE(Ptr, nullptr);
+        State->GC->deallocate(Ptr);
+      },
+      &State);
+
+  // A bad free warns from inside deallocate (heap lock held).
+  int Local = 0;
+  GC.deallocate(&Local);
+  EXPECT_GE(State.Calls, 1u);
+  EXPECT_EQ(GC.verifyHeapReport().Issues.size(), 0u);
+}
+
+TEST(Resilience, ReentrantCollectIsRefusedGracefully) {
+  struct CollectingObserver final : GcObserver {
+    Collector *GC = nullptr;
+    unsigned Attempts = 0;
+    uint64_t NestedBytesLive = ~uint64_t(0);
+    void onCollectionEnd(uint64_t, const CollectionStats &) override {
+      if (Attempts++)
+        return;
+      // Both entry points must refuse instead of deadlocking or
+      // corrupting the in-flight cycle; the refusal returns empty
+      // stats.
+      CollectionStats Nested = GC->collect("nested");
+      NestedBytesLive = Nested.BytesLive;
+      CollectionStats Measured = GC->measureLiveness();
+      EXPECT_EQ(Measured.ObjectsMarked, 0u);
+    }
+  };
+  struct WarnCount {
+    unsigned Reentrant = 0;
+  };
+
+  Collector GC(smallHeapConfig(16 << 20));
+  WarnCount Warns;
+  GC.setWarnProc(
+      [](const char *Message, uint64_t, void *Data) {
+        if (std::strstr(Message, "re-entrant"))
+          ++static_cast<WarnCount *>(Data)->Reentrant;
+      },
+      &Warns);
+
+  CollectingObserver Observer;
+  Observer.GC = &GC;
+  GcObserverId Id = GC.addObserver(&Observer);
+  for (int I = 0; I != 100; ++I)
+    ASSERT_NE(GC.allocate(64), nullptr);
+  uint64_t Before = GC.lifetimeStats().Collections;
+  GC.collect("outer");
+  GC.removeObserver(Id);
+
+  EXPECT_EQ(Observer.NestedBytesLive, 0u) << "refusal returns empty stats";
+  EXPECT_EQ(Warns.Reentrant, 2u) << "one warning per refused entry point";
+  EXPECT_EQ(GC.lifetimeStats().Collections, Before + 1)
+      << "only the outer collection ran";
+
+  // The collector is fully functional afterwards.
+  EXPECT_NE(GC.allocate(64), nullptr);
+  GC.collect("after");
+  EXPECT_EQ(GC.verifyHeapReport().Issues.size(), 0u);
+}
+
 } // namespace

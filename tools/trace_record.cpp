@@ -1,0 +1,246 @@
+//===- tools/trace_record.cpp - Record and inspect allocation traces -----===//
+//
+// Part of the cgc project: a reproduction of Boehm, "Space Efficient
+// Conservative Garbage Collection", PLDI 1993.
+//
+//===----------------------------------------------------------------------===//
+//
+// Front door for the trace pipeline (redirect/TraceLog.h):
+//
+//   trace_record --out t.trace -- ./prog args...
+//       Runs an *unmodified* program under the LD_PRELOAD shim with
+//       CGC_TRACE_FILE set, recording every interposed allocation
+//       call to t.trace.  Replay with bench_trace_replay --trace.
+//
+//   trace_record --emit web --out t.trace [--seed N] [--scale N]
+//       Writes one of the canned scenarios (web / json / ast) as a
+//       trace file — the same streams bench_trace_replay generates
+//       in-memory, useful for shipping fixed corpora to CI.
+//
+//   trace_record --dump t.trace
+//       Decodes a trace and prints an opcode/size histogram plus the
+//       first records, for eyeballing what a program actually did.
+//
+//===----------------------------------------------------------------------===//
+
+#include "redirect/TraceLog.h"
+#include "redirect/TraceScenarios.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace cgc;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  trace_record --out FILE -- prog [args...]   record prog under the\n"
+      "                                              LD_PRELOAD shim\n"
+      "  trace_record --emit web|json|ast --out FILE [--seed N] [--scale N]\n"
+      "  trace_record --dump FILE\n");
+  return 2;
+}
+
+/// Locates libcgc_preload.so next to this binary's build tree: the
+/// tool lives in <build>/tools/, the shim in <build>/.
+std::string findShim(const char *Argv0) {
+  std::string Self(Argv0);
+  size_t Slash = Self.rfind('/');
+  std::string Dir = Slash == std::string::npos ? "." : Self.substr(0, Slash);
+  for (const std::string &Candidate :
+       {Dir + "/../libcgc_preload.so", Dir + "/libcgc_preload.so"}) {
+    if (access(Candidate.c_str(), R_OK) == 0)
+      return Candidate;
+  }
+  return "";
+}
+
+int runUnderShim(const char *Argv0, const char *Out, char **Cmd) {
+  std::string Shim = findShim(Argv0);
+  if (Shim.empty()) {
+    const char *Env = getenv("CGC_PRELOAD_PATH");
+    if (Env)
+      Shim = Env;
+  }
+  if (Shim.empty()) {
+    std::fprintf(stderr,
+                 "trace_record: cannot find libcgc_preload.so (set "
+                 "CGC_PRELOAD_PATH)\n");
+    return 1;
+  }
+
+  pid_t Pid = fork();
+  if (Pid < 0) {
+    std::perror("trace_record: fork");
+    return 1;
+  }
+  if (Pid == 0) {
+    setenv("LD_PRELOAD", Shim.c_str(), 1);
+    setenv("CGC_TRACE_FILE", Out, 1);
+    execvp(Cmd[0], Cmd);
+    std::perror("trace_record: exec");
+    _exit(127);
+  }
+  int Status = 0;
+  if (waitpid(Pid, &Status, 0) < 0) {
+    std::perror("trace_record: waitpid");
+    return 1;
+  }
+  if (WIFSIGNALED(Status)) {
+    std::fprintf(stderr, "trace_record: child killed by signal %d\n",
+                 WTERMSIG(Status));
+    return 1;
+  }
+  int Exit = WIFEXITED(Status) ? WEXITSTATUS(Status) : 1;
+
+  TraceReader Reader;
+  if (!Reader.load(Out)) {
+    std::fprintf(stderr, "trace_record: no trace written to %s\n", Out);
+    return Exit ? Exit : 1;
+  }
+  uint64_t Records = 0;
+  TraceRecord Rec;
+  while (Reader.next(Rec))
+    ++Records;
+  std::printf("trace_record: %" PRIu64 " records -> %s (child exit %d)\n",
+              Records, Out, Exit);
+  return Exit;
+}
+
+const char *opName(TraceOp Op) {
+  switch (Op) {
+  case TraceOp::End:
+    return "end";
+  case TraceOp::Malloc:
+    return "malloc";
+  case TraceOp::Calloc:
+    return "calloc";
+  case TraceOp::Memalign:
+    return "memalign";
+  case TraceOp::Realloc:
+    return "realloc";
+  case TraceOp::Strdup:
+    return "strdup";
+  case TraceOp::Free:
+    return "free";
+  case TraceOp::ForeignFree:
+    return "foreign-free";
+  }
+  return "?";
+}
+
+int dumpTrace(const char *Path) {
+  TraceReader Reader;
+  if (!Reader.load(Path)) {
+    std::fprintf(stderr, "trace_record: cannot load %s\n", Path);
+    return 1;
+  }
+
+  uint64_t Counts[8] = {};
+  uint64_t Bytes = 0, Records = 0, Shown = 0;
+  // Log2 size histogram over allocation requests.
+  uint64_t SizeBuckets[33] = {};
+  TraceRecord Rec;
+  while (Reader.next(Rec)) {
+    ++Records;
+    if (static_cast<unsigned>(Rec.Op) < 8)
+      ++Counts[static_cast<unsigned>(Rec.Op)];
+    uint64_t Req = Rec.requestBytes();
+    if (Req) {
+      Bytes += Req;
+      unsigned Bucket = 0;
+      while ((1ull << Bucket) < Req && Bucket < 32)
+        ++Bucket;
+      ++SizeBuckets[Bucket];
+    }
+    if (Shown < 16) {
+      std::printf("  [%6" PRIu64 "] %-12s id=%" PRIu64 " old=%" PRIu64
+                  " a=%" PRIu64 " b=%" PRIu64 "\n",
+                  Records - 1, opName(Rec.Op), Rec.Id, Rec.OldId, Rec.A,
+                  Rec.B);
+      ++Shown;
+      if (Shown == 16)
+        std::printf("  ...\n");
+    }
+  }
+  if (Reader.malformed()) {
+    std::fprintf(stderr, "trace_record: %s is malformed after %" PRIu64
+                         " records\n",
+                 Path, Records);
+    return 1;
+  }
+
+  std::printf("%s: %" PRIu64 " records, %" PRIu64 " bytes requested\n", Path,
+              Records, Bytes);
+  for (unsigned Op = 0; Op != 8; ++Op)
+    if (Counts[Op])
+      std::printf("  %-12s %10" PRIu64 "\n", opName(static_cast<TraceOp>(Op)),
+                  Counts[Op]);
+  std::printf("  request size histogram (log2 buckets):\n");
+  for (unsigned B = 0; B != 33; ++B)
+    if (SizeBuckets[B])
+      std::printf("    <= %10llu B  %10" PRIu64 "\n",
+                  1ull << B, SizeBuckets[B]);
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const char *Out = nullptr;
+  const char *Emit = nullptr;
+  const char *Dump = nullptr;
+  uint64_t Seed = 12345;
+  unsigned Scale = 1;
+  int CmdStart = -1;
+
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--") == 0) {
+      CmdStart = I + 1;
+      break;
+    }
+    if (std::strcmp(Argv[I], "--out") == 0 && I + 1 < Argc)
+      Out = Argv[++I];
+    else if (std::strcmp(Argv[I], "--emit") == 0 && I + 1 < Argc)
+      Emit = Argv[++I];
+    else if (std::strcmp(Argv[I], "--dump") == 0 && I + 1 < Argc)
+      Dump = Argv[++I];
+    else if (std::strcmp(Argv[I], "--seed") == 0 && I + 1 < Argc)
+      Seed = std::strtoull(Argv[++I], nullptr, 10);
+    else if (std::strcmp(Argv[I], "--scale") == 0 && I + 1 < Argc)
+      Scale = static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
+    else
+      return usage();
+  }
+
+  if (Dump)
+    return dumpTrace(Dump);
+
+  if (Emit) {
+    if (!Out)
+      return usage();
+    TraceScenario Scenario;
+    if (!scenarioByName(Emit, Scenario)) {
+      std::fprintf(stderr, "trace_record: unknown scenario '%s'\n", Emit);
+      return 2;
+    }
+    if (!writeScenarioTrace(Scenario, Seed, Scale ? Scale : 1, Out)) {
+      std::fprintf(stderr, "trace_record: cannot write %s\n", Out);
+      return 1;
+    }
+    std::printf("trace_record: wrote scenario '%s' -> %s\n", Emit, Out);
+    return 0;
+  }
+
+  if (CmdStart < 0 || CmdStart >= Argc || !Out)
+    return usage();
+  return runUnderShim(Argv[0], Out, Argv + CmdStart);
+}
