@@ -523,7 +523,27 @@ Collector::CacheFlushOutcome Collector::flushThreadCaches() {
 
 void Collector::pinMidCycleAllocation(void *Ptr) {
   Heap->markAllocatedObjectLive(Ptr);
+  if (MidCyclePins.size() == MidCyclePins.capacity() &&
+      anyMutatorSignalSuspended()) {
+    // Growing the vector calls libc malloc, and a signal-suspended
+    // mutator may be frozen inside libc with an arena lock held (the
+    // no-malloc-between-suspend-and-resume rule collect() reserves
+    // around).  Record the overflow instead: the pipeline skips leak
+    // reporting and the sweep for this cycle, so the pin that could
+    // not be re-pinned after Mark's bit reset is never reclaimed.
+    MidCyclePinOverflow = true;
+    return;
+  }
   MidCyclePins.push_back(Ptr);
+}
+
+bool Collector::anyMutatorSignalSuspended() const {
+  bool Any = false;
+  Registry.forEachThread([&](MutatorThread &Thread) {
+    if (Thread.state() == MutatorState::SignalSuspended)
+      Any = true;
+  });
+  return Any;
 }
 
 uint64_t Collector::pinSuspendedThreadCaches() {
@@ -1298,6 +1318,10 @@ CollectionStats Collector::collect(const char *Reason) {
     const size_t RangeBudget = 2 * Registry.registeredCount() + 2;
     ThreadRootIds.reserve(RangeBudget);
     Roots.reserveAdditional(RangeBudget);
+    // Mid-cycle callback allocations append to MidCyclePins while the
+    // world is stopped; pre-grow it here for the same reason.
+    if (MidCyclePins.capacity() < MidCyclePinReserve)
+      MidCyclePins.reserve(MidCyclePinReserve);
     Handshake = Registry.stopTheWorld(SelfThread);
     WorldStopped = true;
     StopInitiator.store(SelfThread, std::memory_order_release);
@@ -1423,10 +1447,21 @@ CollectionStats Collector::collect(const char *Reason) {
       runPhase(GcPhase::BlacklistPromote, C,
                [&] { BlacklistImpl->endCycle(); });
 
-    if (!RepairPending && OnLeak)
+    // A pin that overflowed the pre-reserved buffer was never recorded,
+    // so Mark's bit reset erased it: reclaiming anything now could
+    // sweep a live mid-cycle allocation.  Degrade to a no-reclaim
+    // cycle (the allocation ladder reads it as "reclaimed nothing" and
+    // grows the heap) rather than ever freeing an unpinned object.
+    if (!RepairPending && MidCyclePinOverflow)
+      warn(WarnEvent::MidCyclePinOverflow,
+           "cgc: mid-cycle pin list overflowed while a mutator was "
+           "signal-suspended; skipping reclamation this cycle",
+           Lifetime.Collections);
+
+    if (!RepairPending && OnLeak && !MidCyclePinOverflow)
       reportLeaks();
 
-    if (!RepairPending)
+    if (!RepairPending && !MidCyclePinOverflow)
       runPhase(GcPhase::Sweep, C, [&] {
         SweepResult Swept = SweepCtx->run(C);
         if (Guards && !Swept.GuardViolations.empty()) {
@@ -1543,6 +1578,7 @@ CollectionStats Collector::collect(const char *Reason) {
   }
   InCollection = false;
   MidCyclePins.clear();
+  MidCyclePinOverflow = false;
   // Request re-sealing: it happens when the outermost MetadataScope
   // unwinds, so an allocation slow path that triggered this collection
   // finishes on writable metadata first.
@@ -1576,6 +1612,8 @@ CollectionStats Collector::measureLiveness() {
     const size_t RangeBudget = 2 * Registry.registeredCount() + 2;
     ThreadRootIds.reserve(RangeBudget);
     Roots.reserveAdditional(RangeBudget);
+    if (MidCyclePins.capacity() < MidCyclePinReserve)
+      MidCyclePins.reserve(MidCyclePinReserve);
     ThreadRegistry::HandshakeResult Handshake =
         Registry.stopTheWorld(SelfThread);
     WorldStopped = true;
@@ -1631,6 +1669,7 @@ CollectionStats Collector::measureLiveness() {
   }
   InCollection = false;
   MidCyclePins.clear();
+  MidCyclePinOverflow = false;
   return Cycle;
 }
 

@@ -496,8 +496,9 @@ private:
     HandshakeStall = 6,
     MetadataRepair = 7,
     ReentrantCollection = 8,
+    MidCyclePinOverflow = 9,
   };
-  static constexpr unsigned NumWarnEvents = 9;
+  static constexpr unsigned NumWarnEvents = 10;
 
   /// The unguarded allocation paths (the historical allocate /
   /// allocateIgnoreOffPage bodies); the public entry points route
@@ -605,6 +606,10 @@ private:
   /// now and records it for the post-Mark re-pin, since the Mark
   /// phase's bit reset would otherwise erase a pre-Mark pin.
   void pinMidCycleAllocation(void *Ptr);
+  /// Whether any registered mutator is currently parked by the
+  /// watchdog's suspend signal (frozen at an arbitrary instruction,
+  /// possibly inside libc malloc with an arena lock held).
+  bool anyMutatorSignalSuspended() const;
   /// Adds [StackTop, StackBase) + register-snapshot root ranges for
   /// every registered thread, in registration order; the collecting
   /// thread's bounds are the caller's (fresh) probe and jmp_buf.
@@ -797,7 +802,21 @@ private:
   /// time, but a begin-observer allocation precedes the Mark phase's
   /// bit reset — so the pipeline re-pins this list after Mark, before
   /// leak reporting and the sweep.  Cleared when the cycle ends.
+  /// Capacity is reserved before stopTheWorld (MidCyclePinReserve) so
+  /// appending never calls libc malloc inside the stopped window; see
+  /// pinMidCycleAllocation for the overflow degrade.
   std::vector<void *> MidCyclePins;
+  /// Entries MidCyclePins reserves before the world stops.  Growth
+  /// past it is allowed only when no mutator is signal-suspended
+  /// (handshake-parked threads sit in the safepoint poll, not inside
+  /// libc, so malloc is safe then).
+  static constexpr size_t MidCyclePinReserve = 1024;
+  /// A mid-cycle pin could not be recorded without allocating while a
+  /// mutator was frozen inside libc: leak reporting and the sweep are
+  /// skipped for the rest of the cycle (including a repair retry) so
+  /// the unrecorded object can never be reclaimed.  Reset with
+  /// MidCyclePins at cycle end.
+  bool MidCyclePinOverflow = false;
   /// The registered thread that initiated the current stop-the-world
   /// window (nullptr outside a stop, or when the initiator is
   /// unregistered).  Observer callbacks run on this thread while every

@@ -26,7 +26,18 @@ static_assert(static_cast<uint32_t>(MutatorState::SignalSuspended) ==
 
 namespace {
 
-thread_local MutatorThread *CurrentMutator = nullptr;
+// initial-exec TLS: the general-dynamic model's first per-thread access
+// runs __tls_get_addr, which may realloc the thread's DTV.  When the
+// collector is a preloaded shared object that realloc re-enters the
+// interposed allocator mid-registration; initial-exec accesses never
+// allocate.
+#if defined(__GNUC__)
+#define CGC_CORE_TLS __attribute__((tls_model("initial-exec")))
+#else
+#define CGC_CORE_TLS
+#endif
+
+thread_local MutatorThread *CurrentMutator CGC_CORE_TLS = nullptr;
 
 uint64_t nowNanos() {
   return static_cast<uint64_t>(

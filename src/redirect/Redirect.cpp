@@ -380,6 +380,13 @@ Route routeFor() {
         return GRealResolved.load(std::memory_order_relaxed)
                    ? Route::Libc
                    : Route::Bootstrap;
+      // Threads created before install (or while the redirect was
+      // inactive) never passed the pthread_create trampoline; register
+      // them before their first collector allocation so their stacks
+      // are scanned and stop-the-world parks them.  Registration's own
+      // allocations recurse here at Depth != 0 and route to libc.
+      if (!GThreadAttached)
+        cgc_redirect_thread_attach();
       return Route::Gc;
     case StFallback:
       return GRealResolved.load(std::memory_order_relaxed)
@@ -500,7 +507,10 @@ int cgc_redirect_install(void) {
   int Expected = StUninit;
   if (GState.compare_exchange_strong(Expected, StBooting,
                                      std::memory_order_acq_rel)) {
-    GState.store(StUninit, std::memory_order_relaxed);
+    // The winning CAS transfers installer ownership atomically: no
+    // other thread may ever observe StUninit again, or it could win
+    // the same CAS and run a second concurrent install (double
+    // placement-new of MutableState, racing cgc_create calls).
     return runInstall();
   }
   // Another thread is installing or installation already finished;
@@ -592,7 +602,17 @@ void *cgc_redirect_calloc(size_t Nmemb, size_t Bytes) {
       GCount.LibcAllocs.fetch_add(1, std::memory_order_relaxed);
       return GRealCalloc(Nmemb, Bytes);
     }
-    return libcMalloc(Total);
+    {
+      // calloc's zeroing contract holds on the fallback too (the
+      // bootstrap buffer libcMalloc may serve is pre-zeroed, but a
+      // real-malloc result is not).
+      void *Ptr = libcMalloc(Total);
+      if (Ptr)
+        std::memset(Ptr, 0, Total);
+      else
+        errno = ENOMEM;
+      return Ptr;
+    }
   case Route::Gc:
     break;
   }
@@ -612,8 +632,19 @@ void cgc_redirect_free(void *Ptr) {
   if (GBootstrap.owns(Ptr))
     return; // pre-init chunks are program-lifetime
   if (GDepth != 0) {
-    // Re-entrant free: collector/trace internals releasing libc
-    // memory they allocated through the Libc route.
+    // Re-entrant free: usually collector/trace internals releasing
+    // libc memory they allocated through the Libc route — but ld.so
+    // and glibc internals running beneath us (DTV growth, dlerror
+    // buffers) also free memory here that the depth-0 interposer
+    // served from the GC heap, and handing those to libc free aborts
+    // glibc.  Provenance wins over depth: a collector-owned pointer
+    // is simply dropped.  Re-entering cgc_free here is not an option
+    // (the thread may be mid-allocation with its cache slot reserved);
+    // dropping is — an unreferenced GC object is exactly what the
+    // collector exists to reclaim.
+    if (GState.load(std::memory_order_acquire) == StReady &&
+        cgc_is_heap_ptr(GGc, Ptr))
+      return;
     if (GRealFree)
       GRealFree(Ptr);
     return;
@@ -650,6 +681,36 @@ void *cgc_redirect_realloc(void *Ptr, size_t Bytes) {
     return NewPtr; // the bootstrap chunk stays (free is a no-op)
   }
   if (GDepth != 0) {
+    // Same provenance-before-depth rule as free: a re-entrant realloc
+    // can be ld.so growing a thread's DTV that the depth-0 interposer
+    // served from the GC heap (seen in the wild as __tls_get_addr →
+    // realloc mid thread-attach, which glibc aborts on).  Copy-grow
+    // into raw libc memory: the GC allocator cannot be re-entered
+    // here (the thread may be mid-allocation with its cache slot
+    // reserved), and the old object is dropped for the collector to
+    // reclaim.  Size queries are read-only metadata lookups and safe.
+    if (GState.load(std::memory_order_acquire) == StReady &&
+        cgc_is_heap_ptr(GGc, Ptr)) {
+      if (!GRealMalloc) {
+        errno = ENOMEM;
+        return nullptr;
+      }
+      size_t OldUsable = 0;
+      if (void *ObjBase = cgc_base(GGc, Ptr)) {
+        OldUsable = cgc_size(GGc, ObjBase);
+        uintptr_t Delta = reinterpret_cast<uintptr_t>(Ptr) -
+                          reinterpret_cast<uintptr_t>(ObjBase);
+        OldUsable = OldUsable > Delta ? OldUsable - Delta : 0;
+      }
+      void *NewPtr = GRealMalloc(Bytes);
+      if (!NewPtr) {
+        errno = ENOMEM;
+        return nullptr; // old block untouched
+      }
+      GCount.LibcAllocs.fetch_add(1, std::memory_order_relaxed);
+      std::memcpy(NewPtr, Ptr, OldUsable < Bytes ? OldUsable : Bytes);
+      return NewPtr;
+    }
     if (GRealRealloc)
       return GRealRealloc(Ptr, Bytes);
     errno = ENOMEM;
@@ -666,8 +727,13 @@ void *cgc_redirect_realloc(void *Ptr, size_t Bytes) {
         DepthScope Scope;
         void *ObjBase = cgc_base(GGc, Base);
         OldUsable = ObjBase ? cgc_size(GGc, ObjBase) : 0;
-        if (IsAligned && ObjBase) {
-          // Usable bytes from the aligned pointer to the slot end.
+        if (ObjBase && ObjBase != Ptr) {
+          // Usable bytes from the handed-in pointer to the slot end.
+          // This covers the over-aligned interior pointers we minted
+          // ourselves AND a hostile realloc of an arbitrary interior
+          // pointer: without the clamp the copy below would read
+          // cgc_size bytes starting mid-object, running past the
+          // object's end (and possibly the arena's committed edge).
           uintptr_t Delta = reinterpret_cast<uintptr_t>(Ptr) -
                             reinterpret_cast<uintptr_t>(ObjBase);
           OldUsable = OldUsable > Delta ? OldUsable - Delta : 0;
@@ -681,6 +747,9 @@ void *cgc_redirect_realloc(void *Ptr, size_t Bytes) {
       if (IsAligned)
         alignedBaseFor(Ptr, /*Erase=*/true);
       {
+        // A hostile interior Ptr degrades inside cgc_free (classified
+        // NotObjectBase: incident + no-op) and the old object is left
+        // to the collector.
         DepthScope Scope;
         cgc_free(GGc, IsAligned ? Base : Ptr);
         GCount.GcFrees.fetch_add(1, std::memory_order_relaxed);

@@ -13,20 +13,31 @@ using namespace cgc::suspend;
 
 namespace {
 
+// initial-exec TLS: all three variables are read inside the suspend
+// signal handler.  The general-dynamic model's first per-thread access
+// goes through __tls_get_addr, which may malloc (DTV growth) — not
+// async-signal-safe, and fatal when the collector is a preloaded
+// shared object whose interposer the malloc would re-enter.
+#if defined(__GNUC__)
+#define CGC_SUSPEND_TLS __attribute__((tls_model("initial-exec")))
+#else
+#define CGC_SUSPEND_TLS
+#endif
+
 /// The calling thread's suspension slot; deliveries before
 /// setCurrentSlot (or after clearing it) are stale and ignored.
-thread_local SuspendSlot *CurrentSlot = nullptr;
+thread_local SuspendSlot *CurrentSlot CGC_SUSPEND_TLS = nullptr;
 
 /// Nesting depth of SuspendCriticalScope on this thread; while
 /// nonzero the handler must not park (the thread holds a lock the
 /// stop initiator may need).  volatile sig_atomic_t: written in
 /// normal context, read in the handler, same thread only.
-thread_local volatile sig_atomic_t CriticalDepth = 0;
+thread_local volatile sig_atomic_t CriticalDepth CGC_SUSPEND_TLS = 0;
 
 /// Set by the handler when a suspension had to be deferred because
 /// CriticalDepth was nonzero; the outermost scope exit consumes it
 /// and re-raises the suspend signal.
-thread_local volatile sig_atomic_t DeferredSuspend = 0;
+thread_local volatile sig_atomic_t DeferredSuspend CGC_SUSPEND_TLS = 0;
 
 /// Published suspend signal; -1 until ensureInstalled succeeds.
 /// Relaxed-readable from signal context (installedSignal).

@@ -27,6 +27,7 @@
 
 #include "gtest/gtest.h"
 
+#include <atomic>
 #include <cerrno>
 #include <cstdint>
 #include <cstdlib>
@@ -41,6 +42,36 @@ cgc_redirect_stats statsNow() {
   cgc_redirect_stats Stats;
   cgc_redirect_get_stats(&Stats);
   return Stats;
+}
+
+TEST(Redirect, ConcurrentFirstCallsInstallExactlyOnce) {
+  // Exercises the lazy-install CAS from many threads at once: every
+  // racer's first malloc may win StUninit->StBooting, and exactly one
+  // may run the installer (a double install placement-news MutableState
+  // over a live mutex and races two cgc_create calls).  Meaningful
+  // because this test owns its process: gtest_discover_tests runs each
+  // test as its own ctest invocation, and in a direct ./cgc_tests run
+  // this test is declared first in the suite.
+  std::atomic<int> Go{0};
+  std::vector<void *> Results(8, nullptr);
+  std::vector<std::thread> Racers;
+  for (int T = 0; T != 8; ++T)
+    Racers.emplace_back([&, T] {
+      while (!Go.load(std::memory_order_acquire)) {
+      }
+      // CAS losers are served by the bootstrap buffer mid-install;
+      // everyone gets memory, nobody installs twice.
+      Results[static_cast<size_t>(T)] =
+          cgc_redirect_malloc(static_cast<size_t>(64 + T));
+    });
+  Go.store(1, std::memory_order_release);
+  for (std::thread &Racer : Racers)
+    Racer.join();
+  for (void *Ptr : Results)
+    EXPECT_NE(Ptr, nullptr);
+  EXPECT_EQ(cgc_redirect_install(), 1);
+  EXPECT_EQ(cgc_redirect_active(), 1);
+  ASSERT_NE(cgc_redirect_collector(), nullptr);
 }
 
 TEST(Redirect, InstallIsIdempotentAndActivates) {
@@ -243,6 +274,49 @@ TEST(Redirect, StrdupGoesThroughTheCollector) {
   EXPECT_TRUE(cgc_is_heap_ptr(cgc_redirect_collector(), Dup));
   cgc_redirect_free(Dup);
   EXPECT_EQ(cgc_redirect_strdup(nullptr), nullptr);
+}
+
+TEST(Redirect, UnattachedThreadAutoRegistersOnFirstAllocation) {
+  ASSERT_EQ(cgc_redirect_install(), 1);
+  cgc_redirect_stats Before = statsNow();
+  std::thread Worker([] {
+    // No explicit cgc_redirect_thread_attach: a thread that never
+    // passed the pthread_create trampoline (created before install, or
+    // while the redirect was inactive) must still be registered before
+    // its first collector allocation — otherwise its stack is never
+    // scanned and stop-the-world cannot park it.  Detach rides the
+    // pthread key destructor at thread exit.
+    void *Ptr = cgc_redirect_malloc(128);
+    ASSERT_NE(Ptr, nullptr);
+    std::memset(Ptr, 0x5a, 128);
+    cgc_redirect_free(Ptr);
+  });
+  Worker.join();
+  cgc_redirect_stats After = statsNow();
+  EXPECT_GE(After.threads_attached, Before.threads_attached + 1);
+}
+
+TEST(Redirect, ReallocOfInteriorPointerClampsTheCopy) {
+  ASSERT_EQ(cgc_redirect_install(), 1);
+  char *Base = static_cast<char *>(cgc_redirect_malloc(64));
+  ASSERT_NE(Base, nullptr);
+  for (int I = 0; I != 64; ++I)
+    Base[I] = static_cast<char>('a' + I % 26);
+  // Hostile input: realloc of a pointer 16 bytes into a live object.
+  // cgc_is_heap_ptr accepts it (plain range check), so the GC path
+  // must clamp the copy to the bytes that actually remain from the
+  // interior pointer to the object's end — never cgc_size bytes, which
+  // would read past the object (and possibly the committed arena
+  // edge).  The old object's free degrades to an ignored-free incident
+  // inside cgc_free, so Base stays intact for the comparison.
+  char *Grown =
+      static_cast<char *>(cgc_redirect_realloc(Base + 16, 4096));
+  ASSERT_NE(Grown, nullptr);
+  size_t Remaining = cgc_redirect_malloc_usable_size(Base) - 16;
+  EXPECT_GE(Remaining, 48u);
+  EXPECT_EQ(std::memcmp(Grown, Base + 16, 48), 0);
+  cgc_redirect_free(Grown);
+  cgc_redirect_free(Base);
 }
 
 TEST(Redirect, ThreadsAttachAndAllocate) {

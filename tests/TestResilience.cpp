@@ -508,6 +508,48 @@ TEST(Resilience, CallbacksMayAllocateDuringCollection) {
   EXPECT_EQ(GC.verifyHeapReport().Issues.size(), 0u);
 }
 
+TEST(Resilience, BeginObserverAllocationStormSurvivesTheSweep) {
+  // More begin-callback allocations than the mid-cycle pin list's
+  // pre-reserved capacity (Collector::MidCyclePinReserve): the list
+  // must grow past the reservation — legal here, no mutator is
+  // signal-suspended — and every pin must still be re-pinned after
+  // Mark's bit reset so the sweep keeps all of them.
+  struct StormObserver final : GcObserver {
+    Collector *GC = nullptr;
+    std::vector<char *> Storm;
+    void onCollectionBegin(uint64_t, const char *) override {
+      if (!Storm.empty())
+        return; // only the first observed cycle storms
+      for (int I = 0; I != 2000; ++I) {
+        auto *Ptr = static_cast<char *>(GC->allocate(32));
+        ASSERT_NE(Ptr, nullptr);
+        std::memset(Ptr, I & 0xff, 32);
+        Storm.push_back(Ptr);
+      }
+    }
+  };
+
+  Collector GC(smallHeapConfig(16 << 20));
+  StormObserver Observer;
+  Observer.GC = &GC;
+  for (int I = 0; I != 200; ++I)
+    ASSERT_NE(GC.allocate(64), nullptr);
+  GcObserverId Id = GC.addObserver(&Observer);
+  GC.collect("pin-storm");
+  GC.removeObserver(Id);
+  ASSERT_EQ(Observer.Storm.size(), 2000u);
+
+  // Churn to surface any reclaimed-and-reused slot, then verify.
+  for (int I = 0; I != 500; ++I)
+    ASSERT_NE(GC.allocate(32), nullptr);
+  for (size_t N = 0; N != Observer.Storm.size(); ++N)
+    for (int I = 0; I != 32; ++I)
+      ASSERT_EQ(Observer.Storm[N][I],
+                static_cast<char>(N & 0xff))
+          << "storm object " << N << " byte " << I;
+  EXPECT_EQ(GC.verifyHeapReport().Issues.size(), 0u);
+}
+
 TEST(Resilience, WarnProcMayAllocateAndFree) {
   // Warnings fire with the heap lock held (it is recursive for exactly
   // this reason): a warn proc that calls back into the collector must
